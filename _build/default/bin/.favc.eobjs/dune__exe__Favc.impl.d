@@ -1,0 +1,1 @@
+bin/favc.ml: Analysis Arg Cmd Cmdliner Depgraph Extraction Format Fun In_channel Lbr List Name Printf Report Result Schema Tavcc_core Tavcc_lang Tavcc_model Term

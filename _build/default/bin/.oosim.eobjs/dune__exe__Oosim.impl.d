@@ -1,0 +1,1 @@
+bin/oosim.ml: Arg Cmd Cmdliner Format List Name Printf Schema Store String Tavcc_cc Tavcc_core Tavcc_model Tavcc_sim Term Value

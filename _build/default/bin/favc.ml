@@ -1,0 +1,180 @@
+(* favc — the fine access-vector compiler.
+
+   Front end to the compile-time pipeline of the paper: parses an ODML
+   schema, runs the static checks, and prints direct/transitive access
+   vectors, late-binding resolution graphs and per-class commutativity
+   relations. *)
+
+open Cmdliner
+open Tavcc_model
+open Tavcc_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  let source = if path = "-" then In_channel.input_all stdin else read_file path in
+  let decls = Tavcc_lang.Parser.parse_decls source in
+  match Schema.build decls with
+  | Error e -> Error (Format.asprintf "schema error: %a" Schema.pp_error e)
+  | Ok schema -> Ok schema
+
+let check_schema schema =
+  match Tavcc_lang.Check.check schema with
+  | Ok () -> Ok ()
+  | Error errs ->
+      Error
+        (Format.asprintf "%a"
+           (Format.pp_print_list ~pp_sep:Format.pp_print_newline Tavcc_lang.Check.pp_error)
+           errs)
+
+let handle_syntax f =
+  try f () with
+  | Tavcc_lang.Lexer.Error (msg, pos) ->
+      Error (Format.asprintf "lexical error at %a: %s" Tavcc_lang.Token.pp_pos pos msg)
+  | Tavcc_lang.Parser.Error (msg, pos) ->
+      Error (Format.asprintf "syntax error at %a: %s" Tavcc_lang.Token.pp_pos pos msg)
+
+let with_schema path f =
+  match
+    handle_syntax (fun () ->
+        Result.bind (load path) (fun schema ->
+            Result.map (fun () -> schema) (check_schema schema)))
+  with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok schema -> f schema
+
+let classes_or schema = function
+  | [] -> Schema.classes schema
+  | names ->
+      List.map
+        (fun n ->
+          let c = Name.Class.of_string n in
+          if not (Schema.mem schema c) then (
+            Printf.eprintf "favc: unknown class %s\n" n;
+            exit 1);
+          c)
+        names
+
+(* --- commands --- *)
+
+let file_arg =
+  let doc = "ODML schema file ('-' for standard input)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let class_arg =
+  let doc = "Restrict the output to $(docv) (repeatable); default: every class." in
+  Arg.(value & opt_all string [] & info [ "c"; "class" ] ~docv:"CLASS" ~doc)
+
+let compile_cmd =
+  let run file classes =
+    with_schema file (fun schema ->
+        let an = Analysis.compile schema in
+        List.iter
+          (fun c -> print_string (Report.class_report an c))
+          (classes_or schema classes);
+        0)
+  in
+  let doc = "compile a schema and print its full analysis report" in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ file_arg $ class_arg)
+
+let davs_cmd =
+  let run file classes =
+    with_schema file (fun schema ->
+        let an = Analysis.compile schema in
+        List.iter (fun c -> print_string (Report.davs an c)) (classes_or schema classes);
+        0)
+  in
+  let doc = "print direct access vectors (definition 6)" in
+  Cmd.v (Cmd.info "dav" ~doc) Term.(const run $ file_arg $ class_arg)
+
+let tavs_cmd =
+  let run file classes =
+    with_schema file (fun schema ->
+        let an = Analysis.compile schema in
+        List.iter (fun c -> print_string (Report.tavs an c)) (classes_or schema classes);
+        0)
+  in
+  let doc = "print transitive access vectors (definition 10)" in
+  Cmd.v (Cmd.info "tav" ~doc) Term.(const run $ file_arg $ class_arg)
+
+let commute_cmd =
+  let run file classes =
+    with_schema file (fun schema ->
+        let an = Analysis.compile schema in
+        List.iter
+          (fun c ->
+            Format.printf "== class %a ==@.%s" Name.Class.pp c (Report.commutativity an c))
+          (classes_or schema classes);
+        0)
+  in
+  let doc = "print per-class commutativity relations (sec. 5.1)" in
+  Cmd.v (Cmd.info "commute" ~doc) Term.(const run $ file_arg $ class_arg)
+
+let dot_cmd =
+  let run file classes =
+    with_schema file (fun schema ->
+        let an = Analysis.compile schema in
+        List.iter
+          (fun c -> print_string (Lbr.to_dot (Analysis.lbr an c)))
+          (classes_or schema classes);
+        0)
+  in
+  let doc = "emit late-binding resolution graphs (definition 9) as GraphViz DOT" in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ file_arg $ class_arg)
+
+let depgraph_cmd =
+  let run file =
+    with_schema file (fun schema ->
+        let ex = Extraction.build schema in
+        print_string (Depgraph.to_dot (Depgraph.build ex));
+        0)
+  in
+  let doc = "emit the whole-schema method dependency graph (composition links) as DOT" in
+  Cmd.v (Cmd.info "depgraph" ~doc) Term.(const run $ file_arg)
+
+let check_cmd =
+  let run file =
+    match handle_syntax (fun () -> load file) with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok schema -> (
+        match check_schema schema with
+        | Ok () ->
+            Printf.printf "%s: %d class(es), no diagnostics\n" file (Schema.class_count schema);
+            0
+        | Error msg ->
+            prerr_endline msg;
+            1)
+  in
+  let doc = "parse and statically check a schema" in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg)
+
+let example_cmd =
+  let run () =
+    print_string "-- Figure 1 --\n";
+    print_string (Report.figure1 ());
+    print_string "\n-- Table 1 --\n";
+    print_string (Report.table1 ());
+    print_string "\n-- Figure 2 --\n";
+    print_string (Report.figure2 ());
+    print_string "\n-- Table 2 --\n";
+    print_string (Report.table2 ());
+    0
+  in
+  let doc = "print the paper's running example and its artefacts" in
+  Cmd.v (Cmd.info "example" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc = "fine concurrency control compiler (Malta & Martinez, ICDE'93)" in
+  Cmd.group
+    (Cmd.info "favc" ~version:"1.0.0" ~doc)
+    [ compile_cmd; davs_cmd; tavs_cmd; commute_cmd; dot_cmd; depgraph_cmd; check_cmd; example_cmd ]
+
+let () = exit (Cmd.eval' main)

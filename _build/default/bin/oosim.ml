@@ -1,0 +1,181 @@
+(* oosim — concurrency-control simulator.
+
+   Runs workloads through the deterministic execution engine under any of
+   the five schemes and reports lock traffic, waits, deadlocks and the
+   serializability verdict. *)
+
+open Cmdliner
+open Tavcc_model
+module Exec = Tavcc_cc.Exec
+module Engine = Tavcc_sim.Engine
+module Workload = Tavcc_sim.Workload
+module Rng = Tavcc_sim.Rng
+
+let schemes =
+  [
+    ("tav", Tavcc_cc.Tav_modes.scheme);
+    ("tav-pre", Tavcc_cc.Tav_preclaim.scheme);
+    ("rw-msg", Tavcc_cc.Rw_instance.scheme);
+    ("rw-top", Tavcc_cc.Rw_toponly.scheme);
+    ("rw-impl", Tavcc_cc.Rw_implicit.scheme);
+    ("field-rt", Tavcc_cc.Field_runtime.scheme);
+    ("relational", Tavcc_cc.Relational.scheme);
+  ]
+
+let policies =
+  [
+    ("detect", Engine.Detect);
+    ("wound-wait", Engine.Wound_wait);
+    ("wait-die", Engine.Wait_die);
+    ("no-wait", Engine.No_wait);
+    ("timeout", Engine.Timeout 50);
+  ]
+
+let policy_conv =
+  let parse s =
+    match List.assoc_opt s policies with
+    | Some p -> Ok p
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown policy %S (expected %s)" s
+                       (String.concat ", " (List.map fst policies))))
+  in
+  Arg.conv (parse, fun ppf p ->
+      Format.pp_print_string ppf
+        (match p with
+        | Engine.Detect -> "detect"
+        | Engine.Wound_wait -> "wound-wait"
+        | Engine.Wait_die -> "wait-die"
+        | Engine.No_wait -> "no-wait"
+        | Engine.Timeout n -> Printf.sprintf "timeout(%d)" n))
+
+let policy_arg =
+  Arg.(value & opt policy_conv Engine.Detect
+       & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Deadlock handling: detect, wound-wait, wait-die, no-wait or timeout.")
+
+let scheme_conv =
+  let parse s =
+    match List.assoc_opt s schemes with
+    | Some _ -> Ok s
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown scheme %S (expected %s)" s
+                       (String.concat ", " (List.map fst schemes))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let print_result name (r : Engine.result) =
+  Printf.printf
+    "%-12s commits=%-4d deadlocks=%-4d aborts=%-4d restarts=%-4d reqs=%-6d waits=%-5d \
+     conversions=%-5d steps=%-6d serializable=%b\n"
+    name r.Engine.commits r.Engine.deadlocks r.Engine.aborts r.Engine.restarts
+    r.Engine.lock_requests r.Engine.lock_waits r.Engine.lock_conversions
+    r.Engine.scheduler_steps (Engine.serializable r);
+  List.iter (fun (id, msg) -> Printf.printf "  txn %d FAILED: %s\n" id msg) r.Engine.failed
+
+(* --- run: random workloads on generated schemas --- *)
+
+let run_cmd =
+  let run scheme_names seed txns actions depth fanout per_class extent_prob hot yield policy =
+    let rng = Rng.create seed in
+    let schema =
+      Workload.make_schema rng
+        { Workload.default_params with sp_depth = depth; sp_fanout = fanout }
+    in
+    let an = Tavcc_core.Analysis.compile schema in
+    Printf.printf
+      "schema: %d classes, %d analysed methods; %d instances per class; %d txns x %d actions; \
+       seed %d\n\n"
+      (Schema.class_count schema)
+      (Tavcc_core.Analysis.method_count an)
+      per_class txns actions seed;
+    let names = if scheme_names = [] then List.map fst schemes else scheme_names in
+    List.iter
+      (fun name ->
+        let mk = List.assoc name schemes in
+        let store = Store.create schema in
+        Workload.populate store ~per_class;
+        let jobs =
+          Workload.random_jobs (Rng.create (seed + 1)) store ~txns ~actions_per_txn:actions
+            ~extent_prob ~hot_instances:hot ~hot_prob:0.7
+        in
+        let config = { Engine.default_config with seed; yield_on_access = yield; policy } in
+        print_result name (Engine.run ~config ~scheme:(mk an) ~store ~jobs ()))
+      names;
+    0
+  in
+  let scheme_arg =
+    Arg.(value & opt_all scheme_conv [] & info [ "s"; "scheme" ] ~docv:"SCHEME"
+           ~doc:"Scheme to simulate (repeatable); default: all schemes.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let txns = Arg.(value & opt int 8 & info [ "t"; "txns" ] ~docv:"N" ~doc:"Concurrent transactions.") in
+  let actions = Arg.(value & opt int 4 & info [ "a"; "actions" ] ~docv:"N" ~doc:"Actions per transaction.") in
+  let depth = Arg.(value & opt int 3 & info [ "depth" ] ~docv:"N" ~doc:"Inheritance depth.") in
+  let fanout = Arg.(value & opt int 2 & info [ "fanout" ] ~docv:"N" ~doc:"Subclasses per class.") in
+  let per_class = Arg.(value & opt int 4 & info [ "instances" ] ~docv:"N" ~doc:"Instances per class.") in
+  let extent_prob =
+    Arg.(value & opt float 0.15 & info [ "extent-prob" ] ~docv:"P" ~doc:"Probability of an extent scan.")
+  in
+  let hot = Arg.(value & opt int 3 & info [ "hot" ] ~docv:"N" ~doc:"Hot-set size.") in
+  let yield =
+    Arg.(value & opt bool true & info [ "interleave" ] ~docv:"BOOL"
+           ~doc:"Reschedule at every field access.")
+  in
+  let doc = "simulate a random workload under one or more schemes" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ scheme_arg $ seed $ txns $ actions $ depth $ fanout $ per_class $ extent_prob
+      $ hot $ yield $ policy_arg)
+
+(* --- scenario: the sec. 5.2 comparison --- *)
+
+let scenario_cmd =
+  let run () =
+    List.iter
+      (fun (_, mk) ->
+        Format.printf "%a@." Tavcc_cc.Scenario.pp (Tavcc_cc.Scenario.evaluate mk))
+      schemes;
+    0
+  in
+  let doc = "evaluate the paper's sec. 5.2 four-transaction scenario" in
+  Cmd.v (Cmd.info "scenario" ~doc) Term.(const run $ const ())
+
+(* --- escalation: the deadlock demonstration --- *)
+
+let escalation_cmd =
+  let run seed txns levels policy trace =
+    let schema = Workload.chain_schema ~levels in
+    let an = Tavcc_core.Analysis.compile schema in
+    Printf.printf
+      "reader-then-writer cascade of depth %d, %d transactions on one instance, seed %d\n\n"
+      levels txns seed;
+    List.iter
+      (fun (name, mk) ->
+        let store = Store.create schema in
+        let oid = Store.new_instance store (Name.Class.of_string "chain") in
+        let top = Name.Method.of_string (Printf.sprintf "m%d" levels) in
+        let jobs = List.init txns (fun i -> (i + 1, [ Exec.Call (oid, top, [ Value.Vint 1 ]) ])) in
+        let config =
+          { Engine.default_config with seed; yield_on_access = true; policy; trace }
+        in
+        let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+        print_result name r;
+        if trace then
+          List.iter (fun e -> Format.printf "    %a@." Engine.pp_event e) r.Engine.events)
+      schemes;
+    0
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let txns = Arg.(value & opt int 6 & info [ "t"; "txns" ] ~docv:"N" ~doc:"Concurrent transactions.") in
+  let levels = Arg.(value & opt int 3 & info [ "depth" ] ~docv:"N" ~doc:"Self-call cascade depth.") in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the engine's event log for each scheme.")
+  in
+  let doc = "demonstrate escalation deadlocks (problem P3)" in
+  Cmd.v (Cmd.info "escalation" ~doc) Term.(const run $ seed $ txns $ levels $ policy_arg $ trace)
+
+let main =
+  let doc = "object-oriented concurrency-control simulator (Malta & Martinez, ICDE'93)" in
+  Cmd.group (Cmd.info "oosim" ~version:"1.0.0" ~doc) [ run_cmd; scenario_cmd; escalation_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/bank_db.ml: Analysis Format List Name Printf Report Schema Store String Tavcc_cc Tavcc_core Tavcc_lang Tavcc_model Tavcc_sim Value

@@ -1,0 +1,1 @@
+examples/counters.ml: Adhoc Analysis Format List Name Printf Schema Tavcc_core Tavcc_escrow Tavcc_lang Tavcc_model

@@ -1,0 +1,1 @@
+examples/evolution.ml: Analysis Format Incremental List Name Parser Printf Report Schema String Tavcc_core Tavcc_lang Tavcc_model

@@ -1,0 +1,1 @@
+examples/library_db.ml: Analysis Format List Name Printf Report Schema Store Tavcc_cc Tavcc_core Tavcc_lang Tavcc_model Tavcc_sim Value

@@ -1,0 +1,156 @@
+(* Accounts: hierarchical locking and the four access shapes of sec. 5.2.
+
+     dune exec examples/bank_db.exe
+
+   A teller touches one account; an interest batch rewrites a whole
+   extent; a risk report reads some accounts of the domain; a fee batch
+   rewrites the subclass extent.  These are exactly T1..T4 of the paper,
+   on a banking schema, including the hierarchical-vs-intentional class
+   lock machinery. *)
+
+open Tavcc_model
+open Tavcc_core
+module Exec = Tavcc_cc.Exec
+module Engine = Tavcc_sim.Engine
+
+let source =
+  {|
+class account is
+  fields
+    owner    : string;
+    balance  : integer;
+  method deposit(n) is
+    balance := balance + n;
+  end
+  method withdraw(n) is
+    if balance >= n then
+      balance := balance - n;
+    end
+  end
+  method credit_interest(pct) is
+    balance := balance + balance * pct / 100;
+  end
+  method solvency is
+    return balance >= 0;
+  end
+end
+
+class checking extends account is
+  fields
+    monthly_fee : integer;
+    fee_paid    : boolean;
+  method charge_fee is       -- touches only checking's own fields
+    fee_paid := true;
+  end
+  method set_fee(n) is
+    monthly_fee := n;
+    fee_paid := false;
+  end
+end
+|}
+
+let account = Name.Class.of_string "account"
+let checking = Name.Class.of_string "checking"
+let mn = Name.Method.of_string
+let fn = Name.Field.of_string
+
+let mk_store schema =
+  let store = Store.create schema in
+  let accounts =
+    List.init 6 (fun i ->
+        Store.new_instance store account
+          ~init:[ (fn "owner", Value.Vstring (Printf.sprintf "acc%d" i));
+                  (fn "balance", Value.Vint 100) ])
+  in
+  let checkings =
+    List.init 6 (fun i ->
+        Store.new_instance store checking
+          ~init:[ (fn "owner", Value.Vstring (Printf.sprintf "chk%d" i));
+                  (fn "balance", Value.Vint 100) ])
+  in
+  (store, accounts, checkings)
+
+let () =
+  let schema =
+    match Schema.build (Tavcc_lang.Parser.parse_decls source) with
+    | Ok s -> s
+    | Error e -> failwith (Format.asprintf "%a" Schema.pp_error e)
+  in
+  let an = Analysis.compile schema in
+
+  print_endline "== commutativity relation of class checking ==";
+  print_string (Report.commutativity an checking);
+  Printf.printf "\ncharge_fee vs deposit commute? %b (disjoint fields)\n"
+    (Analysis.commute an checking (mn "charge_fee") (mn "deposit"));
+  Printf.printf "solvency vs deposit commute?   %b (read vs write of balance)\n\n"
+    (Analysis.commute an checking (mn "solvency") (mn "deposit"));
+
+  (* The four access shapes of sec. 5.2, as banking transactions:
+     T1 teller deposit on one account;
+     T2 interest batch over the whole account extent (hierarchical);
+     T3 risk report over some accounts of the domain (intentional);
+     T4 fee batch over the checking extent (hierarchical). *)
+  let run name mk =
+    let store, accounts, checkings = mk_store schema in
+    let jobs =
+      [
+        (1, [ Exec.Call (List.hd accounts, mn "deposit", [ Value.Vint 10 ]) ]);
+        ( 2,
+          [
+            Exec.Call_extent
+              { cls = account; deep = true; meth = mn "credit_interest";
+                args = [ Value.Vint 5 ] };
+          ] );
+        ( 3,
+          [
+            Exec.Call_some
+              { root = account;
+                targets = [ List.nth accounts 2; List.nth checkings 2 ];
+                meth = mn "solvency"; args = [] };
+          ] );
+        ( 4,
+          [
+            Exec.Call_extent
+              { cls = checking; deep = true; meth = mn "charge_fee"; args = [] };
+          ] );
+      ]
+    in
+    let config = { Engine.default_config with yield_on_access = true; seed = 11 } in
+    let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+    let total =
+      List.fold_left
+        (fun acc o ->
+          match Store.read store o (fn "balance") with Value.Vint b -> acc + b | _ -> acc)
+        0
+        (Store.deep_extent store account)
+    in
+    Printf.printf "%-12s waits=%-4d deadlocks=%-3d commits=%d total-balance=%d serializable=%b\n"
+      name r.Engine.lock_waits r.Engine.deadlocks r.Engine.commits total
+      (Engine.serializable r)
+  in
+  print_endline "teller || interest batch || risk report || fee batch:";
+  run "tav" Tavcc_cc.Tav_modes.scheme;
+  run "rw-top" Tavcc_cc.Rw_toponly.scheme;
+  run "rw-msg" Tavcc_cc.Rw_instance.scheme;
+  run "field-rt" Tavcc_cc.Field_runtime.scheme;
+  run "relational" Tavcc_cc.Relational.scheme;
+
+  (* The lock-set view: which of the four can run fully in parallel? *)
+  print_endline "\nlock-set compatibility (banking T1..T4) under tav:";
+  let store, accounts, checkings = mk_store schema in
+  let scheme = Tavcc_cc.Tav_modes.scheme an in
+  let sets =
+    List.mapi
+      (fun i actions -> Tavcc_cc.Lockset.of_actions ~scheme ~store ~txn_id:(i + 1) actions)
+      [
+        [ Exec.Call (List.hd accounts, mn "deposit", [ Value.Vint 10 ]) ];
+        [ Exec.Call_extent { cls = account; deep = true; meth = mn "credit_interest"; args = [ Value.Vint 5 ] } ];
+        [ Exec.Call_some { root = account; targets = [ List.nth accounts 2; List.nth checkings 2 ]; meth = mn "solvency"; args = [] } ];
+        [ Exec.Call_extent { cls = checking; deep = true; meth = mn "charge_fee"; args = [] } ];
+      ]
+  in
+  List.iter
+    (fun group ->
+      Printf.printf "  %s\n"
+        (String.concat "||" (List.map (fun i -> Printf.sprintf "T%d" (i + 1)) group)))
+    (Tavcc_cc.Lockset.maximal_groups scheme sets)

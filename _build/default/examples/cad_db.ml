@@ -1,0 +1,112 @@
+(* CAD design objects and long transactions.
+
+     dune exec examples/cad_db.exe
+
+   The paper quotes System R folklore via Korth-Kim-Bancilhon's CAD
+   study: 97% of deadlocks come from read-to-write lock escalation.  CAD
+   methods are exactly that shape — inspect a component, then revise it
+   through a self-directed update.  This example shows the escalation
+   deadlocks appear under per-message R/W locking and vanish under the
+   paper's compiled modes, and that aborted designers roll back cleanly. *)
+
+open Tavcc_model
+open Tavcc_core
+module Exec = Tavcc_cc.Exec
+module Engine = Tavcc_sim.Engine
+
+let source =
+  {|
+class component is
+  fields
+    name      : string;
+    revision  : integer;
+    cost      : integer;
+    frozen    : boolean;
+  method revise(delta) is
+    -- inspect, then update through a self-directed message:
+    -- the classical reader-that-becomes-writer.
+    var ok := not frozen;
+    if ok then
+      send bump(delta) to self;
+    end
+  end
+  method bump(delta) is
+    revision := revision + 1;
+    cost := cost + delta;
+  end
+  method inspect is
+    return revision;
+  end
+end
+
+class assembly extends component is
+  fields
+    part_count : integer;
+  method add_part is
+    part_count := part_count + 1;
+    send bump(0) to self;
+  end
+end
+|}
+
+let component = Name.Class.of_string "component"
+let assembly = Name.Class.of_string "assembly"
+let mn = Name.Method.of_string
+let fn = Name.Field.of_string
+
+let () =
+  let schema =
+    match Schema.build (Tavcc_lang.Parser.parse_decls source) with
+    | Ok s -> s
+    | Error e -> failwith (Format.asprintf "%a" Schema.pp_error e)
+  in
+  let an = Analysis.compile schema in
+
+  (* What the baselines see vs what the compiler derives. *)
+  Printf.printf "revise classified by its direct code: %s\n"
+    (if Tavcc_cc.Scheme.writes_directly an component (mn "revise") then "writer" else "reader");
+  Printf.printf "revise classified by its TAV:         %s\n\n"
+    (if Tavcc_cc.Scheme.writes_transitively an component (mn "revise") then "writer" else "reader");
+  print_string (Report.tavs an component);
+
+  (* Several designers revising the same hot assembly concurrently. *)
+  let run name mk =
+    let store = Store.create schema in
+    let hot =
+      Store.new_instance store assembly
+        ~init:[ (fn "name", Value.Vstring "chassis"); (fn "cost", Value.Vint 100) ]
+    in
+    let jobs =
+      List.init 6 (fun i -> (i + 1, [ Exec.Call (hot, mn "revise", [ Value.Vint (10 * i) ]) ]))
+    in
+    let config = { Engine.default_config with yield_on_access = true; seed = 7 } in
+    let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+    Printf.printf "%-12s deadlocks=%-3d aborts=%-3d waits=%-3d commits=%d revision=%s\n" name
+      r.Engine.deadlocks r.Engine.aborts r.Engine.lock_waits r.Engine.commits
+      (Format.asprintf "%a" Value.pp (Store.read store hot (fn "revision")))
+  in
+  print_endline "\n6 designers revising one hot assembly:";
+  run "rw-msg" Tavcc_cc.Rw_instance.scheme;
+  run "field-rt" Tavcc_cc.Field_runtime.scheme;
+  run "tav" Tavcc_cc.Tav_modes.scheme;
+  run "rw-top" Tavcc_cc.Rw_toponly.scheme;
+
+  (* Recovery: a designer hits a failure mid-method; the undo log (the
+     access-vector projection of the paper's recovery remark) restores
+     exactly the written fields. *)
+  let store = Store.create schema in
+  let part =
+    Store.new_instance store component
+      ~init:[ (fn "name", Value.Vstring "bolt"); (fn "cost", Value.Vint 5) ]
+  in
+  let txn = Tavcc_txn.Txn.make ~id:1 ~birth:1 in
+  let scheme = Tavcc_cc.Tav_modes.scheme an in
+  let ctx = { Tavcc_cc.Scheme.txn; acquire = (fun _ -> ()) } in
+  Exec.perform ~scheme ~store ~ctx (Exec.Call (part, mn "bump", [ Value.Vint 42 ]));
+  Format.printf "\nmid-transaction: revision=%a cost=%a@."
+    Value.pp (Store.read store part (fn "revision"))
+    Value.pp (Store.read store part (fn "cost"));
+  Tavcc_txn.Txn.abort store txn;
+  Format.printf "after abort:     revision=%a cost=%a  (before-images replayed)@."
+    Value.pp (Store.read store part (fn "revision"))
+    Value.pp (Store.read store part (fn "cost"))

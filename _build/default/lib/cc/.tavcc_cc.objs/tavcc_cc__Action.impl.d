@@ -1,0 +1,1 @@
+lib/cc/action.ml: Format List Name Oid Tavcc_lock Tavcc_model Value

@@ -1,0 +1,1 @@
+lib/cc/action.mli: Format Name Oid Tavcc_lock Tavcc_model Value

@@ -1,0 +1,1 @@
+lib/cc/exec.ml: Action Interp List Name Oid Scheme Store Tavcc_lang Tavcc_lock Tavcc_model Tavcc_txn Value

@@ -1,0 +1,1 @@
+lib/cc/exec.mli: Action Ast Format Name Oid Scheme Store Tavcc_lang Tavcc_lock Tavcc_model Value

@@ -1,0 +1,1 @@
+lib/cc/field_runtime.ml: Compat Lock_table Resource Scheme Tavcc_lock

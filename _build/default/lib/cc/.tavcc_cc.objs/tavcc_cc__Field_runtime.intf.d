@@ -1,0 +1,1 @@
+lib/cc/field_runtime.mli: Scheme Tavcc_core

@@ -1,0 +1,1 @@
+lib/cc/global_modes.ml: Analysis Array Format List Modes_table Name Schema Tavcc_core Tavcc_model

@@ -1,0 +1,1 @@
+lib/cc/global_modes.mli: Analysis Format Name Tavcc_core Tavcc_model

@@ -1,0 +1,1 @@
+lib/cc/lockset.ml: Array Exec Fun List Lock_table Resource Scheme Tavcc_lock Tavcc_txn

@@ -1,0 +1,1 @@
+lib/cc/lockset.mli: Ast Exec Lock_table Scheme Tavcc_lang Tavcc_lock Tavcc_model

@@ -1,0 +1,1 @@
+lib/cc/relational.ml: Access_vector Analysis Compat List Lock_table Mode Name Option Resource Schema Scheme Tavcc_core Tavcc_lock Tavcc_model

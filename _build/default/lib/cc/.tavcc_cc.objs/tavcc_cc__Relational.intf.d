@@ -1,0 +1,1 @@
+lib/cc/relational.mli: Scheme Tavcc_core Tavcc_model

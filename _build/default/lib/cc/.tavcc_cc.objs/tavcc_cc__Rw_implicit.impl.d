@@ -1,0 +1,1 @@
+lib/cc/rw_implicit.ml: Analysis Compat List Resource Rw_instance Schema Scheme Tavcc_core Tavcc_lock Tavcc_model

@@ -1,0 +1,1 @@
+lib/cc/rw_implicit.mli: Scheme Tavcc_core

@@ -1,0 +1,1 @@
+lib/cc/rw_instance.ml: Analysis Compat List Lock_table Resource Schema Scheme Tavcc_core Tavcc_lock Tavcc_model

@@ -1,0 +1,1 @@
+lib/cc/rw_instance.mli: Scheme Tavcc_core Tavcc_lang Tavcc_lock Tavcc_model

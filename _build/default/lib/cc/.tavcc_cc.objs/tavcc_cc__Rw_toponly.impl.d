@@ -1,0 +1,1 @@
+lib/cc/rw_toponly.ml: Analysis Rw_instance Scheme Tavcc_core

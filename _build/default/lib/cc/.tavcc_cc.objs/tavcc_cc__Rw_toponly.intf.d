@@ -1,0 +1,1 @@
+lib/cc/rw_toponly.mli: Scheme Tavcc_core

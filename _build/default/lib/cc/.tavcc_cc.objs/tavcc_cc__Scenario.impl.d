@@ -1,0 +1,1 @@
+lib/cc/scenario.ml: Array Exec Format List Lockset Paper_example Scheme Store String Tavcc_core Tavcc_model Value

@@ -1,0 +1,1 @@
+lib/cc/scenario.mli: Analysis Format Scheme Tavcc_core

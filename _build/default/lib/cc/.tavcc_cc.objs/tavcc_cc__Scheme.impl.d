@@ -1,0 +1,1 @@
+lib/cc/scheme.ml: Access_vector Action Analysis Lock_table Name Oid Printf Tavcc_core Tavcc_lock Tavcc_model Tavcc_txn

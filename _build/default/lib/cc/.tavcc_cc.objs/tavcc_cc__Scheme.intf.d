@@ -1,0 +1,1 @@
+lib/cc/scheme.mli: Action Analysis Lock_table Name Oid Resource Tavcc_core Tavcc_lock Tavcc_model Tavcc_txn

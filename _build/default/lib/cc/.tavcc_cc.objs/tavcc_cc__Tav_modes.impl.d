@@ -1,0 +1,1 @@
+lib/cc/tav_modes.ml: Analysis Global_modes List Lock_table Pred Resource Schema Scheme Tavcc_core Tavcc_lock Tavcc_model

@@ -1,0 +1,1 @@
+lib/cc/tav_modes.mli: Scheme Tavcc_core

@@ -1,0 +1,1 @@
+lib/cc/tav_preclaim.ml: Action Analysis Depgraph Extraction Global_modes List Lock_table Name Resource Schema Scheme Site Tavcc_core Tavcc_lock Tavcc_model

@@ -1,0 +1,1 @@
+lib/cc/tav_preclaim.mli: Scheme Tavcc_core

@@ -1,0 +1,30 @@
+open Tavcc_model
+
+type t =
+  | Call of Oid.t * Name.Method.t * Value.t list
+  | Call_some of {
+      root : Name.Class.t;
+      targets : Oid.t list;
+      meth : Name.Method.t;
+      args : Value.t list;
+    }
+  | Call_extent of { cls : Name.Class.t; deep : bool; meth : Name.Method.t; args : Value.t list }
+  | Call_range of {
+      cls : Name.Class.t;
+      deep : bool;
+      pred : Tavcc_lock.Pred.t;
+      meth : Name.Method.t;
+      args : Value.t list;
+    }
+
+let pp ppf = function
+  | Call (oid, m, _) -> Format.fprintf ppf "call %a.%a" Oid.pp oid Name.Method.pp m
+  | Call_some { root; targets; meth; _ } ->
+      Format.fprintf ppf "some(%a) %d insts .%a" Name.Class.pp root (List.length targets)
+        Name.Method.pp meth
+  | Call_extent { cls; deep; meth; _ } ->
+      Format.fprintf ppf "extent%s(%a).%a" (if deep then "*" else "") Name.Class.pp cls
+        Name.Method.pp meth
+  | Call_range { cls; deep; pred; meth; _ } ->
+      Format.fprintf ppf "range%s(%a | %a).%a" (if deep then "*" else "") Name.Class.pp cls
+        Tavcc_lock.Pred.pp pred Name.Method.pp meth

@@ -1,0 +1,30 @@
+(** Transaction actions: the access shapes of sec. 5.2.
+
+    Split out of {!Exec} so that schemes can see a transaction's whole
+    action list at begin time (conservative preclaiming needs it). *)
+
+open Tavcc_model
+
+type t =
+  | Call of Oid.t * Name.Method.t * Value.t list
+  | Call_some of {
+      root : Name.Class.t;  (** domain whose classes take intention locks *)
+      targets : Oid.t list;
+      meth : Name.Method.t;
+      args : Value.t list;
+    }
+  | Call_extent of {
+      cls : Name.Class.t;
+      deep : bool;  (** false: proper extent; true: the whole domain *)
+      meth : Name.Method.t;
+      args : Value.t list;
+    }
+  | Call_range of {
+      cls : Name.Class.t;
+      deep : bool;
+      pred : Tavcc_lock.Pred.t;  (** only matching instances receive the message *)
+      meth : Name.Method.t;
+      args : Value.t list;
+    }
+
+val pp : Format.formatter -> t -> unit

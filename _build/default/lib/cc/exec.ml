@@ -1,0 +1,86 @@
+open Tavcc_model
+open Tavcc_lang
+
+type action = Action.t =
+  | Call of Oid.t * Name.Method.t * Value.t list
+  | Call_some of {
+      root : Name.Class.t;
+      targets : Oid.t list;
+      meth : Name.Method.t;
+      args : Value.t list;
+    }
+  | Call_extent of { cls : Name.Class.t; deep : bool; meth : Name.Method.t; args : Value.t list }
+  | Call_range of {
+      cls : Name.Class.t;
+      deep : bool;
+      pred : Tavcc_lock.Pred.t;
+      meth : Name.Method.t;
+      args : Value.t list;
+    }
+
+let pp_action = Action.pp
+
+let begin_txn ~scheme ~store ~ctx actions =
+  scheme.Scheme.on_begin ctx ~class_of:(Store.class_of store) actions
+
+let perform ~scheme ~store ~ctx ?(on_read = fun _ _ -> ()) ?(on_write = fun _ _ -> ())
+    ?(yield = fun () -> ()) ?max_steps action =
+  (* When set, the next top send to this oid is the root of an extent call
+     covered by a hierarchical class lock: skip its instance locking. *)
+  let skip_root = ref None in
+  let hooks =
+    {
+      Interp.h_top_send =
+        (fun oid cls m ->
+          match !skip_root with
+          | Some o when Oid.equal o oid -> skip_root := None
+          | _ -> scheme.Scheme.on_top_send ctx oid cls m);
+      h_self_send = (fun oid cls m -> scheme.Scheme.on_self_send ctx oid cls m);
+      h_read =
+        (fun oid cls f ->
+          scheme.Scheme.on_read ctx oid cls f;
+          on_read oid f;
+          yield ());
+      h_write =
+        (fun oid cls f ~old v ->
+          ignore v;
+          scheme.Scheme.on_write ctx oid cls f;
+          Tavcc_txn.Txn.log_write ctx.Scheme.txn oid f ~before:old;
+          on_write oid f;
+          yield ());
+      h_new = (fun _ _ -> ());
+    }
+  in
+  let call oid m args = ignore (Interp.call ~hooks ?max_steps store oid m args) in
+  match action with
+  | Call (oid, m, args) -> call oid m args
+  | Call_some { root; targets; meth; args } ->
+      scheme.Scheme.on_some_of_domain ctx root meth;
+      List.iter (fun oid -> call oid meth args; yield ()) targets
+  | Call_extent { cls; deep; meth; args } ->
+      scheme.Scheme.on_extent ctx cls ~deep ~pred:None meth;
+      let targets = if deep then Store.deep_extent store cls else Store.extent store cls in
+      List.iter
+        (fun oid ->
+          if not scheme.Scheme.locks_instances_on_extent then skip_root := Some oid;
+          call oid meth args;
+          yield ())
+        targets
+  | Call_range { cls; deep; pred; meth; args } ->
+      scheme.Scheme.on_extent ctx cls ~deep ~pred:(Some pred) meth;
+      let candidates = if deep then Store.deep_extent store cls else Store.extent store cls in
+      List.iter
+        (fun oid ->
+          let matches =
+            match Tavcc_model.Schema.field_index (Store.schema store) (Store.class_of store oid)
+                    pred.Tavcc_lock.Pred.field
+            with
+            | None -> false
+            | Some _ -> Tavcc_lock.Pred.satisfies pred (Store.read store oid pred.Tavcc_lock.Pred.field)
+          in
+          if matches then begin
+            if not scheme.Scheme.locks_instances_on_extent then skip_root := Some oid;
+            call oid meth args;
+            yield ()
+          end)
+        candidates

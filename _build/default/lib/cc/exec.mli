@@ -1,0 +1,59 @@
+(** Executing transaction actions under a concurrency-control scheme.
+
+    An action is one of the access shapes of sec. 5.2: a message to one
+    instance, to some instances of a domain, or to a whole extent (class
+    or domain).  {!perform} runs the action through the ODML interpreter
+    with hooks that (in order) let the scheme lock, log undo images, record
+    the raw read/write trace, and optionally yield to a cooperative
+    scheduler between accesses.
+
+    When the scheme covers extents with hierarchical class locks
+    ([locks_instances_on_extent = false]), the {e root} send to each
+    extent instance is exempted from instance locking; nested cross-object
+    sends — which may leave the locked domain — are still controlled. *)
+
+open Tavcc_model
+open Tavcc_lang
+
+type action = Action.t =
+  | Call of Oid.t * Name.Method.t * Value.t list
+  | Call_some of {
+      root : Name.Class.t;  (** domain whose classes take intention locks *)
+      targets : Oid.t list;
+      meth : Name.Method.t;
+      args : Value.t list;
+    }
+  | Call_extent of {
+      cls : Name.Class.t;
+      deep : bool;  (** false: proper extent; true: the whole domain *)
+      meth : Name.Method.t;
+      args : Value.t list;
+    }
+  | Call_range of {
+      cls : Name.Class.t;
+      deep : bool;
+      pred : Tavcc_lock.Pred.t;  (** only matching instances receive the message *)
+      meth : Name.Method.t;
+      args : Value.t list;
+    }
+
+val pp_action : Format.formatter -> action -> unit
+
+val begin_txn : scheme:Scheme.t -> store:Ast.body Store.t -> ctx:Scheme.ctx -> action list -> unit
+(** Invokes the scheme's begin hook with the transaction's whole action
+    list — preclaiming schemes acquire everything here, in canonical
+    order. *)
+
+val perform :
+  scheme:Scheme.t ->
+  store:Ast.body Store.t ->
+  ctx:Scheme.ctx ->
+  ?on_read:(Oid.t -> Name.Field.t -> unit) ->
+  ?on_write:(Oid.t -> Name.Field.t -> unit) ->
+  ?yield:(unit -> unit) ->
+  ?max_steps:int ->
+  action ->
+  unit
+(** Undo images are logged into [ctx.txn] before each write takes effect.
+
+    @raise Interp.Runtime_error on dynamic failures of the method code *)

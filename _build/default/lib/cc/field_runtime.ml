@@ -1,0 +1,29 @@
+open Tavcc_lock
+
+let scheme _an =
+  let conflict (held : Lock_table.req) (req : Lock_table.req) =
+    match held.Lock_table.r_res with
+    | Resource.Field _ | Resource.Meth _ ->
+        not (Compat.compatible Compat.rw held.r_mode req.r_mode)
+    | Resource.Instance _ | Resource.Class _ | Resource.Fragment _ | Resource.Relation _ ->
+        false
+  in
+  let lock_method ctx _oid cls m =
+    ctx.Scheme.acquire (Scheme.req ~txn:ctx.Scheme.txn (Resource.Meth (cls, m)) Compat.read)
+  in
+  let lock_field mode ctx oid _cls f =
+    ctx.Scheme.acquire (Scheme.req ~txn:ctx.Scheme.txn (Resource.Field (oid, f)) mode)
+  in
+  {
+    Scheme.name = "field-rt";
+    descr = "run-time field locking (Agrawal & El Abbadi)";
+    conflict;
+    on_begin = Scheme.no_begin;
+    on_top_send = lock_method;
+    on_self_send = lock_method;
+    on_read = lock_field Compat.read;
+    on_write = lock_field Compat.write;
+    on_extent = (fun _ _ ~deep:_ ~pred:_ _ -> ());
+    on_some_of_domain = (fun _ _ _ -> ());
+    locks_instances_on_extent = true;
+  }

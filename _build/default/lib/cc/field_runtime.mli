@@ -1,0 +1,13 @@
+(** Baseline: run-time field locking (Agrawal & El Abbadi, EDBT'92 —
+    ref. \[1\] of the paper).
+
+    Each activated method is locked (in read mode) in its class's method
+    set — a schema update would take the write mode — and every field is
+    locked individually, at the moment it is accessed.  This is the least
+    conservative scheme of the comparison: parallelism is maximal (only
+    true field conflicts block), but each access pays a lock call, the
+    multiple-control problem (P2) remains for the method-set locks, and
+    incremental acquisition keeps the read→write escalation deadlocks
+    (P3) alive. *)
+
+val scheme : Tavcc_core.Analysis.t -> Scheme.t

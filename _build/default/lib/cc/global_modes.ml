@@ -1,0 +1,70 @@
+open Tavcc_model
+open Tavcc_core
+module CN = Name.Class
+
+type t = {
+  base : int CN.Map.t;  (* first global id of each class *)
+  tables : Modes_table.t array;  (* indexed by class rank *)
+  class_rank : int CN.Map.t;
+  owner : (int * int) array;  (* global id -> (class rank, local mode) *)
+  total : int;
+}
+
+let build an =
+  let schema = Analysis.schema an in
+  let classes = Schema.classes schema in
+  let _, base, ranks, tables_rev =
+    List.fold_left
+      (fun (next, base, ranks, tables) cls ->
+        let table = Analysis.table an cls in
+        ( next + Modes_table.size table,
+          CN.Map.add cls next base,
+          CN.Map.add cls (List.length tables) ranks,
+          table :: tables ))
+      (0, CN.Map.empty, CN.Map.empty, [])
+      classes
+  in
+  let tables = Array.of_list (List.rev tables_rev) in
+  let total = Array.fold_left (fun n tb -> n + Modes_table.size tb) 0 tables in
+  let owner = Array.make total (0, 0) in
+  List.iter
+    (fun cls ->
+      let rank = CN.Map.find cls ranks in
+      let b = CN.Map.find cls base in
+      for i = 0 to Modes_table.size tables.(rank) - 1 do
+        owner.(b + i) <- (rank, i)
+      done)
+    classes;
+  { base; tables; class_rank = ranks; owner; total }
+
+let id t cls m =
+  match CN.Map.find_opt cls t.base with
+  | None -> invalid_arg (Format.asprintf "Global_modes: unknown class %a" CN.pp cls)
+  | Some b -> (
+      let rank = CN.Map.find cls t.class_rank in
+      match Modes_table.mode_of_method t.tables.(rank) m with
+      | Some i -> b + i
+      | None ->
+          invalid_arg
+            (Format.asprintf "Global_modes: %a is not a method of %a" Name.Method.pp m CN.pp
+               cls))
+
+let class_of t g =
+  let rank, _ = t.owner.(g) in
+  Modes_table.cls t.tables.(rank)
+
+let method_of t g =
+  let rank, i = t.owner.(g) in
+  Modes_table.method_of_mode t.tables.(rank) i
+
+let commute t g g' =
+  let rank, i = t.owner.(g) in
+  let rank', i' = t.owner.(g') in
+  if rank <> rank' then
+    invalid_arg "Global_modes.commute: modes of two different classes never share a resource";
+  Modes_table.commute t.tables.(rank) i i'
+
+let count t = t.total
+
+let pp_mode t ppf g =
+  Format.fprintf ppf "%a.%a" CN.pp (class_of t g) Name.Method.pp (method_of t g)

@@ -1,0 +1,30 @@
+(** Global numbering of the compiled access modes.
+
+    Each class has its own commutativity relation (sec. 5.1); the lock
+    manager, however, works with plain integers.  This module flattens the
+    per-class matrices into one id space: mode [(c, m)] gets a unique
+    integer, and {!commute} dispatches back to the class's matrix in O(1).
+
+    Two modes of different classes never meet on a resource — instance
+    locks use the proper class of the instance, and class locks use the
+    class being locked — so {!commute} may assert same-class inputs. *)
+
+open Tavcc_model
+open Tavcc_core
+
+type t
+
+val build : Analysis.t -> t
+
+val id : t -> Name.Class.t -> Name.Method.t -> int
+(** @raise Invalid_argument when the method is unknown in the class *)
+
+val class_of : t -> int -> Name.Class.t
+val method_of : t -> int -> Name.Method.t
+
+val commute : t -> int -> int -> bool
+(** @raise Invalid_argument when the two modes belong to different
+    classes *)
+
+val count : t -> int
+val pp_mode : t -> Format.formatter -> int -> unit

@@ -1,0 +1,46 @@
+open Tavcc_lock
+
+let of_actions ~scheme ~store ~txn_id actions =
+  let txn = Tavcc_txn.Txn.make ~id:txn_id ~birth:txn_id in
+  let acc = ref [] in
+  let acquire req = if not (List.mem req !acc) then acc := req :: !acc in
+  let ctx = { Scheme.txn; acquire } in
+  Exec.begin_txn ~scheme ~store ~ctx actions;
+  List.iter (fun a -> Exec.perform ~scheme ~store ~ctx a) actions;
+  Tavcc_txn.Txn.undo_all store txn;
+  List.rev !acc
+
+let compatible_pair scheme a b =
+  List.for_all
+    (fun ra ->
+      List.for_all
+        (fun rb ->
+          (not (Resource.equal ra.Lock_table.r_res rb.Lock_table.r_res))
+          || ((not (scheme.Scheme.conflict ra rb)) && not (scheme.Scheme.conflict rb ra)))
+        b)
+    a
+
+let compatible_group scheme sets =
+  let rec pairs = function
+    | [] -> true
+    | x :: tl -> List.for_all (compatible_pair scheme x) tl && pairs tl
+  in
+  pairs sets
+
+let maximal_groups scheme sets =
+  let sets = Array.of_list sets in
+  let n = Array.length sets in
+  let compat = Array.init n (fun i -> Array.init n (fun j -> compatible_pair scheme sets.(i) sets.(j))) in
+  let subsets = List.init (1 lsl n) (fun mask -> mask) in
+  let members mask = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id) in
+  let ok mask =
+    let ms = members mask in
+    List.for_all (fun i -> List.for_all (fun j -> i = j || compat.(i).(j)) ms) ms
+  in
+  let good = List.filter (fun m -> m <> 0 && ok m) subsets in
+  let maximal =
+    List.filter
+      (fun m -> not (List.exists (fun m' -> m' <> m && m land m' = m) good))
+      good
+  in
+  List.map members maximal |> List.sort compare

@@ -1,0 +1,29 @@
+(** Static lock-set evaluation (no blocking).
+
+    Runs a transaction's actions with an [acquire] that records every
+    request instead of queueing, then rolls the store back.  Comparing the
+    recorded sets under the scheme's conflict relation answers "could
+    these transactions run fully concurrently?" — the question sec. 5.2 of
+    the paper asks about T1..T4. *)
+
+open Tavcc_lang
+open Tavcc_lock
+
+val of_actions :
+  scheme:Scheme.t ->
+  store:Ast.body Tavcc_model.Store.t ->
+  txn_id:int ->
+  Exec.action list ->
+  Lock_table.req list
+(** The deduplicated lock set, in first-acquisition order.  The store is
+    left unchanged (mutations are undone). *)
+
+val compatible_pair : Scheme.t -> Lock_table.req list -> Lock_table.req list -> bool
+(** No request of one set conflicts with a request of the other on the
+    same resource. *)
+
+val compatible_group : Scheme.t -> Lock_table.req list list -> bool
+
+val maximal_groups : Scheme.t -> Lock_table.req list list -> int list list
+(** Maximal subsets (by inclusion) of pairwise-compatible transactions,
+    as sorted 0-based index lists, lexicographically ordered. *)

@@ -1,0 +1,129 @@
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lock
+module CN = Name.Class
+
+let declares_fields schema c =
+  List.exists (fun fd -> CN.equal fd.Schema.f_owner c) (Schema.fields schema c)
+
+let key_field schema cls =
+  (* Most general field-declaring ancestor: last in the linearisation that
+     declares fields; its first declared field is the primary key. *)
+  let lin = List.rev (Schema.linearization schema cls) in
+  List.find_map
+    (fun c ->
+      let own = List.filter (fun fd -> CN.equal fd.Schema.f_owner c) (Schema.fields schema cls) in
+      match own with fd :: _ -> Some (c, fd.Schema.f_name) | [] -> None)
+    lin
+
+let fragments_of_tav schema cls tav =
+  let mode_of_field f =
+    match Schema.field_def schema cls f with
+    | Some fd -> Some (fd.Schema.f_owner, Access_vector.get tav f)
+    | None -> None
+  in
+  let base =
+    List.fold_left
+      (fun acc f ->
+        match mode_of_field f with
+        | Some (owner, m) ->
+            let prev = Option.value ~default:Mode.Null (List.assoc_opt owner acc) in
+            (owner, Mode.join prev m) :: List.remove_assoc owner acc
+        | None -> acc)
+      [] (Access_vector.fields tav)
+  in
+  let key_written =
+    match key_field schema cls with
+    | Some (_, kf) -> Mode.equal (Access_vector.get tav kf) Mode.Write
+    | None -> false
+  in
+  let with_key =
+    if not key_written then base
+    else
+      (* The key is the foreign key of every subclass relation: guard all
+         field-declaring classes of the key owner's domain in write mode. *)
+      match key_field schema cls with
+      | None -> base
+      | Some (owner, _) ->
+          List.fold_left
+            (fun acc c ->
+              if declares_fields schema c then (c, Mode.Write) :: List.remove_assoc c acc
+              else acc)
+            base
+            (Schema.domain schema owner)
+  in
+  with_key
+  |> List.filter_map (fun (c, m) ->
+         match m with
+         | Mode.Null -> None
+         | Mode.Read -> Some (c, false)
+         | Mode.Write -> Some (c, true))
+  |> List.sort (fun (a, _) (b, _) -> CN.compare a b)
+
+let scheme an =
+  let schema = Analysis.schema an in
+  let conflict (held : Lock_table.req) (req : Lock_table.req) =
+    match held.Lock_table.r_res with
+    | Resource.Fragment _ -> not (Compat.compatible Compat.rw held.r_mode req.r_mode)
+    | Resource.Relation _ -> not (Compat.compatible Compat.gray held.r_mode req.r_mode)
+    | Resource.Instance _ | Resource.Class _ | Resource.Field _ | Resource.Meth _ -> false
+  in
+  let on_top_send ctx oid cls m =
+    let tav = Analysis.tav an cls m in
+    List.iter
+      (fun (owner, writes) ->
+        ctx.Scheme.acquire
+          (Scheme.req ~txn:ctx.Scheme.txn (Resource.Relation owner)
+             (if writes then Compat.ix else Compat.is_));
+        ctx.Scheme.acquire
+          (Scheme.req ~txn:ctx.Scheme.txn
+             (Resource.Fragment (oid, owner))
+             (if writes then Compat.write else Compat.read)))
+      (fragments_of_tav schema cls tav)
+  in
+  let relations_of_classes classes m =
+    (* Union of the fragment modes across the classes of the scope that
+       understand the method. *)
+    let classes = List.filter (fun e -> Schema.resolve schema e m <> None) classes in
+    List.fold_left
+      (fun acc e ->
+        List.fold_left
+          (fun acc (owner, writes) ->
+            let prev = Option.value ~default:false (List.assoc_opt owner acc) in
+            (owner, prev || writes) :: List.remove_assoc owner acc)
+          acc
+          (fragments_of_tav schema e (Analysis.tav an e m)))
+      [] classes
+    |> List.sort (fun (a, _) (b, _) -> CN.compare a b)
+  in
+  let on_extent ctx cls ~deep ~pred m =
+    ignore pred;
+    let classes = if deep then Schema.domain schema cls else [ cls ] in
+    List.iter
+      (fun (owner, writes) ->
+        ctx.Scheme.acquire
+          (Scheme.req ~txn:ctx.Scheme.txn ~hier:true (Resource.Relation owner)
+             (if writes then Compat.x else Compat.s)))
+      (relations_of_classes classes m)
+  in
+  let on_some_of_domain ctx cls m =
+    List.iter
+      (fun (owner, writes) ->
+        ctx.Scheme.acquire
+          (Scheme.req ~txn:ctx.Scheme.txn (Resource.Relation owner)
+             (if writes then Compat.ix else Compat.is_)))
+      (relations_of_classes (Schema.domain schema cls) m)
+  in
+  {
+    Scheme.name = "relational";
+    descr = "first-normal-form decomposition with tuple/relation R-W locks (sec. 3)";
+    conflict;
+    on_begin = Scheme.no_begin;
+    on_top_send;
+    on_self_send = (fun _ _ _ _ -> ());
+    on_read = (fun _ _ _ _ -> ());
+    on_write = (fun _ _ _ _ -> ());
+    on_extent;
+    on_some_of_domain;
+    locks_instances_on_extent = false;
+  }

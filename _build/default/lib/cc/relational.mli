@@ -1,0 +1,37 @@
+(** Comparator: the first-normal-form relational decomposition of sec. 3.
+
+    Each class [c] maps to a relation [r_c] holding the fields [c]
+    declares; an instance maps to one tuple ({e fragment}) per class of
+    its linearisation that declares fields, joined on the primary key —
+    the first field of the instance's most general field-declaring
+    ancestor.  A method call locks, per fragment it touches (computed
+    from the TAV, grouping fields by declaring class), the tuple in R/W
+    and the relation in IS/IX; extent operations lock whole relations in
+    S/X.
+
+    Writing the {e key} field additionally write-locks the instance's
+    fragment in every field-declaring class of the key owner's domain —
+    the primary key is the foreign key of the subclass relations, so a
+    key update must reach (or guard against) the referencing tuples.
+    This reproduces the paper's sec.-5.2 observation: T1 (whose method
+    writes the key) excludes T4, but would not if the key were left
+    alone. *)
+
+val scheme : Tavcc_core.Analysis.t -> Scheme.t
+
+val key_field :
+  'b Tavcc_model.Schema.t ->
+  Tavcc_model.Name.Class.t ->
+  (Tavcc_model.Name.Class.t * Tavcc_model.Name.Field.t) option
+(** The primary key of the class's relational image: the first field
+    declared by its most general field-declaring ancestor, with that
+    ancestor. *)
+
+val fragments_of_tav :
+  'b Tavcc_model.Schema.t ->
+  Tavcc_model.Name.Class.t ->
+  Tavcc_core.Access_vector.t ->
+  (Tavcc_model.Name.Class.t * bool) list
+(** The [(declaring class, writes?)] fragments a method with the given TAV
+    touches on an instance of the class, key rule included; sorted by
+    class name. *)

@@ -1,0 +1,53 @@
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lock
+
+let scheme an =
+  let schema = Analysis.schema an in
+  let classify = Scheme.writes_transitively in
+  (* Intention locks on the whole ancestor chain, most general first. *)
+  let intents ctx cls writer =
+    List.iter
+      (fun a ->
+        ctx.Scheme.acquire
+          (Scheme.req ~txn:ctx.Scheme.txn (Resource.Class a)
+             (if writer then Compat.ix else Compat.is_)))
+      (List.rev (Schema.linearization schema cls))
+  in
+  let on_top_send ctx oid cls m =
+    let writer = classify an cls m in
+    intents ctx cls writer;
+    ctx.Scheme.acquire
+      (Scheme.req ~txn:ctx.Scheme.txn (Resource.Instance oid)
+         (if writer then Compat.write else Compat.read))
+  in
+  {
+    Scheme.name = "rw-impl";
+    descr = "ORION-style implicit read/write locking on the inheritance graph";
+    conflict = Rw_instance.rw_conflict;
+    on_begin = Scheme.no_begin;
+    on_top_send;
+    on_self_send = (fun _ _ _ _ -> ());
+    on_read = (fun _ _ _ _ -> ());
+    on_write = (fun _ _ _ _ -> ());
+    on_extent =
+      (fun ctx cls ~deep:_ ~pred:_ m ->
+        if Schema.resolve schema cls m = None then ()
+        else
+        (* One lock on the scanned root covers the domain implicitly;
+           ancestors above it take intentions. *)
+        let writer = classify an cls m in
+        List.iter
+          (fun a ->
+            ctx.Scheme.acquire
+              (Scheme.req ~txn:ctx.Scheme.txn (Resource.Class a)
+                 (if writer then Compat.ix else Compat.is_)))
+          (List.rev (Schema.ancestors schema cls));
+        ctx.Scheme.acquire
+          (Scheme.req ~txn:ctx.Scheme.txn ~hier:true (Resource.Class cls)
+             (if writer then Compat.x else Compat.s)));
+    on_some_of_domain =
+      (fun ctx cls m ->
+        if Schema.resolve schema cls m <> None then intents ctx cls (classify an cls m));
+    locks_instances_on_extent = false;
+  }

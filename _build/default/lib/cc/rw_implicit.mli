@@ -1,0 +1,24 @@
+(** Baseline: ORION-style implicit locking on the inheritance graph
+    (Garza & Kim SIGMOD'88, ref. \[8\]; Malta & Martinez DASFAA'91,
+    ref. \[17\]).
+
+    With only read/write modes, a lock on a class can cover its whole
+    domain {e implicitly}: an extent scan locks the scanned root alone
+    in S/X, and instance accesses announce themselves by intention locks
+    on {e every ancestor} of the instance's class, root first.  A domain
+    lock and an instance access therefore always meet on some class of
+    the ancestor chain.
+
+    Sec. 5 of the paper explains why its own scheme cannot do this —
+    per-method access modes "are no longer defined on any class", so
+    explicit locking of each domain class is required (the ORION
+    argument, justified "a posteriori") — making this baseline the
+    natural cost comparison (bench E13).
+
+    Like ORION's, the protocol assumes {e single} inheritance for its
+    implicit coverage: with a diamond, two extent locks on incomparable
+    classes could both claim a shared subclass without ever meeting on a
+    common resource.  Instance-side intention chains (which follow the
+    full linearisation) remain sound either way. *)
+
+val scheme : Tavcc_core.Analysis.t -> Scheme.t

@@ -1,0 +1,66 @@
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lock
+
+(* Shared by the two read/write baselines: instance locks use the R/W
+   matrix, class locks Gray's granularity modes. *)
+let rw_conflict (held : Lock_table.req) (req : Lock_table.req) =
+  match held.Lock_table.r_res with
+  | Resource.Instance _ -> not (Compat.compatible Compat.rw held.r_mode req.r_mode)
+  | Resource.Class _ -> not (Compat.compatible Compat.gray held.r_mode req.r_mode)
+  | Resource.Field _ | Resource.Fragment _ | Resource.Relation _ | Resource.Meth _ -> false
+
+let lock_message an ctx oid cls m ~classify =
+  let writer = classify an cls m in
+  ctx.Scheme.acquire
+    (Scheme.req ~txn:ctx.Scheme.txn (Resource.Class cls) (if writer then Compat.ix else Compat.is_));
+  ctx.Scheme.acquire
+    (Scheme.req ~txn:ctx.Scheme.txn (Resource.Instance oid)
+       (if writer then Compat.write else Compat.read))
+
+let lock_extent an schema ctx cls ~deep ~pred m ~classify =
+  ignore pred;
+  let classes = if deep then Schema.domain schema cls else [ cls ] in
+  let classes = List.filter (fun d -> Schema.resolve schema d m <> None) classes in
+  List.iter
+    (fun d ->
+      let writer = classify an d m in
+      ctx.Scheme.acquire
+        (Scheme.req ~txn:ctx.Scheme.txn ~hier:true (Resource.Class d)
+           (if writer then Compat.x else Compat.s)))
+    classes
+
+let lock_some an schema ctx cls m ~classify =
+  List.iter
+    (fun d ->
+      if Schema.resolve schema d m <> None then
+      let writer = classify an d m in
+      ctx.Scheme.acquire
+        (Scheme.req ~txn:ctx.Scheme.txn (Resource.Class d)
+           (if writer then Compat.ix else Compat.is_)))
+    (Schema.domain schema cls)
+
+let scheme an =
+  let schema = Analysis.schema an in
+  let classify = Scheme.writes_directly in
+  let lock = lock_message an ~classify in
+  {
+    Scheme.name = "rw-msg";
+    descr = "read/write instance locks at every message (per-message control)";
+    conflict = rw_conflict;
+    on_begin = Scheme.no_begin;
+    on_top_send = lock;
+    (* The defining property of this baseline: self-sends re-control the
+       instance, possibly escalating read to write. *)
+    on_self_send = lock;
+    on_read = (fun _ _ _ _ -> ());
+    on_write = (fun _ _ _ _ -> ());
+    on_extent =
+      (fun ctx cls ~deep ~pred m ->
+        (* A per-message scheme must classify extent scans transitively:
+           with no per-instance announcement up front, the class lock is
+           the only cover. *)
+        lock_extent an schema ctx cls ~deep ~pred m ~classify:Scheme.writes_transitively);
+    on_some_of_domain = (fun ctx cls m -> lock_some an schema ctx cls m ~classify);
+    locks_instances_on_extent = true;
+  }

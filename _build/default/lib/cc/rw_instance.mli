@@ -1,0 +1,52 @@
+(** Baseline: read/write instance locking at {e every} message.
+
+    Methods are classified reader/writer from their {e direct} code alone
+    (a method that only sends messages is a reader — m1 of the example),
+    and every message, self-directed or not, controls the instance again.
+    This is the behaviour the paper criticises: one logical access is
+    controlled several times (problem P2) and a reader that self-sends a
+    writer escalates its lock read→write, the classical deadlock source
+    (problem P3).  Class-level intention/extent locks use Gray's
+    IS/IX/S/X. *)
+
+val scheme : Tavcc_core.Analysis.t -> Scheme.t
+
+(** {2 Shared pieces}
+
+    The building blocks are exposed for {!Rw_toponly}, which differs only
+    in its classifier and in ignoring self-sends. *)
+
+val rw_conflict : Tavcc_lock.Lock_table.req -> Tavcc_lock.Lock_table.req -> bool
+(** R/W matrix on instances, Gray's matrix on classes. *)
+
+val lock_message :
+  Tavcc_core.Analysis.t ->
+  Scheme.ctx ->
+  Tavcc_model.Oid.t ->
+  Tavcc_model.Name.Class.t ->
+  Tavcc_model.Name.Method.t ->
+  classify:
+    (Tavcc_core.Analysis.t -> Tavcc_model.Name.Class.t -> Tavcc_model.Name.Method.t -> bool) ->
+  unit
+
+val lock_extent :
+  Tavcc_core.Analysis.t ->
+  Tavcc_lang.Ast.body Tavcc_model.Schema.t ->
+  Scheme.ctx ->
+  Tavcc_model.Name.Class.t ->
+  deep:bool ->
+  pred:Tavcc_lock.Pred.t option ->
+  Tavcc_model.Name.Method.t ->
+  classify:
+    (Tavcc_core.Analysis.t -> Tavcc_model.Name.Class.t -> Tavcc_model.Name.Method.t -> bool) ->
+  unit
+
+val lock_some :
+  Tavcc_core.Analysis.t ->
+  Tavcc_lang.Ast.body Tavcc_model.Schema.t ->
+  Scheme.ctx ->
+  Tavcc_model.Name.Class.t ->
+  Tavcc_model.Name.Method.t ->
+  classify:
+    (Tavcc_core.Analysis.t -> Tavcc_model.Name.Class.t -> Tavcc_model.Name.Method.t -> bool) ->
+  unit

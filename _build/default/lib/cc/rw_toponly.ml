@@ -1,0 +1,19 @@
+open Tavcc_core
+
+let scheme an =
+  let schema = Analysis.schema an in
+  let classify = Scheme.writes_transitively in
+  {
+    Scheme.name = "rw-top";
+    descr = "read/write instance locks at top messages, classified by TAV";
+    conflict = Rw_instance.rw_conflict;
+    on_begin = Scheme.no_begin;
+    on_top_send = Rw_instance.lock_message an ~classify;
+    on_self_send = (fun _ _ _ _ -> ());
+    on_read = (fun _ _ _ _ -> ());
+    on_write = (fun _ _ _ _ -> ());
+    on_extent =
+      (fun ctx cls ~deep ~pred m -> Rw_instance.lock_extent an schema ctx cls ~deep ~pred m ~classify);
+    on_some_of_domain = (fun ctx cls m -> Rw_instance.lock_some an schema ctx cls m ~classify);
+    locks_instances_on_extent = false;
+  }

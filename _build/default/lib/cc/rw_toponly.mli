@@ -1,0 +1,10 @@
+(** Baseline: read/write instance locking at the top message only.
+
+    The strongest scheme expressible with two access modes: the method's
+    whole execution pattern is classified through its transitive access
+    vector ("announce the most exclusive mode up front"), and self-sends
+    are free.  Problems P2 and P3 disappear, but P4 remains: two writers
+    on disjoint field sets (m2 and m4 of the example) still conflict,
+    which the relational decomposition of the same schema would allow. *)
+
+val scheme : Tavcc_core.Analysis.t -> Scheme.t

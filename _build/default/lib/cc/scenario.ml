@@ -1,0 +1,74 @@
+open Tavcc_model
+open Tavcc_core
+module P = Paper_example
+
+type result = {
+  scheme_name : string;
+  pairwise : bool array array;
+  maximal : int list list;
+}
+
+let transaction_names = [| "T1"; "T2"; "T3"; "T4" |]
+
+(* One instance with a private c3 collaborator wired into f3. *)
+let make_instance store cls =
+  let target = Store.new_instance store P.c3 in
+  Store.new_instance store cls ~init:[ (P.f3, Value.Vref target) ]
+
+let build_store () =
+  let schema = P.schema () in
+  let store = Store.create schema in
+  let i1 = make_instance store P.c1 in
+  let j1 = make_instance store P.c1 in
+  let j2 = make_instance store P.c2 in
+  let _k1 = make_instance store P.c2 in
+  (store, i1, j1, j2)
+
+let transactions i1 j1 j2 =
+  [
+    [ Exec.Call (i1, P.m1, [ Value.Vint 1 ]) ];
+    [ Exec.Call_extent { cls = P.c1; deep = true; meth = P.m1; args = [ Value.Vint 1 ] } ];
+    [ Exec.Call_some { root = P.c1; targets = [ j1; j2 ]; meth = P.m3; args = [] } ];
+    [
+      Exec.Call_extent
+        { cls = P.c2; deep = true; meth = P.m4; args = [ Value.Vint 0; Value.Vstring "x" ] };
+    ];
+  ]
+
+let evaluate make_scheme =
+  let an = P.analysis () in
+  let scheme = make_scheme an in
+  let store, i1, j1, j2 = build_store () in
+  let sets =
+    List.mapi
+      (fun i actions -> Lockset.of_actions ~scheme ~store ~txn_id:(i + 1) actions)
+      (transactions i1 j1 j2)
+  in
+  let arr = Array.of_list sets in
+  let n = Array.length arr in
+  let pairwise =
+    Array.init n (fun i ->
+        Array.init n (fun j -> i = j || Lockset.compatible_pair scheme arr.(i) arr.(j)))
+  in
+  { scheme_name = scheme.Scheme.name; pairwise; maximal = Lockset.maximal_groups scheme sets }
+
+let group_name g = String.concat "||" (List.map (fun i -> transaction_names.(i)) g)
+let maximal_names r = List.map group_name r.maximal
+
+let pp ppf r =
+  Format.fprintf ppf "scheme %s:@\n" r.scheme_name;
+  let n = Array.length r.pairwise in
+  Format.fprintf ppf "    ";
+  for j = 0 to n - 1 do
+    Format.fprintf ppf " %s " transaction_names.(j)
+  done;
+  Format.fprintf ppf "@\n";
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "  %s " transaction_names.(i);
+    for j = 0 to n - 1 do
+      Format.fprintf ppf " %s " (if r.pairwise.(i).(j) then "ok" else "--")
+    done;
+    Format.fprintf ppf "@\n"
+  done;
+  Format.fprintf ppf "  maximal concurrent groups: %s@\n"
+    (String.concat ", " (maximal_names r))

@@ -1,0 +1,33 @@
+(** The four-transaction scenario of sec. 5.2, evaluated mechanically.
+
+    - T1 sends [m1] to one instance of [c1];
+    - T2 sends [m1] to the extension of class [c1] (hierarchical);
+    - T3 sends [m3] to some instances of the domain rooted at [c1];
+    - T4 sends [m4] to all instances of the domain rooted at [c2].
+
+    The paper derives by hand which groups may run concurrently under
+    three regimes; {!evaluate} recomputes them from recorded lock sets:
+
+    - access-vector modes: T1‖T3‖T4 and T2‖T3‖T4;
+    - read/write instance locking: T1‖T3 or T1‖T4;
+    - the relational decomposition: T1‖T3 or T3‖T4. *)
+
+open Tavcc_core
+
+type result = {
+  scheme_name : string;
+  pairwise : bool array array;  (** 4×4; [true] on the diagonal *)
+  maximal : int list list;  (** maximal concurrent groups, 0-based (0 = T1) *)
+}
+
+val transaction_names : string array
+(** [T1; T2; T3; T4]. *)
+
+val evaluate : (Analysis.t -> Scheme.t) -> result
+(** Builds the example store (instances of c1 and c2, each with its own c3
+    collaborator), records the four lock sets and intersects them. *)
+
+val pp : Format.formatter -> result -> unit
+
+val maximal_names : result -> string list
+(** Human-readable groups, e.g. ["T1||T3||T4"]. *)

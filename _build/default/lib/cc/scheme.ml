@@ -1,0 +1,32 @@
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lock
+
+type ctx = { txn : Tavcc_txn.Txn.t; acquire : Lock_table.req -> unit }
+
+type t = {
+  name : string;
+  descr : string;
+  conflict : Lock_table.req -> Lock_table.req -> bool;
+  on_begin : ctx -> class_of:(Oid.t -> Name.Class.t) -> Action.t list -> unit;
+  on_top_send : ctx -> Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+  on_self_send : ctx -> Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+  on_read : ctx -> Oid.t -> Name.Class.t -> Name.Field.t -> unit;
+  on_write : ctx -> Oid.t -> Name.Class.t -> Name.Field.t -> unit;
+  on_extent :
+    ctx -> Name.Class.t -> deep:bool -> pred:Tavcc_lock.Pred.t option -> Name.Method.t -> unit;
+  on_some_of_domain : ctx -> Name.Class.t -> Name.Method.t -> unit;
+  locks_instances_on_extent : bool;
+}
+
+let no_begin _ctx ~class_of:_ _actions = ()
+
+let req ~txn ?(hier = false) ?pred res mode =
+  { Lock_table.r_txn = txn.Tavcc_txn.Txn.id; r_res = res; r_mode = mode; r_hier = hier;
+    r_pred = pred }
+
+let mode_name _t (r : Lock_table.req) = Printf.sprintf "mode%d" r.Lock_table.r_mode
+
+let has_write av = Access_vector.write_fields av <> []
+let writes_directly an cls m = has_write (Analysis.dav an cls m)
+let writes_transitively an cls m = has_write (Analysis.tav an cls m)

@@ -1,0 +1,80 @@
+(** The pluggable concurrency-control scheme interface.
+
+    A scheme is a bundle of callbacks invoked by the executor at the
+    points sec. 5.2 of the paper distinguishes: the arrival of a message at
+    an instance (from outside — the initial call or a cross-object send),
+    self-directed messages, raw field accesses, and the three collective
+    access shapes (all instances of a class, some instances of a domain,
+    all instances of a domain).  Each callback may acquire locks through
+    the context; the context's [acquire] blocks until the lock is granted
+    (in simulations) or raises (in the no-wait evaluator).
+
+    The five schemes of the repository:
+    - {!Rw_instance.scheme}: read/write instance locks taken at {e every}
+      message, self-sends included — exhibits problems P2 and P3;
+    - {!Rw_toponly.scheme}: read/write instance locks at top messages only,
+      classified by TAV — isolates problem P4;
+    - {!Tav_modes.scheme}: the paper's contribution;
+    - {!Field_runtime.scheme}: Agrawal & El Abbadi run-time field locking;
+    - {!Relational.scheme}: the sec.-3 relational decomposition. *)
+
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lock
+
+type ctx = {
+  txn : Tavcc_txn.Txn.t;
+  acquire : Lock_table.req -> unit;
+      (** returns once the lock is held; the simulator parks the fiber
+          while it waits *)
+}
+
+type t = {
+  name : string;
+  descr : string;
+  conflict : Lock_table.req -> Lock_table.req -> bool;
+      (** the conflict relation this scheme's lock table must be created
+          with *)
+  on_begin : ctx -> class_of:(Oid.t -> Name.Class.t) -> Action.t list -> unit;
+      (** sees the transaction's whole action list before anything runs;
+          no-op for the incremental schemes, the acquisition point for
+          conservative preclaiming ({!Tav_preclaim}) *)
+  on_top_send : ctx -> Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+  on_self_send : ctx -> Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+  on_read : ctx -> Oid.t -> Name.Class.t -> Name.Field.t -> unit;
+  on_write : ctx -> Oid.t -> Name.Class.t -> Name.Field.t -> unit;
+  on_extent :
+    ctx -> Name.Class.t -> deep:bool -> pred:Tavcc_lock.Pred.t option -> Name.Method.t -> unit;
+      (** class-level locks before iterating a whole extent ([deep] spans
+          the domain rooted at the class; [pred] restricts a range scan —
+          schemes without predicate support must ignore it and cover the
+          whole extent) *)
+  on_some_of_domain : ctx -> Name.Class.t -> Name.Method.t -> unit;
+      (** class-level intention locks before touching {e some} instances
+          of a domain *)
+  locks_instances_on_extent : bool;
+      (** true when extent iteration must still lock each instance
+          individually (schemes without hierarchical class locks) *)
+}
+
+val req :
+  txn:Tavcc_txn.Txn.t -> ?hier:bool -> ?pred:Tavcc_lock.Pred.t -> Resource.t -> int ->
+  Lock_table.req
+(** Convenience constructor for requests. *)
+
+val no_begin : ctx -> class_of:(Tavcc_model.Oid.t -> Name.Class.t) -> Action.t list -> unit
+(** The no-op begin hook used by the incremental schemes. *)
+
+val mode_name : t -> Lock_table.req -> string
+(** Human-readable mode for tracing; scheme-dependent. *)
+
+(** {2 Method classification helpers (for the read/write baselines)} *)
+
+val writes_directly : Analysis.t -> Name.Class.t -> Name.Method.t -> bool
+(** Does the method's own code assign some field (DAV contains a
+    [Write])?  This is how a per-message reader/writer classifier sees the
+    method — m1 of the paper's example is a {e reader} by this measure. *)
+
+val writes_transitively : Analysis.t -> Name.Class.t -> Name.Method.t -> bool
+(** Does the TAV contain a [Write]?  The "announce the most exclusive mode
+    up front" classification. *)

@@ -1,0 +1,55 @@
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lock
+
+let scheme an =
+  let gm = Global_modes.build an in
+  let schema = Analysis.schema an in
+  let commute = Global_modes.commute gm in
+  let conflict (held : Lock_table.req) (req : Lock_table.req) =
+    match held.Lock_table.r_res with
+    | Resource.Instance _ -> not (commute held.r_mode req.r_mode)
+    | Resource.Class _ ->
+        (* Two intentional locks never conflict at the class level: the
+           conflict, if any, surfaces on the instances themselves.  Two
+           hierarchical locks additionally compare their ranges: modes
+           that clash on disjoint ranges still commute. *)
+        if held.r_hier && req.r_hier then
+          (not (commute held.r_mode req.r_mode)) && Pred.overlaps held.r_pred req.r_pred
+        else if held.r_hier || req.r_hier then not (commute held.r_mode req.r_mode)
+        else false
+    | Resource.Field _ | Resource.Fragment _ | Resource.Relation _ | Resource.Meth _ ->
+        false
+  in
+  let on_top_send ctx oid cls m =
+    let g = Global_modes.id gm cls m in
+    ctx.Scheme.acquire (Scheme.req ~txn:ctx.Scheme.txn (Resource.Class cls) g);
+    ctx.Scheme.acquire (Scheme.req ~txn:ctx.Scheme.txn (Resource.Instance oid) g)
+  in
+  let lock_classes ctx ~hier ?pred classes m =
+    List.iter
+      (fun d ->
+        (* A class of the scope that does not understand the method has no
+           instances the operation could touch. *)
+        if Schema.resolve schema d m <> None then
+          let g = Global_modes.id gm d m in
+          ctx.Scheme.acquire (Scheme.req ~txn:ctx.Scheme.txn ~hier ?pred (Resource.Class d) g))
+      classes
+  in
+  {
+    Scheme.name = "tav";
+    descr = "compiled access modes from transitive access vectors (the paper)";
+    conflict;
+    on_begin = Scheme.no_begin;
+    on_top_send;
+    on_self_send = (fun _ _ _ _ -> ());
+    on_read = (fun _ _ _ _ -> ());
+    on_write = (fun _ _ _ _ -> ());
+    on_extent =
+      (fun ctx cls ~deep ~pred m ->
+        let classes = if deep then Schema.domain schema cls else [ cls ] in
+        lock_classes ctx ~hier:true ?pred classes m);
+    on_some_of_domain =
+      (fun ctx cls m -> lock_classes ctx ~hier:false (Schema.domain schema cls) m);
+    locks_instances_on_extent = false;
+  }

@@ -1,0 +1,10 @@
+(** The paper's scheme: compiled access-mode locking (secs. 4–5).
+
+    One lock per instance per {e top} message, carrying the access mode
+    generated from the method's transitive access vector; self-directed
+    messages acquire nothing (their effect is already folded into the
+    TAV).  Class locks are [(mode, hierarchical?)] pairs: two intentional
+    locks never conflict, any other combination conflicts exactly when the
+    modes do not commute (sec. 5.2). *)
+
+val scheme : Tavcc_core.Analysis.t -> Scheme.t

@@ -1,0 +1,111 @@
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lock
+module CN = Name.Class
+
+let scheme an =
+  let gm = Global_modes.build an in
+  let schema = Analysis.schema an in
+  let dep = Depgraph.build (Analysis.extraction an) in
+  let commute = Global_modes.commute gm in
+  (* Same conflict relation as the paper's scheme. *)
+  let conflict (held : Lock_table.req) (req : Lock_table.req) =
+    match held.Lock_table.r_res with
+    | Resource.Instance _ -> not (commute held.r_mode req.r_mode)
+    | Resource.Class _ ->
+        if held.r_hier || req.r_hier then not (commute held.r_mode req.r_mode) else false
+    | _ -> false
+  in
+  (* Hierarchical coverage of everything a call may reach through
+     composition, beyond the entry itself. *)
+  let coverage cls m =
+    let entry = (cls, m) in
+    (* Everything reachable through at least one composition edge — the
+       entry itself reappears only when a cycle can lead to other
+       instances of its own class. *)
+    let sites =
+      List.fold_left
+        (fun acc (e, m') -> Site.Set.union acc (Depgraph.reachable dep e m'))
+        Site.Set.empty (Depgraph.successors dep entry)
+    in
+    let dynamic =
+      Site.Set.exists
+        (fun (c, m') -> Extraction.has_dynamic_sends (Analysis.extraction an) c m')
+        (Depgraph.reachable dep cls m)
+    in
+    if dynamic then
+      (* Unknown receivers: preclaim the whole schema, hierarchically. *)
+      List.concat_map
+        (fun c -> List.map (fun m' -> (c, m')) (Schema.methods schema c))
+        (Schema.classes schema)
+    else Site.Set.elements sites
+  in
+  let reqs_of_action ~txn ~class_of action =
+    match action with
+    | Action.Call (oid, m, _) ->
+        let cls = class_of oid in
+        let g = Global_modes.id gm cls m in
+        Scheme.req ~txn (Resource.Class cls) g
+        :: Scheme.req ~txn (Resource.Instance oid) g
+        :: List.map
+             (fun (e, m') ->
+               Scheme.req ~txn ~hier:true (Resource.Class e) (Global_modes.id gm e m'))
+             (coverage cls m)
+    | Action.Call_some { root; targets; meth; _ } ->
+        List.filter_map
+          (fun d ->
+            if Schema.resolve schema d meth <> None then
+              Some (Scheme.req ~txn (Resource.Class d) (Global_modes.id gm d meth))
+            else None)
+          (Schema.domain schema root)
+        @ List.map
+            (fun oid ->
+              Scheme.req ~txn (Resource.Instance oid)
+                (Global_modes.id gm (class_of oid) meth))
+            targets
+        @ List.concat_map
+            (fun oid ->
+              List.map
+                (fun (e, m') ->
+                  Scheme.req ~txn ~hier:true (Resource.Class e) (Global_modes.id gm e m'))
+                (coverage (class_of oid) meth))
+            targets
+    | Action.Call_extent { cls; deep; meth; _ }
+    | Action.Call_range { cls; deep; meth; _ } ->
+        (* Ranges are preclaimed as whole extents: the conservative scheme
+           trades precision for its deadlock-freedom guarantee. *)
+        let classes = if deep then Schema.domain schema cls else [ cls ] in
+        let classes = List.filter (fun d -> Schema.resolve schema d meth <> None) classes in
+        List.concat_map
+          (fun d ->
+            Scheme.req ~txn ~hier:true (Resource.Class d) (Global_modes.id gm d meth)
+            :: List.map
+                 (fun (e, m') ->
+                   Scheme.req ~txn ~hier:true (Resource.Class e) (Global_modes.id gm e m'))
+                 (coverage d meth))
+          classes
+  in
+  let on_begin ctx ~class_of actions =
+    let txn = ctx.Scheme.txn in
+    let reqs = List.concat_map (reqs_of_action ~txn ~class_of) actions in
+    (* Canonical order: deadlock-freedom by ordered acquisition. *)
+    let cmp (a : Lock_table.req) (b : Lock_table.req) =
+      match Resource.compare a.Lock_table.r_res b.Lock_table.r_res with
+      | 0 -> compare (a.r_mode, a.r_hier) (b.r_mode, b.r_hier)
+      | n -> n
+    in
+    List.sort_uniq cmp reqs |> List.iter ctx.Scheme.acquire
+  in
+  {
+    Scheme.name = "tav-pre";
+    descr = "conservative 2PL: preclaimed compiled modes via the dependency graph";
+    conflict;
+    on_begin;
+    on_top_send = (fun _ _ _ _ -> ());
+    on_self_send = (fun _ _ _ _ -> ());
+    on_read = (fun _ _ _ _ -> ());
+    on_write = (fun _ _ _ _ -> ());
+    on_extent = (fun _ _ ~deep:_ ~pred:_ _ -> ());
+    on_some_of_domain = (fun _ _ _ -> ());
+    locks_instances_on_extent = false;
+  }

@@ -1,0 +1,20 @@
+(** Conservative (static) two-phase locking over compiled access modes.
+
+    An extension the compile-time analysis makes possible: the method
+    dependency graph ({!Tavcc_core.Depgraph}) tells, before a transaction
+    runs, every class its calls may reach through composition links.
+    Acquiring all those locks at begin time, in one canonical resource
+    order, yields a deadlock-free execution — no waits-for cycle can
+    form under ordered acquisition — at the price of coarser coverage:
+    cross-object receivers are only known by class, so they are covered
+    by {e hierarchical} class locks instead of per-instance ones.
+
+    A method with a send whose receiver class is statically unknown
+    forces the transaction to preclaim the entire schema (every class,
+    every mode), hierarchically — sound, and a good reason to keep
+    receivers typed.
+
+    The run-time hooks are all no-ops: every access is covered by the
+    preclaimed set. *)
+
+val scheme : Tavcc_core.Analysis.t -> Scheme.t

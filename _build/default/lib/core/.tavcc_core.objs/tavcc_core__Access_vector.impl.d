@@ -1,0 +1,1 @@
+lib/core/access_vector.ml: Format List Mode Name Schema Tavcc_model

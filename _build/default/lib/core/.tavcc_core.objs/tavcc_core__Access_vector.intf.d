@@ -1,0 +1,1 @@
+lib/core/access_vector.mli: Format Mode Name Schema Tavcc_model

@@ -1,0 +1,1 @@
+lib/core/adhoc.ml: Array List Modes_table Name Option Schema Tavcc_model

@@ -1,0 +1,1 @@
+lib/core/adhoc.mli: Modes_table Name Schema Tavcc_model

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Access_vector Adhoc Array Ast Extraction Format Lbr List Modes_table Name Schema Tav Tavcc_lang Tavcc_model

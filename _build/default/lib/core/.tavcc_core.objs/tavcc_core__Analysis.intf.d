@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Access_vector Adhoc Ast Extraction Lbr Modes_table Name Schema Tavcc_lang Tavcc_model

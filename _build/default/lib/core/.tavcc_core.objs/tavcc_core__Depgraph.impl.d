@@ -1,0 +1,1 @@
+lib/core/depgraph.ml: Array Buffer Extraction Lbr List Name Printf Schema Site Tavcc_model

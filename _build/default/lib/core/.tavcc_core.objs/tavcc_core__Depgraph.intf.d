@@ -1,0 +1,1 @@
+lib/core/depgraph.mli: Extraction Name Site Tavcc_model

@@ -1,0 +1,1 @@
+lib/core/extraction.ml: Access_vector Ast Format List Mode Name Schema Site Tavcc_lang Tavcc_model Value

@@ -1,0 +1,1 @@
+lib/core/extraction.mli: Access_vector Ast Name Schema Site Tavcc_lang Tavcc_model

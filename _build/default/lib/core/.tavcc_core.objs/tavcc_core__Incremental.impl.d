@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Analysis Ast Extraction Format List Name Result Schema Tavcc_lang Tavcc_model

@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Analysis Ast Format Name Schema Tavcc_lang Tavcc_model

@@ -1,0 +1,1 @@
+lib/core/lbr.ml: Array Buffer Extraction Format Int List Name Printf Schema Site Tavcc_model

@@ -1,0 +1,1 @@
+lib/core/lbr.mli: Extraction Format Name Site Tavcc_model

@@ -1,0 +1,1 @@
+lib/core/modes_table.ml: Access_vector Array Format List Name Printf String Tavcc_model

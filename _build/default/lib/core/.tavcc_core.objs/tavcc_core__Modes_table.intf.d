@@ -1,0 +1,1 @@
+lib/core/modes_table.mli: Access_vector Format Name Tavcc_model

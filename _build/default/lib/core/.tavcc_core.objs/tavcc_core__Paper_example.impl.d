@@ -1,0 +1,1 @@
+lib/core/paper_example.ml: Analysis Check Format Name Parser Schema Tavcc_lang Tavcc_model

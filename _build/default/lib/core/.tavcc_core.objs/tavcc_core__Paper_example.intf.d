@@ -1,0 +1,1 @@
+lib/core/paper_example.mli: Analysis Ast Name Schema Tavcc_lang Tavcc_model

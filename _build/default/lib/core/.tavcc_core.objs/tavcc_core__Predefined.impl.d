@@ -1,0 +1,1 @@
+lib/core/predefined.ml: Adhoc Check Format Lexer Name Parser Schema Tavcc_lang Tavcc_model Token

@@ -1,0 +1,1 @@
+lib/core/predefined.mli: Adhoc Ast Name Schema Tavcc_lang Tavcc_model

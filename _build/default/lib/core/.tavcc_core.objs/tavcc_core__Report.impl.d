@@ -1,0 +1,1 @@
+lib/core/report.ml: Access_vector Analysis Buffer Format Lbr List Mode Modes_table Name Paper_example Printf Schema String Tavcc_lang Tavcc_model

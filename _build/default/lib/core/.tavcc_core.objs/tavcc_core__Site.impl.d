@@ -1,0 +1,1 @@
+lib/core/site.ml: Format Map Name Set Tavcc_model

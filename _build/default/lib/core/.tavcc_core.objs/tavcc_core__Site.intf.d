@@ -1,0 +1,1 @@
+lib/core/site.mli: Format Map Name Set Tavcc_model

@@ -1,0 +1,1 @@
+lib/core/tav.ml: Access_vector Array Extraction Lbr List Name Scc Schema Tavcc_model

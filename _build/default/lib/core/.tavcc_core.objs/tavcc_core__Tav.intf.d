@@ -1,0 +1,1 @@
+lib/core/tav.mli: Access_vector Extraction Lbr Name Tavcc_model

@@ -1,0 +1,58 @@
+open Tavcc_model
+module FN = Name.Field
+
+(* Canonical representation: no [Null] entry is ever stored. *)
+type t = Mode.t FN.Map.t
+
+let empty = FN.Map.empty
+let is_empty = FN.Map.is_empty
+
+let add av f m =
+  match m with
+  | Mode.Null -> av
+  | _ ->
+      FN.Map.update f
+        (function None -> Some m | Some m' -> Some (Mode.join m m'))
+        av
+
+let set av f m = match m with Mode.Null -> FN.Map.remove f av | _ -> FN.Map.add f m av
+let of_list l = List.fold_left (fun av (f, m) -> add av f m) empty l
+let to_list av = FN.Map.bindings av
+let get av f = match FN.Map.find_opt f av with Some m -> m | None -> Mode.Null
+
+let join a b =
+  FN.Map.union (fun _ m m' -> Some (Mode.join m m')) a b
+
+let commutes a b =
+  (* Only common fields can be incompatible: [Mode.compatible Null _] always
+     holds, so fields present in a single vector never break definition 5. *)
+  FN.Map.for_all (fun f m -> Mode.compatible m (get b f)) a
+
+let fields av = List.map fst (FN.Map.bindings av)
+
+let read_fields av =
+  FN.Map.fold (fun f m acc -> if Mode.equal m Mode.Read then f :: acc else acc) av []
+  |> List.rev
+
+let write_fields av =
+  FN.Map.fold (fun f m acc -> if Mode.equal m Mode.Write then f :: acc else acc) av []
+  |> List.rev
+
+let restrict av keep = FN.Map.filter (fun f _ -> FN.Set.mem f keep) av
+let equal a b = FN.Map.equal Mode.equal a b
+let compare a b = FN.Map.compare Mode.compare a b
+
+let pp ppf av =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (f, m) -> Format.fprintf ppf "%a %a" Mode.pp m FN.pp f))
+    (to_list av)
+
+let pp_over fds ppf av =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (fd : Schema.field_def) ->
+         Format.fprintf ppf "%a %a" Mode.pp (get av fd.Schema.f_name) FN.pp fd.Schema.f_name))
+    fds

@@ -1,0 +1,61 @@
+(** Access vectors (definitions 3–5 of the paper).
+
+    An access vector assigns a {!Mode.t} to each field of a class; fields
+    not mentioned are implicitly [Null], which keeps vectors canonical: two
+    vectors are equal iff their non-[Null] entries coincide.  The join
+    (definition 4) collects all fields, taking the most restrictive mode on
+    common ones; it is idempotent, commutative and associative
+    (property 1), which is what makes the SCC-based transitive closure of
+    {!Tav} correct.  Commutativity (definition 5) holds when every common
+    field carries pairwise-compatible modes. *)
+
+open Tavcc_model
+
+type t
+
+val empty : t
+(** The all-[Null] vector. *)
+
+val is_empty : t -> bool
+
+val of_list : (Name.Field.t * Mode.t) list -> t
+(** Later bindings for the same field are joined with earlier ones. *)
+
+val to_list : t -> (Name.Field.t * Mode.t) list
+(** Non-[Null] entries, sorted by field name. *)
+
+val get : t -> Name.Field.t -> Mode.t
+(** [Null] for unmentioned fields. *)
+
+val set : t -> Name.Field.t -> Mode.t -> t
+(** Overwrites (does not join) the field's mode. *)
+
+val add : t -> Name.Field.t -> Mode.t -> t
+(** Joins the given mode into the field's current mode. *)
+
+val join : t -> t -> t
+(** Definition 4. *)
+
+val commutes : t -> t -> bool
+(** Definition 5: field-wise {!Mode.compatible} on the union of supports. *)
+
+val fields : t -> Name.Field.t list
+(** Fields with a non-[Null] mode, sorted. *)
+
+val read_fields : t -> Name.Field.t list
+val write_fields : t -> Name.Field.t list
+(** The [Write] entries — the projection pattern recovery uses to extract
+    the modified part of an instance (sec. 3 of the paper). *)
+
+val restrict : t -> Name.Field.Set.t -> t
+(** Keeps only the entries whose field belongs to the set. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's style: [(Write f1, Read f2)]. *)
+
+val pp_over : Schema.field_def list -> Format.formatter -> t -> unit
+(** Prints over an explicit field list, showing [Null] entries, as the
+    paper does: [(Write f1, Read f2, Null f3)]. *)

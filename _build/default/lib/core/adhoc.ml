@@ -1,0 +1,54 @@
+open Tavcc_model
+module CN = Name.Class
+module MN = Name.Method
+
+type t = (MN.t * MN.t * bool) list CN.Map.t
+
+let empty = CN.Map.empty
+
+let declare t cls pairs =
+  CN.Map.update cls
+    (function None -> Some pairs | Some old -> Some (old @ pairs))
+    t
+
+let pairs t cls = Option.value ~default:[] (CN.Map.find_opt cls t)
+
+(* An assertion written at [decl_cls] about (m, m') applies to instances
+   of [cls] when both methods still resolve to the code visible from
+   [decl_cls] — overriding either invalidates the semantic claim. *)
+let still_describes schema decl_cls cls m =
+  match (Schema.resolve schema cls m, Schema.resolve_from schema decl_cls m) with
+  | Some (d1, _), Some (d2, _) -> CN.equal d1 d2
+  | _ -> false
+
+let lookup t schema cls m m' =
+  List.find_map
+    (fun decl_cls ->
+      List.fold_left
+        (fun acc (a, b, commute) ->
+          let matches =
+            (MN.equal a m && MN.equal b m') || (MN.equal a m' && MN.equal b m)
+          in
+          if
+            matches
+            && still_describes schema decl_cls cls m
+            && still_describes schema decl_cls cls m'
+          then Some commute
+          else acc)
+        None (pairs t decl_cls))
+    (Schema.linearization schema cls)
+
+let apply t schema cls table =
+  let methods = Modes_table.methods table in
+  let result = ref table in
+  Array.iteri
+    (fun i m ->
+      Array.iteri
+        (fun j m' ->
+          if j >= i then
+            match lookup t schema cls m m' with
+            | Some b -> result := Modes_table.with_commute !result i j b
+            | None -> ())
+        methods)
+    methods;
+  !result

@@ -1,0 +1,48 @@
+(** Ad hoc commutativity relations for predefined classes.
+
+    Sec. 3 of the paper: "we do not discard the use of ad hoc
+    commutativity relations.  It is of interest for predefined types or
+    classes, as the Integer type or the Collection class, to be
+    delivered with high commutativity performances" — citing O'Neil's
+    Escrow method.  And sec. 7: "finer techniques are not discarded of
+    our framework."
+
+    A declaration asserts, for a class, that specific method pairs do or
+    do not commute {e semantically}, overriding what the syntactic
+    vectors concluded (e.g. two increments both write the counter field,
+    so their TAVs clash, yet they commute).  Declarations are inherited:
+    the override applies in a subclass as long as both methods still
+    resolve to the code the declaration was written against — if either
+    is overridden, the assertion no longer describes the executed code
+    and the computed relation is used instead.
+
+    Overrides are symmetrised automatically. *)
+
+open Tavcc_model
+
+type t
+
+val empty : t
+
+val declare :
+  t -> Name.Class.t -> (Name.Method.t * Name.Method.t * bool) list -> t
+(** Adds (merging with previous declarations for the class; later pairs
+    win). *)
+
+val pairs : t -> Name.Class.t -> (Name.Method.t * Name.Method.t * bool) list
+(** Declarations attached to exactly this class (not inherited ones). *)
+
+val lookup :
+  t ->
+  'b Schema.t ->
+  Name.Class.t ->
+  Name.Method.t ->
+  Name.Method.t ->
+  bool option
+(** The override applicable to the pair on instances of the class, if
+    any: the nearest declaring ancestor whose assertion still describes
+    the resolved code. *)
+
+val apply : t -> 'b Schema.t -> Name.Class.t -> Modes_table.t -> Modes_table.t
+(** The class's commutativity table with every applicable override
+    folded in. *)

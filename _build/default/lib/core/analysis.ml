@@ -1,0 +1,92 @@
+open Tavcc_model
+open Tavcc_lang
+module CN = Name.Class
+module MN = Name.Method
+
+type class_info = {
+  lbr : Lbr.t;
+  tavs : Access_vector.t MN.Map.t;
+  table : Modes_table.t;
+}
+
+type t = {
+  schema : Ast.body Schema.t;
+  ex : Extraction.t;
+  infos : class_info CN.Map.t;
+  adhoc : Adhoc.t;
+}
+
+let analyse_class ?(adhoc = Adhoc.empty) ex schema cls =
+  let lbr = Lbr.build ex cls in
+  let per_vertex = Tav.of_graph ex lbr in
+  let tavs =
+    List.fold_left
+      (fun m meth ->
+        match Lbr.index lbr (cls, meth) with
+        | Some i -> MN.Map.add meth per_vertex.(i) m
+        | None -> m)
+      MN.Map.empty (Schema.methods schema cls)
+  in
+  let table = Adhoc.apply adhoc schema cls (Modes_table.build cls (MN.Map.bindings tavs)) in
+  { lbr; tavs; table }
+
+let compile_classes ?adhoc ?reuse ~schema ~extraction classes =
+  let adhoc =
+    match (adhoc, reuse) with
+    | Some a, _ -> a
+    | None, Some old -> old.adhoc
+    | None, None -> Adhoc.empty
+  in
+  let fresh = CN.Set.of_list classes in
+  let infos =
+    List.fold_left
+      (fun acc cls ->
+        let info =
+          if CN.Set.mem cls fresh then analyse_class ~adhoc extraction schema cls
+          else
+            match reuse with
+            | Some old -> (
+                match CN.Map.find_opt cls old.infos with
+                | Some info -> info
+                | None -> analyse_class ~adhoc extraction schema cls)
+            | None -> analyse_class ~adhoc extraction schema cls
+        in
+        CN.Map.add cls info acc)
+      CN.Map.empty (Schema.classes schema)
+  in
+  { schema; ex = extraction; infos; adhoc }
+
+let compile ?adhoc schema =
+  let ex = Extraction.build schema in
+  compile_classes ?adhoc ~schema ~extraction:ex (Schema.classes schema)
+
+let adhoc t = t.adhoc
+
+let schema t = t.schema
+let extraction t = t.ex
+
+let class_info t c =
+  match CN.Map.find_opt c t.infos with
+  | Some i -> i
+  | None -> invalid_arg (Format.asprintf "Analysis: unknown class %a" CN.pp c)
+
+let dav t c m = Extraction.dav t.ex c m
+
+let tav t c m =
+  match MN.Map.find_opt m (class_info t c).tavs with
+  | Some av -> av
+  | None ->
+      invalid_arg (Format.asprintf "Analysis: %a is not a method of %a" MN.pp m CN.pp c)
+
+let table t c = (class_info t c).table
+let lbr t c = (class_info t c).lbr
+
+let commute t c m m' =
+  match Modes_table.commute_methods (table t c) m m' with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Format.asprintf "Analysis: %a or %a is not a method of %a" MN.pp m MN.pp m' CN.pp c)
+
+let method_count t =
+  CN.Map.fold (fun _ info n -> n + MN.Map.cardinal info.tavs) t.infos 0

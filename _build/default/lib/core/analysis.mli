@@ -1,0 +1,60 @@
+(** The whole compile-time pipeline of the paper, packaged.
+
+    [compile schema] runs, for every class: DAV/DSC/PSC extraction
+    (defs. 6–8), late-binding resolution graph construction (def. 9),
+    transitive access vector computation (def. 10) and the translation to
+    access modes with the per-class commutativity relation (sec. 5.1).
+
+    This is everything the run-time system needs: the lock manager works
+    with plain access modes and the compiled matrices; no vector is ever
+    inspected at run time. *)
+
+open Tavcc_model
+open Tavcc_lang
+
+type class_info = {
+  lbr : Lbr.t;
+  tavs : Access_vector.t Name.Method.Map.t;
+  table : Modes_table.t;
+}
+
+type t
+
+val compile : ?adhoc:Adhoc.t -> Ast.body Schema.t -> t
+(** [compile ?adhoc schema] runs the pipeline; [adhoc] installs the
+    semantic commutativity overrides of {!Adhoc} into the generated
+    per-class tables (sec. 3's predefined-type escape hatch). *)
+
+val schema : t -> Ast.body Schema.t
+val extraction : t -> Extraction.t
+
+val class_info : t -> Name.Class.t -> class_info
+(** @raise Invalid_argument on an unknown class *)
+
+val dav : t -> Name.Class.t -> Name.Method.t -> Access_vector.t
+val tav : t -> Name.Class.t -> Name.Method.t -> Access_vector.t
+(** @raise Invalid_argument when the method does not belong to the class *)
+
+val table : t -> Name.Class.t -> Modes_table.t
+val lbr : t -> Name.Class.t -> Lbr.t
+
+val commute : t -> Name.Class.t -> Name.Method.t -> Name.Method.t -> bool
+(** Commutativity of two methods on instances of the class, through the
+    compiled matrix.
+    @raise Invalid_argument when either method is unknown in the class *)
+
+val method_count : t -> int
+(** Total number of (class, method) combinations analysed — the size of
+    the compiled artefact. *)
+
+val adhoc : t -> Adhoc.t
+(** The registry the analysis was compiled with. *)
+
+val compile_classes :
+  ?adhoc:Adhoc.t -> ?reuse:t -> schema:Ast.body Schema.t ->
+  extraction:Extraction.t -> Name.Class.t list -> t
+(** [compile_classes ?reuse ~schema ~extraction classes] builds an
+    analysis for [schema] computing graphs/TAVs/matrices for [classes]
+    and splicing every other class's results from [reuse] (which must
+    contain them).  [compile] is [compile_classes] over all classes with
+    no reuse.  This is the engine behind {!Incremental.recompile}. *)

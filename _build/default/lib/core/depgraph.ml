@@ -1,0 +1,102 @@
+open Tavcc_model
+module CN = Name.Class
+module MN = Name.Method
+
+type t = {
+  schema_classes : CN.t list;
+  succs : Site.Set.t Site.Map.t;  (* per (receiver class, method) vertex *)
+  dyn : Site.Set.t;  (* vertices whose execution contains a dynamic send *)
+}
+
+let build ex =
+  let schema = Extraction.schema ex in
+  let classes = Schema.classes schema in
+  (* Per-class LBR graphs, reused across the class's methods. *)
+  let lbrs = List.map (fun c -> (c, Lbr.build ex c)) classes in
+  let succs, dyn =
+    List.fold_left
+      (fun (succs, dyn) (cls, lbr) ->
+        let n = Lbr.vertex_count lbr in
+        let adj = Lbr.succs lbr in
+        let verts = Lbr.vertices lbr in
+        (* Reachable executing sites from each entry method, by DFS. *)
+        List.fold_left
+          (fun (succs, dyn) m ->
+            match Lbr.index lbr (cls, m) with
+            | None -> (succs, dyn)
+            | Some start ->
+                let seen = Array.make n false in
+                let rec go v =
+                  if not seen.(v) then begin
+                    seen.(v) <- true;
+                    List.iter go adj.(v)
+                  end
+                in
+                go start;
+                let out = ref Site.Set.empty in
+                let is_dyn = ref false in
+                Array.iteri
+                  (fun v reached ->
+                    if reached then begin
+                      let c', m' = verts.(v) in
+                      if Extraction.has_dynamic_sends ex c' m' then is_dyn := true;
+                      List.iter
+                        (fun (d, m'') ->
+                          (* The run-time receiver may be any instance of
+                             the declared class's domain. *)
+                          List.iter
+                            (fun e ->
+                              if Schema.resolve schema e m'' <> None then
+                                out := Site.Set.add (e, m'') !out)
+                            (Schema.domain schema d))
+                        (Extraction.cross_sends ex c' m')
+                    end)
+                  seen;
+                ( Site.Map.add (cls, m) !out succs,
+                  if !is_dyn then Site.Set.add (cls, m) dyn else dyn ))
+          (succs, dyn) (Schema.methods schema cls))
+      (Site.Map.empty, Site.Set.empty) lbrs
+  in
+  { schema_classes = classes; succs; dyn }
+
+let vertices t = List.map fst (Site.Map.bindings t.succs)
+
+let successors t site =
+  match Site.Map.find_opt site t.succs with
+  | Some s -> Site.Set.elements s
+  | None -> []
+
+let edge_count t = Site.Map.fold (fun _ s n -> n + Site.Set.cardinal s) t.succs 0
+
+let reachable t cls m =
+  let rec go seen frontier =
+    match frontier with
+    | [] -> seen
+    | site :: rest ->
+        if Site.Set.mem site seen then go seen rest
+        else go (Site.Set.add site seen) (successors t site @ rest)
+  in
+  go Site.Set.empty [ (cls, m) ]
+
+let reachable_classes t cls m =
+  let sites = reachable t cls m in
+  if Site.Set.exists (fun s -> Site.Set.mem s t.dyn) sites then
+    List.sort_uniq CN.compare t.schema_classes
+  else
+    Site.Set.fold (fun (c, _) acc -> CN.Set.add c acc) sites CN.Set.empty
+    |> CN.Set.elements
+
+let to_dot t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "digraph depgraph {\n  node [shape=box];\n";
+  Site.Map.iter
+    (fun (c, m) out ->
+      Site.Set.iter
+        (fun (c', m') ->
+          Buffer.add_string b
+            (Printf.sprintf "  \"%s,%s\" -> \"%s,%s\";\n" (CN.to_string c) (MN.to_string m)
+               (CN.to_string c') (MN.to_string m')))
+        out)
+    t.succs;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,40 @@
+(** The method dependency graph across composition links.
+
+    Sec. 4.3 of the paper notes that a larger structure than the
+    per-class LBR graphs already exists in O2 — the {e method dependency
+    graph}, which follows not only inheritance but also {e composition}
+    (classes referenced by fields) — and that the access-vector analysis
+    "can be merged elegantly" with it.  This module builds that graph:
+
+    - vertices are [(class, method)] pairs, as in {!Lbr};
+    - self-call edges are those of the per-class LBR graphs;
+    - {e composition edges} follow messages sent to expressions whose
+      class is statically known: a field of reference type, a [new C],
+      or [self]; the target method is resolved against the receiver's
+      declared class and, conservatively, against every class of its
+      domain (the run-time receiver may be any subclass instance).
+
+    Its transitive closure answers the impact question the compiled
+    scheme needs for conservative preclaiming: {e which classes may a
+    top-level message reach?}  (see {!Tavcc_cc.Tav_preclaim}). *)
+
+open Tavcc_model
+
+type t
+
+val build : Extraction.t -> t
+(** Builds the whole-schema graph (every class's methods). *)
+
+val vertices : t -> Site.t list
+val successors : t -> Site.t -> Site.t list
+val edge_count : t -> int
+
+val reachable : t -> Name.Class.t -> Name.Method.t -> Site.Set.t
+(** Every site that may execute when the method is sent to a proper
+    instance of the class (reflexive-transitive). *)
+
+val reachable_classes : t -> Name.Class.t -> Name.Method.t -> Name.Class.t list
+(** The classes whose instances the call may touch: the proper classes
+    of the reachable sites, sorted.  This is the preclaiming set. *)
+
+val to_dot : t -> string

@@ -1,0 +1,154 @@
+open Tavcc_model
+open Tavcc_lang
+module CN = Name.Class
+module MN = Name.Method
+module FN = Name.Field
+
+type site_info = {
+  si_dav : Access_vector.t;
+  si_dsc : MN.Set.t;
+  si_psc : Site.Set.t;
+  si_cross : (CN.t * MN.t) list;  (* statically-typed cross-object sends *)
+  si_dyn : bool;  (* has sends with statically unknown receiver class *)
+}
+type t = { schema : Ast.body Schema.t; sites : site_info Site.Map.t }
+
+(* Walks one method body, accumulating assigned fields, read fields and the
+   two self-call sets.  [params] shadow fields; locals shadow both and are
+   scoped to their block, mirroring the interpreter. *)
+let analyze schema cls (md : Ast.body Schema.method_def) =
+  let is_field x = Schema.field_index schema cls (FN.of_string x) <> None in
+  let assigned = ref FN.Set.empty in
+  let read = ref FN.Set.empty in
+  let dsc = ref MN.Set.empty in
+  let psc = ref Site.Set.empty in
+  let cross = ref [] in
+  let dyn = ref false in
+  let shadowed locals x = List.mem x locals || List.mem x md.Schema.m_params in
+  (* Static class of a receiver expression, when determinable. *)
+  let static_class locals e =
+    match e with
+    | Ast.New c -> if Schema.mem schema c then Some c else None
+    | Ast.Ident x when not (shadowed locals x) -> (
+        match Schema.field_def schema cls (FN.of_string x) with
+        | Some { Schema.f_ty = Value.Tref d; _ } when Schema.mem schema d -> Some d
+        | _ -> None)
+    | _ -> None
+  in
+  let rec walk_expr locals e =
+    match e with
+    | Ast.Lit _ | Ast.Self | Ast.New _ -> ()
+    | Ast.Ident x -> if (not (shadowed locals x)) && is_field x then read := FN.Set.add (FN.of_string x) !read
+    | Ast.Unop (_, e1) -> walk_expr locals e1
+    | Ast.Binop (_, l, r) ->
+        walk_expr locals l;
+        walk_expr locals r
+    | Ast.Send m -> walk_msg locals m
+  and walk_msg locals m =
+    List.iter (walk_expr locals) m.Ast.msg_args;
+    let self_directed =
+      match m.Ast.msg_recv with
+      | Ast.Rself -> true
+      | Ast.Rexpr Ast.Self -> true
+      | Ast.Rexpr e ->
+          walk_expr locals e;
+          (match static_class locals e with
+          | Some d when Schema.resolve schema d m.Ast.msg_name <> None ->
+              cross := (d, m.Ast.msg_name) :: !cross
+          | Some _ | None -> dyn := true);
+          false
+    in
+    match (m.Ast.msg_prefix, self_directed) with
+    | Some c', true ->
+        (* Definition 8: only ancestors resolving the method are recorded. *)
+        if
+          Schema.mem schema c'
+          && List.exists (CN.equal c') (Schema.ancestors schema cls)
+          && Schema.resolve_from schema c' m.Ast.msg_name <> None
+        then psc := Site.Set.add (c', m.Ast.msg_name) !psc
+    | None, true ->
+        (* Definition 7: only methods the class understands are recorded. *)
+        if Schema.resolve schema cls m.Ast.msg_name <> None then
+          dsc := MN.Set.add m.Ast.msg_name !dsc
+    | _, false -> ()
+  in
+  let rec walk_stmts locals stmts =
+    (* Returns the scope extended with this block's locals; callers of a
+       nested block discard the extension (block scoping). *)
+    List.fold_left walk_stmt locals stmts
+  and walk_stmt locals s =
+    match s with
+    | Ast.Assign (x, e) ->
+        walk_expr locals e;
+        if (not (shadowed locals x)) && is_field x then
+          assigned := FN.Set.add (FN.of_string x) !assigned;
+        locals
+    | Ast.Var (x, e) ->
+        walk_expr locals e;
+        x :: locals
+    | Ast.Send_stmt m ->
+        walk_msg locals m;
+        locals
+    | Ast.Return e ->
+        walk_expr locals e;
+        locals
+    | Ast.If (c, t, f) ->
+        walk_expr locals c;
+        ignore (walk_stmts locals t);
+        ignore (walk_stmts locals f);
+        locals
+    | Ast.While (c, b) ->
+        walk_expr locals c;
+        ignore (walk_stmts locals b);
+        locals
+  in
+  ignore (walk_stmts [] md.Schema.m_body);
+  let dav =
+    FN.Set.fold
+      (fun f av -> Access_vector.add av f Mode.Write)
+      !assigned
+      (FN.Set.fold
+         (fun f av -> if FN.Set.mem f !assigned then av else Access_vector.add av f Mode.Read)
+         !read Access_vector.empty)
+  in
+  { si_dav = dav; si_dsc = !dsc; si_psc = !psc; si_cross = List.rev !cross; si_dyn = !dyn }
+
+let build schema =
+  let sites =
+    List.fold_left
+      (fun acc cls ->
+        List.fold_left
+          (fun acc md -> Site.Map.add (cls, md.Schema.m_name) (analyze schema cls md) acc)
+          acc (Schema.own_methods schema cls))
+      Site.Map.empty (Schema.classes schema)
+  in
+  { schema; sites }
+
+let schema t = t.schema
+
+let defining_site t c m =
+  match Schema.resolve t.schema c m with
+  | Some (c', _) -> (c', m)
+  | None ->
+      invalid_arg
+        (Format.asprintf "Extraction: %a is not a method of class %a" MN.pp m CN.pp c)
+
+let update_classes t schema cs =
+  let stale c' = List.exists (CN.equal c') cs in
+  let sites = Site.Map.filter (fun (c', _) _ -> not (stale c')) t.sites in
+  let sites =
+    List.fold_left
+      (fun acc c ->
+        List.fold_left
+          (fun acc md -> Site.Map.add (c, md.Schema.m_name) (analyze schema c md) acc)
+          acc (Schema.own_methods schema c))
+      sites cs
+  in
+  { schema; sites }
+
+let site_info t c m = Site.Map.find (defining_site t c m) t.sites
+let dav t c m = (site_info t c m).si_dav
+let dsc t c m = (site_info t c m).si_dsc
+let psc t c m = (site_info t c m).si_psc
+let cross_sends t c m = (site_info t c m).si_cross
+let has_dynamic_sends t c m = (site_info t c m).si_dyn

@@ -1,0 +1,68 @@
+(** Compile-time extraction of DAV, DSC and PSC (definitions 6–8).
+
+    The compiler parses every method body once, at its defining site, and
+    records three pieces of information:
+
+    - the {b direct access vector} (definition 6): a field gets [Write]
+      when the body contains an assignment to it, [Read] when it appears in
+      an expression (including as the receiver or an argument of a message)
+      without being assigned, [Null] otherwise;
+    - the {b direct self-calls} (definition 7): the method names sent to
+      [self] in the simple form — these are re-resolved against each
+      receiver class, which is how late binding is solved at compile time;
+    - the {b prefixed self-calls} (definition 8): the [(ancestor, method)]
+      pairs named by [send C'.M to self].
+
+    Control structures are abstracted away: both branches of an [if] and
+    the body of a [while] contribute, making the vectors conservative
+    (sec. 4.4 of the paper).
+
+    Per clause (i) of the three definitions, a class that inherits a method
+    shares the defining site's information unchanged; padding with [Null]
+    on new fields is implicit in the canonical vector representation. *)
+
+open Tavcc_model
+open Tavcc_lang
+
+type t
+
+val build : Ast.body Schema.t -> t
+(** Parses every defining site of the schema.  Self-sends naming unknown
+    methods and prefixed sends to non-ancestors are ignored (the static
+    checker reports them; the analysis is total regardless). *)
+
+val schema : t -> Ast.body Schema.t
+
+val dav : t -> Name.Class.t -> Name.Method.t -> Access_vector.t
+(** [DAV{C,M}] (definition 6).
+    @raise Invalid_argument if [M] is not a method of [C] *)
+
+val dsc : t -> Name.Class.t -> Name.Method.t -> Name.Method.Set.t
+(** [DSC{C,M}] (definition 7). *)
+
+val psc : t -> Name.Class.t -> Name.Method.t -> Site.Set.t
+(** [PSC{C,M}] (definition 8). *)
+
+val cross_sends : t -> Name.Class.t -> Name.Method.t -> (Name.Class.t * Name.Method.t) list
+(** The messages the method sends to {e other} objects whose class is
+    statically known — the receiver is a field of reference type or a
+    [new] expression.  These are the composition edges of the method
+    dependency graph ({!Depgraph}); the declared class is recorded, the
+    run-time receiver may be of any subclass. *)
+
+val has_dynamic_sends : t -> Name.Class.t -> Name.Method.t -> bool
+(** True when the method sends a message to an expression whose class
+    the compiler cannot determine (a parameter, a local, or another
+    message's result); impact analyses must then assume the whole
+    schema is reachable. *)
+
+val defining_site : t -> Name.Class.t -> Name.Method.t -> Site.t
+(** The site whose source code is executed when [M] is resolved from [C]. *)
+
+val update_classes : t -> Ast.body Schema.t -> Name.Class.t list -> t
+(** [update_classes ex schema cs] re-extracts the methods {e defined in}
+    the classes [cs] against the (edited) [schema], dropping their stale
+    sites and keeping every other defining site — valid for method-level
+    edits because field sets and ancestor chains are unchanged, provided
+    [cs] covers the domain of the edited class (subclass sites may hold
+    self-call sets whose resolvability the edit changed). *)

@@ -1,0 +1,83 @@
+open Tavcc_model
+open Tavcc_lang
+module CN = Name.Class
+module MN = Name.Method
+
+type edit =
+  | Add_method of CN.t * Ast.body Schema.method_def
+  | Remove_method of CN.t * MN.t
+  | Update_method of CN.t * Ast.body Schema.method_def
+
+type error =
+  | Unknown_class of CN.t
+  | No_such_definition of CN.t * MN.t
+  | Already_defined of CN.t * MN.t
+  | Schema_error of Schema.error
+
+let pp_error ppf = function
+  | Unknown_class c -> Format.fprintf ppf "unknown class %a" CN.pp c
+  | No_such_definition (c, m) ->
+      Format.fprintf ppf "class %a does not define method %a itself" CN.pp c MN.pp m
+  | Already_defined (c, m) ->
+      Format.fprintf ppf "class %a already defines method %a" CN.pp c MN.pp m
+  | Schema_error e -> Schema.pp_error ppf e
+
+let edited_class = function
+  | Add_method (c, _) | Update_method (c, _) -> c
+  | Remove_method (c, _) -> c
+
+let ( let* ) = Result.bind
+
+let edit_decl edit (decl : Ast.body Schema.class_decl) =
+  let has m = List.exists (fun md -> MN.equal md.Schema.m_name m) decl.Schema.c_methods in
+  match edit with
+  | Add_method (_, md) ->
+      if has md.Schema.m_name then Error (Already_defined (decl.Schema.c_name, md.Schema.m_name))
+      else Ok { decl with Schema.c_methods = decl.Schema.c_methods @ [ md ] }
+  | Remove_method (_, m) ->
+      if not (has m) then Error (No_such_definition (decl.Schema.c_name, m))
+      else
+        Ok
+          {
+            decl with
+            Schema.c_methods =
+              List.filter (fun md -> not (MN.equal md.Schema.m_name m)) decl.Schema.c_methods;
+          }
+  | Update_method (_, md) ->
+      if not (has md.Schema.m_name) then
+        Error (No_such_definition (decl.Schema.c_name, md.Schema.m_name))
+      else
+        Ok
+          {
+            decl with
+            Schema.c_methods =
+              List.map
+                (fun old -> if MN.equal old.Schema.m_name md.Schema.m_name then md else old)
+                decl.Schema.c_methods;
+          }
+
+let apply_edit schema edit =
+  let target = edited_class edit in
+  if not (Schema.mem schema target) then Error (Unknown_class target)
+  else
+    let* decls =
+      List.fold_left
+        (fun acc decl ->
+          let* acc = acc in
+          if CN.equal decl.Schema.c_name target then
+            let* decl = edit_decl edit decl in
+            Ok (decl :: acc)
+          else Ok (decl :: acc))
+        (Ok []) (Schema.decls schema)
+    in
+    Result.map_error (fun e -> Schema_error e) (Schema.build (List.rev decls))
+
+let affected_classes schema c = Schema.domain schema c
+
+let recompile an edit =
+  let old_schema = Analysis.schema an in
+  let* schema = apply_edit old_schema edit in
+  let target = edited_class edit in
+  let affected = affected_classes schema target in
+  let extraction = Extraction.update_classes (Analysis.extraction an) schema affected in
+  Ok (Analysis.compile_classes ~reuse:an ~schema ~extraction affected)

@@ -1,0 +1,56 @@
+(** Incremental recompilation under method-level schema edits.
+
+    Sec. 3 of the paper argues that automating commutativity matters
+    precisely because "methods are frequently added, removed, or
+    updated".  This module makes the corresponding maintenance operation
+    cheap: after an edit confined to the method set of one class [C],
+    only the classes of the domain rooted at [C] can see their late
+    bindings, transitive access vectors or commutativity relations
+    change —
+
+    - a vertex [(C', M')] appears in the LBR graph of a class [D] only
+      when [C' = D] or [C'] is an ancestor of [D] reached by prefixed
+      calls, so an edit in [C] can only influence graphs of classes that
+      inherit from (or are) [C];
+    - field sets and ancestor chains are untouched by method edits, so
+      extraction results of every other defining site stay valid.
+
+    [recompile] therefore rebuilds the schema, re-extracts the edited
+    class's own methods, and recomputes graphs/TAVs/matrices for
+    [domain(C)] alone, splicing everything else from the previous
+    analysis.  Equivalence with a full {!Analysis.compile} is
+    property-tested; bench E10 measures the saving. *)
+
+open Tavcc_model
+open Tavcc_lang
+
+type edit =
+  | Add_method of Name.Class.t * Ast.body Schema.method_def
+      (** a brand new method, or an override of an inherited one *)
+  | Remove_method of Name.Class.t * Name.Method.t
+      (** removes the definition written in that class *)
+  | Update_method of Name.Class.t * Ast.body Schema.method_def
+      (** replaces the body/parameters of a method defined in that class *)
+
+type error =
+  | Unknown_class of Name.Class.t
+  | No_such_definition of Name.Class.t * Name.Method.t
+      (** removing/updating a method the class does not itself define *)
+  | Already_defined of Name.Class.t * Name.Method.t
+      (** adding a method the class already defines *)
+  | Schema_error of Schema.error
+
+val pp_error : Format.formatter -> error -> unit
+
+val edited_class : edit -> Name.Class.t
+
+val apply_edit :
+  Ast.body Schema.t -> edit -> (Ast.body Schema.t, error) result
+(** The edited schema (a full, validated rebuild of the declarations). *)
+
+val affected_classes : 'b Schema.t -> Name.Class.t -> Name.Class.t list
+(** [domain(C)] — the classes whose analysis an edit in [C] may change. *)
+
+val recompile : Analysis.t -> edit -> (Analysis.t, error) result
+(** Incremental pipeline; observationally equal to
+    [Analysis.compile (apply_edit schema edit)]. *)

@@ -1,0 +1,110 @@
+open Tavcc_model
+module CN = Name.Class
+module MN = Name.Method
+
+type t = {
+  cls : CN.t;
+  vertices : Site.t array;
+  index : int Site.Map.t;
+  succs : int list array;
+}
+
+let build ex cls =
+  let schema = Extraction.schema ex in
+  let initial = List.map (fun m -> (cls, m)) (Schema.methods schema cls) in
+  (* Per definition 9, a vertex (C', M') behaves as the code of the site
+     that resolves M' from C'.  Its DSC targets re-resolve in [cls]; its
+     PSC targets contribute new vertices. *)
+  let out_sites (c', m') =
+    let dsc = Extraction.dsc ex c' m' in
+    let psc = Extraction.psc ex c' m' in
+    MN.Set.fold
+      (fun m'' acc ->
+        (* Guard against self-call names the receiver class cannot resolve
+           (possible transiently during incremental edits). *)
+        if Schema.resolve schema cls m'' <> None then (cls, m'') :: acc else acc)
+      dsc (Site.Set.elements psc)
+  in
+  (* Discover the vertex set: the initial (C, M) pairs plus the closure of
+     the successor relation (DSC targets are already initial vertices, so
+     this is exactly the reflexo-transitive closure of PSC of def. 9). *)
+  let rec discover seen todo =
+    match todo with
+    | [] -> seen
+    | site :: rest ->
+        if Site.Set.mem site seen then discover seen rest
+        else
+          let seen = Site.Set.add site seen in
+          discover seen (out_sites site @ rest)
+  in
+  let all = discover Site.Set.empty initial in
+  (* Stable vertex order: the initial sites first (METHODS order), then the
+     prefixed-call sites sorted. *)
+  let extra = Site.Set.elements (Site.Set.diff all (Site.Set.of_list initial)) in
+  let vertices = Array.of_list (initial @ extra) in
+  let index =
+    Array.to_list vertices
+    |> List.mapi (fun i v -> (v, i))
+    |> List.fold_left (fun m (v, i) -> Site.Map.add v i m) Site.Map.empty
+  in
+  let succs =
+    Array.map
+      (fun site ->
+        out_sites site
+        |> List.map (fun s -> Site.Map.find s index)
+        |> List.sort_uniq Int.compare)
+      vertices
+  in
+  { cls; vertices; index; succs }
+
+let cls t = t.cls
+let vertices t = t.vertices
+let vertex_count t = Array.length t.vertices
+let edge_count t = Array.fold_left (fun n l -> n + List.length l) 0 t.succs
+let index t site = Site.Map.find_opt site t.index
+let succs t = t.succs
+
+let successors t site =
+  match index t site with
+  | None -> []
+  | Some i -> List.map (fun j -> t.vertices.(j)) t.succs.(i)
+
+let pp ppf t =
+  let any_edge = ref false in
+  Array.iteri
+    (fun i site ->
+      List.iter
+        (fun j ->
+          any_edge := true;
+          Format.fprintf ppf "%a -> %a@\n" Site.pp site Site.pp t.vertices.(j))
+        t.succs.(i))
+    t.vertices;
+  Array.iteri
+    (fun i site ->
+      let has_in = Array.exists (fun l -> List.mem i l) t.succs in
+      if t.succs.(i) = [] && not has_in then Format.fprintf ppf "%a@\n" Site.pp site)
+    t.vertices;
+  if (not !any_edge) && Array.length t.vertices = 0 then Format.fprintf ppf "(empty)@\n"
+
+let to_dot t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "digraph lbr_%s {\n  rankdir=TB;\n  node [shape=box];\n"
+       (CN.to_string t.cls));
+  Array.iter
+    (fun (c, m) ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"%s,%s\";\n" (CN.to_string c) (MN.to_string m)))
+    t.vertices;
+  Array.iteri
+    (fun i (c, m) ->
+      List.iter
+        (fun j ->
+          let c', m' = t.vertices.(j) in
+          Buffer.add_string b
+            (Printf.sprintf "  \"%s,%s\" -> \"%s,%s\";\n" (CN.to_string c) (MN.to_string m)
+               (CN.to_string c') (MN.to_string m')))
+        t.succs.(i))
+    t.vertices;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,45 @@
+(** The late-binding resolution graph of a class (definition 9).
+
+    For a class [C], the graph [G_C(V, Γ)] has as vertices the pairs
+    [(C, M)] for every [M ∈ METHODS(C)], plus every [(C', M')] reachable
+    through prefixed self-calls.  The successors of a vertex [(C', M')]
+    are:
+
+    - [(C, M'')] for every [M''] in [DSC(C', M')] — the direct self-calls,
+      {e resolved against the receiver class C}, which is precisely how the
+      construction solves at compile time the late bindings occurring at
+      run time; and
+    - the prefixed self-calls [PSC(C', M')], which name their target class
+      explicitly.
+
+    The graph applies to any proper instance of [C]. *)
+
+open Tavcc_model
+
+type t
+
+val build : Extraction.t -> Name.Class.t -> t
+(** Builds [G_C] from the extraction results. *)
+
+val cls : t -> Name.Class.t
+
+val vertices : t -> Site.t array
+(** All vertices; the first [List.length (Schema.methods s c)] entries are
+    the [(C, M)] pairs in {!Schema.methods} order, followed by the vertices
+    contributed by prefixed self-calls. *)
+
+val vertex_count : t -> int
+val edge_count : t -> int
+
+val index : t -> Site.t -> int option
+val succs : t -> int list array
+(** Adjacency by vertex index, aligned with {!vertices}. *)
+
+val successors : t -> Site.t -> Site.t list
+
+val pp : Format.formatter -> t -> unit
+(** Text rendering: one [v -> w] line per edge, isolated vertices on their
+    own line (regenerates the paper's Figure 2). *)
+
+val to_dot : t -> string
+(** GraphViz rendering of the same graph. *)

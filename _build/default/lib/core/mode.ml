@@ -1,0 +1,24 @@
+type t = Null | Read | Write
+
+let all = [ Null; Read; Write ]
+
+let compatible a b =
+  match (a, b) with
+  | Null, _ | _, Null -> true
+  | Read, Read -> true
+  | Write, _ | _, Write -> false
+
+let rank = function Null -> 0 | Read -> 1 | Write -> 2
+let join a b = if rank a >= rank b then a else b
+let leq a b = rank a <= rank b
+let equal a b = rank a = rank b
+let compare a b = Int.compare (rank a) (rank b)
+let to_string = function Null -> "Null" | Read -> "Read" | Write -> "Write"
+let pp ppf m = Format.pp_print_string ppf (to_string m)
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "null" | "n" -> Some Null
+  | "read" | "r" -> Some Read
+  | "write" | "w" -> Some Write
+  | _ -> None

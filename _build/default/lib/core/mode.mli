@@ -1,0 +1,34 @@
+(** The access-mode lattice [MODES = {Null, Read, Write}] (definition 2).
+
+    [Null < Read < Write] is a total order, so the lattice join coincides
+    with [max].  The compatibility relation is the classical one of the
+    paper's Table 1:
+
+    {v
+              Null   Read   Write
+      Null    yes    yes    yes
+      Read    yes    yes    no
+      Write   yes    no     no
+    v} *)
+
+type t = Null | Read | Write
+
+val all : t list
+(** [Null; Read; Write], in increasing order. *)
+
+val compatible : t -> t -> bool
+(** Table 1. *)
+
+val join : t -> t -> t
+(** The lattice join; on this total order, [max] (e.g.
+    [join Read Write = Write]). *)
+
+val leq : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Case-insensitive; accepts ["null"], ["read"], ["write"] and the
+    abbreviations ["n"], ["r"], ["w"]. *)

@@ -1,0 +1,70 @@
+open Tavcc_model
+module MN = Name.Method
+
+type t = {
+  cls : Name.Class.t;
+  methods : MN.t array;
+  mode_of : int MN.Map.t;
+  tavs : Access_vector.t array;
+  matrix : bool array array;
+}
+
+let build cls tavs_list =
+  let methods = Array.of_list (List.map fst tavs_list) in
+  let tavs = Array.of_list (List.map snd tavs_list) in
+  let n = Array.length methods in
+  let mode_of =
+    Array.to_list methods
+    |> List.mapi (fun i m -> (m, i))
+    |> List.fold_left (fun acc (m, i) -> MN.Map.add m i acc) MN.Map.empty
+  in
+  let matrix =
+    Array.init n (fun i -> Array.init n (fun j -> Access_vector.commutes tavs.(i) tavs.(j)))
+  in
+  { cls; methods; mode_of; tavs; matrix }
+
+let cls t = t.cls
+let methods t = t.methods
+let size t = Array.length t.methods
+let mode_of_method t m = MN.Map.find_opt m t.mode_of
+let method_of_mode t i = t.methods.(i)
+let tav t i = t.tavs.(i)
+let commute t i j = t.matrix.(i).(j)
+
+let commute_methods t m m' =
+  match (mode_of_method t m, mode_of_method t m') with
+  | Some i, Some j -> Some (commute t i j)
+  | _ -> None
+
+let with_commute t i j b =
+  let matrix = Array.map Array.copy t.matrix in
+  matrix.(i).(j) <- b;
+  matrix.(j).(i) <- b;
+  { t with matrix }
+
+let is_symmetric t =
+  let n = size t in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if t.matrix.(i).(j) <> t.matrix.(j).(i) then ok := false
+    done
+  done;
+  !ok
+
+let pp ppf t =
+  let n = size t in
+  let width =
+    Array.fold_left (fun w m -> max w (String.length (MN.to_string m))) 3 t.methods
+  in
+  let pad s = Printf.sprintf "%-*s" width s in
+  Format.fprintf ppf "%s" (pad "");
+  Array.iter (fun m -> Format.fprintf ppf " %s" (pad (MN.to_string m))) t.methods;
+  Format.fprintf ppf "@\n";
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "%s" (pad (MN.to_string t.methods.(i)));
+    for j = 0 to n - 1 do
+      Format.fprintf ppf " %s" (pad (if t.matrix.(i).(j) then "yes" else "no"))
+    done;
+    Format.fprintf ppf "@\n"
+  done

@@ -1,0 +1,46 @@
+(** From access vectors to access modes (sec. 5.1).
+
+    Locking with raw vectors would cost O(|FIELDS(C)|) per check; instead,
+    one commutativity relation is created per class, with one access mode
+    per method.  Two modes commute iff their transitive access vectors
+    commute (definition 5), so the parallelism allowed by modes is exactly
+    the one permitted by vectors, while the run-time check is a single
+    matrix lookup — as cheap as the classical read/write compatibility
+    test. *)
+
+open Tavcc_model
+
+type t
+
+val build : Name.Class.t -> (Name.Method.t * Access_vector.t) list -> t
+(** [build c tavs] numbers the methods (in the given order) and fills the
+    commutativity matrix from pairwise {!Access_vector.commutes}. *)
+
+val cls : t -> Name.Class.t
+val methods : t -> Name.Method.t array
+val size : t -> int
+
+val mode_of_method : t -> Name.Method.t -> int option
+(** The access mode (matrix index) generated for the method. *)
+
+val method_of_mode : t -> int -> Name.Method.t
+
+val tav : t -> int -> Access_vector.t
+(** The vector the mode was generated from. *)
+
+val commute : t -> int -> int -> bool
+(** O(1) lookup in the compiled relation. *)
+
+val commute_methods : t -> Name.Method.t -> Name.Method.t -> bool option
+(** Name-based convenience; [None] when a method is unknown. *)
+
+val with_commute : t -> int -> int -> bool -> t
+(** A copy of the table with the (symmetric) entry overridden — the hook
+    {!Adhoc} uses to install semantic commutativity for predefined
+    classes. *)
+
+val is_symmetric : t -> bool
+(** Always true for tables built by {!build}; exposed for property tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper Table-2 style: a yes/no matrix with method-name headers. *)

@@ -1,0 +1,94 @@
+open Tavcc_model
+open Tavcc_lang
+
+let source =
+  {|
+-- Figure 1 of Malta & Martinez, ICDE'93.
+class c3 is
+  fields
+    g1 : integer;
+  method m is
+    g1 := g1 + 1;
+  end
+end
+
+class c1 is
+  fields
+    f1 : integer;
+    f2 : boolean;
+    f3 : c3;
+  method m1(p1) is
+    send m2(p1) to self;
+    send m3 to self;
+  end
+  method m2(p1) is
+    -- f1 := expr(f1, f2, p1)
+    if f2 then
+      f1 := f1 + p1;
+    else
+      f1 := f1 - p1;
+    end
+  end
+  method m3 is
+    if f2 then
+      send m to f3;
+    end
+  end
+end
+
+class c2 extends c1 is
+  fields
+    f4 : integer;
+    f5 : integer;
+    f6 : string;
+  method m2(p1) is -- redefined as an extension of the inherited version
+    send c1.m2(p1) to self;
+    -- f4 := expr(f5, p1)
+    f4 := f5 + p1;
+  end
+  method m4(p1, p2) is
+    -- if cond(f5, p1) then f6 := expr(f6, p2)
+    if f5 > p1 then
+      f6 := f6 + p2;
+    end
+  end
+end
+|}
+
+let c1 = Name.Class.of_string "c1"
+let c2 = Name.Class.of_string "c2"
+let c3 = Name.Class.of_string "c3"
+let m1 = Name.Method.of_string "m1"
+let m2 = Name.Method.of_string "m2"
+let m3 = Name.Method.of_string "m3"
+let m4 = Name.Method.of_string "m4"
+let m = Name.Method.of_string "m"
+let f1 = Name.Field.of_string "f1"
+let f2 = Name.Field.of_string "f2"
+let f3 = Name.Field.of_string "f3"
+let f4 = Name.Field.of_string "f4"
+let f5 = Name.Field.of_string "f5"
+let f6 = Name.Field.of_string "f6"
+
+let schema () =
+  let decls = Parser.parse_decls source in
+  match Schema.build decls with
+  | Error e -> failwith (Format.asprintf "paper example schema: %a" Schema.pp_error e)
+  | Ok s -> (
+      match Check.check s with
+      | Ok () -> s
+      | Error errs ->
+          failwith
+            (Format.asprintf "paper example checks: %a"
+               (Format.pp_print_list Check.pp_error)
+               errs))
+
+let analysis () = Analysis.compile (schema ())
+
+let expected_table2 =
+  [
+    ("m1", [ ("m1", false); ("m2", false); ("m3", true); ("m4", true) ]);
+    ("m2", [ ("m1", false); ("m2", false); ("m3", true); ("m4", true) ]);
+    ("m3", [ ("m1", true); ("m2", true); ("m3", true); ("m4", true) ]);
+    ("m4", [ ("m1", true); ("m2", true); ("m3", true); ("m4", false) ]);
+  ]

@@ -1,0 +1,102 @@
+open Tavcc_model
+open Tavcc_lang
+
+let counter_source =
+  {|
+-- Predefined bounded counter (the paper's "Integer type").
+class counter is
+  fields
+    n : integer;
+  method inc(d) is n := n + d; end
+  method dec(d) is n := n - d; end
+  method get is return n; end
+end
+|}
+
+let collection_source =
+  {|
+-- Predefined collection (the paper's "Collection class"): a bag kept
+-- as a singly linked list of cells.
+class cell is
+  fields
+    item : integer;
+    rest : cell;
+  method fill(v, r) is
+    item := v;
+    rest := r;
+  end
+  method tail is
+    return rest;
+  end
+  method sum is
+    if rest = null then
+      return item;
+    end
+    return item + (send sum to rest);
+  end
+end
+
+class collection is
+  fields
+    head : cell;
+    size : integer;
+  method insert(v) is
+    var old := head;
+    head := new cell;
+    send fill(v, old) to head;
+    size := size + 1;
+  end
+  method remove_first is
+    if size > 0 then
+      head := send tail to head;
+      size := size - 1;
+    end
+  end
+  method total is
+    if head = null then
+      return 0;
+    end
+    return send sum to head;
+  end
+  method count is
+    return size;
+  end
+end
+|}
+
+let counter = Name.Class.of_string "counter"
+let collection = Name.Class.of_string "collection"
+let cell = Name.Class.of_string "cell"
+
+let sources = counter_source ^ collection_source
+
+let adhoc =
+  let mn = Name.Method.of_string in
+  Adhoc.(
+    declare
+      (declare empty counter
+         [
+           (mn "inc", mn "inc", true);
+           (mn "dec", mn "dec", true);
+           (mn "inc", mn "dec", true);
+         ])
+      collection
+      [ (mn "insert", mn "insert", true) ])
+
+let with_predefined user_source =
+  match Parser.parse_decls (sources ^ user_source) with
+  | exception Lexer.Error (msg, pos) ->
+      Error (Format.asprintf "lexical error at %a: %s" Token.pp_pos pos msg)
+  | exception Parser.Error (msg, pos) ->
+      Error (Format.asprintf "syntax error at %a: %s" Token.pp_pos pos msg)
+  | decls -> (
+      match Schema.build decls with
+      | Error e -> Error (Format.asprintf "%a" Schema.pp_error e)
+      | Ok schema -> (
+          match Check.check schema with
+          | Ok () -> Ok (schema, adhoc)
+          | Error errs ->
+              Error
+                (Format.asprintf "%a"
+                   (Format.pp_print_list ~pp_sep:Format.pp_print_newline Check.pp_error)
+                   errs)))

@@ -1,0 +1,43 @@
+(** Predefined classes "delivered with high commutativity performances".
+
+    Sec. 3 of the paper: predefined types — it names the Integer type
+    and the Collection class — should ship with hand-written ad hoc
+    commutativity next to the automatic analysis.  This module is that
+    shipment: ODML sources for a bounded counter and a linked-list
+    collection, together with the {!Adhoc} declarations their semantics
+    justify.
+
+    Use {!with_predefined} to prepend the sources to a user schema and
+    obtain the merged ad hoc registry. *)
+
+open Tavcc_model
+open Tavcc_lang
+
+val counter_source : string
+(** [counter]: field [n]; methods [inc(d)], [dec(d)], [get].  Ad hoc:
+    [inc]/[dec] commute among themselves and each other ([get] does
+    not — a read must still serialise against updates). *)
+
+val collection_source : string
+(** [collection] over [cell]s (a singly linked list): [insert(v)] at the
+    head, [remove_first], [total] (recursive sum across cells),
+    [size].  Ad hoc: [insert]/[insert] commute (bag semantics — the
+    order of insertions is unobservable through the shipped readers
+    except transiently). *)
+
+val sources : string
+(** Both classes, concatenated. *)
+
+val adhoc : Adhoc.t
+(** The declarations for every predefined class. *)
+
+val counter : Name.Class.t
+val collection : Name.Class.t
+val cell : Name.Class.t
+
+val with_predefined :
+  string -> (Ast.body Schema.t * Adhoc.t, string) result
+(** [with_predefined user_source] parses the predefined classes followed
+    by the user's, builds and checks the schema, and returns it with the
+    predefined ad hoc registry (extend it with {!Adhoc.declare} for user
+    classes). *)

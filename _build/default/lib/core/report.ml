@@ -1,0 +1,61 @@
+open Tavcc_model
+module MN = Name.Method
+
+let table1 () =
+  let b = Buffer.create 128 in
+  let pad s = Printf.sprintf "%-6s" s in
+  Buffer.add_string b (pad "");
+  List.iter (fun m -> Buffer.add_string b (pad (Mode.to_string m))) Mode.all;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun m ->
+      Buffer.add_string b (pad (Mode.to_string m));
+      List.iter
+        (fun m' -> Buffer.add_string b (pad (if Mode.compatible m m' then "yes" else "no")))
+        Mode.all;
+      Buffer.add_char b '\n')
+    Mode.all;
+  Buffer.contents b
+
+let figure1 () =
+  let decls = Tavcc_lang.Parser.parse_decls Paper_example.source in
+  Tavcc_lang.Pretty.decls_to_string decls
+
+let figure2 () =
+  let an = Paper_example.analysis () in
+  Format.asprintf "%a" Lbr.pp (Analysis.lbr an Paper_example.c2)
+
+let table2 () =
+  let an = Paper_example.analysis () in
+  Format.asprintf "%a" Modes_table.pp (Analysis.table an Paper_example.c2)
+
+let vectors which an cls =
+  let schema = Analysis.schema an in
+  let fds = Schema.fields schema cls in
+  let b = Buffer.create 256 in
+  List.iter
+    (fun m ->
+      let av = which an cls m in
+      Buffer.add_string b
+        (Format.asprintf "%a.%a: %a\n" Name.Class.pp cls MN.pp m
+           (Access_vector.pp_over fds) av))
+    (Schema.methods schema cls);
+  Buffer.contents b
+
+let davs an cls = vectors Analysis.dav an cls
+let tavs an cls = vectors Analysis.tav an cls
+let commutativity an cls = Format.asprintf "%a" Modes_table.pp (Analysis.table an cls)
+
+let class_report an cls =
+  String.concat ""
+    [
+      Format.asprintf "== class %a ==\n" Name.Class.pp cls;
+      "-- direct access vectors --\n";
+      davs an cls;
+      "-- late-binding resolution graph --\n";
+      Format.asprintf "%a" Lbr.pp (Analysis.lbr an cls);
+      "-- transitive access vectors --\n";
+      tavs an cls;
+      "-- commutativity relation --\n";
+      commutativity an cls;
+    ]

@@ -1,0 +1,36 @@
+(** Regeneration of the paper's printed artefacts.
+
+    Each function renders, from the live implementation, one table or
+    figure of the paper; the bench harness prints them side by side with
+    the expected content, and EXPERIMENTS.md records the comparison. *)
+
+open Tavcc_model
+
+val table1 : unit -> string
+(** Table 1: the classical compatibility relation on
+    {Null, Read, Write}. *)
+
+val figure1 : unit -> string
+(** Figure 1: the example schema, pretty-printed from the parsed AST. *)
+
+val figure2 : unit -> string
+(** Figure 2: the late-binding resolution graph of class [c2] of the
+    example, one edge per line. *)
+
+val table2 : unit -> string
+(** Table 2: the commutativity relation of class [c2] of the example. *)
+
+val davs : Analysis.t -> Name.Class.t -> string
+(** All direct access vectors of a class, printed over its full field
+    list, paper style. *)
+
+val tavs : Analysis.t -> Name.Class.t -> string
+(** All transitive access vectors of a class, printed over its full field
+    list. *)
+
+val commutativity : Analysis.t -> Name.Class.t -> string
+(** The compiled commutativity relation of a class. *)
+
+val class_report : Analysis.t -> Name.Class.t -> string
+(** DAVs, the LBR graph, TAVs and the commutativity relation of one class,
+    in one human-readable block. *)

@@ -1,0 +1,71 @@
+type result = { count : int; comp : int array }
+
+(* Iterative Tarjan.  Each frame on the control stack is (vertex, iterator
+   position into its successor list).  [low] doubles as the index table;
+   [index.(v) = -1] marks an unvisited vertex. *)
+let compute succs =
+  let n = Array.length succs in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let succ_arr = Array.map Array.of_list succs in
+  for start = 0 to n - 1 do
+    if index.(start) = -1 then begin
+      let frames = ref [ (start, ref 0) ] in
+      index.(start) <- !next_index;
+      low.(start) <- !next_index;
+      incr next_index;
+      stack := start :: !stack;
+      on_stack.(start) <- true;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, pos) :: rest ->
+            if !pos < Array.length succ_arr.(v) then begin
+              let w = succ_arr.(v).(!pos) in
+              incr pos;
+              if index.(w) = -1 then begin
+                index.(w) <- !next_index;
+                low.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                frames := (w, ref 0) :: !frames
+              end
+              else if on_stack.(w) then low.(v) <- min low.(v) index.(w)
+            end
+            else begin
+              (* v is finished: close its component if it is a root. *)
+              if low.(v) = index.(v) then begin
+                let rec pop () =
+                  match !stack with
+                  | [] -> assert false
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      comp.(w) <- !next_comp;
+                      if w <> v then pop ()
+                in
+                pop ();
+                incr next_comp
+              end;
+              frames := rest;
+              match rest with
+              | (parent, _) :: _ -> low.(parent) <- min low.(parent) low.(v)
+              | [] -> ()
+            end
+      done
+    end
+  done;
+  { count = !next_comp; comp }
+
+let members r =
+  let buckets = Array.make r.count [] in
+  for v = Array.length r.comp - 1 downto 0 do
+    buckets.(r.comp.(v)) <- v :: buckets.(r.comp.(v))
+  done;
+  buckets

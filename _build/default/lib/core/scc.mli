@@ -1,0 +1,25 @@
+(** Strongly connected components (Tarjan 1972), as required by the TAV
+    algorithm of sec. 4.3: methods may call each other recursively through
+    self-sends, producing directed cycles whose members necessarily share
+    the same transitive access vector.
+
+    The implementation is iterative (explicit stack), so graph depth is
+    bounded by memory rather than the OCaml call stack, and runs in
+    O(|V| + |E|). *)
+
+type result = {
+  count : int;  (** number of components *)
+  comp : int array;
+      (** [comp.(v)] is the component of vertex [v]; component identifiers
+          are assigned in {e reverse topological order} of the
+          condensation: every successor component of [comp.(v)] has a
+          {e smaller} identifier. *)
+}
+
+val compute : int list array -> result
+(** [compute succs] where [succs.(v)] lists the successors of vertex [v]
+    over vertices [0 .. Array.length succs - 1]. *)
+
+val members : result -> int list array
+(** [members r] lists, for each component, its vertices in increasing
+    order. *)

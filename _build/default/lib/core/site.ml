@@ -1,0 +1,19 @@
+open Tavcc_model
+
+type t = Name.Class.t * Name.Method.t
+
+let equal (c, m) (c', m') = Name.Class.equal c c' && Name.Method.equal m m'
+
+let compare (c, m) (c', m') =
+  match Name.Class.compare c c' with 0 -> Name.Method.compare m m' | n -> n
+
+let pp ppf (c, m) = Format.fprintf ppf "(%a,%a)" Name.Class.pp c Name.Method.pp m
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

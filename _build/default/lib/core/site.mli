@@ -1,0 +1,13 @@
+(** A [(class, method)] pair — a vertex of the late-binding resolution
+    graph, and the key under which extraction results are stored. *)
+
+open Tavcc_model
+
+type t = Name.Class.t * Name.Method.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,75 @@
+open Tavcc_model
+module MN = Name.Method
+
+let vertex_dav ex (c', m') = Extraction.dav ex c' m'
+
+let of_graph ex g =
+  let succs = Lbr.succs g in
+  let n = Array.length succs in
+  let scc = Scc.compute succs in
+  (* Component ids are emitted sinks-first, so a single increasing sweep
+     sees every successor component before the components that reach it. *)
+  let comp_tav = Array.make scc.Scc.count Access_vector.empty in
+  let verts = Lbr.vertices g in
+  for v = 0 to n - 1 do
+    let c = scc.Scc.comp.(v) in
+    comp_tav.(c) <- Access_vector.join comp_tav.(c) (vertex_dav ex verts.(v))
+  done;
+  let mem = Scc.members scc in
+  for c = 0 to scc.Scc.count - 1 do
+    List.iter
+      (fun v ->
+        List.iter
+          (fun w ->
+            let c' = scc.Scc.comp.(w) in
+            if c' <> c then begin
+              (* Sinks-first numbering: successors are already complete. *)
+              assert (c' < c);
+              comp_tav.(c) <- Access_vector.join comp_tav.(c) comp_tav.(c')
+            end)
+          succs.(v))
+      mem.(c)
+  done;
+  Array.init n (fun v -> comp_tav.(scc.Scc.comp.(v)))
+
+let compute ex cls =
+  let schema = Extraction.schema ex in
+  let g = Lbr.build ex cls in
+  let tavs = of_graph ex g in
+  List.fold_left
+    (fun acc m ->
+      match Lbr.index g (cls, m) with
+      | Some i -> MN.Map.add m tavs.(i) acc
+      | None -> acc)
+    MN.Map.empty (Schema.methods schema cls)
+
+let compute_naive ex cls =
+  let schema = Extraction.schema ex in
+  let g = Lbr.build ex cls in
+  let succs = Lbr.succs g in
+  let verts = Lbr.vertices g in
+  let reachable_from start =
+    let n = Array.length succs in
+    let seen = Array.make n false in
+    let rec go v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter go succs.(v)
+      end
+    in
+    go start;
+    seen
+  in
+  List.fold_left
+    (fun acc m ->
+      match Lbr.index g (cls, m) with
+      | None -> acc
+      | Some i ->
+          let seen = reachable_from i in
+          let tav = ref Access_vector.empty in
+          Array.iteri
+            (fun v reached ->
+              if reached then tav := Access_vector.join !tav (vertex_dav ex verts.(v)))
+            seen;
+          MN.Map.add m !tav acc)
+    MN.Map.empty (Schema.methods schema cls)

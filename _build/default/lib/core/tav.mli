@@ -1,0 +1,30 @@
+(** Transitive access vectors (definition 10).
+
+    [TAV(C,M)] is the join of the direct access vectors of every vertex
+    reachable from [(C, M)] in the late-binding resolution graph of [C] —
+    i.e. of every method that may execute on the current instance when [M]
+    is sent to a proper instance of [C].
+
+    {!compute} follows sec. 4.3: a single pass of Tarjan's algorithm
+    identifies the strong components (vertices on a common directed cycle
+    necessarily share their TAV), and the components are accumulated from
+    the sinks up to the sources in one sweep, for a total cost linear in
+    the size of the graph.  The join's idempotence, commutativity and
+    associativity (property 1) make the per-component merging sound in any
+    order.
+
+    {!compute_naive} is the specification-level Kleene computation (one
+    reachability walk per vertex, quadratic); the equivalence of the two is
+    property-tested and their costs are compared by bench E1. *)
+
+open Tavcc_model
+
+val compute : Extraction.t -> Name.Class.t -> Access_vector.t Name.Method.Map.t
+(** [compute ex c] maps every [M ∈ METHODS(c)] to [TAV(c,M)]. *)
+
+val compute_naive : Extraction.t -> Name.Class.t -> Access_vector.t Name.Method.Map.t
+(** Reference implementation, used as a test oracle. *)
+
+val of_graph : Extraction.t -> Lbr.t -> Access_vector.t array
+(** Per-vertex TAVs of an already-built graph, aligned with
+    {!Lbr.vertices}. *)

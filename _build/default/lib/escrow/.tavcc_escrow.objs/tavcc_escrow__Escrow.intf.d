@@ -1,0 +1,1 @@
+lib/escrow/escrow.mli: Format

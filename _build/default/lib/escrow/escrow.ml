@@ -1,0 +1,98 @@
+type t = {
+  e_low : int;
+  e_high : int;
+  mutable e_committed : int;
+  mutable e_pending : (int * int ref) list;  (* (txn, net delta), oldest first *)
+}
+
+let create ?(low = min_int) ?(high = max_int) v =
+  if v < low || v > high then invalid_arg "Escrow.create: initial value out of bounds";
+  if low > high then invalid_arg "Escrow.create: low > high";
+  { e_low = low; e_high = high; e_committed = v; e_pending = [] }
+
+let low t = t.e_low
+let high t = t.e_high
+let committed t = t.e_committed
+
+let sum_pos t =
+  List.fold_left (fun acc (_, d) -> if !d > 0 then acc + !d else acc) 0 t.e_pending
+
+let sum_neg t =
+  List.fold_left (fun acc (_, d) -> if !d < 0 then acc + !d else acc) 0 t.e_pending
+
+let inf t = t.e_committed + sum_neg t
+let sup t = t.e_committed + sum_pos t
+
+type outcome = Reserved | Would_underflow | Would_overflow
+
+let reserve t ~txn ~delta =
+  (* Worst case including the new delta: all same-sign escrows commit.
+     A transaction's own net delta moves between the sides, so compute
+     the hypothetical pending multiset first. *)
+  let own = List.assoc_opt txn t.e_pending in
+  let own_val = match own with Some d -> !d | None -> 0 in
+  let new_own = own_val + delta in
+  let others_pos = sum_pos t - max 0 own_val in
+  let others_neg = sum_neg t - min 0 own_val in
+  let worst_high = t.e_committed + others_pos + max 0 new_own in
+  let worst_low = t.e_committed + others_neg + min 0 new_own in
+  if worst_high > t.e_high then Would_overflow
+  else if worst_low < t.e_low then Would_underflow
+  else begin
+    (match own with
+    | Some d -> d := new_own
+    | None -> t.e_pending <- t.e_pending @ [ (txn, ref delta) ]);
+    Reserved
+  end
+
+let pending_of t ~txn =
+  match List.assoc_opt txn t.e_pending with Some d -> !d | None -> 0
+
+let pending_txns t = List.map fst t.e_pending
+
+let commit t ~txn =
+  (match List.assoc_opt txn t.e_pending with
+  | Some d ->
+      t.e_committed <- t.e_committed + !d;
+      assert (t.e_committed >= t.e_low && t.e_committed <= t.e_high)
+  | None -> ());
+  t.e_pending <- List.filter (fun (x, _) -> x <> txn) t.e_pending
+
+let abort t ~txn = t.e_pending <- List.filter (fun (x, _) -> x <> txn) t.e_pending
+let read t ~txn = t.e_committed + pending_of t ~txn
+
+let pp ppf t =
+  Format.fprintf ppf "escrow{val=%d [%d,%d] pending=%a}" t.e_committed
+    (if t.e_low = min_int then 0 else t.e_low)
+    (if t.e_high = max_int then 0 else t.e_high)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       (fun ppf (x, d) -> Format.fprintf ppf "t%d:%+d" x !d))
+    t.e_pending
+
+module Table = struct
+  type nonrec escrow = t
+
+  type 'k t = {
+    mutable entries : ('k * escrow) list;  (* small tables; linear scan *)
+    equal : 'k -> 'k -> bool;
+  }
+
+  let create equal _hash = { entries = []; equal }
+
+  let find t k =
+    List.find_map (fun (k', e) -> if t.equal k k' then Some e else None) t.entries
+
+  let register t k e =
+    match find t k with
+    | Some _ -> invalid_arg "Escrow.Table.register: key already registered"
+    | None -> t.entries <- t.entries @ [ (k, e) ]
+
+  let reserve t k ~txn ~delta =
+    match find t k with
+    | Some e -> reserve e ~txn ~delta
+    | None -> invalid_arg "Escrow.Table.reserve: unregistered key"
+
+  let commit_all t ~txn = List.iter (fun (_, e) -> commit e ~txn) t.entries
+  let abort_all t ~txn = List.iter (fun (_, e) -> abort e ~txn) t.entries
+end

@@ -1,0 +1,86 @@
+(** The Escrow transactional method (O'Neil, TODS 1986 — ref. \[20\] of
+    the paper).
+
+    The paper points at Escrow as the canonical way to ship predefined
+    types ("Integer", "Collection") "with high commutativity
+    performances": increments and decrements of a bounded counter
+    commute semantically although their access vectors clash on the
+    counter field.
+
+    An escrow quantity holds a committed value and a set of {e pending}
+    per-transaction deltas.  A reservation succeeds when the bounds hold
+    under the worst case — every already-pending delta of the same sign
+    committing together with the new one — so any subset of the pending
+    transactions may later commit or abort, in any order, without ever
+    violating [low <= value <= high].  Reads see the uncertainty
+    interval \[inf, sup\].
+
+    All operations are O(pending transactions); the structure is purely
+    functional in spirit but mutable for speed, like the lock table. *)
+
+type t
+
+val create : ?low:int -> ?high:int -> int -> t
+(** [create ~low ~high v] starts the quantity at committed value [v].
+    Defaults: [low = min_int], [high = max_int].
+    @raise Invalid_argument if [v] is outside the bounds *)
+
+val low : t -> int
+val high : t -> int
+
+val committed : t -> int
+(** The committed value (pending deltas excluded). *)
+
+val inf : t -> int
+val sup : t -> int
+(** The uncertainty interval: [inf] assumes every pending decrement
+    commits and every increment aborts; [sup] the converse.  Invariant:
+    [low <= inf <= committed <= sup <= high]. *)
+
+type outcome = Reserved | Would_underflow | Would_overflow
+
+val reserve : t -> txn:int -> delta:int -> outcome
+(** Attempts to put [delta] in escrow for the transaction.  Succeeds iff
+    the bounds survive the worst case; several reservations by the same
+    transaction accumulate. *)
+
+val pending_of : t -> txn:int -> int
+(** Net delta the transaction holds in escrow (0 if none). *)
+
+val pending_txns : t -> int list
+(** Transactions with a reservation, in first-reservation order. *)
+
+val commit : t -> txn:int -> unit
+(** Applies the transaction's escrowed delta to the committed value.
+    A transaction with no reservation commits trivially. *)
+
+val abort : t -> txn:int -> unit
+(** Discards the transaction's reservations. *)
+
+val read : t -> txn:int -> int
+(** The value as seen by the transaction: committed plus {e its own}
+    pending delta (other transactions' escrows remain invisible). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** A keyed collection of escrow quantities (e.g. one per (object,
+    field) pair), with transaction-wide commit/abort. *)
+module Table : sig
+  type escrow := t
+  type 'k t
+
+  val create : ('k -> 'k -> bool) -> ('k -> int) -> 'k t
+  (** [create equal hash] — an empty table over keys compared by
+      [equal]/[hash]. *)
+
+  val register : 'k t -> 'k -> escrow -> unit
+  (** @raise Invalid_argument if the key is already registered *)
+
+  val find : 'k t -> 'k -> escrow option
+  val reserve : 'k t -> 'k -> txn:int -> delta:int -> outcome
+  (** @raise Invalid_argument on an unregistered key *)
+
+  val commit_all : 'k t -> txn:int -> unit
+  val abort_all : 'k t -> txn:int -> unit
+  (** Commit/abort the transaction's reservations on every quantity. *)
+end

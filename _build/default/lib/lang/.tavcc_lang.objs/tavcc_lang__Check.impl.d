@@ -1,0 +1,1 @@
+lib/lang/check.ml: Ast Format List Name Schema String Tavcc_model Value

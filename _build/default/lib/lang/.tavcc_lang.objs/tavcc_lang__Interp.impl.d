@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Ast Float Format List Name Oid Schema Store String Tavcc_model Value

@@ -1,0 +1,1 @@
+lib/lang/interp.mli: Ast Name Oid Store Tavcc_model Value

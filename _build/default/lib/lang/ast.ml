@@ -1,0 +1,142 @@
+open Tavcc_model
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type expr =
+  | Lit of Value.t
+  | Ident of string
+  | Self
+  | New of Name.Class.t
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Send of msg
+
+and msg = {
+  msg_prefix : Name.Class.t option;
+  msg_name : Name.Method.t;
+  msg_args : expr list;
+  msg_recv : recv;
+}
+
+and recv = Rself | Rexpr of expr
+
+type stmt =
+  | Assign of string * expr
+  | Var of string * expr
+  | Send_stmt of msg
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr
+
+type body = stmt list
+
+let pp_unop ppf = function
+  | Neg -> Format.pp_print_string ppf "-"
+  | Not -> Format.pp_print_string ppf "not"
+
+let pp_binop ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Add -> "+"
+    | Sub -> "-"
+    | Mul -> "*"
+    | Div -> "/"
+    | Mod -> "%"
+    | Eq -> "="
+    | Ne -> "<>"
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | And -> "and"
+    | Or -> "or")
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Lit x, Lit y -> Value.equal x y
+  | Ident x, Ident y -> String.equal x y
+  | Self, Self -> true
+  | New c, New c' -> Name.Class.equal c c'
+  | Unop (o, e), Unop (o', e') -> o = o' && equal_expr e e'
+  | Binop (o, l, r), Binop (o', l', r') -> o = o' && equal_expr l l' && equal_expr r r'
+  | Send m, Send m' -> equal_msg m m'
+  | (Lit _ | Ident _ | Self | New _ | Unop _ | Binop _ | Send _), _ -> false
+
+and equal_msg m m' =
+  Option.equal Name.Class.equal m.msg_prefix m'.msg_prefix
+  && Name.Method.equal m.msg_name m'.msg_name
+  && List.equal equal_expr m.msg_args m'.msg_args
+  && equal_recv m.msg_recv m'.msg_recv
+
+and equal_recv r r' =
+  match (r, r') with
+  | Rself, Rself -> true
+  | Rexpr e, Rexpr e' -> equal_expr e e'
+  | (Rself | Rexpr _), _ -> false
+
+let rec equal_stmt a b =
+  match (a, b) with
+  | Assign (x, e), Assign (x', e') | Var (x, e), Var (x', e') ->
+      String.equal x x' && equal_expr e e'
+  | Send_stmt m, Send_stmt m' -> equal_msg m m'
+  | If (c, t, f), If (c', t', f') ->
+      equal_expr c c' && equal_body t t' && equal_body f f'
+  | While (c, b), While (c', b') -> equal_expr c c' && equal_body b b'
+  | Return e, Return e' -> equal_expr e e'
+  | (Assign _ | Var _ | Send_stmt _ | If _ | While _ | Return _), _ -> false
+
+and equal_body a b = List.equal equal_stmt a b
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Lit _ | Ident _ | Self | New _ -> acc
+  | Unop (_, e1) -> fold_expr f acc e1
+  | Binop (_, l, r) -> fold_expr f (fold_expr f acc l) r
+  | Send m -> fold_msg_exprs f acc m
+
+and fold_msg_exprs f acc m =
+  let acc = List.fold_left (fold_expr f) acc m.msg_args in
+  match m.msg_recv with Rself -> acc | Rexpr e -> fold_expr f acc e
+
+let rec fold_stmt_exprs f acc = function
+  | Assign (_, e) | Var (_, e) | Return e -> fold_expr f acc e
+  | Send_stmt m -> fold_msg_exprs f acc m
+  | If (c, t, e) ->
+      let acc = fold_expr f acc c in
+      let acc = List.fold_left (fold_stmt_exprs f) acc t in
+      List.fold_left (fold_stmt_exprs f) acc e
+  | While (c, b) ->
+      let acc = fold_expr f acc c in
+      List.fold_left (fold_stmt_exprs f) acc b
+
+let fold_exprs f acc body = List.fold_left (fold_stmt_exprs f) acc body
+
+let rec fold_msg_in_expr f acc = function
+  | Lit _ | Ident _ | Self | New _ -> acc
+  | Unop (_, e) -> fold_msg_in_expr f acc e
+  | Binop (_, l, r) -> fold_msg_in_expr f (fold_msg_in_expr f acc l) r
+  | Send m -> fold_msg_deep f acc m
+
+and fold_msg_deep f acc m =
+  let acc = f acc m in
+  let acc = List.fold_left (fold_msg_in_expr f) acc m.msg_args in
+  match m.msg_recv with Rself -> acc | Rexpr e -> fold_msg_in_expr f acc e
+
+let rec fold_msg_in_stmt f acc = function
+  | Assign (_, e) | Var (_, e) | Return e -> fold_msg_in_expr f acc e
+  | Send_stmt m -> fold_msg_deep f acc m
+  | If (c, t, e) ->
+      let acc = fold_msg_in_expr f acc c in
+      let acc = List.fold_left (fold_msg_in_stmt f) acc t in
+      List.fold_left (fold_msg_in_stmt f) acc e
+  | While (c, b) ->
+      let acc = fold_msg_in_expr f acc c in
+      List.fold_left (fold_msg_in_stmt f) acc b
+
+let fold_msgs f acc body = List.fold_left (fold_msg_in_stmt f) acc body

@@ -1,0 +1,63 @@
+(** Abstract syntax of ODML, the object-database method language.
+
+    Following sec. 2.2 of the paper, a method body is a sequence of
+    assignments, expressions and messages; control structures ([if],
+    [while]) are present in the language but deliberately ignored by the
+    access-vector analysis, which merges all execution paths.
+
+    Messages come in two forms: the simple form [send M(args) to recv] and
+    the prefixed form [send C.M(args) to self], used when an overriding
+    method extends the method it replaces. *)
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type expr =
+  | Lit of Tavcc_model.Value.t
+  | Ident of string
+      (** a field of the receiver, a parameter, or a local variable;
+          resolved lexically (locals shadow parameters shadow fields) *)
+  | Self
+  | New of Tavcc_model.Name.Class.t  (** create a fresh instance *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Send of msg  (** message whose result is used as a value *)
+
+and msg = {
+  msg_prefix : Tavcc_model.Name.Class.t option;
+      (** [Some c] for the prefixed form [send c.M to self] *)
+  msg_name : Tavcc_model.Name.Method.t;
+  msg_args : expr list;
+  msg_recv : recv;
+}
+
+and recv = Rself | Rexpr of expr
+
+type stmt =
+  | Assign of string * expr  (** [x := e] where [x] is a field or local *)
+  | Var of string * expr  (** [var x := e] declares a local *)
+  | Send_stmt of msg
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr
+
+type body = stmt list
+
+val pp_unop : Format.formatter -> unop -> unit
+val pp_binop : Format.formatter -> binop -> unit
+
+val equal_expr : expr -> expr -> bool
+val equal_stmt : stmt -> stmt -> bool
+val equal_body : body -> body -> bool
+
+val fold_exprs : ('acc -> expr -> 'acc) -> 'acc -> body -> 'acc
+(** Folds over every expression of the body, including nested
+    sub-expressions, in source order. *)
+
+val fold_msgs : ('acc -> msg -> 'acc) -> 'acc -> body -> 'acc
+(** Folds over every message of the body (statements and expressions),
+    including messages nested inside arguments. *)

@@ -1,0 +1,234 @@
+open Tavcc_model
+module CN = Name.Class
+module MN = Name.Method
+module FN = Name.Field
+
+type error = { ce_class : CN.t; ce_method : MN.t option; ce_msg : string }
+
+let pp_error ppf e =
+  match e.ce_method with
+  | Some m -> Format.fprintf ppf "%a.%a: %s" CN.pp e.ce_class MN.pp m e.ce_msg
+  | None -> Format.fprintf ppf "%a: %s" CN.pp e.ce_class e.ce_msg
+
+(* Inferred types: [Any] when the type is statically unknown (parameters,
+   message results, null). *)
+type ity = Any | Known of Value.ty
+
+let ity_of_value = function
+  | Value.Vint _ -> Known Value.Tint
+  | Value.Vbool _ -> Known Value.Tbool
+  | Value.Vstring _ -> Known Value.Tstring
+  | Value.Vfloat _ -> Known Value.Tfloat
+  | Value.Vref _ | Value.Vnull -> Any
+
+let pp_ity ppf = function
+  | Any -> Format.pp_print_string ppf "<any>"
+  | Known ty -> Value.pp_ty ppf ty
+
+(* What an identifier resolves to in the current scope. *)
+type binding = Bfield of Schema.field_def | Bparam | Blocal of ity
+
+type ctx = {
+  schema : Ast.body Schema.t;
+  cls : CN.t;
+  meth : MN.t;
+  mutable scope : (string * binding) list;  (* innermost first *)
+  mutable errors : error list;
+}
+
+let err ctx fmt =
+  Format.kasprintf
+    (fun msg ->
+      ctx.errors <- { ce_class = ctx.cls; ce_method = Some ctx.meth; ce_msg = msg } :: ctx.errors)
+    fmt
+
+let lookup ctx x =
+  match List.assoc_opt x ctx.scope with
+  | Some b -> Some b
+  | None -> (
+      match Schema.field_def ctx.schema ctx.cls (FN.of_string x) with
+      | Some fd -> Some (Bfield fd)
+      | None -> None)
+
+let compatible a b =
+  match (a, b) with Any, _ | _, Any -> true | Known x, Known y -> Value.equal_ty x y
+
+let rec infer ctx e =
+  match e with
+  | Ast.Lit v -> ity_of_value v
+  | Ast.Self -> Known (Value.Tref ctx.cls)
+  | Ast.New c ->
+      if not (Schema.mem ctx.schema c) then err ctx "new %a: unknown class" CN.pp c;
+      Known (Value.Tref c)
+  | Ast.Ident x -> (
+      match lookup ctx x with
+      | Some (Bfield fd) -> Known fd.Schema.f_ty
+      | Some Bparam -> Any
+      | Some (Blocal ty) -> ty
+      | None ->
+          err ctx "unknown identifier '%s'" x;
+          Any)
+  | Ast.Unop (Ast.Neg, e1) -> (
+      match infer ctx e1 with
+      | Known Value.Tint -> Known Value.Tint
+      | Known Value.Tfloat -> Known Value.Tfloat
+      | Any -> Any
+      | Known ty ->
+          err ctx "operator '-' applied to %a" Value.pp_ty ty;
+          Any)
+  | Ast.Unop (Ast.Not, e1) -> (
+      match infer ctx e1 with
+      | Known Value.Tbool | Any -> Known Value.Tbool
+      | Known ty ->
+          err ctx "operator 'not' applied to %a" Value.pp_ty ty;
+          Known Value.Tbool)
+  | Ast.Binop (op, l, r) -> infer_binop ctx op l r
+  | Ast.Send m -> check_msg ctx m
+
+and infer_binop ctx op l r =
+  let tl = infer ctx l in
+  let tr = infer ctx r in
+  let numeric = function Known Value.Tint | Known Value.Tfloat | Any -> true | _ -> false in
+  let booly = function Known Value.Tbool | Any -> true | _ -> false in
+  let bad () =
+    err ctx "operator '%a' applied to %a and %a" Ast.pp_binop op pp_ity tl pp_ity tr
+  in
+  match op with
+  | Ast.Add ->
+      (* Arithmetic addition or string concatenation. *)
+      if (numeric tl && numeric tr) || (compatible tl (Known Value.Tstring) && compatible tr (Known Value.Tstring))
+      then (match (tl, tr) with Known t, _ -> Known t | _, Known t -> Known t | _ -> Any)
+      else (
+        bad ();
+        Any)
+  | Ast.Sub | Ast.Mul | Ast.Div ->
+      if numeric tl && numeric tr && compatible tl tr then
+        match (tl, tr) with Known t, _ -> Known t | _, Known t -> Known t | _ -> Any
+      else (
+        bad ();
+        Any)
+  | Ast.Mod ->
+      if compatible tl (Known Value.Tint) && compatible tr (Known Value.Tint) then Known Value.Tint
+      else (
+        bad ();
+        Known Value.Tint)
+  | Ast.Eq | Ast.Ne ->
+      if compatible tl tr then Known Value.Tbool
+      else (
+        bad ();
+        Known Value.Tbool)
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      let ordered = function
+        | Known (Value.Tint | Value.Tfloat | Value.Tstring) | Any -> true
+        | _ -> false
+      in
+      if ordered tl && ordered tr && compatible tl tr then Known Value.Tbool
+      else (
+        bad ();
+        Known Value.Tbool)
+  | Ast.And | Ast.Or ->
+      if booly tl && booly tr then Known Value.Tbool
+      else (
+        bad ();
+        Known Value.Tbool)
+
+(* Checks a message and returns the (unknown) type of its result. *)
+and check_msg ctx m =
+  List.iter (fun a -> ignore (infer ctx a)) m.Ast.msg_args;
+  let arity_check target_cls resolved =
+    match resolved with
+    | None ->
+        err ctx "class %a does not understand message %a" CN.pp target_cls MN.pp m.Ast.msg_name
+    | Some (_, (md : Ast.body Schema.method_def)) ->
+        let expected = List.length md.Schema.m_params in
+        let given = List.length m.Ast.msg_args in
+        if expected <> given then
+          err ctx "message %a expects %d argument(s) but receives %d" MN.pp m.Ast.msg_name
+            expected given
+  in
+  (match (m.Ast.msg_prefix, m.Ast.msg_recv) with
+  | Some c', Ast.Rself ->
+      if not (Schema.mem ctx.schema c') then
+        err ctx "prefixed send to unknown class %a" CN.pp c'
+      else if not (List.exists (CN.equal c') (Schema.ancestors ctx.schema ctx.cls)) then
+        err ctx "prefixed send %a.%a: %a is not an ancestor of %a" CN.pp c' MN.pp m.Ast.msg_name
+          CN.pp c' CN.pp ctx.cls
+      else arity_check c' (Schema.resolve_from ctx.schema c' m.Ast.msg_name)
+  | Some _, Ast.Rexpr _ -> err ctx "prefixed sends may only target self"
+  | None, Ast.Rself -> arity_check ctx.cls (Schema.resolve ctx.schema ctx.cls m.Ast.msg_name)
+  | None, Ast.Rexpr e -> (
+      match infer ctx e with
+      | Known (Value.Tref d) -> arity_check d (Schema.resolve ctx.schema d m.Ast.msg_name)
+      | Known ty -> err ctx "message sent to a value of base type %a" Value.pp_ty ty
+      | Any -> (* dynamically checked *) ()));
+  Any
+
+let rec check_stmt ctx s =
+  match s with
+  | Ast.Assign (x, e) -> (
+      let te = infer ctx e in
+      match lookup ctx x with
+      | Some (Bfield fd) ->
+          if not (compatible te (Known fd.Schema.f_ty)) then
+            err ctx "field %s of type %a assigned a value of type %a" x Value.pp_ty
+              fd.Schema.f_ty pp_ity te
+      | Some Bparam -> err ctx "cannot assign to parameter '%s'" x
+      | Some (Blocal tl) ->
+          if not (compatible te tl) then
+            err ctx "local %s of type %a assigned a value of type %a" x pp_ity tl pp_ity te
+      | None -> err ctx "assignment to unknown identifier '%s'" x)
+  | Ast.Var (x, e) ->
+      let te = infer ctx e in
+      if List.exists (fun (y, b) -> String.equal x y && match b with Blocal _ -> true | _ -> false) ctx.scope
+      then err ctx "local '%s' is declared twice" x;
+      ctx.scope <- (x, Blocal te) :: ctx.scope
+  | Ast.Send_stmt m -> ignore (check_msg ctx m)
+  | Ast.Return e -> ignore (infer ctx e)
+  | Ast.If (c, t, e) ->
+      require_bool ctx c;
+      check_block ctx t;
+      check_block ctx e
+  | Ast.While (c, b) ->
+      require_bool ctx c;
+      check_block ctx b
+
+and require_bool ctx c =
+  match infer ctx c with
+  | Known Value.Tbool | Any -> ()
+  | Known ty -> err ctx "condition of type %a (expected boolean)" Value.pp_ty ty
+
+and check_block ctx stmts =
+  (* Locals declared inside a block do not escape it. *)
+  let saved = ctx.scope in
+  List.iter (check_stmt ctx) stmts;
+  ctx.scope <- saved
+
+let check_method schema cls (md : Ast.body Schema.method_def) =
+  let ctx =
+    {
+      schema;
+      cls;
+      meth = md.Schema.m_name;
+      scope = List.map (fun p -> (p, Bparam)) md.Schema.m_params;
+      errors = [];
+    }
+  in
+  let dup =
+    let rec find_dup = function
+      | [] -> None
+      | p :: tl -> if List.mem p tl then Some p else find_dup tl
+    in
+    find_dup md.Schema.m_params
+  in
+  (match dup with Some p -> err ctx "duplicate parameter '%s'" p | None -> ());
+  check_block ctx md.Schema.m_body;
+  List.rev ctx.errors
+
+let check schema =
+  let errors =
+    List.concat_map
+      (fun cls ->
+        List.concat_map (check_method schema cls) (Schema.own_methods schema cls))
+      (Schema.classes schema)
+  in
+  match errors with [] -> Ok () | _ -> Error errors

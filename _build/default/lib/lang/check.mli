@@ -1,0 +1,29 @@
+(** Static checks on an ODML schema.
+
+    ODML is dynamically typed; the checker performs the static validation a
+    database compiler would do before running the access-vector analysis:
+
+    - every identifier resolves to a field, parameter or local (locals
+      shadow parameters, which shadow fields);
+    - assignment targets are fields or locals, never parameters;
+    - [var] does not redeclare a live local;
+    - simple self-sends name a method of the class, with matching arity;
+    - prefixed sends [send C'.M to self] target an ancestor class that
+      resolves the method, and only [self] may be their receiver;
+    - sends to a field of reference type are checked against the declared
+      domain of the field (methods and arity);
+    - [new C] names a class of the schema;
+    - best-effort type inference flags operator and assignment type
+      mismatches whenever both sides have statically known types. *)
+
+type error = {
+  ce_class : Tavcc_model.Name.Class.t;
+  ce_method : Tavcc_model.Name.Method.t option;
+  ce_msg : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Ast.body Tavcc_model.Schema.t -> (unit, error list) result
+(** [check s] is [Ok ()] when every method of every class passes all the
+    checks, and the full list of diagnostics otherwise. *)

@@ -1,0 +1,210 @@
+open Tavcc_model
+module CN = Name.Class
+module MN = Name.Method
+module FN = Name.Field
+
+type hooks = {
+  h_top_send : Oid.t -> CN.t -> MN.t -> unit;
+  h_self_send : Oid.t -> CN.t -> MN.t -> unit;
+  h_read : Oid.t -> CN.t -> FN.t -> unit;
+  h_write : Oid.t -> CN.t -> FN.t -> old:Value.t -> Value.t -> unit;
+  h_new : Oid.t -> CN.t -> unit;
+}
+
+let no_hooks =
+  {
+    h_top_send = (fun _ _ _ -> ());
+    h_self_send = (fun _ _ _ -> ());
+    h_read = (fun _ _ _ -> ());
+    h_write = (fun _ _ _ ~old:_ _ -> ());
+    h_new = (fun _ _ -> ());
+  }
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* Non-escaping control-flow exception for [return]. *)
+exception Return_value of Value.t
+
+type frame = {
+  self : Oid.t;
+  cls : CN.t;  (* proper class of [self] *)
+  params : (string * Value.t) list;
+  mutable locals : (string * Value.t ref) list;  (* innermost first *)
+}
+
+type env = { store : Ast.body Store.t; hooks : hooks; mutable fuel : int }
+
+let burn env =
+  if env.fuel <= 0 then error "step limit exceeded (runaway loop?)";
+  env.fuel <- env.fuel - 1
+
+let rec eval env frame e =
+  burn env;
+  match e with
+  | Ast.Lit v -> v
+  | Ast.Self -> Value.Vref frame.self
+  | Ast.New c ->
+      if not (Schema.mem (Store.schema env.store) c) then error "new %a: unknown class" CN.pp c;
+      let oid = Store.new_instance env.store c in
+      env.hooks.h_new oid c;
+      Value.Vref oid
+  | Ast.Ident x -> (
+      match List.assoc_opt x frame.locals with
+      | Some r -> !r
+      | None -> (
+          match List.assoc_opt x frame.params with
+          | Some v -> v
+          | None ->
+              let f = FN.of_string x in
+              let schema = Store.schema env.store in
+              if Schema.field_index schema frame.cls f = None then
+                error "unknown identifier '%s' in class %a" x CN.pp frame.cls;
+              env.hooks.h_read frame.self frame.cls f;
+              Store.read env.store frame.self f))
+  | Ast.Unop (op, e1) -> eval_unop op (eval env frame e1)
+  | Ast.Binop (Ast.And, l, r) ->
+      if Value.truthy (eval env frame l) then
+        Value.Vbool (Value.truthy (eval env frame r))
+      else Value.Vbool false
+  | Ast.Binop (Ast.Or, l, r) ->
+      if Value.truthy (eval env frame l) then Value.Vbool true
+      else Value.Vbool (Value.truthy (eval env frame r))
+  | Ast.Binop (op, l, r) ->
+      let vl = eval env frame l in
+      let vr = eval env frame r in
+      eval_binop op vl vr
+  | Ast.Send m -> eval_msg env frame m
+
+and eval_unop op v =
+  match (op, v) with
+  | Ast.Neg, Value.Vint i -> Value.Vint (-i)
+  | Ast.Neg, Value.Vfloat f -> Value.Vfloat (-.f)
+  | Ast.Neg, v -> error "operator '-' applied to %a" Value.pp v
+  | Ast.Not, v -> Value.Vbool (not (Value.truthy v))
+
+and eval_binop op vl vr =
+  let arith fi ff =
+    match (vl, vr) with
+    | Value.Vint a, Value.Vint b -> Value.Vint (fi a b)
+    | Value.Vfloat a, Value.Vfloat b -> Value.Vfloat (ff a b)
+    | Value.Vint a, Value.Vfloat b -> Value.Vfloat (ff (float_of_int a) b)
+    | Value.Vfloat a, Value.Vint b -> Value.Vfloat (ff a (float_of_int b))
+    | _ -> error "operator '%a' applied to %a and %a" Ast.pp_binop op Value.pp vl Value.pp vr
+  in
+  let compare_vals () =
+    match (vl, vr) with
+    | (Value.Vint _ | Value.Vfloat _), (Value.Vint _ | Value.Vfloat _) ->
+        let f = function Value.Vint i -> float_of_int i | Value.Vfloat f -> f | _ -> assert false in
+        Float.compare (f vl) (f vr)
+    | Value.Vstring a, Value.Vstring b -> String.compare a b
+    | _ -> error "operator '%a' applied to %a and %a" Ast.pp_binop op Value.pp vl Value.pp vr
+  in
+  match op with
+  | Ast.Add -> (
+      match (vl, vr) with
+      | Value.Vstring a, Value.Vstring b -> Value.Vstring (a ^ b)
+      | _ -> arith ( + ) ( +. ))
+  | Ast.Sub -> arith ( - ) ( -. )
+  | Ast.Mul -> arith ( * ) ( *. )
+  | Ast.Div -> (
+      match (vl, vr) with
+      | _, Value.Vint 0 -> error "division by zero"
+      | _ -> arith ( / ) ( /. ))
+  | Ast.Mod -> (
+      match (vl, vr) with
+      | Value.Vint _, Value.Vint 0 -> error "modulo by zero"
+      | Value.Vint a, Value.Vint b -> Value.Vint (a mod b)
+      | _ -> error "operator '%%' applied to %a and %a" Value.pp vl Value.pp vr)
+  | Ast.Eq -> Value.Vbool (Value.equal vl vr)
+  | Ast.Ne -> Value.Vbool (not (Value.equal vl vr))
+  | Ast.Lt -> Value.Vbool (compare_vals () < 0)
+  | Ast.Le -> Value.Vbool (compare_vals () <= 0)
+  | Ast.Gt -> Value.Vbool (compare_vals () > 0)
+  | Ast.Ge -> Value.Vbool (compare_vals () >= 0)
+  | Ast.And | Ast.Or -> assert false (* short-circuited in [eval] *)
+
+and eval_msg env frame m =
+  let args = List.map (eval env frame) m.Ast.msg_args in
+  match (m.Ast.msg_prefix, m.Ast.msg_recv) with
+  | Some c', Ast.Rself ->
+      (* Prefixed self-call: resolution starts at the named ancestor. *)
+      env.hooks.h_self_send frame.self frame.cls m.Ast.msg_name;
+      run_method env frame.self frame.cls ~resolve_at:c' m.Ast.msg_name args
+  | Some _, Ast.Rexpr _ -> error "prefixed sends may only target self"
+  | None, Ast.Rself ->
+      env.hooks.h_self_send frame.self frame.cls m.Ast.msg_name;
+      run_method env frame.self frame.cls ~resolve_at:frame.cls m.Ast.msg_name args
+  | None, Ast.Rexpr e -> (
+      match eval env frame e with
+      | Value.Vref oid when Oid.equal oid frame.self ->
+          (* A message explicitly sent to an expression equal to self is
+             still a self-directed access for concurrency purposes. *)
+          env.hooks.h_self_send frame.self frame.cls m.Ast.msg_name;
+          run_method env frame.self frame.cls ~resolve_at:frame.cls m.Ast.msg_name args
+      | Value.Vref oid ->
+          let cls = Store.class_of env.store oid in
+          env.hooks.h_top_send oid cls m.Ast.msg_name;
+          run_method env oid cls ~resolve_at:cls m.Ast.msg_name args
+      | Value.Vnull -> error "message %a sent to null" MN.pp m.Ast.msg_name
+      | v -> error "message %a sent to base value %a" MN.pp m.Ast.msg_name Value.pp v)
+
+and run_method env self cls ~resolve_at name args =
+  let schema = Store.schema env.store in
+  match Schema.resolve_from schema resolve_at name with
+  | None -> error "class %a does not understand message %a" CN.pp resolve_at MN.pp name
+  | Some (_, md) ->
+      let expected = List.length md.Schema.m_params in
+      if expected <> List.length args then
+        error "message %a expects %d argument(s) but received %d" MN.pp name expected
+          (List.length args);
+      let frame = { self; cls; params = List.combine md.Schema.m_params args; locals = [] } in
+      exec_body env frame md.Schema.m_body
+
+and exec_body env frame body =
+  try
+    List.iter (exec_stmt env frame) body;
+    Value.Vnull
+  with Return_value v -> v
+
+and exec_stmt env frame s =
+  burn env;
+  match s with
+  | Ast.Assign (x, e) -> (
+      let v = eval env frame e in
+      match List.assoc_opt x frame.locals with
+      | Some r -> r := v
+      | None ->
+          if List.mem_assoc x frame.params then error "cannot assign to parameter '%s'" x;
+          let f = FN.of_string x in
+          let schema = Store.schema env.store in
+          if Schema.field_index schema frame.cls f = None then
+            error "assignment to unknown identifier '%s' in class %a" x CN.pp frame.cls;
+          let old = Store.read env.store frame.self f in
+          env.hooks.h_write frame.self frame.cls f ~old v;
+          Store.write env.store frame.self f v)
+  | Ast.Var (x, e) ->
+      let v = eval env frame e in
+      frame.locals <- (x, ref v) :: frame.locals
+  | Ast.Send_stmt m -> ignore (eval_msg env frame m)
+  | Ast.Return e -> raise (Return_value (eval env frame e))
+  | Ast.If (c, t, f) ->
+      let branch = if Value.truthy (eval env frame c) then t else f in
+      exec_block env frame branch
+  | Ast.While (c, b) ->
+      while Value.truthy (eval env frame c) do
+        exec_block env frame b
+      done
+
+and exec_block env frame stmts =
+  (* Locals declared inside a block do not escape it. *)
+  let saved = frame.locals in
+  List.iter (exec_stmt env frame) stmts;
+  frame.locals <- saved
+
+let call ?(hooks = no_hooks) ?(max_steps = 1_000_000) store oid name args =
+  let env = { store; hooks; fuel = max_steps } in
+  let cls = Store.class_of store oid in
+  hooks.h_top_send oid cls name;
+  run_method env oid cls ~resolve_at:cls name args

@@ -1,0 +1,44 @@
+(** Tree-walking interpreter for ODML methods.
+
+    Execution is observable through {!hooks}: concurrency-control schemes
+    plug themselves in at message sends and field accesses, and the
+    serializability oracle records the raw read/write trace.  Hooks run
+    {e before} the corresponding action takes effect, so a hook that blocks
+    (e.g. waiting for a lock inside a simulation fiber) delays the action,
+    and a hook that raises cancels it. *)
+
+open Tavcc_model
+
+type hooks = {
+  h_top_send : Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+      (** a message arriving at an instance from outside it: the initial
+          call and every cross-object send.  The class is the instance's
+          proper class. *)
+  h_self_send : Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+      (** a self-directed message (simple or prefixed form) *)
+  h_read : Oid.t -> Name.Class.t -> Name.Field.t -> unit;
+  h_write : Oid.t -> Name.Class.t -> Name.Field.t -> old:Value.t -> Value.t -> unit;
+  h_new : Oid.t -> Name.Class.t -> unit;
+}
+
+val no_hooks : hooks
+
+exception Runtime_error of string
+(** Dynamic failure: doesNotUnderstand, arity mismatch, bad operand types,
+    division by zero, message to null/base value, or step-limit overrun. *)
+
+val call :
+  ?hooks:hooks ->
+  ?max_steps:int ->
+  Ast.body Store.t ->
+  Oid.t ->
+  Name.Method.t ->
+  Value.t list ->
+  Value.t
+(** [call store oid m args] sends message [m] to the instance [oid] and
+    returns the method's result ([Vnull] when the body ends without
+    [return]).  [max_steps] (default 1_000_000) bounds the number of
+    statements and expressions evaluated, guarding against runaway loops.
+
+    @raise Runtime_error on dynamic failure
+    @raise Store.Unknown_oid if [oid] is not live *)

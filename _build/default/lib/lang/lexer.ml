@@ -1,0 +1,147 @@
+exception Error of string * Token.pos
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let current_pos st = { Token.line = st.line; col = st.col }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number st pos =
+  let b = Buffer.create 8 in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+        Buffer.add_char b c;
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      Buffer.add_char b '.';
+      advance st;
+      digits ();
+      (Token.FLOAT (float_of_string (Buffer.contents b)), pos)
+  | _ -> (Token.INT (int_of_string (Buffer.contents b)), pos)
+
+let lex_string st pos =
+  advance st;
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> raise (Error ("unterminated string literal", pos))
+    | Some '"' ->
+        advance st;
+        (Token.STRING (Buffer.contents b), pos)
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> Buffer.add_char b '\n'; advance st; go ()
+        | Some 't' -> Buffer.add_char b '\t'; advance st; go ()
+        | Some '\\' -> Buffer.add_char b '\\'; advance st; go ()
+        | Some '"' -> Buffer.add_char b '"'; advance st; go ()
+        | Some c -> raise (Error (Printf.sprintf "unknown escape '\\%c'" c, current_pos st))
+        | None -> raise (Error ("unterminated string literal", pos)))
+    | Some c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+  in
+  go ()
+
+let lex_ident st pos =
+  let b = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let s = Buffer.contents b in
+  match Token.keyword_of_string s with
+  | Some kw -> (kw, pos)
+  | None -> (Token.IDENT s, pos)
+
+let next_token st =
+  skip_trivia st;
+  let pos = current_pos st in
+  match peek st with
+  | None -> (Token.EOF, pos)
+  | Some c when is_digit c -> lex_number st pos
+  | Some c when is_ident_start c -> lex_ident st pos
+  | Some '"' -> lex_string st pos
+  | Some c -> (
+      let simple tok =
+        advance st;
+        (tok, pos)
+      in
+      let two tok =
+        advance st;
+        advance st;
+        (tok, pos)
+      in
+      match (c, peek2 st) with
+      | ':', Some '=' -> two Token.ASSIGN
+      | ':', _ -> simple Token.COLON
+      | ';', _ -> simple Token.SEMI
+      | ',', _ -> simple Token.COMMA
+      | '.', _ -> simple Token.DOT
+      | '(', _ -> simple Token.LPAREN
+      | ')', _ -> simple Token.RPAREN
+      | '+', _ -> simple Token.PLUS
+      | '-', _ -> simple Token.MINUS
+      | '*', _ -> simple Token.STAR
+      | '/', _ -> simple Token.SLASH
+      | '%', _ -> simple Token.PERCENT
+      | '=', _ -> simple Token.EQ
+      | '<', Some '>' -> two Token.NE
+      | '<', Some '=' -> two Token.LE
+      | '<', _ -> simple Token.LT
+      | '>', Some '=' -> two Token.GE
+      | '>', _ -> simple Token.GT
+      | _ -> raise (Error (Printf.sprintf "illegal character %C" c, pos)))
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let ((tok, _) as t) = next_token st in
+    if tok = Token.EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,12 @@
+(** Hand-written lexer for ODML.
+
+    Comments run from [--] to end of line.  Identifiers are
+    [\[a-zA-Z_\]\[a-zA-Z0-9_\]*]; keywords take precedence.  Integer and
+    float literals are decimal; strings are double-quoted with backslash
+    escapes for backslash, double quote, [n] and [t]. *)
+
+exception Error of string * Token.pos
+
+val tokenize : string -> (Token.t * Token.pos) list
+(** [tokenize src] is the token stream of [src], ending with {!Token.EOF}.
+    @raise Error on an illegal character or unterminated literal *)

@@ -1,0 +1,286 @@
+open Tavcc_model
+
+exception Error of string * Token.pos
+
+type state = { toks : (Token.t * Token.pos) array; mutable i : int }
+
+let peek st = fst st.toks.(st.i)
+let pos st = snd st.toks.(st.i)
+let advance st = if st.i < Array.length st.toks - 1 then st.i <- st.i + 1
+
+let fail st msg = raise (Error (msg, pos st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail st (Format.asprintf "expected '%a' but found '%a'" Token.pp tok Token.pp (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | t -> fail st (Format.asprintf "expected an identifier but found '%a'" Token.pp t)
+
+let accept st tok =
+  if peek st = tok then (
+    advance st;
+    true)
+  else false
+
+let parse_type st =
+  match peek st with
+  | Token.TINTEGER -> advance st; Value.Tint
+  | Token.TBOOLEAN -> advance st; Value.Tbool
+  | Token.TSTRING -> advance st; Value.Tstring
+  | Token.TFLOAT -> advance st; Value.Tfloat
+  | Token.IDENT c -> advance st; Value.Tref (Name.Class.of_string c)
+  | t -> fail st (Format.asprintf "expected a type but found '%a'" Token.pp t)
+
+(* --- Expressions --- *)
+
+let rec parse_expr_prec st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st Token.OR then Ast.Binop (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept st Token.AND then Ast.Binop (Ast.And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept st Token.NOT then Ast.Unop (Ast.Not, parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NE -> Some Ast.Ne
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Token.PLUS ->
+        advance st;
+        go (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    | Token.MINUS ->
+        advance st;
+        go (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Token.STAR ->
+        advance st;
+        go (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Token.SLASH ->
+        advance st;
+        go (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | Token.PERCENT ->
+        advance st;
+        go (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  if accept st Token.MINUS then Ast.Unop (Ast.Neg, parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.INT n -> advance st; Ast.Lit (Value.Vint n)
+  | Token.FLOAT f -> advance st; Ast.Lit (Value.Vfloat f)
+  | Token.STRING s -> advance st; Ast.Lit (Value.Vstring s)
+  | Token.TRUE -> advance st; Ast.Lit (Value.Vbool true)
+  | Token.FALSE -> advance st; Ast.Lit (Value.Vbool false)
+  | Token.NULL -> advance st; Ast.Lit Value.Vnull
+  | Token.SELF -> advance st; Ast.Self
+  | Token.NEW ->
+      advance st;
+      Ast.New (Name.Class.of_string (expect_ident st))
+  | Token.IDENT x -> advance st; Ast.Ident x
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr_prec st in
+      expect st Token.RPAREN;
+      e
+  | Token.SEND -> Ast.Send (parse_send st)
+  | t -> fail st (Format.asprintf "expected an expression but found '%a'" Token.pp t)
+
+(* --- Messages --- *)
+
+and parse_send st =
+  expect st Token.SEND;
+  let first = expect_ident st in
+  let prefix, name =
+    if accept st Token.DOT then (Some (Name.Class.of_string first), expect_ident st)
+    else (None, first)
+  in
+  let args =
+    if accept st Token.LPAREN then
+      if accept st Token.RPAREN then []
+      else
+        let rec go acc =
+          let e = parse_expr_prec st in
+          if accept st Token.COMMA then go (e :: acc)
+          else (
+            expect st Token.RPAREN;
+            List.rev (e :: acc))
+        in
+        go []
+    else []
+  in
+  expect st Token.TO;
+  let recv = if accept st Token.SELF then Ast.Rself else Ast.Rexpr (parse_expr_prec st) in
+  { Ast.msg_prefix = prefix; msg_name = Name.Method.of_string name; msg_args = args; msg_recv = recv }
+
+(* --- Statements --- *)
+
+let rec parse_stmt st =
+  match peek st with
+  | Token.IDENT x ->
+      advance st;
+      expect st Token.ASSIGN;
+      let e = parse_expr_prec st in
+      expect st Token.SEMI;
+      Ast.Assign (x, e)
+  | Token.VAR ->
+      advance st;
+      let x = expect_ident st in
+      expect st Token.ASSIGN;
+      let e = parse_expr_prec st in
+      expect st Token.SEMI;
+      Ast.Var (x, e)
+  | Token.SEND ->
+      let m = parse_send st in
+      expect st Token.SEMI;
+      Ast.Send_stmt m
+  | Token.IF ->
+      advance st;
+      let cond = parse_expr_prec st in
+      expect st Token.THEN;
+      let then_ = parse_stmts st in
+      let else_ = if accept st Token.ELSE then parse_stmts st else [] in
+      expect st Token.END;
+      ignore (accept st Token.SEMI);
+      Ast.If (cond, then_, else_)
+  | Token.WHILE ->
+      advance st;
+      let cond = parse_expr_prec st in
+      expect st Token.DO;
+      let body = parse_stmts st in
+      expect st Token.END;
+      ignore (accept st Token.SEMI);
+      Ast.While (cond, body)
+  | Token.RETURN ->
+      advance st;
+      let e = parse_expr_prec st in
+      expect st Token.SEMI;
+      Ast.Return e
+  | t -> fail st (Format.asprintf "expected a statement but found '%a'" Token.pp t)
+
+and parse_stmts st =
+  let rec go acc =
+    match peek st with
+    | Token.END | Token.ELSE | Token.EOF -> List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+(* --- Classes --- *)
+
+let parse_method st =
+  expect st Token.METHOD;
+  let name = expect_ident st in
+  let params =
+    if accept st Token.LPAREN then
+      if accept st Token.RPAREN then []
+      else
+        let rec go acc =
+          let p = expect_ident st in
+          if accept st Token.COMMA then go (p :: acc)
+          else (
+            expect st Token.RPAREN;
+            List.rev (p :: acc))
+        in
+        go []
+    else []
+  in
+  expect st Token.IS;
+  let body = parse_stmts st in
+  expect st Token.END;
+  { Schema.m_name = Name.Method.of_string name; m_params = params; m_body = body }
+
+let parse_class st =
+  expect st Token.CLASS;
+  let name = expect_ident st in
+  let parents =
+    if accept st Token.EXTENDS then
+      let rec go acc =
+        let p = expect_ident st in
+        if accept st Token.COMMA then go (p :: acc) else List.rev (p :: acc)
+      in
+      List.map Name.Class.of_string (go [])
+    else []
+  in
+  expect st Token.IS;
+  let fields =
+    if accept st Token.FIELDS then
+      let rec go acc =
+        match peek st with
+        | Token.IDENT f ->
+            advance st;
+            expect st Token.COLON;
+            let ty = parse_type st in
+            expect st Token.SEMI;
+            go ((Name.Field.of_string f, ty) :: acc)
+        | _ -> List.rev acc
+      in
+      go []
+    else []
+  in
+  let rec methods acc =
+    if peek st = Token.METHOD then methods (parse_method st :: acc) else List.rev acc
+  in
+  let ms = methods [] in
+  expect st Token.END;
+  { Schema.c_name = Name.Class.of_string name; c_parents = parents; c_fields = fields; c_methods = ms }
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); i = 0 }
+
+let parse_decls src =
+  let st = make_state src in
+  let rec go acc =
+    match peek st with
+    | Token.EOF -> List.rev acc
+    | Token.CLASS -> go (parse_class st :: acc)
+    | t -> fail st (Format.asprintf "expected 'class' but found '%a'" Token.pp t)
+  in
+  go []
+
+let parse_body src =
+  let st = make_state src in
+  let b = parse_stmts st in
+  expect st Token.EOF;
+  b
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expr_prec st in
+  expect st Token.EOF;
+  e

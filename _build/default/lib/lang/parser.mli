@@ -1,0 +1,39 @@
+(** Recursive-descent parser for ODML.
+
+    Grammar (EBNF):
+    {v
+    schema   ::= class* EOF
+    class    ::= "class" IDENT ["extends" IDENT {"," IDENT}] "is"
+                   ["fields" {IDENT ":" type ";"}]
+                   {method}
+                 "end"
+    type     ::= "integer" | "boolean" | "string" | "float" | IDENT
+    method   ::= "method" IDENT ["(" [IDENT {"," IDENT}] ")"] "is" {stmt} "end"
+    stmt     ::= IDENT ":=" expr ";"
+               | "var" IDENT ":=" expr ";"
+               | "send" msg "to" recv ";"
+               | "if" expr "then" {stmt} ["else" {stmt}] "end" [";"]
+               | "while" expr "do" {stmt} "end" [";"]
+               | "return" expr ";"
+    msg      ::= [IDENT "."] IDENT ["(" [expr {"," expr}] ")"]
+    recv     ::= "self" | expr
+    expr     ::= or-expr with the usual precedence
+                 (or < and < not < comparison < + - < * / % < unary -);
+                 primaries are literals, "null", "self", "new" IDENT,
+                 identifiers, "(" expr ")" and "send" msg "to" recv
+    v} *)
+
+exception Error of string * Token.pos
+
+val parse_decls : string -> Ast.body Tavcc_model.Schema.class_decl list
+(** [parse_decls src] parses a whole schema source.
+    @raise Error on a syntax error
+    @raise Lexer.Error on a lexical error *)
+
+val parse_body : string -> Ast.body
+(** Parses a bare statement sequence; convenient in tests.
+    @raise Error on a syntax error *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a single expression; convenient in tests.
+    @raise Error on a syntax error *)

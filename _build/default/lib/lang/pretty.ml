@@ -1,0 +1,128 @@
+open Tavcc_model
+
+(* Precedence levels, used to parenthesise only where required:
+   0 or, 1 and, 2 not, 3 comparison, 4 additive, 5 multiplicative,
+   6 unary minus, 7 primary. *)
+let prec_binop = function
+  | Ast.Or -> 0
+  | Ast.And -> 1
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 3
+  | Ast.Add | Ast.Sub -> 4
+  | Ast.Mul | Ast.Div | Ast.Mod -> 5
+
+let rec pp_prec lvl ppf e =
+  match e with
+  | Ast.Lit v -> Value.pp ppf v
+  | Ast.Ident x -> Format.pp_print_string ppf x
+  | Ast.Self -> Format.pp_print_string ppf "self"
+  | Ast.New c -> Format.fprintf ppf "new %a" Name.Class.pp c
+  | Ast.Unop (Ast.Neg, e1) ->
+      (* The operand prints at primary level: a nested negation rendered as
+         [--x] would lex as a line comment. *)
+      let doc ppf () = Format.fprintf ppf "-%a" (pp_prec 7) e1 in
+      if lvl > 6 then Format.fprintf ppf "(%a)" doc () else doc ppf ()
+  | Ast.Unop (Ast.Not, e1) ->
+      let doc ppf () = Format.fprintf ppf "not %a" (pp_prec 2) e1 in
+      if lvl > 2 then Format.fprintf ppf "(%a)" doc () else doc ppf ()
+  | Ast.Binop (op, l, r) ->
+      let p = prec_binop op in
+      (* Binary operators associate to the left except the right-recursive
+         [and]/[or]; printing left at [p] and right at [p+1] (or [p] for
+         and/or) matches the parser. *)
+      let pl, pr =
+        match op with Ast.And | Ast.Or -> (p + 1, p) | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (p + 1, p + 1) | _ -> (p, p + 1)
+      in
+      let doc ppf () =
+        Format.fprintf ppf "%a %a %a" (pp_prec pl) l Ast.pp_binop op (pp_prec pr) r
+      in
+      if lvl > p then Format.fprintf ppf "(%a)" doc () else doc ppf ()
+  | Ast.Send m ->
+      let doc ppf () = pp_msg ppf m in
+      if lvl > 0 then Format.fprintf ppf "(%a)" doc () else doc ppf ()
+
+and pp_msg ppf m =
+  Format.fprintf ppf "send ";
+  (match m.Ast.msg_prefix with
+  | Some c -> Format.fprintf ppf "%a." Name.Class.pp c
+  | None -> ());
+  Name.Method.pp ppf m.Ast.msg_name;
+  (match m.Ast.msg_args with
+  | [] -> ()
+  | args ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (pp_prec 0))
+        args);
+  Format.fprintf ppf " to ";
+  match m.Ast.msg_recv with
+  | Ast.Rself -> Format.pp_print_string ppf "self"
+  | Ast.Rexpr e -> pp_prec 7 ppf e
+
+let pp_expr ppf e = pp_prec 0 ppf e
+
+let rec pp_stmt_ind ind ppf s =
+  let pad = String.make ind ' ' in
+  match s with
+  | Ast.Assign (x, e) -> Format.fprintf ppf "%s%s := %a;" pad x pp_expr e
+  | Ast.Var (x, e) -> Format.fprintf ppf "%svar %s := %a;" pad x pp_expr e
+  | Ast.Send_stmt m -> Format.fprintf ppf "%s%a;" pad pp_msg m
+  | Ast.Return e -> Format.fprintf ppf "%sreturn %a;" pad pp_expr e
+  | Ast.If (c, t, []) ->
+      Format.fprintf ppf "%sif %a then@\n%a@\n%send" pad pp_expr c (pp_body_ind (ind + 2)) t pad
+  | Ast.If (c, t, e) ->
+      Format.fprintf ppf "%sif %a then@\n%a@\n%selse@\n%a@\n%send" pad pp_expr c
+        (pp_body_ind (ind + 2))
+        t pad
+        (pp_body_ind (ind + 2))
+        e pad
+  | Ast.While (c, b) ->
+      Format.fprintf ppf "%swhile %a do@\n%a@\n%send" pad pp_expr c (pp_body_ind (ind + 2)) b pad
+
+and pp_body_ind ind ppf body =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline (pp_stmt_ind ind) ppf body
+
+let pp_stmt ppf s = pp_stmt_ind 0 ppf s
+let pp_body ppf b = pp_body_ind 0 ppf b
+
+let pp_method ppf (md : Ast.body Schema.method_def) =
+  Format.fprintf ppf "  method %a" Name.Method.pp md.Schema.m_name;
+  (match md.Schema.m_params with
+  | [] -> ()
+  | ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_string)
+        ps);
+  Format.fprintf ppf " is@\n%a@\n  end" (pp_body_ind 4) md.Schema.m_body
+
+let pp_class_decl ppf (d : Ast.body Schema.class_decl) =
+  Format.fprintf ppf "class %a" Name.Class.pp d.Schema.c_name;
+  (match d.Schema.c_parents with
+  | [] -> ()
+  | ps ->
+      Format.fprintf ppf " extends %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Name.Class.pp)
+        ps);
+  Format.fprintf ppf " is@\n";
+  (match d.Schema.c_fields with
+  | [] -> ()
+  | fs ->
+      Format.fprintf ppf "  fields@\n";
+      List.iter
+        (fun (f, ty) -> Format.fprintf ppf "    %a : %a;@\n" Name.Field.pp f Value.pp_ty ty)
+        fs);
+  List.iter (fun md -> Format.fprintf ppf "%a@\n" pp_method md) d.Schema.c_methods;
+  Format.fprintf ppf "end"
+
+let pp_decls ppf ds =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@\n@\n")
+    pp_class_decl ppf ds
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let body_to_string b = Format.asprintf "%a" pp_body b
+let decls_to_string ds = Format.asprintf "%a@\n" pp_decls ds

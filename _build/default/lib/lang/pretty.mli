@@ -1,0 +1,16 @@
+(** Pretty-printing of ODML back to concrete syntax.
+
+    [parse_decls (to_string decls)] is structurally equal to [decls]; the
+    round trip is property-tested.  Used, among other things, to regenerate
+    the paper's Figure 1 from the embedded example schema. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_body : Format.formatter -> Ast.body -> unit
+val pp_method : Format.formatter -> Ast.body Tavcc_model.Schema.method_def -> unit
+val pp_class_decl : Format.formatter -> Ast.body Tavcc_model.Schema.class_decl -> unit
+val pp_decls : Format.formatter -> Ast.body Tavcc_model.Schema.class_decl list -> unit
+
+val expr_to_string : Ast.expr -> string
+val body_to_string : Ast.body -> string
+val decls_to_string : Ast.body Tavcc_model.Schema.class_decl list -> string

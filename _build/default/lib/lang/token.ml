@@ -1,0 +1,58 @@
+type t =
+  | CLASS | EXTENDS | IS | END | FIELDS | METHOD | VAR
+  | SEND | TO | SELF | NEW
+  | IF | THEN | ELSE | WHILE | DO | RETURN
+  | NULL | TRUE | FALSE | AND | OR | NOT
+  | TINTEGER | TBOOLEAN | TSTRING | TFLOAT
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | ASSIGN
+  | COLON | SEMI | COMMA | DOT | LPAREN | RPAREN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+type pos = { line : int; col : int }
+
+let keywords =
+  [
+    ("class", CLASS); ("extends", EXTENDS); ("is", IS); ("end", END);
+    ("fields", FIELDS); ("method", METHOD); ("var", VAR);
+    ("send", SEND); ("to", TO); ("self", SELF); ("new", NEW);
+    ("if", IF); ("then", THEN); ("else", ELSE); ("while", WHILE);
+    ("do", DO); ("return", RETURN);
+    ("null", NULL); ("true", TRUE); ("false", FALSE);
+    ("and", AND); ("or", OR); ("not", NOT);
+    ("integer", TINTEGER); ("boolean", TBOOLEAN); ("string", TSTRING);
+    ("float", TFLOAT);
+  ]
+
+let keyword_of_string s = List.assoc_opt s keywords
+
+let pp ppf t =
+  let s =
+    match t with
+    | CLASS -> "class" | EXTENDS -> "extends" | IS -> "is" | END -> "end"
+    | FIELDS -> "fields" | METHOD -> "method" | VAR -> "var"
+    | SEND -> "send" | TO -> "to" | SELF -> "self" | NEW -> "new"
+    | IF -> "if" | THEN -> "then" | ELSE -> "else" | WHILE -> "while"
+    | DO -> "do" | RETURN -> "return"
+    | NULL -> "null" | TRUE -> "true" | FALSE -> "false"
+    | AND -> "and" | OR -> "or" | NOT -> "not"
+    | TINTEGER -> "integer" | TBOOLEAN -> "boolean" | TSTRING -> "string"
+    | TFLOAT -> "float"
+    | IDENT s -> s
+    | INT i -> string_of_int i
+    | FLOAT f -> string_of_float f
+    | STRING s -> Printf.sprintf "%S" s
+    | ASSIGN -> ":=" | COLON -> ":" | SEMI -> ";" | COMMA -> "," | DOT -> "."
+    | LPAREN -> "(" | RPAREN -> ")"
+    | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+    | EQ -> "=" | NE -> "<>" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+    | EOF -> "<eof>"
+  in
+  Format.pp_print_string ppf s
+
+let pp_pos ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col

@@ -1,0 +1,23 @@
+(** Lexical tokens of ODML. *)
+
+type t =
+  | CLASS | EXTENDS | IS | END | FIELDS | METHOD | VAR
+  | SEND | TO | SELF | NEW
+  | IF | THEN | ELSE | WHILE | DO | RETURN
+  | NULL | TRUE | FALSE | AND | OR | NOT
+  | TINTEGER | TBOOLEAN | TSTRING | TFLOAT
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | ASSIGN  (** [:=] *)
+  | COLON | SEMI | COMMA | DOT | LPAREN | RPAREN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+type pos = { line : int; col : int }
+
+val pp : Format.formatter -> t -> unit
+val pp_pos : Format.formatter -> pos -> unit
+val keyword_of_string : string -> t option

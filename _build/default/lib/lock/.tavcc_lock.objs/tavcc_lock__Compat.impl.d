@@ -1,0 +1,1 @@
+lib/lock/compat.ml: Array Format Printf String

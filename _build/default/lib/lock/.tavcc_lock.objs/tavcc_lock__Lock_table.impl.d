@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Bool Format Hashtbl Int List Option Pred Resource

@@ -1,0 +1,1 @@
+lib/lock/pred.ml: Format Name Tavcc_model Value

@@ -1,0 +1,1 @@
+lib/lock/pred.mli: Format Name Tavcc_model Value

@@ -1,0 +1,1 @@
+lib/lock/resource.ml: Format Hashtbl Int Map Name Oid Set Tavcc_model

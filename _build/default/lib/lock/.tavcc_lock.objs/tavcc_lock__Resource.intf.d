@@ -1,0 +1,1 @@
+lib/lock/resource.mli: Format Hashtbl Map Name Oid Set Tavcc_model

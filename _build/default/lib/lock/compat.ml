@@ -1,0 +1,60 @@
+type t = { names : string array; matrix : bool array array }
+
+let make ~names matrix =
+  let n = Array.length names in
+  if Array.length matrix <> n then invalid_arg "Compat.make: matrix size";
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "Compat.make: matrix size") matrix;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if matrix.(i).(j) <> matrix.(j).(i) then
+        invalid_arg "Compat.make: compatibility must be symmetric"
+    done
+  done;
+  { names; matrix }
+
+let size t = Array.length t.names
+let name t i = t.names.(i)
+let compatible t i j = t.matrix.(i).(j)
+
+let mode_of_name t s =
+  let found = ref None in
+  Array.iteri (fun i n -> if String.equal n s then found := Some i) t.names;
+  !found
+
+let pp ppf t =
+  let n = size t in
+  let width = Array.fold_left (fun w s -> max w (String.length s)) 3 t.names in
+  let pad s = Printf.sprintf "%-*s" width s in
+  Format.fprintf ppf "%s" (pad "");
+  Array.iter (fun m -> Format.fprintf ppf " %s" (pad m)) t.names;
+  Format.fprintf ppf "@\n";
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "%s" (pad t.names.(i));
+    for j = 0 to n - 1 do
+      Format.fprintf ppf " %s" (pad (if t.matrix.(i).(j) then "yes" else "no"))
+    done;
+    Format.fprintf ppf "@\n"
+  done
+
+let read = 0
+let write = 1
+
+let rw =
+  make ~names:[| "R"; "W" |] [| [| true; false |]; [| false; false |] |]
+
+let is_ = 0
+let ix = 1
+let s = 2
+let six = 3
+let x = 4
+
+let gray =
+  make
+    ~names:[| "IS"; "IX"; "S"; "SIX"; "X" |]
+    [|
+      [| true; true; true; true; false |];
+      [| true; true; false; false; false |];
+      [| true; false; true; false; false |];
+      [| true; false; false; false; false |];
+      [| false; false; false; false; false |];
+    |]

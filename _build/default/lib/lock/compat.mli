@@ -1,0 +1,37 @@
+(** Compatibility matrices over integer-encoded lock modes.
+
+    Every concurrency-control scheme reduces, at run time, to such a
+    matrix — that is the point of sec. 5.1 of the paper: whether the modes
+    are classical Read/Write, Gray's hierarchical IS/IX/S/SIX/X, or the
+    per-class access modes compiled from transitive access vectors, the
+    lock manager only ever performs an O(1) boolean lookup. *)
+
+type t
+
+val make : names:string array -> bool array array -> t
+(** @raise Invalid_argument if the matrix is not square of the right size
+    or not symmetric *)
+
+val size : t -> int
+val name : t -> int -> string
+val compatible : t -> int -> int -> bool
+val mode_of_name : t -> string -> int option
+val pp : Format.formatter -> t -> unit
+
+(** {2 Predefined matrices} *)
+
+val rw : t
+(** Classical two-mode locking: [read = 0], [write = 1]. *)
+
+val read : int
+val write : int
+
+(** Gray's hierarchical modes (granularity locking): [IS, IX, S, SIX, X]. *)
+
+val gray : t
+
+val is_ : int
+val ix : int
+val s : int
+val six : int
+val x : int

@@ -1,0 +1,238 @@
+type txn_id = int
+type req = {
+  r_txn : txn_id;
+  r_res : Resource.t;
+  r_mode : int;
+  r_hier : bool;
+  r_pred : Pred.t option;
+}
+
+let pp_req ppf r =
+  Format.fprintf ppf "txn%d:%a:mode%d%s%a" r.r_txn Resource.pp r.r_res r.r_mode
+    (if r.r_hier then ":hier" else "")
+    (fun ppf -> function None -> () | Some p -> Format.fprintf ppf ":%a" Pred.pp p)
+    r.r_pred
+
+type outcome = Granted | Waiting
+
+type stats = {
+  mutable requests : int;
+  mutable immediate : int;
+  mutable waits : int;
+  mutable conversions : int;
+}
+
+type entry = { mutable granted : req list; mutable queue : req list }
+(* [granted] and [queue] are oldest-first. *)
+
+type t = {
+  conflict : req -> req -> bool;
+  table : entry Resource.Tbl.t;
+  held_by : (txn_id, Resource.Set.t) Hashtbl.t;
+  stats : stats;
+}
+
+let create ~conflict () =
+  {
+    conflict;
+    table = Resource.Tbl.create 256;
+    held_by = Hashtbl.create 64;
+    stats = { requests = 0; immediate = 0; waits = 0; conversions = 0 };
+  }
+
+let entry t res =
+  match Resource.Tbl.find_opt t.table res with
+  | Some e -> e
+  | None ->
+      let e = { granted = []; queue = [] } in
+      Resource.Tbl.replace t.table res e;
+      e
+
+let remember_held t txn res =
+  let s = Option.value ~default:Resource.Set.empty (Hashtbl.find_opt t.held_by txn) in
+  Hashtbl.replace t.held_by txn (Resource.Set.add res s)
+
+let same_req a b =
+  a.r_txn = b.r_txn && Resource.equal a.r_res b.r_res && a.r_mode = b.r_mode
+  && Bool.equal a.r_hier b.r_hier
+  && Option.equal Pred.equal a.r_pred b.r_pred
+
+(* Does [req] conflict with any granted request of another transaction? *)
+let blocked_by_holders t e req =
+  List.exists (fun h -> h.r_txn <> req.r_txn && t.conflict h req) e.granted
+
+let acquire t req =
+  t.stats.requests <- t.stats.requests + 1;
+  let e = entry t req.r_res in
+  let already = List.exists (same_req req) e.granted in
+  if already then begin
+    t.stats.immediate <- t.stats.immediate + 1;
+    Granted
+  end
+  else begin
+    let holds_some = List.exists (fun h -> h.r_txn = req.r_txn) e.granted in
+    if holds_some then begin
+      (* Conversion: checked against the other holders only; waits at the
+         head of the queue on conflict. *)
+      t.stats.conversions <- t.stats.conversions + 1;
+      if blocked_by_holders t e req then begin
+        t.stats.waits <- t.stats.waits + 1;
+        e.queue <- req :: e.queue;
+        Waiting
+      end
+      else begin
+        t.stats.immediate <- t.stats.immediate + 1;
+        e.granted <- e.granted @ [ req ];
+        remember_held t req.r_txn req.r_res;
+        Granted
+      end
+    end
+    else if e.queue = [] && not (blocked_by_holders t e req) then begin
+      t.stats.immediate <- t.stats.immediate + 1;
+      e.granted <- e.granted @ [ req ];
+      remember_held t req.r_txn req.r_res;
+      Granted
+    end
+    else begin
+      t.stats.waits <- t.stats.waits + 1;
+      e.queue <- e.queue @ [ req ];
+      Waiting
+    end
+  end
+
+(* Greedily grants from the head of the queue; stops at the first blocked
+   request (strict FIFO). *)
+let drain t res e acc =
+  let rec go acc =
+    match e.queue with
+    | [] -> acc
+    | req :: rest ->
+        if blocked_by_holders t e req then acc
+        else begin
+          e.queue <- rest;
+          e.granted <- e.granted @ [ req ];
+          remember_held t req.r_txn res;
+          go (req :: acc)
+        end
+  in
+  go acc
+
+let release_all t txn =
+  (* Resources where the transaction holds locks... *)
+  let held = Option.value ~default:Resource.Set.empty (Hashtbl.find_opt t.held_by txn) in
+  Hashtbl.remove t.held_by txn;
+  (* ...plus the one it may be queued on. *)
+  let queued_on = ref Resource.Set.empty in
+  Resource.Tbl.iter
+    (fun res e -> if List.exists (fun r -> r.r_txn = txn) e.queue then queued_on := Resource.Set.add res !queued_on)
+    t.table;
+  let affected = Resource.Set.union held !queued_on in
+  let newly =
+    Resource.Set.fold
+      (fun res acc ->
+        match Resource.Tbl.find_opt t.table res with
+        | None -> acc
+        | Some e ->
+            e.granted <- List.filter (fun r -> r.r_txn <> txn) e.granted;
+            e.queue <- List.filter (fun r -> r.r_txn <> txn) e.queue;
+            if e.granted = [] && e.queue = [] then begin
+              Resource.Tbl.remove t.table res;
+              acc
+            end
+            else drain t res e acc)
+      affected []
+  in
+  List.rev newly
+
+let holders t res = match Resource.Tbl.find_opt t.table res with Some e -> e.granted | None -> []
+let queued t res = match Resource.Tbl.find_opt t.table res with Some e -> e.queue | None -> []
+
+let holds t txn res =
+  List.filter_map
+    (fun r -> if r.r_txn = txn then Some (r.r_mode, r.r_hier) else None)
+    (holders t res)
+
+let locks_of t txn =
+  let held = Option.value ~default:Resource.Set.empty (Hashtbl.find_opt t.held_by txn) in
+  Resource.Set.fold
+    (fun res acc -> List.filter (fun r -> r.r_txn = txn) (holders t res) @ acc)
+    held []
+
+let waiting_for t txn =
+  let found = ref None in
+  Resource.Tbl.iter
+    (fun _ e ->
+      List.iter (fun r -> if r.r_txn = txn && !found = None then found := Some r) e.queue)
+    t.table;
+  !found
+
+let conflicting_holders t req =
+  let e = entry t req.r_res in
+  List.filter (fun h -> h.r_txn <> req.r_txn && t.conflict h req) e.granted
+
+let blockers t req =
+  match Resource.Tbl.find_opt t.table req.r_res with
+  | None -> []
+  | Some e ->
+      let held =
+        List.filter (fun h -> h.r_txn <> req.r_txn && t.conflict h req) e.granted
+      in
+      let rec ahead acc = function
+        | [] -> List.rev acc
+        | q :: _ when q.r_txn = req.r_txn && same_req q req -> List.rev acc
+        | q :: tl ->
+            ahead (if q.r_txn <> req.r_txn && t.conflict q req then q :: acc else acc) tl
+      in
+      held @ ahead [] e.queue
+
+(* Edges of the waits-for graph.  A queued request waits for:
+   - every conflicting holder of the resource, and
+   - every conflicting request queued ahead of it (FIFO: they are granted
+     first). *)
+let waits_for_edges t =
+  let edges = ref [] in
+  let add a b = if a <> b && not (List.mem (a, b) !edges) then edges := (a, b) :: !edges in
+  Resource.Tbl.iter
+    (fun _ e ->
+      List.iteri
+        (fun i req ->
+          List.iter
+            (fun h -> if h.r_txn <> req.r_txn && t.conflict h req then add req.r_txn h.r_txn)
+            e.granted;
+          List.iteri
+            (fun j ahead ->
+              if j < i && ahead.r_txn <> req.r_txn && t.conflict ahead req then
+                add req.r_txn ahead.r_txn)
+            e.queue)
+        e.queue)
+    t.table;
+  !edges
+
+let find_deadlock t =
+  let edges = waits_for_edges t in
+  let succs v = List.filter_map (fun (a, b) -> if a = v then Some b else None) edges in
+  let nodes = List.sort_uniq Int.compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+  (* DFS with an explicit path to recover the cycle. *)
+  let visited = Hashtbl.create 16 in
+  let rec dfs path v =
+    if List.mem v path then
+      let rec take = function
+        | [] -> []
+        | x :: tl -> if x = v then [ x ] else x :: take tl
+      in
+      Some (List.rev (take path))
+    else if Hashtbl.mem visited v then None
+    else begin
+      Hashtbl.replace visited v ();
+      List.find_map (dfs (v :: path)) (succs v)
+    end
+  in
+  List.find_map (fun v -> Hashtbl.reset visited; dfs [] v) nodes
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.requests <- 0;
+  t.stats.immediate <- 0;
+  t.stats.waits <- 0;
+  t.stats.conversions <- 0

@@ -1,0 +1,95 @@
+(** The lock manager: granted groups and FIFO wait queues per resource.
+
+    The manager is parametric in a {e conflict} predicate over requests, so
+    the same machinery serves every scheme: classical read/write locking,
+    Gray-style granularity locking, the Agrawal field locks, and the
+    paper's access-mode locks with their intentional/hierarchical class
+    rule (sec. 5.2).
+
+    Grant policy:
+    - a request compatible with all current holders is granted immediately
+      when no one is queued before it (strict FIFO prevents starvation);
+    - a transaction already holding the resource and asking for a further
+      mode is a {e conversion}: it is checked against the {e other}
+      holders only, and on conflict waits at the {e head} of the queue —
+      the classical upgrade path whose read→write instance is the lock
+      escalation the paper blames for most deadlocks;
+    - {!release_all} releases everything a transaction holds (strict 2PL
+      releases only at commit/abort) and drains every affected queue in
+      FIFO order, returning the newly granted requests so the caller can
+      wake the corresponding transactions. *)
+
+type txn_id = int
+
+type req = {
+  r_txn : txn_id;
+  r_res : Resource.t;
+  r_mode : int;
+  r_hier : bool;
+  r_pred : Pred.t option;
+}
+(** [r_hier] distinguishes hierarchical from intentional class locks in the
+    paper's protocol; schemes that do not use it pass [false].  [r_pred]
+    optionally restricts a hierarchical extent lock to a range of
+    instances; conflict functions may consult it through
+    {!Pred.overlaps}. *)
+
+val pp_req : Format.formatter -> req -> unit
+
+type outcome = Granted | Waiting
+
+type stats = {
+  mutable requests : int;  (** calls to {!acquire} *)
+  mutable immediate : int;  (** granted without waiting *)
+  mutable waits : int;  (** requests that had to queue *)
+  mutable conversions : int;  (** requests upgrading an already-held resource *)
+}
+
+type t
+
+val create : conflict:(req -> req -> bool) -> unit -> t
+(** [conflict held requested] decides whether [requested] must wait behind
+    [held]; it is never called on two requests of the same transaction. *)
+
+val acquire : t -> req -> outcome
+(** Requesting a (mode, hier) pair already held is idempotent and counts as
+    an immediate grant. *)
+
+val release_all : t -> txn_id -> req list
+(** Releases every lock held and every wait queued by the transaction, and
+    returns the requests newly granted as queues drain, in grant order. *)
+
+val holders : t -> Resource.t -> req list
+(** Granted requests, oldest first. *)
+
+val queued : t -> Resource.t -> req list
+(** Waiting requests, next-to-be-granted first. *)
+
+val holds : t -> txn_id -> Resource.t -> (int * bool) list
+(** The (mode, hier) pairs the transaction holds on the resource. *)
+
+val locks_of : t -> txn_id -> req list
+(** Everything the transaction currently holds (not what it waits for). *)
+
+val waiting_for : t -> txn_id -> req option
+(** The request the transaction is currently queued on, if any. *)
+
+val conflicting_holders : t -> req -> req list
+(** The granted requests of other transactions that conflict with [req];
+    empty means [req] would be granted if no queue existed. *)
+
+val blockers : t -> req -> req list
+(** The requests a queued [req] is waiting behind: conflicting granted
+    requests plus conflicting requests queued ahead of it.  Used by the
+    deadlock-prevention policies to decide whom to wound or whether to
+    die. *)
+
+val waits_for_edges : t -> (txn_id * txn_id) list
+(** The waits-for graph: an edge [(a, b)] when [a] is queued behind a
+    conflicting request granted to (or queued ahead by) [b].  Deduplicated. *)
+
+val find_deadlock : t -> txn_id list option
+(** A cycle of the waits-for graph, if any. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

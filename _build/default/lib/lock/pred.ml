@@ -1,0 +1,37 @@
+open Tavcc_model
+
+type t = { field : Name.Field.t; lo : int option; hi : int option }
+
+let make ?lo ?hi field = { field; lo; hi }
+
+let equal a b =
+  Name.Field.equal a.field b.field && a.lo = b.lo && a.hi = b.hi
+
+let pp_bound ppf = function
+  | None -> Format.pp_print_string ppf "_"
+  | Some n -> Format.pp_print_int ppf n
+
+let pp ppf p =
+  Format.fprintf ppf "%a in [%a,%a]" Name.Field.pp p.field pp_bound p.lo pp_bound p.hi
+
+let nonempty p = match (p.lo, p.hi) with Some lo, Some hi -> lo <= hi | _ -> true
+
+let satisfies p v =
+  match v with
+  | Value.Vint n ->
+      (match p.lo with Some lo -> n >= lo | None -> true)
+      && (match p.hi with Some hi -> n <= hi | None -> true)
+  | _ -> false
+
+let overlaps a b =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some a, Some b ->
+      if not (Name.Field.equal a.field b.field) then true
+      else if not (nonempty a && nonempty b) then false
+      else
+        (* max of the lows <= min of the highs, with open ends. *)
+        let lo_le_hi lo hi =
+          match (lo, hi) with Some l, Some h -> l <= h | _ -> true
+        in
+        lo_le_hi a.lo b.hi && lo_le_hi b.lo a.hi

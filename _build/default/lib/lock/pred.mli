@@ -1,0 +1,35 @@
+(** Range predicates for extent locks.
+
+    Sec. 6 of the paper traces access vectors back to Eswaran et al.'s
+    predicate locks, and sec. 5.2 calls the separation inheritance
+    provides "a kind of predicative locking".  This module supplies the
+    simplest useful predicate language — an interval on one integer
+    field — so extent locks can carry a range: two hierarchical locks on
+    the same class conflict only when their modes clash {e and} their
+    ranges may select a common instance.
+
+    [None] bounds are open ends; a request without a predicate covers
+    the whole extent.  Predicates over {e different} fields never prove
+    disjointness (both can hold of one instance), so they overlap. *)
+
+open Tavcc_model
+
+type t = { field : Name.Field.t; lo : int option; hi : int option }
+(** The instances with [lo <= field <= hi] (missing bounds are open). *)
+
+val make : ?lo:int -> ?hi:int -> Name.Field.t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val nonempty : t -> bool
+(** [lo <= hi] when both are present. *)
+
+val satisfies : t -> Value.t -> bool
+(** Does an instance whose field holds the value match?  Non-integer
+    values never match. *)
+
+val overlaps : t option -> t option -> bool
+(** Could the two cover a common instance?  [None] is the whole extent.
+    Sound (never claims disjointness wrongly), complete only for
+    same-field interval pairs. *)

@@ -1,0 +1,74 @@
+open Tavcc_model
+
+type t =
+  | Class of Name.Class.t
+  | Instance of Oid.t
+  | Field of Oid.t * Name.Field.t
+  | Fragment of Oid.t * Name.Class.t
+  | Relation of Name.Class.t
+  | Meth of Name.Class.t * Name.Method.t
+
+let equal a b =
+  match (a, b) with
+  | Class c, Class c' -> Name.Class.equal c c'
+  | Instance o, Instance o' -> Oid.equal o o'
+  | Field (o, f), Field (o', f') -> Oid.equal o o' && Name.Field.equal f f'
+  | Fragment (o, c), Fragment (o', c') -> Oid.equal o o' && Name.Class.equal c c'
+  | Relation c, Relation c' -> Name.Class.equal c c'
+  | Meth (c, m), Meth (c', m') -> Name.Class.equal c c' && Name.Method.equal m m'
+  | (Class _ | Instance _ | Field _ | Fragment _ | Relation _ | Meth _), _ -> false
+
+let rank = function
+  | Class _ -> 0
+  | Instance _ -> 1
+  | Field _ -> 2
+  | Fragment _ -> 3
+  | Relation _ -> 4
+  | Meth _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | Class c, Class c' -> Name.Class.compare c c'
+  | Instance o, Instance o' -> Oid.compare o o'
+  | Field (o, f), Field (o', f') -> (
+      match Oid.compare o o' with 0 -> Name.Field.compare f f' | n -> n)
+  | Fragment (o, c), Fragment (o', c') -> (
+      match Oid.compare o o' with 0 -> Name.Class.compare c c' | n -> n)
+  | Relation c, Relation c' -> Name.Class.compare c c'
+  | Meth (c, m), Meth (c', m') -> (
+      match Name.Class.compare c c' with 0 -> Name.Method.compare m m' | n -> n)
+  | _ -> Int.compare (rank a) (rank b)
+
+let hash = function
+  | Class c -> Hashtbl.hash (0, Name.Class.hash c)
+  | Instance o -> Hashtbl.hash (1, Oid.hash o)
+  | Field (o, f) -> Hashtbl.hash (2, Oid.hash o, Name.Field.hash f)
+  | Fragment (o, c) -> Hashtbl.hash (3, Oid.hash o, Name.Class.hash c)
+  | Relation c -> Hashtbl.hash (4, Name.Class.hash c)
+  | Meth (c, m) -> Hashtbl.hash (5, Name.Class.hash c, Name.Method.hash m)
+
+let pp ppf = function
+  | Class c -> Format.fprintf ppf "class:%a" Name.Class.pp c
+  | Instance o -> Format.fprintf ppf "inst:%a" Oid.pp o
+  | Field (o, f) -> Format.fprintf ppf "field:%a.%a" Oid.pp o Name.Field.pp f
+  | Fragment (o, c) -> Format.fprintf ppf "frag:%a[%a]" Name.Class.pp c Oid.pp o
+  | Relation c -> Format.fprintf ppf "rel:%a" Name.Class.pp c
+  | Meth (c, m) -> Format.fprintf ppf "meth:%a.%a" Name.Class.pp c Name.Method.pp m
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Hashed)

@@ -1,0 +1,35 @@
+(** Lockable resources.
+
+    The granularities cover every scheme compared in the paper:
+
+    - [Class c]: a class, for intention/hierarchical locks (sec. 5.2);
+    - [Instance o]: a whole instance, the classical OODB granule;
+    - [Field (o, f)]: one field of one instance — the run-time field
+      locking of Agrawal & El Abbadi (EDBT'92, ref. \[1\] of the paper);
+    - [Fragment (o, c)]: the tuple of the relation associated with class
+      [c] holding the fields that [c] declares for object [o] — the
+      first-normal-form decomposition of sec. 3;
+    - [Relation c]: the whole relation for class [c] in the relational
+      comparator;
+    - [Meth (c, m)]: a method in its class's method set, locked by the
+      Agrawal scheme to synchronise method execution with schema
+      updates. *)
+
+open Tavcc_model
+
+type t =
+  | Class of Name.Class.t
+  | Instance of Oid.t
+  | Field of Oid.t * Name.Field.t
+  | Fragment of Oid.t * Name.Class.t
+  | Relation of Name.Class.t
+  | Meth of Name.Class.t * Name.Method.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

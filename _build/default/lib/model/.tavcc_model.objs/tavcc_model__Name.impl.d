@@ -1,0 +1,1 @@
+lib/model/name.ml: Format Hashtbl Map Set String

@@ -1,0 +1,1 @@
+lib/model/name.mli: Format Map Set

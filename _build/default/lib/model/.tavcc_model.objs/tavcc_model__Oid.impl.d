@@ -1,0 +1,1 @@
+lib/model/oid.ml: Format Hashtbl Int Map Set

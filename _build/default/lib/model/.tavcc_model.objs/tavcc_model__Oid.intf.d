@@ -1,0 +1,1 @@
+lib/model/oid.mli: Format Map Set

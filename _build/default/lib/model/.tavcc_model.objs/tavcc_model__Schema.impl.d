@@ -1,0 +1,1 @@
+lib/model/schema.ml: Format Hashtbl List Name Value

@@ -1,0 +1,1 @@
+lib/model/store.ml: Array Hashtbl List Name Oid Option Schema Value

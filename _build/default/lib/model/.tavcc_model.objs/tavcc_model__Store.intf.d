@@ -1,0 +1,1 @@
+lib/model/store.mli: Name Oid Schema Value

@@ -1,0 +1,1 @@
+lib/model/value.ml: Bool Float Format Int Name Oid String

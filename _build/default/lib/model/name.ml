@@ -1,0 +1,31 @@
+module type S = sig
+  type t
+
+  val of_string : string -> t
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+end
+
+module Make () : S = struct
+  type t = string
+
+  let of_string s = s
+  let to_string s = s
+  let equal = String.equal
+  let compare = String.compare
+  let hash = Hashtbl.hash
+  let pp ppf s = Format.pp_print_string ppf s
+
+  module Map = Map.Make (String)
+  module Set = Set.Make (String)
+end
+
+module Class = Make ()
+module Method = Make ()
+module Field = Make ()

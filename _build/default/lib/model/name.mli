@@ -1,0 +1,35 @@
+(** Interned symbolic names for schema entities.
+
+    Class, method and field names are given distinct abstract types so that
+    they cannot be confused with one another.  Each name kind is produced by
+    applying {!Make}, which yields a fresh type sharing no equality with the
+    others. *)
+
+module type S = sig
+  type t
+
+  val of_string : string -> t
+  (** [of_string s] is the name spelled [s].  Names are structural: two calls
+      with the same string yield equal names. *)
+
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+end
+
+module Make () : S
+(** [Make ()] yields a fresh name kind, incompatible with any other. *)
+
+module Class : S
+(** Names of classes. *)
+
+module Method : S
+(** Names of methods (messages). *)
+
+module Field : S
+(** Names of instance variables. *)

@@ -1,0 +1,24 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp ppf o = Format.fprintf ppf "@@%d" o
+let to_int o = o
+let of_int i = i
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+
+module Gen = struct
+  type t = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let fresh g =
+    let o = g.next in
+    g.next <- o + 1;
+    o
+
+  let count g = g.next
+end

@@ -1,0 +1,33 @@
+(** Object identifiers.
+
+    An OID uniquely identifies an instance within one {!Store.t}.  OIDs are
+    allocated by a per-store generator and are never reused. *)
+
+type t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val to_int : t -> int
+(** [to_int oid] is a stable integer encoding, useful as a dense index. *)
+
+val of_int : int -> t
+(** [of_int i] reconstructs an OID from {!to_int}.  Only meaningful for
+    integers previously produced by {!to_int} or {!Gen.fresh}. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+
+(** Monotonic OID generators. *)
+module Gen : sig
+  type oid := t
+  type t
+
+  val create : unit -> t
+  val fresh : t -> oid
+
+  val count : t -> int
+  (** Number of OIDs handed out so far. *)
+end

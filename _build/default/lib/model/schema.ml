@@ -1,0 +1,275 @@
+module CN = Name.Class
+module MN = Name.Method
+module FN = Name.Field
+
+type field_def = { f_name : FN.t; f_ty : Value.ty; f_owner : CN.t }
+type 'b method_def = { m_name : MN.t; m_params : string list; m_body : 'b }
+
+type 'b class_decl = {
+  c_name : CN.t;
+  c_parents : CN.t list;
+  c_fields : (FN.t * Value.ty) list;
+  c_methods : 'b method_def list;
+}
+
+type 'b info = {
+  i_decl : 'b class_decl;
+  i_lin : CN.t list;
+  i_fields : field_def list;
+  i_findex : int FN.Map.t;
+  i_fdefs : field_def FN.Map.t;
+  i_own_mmap : 'b method_def MN.Map.t;
+  i_methods : MN.t list;
+  i_subs : CN.t list;
+}
+
+type 'b t = { infos : 'b info CN.Map.t; order : CN.t list }
+
+type error =
+  | Duplicate_class of CN.t
+  | Unknown_parent of CN.t * CN.t
+  | Inheritance_cycle of CN.t list
+  | Linearization_failure of CN.t
+  | Duplicate_field of CN.t * FN.t
+  | Duplicate_method of CN.t * MN.t
+  | Unknown_field_class of CN.t * FN.t * CN.t
+
+let pp_error ppf = function
+  | Duplicate_class c -> Format.fprintf ppf "class %a is defined twice" CN.pp c
+  | Unknown_parent (c, p) ->
+      Format.fprintf ppf "class %a inherits from unknown class %a" CN.pp c CN.pp p
+  | Inheritance_cycle cs ->
+      Format.fprintf ppf "inheritance cycle: %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+           CN.pp)
+        cs
+  | Linearization_failure c ->
+      Format.fprintf ppf "no C3 linearisation exists for class %a" CN.pp c
+  | Duplicate_field (c, f) ->
+      Format.fprintf ppf "field %a appears twice in the field set of class %a" FN.pp f CN.pp c
+  | Duplicate_method (c, m) ->
+      Format.fprintf ppf "method %a is defined twice in class %a" MN.pp m CN.pp c
+  | Unknown_field_class (c, f, d) ->
+      Format.fprintf ppf "field %a of class %a references unknown class %a" FN.pp f CN.pp c
+        CN.pp d
+
+exception Error of error
+
+(* Topological order of classes, parents first; raises on cycles. *)
+let topo_order decls_by_name names =
+  let state = Hashtbl.create 16 in
+  (* state: 0 = white (implicit), 1 = gray, 2 = black *)
+  let order = ref [] in
+  let rec visit path c =
+    match Hashtbl.find_opt state (CN.to_string c) with
+    | Some 2 -> ()
+    | Some 1 ->
+        let cycle =
+          let rec take = function
+            | [] -> []
+            | x :: tl -> if CN.equal x c then [ x ] else x :: take tl
+          in
+          List.rev (c :: take path)
+        in
+        raise (Error (Inheritance_cycle cycle))
+    | _ ->
+        Hashtbl.replace state (CN.to_string c) 1;
+        let decl = CN.Map.find c decls_by_name in
+        List.iter (visit (c :: path)) decl.c_parents;
+        Hashtbl.replace state (CN.to_string c) 2;
+        order := c :: !order
+  in
+  List.iter (visit []) names;
+  List.rev !order
+
+(* C3 merge.  [lists] are the parents' linearisations plus the parent list
+   itself; repeatedly extract a head that occurs in no other list's tail. *)
+let c3_merge cname lists =
+  let in_tail c l = match l with [] -> false | _ :: tl -> List.exists (CN.equal c) tl in
+  let rec go acc lists =
+    let lists = List.filter (function [] -> false | _ :: _ -> true) lists in
+    match lists with
+    | [] -> List.rev acc
+    | _ :: _ ->
+      (
+      let candidate =
+        List.find_map
+          (fun l ->
+            match l with
+            | [] -> None
+            | h :: _ -> if List.exists (in_tail h) lists then None else Some h)
+          lists
+      in
+      match candidate with
+      | None -> raise (Error (Linearization_failure cname))
+      | Some h ->
+          let strip l = match l with x :: tl when CN.equal x h -> tl | l -> l in
+          go (h :: acc) (List.map strip lists))
+  in
+  go [] lists
+
+let build decls =
+  try
+    let decls_by_name =
+      List.fold_left
+        (fun m d ->
+          if CN.Map.mem d.c_name m then raise (Error (Duplicate_class d.c_name))
+          else CN.Map.add d.c_name d m)
+        CN.Map.empty decls
+    in
+    List.iter
+      (fun d ->
+        List.iter
+          (fun p ->
+            if not (CN.Map.mem p decls_by_name) then
+              raise (Error (Unknown_parent (d.c_name, p))))
+          d.c_parents)
+      decls;
+    let order = topo_order decls_by_name (List.map (fun d -> d.c_name) decls) in
+    let infos =
+      List.fold_left
+        (fun infos cname ->
+          let decl = CN.Map.find cname decls_by_name in
+          let parent_lin p = (CN.Map.find p infos).i_lin in
+          let lin =
+            cname :: c3_merge cname (List.map parent_lin decl.c_parents @ [ decl.c_parents ])
+          in
+          (* Field layout: most general classes first, then own fields. *)
+          let fields =
+            List.concat_map
+              (fun c ->
+                let d = CN.Map.find c decls_by_name in
+                List.map (fun (f, ty) -> { f_name = f; f_ty = ty; f_owner = c }) d.c_fields)
+              (List.rev lin)
+          in
+          let findex, fdefs =
+            List.fold_left
+              (fun (im, dm) (i, fd) ->
+                if FN.Map.mem fd.f_name im then raise (Error (Duplicate_field (cname, fd.f_name)))
+                else (FN.Map.add fd.f_name i im, FN.Map.add fd.f_name fd dm))
+              (FN.Map.empty, FN.Map.empty)
+              (List.mapi (fun i fd -> (i, fd)) fields)
+          in
+          (* Reference field types must name known classes. *)
+          List.iter
+            (fun fd ->
+              match fd.f_ty with
+              | Value.Tref d when not (CN.Map.mem d decls_by_name) ->
+                  raise (Error (Unknown_field_class (cname, fd.f_name, d)))
+              | _ -> ())
+            fields;
+          let own_mmap =
+            List.fold_left
+              (fun m md ->
+                if MN.Map.mem md.m_name m then raise (Error (Duplicate_method (cname, md.m_name)))
+                else MN.Map.add md.m_name md m)
+              MN.Map.empty decl.c_methods
+          in
+          let method_set =
+            List.fold_left
+              (fun s c ->
+                let d = CN.Map.find c decls_by_name in
+                List.fold_left (fun s md -> MN.Set.add md.m_name s) s d.c_methods)
+              MN.Set.empty lin
+          in
+          let info =
+            {
+              i_decl = decl;
+              i_lin = lin;
+              i_fields = fields;
+              i_findex = findex;
+              i_fdefs = fdefs;
+              i_own_mmap = own_mmap;
+              i_methods = MN.Set.elements method_set;
+              i_subs = [];
+            }
+          in
+          CN.Map.add cname info infos)
+        CN.Map.empty order
+    in
+    (* Direct subclasses, in declaration order of the children. *)
+    let infos =
+      List.fold_left
+        (fun infos d ->
+          List.fold_left
+            (fun infos p ->
+              let pi = CN.Map.find p infos in
+              CN.Map.add p { pi with i_subs = pi.i_subs @ [ d.c_name ] } infos)
+            infos d.c_parents)
+        infos decls
+    in
+    Ok { infos; order }
+  with Error e -> Error e
+
+let info s c =
+  match CN.Map.find_opt c s.infos with
+  | Some i -> i
+  | None -> invalid_arg (Format.asprintf "Schema: unknown class %a" CN.pp c)
+
+let classes s = s.order
+let mem s c = CN.Map.mem c s.infos
+let parents s c = (info s c).i_decl.c_parents
+let linearization s c = (info s c).i_lin
+let ancestors s c = List.tl (info s c).i_lin
+let subclasses s c = (info s c).i_subs
+
+let domain s c =
+  let rec go acc c = List.fold_left go (acc @ [ c ]) (subclasses s c) in
+  let all = go [] c in
+  (* A class can be reached through several parents; keep first occurrence. *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun c ->
+      let k = CN.to_string c in
+      if Hashtbl.mem seen k then false
+      else (
+        Hashtbl.add seen k ();
+        true))
+    all
+
+let is_ancestor s a ~of_ = List.exists (CN.equal a) (linearization s of_)
+let fields s c = (info s c).i_fields
+let field_index s c f = FN.Map.find_opt f (info s c).i_findex
+let field_def s c f = FN.Map.find_opt f (info s c).i_fdefs
+let methods s c = (info s c).i_methods
+let own_methods s c = (info s c).i_decl.c_methods
+
+let resolve s c m =
+  List.find_map
+    (fun c' ->
+      match MN.Map.find_opt m (info s c').i_own_mmap with
+      | Some md -> Some (c', md)
+      | None -> None)
+    (linearization s c)
+
+let resolve_from = resolve
+let method_def_in s c m = MN.Map.find_opt m (info s c).i_own_mmap
+
+let map_bodies f s =
+  let map_method md = { m_name = md.m_name; m_params = md.m_params; m_body = f md.m_body } in
+  let map_decl d =
+    {
+      c_name = d.c_name;
+      c_parents = d.c_parents;
+      c_fields = d.c_fields;
+      c_methods = List.map map_method d.c_methods;
+    }
+  in
+  let map_info i =
+    {
+      i_decl = map_decl i.i_decl;
+      i_lin = i.i_lin;
+      i_fields = i.i_fields;
+      i_findex = i.i_findex;
+      i_fdefs = i.i_fdefs;
+      i_own_mmap = MN.Map.map map_method i.i_own_mmap;
+      i_methods = i.i_methods;
+      i_subs = i.i_subs;
+    }
+  in
+  { infos = CN.Map.map map_info s.infos; order = s.order }
+
+let decls s = List.map (fun c -> (info s c).i_decl) s.order
+let fold_classes f acc s = List.fold_left f acc s.order
+let class_count s = List.length s.order

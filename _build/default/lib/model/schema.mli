@@ -1,0 +1,114 @@
+(** Class schemas with simple and multiple inheritance.
+
+    A schema is a closed set of class definitions.  Method bodies are kept
+    polymorphic (['b]) so that this module does not depend on any particular
+    method language: the ODML front end instantiates ['b] with its AST.
+
+    The module implements the operators the paper relies on:
+    [FIELDS(C)] ({!fields}), [METHODS(C)] ({!methods}), [ANCESTORS(C)]
+    ({!ancestors}), domains ({!domain}) and late-binding method resolution
+    ({!resolve}), with multiple inheritance handled by C3 linearisation. *)
+
+type field_def = {
+  f_name : Name.Field.t;
+  f_ty : Value.ty;
+  f_owner : Name.Class.t;  (** the class that declares this field *)
+}
+
+type 'b method_def = {
+  m_name : Name.Method.t;
+  m_params : string list;
+  m_body : 'b;
+}
+
+(** A class as written by the user, before schema validation. *)
+type 'b class_decl = {
+  c_name : Name.Class.t;
+  c_parents : Name.Class.t list;  (** direct superclasses, in declaration order *)
+  c_fields : (Name.Field.t * Value.ty) list;
+  c_methods : 'b method_def list;
+}
+
+type 'b t
+
+type error =
+  | Duplicate_class of Name.Class.t
+  | Unknown_parent of Name.Class.t * Name.Class.t  (** class, missing parent *)
+  | Inheritance_cycle of Name.Class.t list
+  | Linearization_failure of Name.Class.t
+      (** the C3 merge of the parents' linearisations has no solution *)
+  | Duplicate_field of Name.Class.t * Name.Field.t
+      (** the full field set of the class would contain the name twice *)
+  | Duplicate_method of Name.Class.t * Name.Method.t
+      (** two definitions of the same method within one class *)
+  | Unknown_field_class of Name.Class.t * Name.Field.t * Name.Class.t
+      (** class, field, unknown reference domain in the field's type *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val build : 'b class_decl list -> ('b t, error) result
+(** [build decls] validates the declarations and computes linearisations,
+    field layouts and method tables.  The declarations may come in any
+    order. *)
+
+val classes : 'b t -> Name.Class.t list
+(** All classes, parents before children (topological order). *)
+
+val mem : 'b t -> Name.Class.t -> bool
+val parents : 'b t -> Name.Class.t -> Name.Class.t list
+
+val linearization : 'b t -> Name.Class.t -> Name.Class.t list
+(** [linearization s c] is the C3 method-resolution order of [c]; it starts
+    with [c] itself and enumerates every ancestor exactly once, most
+    specific first. *)
+
+val ancestors : 'b t -> Name.Class.t -> Name.Class.t list
+(** [ANCESTORS(C)]: {!linearization} without [c] itself. *)
+
+val subclasses : 'b t -> Name.Class.t -> Name.Class.t list
+(** Direct subclasses, in declaration order. *)
+
+val domain : 'b t -> Name.Class.t -> Name.Class.t list
+(** The domain rooted at [c]: [c] and all its transitive subclasses. *)
+
+val is_ancestor : 'b t -> Name.Class.t -> of_:Name.Class.t -> bool
+(** [is_ancestor s a ~of_:c] holds when [a] is [c] or a transitive
+    superclass of [c]. *)
+
+val fields : 'b t -> Name.Class.t -> field_def list
+(** [FIELDS(C)]: inherited fields first (most general class first), then own
+    fields, each in declaration order.  The position of a field in this list
+    is its index in instance storage. *)
+
+val field_index : 'b t -> Name.Class.t -> Name.Field.t -> int option
+val field_def : 'b t -> Name.Class.t -> Name.Field.t -> field_def option
+
+val methods : 'b t -> Name.Class.t -> Name.Method.t list
+(** [METHODS(C)]: every method understood by instances of [c] (own or
+    inherited), sorted by name. *)
+
+val own_methods : 'b t -> Name.Class.t -> 'b method_def list
+(** Methods defined or overridden in [c] itself, in declaration order. *)
+
+val resolve : 'b t -> Name.Class.t -> Name.Method.t -> (Name.Class.t * 'b method_def) option
+(** Late binding: [resolve s c m] is the defining class and definition of
+    the method bound when message [m] is sent to a proper instance of [c] —
+    the first definition found along [c]'s linearisation. *)
+
+val resolve_from : 'b t -> Name.Class.t -> Name.Method.t -> (Name.Class.t * 'b method_def) option
+(** Prefixed resolution: [resolve_from s c' m] resolves [m] starting at
+    class [c'] itself (used for [send C'.M to self]). *)
+
+val method_def_in : 'b t -> Name.Class.t -> Name.Method.t -> 'b method_def option
+(** The definition of [m] written in class [c] itself, if any. *)
+
+val map_bodies : ('b -> 'c) -> 'b t -> 'c t
+
+val decls : 'b t -> 'b class_decl list
+(** The original declarations, in topological order; [build (decls s)]
+    reconstructs an equivalent schema.  Used by incremental
+    recompilation to apply method-level edits. *)
+
+val fold_classes : ('acc -> Name.Class.t -> 'acc) -> 'acc -> 'b t -> 'acc
+
+val class_count : 'b t -> int

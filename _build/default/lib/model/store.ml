@@ -1,0 +1,90 @@
+module CN = Name.Class
+module FN = Name.Field
+
+type instance = { cls : CN.t; slots : Value.t array }
+
+type 'b t = {
+  schema : 'b Schema.t;
+  gen : Oid.Gen.t;
+  objects : (int, instance) Hashtbl.t;
+  extents : (string, Oid.t list ref) Hashtbl.t;  (* keyed by class name, newest first *)
+}
+
+exception Unknown_oid of Oid.t
+exception Unknown_field of CN.t * FN.t
+exception Type_mismatch of CN.t * FN.t * Value.t
+
+let create schema =
+  { schema; gen = Oid.Gen.create (); objects = Hashtbl.create 256; extents = Hashtbl.create 16 }
+
+let schema s = s.schema
+
+let extent_ref s c =
+  let k = CN.to_string c in
+  match Hashtbl.find_opt s.extents k with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace s.extents k r;
+      r
+
+let new_instance ?(init = []) s c =
+  let fields = Schema.fields s.schema c in
+  let slots = Array.of_list (List.map (fun fd -> Value.default fd.Schema.f_ty) fields) in
+  List.iter
+    (fun (f, v) ->
+      match Schema.field_index s.schema c f with
+      | None -> raise (Unknown_field (c, f))
+      | Some i ->
+          let fd = Option.get (Schema.field_def s.schema c f) in
+          if not (Value.matches fd.Schema.f_ty v) then raise (Type_mismatch (c, f, v));
+          slots.(i) <- v)
+    init;
+  let oid = Oid.Gen.fresh s.gen in
+  Hashtbl.replace s.objects (Oid.to_int oid) { cls = c; slots };
+  let r = extent_ref s c in
+  r := oid :: !r;
+  oid
+
+let find s oid =
+  match Hashtbl.find_opt s.objects (Oid.to_int oid) with
+  | Some i -> i
+  | None -> raise (Unknown_oid oid)
+
+let delete_instance s oid =
+  let i = find s oid in
+  Hashtbl.remove s.objects (Oid.to_int oid);
+  let r = extent_ref s i.cls in
+  r := List.filter (fun o -> not (Oid.equal o oid)) !r
+
+let exists s oid = Hashtbl.mem s.objects (Oid.to_int oid)
+let class_of s oid = (find s oid).cls
+
+let index_of s inst f =
+  match Schema.field_index s.schema inst.cls f with
+  | Some i -> i
+  | None -> raise (Unknown_field (inst.cls, f))
+
+let read s oid f =
+  let inst = find s oid in
+  inst.slots.(index_of s inst f)
+
+let write s oid f v =
+  let inst = find s oid in
+  let fd =
+    match Schema.field_def s.schema inst.cls f with
+    | Some fd -> fd
+    | None -> raise (Unknown_field (inst.cls, f))
+  in
+  if not (Value.matches fd.Schema.f_ty v) then raise (Type_mismatch (inst.cls, f, v));
+  inst.slots.(index_of s inst f) <- v
+
+let read_idx s oid i = (find s oid).slots.(i)
+let write_idx s oid i v = (find s oid).slots.(i) <- v
+let field_count s oid = Array.length (find s oid).slots
+let extent s c = List.rev !(extent_ref s c)
+
+let deep_extent s c =
+  List.concat_map (fun c' -> extent s c') (Schema.domain s.schema c)
+
+let instance_count s = Hashtbl.length s.objects

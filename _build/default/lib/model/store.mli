@@ -1,0 +1,49 @@
+(** In-memory object store.
+
+    Instances pertain to exactly one class (sec. 2.1 of the paper).  Field
+    slots are laid out according to {!Schema.fields} order; reads and writes
+    go either by name or by precomputed index.  The store also maintains
+    class extents (the proper instances of a class) and deep extents
+    (instances of a whole domain). *)
+
+type 'b t
+
+exception Unknown_oid of Oid.t
+exception Unknown_field of Name.Class.t * Name.Field.t
+exception Type_mismatch of Name.Class.t * Name.Field.t * Value.t
+
+val create : 'b Schema.t -> 'b t
+val schema : 'b t -> 'b Schema.t
+
+val new_instance : ?init:(Name.Field.t * Value.t) list -> 'b t -> Name.Class.t -> Oid.t
+(** Creates a proper instance of the class; fields not mentioned in [init]
+    take {!Value.default} of their type.
+
+    @raise Invalid_argument on an unknown class
+    @raise Unknown_field if [init] names a field the class does not have
+    @raise Type_mismatch if an [init] value does not match the field type *)
+
+val delete_instance : 'b t -> Oid.t -> unit
+(** Removes the instance from the store and its extent.
+    @raise Unknown_oid if absent *)
+
+val exists : 'b t -> Oid.t -> bool
+val class_of : 'b t -> Oid.t -> Name.Class.t
+
+val read : 'b t -> Oid.t -> Name.Field.t -> Value.t
+val write : 'b t -> Oid.t -> Name.Field.t -> Value.t -> unit
+
+val read_idx : 'b t -> Oid.t -> int -> Value.t
+val write_idx : 'b t -> Oid.t -> int -> Value.t -> unit
+(** Index-based access, bypassing the name lookup; indices come from
+    {!Schema.field_index} for the instance's proper class. *)
+
+val field_count : 'b t -> Oid.t -> int
+
+val extent : 'b t -> Name.Class.t -> Oid.t list
+(** Proper instances of the class, in creation order. *)
+
+val deep_extent : 'b t -> Name.Class.t -> Oid.t list
+(** Instances of every class of the domain rooted at the class. *)
+
+val instance_count : 'b t -> int

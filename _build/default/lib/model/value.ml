@@ -1,0 +1,80 @@
+type ty = Tint | Tbool | Tstring | Tfloat | Tref of Name.Class.t
+
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vstring of string
+  | Vfloat of float
+  | Vref of Oid.t
+  | Vnull
+
+let equal_ty a b =
+  match (a, b) with
+  | Tint, Tint | Tbool, Tbool | Tstring, Tstring | Tfloat, Tfloat -> true
+  | Tref c, Tref c' -> Name.Class.equal c c'
+  | (Tint | Tbool | Tstring | Tfloat | Tref _), _ -> false
+
+let pp_ty ppf = function
+  | Tint -> Format.pp_print_string ppf "integer"
+  | Tbool -> Format.pp_print_string ppf "boolean"
+  | Tstring -> Format.pp_print_string ppf "string"
+  | Tfloat -> Format.pp_print_string ppf "float"
+  | Tref c -> Name.Class.pp ppf c
+
+let default = function
+  | Tint -> Vint 0
+  | Tbool -> Vbool false
+  | Tstring -> Vstring ""
+  | Tfloat -> Vfloat 0.
+  | Tref _ -> Vnull
+
+let matches ty v =
+  match (ty, v) with
+  | Tint, Vint _
+  | Tbool, Vbool _
+  | Tstring, Vstring _
+  | Tfloat, Vfloat _
+  | Tref _, (Vref _ | Vnull) ->
+      true
+  | (Tint | Tbool | Tstring | Tfloat | Tref _), _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> Int.equal x y
+  | Vbool x, Vbool y -> Bool.equal x y
+  | Vstring x, Vstring y -> String.equal x y
+  | Vfloat x, Vfloat y -> Float.equal x y
+  | Vref x, Vref y -> Oid.equal x y
+  | Vnull, Vnull -> true
+  | (Vint _ | Vbool _ | Vstring _ | Vfloat _ | Vref _ | Vnull), _ -> false
+
+let rank = function
+  | Vnull -> 0
+  | Vbool _ -> 1
+  | Vint _ -> 2
+  | Vfloat _ -> 3
+  | Vstring _ -> 4
+  | Vref _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | Vint x, Vint y -> Int.compare x y
+  | Vbool x, Vbool y -> Bool.compare x y
+  | Vstring x, Vstring y -> String.compare x y
+  | Vfloat x, Vfloat y -> Float.compare x y
+  | Vref x, Vref y -> Oid.compare x y
+  | Vnull, Vnull -> 0
+  | _ -> Int.compare (rank a) (rank b)
+
+let pp ppf = function
+  | Vint i -> Format.pp_print_int ppf i
+  | Vbool b -> Format.pp_print_bool ppf b
+  | Vstring s -> Format.fprintf ppf "%S" s
+  | Vfloat f -> Format.pp_print_float ppf f
+  | Vref o -> Oid.pp ppf o
+  | Vnull -> Format.pp_print_string ppf "null"
+
+let truthy = function
+  | Vbool b -> b
+  | Vnull -> false
+  | Vint _ | Vstring _ | Vfloat _ | Vref _ -> true

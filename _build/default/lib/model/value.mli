@@ -1,0 +1,41 @@
+(** Runtime values and field types.
+
+    Fields are either of a base type (integer, boolean, string, float) or
+    references to instances of another class, following the data model of
+    the paper (sec. 2.1).  Complex/bulk types (tuples, sets, lists) are out
+    of scope, as in the paper. *)
+
+type ty =
+  | Tint
+  | Tbool
+  | Tstring
+  | Tfloat
+  | Tref of Name.Class.t  (** reference to an instance of the given domain *)
+
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vstring of string
+  | Vfloat of float
+  | Vref of Oid.t
+  | Vnull  (** the undefined reference / uninitialised value *)
+
+val equal_ty : ty -> ty -> bool
+val pp_ty : Format.formatter -> ty -> unit
+
+val default : ty -> t
+(** [default ty] is the value a freshly created field of type [ty] holds:
+    [0], [false], [""], [0.] or [Vnull]. *)
+
+val matches : ty -> t -> bool
+(** [matches ty v] holds when [v] may be stored in a field of type [ty].
+    [Vnull] matches any reference type.  Reference class conformance
+    (subtyping) is checked by the store, not here. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val truthy : t -> bool
+(** [truthy v] interprets [v] as a condition: [Vbool b] is [b], [Vnull] is
+    false, any other value is true. *)

@@ -1,0 +1,1 @@
+lib/recovery/recovery.ml: Hashtbl Int List Name Oid Printf Schema Store Tavcc_model Value Wal

@@ -1,0 +1,1 @@
+lib/recovery/recovery.mli: Name Oid Store Tavcc_model Value Wal

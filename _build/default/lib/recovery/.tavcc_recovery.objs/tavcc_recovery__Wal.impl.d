@@ -1,0 +1,1 @@
+lib/recovery/wal.ml: Format List Name Oid Tavcc_model Value

@@ -1,0 +1,1 @@
+lib/recovery/wal.mli: Format Name Oid Tavcc_model Value

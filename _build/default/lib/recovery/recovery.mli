@@ -1,0 +1,82 @@
+(** Crash recovery over the write-ahead log: snapshots, the logging
+    transaction manager, and repeating-history restart.
+
+    The model: the {e disk image} is a {!Snapshot.t} taken at some
+    checkpoint plus the stable prefix of the {!Wal}; the running
+    {!Tavcc_model.Store.t} is volatile.  A crash discards the store and
+    the volatile log tail; {!Restart.recover} rebuilds the store from
+    the snapshot by {e redoing} every stable update in order (repeating
+    history, winners and losers alike) and then {e undoing}, backwards,
+    the updates of every transaction without a stable [Commit].
+
+    Updates are logged with before- and after-images at field
+    granularity — precisely the projection the paper says access vectors
+    make possible without programmer-supplied inverse operations. *)
+
+open Tavcc_model
+
+(** Full-store field-level images. *)
+module Snapshot : sig
+  type t
+
+  val take : 'b Store.t -> t
+  (** Captures class and field values of every live instance. *)
+
+  val restore : 'b Store.t -> t -> unit
+  (** Rewinds the store to the image: instances created since the
+      snapshot are deleted, deleted ones are {e not} resurrected (the
+      workloads under test do not delete), and every field is reset.
+      @raise Invalid_argument if a snapshotted instance no longer
+      exists *)
+
+  val instances : t -> (Oid.t * Name.Class.t) list
+end
+
+(** The logging transaction manager: every write goes through here so
+    the WAL sees it before the store does. *)
+module Manager : sig
+  type 'b t
+
+  val create : 'b Store.t -> Wal.t -> 'b t
+  val store : 'b t -> 'b Store.t
+  val log : 'b t -> Wal.t
+
+  val begin_txn : 'b t -> int -> unit
+  (** @raise Invalid_argument if the transaction is already active *)
+
+  val write : 'b t -> txn:int -> Oid.t -> Name.Field.t -> Value.t -> unit
+  (** Logs the update (before/after images), then applies it.
+      @raise Invalid_argument if the transaction is not active *)
+
+  val read : 'b t -> txn:int -> Oid.t -> Name.Field.t -> Value.t
+
+  val commit : 'b t -> int -> unit
+  (** Appends [Commit] and {e forces the log} (WAL rule: a transaction
+      is durable exactly when its commit record is stable). *)
+
+  val abort : 'b t -> int -> unit
+  (** Rolls back through the log's before-images, appends [Abort], does
+      not force. *)
+
+  val checkpoint : 'b t -> Snapshot.t
+  (** Takes a snapshot and logs a [Checkpoint] record.  Only safe (and
+      only allowed) with no active transaction: a sharp checkpoint.
+      Forces the log.
+      @raise Invalid_argument if transactions are active *)
+
+  val active : 'b t -> int list
+end
+
+module Restart : sig
+  val recover : 'b Store.t -> Snapshot.t -> Wal.record list -> unit
+  (** [recover store snapshot log] rebuilds [store] to the state every
+      stably-committed transaction produced: restore the snapshot, redo
+      all updates in log order, undo losers backwards.  Idempotent. *)
+
+  val losers : Wal.record list -> int list
+  (** Transactions whose latest [Begin] has no later [Commit] or
+      [Abort] — the incarnations that were still running at the crash. *)
+
+  val committed : Wal.record list -> int list
+  (** Transactions with a [Commit] record, in commit order. *)
+end

@@ -1,0 +1,49 @@
+open Tavcc_model
+
+type lsn = int
+
+type record =
+  | Begin of int
+  | Update of {
+      txn : int;
+      oid : Oid.t;
+      field : Name.Field.t;
+      before : Value.t;
+      after : Value.t;
+    }
+  | Clr of { txn : int; oid : Oid.t; field : Name.Field.t; after : Value.t }
+  | Commit of int
+  | Abort of int
+  | Checkpoint of int list
+
+let pp_record ppf = function
+  | Begin t -> Format.fprintf ppf "begin(%d)" t
+  | Update { txn; oid; field; before; after } ->
+      Format.fprintf ppf "upd(%d,%a.%a:%a->%a)" txn Oid.pp oid Name.Field.pp field Value.pp
+        before Value.pp after
+  | Clr { txn; oid; field; after } ->
+      Format.fprintf ppf "clr(%d,%a.%a:=%a)" txn Oid.pp oid Name.Field.pp field Value.pp after
+  | Commit t -> Format.fprintf ppf "commit(%d)" t
+  | Abort t -> Format.fprintf ppf "abort(%d)" t
+  | Checkpoint ts ->
+      Format.fprintf ppf "ckpt{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        ts
+
+type t = { mutable records : record list (* newest first *); mutable n : int; mutable stable : int }
+
+let create () = { records = []; n = 0; stable = 0 }
+
+let append t r =
+  let lsn = t.n in
+  t.records <- r :: t.records;
+  t.n <- t.n + 1;
+  lsn
+
+let flush t = t.stable <- t.n
+let stable_lsn t = t.stable
+let all t = List.rev t.records
+let stable t = List.filteri (fun i _ -> i < t.stable) (all t)
+let length t = t.n

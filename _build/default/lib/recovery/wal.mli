@@ -1,0 +1,57 @@
+(** Write-ahead log with an explicit volatile/stable boundary.
+
+    The paper notes (sec. 3) that access vectors double as {e projection
+    patterns} for recovery: only the fields a method may write need
+    before-images, and no programmer-supplied inverse operations are
+    required.  This module provides the durable half of that story: an
+    append-only log whose tail is volatile until {!flush}, so crash
+    simulations can observe exactly the prefix a real system would find
+    on disk.
+
+    Records carry both before- and after-images, enabling the
+    repeating-history restart of {!Restart}: redo everything, then undo
+    the losers. *)
+
+open Tavcc_model
+
+type lsn = int
+(** Log sequence number: the 0-based position of a record. *)
+
+type record =
+  | Begin of int
+  | Update of {
+      txn : int;
+      oid : Oid.t;
+      field : Name.Field.t;
+      before : Value.t;
+      after : Value.t;
+    }
+  | Clr of { txn : int; oid : Oid.t; field : Name.Field.t; after : Value.t }
+      (** compensation record written while rolling an update back;
+          redo-only — restart never undoes a CLR *)
+  | Commit of int
+  | Abort of int
+  | Checkpoint of int list  (** transaction ids active at the checkpoint *)
+
+val pp_record : Format.formatter -> record -> unit
+
+type t
+
+val create : unit -> t
+
+val append : t -> record -> lsn
+
+val flush : t -> unit
+(** Makes every appended record stable (the WAL force). *)
+
+val stable_lsn : t -> lsn
+(** The number of stable records; records at positions [>= stable_lsn]
+    would be lost by a crash. *)
+
+val stable : t -> record list
+(** The crash-surviving prefix, oldest first. *)
+
+val all : t -> record list
+(** Stable and volatile records. *)
+
+val length : t -> int

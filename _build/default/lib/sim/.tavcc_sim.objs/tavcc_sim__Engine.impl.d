@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Exec Format Int List Lock_table Printexc Printf Rng Scheme String Tavcc_cc Tavcc_lock Tavcc_txn

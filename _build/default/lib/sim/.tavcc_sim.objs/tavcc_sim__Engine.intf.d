@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Ast Exec Format Scheme Tavcc_cc Tavcc_lang Tavcc_lock Tavcc_model Tavcc_txn

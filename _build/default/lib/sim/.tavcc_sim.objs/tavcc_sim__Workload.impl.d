@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Ast Format Fun List Name Option Printf Rng Schema Store Tavcc_cc Tavcc_lang Tavcc_model Value

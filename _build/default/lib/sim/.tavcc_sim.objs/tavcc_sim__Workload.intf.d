@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Ast Rng Schema Store Tavcc_cc Tavcc_lang Tavcc_model

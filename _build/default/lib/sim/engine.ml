@@ -1,0 +1,306 @@
+open Tavcc_cc
+open Tavcc_lock
+module Txn = Tavcc_txn.Txn
+module History = Tavcc_txn.History
+
+type deadlock_policy = Detect | Wound_wait | Wait_die | No_wait | Timeout of int
+
+type config = {
+  seed : int;
+  yield_on_access : bool;
+  max_restarts : int;
+  max_steps : int;
+  policy : deadlock_policy;
+  trace : bool;
+}
+
+let default_config =
+  { seed = 42; yield_on_access = false; max_restarts = 100; max_steps = 1_000_000;
+    policy = Detect; trace = false }
+
+type event =
+  | Ev_begin of int
+  | Ev_blocked of int * Lock_table.req
+  | Ev_resumed of int
+  | Ev_deadlock of int list * int
+  | Ev_wound of int * int
+  | Ev_died of int
+  | Ev_timeout of int
+  | Ev_abort of int
+  | Ev_commit of int
+
+let pp_event ppf = function
+  | Ev_begin t -> Format.fprintf ppf "t%d begins" t
+  | Ev_blocked (t, r) -> Format.fprintf ppf "t%d blocked on %a" t Lock_table.pp_req r
+  | Ev_resumed t -> Format.fprintf ppf "t%d resumed" t
+  | Ev_deadlock (cycle, victim) ->
+      Format.fprintf ppf "deadlock {%s}, victim t%d"
+        (String.concat "," (List.map (Printf.sprintf "t%d") cycle))
+        victim
+  | Ev_wound (w, v) -> Format.fprintf ppf "t%d wounds t%d" w v
+  | Ev_died t -> Format.fprintf ppf "t%d dies" t
+  | Ev_timeout t -> Format.fprintf ppf "t%d times out" t
+  | Ev_abort t -> Format.fprintf ppf "t%d aborts" t
+  | Ev_commit t -> Format.fprintf ppf "t%d commits" t
+
+type result = {
+  commits : int;
+  deadlocks : int;
+  aborts : int;
+  restarts : int;
+  lock_requests : int;
+  lock_waits : int;
+  lock_conversions : int;
+  scheduler_steps : int;
+  history : History.t;
+  failed : (int * string) list;
+  events : event list;
+}
+
+let serializable r = History.conflict_serializable r.history
+
+type _ Effect.t += Park : unit Effect.t | Yield : unit Effect.t
+
+exception Deadlock_abort
+
+type tstate = Ready | Running | Parked | Finished | Dead
+
+type task = {
+  id : int;
+  actions : Exec.action list;
+  mutable txn : Txn.t;
+  mutable state : tstate;
+  mutable k : (unit, unit) Effect.Deep.continuation option;
+  mutable restarts : int;
+  mutable parked_at : int;  (* scheduler step at which the fiber parked *)
+}
+
+let run ?(config = default_config) ~scheme ~store ~jobs () =
+  let rng = Rng.create config.seed in
+  let locks = Lock_table.create ~conflict:scheme.Scheme.conflict () in
+  let history = History.create () in
+  let commits = ref 0 and deadlocks = ref 0 and aborts = ref 0 and steps = ref 0 in
+  let failed = ref [] in
+  let events = ref [] in
+  let emit e = if config.trace then events := e :: !events in
+  let tasks =
+    List.map
+      (fun (id, actions) ->
+        if id <= 0 then invalid_arg "Engine.run: transaction ids must be positive";
+        { id; actions; txn = Txn.make ~id ~birth:id; state = Ready; k = None; restarts = 0;
+          parked_at = 0 })
+      jobs
+  in
+  let task_of_txn id =
+    match List.find_opt (fun t -> t.id = id) tasks with
+    | Some t -> t
+    | None -> invalid_arg "Engine: unknown transaction id"
+  in
+  let wake reqs =
+    List.iter
+      (fun (r : Lock_table.req) ->
+        let t = task_of_txn r.Lock_table.r_txn in
+        if t.state = Parked then t.state <- Ready)
+      reqs
+  in
+  let release_and_wake id = wake (Lock_table.release_all locks id) in
+  let cleanup_abort t =
+    incr aborts;
+    emit (Ev_abort t.id);
+    History.record history (History.Abort t.id);
+    Txn.abort store t.txn;
+    release_and_wake t.id;
+    t.k <- None;
+    if t.restarts >= config.max_restarts then begin
+      t.state <- Dead;
+      failed := (t.id, "exceeded max restarts") :: !failed
+    end
+    else begin
+      t.restarts <- t.restarts + 1;
+      t.txn <- Txn.reset_for_restart t.txn;
+      t.state <- Ready
+    end
+  in
+  let abort_victim vid =
+    let v = task_of_txn vid in
+    match (v.state, v.k) with
+    | (Parked | Ready), Some k ->
+        v.k <- None;
+        (* Unwinds the victim fiber; its handler performs the cleanup. *)
+        Effect.Deep.discontinue k Deadlock_abort
+    | _ ->
+        (* The victim holds locks, so it has run and is suspended with a
+           live continuation; the only running fiber is the caller, which
+           handles the self-victim case by raising. *)
+        assert false
+  in
+  let request_held (req : Lock_table.req) =
+    List.exists
+      (fun (m, h) -> m = req.Lock_table.r_mode && h = req.Lock_table.r_hier)
+      (Lock_table.holds locks req.Lock_table.r_txn req.Lock_table.r_res)
+  in
+  let acquire t (req : Lock_table.req) =
+    match Lock_table.acquire locks req with
+    | Lock_table.Granted -> ()
+    | Lock_table.Waiting ->
+        emit (Ev_blocked (t.id, req));
+        (match config.policy with
+        | Detect -> (
+            match Lock_table.find_deadlock locks with
+            | Some cycle ->
+                incr deadlocks;
+                (* Victim: the youngest transaction of the cycle. *)
+                let victim = List.fold_left max min_int cycle in
+                emit (Ev_deadlock (cycle, victim));
+                if victim = t.id then raise Deadlock_abort else abort_victim victim
+            | None -> ())
+        | Wound_wait ->
+            (* Wound every younger transaction in the way; wait for the
+               older ones. *)
+            let blocking =
+              Lock_table.blockers locks req
+              |> List.map (fun r -> r.Lock_table.r_txn)
+              |> List.sort_uniq Int.compare
+            in
+            List.iter
+              (fun txn ->
+                let v = task_of_txn txn in
+                if v.txn.Txn.birth > t.txn.Txn.birth && v.state <> Finished && v.state <> Dead
+                then begin
+                  emit (Ev_wound (t.id, txn));
+                  abort_victim txn
+                end)
+              blocking
+        | Wait_die ->
+            (* Die (and restart with the same birth) rather than wait
+               behind an older transaction. *)
+            let blocking = Lock_table.blockers locks req in
+            if
+              List.exists
+                (fun r -> (task_of_txn r.Lock_table.r_txn).txn.Txn.birth < t.txn.Txn.birth)
+                blocking
+            then begin
+              emit (Ev_died t.id);
+              raise Deadlock_abort
+            end
+        | No_wait ->
+            emit (Ev_died t.id);
+            raise Deadlock_abort
+        | Timeout _ -> ());
+        let rec wait parked =
+          if not (request_held req) then begin
+            Effect.perform Park;
+            wait true
+          end
+          else if parked then emit (Ev_resumed t.id)
+        in
+        wait false
+  in
+  let start t =
+    let body () =
+      emit (Ev_begin t.id);
+      History.record history (History.Begin t.id);
+      let ctx = { Scheme.txn = t.txn; acquire = (fun req -> acquire t req) } in
+      let on_read oid f = History.record history (History.Read (t.id, oid, f)) in
+      let on_write oid f = History.record history (History.Write (t.id, oid, f)) in
+      let yield =
+        if config.yield_on_access then fun () -> Effect.perform Yield else fun () -> ()
+      in
+      Exec.begin_txn ~scheme ~store ~ctx t.actions;
+      List.iter
+        (fun a ->
+          Exec.perform ~scheme ~store ~ctx ~on_read ~on_write ~yield
+            ~max_steps:config.max_steps a)
+        t.actions
+    in
+    Effect.Deep.match_with body ()
+      {
+        retc =
+          (fun () ->
+            Txn.commit t.txn;
+            emit (Ev_commit t.id);
+            History.record history (History.Commit t.id);
+            incr commits;
+            t.state <- Finished;
+            t.k <- None;
+            release_and_wake t.id);
+        exnc =
+          (fun e ->
+            match e with
+            | Deadlock_abort -> cleanup_abort t
+            | e ->
+                History.record history (History.Abort t.id);
+                Txn.abort store t.txn;
+                release_and_wake t.id;
+                t.state <- Dead;
+                t.k <- None;
+                failed := (t.id, Printexc.to_string e) :: !failed);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Park ->
+                Some
+                  (fun (k : (a, _) Effect.Deep.continuation) ->
+                    t.state <- Parked;
+                    t.parked_at <- !steps;
+                    t.k <- Some k)
+            | Yield ->
+                Some
+                  (fun (k : (a, _) Effect.Deep.continuation) ->
+                    t.state <- Ready;
+                    t.k <- Some k)
+            | _ -> None);
+      }
+  in
+  let rec loop () =
+    (* Expire timed-out waiters before scheduling. *)
+    (match config.policy with
+    | Timeout n ->
+        List.iter
+          (fun t ->
+            if t.state = Parked && !steps - t.parked_at > n then begin
+              emit (Ev_timeout t.id);
+              abort_victim t.id
+            end)
+          tasks
+    | _ -> ());
+    let ready = List.filter (fun t -> t.state = Ready) tasks in
+    match ready with
+    | [] ->
+        let parked = List.filter (fun t -> t.state = Parked) tasks in
+        (match (parked, config.policy) with
+        | [], _ -> ()
+        | p :: _, Timeout _ ->
+            (* Nothing can run: fire the oldest waiter's timeout early. *)
+            let oldest = List.fold_left (fun a t -> if t.parked_at < a.parked_at then t else a) p parked in
+            emit (Ev_timeout oldest.id);
+            abort_victim oldest.id;
+            loop ()
+        | _ :: _, _ ->
+            failwith "Engine: stalled — parked fibers with no runnable task and no deadlock")
+    | ready ->
+        incr steps;
+        let t = Rng.pick rng ready in
+        t.state <- Running;
+        (match t.k with
+        | Some k ->
+            t.k <- None;
+            Effect.Deep.continue k ()
+        | None -> start t);
+        loop ()
+  in
+  loop ();
+  let ls = Lock_table.stats locks in
+  {
+    commits = !commits;
+    deadlocks = !deadlocks;
+    aborts = !aborts;
+    restarts = List.fold_left (fun n t -> n + t.restarts) 0 tasks;
+    lock_requests = ls.Lock_table.requests;
+    lock_waits = ls.Lock_table.waits;
+    lock_conversions = ls.Lock_table.conversions;
+    scheduler_steps = !steps;
+    history;
+    failed = !failed;
+    events = List.rev !events;
+  }

@@ -1,0 +1,94 @@
+(** Deterministic concurrent-execution engine.
+
+    Transactions run as cooperative fibers (OCaml 5 effects).  A fiber
+    executes its actions through {!Tavcc_cc.Exec.perform}; when a lock
+    request must wait, the fiber parks and the seeded scheduler picks
+    another runnable fiber, so executions interleave exactly at the points
+    a real lock manager would switch — and, optionally, at every field
+    access, which is what the serializability property tests need.
+
+    Deadlocks are detected on every blocking request by cycle search in
+    the waits-for graph; the youngest transaction of the cycle is aborted
+    (undo log replayed, locks released) and restarted from scratch, as the
+    protocols of the paper assume.  Everything is driven by a seed:
+    replays are bit-for-bit identical. *)
+
+open Tavcc_lang
+open Tavcc_cc
+
+(** How blocking requests are kept from deadlocking.
+
+    [Detect] is the classical approach assumed by the paper's protocols:
+    search the waits-for graph on every blocking request and abort the
+    youngest member of a cycle.  The three prevention policies are
+    standard comparisons: [Wound_wait] lets an older requester abort the
+    younger holders in its way; [Wait_die] kills a younger requester
+    instead of letting it wait behind an older holder; [No_wait] aborts
+    the requester on any conflict.  Births survive restarts, so both
+    priority policies guarantee progress.  [Timeout n] parks the waiter
+    and aborts it after [n] scheduler steps without a grant. *)
+type deadlock_policy =
+  | Detect
+  | Wound_wait
+  | Wait_die
+  | No_wait
+  | Timeout of int
+
+type config = {
+  seed : int;
+  yield_on_access : bool;
+      (** reschedule after every field read/write (finer interleavings,
+          slower) *)
+  max_restarts : int;  (** per transaction; beyond it the run fails *)
+  max_steps : int;  (** interpreter fuel per action *)
+  policy : deadlock_policy;
+  trace : bool;  (** record an {!event} log of the run *)
+}
+
+(** Observable milestones of a run, in execution order (only recorded
+    with [trace = true]). *)
+type event =
+  | Ev_begin of int
+  | Ev_blocked of int * Tavcc_lock.Lock_table.req
+  | Ev_resumed of int  (** unparked after a wait *)
+  | Ev_deadlock of int list * int  (** cycle, chosen victim *)
+  | Ev_wound of int * int  (** wounding txn, victim *)
+  | Ev_died of int  (** wait-die / no-wait self-abort *)
+  | Ev_timeout of int
+  | Ev_abort of int
+  | Ev_commit of int
+
+val pp_event : Format.formatter -> event -> unit
+
+val default_config : config
+(** seed 42, no access yields, 100 restarts, [Detect]. *)
+
+type result = {
+  commits : int;
+  deadlocks : int;  (** deadlock cycles resolved *)
+  aborts : int;  (** transactions aborted (then restarted) *)
+  restarts : int;  (** total restart count, = aborts unless a txn died *)
+  lock_requests : int;
+  lock_waits : int;
+  lock_conversions : int;
+  scheduler_steps : int;
+  history : Tavcc_txn.History.t;
+  failed : (int * string) list;
+      (** transactions that exceeded [max_restarts] or raised *)
+  events : event list;  (** empty unless [config.trace] *)
+}
+
+val serializable : result -> bool
+(** Conflict serializability of the committed projection (the oracle). *)
+
+val run :
+  ?config:config ->
+  scheme:Scheme.t ->
+  store:Ast.body Tavcc_model.Store.t ->
+  jobs:(int * Exec.action list) list ->
+  unit ->
+  result
+(** [jobs] are (transaction id, actions) pairs; ids must be distinct and
+    positive.  The engine creates the scheme's lock table, runs every job
+    to commit (restarting deadlock victims) and returns the metrics and
+    the recorded history. *)

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Simulations must replay bit-for-bit from a seed; the global [Random]
+    state is never touched. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+val next64 : t -> int64
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  @raise Invalid_argument if [n <= 0] *)
+
+val bool : t -> bool
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,73 @@
+(** Synthetic schemas, stores and transaction workloads.
+
+    The generators build ODML ASTs directly (no text round trip) and are
+    fully driven by a {!Rng.t}, so workloads replay from a seed.  Method
+    bodies are shaped like the paper's examples: a few field reads and
+    writes plus self-directed sends, with subclass overrides extending the
+    overridden method through a prefixed call — the code-reuse pattern
+    behind problems P2 and P3.
+
+    Runtime termination is guaranteed by construction: a simple self-send
+    only targets a strictly lower-numbered shared method, and a prefixed
+    send strictly ascends the inheritance chain.  (Analysis-only schemas
+    may additionally contain recursive cycles — see
+    {!recursive_cluster_schema} — to exercise the SCC path of the TAV
+    algorithm.) *)
+
+open Tavcc_model
+open Tavcc_lang
+
+type schema_params = {
+  sp_depth : int;  (** inheritance depth (1 = root only) *)
+  sp_fanout : int;  (** subclasses per class *)
+  sp_shared_methods : int;  (** methods defined at the root, overridable *)
+  sp_own_methods : int;  (** extra methods per class *)
+  sp_fields : int;  (** own integer fields per class *)
+  sp_reads : int;  (** field reads per method body *)
+  sp_writes : int;  (** field writes per method body *)
+  sp_selfcalls : int;  (** self-sends per shared method body *)
+  sp_override_prob : float;  (** chance a class overrides a shared method *)
+}
+
+val default_params : schema_params
+
+val make_schema : Rng.t -> schema_params -> Ast.body Schema.t
+(** @raise Failure if the generated schema fails validation (a generator
+    bug, not an input condition) *)
+
+val chain_schema : levels:int -> Ast.body Schema.t
+(** One class, methods [m0 .. m{levels}]: [m0] writes the field, [m_j]
+    (j>0) reads it and self-sends [m_{j-1}] — the reader-then-writer
+    cascade behind lock escalation (problems P2/P3).  [m{levels}] is the
+    entry point. *)
+
+val pseudo_conflict_schema : unit -> Ast.body Schema.t
+(** Two-class hierarchy shaped like the paper's example: the subclass adds
+    fields and a method [wsub] touching only them, while [wbase] writes
+    inherited fields — the m2/m4 pseudo-conflict (problem P4). *)
+
+val recursive_cluster_schema : methods:int -> Ast.body Schema.t
+(** One class whose methods all call each other (one directed cycle plus
+    chords): every method's TAV equals the join of all DAVs.  Used to test
+    and bench the SCC path; not meant to be executed. *)
+
+val wide_schema : fields:int -> touched:int -> Ast.body Schema.t
+(** One class with [fields] integer fields and one method [touch] writing
+    the first [touched] of them (plus [probe] reading the last field) —
+    the lock-call-count workload of bench E6. *)
+
+val populate : 'a Store.t -> per_class:int -> unit
+(** Creates [per_class] instances of every class. *)
+
+val random_jobs :
+  Rng.t ->
+  Ast.body Store.t ->
+  txns:int ->
+  actions_per_txn:int ->
+  extent_prob:float ->
+  hot_instances:int ->
+  hot_prob:float ->
+  (int * Tavcc_cc.Exec.action list) list
+(** Random single-instance calls (biased towards a hot set of
+    [hot_instances] with probability [hot_prob]) mixed with extent scans.
+    Transaction ids start at 1. *)

@@ -1,0 +1,1 @@
+lib/txn/history.ml: Array Format Hashtbl List Name Oid Tavcc_model

@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Format List Name Oid Printf Store Tavcc_model Value

@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Format Name Oid Store Tavcc_model Value

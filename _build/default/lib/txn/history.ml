@@ -1,0 +1,96 @@
+open Tavcc_model
+
+type op =
+  | Begin of int
+  | Read of int * Oid.t * Name.Field.t
+  | Write of int * Oid.t * Name.Field.t
+  | Commit of int
+  | Abort of int
+
+let txn_of = function
+  | Begin t | Read (t, _, _) | Write (t, _, _) | Commit t | Abort t -> t
+
+let pp_op ppf = function
+  | Begin t -> Format.fprintf ppf "b%d" t
+  | Read (t, o, f) -> Format.fprintf ppf "r%d[%a.%a]" t Oid.pp o Name.Field.pp f
+  | Write (t, o, f) -> Format.fprintf ppf "w%d[%a.%a]" t Oid.pp o Name.Field.pp f
+  | Commit t -> Format.fprintf ppf "c%d" t
+  | Abort t -> Format.fprintf ppf "a%d" t
+
+type t = { mutable ops : op list (* newest first *); mutable n : int }
+
+let create () = { ops = []; n = 0 }
+
+let record t op =
+  t.ops <- op :: t.ops;
+  t.n <- t.n + 1
+
+let ops t = List.rev t.ops
+let length t = t.n
+
+let committed t =
+  List.rev (List.filter_map (function Commit x -> Some x | _ -> None) t.ops)
+
+let precedence_edges t =
+  let committed = committed t in
+  let is_committed x = List.mem x committed in
+  let arr = Array.of_list (ops t) in
+  let n = Array.length arr in
+  (* A transaction aborted by deadlock restarts under the same id; only the
+     operations of its final (committed) incarnation — those after its last
+     Abort record — take part in the conflict graph. *)
+  let last_abort = Hashtbl.create 8 in
+  Array.iteri
+    (fun i op -> match op with Abort x -> Hashtbl.replace last_abort x i | _ -> ())
+    arr;
+  let live x i =
+    match Hashtbl.find_opt last_abort x with None -> true | Some j -> i > j
+  in
+  let edges = ref [] in
+  let add a b = if a <> b && not (List.mem (a, b) !edges) then edges := (a, b) :: !edges in
+  for i = 0 to n - 1 do
+    match arr.(i) with
+    | (Read (a, o, f) | Write (a, o, f)) when is_committed a && live a i ->
+        let a_writes = match arr.(i) with Write _ -> true | _ -> false in
+        for j = i + 1 to n - 1 do
+          match arr.(j) with
+          | (Read (b, o', f') | Write (b, o', f'))
+            when is_committed b && live b j && b <> a && Oid.equal o o' && Name.Field.equal f f'
+            ->
+              let b_writes = match arr.(j) with Write _ -> true | _ -> false in
+              if a_writes || b_writes then add a b
+          | _ -> ()
+        done
+    | _ -> ()
+  done;
+  !edges
+
+let topo_sort nodes edges =
+  let succ v = List.filter_map (fun (a, b) -> if a = v then Some b else None) edges in
+  let temp = Hashtbl.create 16 in
+  let perm = Hashtbl.create 16 in
+  let order = ref [] in
+  let exception Cycle in
+  let rec visit v =
+    if Hashtbl.mem perm v then ()
+    else if Hashtbl.mem temp v then raise Cycle
+    else begin
+      Hashtbl.replace temp v ();
+      List.iter visit (succ v);
+      Hashtbl.remove temp v;
+      Hashtbl.replace perm v ();
+      order := v :: !order
+    end
+  in
+  try
+    List.iter visit nodes;
+    Some !order
+  with Cycle -> None
+
+let equivalent_serial_order t = topo_sort (committed t) (precedence_edges t)
+let conflict_serializable t = equivalent_serial_order t <> None
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    pp_op ppf (ops t)

@@ -1,0 +1,45 @@
+(** Recorded execution histories and the conflict-serializability oracle.
+
+    Every scheme in the repository must produce serializable executions —
+    they are all conservative (lock at or above field granularity, strict
+    2PL).  The oracle checks this from first principles: it records the raw
+    field-level reads and writes that actually executed and tests the
+    committed projection for conflict serializability via the precedence
+    graph.  Property tests drive random workloads through each scheme and
+    assert the oracle. *)
+
+open Tavcc_model
+
+type op =
+  | Begin of int
+  | Read of int * Oid.t * Name.Field.t
+  | Write of int * Oid.t * Name.Field.t
+  | Commit of int
+  | Abort of int
+
+val txn_of : op -> int
+val pp_op : Format.formatter -> op -> unit
+
+type t
+
+val create : unit -> t
+val record : t -> op -> unit
+val ops : t -> op list
+(** In execution order. *)
+
+val length : t -> int
+val committed : t -> int list
+(** Transactions with a [Commit] record, in commit order. *)
+
+val precedence_edges : t -> (int * int) list
+(** Edges of the precedence (conflict) graph over committed transactions:
+    [(a, b)] when some operation of [a] precedes and conflicts with (same
+    oid and field, at least one write) an operation of [b].  Deduplicated. *)
+
+val conflict_serializable : t -> bool
+(** True iff the precedence graph is acyclic. *)
+
+val equivalent_serial_order : t -> int list option
+(** A topological order of the precedence graph when one exists. *)
+
+val pp : Format.formatter -> t -> unit

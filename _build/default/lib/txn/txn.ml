@@ -1,0 +1,45 @@
+open Tavcc_model
+
+type state = Active | Committed | Aborted
+type undo_entry = { u_oid : Oid.t; u_field : Name.Field.t; u_before : Value.t }
+
+type t = {
+  id : int;
+  birth : int;
+  mutable state : state;
+  mutable undo : undo_entry list;
+  mutable restarts : int;
+}
+
+let make ~id ~birth = { id; birth; state = Active; undo = []; restarts = 0 }
+
+let log_write t oid field ~before =
+  t.undo <- { u_oid = oid; u_field = field; u_before = before } :: t.undo
+
+let undo_all store t =
+  (* [t.undo] is newest first, which is exactly backward replay order. *)
+  List.iter
+    (fun e -> if Store.exists store e.u_oid then Store.write store e.u_oid e.u_field e.u_before)
+    t.undo;
+  t.undo <- []
+
+let require_active t =
+  if t.state <> Active then
+    invalid_arg (Printf.sprintf "Txn: transaction %d is not active" t.id)
+
+let commit t =
+  require_active t;
+  t.undo <- [];
+  t.state <- Committed
+
+let abort store t =
+  require_active t;
+  undo_all store t;
+  t.state <- Aborted
+
+let reset_for_restart t =
+  { id = t.id; birth = t.birth; state = Active; undo = []; restarts = t.restarts + 1 }
+
+let pp_state ppf s =
+  Format.pp_print_string ppf
+    (match s with Active -> "active" | Committed -> "committed" | Aborted -> "aborted")

@@ -1,0 +1,48 @@
+(** Transactions under strict two-phase locking.
+
+    A transaction accumulates an undo log of field-level before-images
+    while it runs; {!abort} replays it backwards.  This realises the
+    paper's recovery remark: access vectors tell {e a priori} which fields
+    a method may write, so recovery needs only the projection of the
+    instance on the written fields — no programmer-supplied inverse
+    operations (problem P1). *)
+
+open Tavcc_model
+
+type state = Active | Committed | Aborted
+
+type undo_entry = { u_oid : Oid.t; u_field : Name.Field.t; u_before : Value.t }
+
+type t = {
+  id : int;
+  birth : int;  (** logical timestamp; lower = older (wound-wait style victim choice uses it) *)
+  mutable state : state;
+  mutable undo : undo_entry list;  (** newest first *)
+  mutable restarts : int;  (** times this transaction was aborted and restarted *)
+}
+
+val make : id:int -> birth:int -> t
+
+val log_write : t -> Oid.t -> Name.Field.t -> before:Value.t -> unit
+(** Records a before-image.  Only the {e first} image per (oid, field) pair
+    matters for undo correctness; all are kept and replayed backwards,
+    which yields the same result. *)
+
+val undo_all : 'b Store.t -> t -> unit
+(** Replays the undo log backwards against the store and clears it.
+    Instances that no longer exist are skipped (they were created by this
+    very transaction). *)
+
+val commit : t -> unit
+(** @raise Invalid_argument if the transaction is not active *)
+
+val abort : 'b Store.t -> t -> unit
+(** Undoes and marks aborted.
+    @raise Invalid_argument if the transaction is not active *)
+
+val reset_for_restart : t -> t
+(** A fresh active incarnation with the same id and birth (the paper's
+    protocols restart the victim after a deadlock abort), with [restarts]
+    incremented. *)
+
+val pp_state : Format.formatter -> state -> unit

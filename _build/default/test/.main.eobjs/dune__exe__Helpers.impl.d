@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Ast Check Format Name Oid Parser Pretty Schema String Tavcc_core Tavcc_lang Tavcc_model Value

@@ -1,0 +1,1 @@
+test/test_access_vector.ml: Access_vector Alcotest Format Helpers List Mode QCheck QCheck_alcotest Tavcc_core Tavcc_model

@@ -1,0 +1,1 @@
+test/test_adhoc.ml: Adhoc Alcotest Analysis Helpers Incremental Schema Tavcc_core Tavcc_lang Tavcc_model Value

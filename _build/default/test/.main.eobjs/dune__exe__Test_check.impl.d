@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Check Format Helpers List String Tavcc_core Tavcc_lang

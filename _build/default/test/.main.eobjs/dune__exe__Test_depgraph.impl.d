@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Depgraph Extraction Helpers Paper_example Tavcc_core

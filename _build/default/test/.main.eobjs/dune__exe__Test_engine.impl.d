@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Format Helpers List Printf QCheck QCheck_alcotest Store Tavcc_cc Tavcc_core Tavcc_model Tavcc_sim Tavcc_txn Value

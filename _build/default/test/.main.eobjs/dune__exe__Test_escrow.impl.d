@@ -1,0 +1,1 @@
+test/test_escrow.ml: Alcotest Escrow Format Hashtbl Helpers List Option QCheck QCheck_alcotest String Tavcc_escrow Tavcc_sim

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Exec Helpers List Lock_table Lockset Name Pred Printf Resource Rw_instance Scheme Store Tav_modes Tavcc_cc Tavcc_core Tavcc_lock Tavcc_model Tavcc_txn Value

@@ -1,0 +1,1 @@
+test/test_extraction.ml: Access_vector Alcotest Extraction Helpers List Mode Name Paper_example Site Tavcc_core Tavcc_model

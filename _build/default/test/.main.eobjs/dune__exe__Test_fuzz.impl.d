@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Access_vector Analysis Ast Depgraph Extraction Helpers Incremental List Modes_table Name Printf QCheck QCheck_alcotest Schema Tav Tavcc_core Tavcc_lang Tavcc_model Tavcc_sim Value

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Access_vector Alcotest Analysis Ast Helpers Incremental List Mode Name Paper_example Parser Printf QCheck QCheck_alcotest Schema Tavcc_core Tavcc_lang Tavcc_model Tavcc_sim

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Helpers Interp List Name Printf Store Tavcc_lang Tavcc_model Value

@@ -1,0 +1,1 @@
+test/test_lbr.ml: Alcotest Array Extraction Helpers Lbr Paper_example Tavcc_core

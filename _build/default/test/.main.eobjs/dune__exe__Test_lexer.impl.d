@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Format Helpers Lexer List Tavcc_lang Token

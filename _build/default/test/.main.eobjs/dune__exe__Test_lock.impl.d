@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Compat Format Helpers List Lock_table QCheck QCheck_alcotest Resource Tavcc_lock Tavcc_model Tavcc_sim

@@ -1,0 +1,1 @@
+test/test_mode.ml: Alcotest Format Helpers List Mode Tavcc_core

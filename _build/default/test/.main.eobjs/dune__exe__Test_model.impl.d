@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Helpers Name Oid Tavcc_model Value

@@ -1,0 +1,1 @@
+test/test_modes_table.ml: Access_vector Alcotest Analysis Array Format Helpers List Modes_table Paper_example Printf QCheck QCheck_alcotest Tavcc_core Tavcc_model Tavcc_sim

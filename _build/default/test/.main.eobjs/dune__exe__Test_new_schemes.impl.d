@@ -1,0 +1,1 @@
+test/test_new_schemes.ml: Alcotest Helpers List Lock_table Name Oid Printf Resource Store Tavcc_cc Tavcc_core Tavcc_lock Tavcc_model Tavcc_sim Value

@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Helpers List Paper_example Printf Report Tavcc_core Tavcc_model

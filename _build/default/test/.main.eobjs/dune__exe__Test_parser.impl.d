@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Helpers List Option Parser Schema Tavcc_lang Tavcc_model Value

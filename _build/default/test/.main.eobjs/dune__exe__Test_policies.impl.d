@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Helpers List Printf Store Tavcc_cc Tavcc_core Tavcc_model Tavcc_sim Tavcc_txn Value

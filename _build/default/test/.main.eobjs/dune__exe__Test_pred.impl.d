@@ -1,0 +1,1 @@
+test/test_pred.ml: Alcotest Helpers List Pred Printf QCheck QCheck_alcotest Store Tavcc_cc Tavcc_core Tavcc_lock Tavcc_model Tavcc_sim Value

@@ -1,0 +1,1 @@
+test/test_predefined.ml: Access_vector Alcotest Analysis Depgraph Helpers Interp List Mode Predefined Store Tavcc_core Tavcc_lang Tavcc_model Value

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Format Helpers Lexer List Name Parser Pretty QCheck QCheck_alcotest Schema Tavcc_core Tavcc_lang Tavcc_model Value

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Hashtbl Helpers List Option QCheck QCheck_alcotest Recovery Store Tavcc_model Tavcc_recovery Tavcc_sim Value Wal

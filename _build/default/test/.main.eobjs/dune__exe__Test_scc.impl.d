@@ -1,0 +1,1 @@
+test/test_scc.ml: Alcotest Array Helpers Int List Printf QCheck QCheck_alcotest Scc String Tavcc_core

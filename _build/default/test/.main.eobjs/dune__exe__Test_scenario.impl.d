@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Field_runtime Helpers List Printf Relational Rw_instance Rw_toponly Scenario Tav_modes Tavcc_cc

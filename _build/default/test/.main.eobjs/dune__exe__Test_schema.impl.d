@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Helpers List Name Option Schema Tavcc_model Value

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Helpers Option Schema Store Tavcc_model Value

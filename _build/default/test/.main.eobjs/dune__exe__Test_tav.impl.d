@@ -1,0 +1,1 @@
+test/test_tav.ml: Access_vector Alcotest Extraction Format Helpers List Mode Name Paper_example QCheck QCheck_alcotest Schema Tav Tavcc_core Tavcc_model Tavcc_sim

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Format Helpers List Printf Store Tavcc_cc Tavcc_core Tavcc_model Tavcc_sim Value

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Helpers List Oid Store Tavcc_model Tavcc_txn Value

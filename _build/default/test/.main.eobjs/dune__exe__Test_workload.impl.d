@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Check Format Fun Helpers Interp List Name Printf Schema Store Tavcc_core Tavcc_lang Tavcc_model Tavcc_sim Value

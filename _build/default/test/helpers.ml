@@ -1,0 +1,65 @@
+(* Shared test utilities: name shortcuts, Alcotest testables, schema
+   builders. *)
+
+open Tavcc_model
+open Tavcc_lang
+
+let cn = Name.Class.of_string
+let mn = Name.Method.of_string
+let fn = Name.Field.of_string
+
+let class_name : Name.Class.t Alcotest.testable =
+  Alcotest.testable Name.Class.pp Name.Class.equal
+
+let method_name : Name.Method.t Alcotest.testable =
+  Alcotest.testable Name.Method.pp Name.Method.equal
+
+let field_name : Name.Field.t Alcotest.testable =
+  Alcotest.testable Name.Field.pp Name.Field.equal
+
+let oid : Oid.t Alcotest.testable = Alcotest.testable Oid.pp Oid.equal
+let value : Value.t Alcotest.testable = Alcotest.testable Value.pp Value.equal
+
+let mode : Tavcc_core.Mode.t Alcotest.testable =
+  Alcotest.testable Tavcc_core.Mode.pp Tavcc_core.Mode.equal
+
+let access_vector : Tavcc_core.Access_vector.t Alcotest.testable =
+  Alcotest.testable Tavcc_core.Access_vector.pp Tavcc_core.Access_vector.equal
+
+let site : Tavcc_core.Site.t Alcotest.testable =
+  Alcotest.testable Tavcc_core.Site.pp Tavcc_core.Site.equal
+
+let expr : Ast.expr Alcotest.testable = Alcotest.testable Pretty.pp_expr Ast.equal_expr
+
+let body : Ast.body Alcotest.testable = Alcotest.testable Pretty.pp_body Ast.equal_body
+
+(* Parses, builds and checks a schema from source; fails the test on any
+   error. *)
+let schema_of_source src =
+  let decls = Parser.parse_decls src in
+  match Schema.build decls with
+  | Error e -> Alcotest.failf "schema build: %a" Schema.pp_error e
+  | Ok s -> (
+      match Check.check s with
+      | Ok () -> s
+      | Error errs ->
+          Alcotest.failf "schema check: %a" (Format.pp_print_list Check.pp_error) errs)
+
+let build_of_source src =
+  (* Build without the static checker, for tests that target it. *)
+  match Schema.build (Parser.parse_decls src) with
+  | Error e -> Alcotest.failf "schema build: %a" Schema.pp_error e
+  | Ok s -> s
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Naive substring search, sufficient for matching diagnostics. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_raises_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name

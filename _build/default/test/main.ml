@@ -1,0 +1,38 @@
+let () =
+  Alcotest.run "tavcc"
+    [
+      ("model", Test_model.suite);
+      ("schema", Test_schema.suite);
+      ("store", Test_store.suite);
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("pretty", Test_pretty.suite);
+      ("check", Test_check.suite);
+      ("interp", Test_interp.suite);
+      ("mode", Test_mode.suite);
+      ("access-vector", Test_access_vector.suite);
+      ("extraction", Test_extraction.suite);
+      ("scc", Test_scc.suite);
+      ("lbr", Test_lbr.suite);
+      ("tav", Test_tav.suite);
+      ("modes-table", Test_modes_table.suite);
+      ("lock", Test_lock.suite);
+      ("txn", Test_txn.suite);
+      ("schemes", Test_schemes.suite);
+      ("scenario", Test_scenario.suite);
+      ("engine", Test_engine.suite);
+      ("workload", Test_workload.suite);
+      ("paper", Test_paper_example.suite);
+      ("incremental", Test_incremental.suite);
+      ("adhoc", Test_adhoc.suite);
+      ("escrow", Test_escrow.suite);
+      ("policies", Test_policies.suite);
+      ("recovery", Test_recovery.suite);
+      ("depgraph", Test_depgraph.suite);
+      ("new-schemes", Test_new_schemes.suite);
+      ("predefined", Test_predefined.suite);
+      ("trace", Test_trace.suite);
+      ("pred", Test_pred.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("exec", Test_exec.suite);
+    ]

@@ -1,0 +1,101 @@
+(* Access vectors: definitions 3-5 and property 1. *)
+
+open Tavcc_core
+module AV = Access_vector
+open Helpers
+
+let av l = AV.of_list (List.map (fun (f, m) -> (fn f, m)) l)
+
+(* Random access vectors over a small field pool. *)
+let arb_av =
+  let pool = [ "f1"; "f2"; "f3"; "f4"; "f5" ] in
+  let gen =
+    QCheck.Gen.(
+      list_size (0 -- 5)
+        (pair (oneofl pool) (oneofl [ Mode.Null; Mode.Read; Mode.Write ]))
+      |> map (fun l -> av l))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" AV.pp) gen
+
+let test_canonical () =
+  Alcotest.check access_vector "null entries dropped" AV.empty (av [ ("f1", Mode.Null) ]);
+  Alcotest.(check bool) "empty" true (AV.is_empty (av [ ("f1", Mode.Null) ]));
+  Alcotest.check mode "get missing = Null" Mode.Null (AV.get AV.empty (fn "f1"));
+  Alcotest.check access_vector "duplicates joined"
+    (av [ ("f1", Mode.Write) ])
+    (av [ ("f1", Mode.Read); ("f1", Mode.Write) ]);
+  Alcotest.check access_vector "set overwrites"
+    (av [ ("f1", Mode.Read) ])
+    (AV.set (av [ ("f1", Mode.Write) ]) (fn "f1") Mode.Read);
+  Alcotest.check access_vector "set to Null removes" AV.empty
+    (AV.set (av [ ("f1", Mode.Write) ]) (fn "f1") Mode.Null)
+
+let test_paper_join_example () =
+  (* (W X, R Y, R Z) join (R X, N Y, R T) = (W X, R Y, R Z, R T) — the
+     example below definition 4. *)
+  let a = av [ ("X", Mode.Write); ("Y", Mode.Read); ("Z", Mode.Read) ] in
+  let b = av [ ("X", Mode.Read); ("Y", Mode.Null); ("T", Mode.Read) ] in
+  Alcotest.check access_vector "paper example"
+    (av [ ("X", Mode.Write); ("Y", Mode.Read); ("Z", Mode.Read); ("T", Mode.Read) ])
+    (AV.join a b)
+
+let prop_join_aci =
+  QCheck.Test.make ~count:300 ~name:"join idempotent/commutative/associative (property 1)"
+    (QCheck.triple arb_av arb_av arb_av) (fun (a, b, c) ->
+      AV.equal (AV.join a a) a
+      && AV.equal (AV.join a b) (AV.join b a)
+      && AV.equal (AV.join a (AV.join b c)) (AV.join (AV.join a b) c))
+
+let prop_join_pointwise =
+  QCheck.Test.make ~count:300 ~name:"join is field-wise mode join"
+    (QCheck.pair arb_av arb_av) (fun (a, b) ->
+      let j = AV.join a b in
+      List.for_all
+        (fun f -> Mode.equal (AV.get j f) (Mode.join (AV.get a f) (AV.get b f)))
+        (List.map fn [ "f1"; "f2"; "f3"; "f4"; "f5" ]))
+
+let prop_commutes_def5 =
+  QCheck.Test.make ~count:300 ~name:"commutes = field-wise compatibility (definition 5)"
+    (QCheck.pair arb_av arb_av) (fun (a, b) ->
+      let expected =
+        List.for_all
+          (fun f -> Mode.compatible (AV.get a f) (AV.get b f))
+          (List.map fn [ "f1"; "f2"; "f3"; "f4"; "f5" ])
+      in
+      AV.commutes a b = expected && AV.commutes b a = expected)
+
+let test_commutes_cases () =
+  Alcotest.(check bool) "disjoint writers commute" true
+    (AV.commutes (av [ ("f1", Mode.Write) ]) (av [ ("f2", Mode.Write) ]));
+  Alcotest.(check bool) "readers commute" true
+    (AV.commutes (av [ ("f1", Mode.Read) ]) (av [ ("f1", Mode.Read) ]));
+  Alcotest.(check bool) "read/write clash" false
+    (AV.commutes (av [ ("f1", Mode.Read) ]) (av [ ("f1", Mode.Write) ]));
+  Alcotest.(check bool) "empty commutes with all" true
+    (AV.commutes AV.empty (av [ ("f1", Mode.Write) ]))
+
+let test_projections () =
+  let v = av [ ("f1", Mode.Write); ("f2", Mode.Read); ("f3", Mode.Write) ] in
+  Alcotest.(check (list field_name)) "write fields (recovery projection)"
+    [ fn "f1"; fn "f3" ] (AV.write_fields v);
+  Alcotest.(check (list field_name)) "read fields" [ fn "f2" ] (AV.read_fields v);
+  Alcotest.(check (list field_name)) "support" [ fn "f1"; fn "f2"; fn "f3" ] (AV.fields v);
+  let r = AV.restrict v (Tavcc_model.Name.Field.Set.of_list [ fn "f1"; fn "f2" ]) in
+  Alcotest.check access_vector "restrict"
+    (av [ ("f1", Mode.Write); ("f2", Mode.Read) ]) r
+
+let test_pp () =
+  let v = av [ ("f1", Mode.Write); ("f2", Mode.Read) ] in
+  Alcotest.(check string) "paper style" "(Write f1, Read f2)" (Format.asprintf "%a" AV.pp v)
+
+let suite =
+  [
+    case "canonical representation" test_canonical;
+    case "paper's join example" test_paper_join_example;
+    QCheck_alcotest.to_alcotest prop_join_aci;
+    QCheck_alcotest.to_alcotest prop_join_pointwise;
+    QCheck_alcotest.to_alcotest prop_commutes_def5;
+    case "commutativity cases" test_commutes_cases;
+    case "projections" test_projections;
+    case "printing" test_pp;
+  ]

@@ -1,0 +1,106 @@
+(* Ad hoc commutativity relations (sec. 3's predefined-type escape
+   hatch). *)
+
+open Tavcc_model
+open Tavcc_core
+open Helpers
+
+let counter_src =
+  {|
+class counter is
+  fields n : integer;
+  method inc(d) is n := n + d; end
+  method dec(d) is n := n - d; end
+  method get is return n; end
+end
+
+class gauge extends counter is
+  fields peak : integer;
+  method inc(d) is -- override: also track the peak
+    send counter.inc(d) to self;
+    if n > peak then peak := n; end
+  end
+end
+|}
+
+let counter = cn "counter"
+let gauge = cn "gauge"
+let inc = mn "inc"
+let dec = mn "dec"
+let get = mn "get"
+
+let adhoc_counter =
+  (* Increments and decrements commute semantically with one another. *)
+  Adhoc.(
+    declare empty counter [ (inc, inc, true); (dec, dec, true); (inc, dec, true) ])
+
+let test_without_adhoc () =
+  let an = Analysis.compile (schema_of_source counter_src) in
+  Alcotest.(check bool) "syntactic: inc/inc clash" false (Analysis.commute an counter inc inc);
+  Alcotest.(check bool) "syntactic: inc/dec clash" false (Analysis.commute an counter inc dec)
+
+let test_with_adhoc () =
+  let an = Analysis.compile ~adhoc:adhoc_counter (schema_of_source counter_src) in
+  Alcotest.(check bool) "semantic: inc/inc commute" true (Analysis.commute an counter inc inc);
+  Alcotest.(check bool) "semantic: inc/dec commute" true (Analysis.commute an counter inc dec);
+  Alcotest.(check bool) "semantic: dec/dec commute" true (Analysis.commute an counter dec dec);
+  (* Pairs the declaration does not cover keep their computed value. *)
+  Alcotest.(check bool) "get/inc still clash" false (Analysis.commute an counter get inc);
+  Alcotest.(check bool) "get/get still commute" true (Analysis.commute an counter get get)
+
+let test_inheritance_and_invalidation () =
+  let an = Analysis.compile ~adhoc:adhoc_counter (schema_of_source counter_src) in
+  (* gauge inherits dec unchanged: the dec/dec assertion carries over. *)
+  Alcotest.(check bool) "dec/dec inherited" true (Analysis.commute an gauge dec dec);
+  (* gauge overrides inc (it also writes peak): the assertions naming inc
+     no longer describe the executed code and must be dropped. *)
+  Alcotest.(check bool) "inc/inc invalidated by override" false
+    (Analysis.commute an gauge inc inc);
+  Alcotest.(check bool) "inc/dec invalidated by override" false
+    (Analysis.commute an gauge inc dec)
+
+let test_lookup_api () =
+  let schema = schema_of_source counter_src in
+  Alcotest.(check (option bool)) "declared pair" (Some true)
+    (Adhoc.lookup adhoc_counter schema counter inc dec);
+  Alcotest.(check (option bool)) "symmetric" (Some true)
+    (Adhoc.lookup adhoc_counter schema counter dec inc);
+  Alcotest.(check (option bool)) "undeclared pair" None
+    (Adhoc.lookup adhoc_counter schema counter get inc);
+  Alcotest.(check (option bool)) "invalidated in subclass" None
+    (Adhoc.lookup adhoc_counter schema gauge inc inc);
+  Alcotest.(check (option bool)) "still valid in subclass" (Some true)
+    (Adhoc.lookup adhoc_counter schema gauge dec dec)
+
+let test_negative_override () =
+  (* Declarations can also forbid commutation the vectors would allow:
+     e.g. an audit rule that serialises get against dec. *)
+  let adhoc = Adhoc.(declare empty counter [ (get, get, false) ]) in
+  let an = Analysis.compile ~adhoc (schema_of_source counter_src) in
+  Alcotest.(check bool) "forced conflict" false (Analysis.commute an counter get get)
+
+let test_incremental_keeps_adhoc () =
+  let an = Analysis.compile ~adhoc:adhoc_counter (schema_of_source counter_src) in
+  (* An unrelated edit must not lose the registry. *)
+  let md =
+    {
+      Schema.m_name = mn "reset";
+      m_params = [];
+      m_body = [ Tavcc_lang.Ast.Assign ("n", Tavcc_lang.Ast.Lit (Value.Vint 0)) ];
+    }
+  in
+  match Incremental.recompile an (Incremental.Add_method (counter, md)) with
+  | Error e -> Alcotest.failf "recompile: %a" Incremental.pp_error e
+  | Ok an' ->
+      Alcotest.(check bool) "adhoc survives the edit" true
+        (Analysis.commute an' counter inc dec)
+
+let suite =
+  [
+    case "computed relation without declarations" test_without_adhoc;
+    case "declared pairs override the matrix" test_with_adhoc;
+    case "inheritance and override invalidation" test_inheritance_and_invalidation;
+    case "lookup" test_lookup_api;
+    case "negative override" test_negative_override;
+    case "incremental recompilation keeps the registry" test_incremental_keeps_adhoc;
+  ]

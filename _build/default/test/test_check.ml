@@ -1,0 +1,136 @@
+(* The static checker. *)
+
+open Tavcc_lang
+open Helpers
+
+let errors_of src =
+  match Check.check (build_of_source src) with
+  | Ok () -> []
+  | Error errs -> List.map (fun e -> e.Check.ce_msg) errs
+
+let expect_clean src =
+  match errors_of src with
+  | [] -> ()
+  | msgs -> Alcotest.failf "unexpected diagnostics: %s" (String.concat "; " msgs)
+
+let expect_error src fragment =
+  let msgs = errors_of src in
+  if not (List.exists (fun m -> contains m fragment) msgs) then
+    Alcotest.failf "expected a diagnostic containing %S, got: %s" fragment
+      (String.concat "; " msgs)
+
+let test_paper_example_clean () =
+  match Check.check (Tavcc_core.Paper_example.schema ()) with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "paper example: %a" (Format.pp_print_list Check.pp_error) errs
+
+let test_unknown_identifier () =
+  expect_error "class a is method m is x := 1; end end" "unknown identifier"
+
+let test_param_assignment () =
+  expect_error "class a is method m(p) is p := 1; end end" "cannot assign to parameter"
+
+let test_param_shadowed_by_local () =
+  expect_clean "class a is method m(p) is var p := 1; p := 2; end end"
+
+let test_local_redeclared () =
+  expect_error "class a is method m is var v := 1; var v := 2; end end" "declared twice"
+
+let test_block_scoping () =
+  (* A local declared in a branch is dead outside it. *)
+  expect_error
+    "class a is method m is if true then var v := 1; end v := 2; end end"
+    "unknown identifier"
+
+let test_unknown_message () =
+  expect_error "class a is method m is send nope to self; end end" "does not understand"
+
+let test_arity () =
+  expect_error
+    "class a is method m(p, q) is end method n is send m(1) to self; end end"
+    "expects 2 argument(s)"
+
+let test_prefixed_not_ancestor () =
+  expect_error
+    "class a is method m is end end class b is method n is send a.m to self; end end"
+    "is not an ancestor"
+
+let test_prefixed_non_self () =
+  expect_error
+    {|class a is
+        fields r : a;
+        method m is end
+        method n is send a.m to r; end
+      end|}
+    "may only target self"
+
+let test_send_to_base_value () =
+  expect_error
+    "class a is fields f : integer; method m is send g to f; end end"
+    "base type"
+
+let test_send_to_ref_field_checked () =
+  expect_error
+    {|class t is method tick is end end
+      class a is
+        fields r : t;
+        method m is send nope to r; end
+      end|}
+    "does not understand";
+  expect_clean
+    {|class t is method tick is end end
+      class a is
+        fields r : t;
+        method m is send tick to r; end
+      end|}
+
+let test_new_unknown_class () =
+  expect_error "class a is method m is var v := new ghost; end end" "unknown class"
+
+let test_field_type_mismatch () =
+  expect_error
+    "class a is fields f : integer; method m is f := true; end end"
+    "assigned a value"
+
+let test_operator_mismatch () =
+  expect_error
+    {|class a is fields f : integer; g : string; method m is f := f + (g and g); end end|}
+    "operator"
+
+let test_condition_type () =
+  expect_error
+    "class a is fields f : integer; method m is if f + 1 then f := 1; end end end"
+    "condition of type"
+
+let test_duplicate_param () =
+  expect_error "class a is method m(p, p) is end end" "duplicate parameter"
+
+let test_params_are_dynamic () =
+  (* Parameters type as <any>: both uses below are accepted statically. *)
+  expect_clean
+    {|class a is
+        fields f : integer; s : string;
+        method m(p) is f := f + p; s := s + p; end
+      end|}
+
+let suite =
+  [
+    case "paper example is clean" test_paper_example_clean;
+    case "unknown identifier" test_unknown_identifier;
+    case "assignment to parameter" test_param_assignment;
+    case "local shadows parameter" test_param_shadowed_by_local;
+    case "local redeclared" test_local_redeclared;
+    case "block scoping of locals" test_block_scoping;
+    case "unknown message" test_unknown_message;
+    case "arity mismatch" test_arity;
+    case "prefixed send to non-ancestor" test_prefixed_not_ancestor;
+    case "prefixed send to non-self receiver" test_prefixed_non_self;
+    case "send to base-typed field" test_send_to_base_value;
+    case "send to typed reference field" test_send_to_ref_field_checked;
+    case "new of unknown class" test_new_unknown_class;
+    case "field assignment type" test_field_type_mismatch;
+    case "operator operand types" test_operator_mismatch;
+    case "condition must be boolean" test_condition_type;
+    case "duplicate parameter" test_duplicate_param;
+    case "parameters are dynamically typed" test_params_are_dynamic;
+  ]

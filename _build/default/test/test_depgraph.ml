@@ -1,0 +1,168 @@
+(* The method dependency graph (composition links, sec. 4.3 remark). *)
+
+open Tavcc_core
+module P = Paper_example
+open Helpers
+
+let dep_of schema = Depgraph.build (Extraction.build schema)
+
+let test_paper_example () =
+  let dep = dep_of (P.schema ()) in
+  (* m3 sends m to f3 (declared c3): a composition edge. *)
+  Alcotest.(check (list site))
+    "m3 reaches (c3,m)"
+    [ (P.c3, P.m) ]
+    (Depgraph.successors dep (P.c1, P.m3));
+  (* m1 reaches it transitively through its self-sent m3. *)
+  Alcotest.(check (list site))
+    "m1's composition successors"
+    [ (P.c3, P.m) ]
+    (Depgraph.successors dep (P.c2, P.m1));
+  Alcotest.(check (list class_name))
+    "classes reachable from c2.m1"
+    [ P.c2; P.c3 ]
+    (Depgraph.reachable_classes dep P.c2 P.m1);
+  (* m4 touches no other object. *)
+  Alcotest.(check (list class_name))
+    "m4 stays home" [ P.c2 ]
+    (Depgraph.reachable_classes dep P.c2 P.m4);
+  (* c3.m is a sink. *)
+  Alcotest.(check (list site)) "(c3,m) sink" [] (Depgraph.successors dep (P.c3, P.m))
+
+let test_subclass_receivers_covered () =
+  (* A field declared of class [t] may hold any instance of t's domain:
+     the edges fan out over the domain. *)
+  let schema =
+    schema_of_source
+      {|
+class t is
+  fields x : integer;
+  method tick is x := x + 1; end
+end
+class u extends t is
+  fields y : integer;
+  method tick is y := y + 1; end
+end
+class owner is
+  fields r : t;
+  method poke is send tick to r; end
+end
+|}
+  in
+  let dep = dep_of schema in
+  Alcotest.(check (list site))
+    "edges cover the domain of t"
+    [ (cn "t", mn "tick"); (cn "u", mn "tick") ]
+    (Depgraph.successors dep (cn "owner", mn "poke"));
+  Alcotest.(check (list class_name))
+    "reachable classes" [ cn "owner"; cn "t"; cn "u" ]
+    (Depgraph.reachable_classes dep (cn "owner") (mn "poke"))
+
+let test_chains () =
+  let schema =
+    schema_of_source
+      {|
+class c is
+  fields v : integer;
+  method leaf is v := 1; end
+end
+class b is
+  fields rc : c;
+  method mid is send leaf to rc; end
+end
+class a is
+  fields rb : b;
+  method top is send mid to rb; end
+end
+|}
+  in
+  let dep = dep_of schema in
+  Alcotest.(check (list class_name))
+    "a.top reaches b and c" [ cn "a"; cn "b"; cn "c" ]
+    (Depgraph.reachable_classes dep (cn "a") (mn "top"));
+  Alcotest.(check (list class_name))
+    "b.mid reaches c only" [ cn "b"; cn "c" ]
+    (Depgraph.reachable_classes dep (cn "b") (mn "mid"))
+
+let test_new_receiver () =
+  let schema =
+    schema_of_source
+      {|
+class t is
+  fields x : integer;
+  method init is x := 0; end
+end
+class maker is
+  fields n : integer;
+  method make is send init to (new t); end
+end
+|}
+  in
+  let dep = dep_of schema in
+  Alcotest.(check (list site))
+    "new t receiver" [ (cn "t", mn "init") ]
+    (Depgraph.successors dep (cn "maker", mn "make"))
+
+let test_dynamic_send_pessimises () =
+  let schema =
+    schema_of_source
+      {|
+class t is
+  method tick is end
+end
+class u is
+  fields z : integer;
+end
+class owner is
+  fields n : integer;
+  method poke(p) is send tick to p; end   -- receiver class unknown
+  method calm is n := 1; end
+end
+|}
+  in
+  let dep = dep_of schema in
+  Alcotest.(check (list class_name))
+    "dynamic send reaches everything"
+    [ cn "owner"; cn "t"; cn "u" ]
+    (Depgraph.reachable_classes dep (cn "owner") (mn "poke"));
+  Alcotest.(check (list class_name))
+    "other methods unaffected" [ cn "owner" ]
+    (Depgraph.reachable_classes dep (cn "owner") (mn "calm"))
+
+let test_cycle_through_composition () =
+  (* Two classes whose methods call each other through references. *)
+  let schema =
+    schema_of_source
+      {|
+class pong is
+  fields back : ping; n : integer;
+  method hit is
+    n := n + 1;
+    if n < 10 then send serve to back; end
+  end
+end
+class ping is
+  fields other : pong; m : integer;
+  method serve is
+    m := m + 1;
+    if m < 10 then send hit to other; end
+  end
+end
+|}
+  in
+  let dep = dep_of schema in
+  Alcotest.(check (list class_name))
+    "cycle closes" [ cn "ping"; cn "pong" ]
+    (Depgraph.reachable_classes dep (cn "ping") (mn "serve"));
+  let dot = Depgraph.to_dot dep in
+  Alcotest.(check bool) "dot edge" true (contains dot "\"ping,serve\" -> \"pong,hit\"")
+
+let suite =
+  [
+    case "paper example composition edges" test_paper_example;
+    case "subclass receivers covered" test_subclass_receivers_covered;
+    case "composition chains" test_chains;
+    case "new as receiver" test_new_receiver;
+    case "dynamic sends pessimise to the whole schema" test_dynamic_send_pessimises;
+    case "cycles through composition" test_cycle_through_composition;
+  ]

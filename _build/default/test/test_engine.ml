@@ -1,0 +1,190 @@
+(* The simulation engine: determinism, deadlock resolution, correctness. *)
+
+open Tavcc_model
+module Exec = Tavcc_cc.Exec
+module Engine = Tavcc_sim.Engine
+module Workload = Tavcc_sim.Workload
+open Helpers
+
+let all_schemes =
+  [
+    ("tav", Tavcc_cc.Tav_modes.scheme);
+    ("rw-msg", Tavcc_cc.Rw_instance.scheme);
+    ("rw-top", Tavcc_cc.Rw_toponly.scheme);
+    ("field-rt", Tavcc_cc.Field_runtime.scheme);
+    ("relational", Tavcc_cc.Relational.scheme);
+  ]
+
+let chain_setup levels txns =
+  let schema = Workload.chain_schema ~levels in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  let oid = Store.new_instance store (cn "chain") in
+  let top = mn (Printf.sprintf "m%d" levels) in
+  let jobs = List.init txns (fun i -> (i + 1, [ Exec.Call (oid, top, [ Value.Vint 1 ]) ])) in
+  (an, store, oid, jobs)
+
+let run ?(seed = 7) ?(yield = true) mk (an, store, _, jobs) =
+  let config = { Engine.default_config with seed; yield_on_access = yield } in
+  Engine.run ~config ~scheme:(mk an) ~store ~jobs ()
+
+let test_all_commit_and_correct () =
+  List.iter
+    (fun (name, mk) ->
+      let ((_, store, oid, _) as setup) = chain_setup 3 6 in
+      let r = run mk setup in
+      Alcotest.(check int) (name ^ ": all commit") 6 r.Engine.commits;
+      Alcotest.(check (list (pair int string))) (name ^ ": none failed") [] r.Engine.failed;
+      (* Six increments of the chain field survived concurrency. *)
+      Alcotest.check value (name ^ ": final value") (Value.Vint 6)
+        (Store.read store oid (fn "acc"));
+      Alcotest.(check bool) (name ^ ": serializable") true (Engine.serializable r))
+    all_schemes
+
+let test_escalation_deadlocks () =
+  (* Per-message R/W locking deadlocks on the reader-then-writer cascade;
+     schemes announcing the most exclusive mode up front do not (the
+     System R observation the paper quotes). *)
+  let r_msg = run Tavcc_cc.Rw_instance.scheme (chain_setup 3 6) in
+  Alcotest.(check bool) "rw-msg deadlocks" true (r_msg.Engine.deadlocks > 0);
+  let r_tav = run Tavcc_cc.Tav_modes.scheme (chain_setup 3 6) in
+  Alcotest.(check int) "tav: no deadlock" 0 r_tav.Engine.deadlocks;
+  let r_top = run Tavcc_cc.Rw_toponly.scheme (chain_setup 3 6) in
+  Alcotest.(check int) "rw-top: no deadlock" 0 r_top.Engine.deadlocks
+
+let test_lock_request_overhead () =
+  (* Problem P2: controlling an instance once per message multiplies lock
+     requests by the self-call depth. *)
+  let r_msg = run ~yield:false Tavcc_cc.Rw_instance.scheme (chain_setup 4 1) in
+  let r_tav = run ~yield:false Tavcc_cc.Tav_modes.scheme (chain_setup 4 1) in
+  Alcotest.(check int) "tav: 2 requests" 2 r_tav.Engine.lock_requests;
+  Alcotest.(check int) "rw-msg: 10 requests" 10 r_msg.Engine.lock_requests
+
+let test_determinism () =
+  let results =
+    List.init 2 (fun _ ->
+        let r = run ~seed:123 Tavcc_cc.Rw_instance.scheme (chain_setup 3 5) in
+        Format.asprintf "%a|%d|%d" Tavcc_txn.History.pp r.Engine.history r.Engine.deadlocks
+          r.Engine.scheduler_steps)
+  in
+  Alcotest.(check string) "same seed, same run" (List.nth results 0) (List.nth results 1)
+
+let test_seed_changes_schedule () =
+  let h seed =
+    let r = run ~seed Tavcc_cc.Rw_instance.scheme (chain_setup 3 5) in
+    Format.asprintf "%a" Tavcc_txn.History.pp r.Engine.history
+  in
+  (* Not guaranteed for every pair of seeds, but these differ. *)
+  Alcotest.(check bool) "different schedules" true (h 1 <> h 2)
+
+let test_pseudo_conflict_parallelism () =
+  (* wbase and wsub write disjoint fields of the same instances: TAV locks
+     never wait, two-mode locking does (problem P4). *)
+  let schema = Workload.pseudo_conflict_schema () in
+  let an = Tavcc_core.Analysis.compile schema in
+  let mk_jobs store =
+    let subs = Store.extent store (cn "sub") in
+    [
+      (1, List.map (fun o -> Exec.Call (o, mn "wbase", [ Value.Vint 1 ])) subs);
+      (2, List.map (fun o -> Exec.Call (o, mn "wsub", [ Value.Vint 1 ])) subs);
+    ]
+  in
+  let run_scheme mk =
+    let store = Store.create schema in
+    Workload.populate store ~per_class:4;
+    let config = { Engine.default_config with yield_on_access = true } in
+    Engine.run ~config ~scheme:(mk an) ~store ~jobs:(mk_jobs store) ()
+  in
+  let r_tav = run_scheme Tavcc_cc.Tav_modes.scheme in
+  let r_rw = run_scheme Tavcc_cc.Rw_toponly.scheme in
+  Alcotest.(check int) "tav: zero waits" 0 r_tav.Engine.lock_waits;
+  Alcotest.(check bool) "rw-top: waits" true (r_rw.Engine.lock_waits > 0);
+  Alcotest.(check bool) "both serializable" true
+    (Engine.serializable r_tav && Engine.serializable r_rw)
+
+let test_extent_vs_instance_conflict () =
+  (* A domain-wide writer extent scan serialises against instance writers
+     through the hierarchical class lock. *)
+  let an = Tavcc_core.Paper_example.analysis () in
+  let schema = Tavcc_core.Analysis.schema an in
+  let store = Store.create schema in
+  let insts = List.init 4 (fun _ -> Store.new_instance store Tavcc_core.Paper_example.c2) in
+  let jobs =
+    [
+      ( 1,
+        [
+          Exec.Call_extent
+            { cls = Tavcc_core.Paper_example.c2; deep = true; meth = Tavcc_core.Paper_example.m4;
+              args = [ Value.Vint (-1); Value.Vstring "y" ] };
+        ] );
+      (2, List.map (fun o -> Exec.Call (o, Tavcc_core.Paper_example.m4,
+                                        [ Value.Vint (-1); Value.Vstring "z" ])) insts);
+    ]
+  in
+  let config = { Engine.default_config with yield_on_access = true } in
+  let r = Engine.run ~config ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store ~jobs () in
+  Alcotest.(check int) "both commit" 2 r.Engine.commits;
+  Alcotest.(check bool) "someone waited" true (r.Engine.lock_waits > 0);
+  Alcotest.(check bool) "serializable" true (Engine.serializable r)
+
+let prop_random_workloads_serializable =
+  (* The oracle property over every scheme and random workloads. *)
+  QCheck.Test.make ~count:25 ~name:"random workloads are serializable under every scheme"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let schema =
+        Workload.make_schema rng
+          { Workload.default_params with sp_depth = 2; sp_fanout = 2; sp_shared_methods = 3 }
+      in
+      let an = Tavcc_core.Analysis.compile schema in
+      List.for_all
+        (fun (_, mk) ->
+          let store = Store.create schema in
+          Workload.populate store ~per_class:3;
+          let jobs =
+            Workload.random_jobs
+              (Tavcc_sim.Rng.create (seed + 1))
+              store ~txns:5 ~actions_per_txn:3 ~extent_prob:0.2 ~hot_instances:2 ~hot_prob:0.5
+          in
+          let config =
+            { Engine.default_config with seed; yield_on_access = true; max_restarts = 200 }
+          in
+          let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+          r.Engine.failed = [] && r.Engine.commits = 5 && Engine.serializable r)
+        all_schemes)
+
+let test_runtime_failure_reported () =
+  (* A transaction whose method raises must be recorded as failed and its
+     effects rolled back; the rest still commits. *)
+  let schema =
+    schema_of_source
+      {|class a is
+          fields f : integer;
+          method boom is f := 7; f := f / 0; end
+          method ok is f := f + 1; end
+        end|}
+  in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  let o = Store.new_instance store (cn "a") in
+  let jobs =
+    [ (1, [ Exec.Call (o, mn "boom", []) ]); (2, [ Exec.Call (o, mn "ok", []) ]) ]
+  in
+  let r = Engine.run ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store ~jobs () in
+  Alcotest.(check int) "one commit" 1 r.Engine.commits;
+  Alcotest.(check int) "one failure" 1 (List.length r.Engine.failed);
+  (* boom's partial write (f := 7) was undone; only ok's increment shows. *)
+  Alcotest.check value "rollback" (Value.Vint 1) (Store.read store o (fn "f"))
+
+let suite =
+  [
+    case "all schemes: commits, values, serializability" test_all_commit_and_correct;
+    case "escalation deadlocks only under per-message R/W" test_escalation_deadlocks;
+    case "lock-request overhead (P2)" test_lock_request_overhead;
+    case "determinism from the seed" test_determinism;
+    case "seed changes the schedule" test_seed_changes_schedule;
+    case "pseudo-conflict parallelism (P4)" test_pseudo_conflict_parallelism;
+    case "extent vs instance writers" test_extent_vs_instance_conflict;
+    QCheck_alcotest.to_alcotest prop_random_workloads_serializable;
+    case "runtime failure: rollback and report" test_runtime_failure_reported;
+  ]

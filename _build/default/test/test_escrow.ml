@@ -1,0 +1,151 @@
+(* The Escrow transactional method (O'Neil), ref. [20] of the paper. *)
+
+open Tavcc_escrow
+open Helpers
+
+let outcome : Escrow.outcome Alcotest.testable =
+  Alcotest.testable
+    (fun ppf o ->
+      Format.pp_print_string ppf
+        (match o with
+        | Escrow.Reserved -> "reserved"
+        | Escrow.Would_underflow -> "underflow"
+        | Escrow.Would_overflow -> "overflow"))
+    ( = )
+
+let test_basic_reserve_commit () =
+  let e = Escrow.create ~low:0 ~high:100 50 in
+  Alcotest.check outcome "t1 +10" Escrow.Reserved (Escrow.reserve e ~txn:1 ~delta:10);
+  Alcotest.check outcome "t2 -20" Escrow.Reserved (Escrow.reserve e ~txn:2 ~delta:(-20));
+  Alcotest.(check int) "committed untouched" 50 (Escrow.committed e);
+  Alcotest.(check int) "inf sees decrements" 30 (Escrow.inf e);
+  Alcotest.(check int) "sup sees increments" 60 (Escrow.sup e);
+  Alcotest.(check int) "t1 reads own escrow" 60 (Escrow.read e ~txn:1);
+  Alcotest.(check int) "t2 reads own escrow" 30 (Escrow.read e ~txn:2);
+  Alcotest.(check int) "t3 reads committed" 50 (Escrow.read e ~txn:3);
+  Escrow.commit e ~txn:1;
+  Alcotest.(check int) "t1 applied" 60 (Escrow.committed e);
+  Escrow.abort e ~txn:2;
+  Alcotest.(check int) "t2 discarded" 60 (Escrow.committed e);
+  Alcotest.(check (list int)) "no pending left" [] (Escrow.pending_txns e)
+
+let test_worst_case_bounds () =
+  (* 50 in [0,100]: +30 and +30 cannot both be promised. *)
+  let e = Escrow.create ~low:0 ~high:100 50 in
+  Alcotest.check outcome "first +30" Escrow.Reserved (Escrow.reserve e ~txn:1 ~delta:30);
+  Alcotest.check outcome "second +30 refused" Escrow.Would_overflow
+    (Escrow.reserve e ~txn:2 ~delta:30);
+  (* But a decrement is still fine: worst cases are per side. *)
+  Alcotest.check outcome "-50 ok" Escrow.Reserved (Escrow.reserve e ~txn:2 ~delta:(-50));
+  Alcotest.check outcome "-1 more underflows" Escrow.Would_underflow
+    (Escrow.reserve e ~txn:3 ~delta:(-1));
+  (* The refused increment becomes possible once t1 aborts. *)
+  Escrow.abort e ~txn:1;
+  Alcotest.check outcome "+30 after abort" Escrow.Reserved (Escrow.reserve e ~txn:3 ~delta:30)
+
+let test_same_txn_accumulates () =
+  let e = Escrow.create ~low:0 ~high:10 5 in
+  Alcotest.check outcome "+3" Escrow.Reserved (Escrow.reserve e ~txn:1 ~delta:3);
+  Alcotest.check outcome "+2" Escrow.Reserved (Escrow.reserve e ~txn:1 ~delta:2);
+  Alcotest.check outcome "+1 overflows" Escrow.Would_overflow (Escrow.reserve e ~txn:1 ~delta:1);
+  (* A transaction may net itself back down. *)
+  Alcotest.check outcome "-4 nets to +1" Escrow.Reserved (Escrow.reserve e ~txn:1 ~delta:(-4));
+  Alcotest.(check int) "net pending" 1 (Escrow.pending_of e ~txn:1);
+  Escrow.commit e ~txn:1;
+  Alcotest.(check int) "commit nets" 6 (Escrow.committed e)
+
+let test_create_validation () =
+  check_raises_invalid "value out of bounds" (fun () -> Escrow.create ~low:0 ~high:10 11);
+  check_raises_invalid "low > high" (fun () -> Escrow.create ~low:5 ~high:1 3)
+
+let test_commit_without_reservation () =
+  let e = Escrow.create 0 in
+  Escrow.commit e ~txn:9;
+  Alcotest.(check int) "no-op" 0 (Escrow.committed e)
+
+(* Property: under any interleaving of reserve/commit/abort, the
+   committed value stays within bounds, equals the sum of committed
+   deltas, and inf/sup bracket it. *)
+let prop_invariants =
+  QCheck.Test.make ~count:300 ~name:"escrow invariants under random interleavings"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let low = -Tavcc_sim.Rng.int rng 50 in
+      let high = Tavcc_sim.Rng.int rng 50 in
+      let v0 = low + Tavcc_sim.Rng.int rng (high - low + 1) in
+      let e = Escrow.create ~low ~high v0 in
+      let applied = ref v0 in
+      let ok = ref true in
+      let live = Hashtbl.create 8 in
+      for step = 1 to 60 do
+        let txn = Tavcc_sim.Rng.int rng 6 in
+        (match Tavcc_sim.Rng.int rng 4 with
+        | 0 | 1 ->
+            let delta = Tavcc_sim.Rng.int rng 21 - 10 in
+            (match Escrow.reserve e ~txn ~delta with
+            | Escrow.Reserved ->
+                Hashtbl.replace live txn
+                  (delta + Option.value ~default:0 (Hashtbl.find_opt live txn))
+            | Escrow.Would_underflow | Escrow.Would_overflow -> ())
+        | 2 ->
+            (match Hashtbl.find_opt live txn with
+            | Some d ->
+                applied := !applied + d;
+                Hashtbl.remove live txn
+            | None -> ());
+            Escrow.commit e ~txn
+        | _ ->
+            Hashtbl.remove live txn;
+            Escrow.abort e ~txn);
+        ignore step;
+        let c = Escrow.committed e in
+        if not (c = !applied && c >= low && c <= high
+                && Escrow.inf e >= low && Escrow.sup e <= high
+                && Escrow.inf e <= c && c <= Escrow.sup e)
+        then ok := false
+      done;
+      !ok)
+
+(* Property: any subset of reserved transactions can commit in any
+   order without violating the bounds — the defining guarantee. *)
+let prop_any_subset_commits =
+  QCheck.Test.make ~count:200 ~name:"any subset of reservations may commit"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let e = Escrow.create ~low:0 ~high:40 20 in
+      for txn = 1 to 8 do
+        ignore (Escrow.reserve e ~txn ~delta:(Tavcc_sim.Rng.int rng 21 - 10))
+      done;
+      let subset = List.filter (fun _ -> Tavcc_sim.Rng.bool rng) (Escrow.pending_txns e) in
+      let order = Tavcc_sim.Rng.shuffle rng subset in
+      List.iter (fun txn -> Escrow.commit e ~txn) order;
+      List.iter (fun txn -> Escrow.abort e ~txn) (Escrow.pending_txns e);
+      Escrow.committed e >= 0 && Escrow.committed e <= 40)
+
+let test_table () =
+  let tbl = Escrow.Table.create String.equal Hashtbl.hash in
+  Escrow.Table.register tbl "a" (Escrow.create ~low:0 ~high:10 5);
+  Escrow.Table.register tbl "b" (Escrow.create ~low:0 ~high:10 5);
+  check_raises_invalid "double register" (fun () ->
+      Escrow.Table.register tbl "a" (Escrow.create 0));
+  Alcotest.check outcome "reserve a" Escrow.Reserved
+    (Escrow.Table.reserve tbl "a" ~txn:1 ~delta:2);
+  Alcotest.check outcome "reserve b" Escrow.Reserved
+    (Escrow.Table.reserve tbl "b" ~txn:1 ~delta:(-3));
+  Escrow.Table.commit_all tbl ~txn:1;
+  Alcotest.(check int) "a committed" 7 (Escrow.committed (Option.get (Escrow.Table.find tbl "a")));
+  Alcotest.(check int) "b committed" 2 (Escrow.committed (Option.get (Escrow.Table.find tbl "b")));
+  check_raises_invalid "unregistered" (fun () ->
+      Escrow.Table.reserve tbl "zz" ~txn:1 ~delta:1)
+
+let suite =
+  [
+    case "reserve, read, commit, abort" test_basic_reserve_commit;
+    case "worst-case bound checking" test_worst_case_bounds;
+    case "same transaction accumulates" test_same_txn_accumulates;
+    case "creation validation" test_create_validation;
+    case "commit without reservation" test_commit_without_reservation;
+    QCheck_alcotest.to_alcotest prop_invariants;
+    QCheck_alcotest.to_alcotest prop_any_subset_commits;
+    case "keyed table" test_table;
+  ]

@@ -1,0 +1,131 @@
+(* The executor: action shapes, extent root exemption, undo wiring. *)
+
+open Tavcc_model
+open Tavcc_lock
+open Tavcc_cc
+module P = Tavcc_core.Paper_example
+open Helpers
+
+let setup n =
+  let an = P.analysis () in
+  let store = Store.create (Tavcc_core.Analysis.schema an) in
+  let insts = List.init n (fun _ -> Store.new_instance store P.c2) in
+  (an, store, insts)
+
+let record_run scheme store actions =
+  let txn = Tavcc_txn.Txn.make ~id:1 ~birth:1 in
+  let reqs = ref [] in
+  let ctx = { Scheme.txn; acquire = (fun r -> reqs := r :: !reqs) } in
+  Exec.begin_txn ~scheme ~store ~ctx actions;
+  List.iter (fun a -> Exec.perform ~scheme ~store ~ctx a) actions;
+  (txn, List.rev !reqs)
+
+let test_extent_root_exemption () =
+  (* Hierarchical schemes skip instance locks for extent roots; the
+     per-message baseline does not. *)
+  let an, store, _ = setup 3 in
+  let action =
+    Exec.Call_extent
+      { cls = P.c2; deep = true; meth = P.m4; args = [ Value.Vint (-1); Value.Vstring "x" ] }
+  in
+  let _, reqs = record_run (Tav_modes.scheme an) store [ action ] in
+  let inst_locks =
+    List.filter (fun r -> match r.Lock_table.r_res with Resource.Instance _ -> true | _ -> false) reqs
+  in
+  Alcotest.(check int) "tav: no instance locks under the class lock" 0 (List.length inst_locks);
+  let _, reqs = record_run (Rw_instance.scheme an) store [ action ] in
+  let inst_locks =
+    List.filter (fun r -> match r.Lock_table.r_res with Resource.Instance _ -> true | _ -> false) reqs
+  in
+  Alcotest.(check int) "rw-msg: one instance lock per extent member" 3 (List.length inst_locks)
+
+let test_call_some_intentions () =
+  let an, store, insts = setup 2 in
+  let action =
+    Exec.Call_some
+      { root = P.c1; targets = insts; meth = P.m4;
+        args = [ Value.Vint (-1); Value.Vstring "x" ] }
+  in
+  let _, reqs = record_run (Tav_modes.scheme an) store [ action ] in
+  let class_locks =
+    List.filter_map
+      (fun r ->
+        match r.Lock_table.r_res with
+        | Resource.Class c -> Some (Name.Class.to_string c, r.Lock_table.r_hier)
+        | _ -> None)
+      reqs
+  in
+  (* Intentional locks on the domain classes that understand the method:
+     m4 does not exist in c1, so only c2 is announced — no instance of c1
+     could be a target. *)
+  Alcotest.(check bool) "c1 not locked (does not understand m4)" false
+    (List.mem ("c1", false) class_locks);
+  Alcotest.(check bool) "c2 intentional" true (List.mem ("c2", false) class_locks);
+  Alcotest.(check bool) "no hierarchical" true
+    (List.for_all (fun (_, h) -> not h) class_locks);
+  let inst_locks =
+    List.filter (fun r -> match r.Lock_table.r_res with Resource.Instance _ -> true | _ -> false) reqs
+  in
+  Alcotest.(check int) "each target locked" 2 (List.length inst_locks)
+
+let test_undo_through_exec () =
+  let an, store, insts = setup 1 in
+  let oid = List.hd insts in
+  let txn, _ =
+    record_run (Tav_modes.scheme an) store
+      [ Exec.Call (oid, P.m4, [ Value.Vint (-1); Value.Vstring "!" ]) ]
+  in
+  Alcotest.check value "write applied" (Value.Vstring "!") (Store.read store oid P.f6);
+  Tavcc_txn.Txn.undo_all store txn;
+  Alcotest.check value "undo restores" (Value.Vstring "") (Store.read store oid P.f6)
+
+let test_range_action_on_paper_schema () =
+  (* Range over f5: only matching c2 instances run m4. *)
+  let an, store, insts = setup 4 in
+  List.iteri (fun i oid -> Store.write store oid P.f5 (Value.Vint i)) insts;
+  let txn, _ =
+    record_run (Tav_modes.scheme an) store
+      [
+        Exec.Call_range
+          { cls = P.c2; deep = true; pred = Pred.make ~lo:2 ~hi:3 P.f5; meth = P.m4;
+            args = [ Value.Vint (-1); Value.Vstring "!" ] };
+      ]
+  in
+  ignore txn;
+  List.iteri
+    (fun i oid ->
+      let expected = if i >= 2 then Value.Vstring "!" else Value.Vstring "" in
+      Alcotest.check value (Printf.sprintf "instance %d" i) expected (Store.read store oid P.f6))
+    insts
+
+let test_lockset_leaves_store_clean () =
+  let an, store, insts = setup 2 in
+  let oid = List.hd insts in
+  Store.write store oid P.f5 (Value.Vint 42);
+  let _ =
+    Lockset.of_actions ~scheme:(Tav_modes.scheme an) ~store ~txn_id:9
+      [ Exec.Call (oid, P.m2, [ Value.Vint 7 ]) ]
+  in
+  Alcotest.check value "f5 unchanged" (Value.Vint 42) (Store.read store oid P.f5);
+  Alcotest.check value "f4 rolled back" (Value.Vint 0) (Store.read store oid P.f4);
+  Alcotest.check value "f1 rolled back" (Value.Vint 0) (Store.read store oid P.f1)
+
+let test_maximal_groups_edges () =
+  let scheme = Tav_modes.scheme (P.analysis ()) in
+  (* Empty input: no groups. *)
+  Alcotest.(check (list (list int))) "no sets" [] (Lockset.maximal_groups scheme []);
+  (* One empty lock set is compatible with itself. *)
+  Alcotest.(check (list (list int))) "singleton" [ [ 0 ] ] (Lockset.maximal_groups scheme [ [] ]);
+  (* Two empty sets coexist. *)
+  Alcotest.(check (list (list int))) "pair" [ [ 0; 1 ] ]
+    (Lockset.maximal_groups scheme [ []; [] ])
+
+let suite =
+  [
+    case "extent roots are exempt under hierarchical locks" test_extent_root_exemption;
+    case "some-of-domain intentions" test_call_some_intentions;
+    case "undo flows through the executor" test_undo_through_exec;
+    case "range actions filter by predicate" test_range_action_on_paper_schema;
+    case "lock-set evaluation rolls the store back" test_lockset_leaves_store_clean;
+    case "maximal group edge cases" test_maximal_groups_edges;
+  ]

@@ -1,0 +1,177 @@
+(* DAV / DSC / PSC extraction (definitions 6-8). *)
+
+open Tavcc_model
+open Tavcc_core
+module AV = Access_vector
+module P = Paper_example
+open Helpers
+
+let av l = AV.of_list (List.map (fun (f, m) -> (fn f, m)) l)
+
+let ex () = Extraction.build (P.schema ())
+
+let test_paper_davs () =
+  let ex = ex () in
+  (* Sec. 4.1: "the direct access vector of m2 in c1 is (Write f1, Read f2,
+     Null f3)". *)
+  Alcotest.check access_vector "DAV c1.m2"
+    (av [ ("f1", Mode.Write); ("f2", Mode.Read) ])
+    (Extraction.dav ex P.c1 P.m2);
+  Alcotest.check access_vector "DAV c1.m1 (pure sender)" AV.empty (Extraction.dav ex P.c1 P.m1);
+  Alcotest.check access_vector "DAV c1.m3"
+    (av [ ("f2", Mode.Read); ("f3", Mode.Read) ])
+    (Extraction.dav ex P.c1 P.m3);
+  (* Sec. 4.3: DAV of (c2,m2) is (N,N,N,W f4,R f5,N). *)
+  Alcotest.check access_vector "DAV c2.m2"
+    (av [ ("f4", Mode.Write); ("f5", Mode.Read) ])
+    (Extraction.dav ex P.c2 P.m2);
+  Alcotest.check access_vector "DAV c2.m4"
+    (av [ ("f5", Mode.Read); ("f6", Mode.Write) ])
+    (Extraction.dav ex P.c2 P.m4)
+
+let test_inherited_shares_site () =
+  let ex = ex () in
+  (* m1 and m3 are inherited by c2: clause (i) of each definition. *)
+  Alcotest.check access_vector "DAV c2.m1 = DAV c1.m1" (Extraction.dav ex P.c1 P.m1)
+    (Extraction.dav ex P.c2 P.m1);
+  Alcotest.check access_vector "DAV c2.m3 = DAV c1.m3" (Extraction.dav ex P.c1 P.m3)
+    (Extraction.dav ex P.c2 P.m3);
+  Alcotest.check site "defining site of c2.m3" (P.c1, P.m3) (Extraction.defining_site ex P.c2 P.m3);
+  Alcotest.check site "defining site of c2.m2 (override)" (P.c2, P.m2)
+    (Extraction.defining_site ex P.c2 P.m2)
+
+let test_paper_dsc_psc () =
+  let ex = ex () in
+  Alcotest.(check (list method_name))
+    "DSC c1.m1 = {m2, m3}" [ P.m2; P.m3 ]
+    (Name.Method.Set.elements (Extraction.dsc ex P.c1 P.m1));
+  Alcotest.(check (list method_name))
+    "DSC c2.m1 inherited" [ P.m2; P.m3 ]
+    (Name.Method.Set.elements (Extraction.dsc ex P.c2 P.m1));
+  Alcotest.(check int) "DSC c1.m2 empty" 0 (Name.Method.Set.cardinal (Extraction.dsc ex P.c1 P.m2));
+  Alcotest.(check int) "DSC c1.m3 empty (cross-object send only)" 0
+    (Name.Method.Set.cardinal (Extraction.dsc ex P.c1 P.m3));
+  Alcotest.(check (list site))
+    "PSC c2.m2 = {(c1,m2)}"
+    [ (P.c1, P.m2) ]
+    (Site.Set.elements (Extraction.psc ex P.c2 P.m2));
+  Alcotest.(check int) "PSC c1.m2 empty" 0 (Site.Set.cardinal (Extraction.psc ex P.c1 P.m2))
+
+let dav_of src cls meth =
+  let schema = schema_of_source src in
+  let ex = Extraction.build schema in
+  Extraction.dav ex (cn cls) (mn meth)
+
+let test_write_dominates () =
+  (* A field both read and assigned is Write (definition 6). *)
+  let v = dav_of "class a is fields f : integer; method m is f := f + 1; end end" "a" "m" in
+  Alcotest.check access_vector "read+write = Write" (av [ ("f", Mode.Write) ]) v
+
+let test_branches_merged () =
+  (* Both branches of [if] and [while] bodies contribute (conservatism). *)
+  let v =
+    dav_of
+      {|class a is
+          fields f : integer; g : integer; c : boolean;
+          method m is
+            if c then f := 1; else g := f; end
+            while c do g := g + 1; end
+          end
+        end|}
+      "a" "m"
+  in
+  Alcotest.check access_vector "merged"
+    (av [ ("c", Mode.Read); ("f", Mode.Write); ("g", Mode.Write) ])
+    v
+
+let test_receiver_counts_as_read () =
+  (* "f appears in some expression, including messages" — receivers and
+     arguments. *)
+  let v =
+    dav_of
+      {|class t is method tick(p) is end end
+        class a is
+          fields r : t; f : integer;
+          method m is send tick(f) to r; end
+        end|}
+      "a" "m"
+  in
+  Alcotest.check access_vector "receiver and argument reads"
+    (av [ ("r", Mode.Read); ("f", Mode.Read) ])
+    v
+
+let test_locals_shadow_fields () =
+  let v =
+    dav_of
+      {|class a is
+          fields f : integer;
+          method m is
+            var f := 1;
+            f := f + 1;
+          end
+        end|}
+      "a" "m"
+  in
+  Alcotest.check access_vector "shadowed field untouched" AV.empty v
+
+let test_block_scoped_shadowing () =
+  let v =
+    dav_of
+      {|class a is
+          fields f : integer;
+          method m is
+            if true then
+              var f := 1;
+              f := 2;
+            end
+            f := 3;
+          end
+        end|}
+      "a" "m"
+  in
+  Alcotest.check access_vector "assignment after block hits the field"
+    (av [ ("f", Mode.Write) ]) v
+
+let test_params_shadow_fields () =
+  let v =
+    dav_of
+      {|class a is
+          fields p : integer; f : integer;
+          method m(p) is f := p; end
+        end|}
+      "a" "m"
+  in
+  Alcotest.check access_vector "param shadows field" (av [ ("f", Mode.Write) ]) v
+
+let test_self_expr_receiver_is_self_call () =
+  let schema =
+    schema_of_source
+      {|class a is
+          fields f : integer;
+          method w is f := 1; end
+          method m is send w to (self); end
+        end|}
+  in
+  let ex = Extraction.build schema in
+  Alcotest.(check (list method_name))
+    "send to (self) recorded as DSC" [ mn "w" ]
+    (Name.Method.Set.elements (Extraction.dsc ex (cn "a") (mn "m")))
+
+let test_unknown_method_raises () =
+  let ex = ex () in
+  check_raises_invalid "dav of unknown" (fun () -> Extraction.dav ex P.c1 P.m4)
+
+let suite =
+  [
+    case "paper DAVs exactly" test_paper_davs;
+    case "inherited methods share the defining site" test_inherited_shares_site;
+    case "paper DSC and PSC sets" test_paper_dsc_psc;
+    case "write dominates read" test_write_dominates;
+    case "if/while branches merged" test_branches_merged;
+    case "receiver counts as read" test_receiver_counts_as_read;
+    case "locals shadow fields" test_locals_shadow_fields;
+    case "block-scoped shadowing" test_block_scoped_shadowing;
+    case "params shadow fields" test_params_shadow_fields;
+    case "(self) receiver is a self-call" test_self_expr_receiver_is_self_call;
+    case "unknown method raises" test_unknown_method_raises;
+  ]

@@ -1,0 +1,148 @@
+(* Fuzzing the analysis pipeline over randomly generated schemas,
+   including multiple inheritance. *)
+
+open Tavcc_model
+open Tavcc_lang
+open Tavcc_core
+open Helpers
+
+(* A random acyclic multiple-inheritance schema built directly as
+   declarations: class k_i may inherit from up to two earlier classes;
+   fields carry globally unique names (the model rejects diamonds
+   otherwise); bodies mix reads, writes, self-sends and prefixed sends
+   to random ancestors. *)
+let random_mi_decls rng =
+  let n_classes = 3 + Tavcc_sim.Rng.int rng 5 in
+  let cls i = cn (Printf.sprintf "k%d" i) in
+  let field i j = fn (Printf.sprintf "f%d_%d" i j) in
+  let meths = [ mn "ma"; mn "mb"; mn "mc" ] in
+  List.init n_classes (fun i ->
+      let parents =
+        if i = 0 then []
+        else
+          List.sort_uniq Name.Class.compare
+            (List.filter_map
+               (fun _ ->
+                 if Tavcc_sim.Rng.chance rng 0.7 then Some (cls (Tavcc_sim.Rng.int rng i))
+                 else None)
+               [ (); () ])
+      in
+      let n_fields = 1 + Tavcc_sim.Rng.int rng 3 in
+      let fields = List.init n_fields (fun j -> (field i j, Value.Tint)) in
+      let body () =
+        let stmts = ref [] in
+        (* own-field accesses *)
+        for j = 0 to n_fields - 1 do
+          if Tavcc_sim.Rng.bool rng then
+            stmts :=
+              Ast.Assign
+                ( Name.Field.to_string (field i j),
+                  Ast.Binop (Ast.Add, Ast.Ident (Name.Field.to_string (field i j)), Ast.Ident "p1")
+                )
+              :: !stmts
+        done;
+        (* self-sends *)
+        if Tavcc_sim.Rng.chance rng 0.6 then
+          stmts :=
+            Ast.Send_stmt
+              { Ast.msg_prefix = None; msg_name = Tavcc_sim.Rng.pick rng meths;
+                msg_args = [ Ast.Ident "p1" ]; msg_recv = Ast.Rself }
+            :: !stmts;
+        !stmts
+      in
+      let methods =
+        List.filter_map
+          (fun m ->
+            if Tavcc_sim.Rng.chance rng 0.7 then
+              Some { Schema.m_name = m; m_params = [ "p1" ]; m_body = body () }
+            else None)
+          meths
+      in
+      { Schema.c_name = cls i; c_parents = parents; c_fields = fields; c_methods = methods })
+
+let prop_analysis_total =
+  QCheck.Test.make ~count:150 ~name:"pipeline total on random MI schemas"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let decls = random_mi_decls rng in
+      match Schema.build decls with
+      | Error _ -> true (* C3 failures and friends are legal rejections *)
+      | Ok schema ->
+          let ex = Extraction.build schema in
+          let an = Analysis.compile schema in
+          let dep = Depgraph.build ex in
+          List.for_all
+            (fun c ->
+              Modes_table.is_symmetric (Analysis.table an c)
+              && Name.Method.Map.equal Access_vector.equal (Tav.compute ex c)
+                   (Tav.compute_naive ex c)
+              && List.for_all
+                   (fun m -> Depgraph.reachable_classes dep c m <> [])
+                   (Schema.methods schema c))
+            (Schema.classes schema))
+
+let prop_root_methods_missing_ok =
+  (* Self-sends to methods a class does not understand must be dropped by
+     the analysis, never crash it. *)
+  QCheck.Test.make ~count:100 ~name:"dangling self-sends are ignored"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let body =
+        [
+          Ast.Send_stmt
+            { Ast.msg_prefix = None;
+              msg_name = mn (Printf.sprintf "ghost%d" (Tavcc_sim.Rng.int rng 5));
+              msg_args = []; msg_recv = Ast.Rself };
+        ]
+      in
+      let decls =
+        [
+          {
+            Schema.c_name = cn "solo";
+            c_parents = [];
+            c_fields = [ (fn "f", Value.Tint) ];
+            c_methods = [ { Schema.m_name = mn "m"; m_params = []; m_body = body } ];
+          };
+        ]
+      in
+      match Schema.build decls with
+      | Error _ -> false
+      | Ok schema ->
+          let an = Analysis.compile schema in
+          Access_vector.is_empty (Analysis.tav an (cn "solo") (mn "m")))
+
+let prop_incremental_total_on_mi =
+  QCheck.Test.make ~count:60 ~name:"incremental recompilation total on MI schemas"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      match Schema.build (random_mi_decls rng) with
+      | Error _ -> true
+      | Ok schema -> (
+          let an = Analysis.compile schema in
+          let classes = Schema.classes schema in
+          let target = Tavcc_sim.Rng.pick rng classes in
+          let md =
+            { Schema.m_name = mn "zz_new"; m_params = [ "p1" ];
+              m_body =
+                (match Schema.fields schema target with
+                | [] -> []
+                | fd :: _ ->
+                    [ Ast.Assign (Name.Field.to_string fd.Schema.f_name, Ast.Ident "p1") ]) }
+          in
+          match Incremental.recompile an (Incremental.Add_method (target, md)) with
+          | Error _ -> true
+          | Ok inc ->
+              let full = Analysis.compile (Analysis.schema inc) in
+              List.for_all
+                (fun c ->
+                  List.for_all
+                    (fun m -> Access_vector.equal (Analysis.tav inc c m) (Analysis.tav full c m))
+                    (Schema.methods (Analysis.schema inc) c))
+                (Schema.classes (Analysis.schema inc))))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_analysis_total;
+    QCheck_alcotest.to_alcotest prop_root_methods_missing_ok;
+    QCheck_alcotest.to_alcotest prop_incremental_total_on_mi;
+  ]

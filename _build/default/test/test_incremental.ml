@@ -1,0 +1,178 @@
+(* Incremental recompilation under method-level edits. *)
+
+open Tavcc_model
+open Tavcc_lang
+open Tavcc_core
+module P = Paper_example
+open Helpers
+
+let parse_method src =
+  (* "method m(p) is ... end" parsed through a wrapper class. *)
+  let decls = Parser.parse_decls (Printf.sprintf "class __w is %s end" src) in
+  List.hd (List.hd decls).Schema.c_methods
+
+let equivalent an1 an2 =
+  let s1 = Analysis.schema an1 and s2 = Analysis.schema an2 in
+  List.length (Schema.classes s1) = List.length (Schema.classes s2)
+  && List.for_all2
+       (fun c1 c2 ->
+         Name.Class.equal c1 c2
+         && List.equal Name.Method.equal (Schema.methods s1 c1) (Schema.methods s2 c2)
+         && List.for_all
+              (fun m ->
+                Access_vector.equal (Analysis.tav an1 c1 m) (Analysis.tav an2 c2 m)
+                && List.for_all
+                     (fun m' -> Analysis.commute an1 c1 m m' = Analysis.commute an2 c2 m m')
+                     (Schema.methods s1 c1))
+              (Schema.methods s1 c1))
+       (Schema.classes s1) (Schema.classes s2)
+
+let full_of an = Analysis.compile (Analysis.schema an)
+
+let check_edit an edit =
+  match Incremental.recompile an edit with
+  | Error e -> Alcotest.failf "recompile: %a" Incremental.pp_error e
+  | Ok inc -> (
+      match Incremental.apply_edit (Analysis.schema an) edit with
+      | Error e -> Alcotest.failf "apply_edit: %a" Incremental.pp_error e
+      | Ok schema ->
+          let full = Analysis.compile schema in
+          Alcotest.(check bool) "incremental = full" true (equivalent inc full);
+          inc)
+
+let test_update_widens_tav () =
+  let an = P.analysis () in
+  (* Make c1.m3 write f1: every TAV reaching m3 must widen. *)
+  let md = parse_method "method m3 is f1 := f1 + 1; end" in
+  let inc = check_edit an (Incremental.Update_method (P.c1, md)) |> full_of in
+  Alcotest.check mode "m3 now writes f1" Mode.Write
+    (Access_vector.get (Analysis.tav inc P.c2 P.m3) P.f1);
+  Alcotest.check mode "m1 inherits the widening" Mode.Write
+    (Access_vector.get (Analysis.tav inc P.c1 P.m1) P.f1);
+  (* m3 no longer commutes with m2 (both write f1). *)
+  Alcotest.(check bool) "m3/m2 conflict now" false (Analysis.commute inc P.c2 P.m3 P.m2)
+
+let test_add_method () =
+  let an = P.analysis () in
+  let md = parse_method "method m5 is f6 := f6 + \"x\"; end" in
+  let inc = check_edit an (Incremental.Add_method (P.c2, md)) in
+  let m5 = mn "m5" in
+  Alcotest.(check bool) "m5 analysed" true
+    (Access_vector.equal
+       (Analysis.tav inc P.c2 m5)
+       (Access_vector.of_list [ (P.f6, Mode.Write) ]));
+  Alcotest.(check bool) "m5 conflicts with m4 (both write f6)" false
+    (Analysis.commute inc P.c2 m5 P.m4);
+  Alcotest.(check bool) "m5 commutes with m2" true (Analysis.commute inc P.c2 m5 P.m2)
+
+let test_remove_override () =
+  let an = P.analysis () in
+  (* Dropping c2's m2 override reverts c2.m2 to the inherited version:
+     the TAV loses f4/f5 and Figure 2 loses the (c1,m2) chain. *)
+  let inc = check_edit an (Incremental.Remove_method (P.c2, P.m2)) |> full_of in
+  Alcotest.check access_vector "TAV falls back to c1's"
+    (Analysis.tav inc P.c1 P.m2) (Analysis.tav inc P.c2 P.m2);
+  Alcotest.check mode "no more f4 write" Mode.Null
+    (Access_vector.get (Analysis.tav inc P.c2 P.m2) (fn "f4"))
+
+let test_remove_called_method () =
+  let an = P.analysis () in
+  (* Removing c1.m3 breaks m1's self-send; the analysis must survive
+     (the checker would flag the dangling send separately). *)
+  let inc = check_edit an (Incremental.Remove_method (P.c1, P.m3)) |> full_of in
+  Alcotest.(check bool) "m3 gone from METHODS(c2)" true
+    (not (List.exists (Name.Method.equal P.m3) (Schema.methods (Analysis.schema inc) P.c2)));
+  Alcotest.check mode "m1 no longer reads f3" Mode.Null
+    (Access_vector.get (Analysis.tav inc P.c2 P.m1) P.f3)
+
+let test_errors () =
+  let an = P.analysis () in
+  (match Incremental.recompile an (Incremental.Remove_method (P.c2, P.m1)) with
+  | Error (Incremental.No_such_definition _) -> ()
+  | _ -> Alcotest.fail "m1 is inherited, not defined in c2");
+  (match
+     Incremental.recompile an
+       (Incremental.Add_method (P.c2, parse_method "method m4 is end"))
+   with
+  | Error (Incremental.Already_defined _) -> ()
+  | _ -> Alcotest.fail "m4 already defined in c2");
+  match
+    Incremental.recompile an
+      (Incremental.Add_method (cn "ghost", parse_method "method z is end"))
+  with
+  | Error (Incremental.Unknown_class _) -> ()
+  | _ -> Alcotest.fail "ghost class"
+
+let test_affected_is_domain () =
+  let an = P.analysis () in
+  let schema = Analysis.schema an in
+  Alcotest.(check (list class_name)) "edits in c1 affect its domain"
+    [ P.c1; P.c2 ] (Incremental.affected_classes schema P.c1);
+  Alcotest.(check (list class_name)) "edits in c3 affect only c3"
+    [ P.c3 ] (Incremental.affected_classes schema P.c3)
+
+(* Random equivalence property: random schema, random sequence of edits;
+   after each edit the incremental result equals the full recompile. *)
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 50_000)
+
+let random_edit rng schema =
+  let classes = Schema.classes schema in
+  let cls = Tavcc_sim.Rng.pick rng classes in
+  let own = Schema.own_methods schema cls in
+  let fields = Schema.fields schema cls in
+  let fresh_body () =
+    match fields with
+    | [] -> []
+    | fds ->
+        let fd = Tavcc_sim.Rng.pick rng fds in
+        [
+          Ast.Assign
+            ( Name.Field.to_string fd.Schema.f_name,
+              Ast.Binop (Ast.Add, Ast.Ident (Name.Field.to_string fd.Schema.f_name), Ast.Ident "p1")
+            );
+        ]
+  in
+  let choices = Tavcc_sim.Rng.int rng 3 in
+  match (choices, own) with
+  | 0, _ ->
+      let name = Name.Method.of_string (Printf.sprintf "zz%d" (Tavcc_sim.Rng.int rng 1000)) in
+      if Schema.method_def_in schema cls name <> None then None
+      else Some (Incremental.Add_method (cls, { Schema.m_name = name; m_params = [ "p1" ]; m_body = fresh_body () }))
+  | 1, md :: _ ->
+      Some (Incremental.Update_method (cls, { md with Schema.m_body = fresh_body () }))
+  | 2, md :: _ -> Some (Incremental.Remove_method (cls, md.Schema.m_name))
+  | _ -> None
+
+let prop_equivalence =
+  QCheck.Test.make ~count:40 ~name:"incremental = full recompile (random edit sequences)"
+    arb_seed (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let schema =
+        Tavcc_sim.Workload.make_schema rng
+          { Tavcc_sim.Workload.default_params with sp_depth = 3; sp_fanout = 2 }
+      in
+      let an = ref (Analysis.compile schema) in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        match random_edit rng (Analysis.schema !an) with
+        | None -> ()
+        | Some edit -> (
+            match Incremental.recompile !an edit with
+            | Error _ -> ()
+            | Ok inc ->
+                let full = Analysis.compile (Analysis.schema inc) in
+                if not (equivalent inc full) then ok := false;
+                an := inc)
+      done;
+      !ok)
+
+let suite =
+  [
+    case "update widens dependent TAVs" test_update_widens_tav;
+    case "add a method" test_add_method;
+    case "remove an override" test_remove_override;
+    case "remove a called method" test_remove_called_method;
+    case "edit errors" test_errors;
+    case "affected set is the domain" test_affected_is_domain;
+    QCheck_alcotest.to_alcotest prop_equivalence;
+  ]

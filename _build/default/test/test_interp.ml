@@ -1,0 +1,231 @@
+(* The ODML interpreter. *)
+
+open Tavcc_model
+open Tavcc_lang
+open Helpers
+
+let run_method src ?(init = []) ?(args = []) ?hooks cls meth =
+  let schema = schema_of_source src in
+  let store = Store.create schema in
+  let o = Store.new_instance store (cn cls) ~init in
+  let v = Interp.call ?hooks store o (mn meth) args in
+  (store, o, v)
+
+let calc_src =
+  {|
+class calc is
+  fields
+    acc : integer;
+    flag : boolean;
+  method add(n) is
+    acc := acc + n;
+  end
+  method double is
+    acc := acc * 2;
+  end
+  method get is
+    return acc;
+  end
+  method sum_to(n) is
+    var s := 0;
+    var i := 1;
+    while i <= n do
+      s := s + i;
+      i := i + 1;
+    end
+    return s;
+  end
+  method pick(n) is
+    if n > 0 then
+      return "pos";
+    else
+      if n = 0 then return "zero"; end
+      return "neg";
+    end
+  end
+  method chain(n) is
+    send add(n) to self;
+    send double to self;
+    return acc;
+  end
+end
+|}
+
+let test_assign_and_return () =
+  let _, _, v = run_method calc_src ~init:[ (fn "acc", Value.Vint 5) ] ~args:[ Value.Vint 3 ] "calc" "add" in
+  Alcotest.check value "add returns null" Value.Vnull v;
+  let _, _, v = run_method calc_src ~init:[ (fn "acc", Value.Vint 5) ] "calc" "get" in
+  Alcotest.check value "get" (Value.Vint 5) v
+
+let test_while_and_locals () =
+  let _, _, v = run_method calc_src ~args:[ Value.Vint 10 ] "calc" "sum_to" in
+  Alcotest.check value "1+..+10" (Value.Vint 55) v
+
+let test_if_and_early_return () =
+  let pick n =
+    let _, _, v = run_method calc_src ~args:[ Value.Vint n ] "calc" "pick" in
+    v
+  in
+  Alcotest.check value "pos" (Value.Vstring "pos") (pick 4);
+  Alcotest.check value "zero" (Value.Vstring "zero") (pick 0);
+  Alcotest.check value "neg" (Value.Vstring "neg") (pick (-2))
+
+let test_self_sends () =
+  let _, _, v = run_method calc_src ~init:[ (fn "acc", Value.Vint 1) ] ~args:[ Value.Vint 4 ] "calc" "chain" in
+  Alcotest.check value "(1+4)*2" (Value.Vint 10) v
+
+let test_late_binding_and_prefixed () =
+  let src =
+    {|
+class base is
+  fields log : integer;
+  method run is
+    send step to self;
+  end
+  method step is
+    log := log + 1;
+  end
+end
+class derived extends base is
+  method step is -- extension: base step plus two more
+    send base.step to self;
+    log := log + 2;
+  end
+end
+|}
+  in
+  let _, _, _ = run_method src "base" "run" in
+  let store, o, _ = run_method src "derived" "run" in
+  (* run (inherited) late-binds step to the derived extension: 1 + 2. *)
+  Alcotest.check value "late binding" (Value.Vint 3) (Store.read store o (fn "log"))
+
+let test_cross_object_send () =
+  let src =
+    {|
+class cell is
+  fields n : integer;
+  method bump is n := n + 1; end
+  method get is return n; end
+end
+class owner is
+  fields peer : cell;
+  method poke is
+    send bump to peer;
+    return send get to peer;
+  end
+end
+|}
+  in
+  let schema = schema_of_source src in
+  let store = Store.create schema in
+  let cell = Store.new_instance store (cn "cell") ~init:[ (fn "n", Value.Vint 41) ] in
+  let owner = Store.new_instance store (cn "owner") ~init:[ (fn "peer", Value.Vref cell) ] in
+  let v = Interp.call store owner (mn "poke") [] in
+  Alcotest.check value "cross-object result" (Value.Vint 42) v;
+  Alcotest.check value "peer mutated" (Value.Vint 42) (Store.read store cell (fn "n"))
+
+let test_new_expression () =
+  let src =
+    {|
+class node is
+  fields next : node; tag : integer;
+  method grow is
+    next := new node;
+    send mark to next;
+  end
+  method mark is tag := 7; end
+end
+|}
+  in
+  let schema = schema_of_source src in
+  let store = Store.create schema in
+  let o = Store.new_instance store (cn "node") in
+  ignore (Interp.call store o (mn "grow") []);
+  Alcotest.(check int) "two instances" 2 (Store.instance_count store);
+  match Store.read store o (fn "next") with
+  | Value.Vref n -> Alcotest.check value "new marked" (Value.Vint 7) (Store.read store n (fn "tag"))
+  | v -> Alcotest.failf "expected ref, got %a" Value.pp v
+
+let expect_runtime_error f =
+  match f () with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected Runtime_error"
+
+let test_errors () =
+  expect_runtime_error (fun () ->
+      run_method "class a is fields f : integer; method m is f := f / 0; end end" "a" "m");
+  expect_runtime_error (fun () ->
+      run_method "class a is fields f : integer; method m is f := f % 0; end end" "a" "m");
+  expect_runtime_error (fun () ->
+      run_method "class a is fields r : a; method m is send m to r; end end" "a" "m");
+  expect_runtime_error (fun () ->
+      let schema = schema_of_source "class a is method m is end end" in
+      let store = Store.create schema in
+      let o = Store.new_instance store (cn "a") in
+      ignore (Interp.call store o (mn "nope") []));
+  expect_runtime_error (fun () ->
+      let schema = schema_of_source "class a is method m(p) is end end" in
+      let store = Store.create schema in
+      let o = Store.new_instance store (cn "a") in
+      ignore (Interp.call store o (mn "m") []))
+
+let test_fuel () =
+  let src = "class a is fields f : integer; method spin is while true do f := f + 1; end end end" in
+  let schema = schema_of_source src in
+  let store = Store.create schema in
+  let o = Store.new_instance store (cn "a") in
+  match Interp.call ~max_steps:1000 store o (mn "spin") [] with
+  | exception Interp.Runtime_error msg ->
+      Alcotest.(check bool) "mentions step limit" true (contains msg "step limit")
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_arith_semantics () =
+  let eval src =
+    let full = Printf.sprintf "class a is method m is return %s; end end" src in
+    let _, _, v = run_method full "a" "m" in
+    v
+  in
+  Alcotest.check value "int arith" (Value.Vint 7) (eval "1 + 2 * 3");
+  Alcotest.check value "mixed float" (Value.Vfloat 3.5) (eval "3 + 0.5");
+  Alcotest.check value "string concat" (Value.Vstring "ab") (eval {|"a" + "b"|});
+  Alcotest.check value "comparison" (Value.Vbool true) (eval "2 < 3");
+  Alcotest.check value "string comparison" (Value.Vbool true) (eval {|"abc" < "abd"|});
+  Alcotest.check value "equality on refs" (Value.Vbool true) (eval "self = self");
+  Alcotest.check value "null equality" (Value.Vbool true) (eval "null = null");
+  Alcotest.check value "and short-circuits" (Value.Vbool false) (eval "false and 1 / 0 = 0");
+  Alcotest.check value "or short-circuits" (Value.Vbool true) (eval "true or 1 / 0 = 0");
+  Alcotest.check value "not" (Value.Vbool false) (eval "not true");
+  Alcotest.check value "neg" (Value.Vint (-3)) (eval "-3");
+  Alcotest.check value "mod" (Value.Vint 1) (eval "7 % 3")
+
+let test_hooks_order () =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let hooks =
+    {
+      Interp.h_top_send = (fun _ _ m -> push (Printf.sprintf "top:%s" (Name.Method.to_string m)));
+      h_self_send = (fun _ _ m -> push (Printf.sprintf "self:%s" (Name.Method.to_string m)));
+      h_read = (fun _ _ f -> push (Printf.sprintf "r:%s" (Name.Field.to_string f)));
+      h_write = (fun _ _ f ~old:_ _ -> push (Printf.sprintf "w:%s" (Name.Field.to_string f)));
+      h_new = (fun _ c -> push (Printf.sprintf "new:%s" (Name.Class.to_string c)));
+    }
+  in
+  let _ = run_method calc_src ~hooks ~args:[ Value.Vint 4 ] "calc" "chain" in
+  Alcotest.(check (list string)) "event order"
+    [ "top:chain"; "self:add"; "r:acc"; "w:acc"; "self:double"; "r:acc"; "w:acc"; "r:acc" ]
+    (List.rev !events)
+
+let suite =
+  [
+    case "assignment and return" test_assign_and_return;
+    case "while and locals" test_while_and_locals;
+    case "if and early return" test_if_and_early_return;
+    case "self sends" test_self_sends;
+    case "late binding and prefixed calls" test_late_binding_and_prefixed;
+    case "cross-object sends" test_cross_object_send;
+    case "new" test_new_expression;
+    case "runtime errors" test_errors;
+    case "step limit" test_fuel;
+    case "arithmetic semantics" test_arith_semantics;
+    case "hooks fire in order" test_hooks_order;
+  ]

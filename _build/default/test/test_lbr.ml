@@ -1,0 +1,138 @@
+(* Late-binding resolution graphs (definition 9). *)
+
+open Tavcc_core
+module P = Paper_example
+open Helpers
+
+let test_figure2 () =
+  (* The exact graph of Figure 2. *)
+  let ex = Extraction.build (P.schema ()) in
+  let g = Lbr.build ex P.c2 in
+  let vs = Array.to_list (Lbr.vertices g) in
+  Alcotest.(check (list site))
+    "vertices"
+    [ (P.c2, P.m1); (P.c2, P.m2); (P.c2, P.m3); (P.c2, P.m4); (P.c1, P.m2) ]
+    vs;
+  Alcotest.(check (list site))
+    "m1 successors (late-bound DSC)"
+    [ (P.c2, P.m2); (P.c2, P.m3) ]
+    (Lbr.successors g (P.c2, P.m1));
+  Alcotest.(check (list site))
+    "m2 successor (prefixed)"
+    [ (P.c1, P.m2) ]
+    (Lbr.successors g (P.c2, P.m2));
+  Alcotest.(check (list site)) "(c1,m2) is a sink" [] (Lbr.successors g (P.c1, P.m2));
+  Alcotest.(check (list site)) "m4 isolated" [] (Lbr.successors g (P.c2, P.m4));
+  Alcotest.(check int) "edge count" 3 (Lbr.edge_count g);
+  Alcotest.(check int) "vertex count" 5 (Lbr.vertex_count g)
+
+let test_c1_graph () =
+  (* In c1 there is no prefixed call: vertices are exactly METHODS(c1). *)
+  let ex = Extraction.build (P.schema ()) in
+  let g = Lbr.build ex P.c1 in
+  Alcotest.(check (list site))
+    "vertices"
+    [ (P.c1, P.m1); (P.c1, P.m2); (P.c1, P.m3) ]
+    (Array.to_list (Lbr.vertices g));
+  Alcotest.(check (list site))
+    "m1 resolves against c1"
+    [ (P.c1, P.m2); (P.c1, P.m3) ]
+    (Lbr.successors g (P.c1, P.m1))
+
+let test_late_binding_resolution () =
+  (* The crux of definition 9: an ancestor's DSC re-resolves against the
+     receiver class.  Here base.run self-sends step, and derived overrides
+     step: in derived's graph, (base,run)'s edge must target (derived,step)
+     — wait, run is inherited so the vertex is (derived,run); the point is
+     its successor is (derived,step), not (base,step). *)
+  let schema =
+    schema_of_source
+      {|
+class base is
+  fields n : integer;
+  method run is send step to self; end
+  method step is n := n + 1; end
+end
+class derived extends base is
+  fields m : integer;
+  method step is m := m + 1; end
+end
+|}
+  in
+  let ex = Extraction.build schema in
+  let g = Lbr.build ex (cn "derived") in
+  Alcotest.(check (list site))
+    "run's self-send late-binds to the override"
+    [ (cn "derived", mn "step") ]
+    (Lbr.successors g (cn "derived", mn "run"))
+
+let test_prefixed_chain () =
+  (* A three-level extension chain: the PSC closure pulls in both ancestor
+     sites. *)
+  let schema =
+    schema_of_source
+      {|
+class a is
+  fields fa : integer;
+  method m is fa := 1; end
+end
+class b extends a is
+  fields fb : integer;
+  method m is send a.m to self; fb := 1; end
+end
+class c extends b is
+  fields fc : integer;
+  method m is send b.m to self; fc := 1; end
+end
+|}
+  in
+  let ex = Extraction.build schema in
+  let g = Lbr.build ex (cn "c") in
+  Alcotest.(check (list site))
+    "vertices include the whole chain"
+    [ (cn "c", mn "m"); (cn "a", mn "m"); (cn "b", mn "m") ]
+    (Array.to_list (Lbr.vertices g));
+  Alcotest.(check (list site))
+    "(c,m) -> (b,m)"
+    [ (cn "b", mn "m") ]
+    (Lbr.successors g (cn "c", mn "m"));
+  Alcotest.(check (list site))
+    "(b,m) -> (a,m)"
+    [ (cn "a", mn "m") ]
+    (Lbr.successors g (cn "b", mn "m"))
+
+let test_recursion_cycle () =
+  let schema =
+    schema_of_source
+      {|
+class r is
+  fields f : integer;
+  method ping is send pong to self; end
+  method pong is if f > 0 then send ping to self; end end
+end
+|}
+  in
+  let ex = Extraction.build schema in
+  let g = Lbr.build ex (cn "r") in
+  Alcotest.(check (list site)) "ping -> pong" [ (cn "r", mn "pong") ]
+    (Lbr.successors g (cn "r", mn "ping"));
+  Alcotest.(check (list site)) "pong -> ping" [ (cn "r", mn "ping") ]
+    (Lbr.successors g (cn "r", mn "pong"))
+
+let test_dot_output () =
+  let ex = Extraction.build (P.schema ()) in
+  let g = Lbr.build ex P.c2 in
+  let dot = Lbr.to_dot g in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph lbr_c2");
+  Alcotest.(check bool) "edge m1->m2" true (contains dot "\"c2,m1\" -> \"c2,m2\"");
+  Alcotest.(check bool) "edge m2->c1.m2" true (contains dot "\"c2,m2\" -> \"c1,m2\"")
+
+let suite =
+  [
+    case "figure 2 exactly" test_figure2;
+    case "graph of c1" test_c1_graph;
+    case "late binding resolves against the receiver class" test_late_binding_resolution;
+    case "prefixed chain closure" test_prefixed_chain;
+    case "mutual recursion forms a cycle" test_recursion_cycle;
+    case "DOT output" test_dot_output;
+  ]

@@ -1,0 +1,77 @@
+(* The ODML lexer. *)
+
+open Tavcc_lang
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let tok_list =
+  Alcotest.testable
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") Token.pp)
+    ( = )
+
+let test_keywords () =
+  Alcotest.check tok_list "keywords"
+    [ Token.CLASS; Token.EXTENDS; Token.IS; Token.END; Token.SELF; Token.EOF ]
+    (toks "class extends is end self")
+
+let test_ident_vs_keyword () =
+  Alcotest.check tok_list "prefix idents are idents"
+    [ Token.IDENT "classy"; Token.IDENT "ending"; Token.IDENT "selfie"; Token.EOF ]
+    (toks "classy ending selfie")
+
+let test_numbers () =
+  Alcotest.check tok_list "ints and floats"
+    [ Token.INT 42; Token.FLOAT 3.5; Token.INT 0; Token.EOF ]
+    (toks "42 3.5 0");
+  (* An integer followed by a dot that is not a fraction stays an int. *)
+  Alcotest.check tok_list "int dot ident"
+    [ Token.INT 1; Token.DOT; Token.IDENT "m"; Token.EOF ]
+    (toks "1.m")
+
+let test_strings () =
+  Alcotest.check tok_list "plain" [ Token.STRING "hi"; Token.EOF ] (toks {|"hi"|});
+  Alcotest.check tok_list "escapes"
+    [ Token.STRING "a\"b\n\t\\"; Token.EOF ]
+    (toks {|"a\"b\n\t\\"|})
+
+let test_operators () =
+  Alcotest.check tok_list "compound"
+    [ Token.ASSIGN; Token.LE; Token.GE; Token.NE; Token.COLON; Token.LT; Token.GT; Token.EOF ]
+    (toks ":= <= >= <> : < >")
+
+let test_comments () =
+  Alcotest.check tok_list "line comment skipped"
+    [ Token.IDENT "a"; Token.IDENT "b"; Token.EOF ]
+    (toks "a -- whole line ignored ; := class\nb");
+  Alcotest.check tok_list "minus not comment"
+    [ Token.INT 1; Token.MINUS; Token.INT 2; Token.EOF ]
+    (toks "1 - 2")
+
+let test_positions () =
+  let all = Lexer.tokenize "a\n  b" in
+  let pos_of n = snd (List.nth all n) in
+  Alcotest.(check (pair int int)) "first" (1, 1) ((pos_of 0).Token.line, (pos_of 0).Token.col);
+  Alcotest.(check (pair int int)) "second" (2, 3) ((pos_of 1).Token.line, (pos_of 1).Token.col)
+
+let test_errors () =
+  (match Lexer.tokenize "@" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected error on '@'");
+  (match Lexer.tokenize {|"open|} with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected error on unterminated string");
+  match Lexer.tokenize {|"bad \q escape"|} with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected error on unknown escape"
+
+let suite =
+  [
+    Helpers.case "keywords" test_keywords;
+    Helpers.case "identifiers vs keywords" test_ident_vs_keyword;
+    Helpers.case "numbers" test_numbers;
+    Helpers.case "strings and escapes" test_strings;
+    Helpers.case "operators" test_operators;
+    Helpers.case "comments" test_comments;
+    Helpers.case "positions" test_positions;
+    Helpers.case "errors" test_errors;
+  ]

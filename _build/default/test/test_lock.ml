@@ -1,0 +1,271 @@
+(* Compatibility matrices and the lock table. *)
+
+open Tavcc_lock
+open Helpers
+
+let res_i n = Resource.Instance (Tavcc_model.Oid.of_int n)
+
+(* A plain R/W table on every resource kind. *)
+let rw_conflict (held : Lock_table.req) (req : Lock_table.req) =
+  not (Compat.compatible Compat.rw held.Lock_table.r_mode req.Lock_table.r_mode)
+
+let make () = Lock_table.create ~conflict:rw_conflict ()
+let req txn res mode =
+  { Lock_table.r_txn = txn; r_res = res; r_mode = mode; r_hier = false; r_pred = None }
+
+let outcome : Lock_table.outcome Alcotest.testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Lock_table.Granted -> Format.pp_print_string ppf "granted"
+      | Lock_table.Waiting -> Format.pp_print_string ppf "waiting")
+    ( = )
+
+let test_compat_matrices () =
+  Alcotest.(check bool) "R/R" true (Compat.compatible Compat.rw Compat.read Compat.read);
+  Alcotest.(check bool) "R/W" false (Compat.compatible Compat.rw Compat.read Compat.write);
+  Alcotest.(check bool) "IS/X" false (Compat.compatible Compat.gray Compat.is_ Compat.x);
+  Alcotest.(check bool) "IS/IX" true (Compat.compatible Compat.gray Compat.is_ Compat.ix);
+  Alcotest.(check bool) "IX/S" false (Compat.compatible Compat.gray Compat.ix Compat.s);
+  Alcotest.(check bool) "S/S" true (Compat.compatible Compat.gray Compat.s Compat.s);
+  Alcotest.(check bool) "SIX/IS" true (Compat.compatible Compat.gray Compat.six Compat.is_);
+  Alcotest.(check bool) "SIX/SIX" false (Compat.compatible Compat.gray Compat.six Compat.six);
+  Alcotest.(check string) "names" "X" (Compat.name Compat.gray Compat.x);
+  Alcotest.(check (option int)) "by name" (Some Compat.six) (Compat.mode_of_name Compat.gray "SIX")
+
+let test_compat_validation () =
+  check_raises_invalid "asymmetric rejected" (fun () ->
+      Compat.make ~names:[| "a"; "b" |] [| [| true; true |]; [| false; true |] |]);
+  check_raises_invalid "wrong size" (fun () -> Compat.make ~names:[| "a" |] [| |])
+
+let test_grant_and_share () =
+  let t = make () in
+  Alcotest.check outcome "r1" Lock_table.Granted (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  Alcotest.check outcome "r2 shares" Lock_table.Granted (Lock_table.acquire t (req 2 (res_i 0) Compat.read));
+  Alcotest.check outcome "w3 waits" Lock_table.Waiting (Lock_table.acquire t (req 3 (res_i 0) Compat.write));
+  Alcotest.(check int) "two holders" 2 (List.length (Lock_table.holders t (res_i 0)));
+  Alcotest.(check int) "one queued" 1 (List.length (Lock_table.queued t (res_i 0)))
+
+let test_fifo_no_overtake () =
+  (* A reader arriving behind a queued writer must not overtake it. *)
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  Alcotest.check outcome "writer queues" Lock_table.Waiting
+    (Lock_table.acquire t (req 2 (res_i 0) Compat.write));
+  Alcotest.check outcome "late reader queues too" Lock_table.Waiting
+    (Lock_table.acquire t (req 3 (res_i 0) Compat.read))
+
+let test_release_drains_fifo () =
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 3 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 4 (res_i 0) Compat.write));
+  let newly = Lock_table.release_all t 1 in
+  (* Both readers are granted; the writer stays queued behind them. *)
+  Alcotest.(check (list int)) "readers granted in order" [ 2; 3 ]
+    (List.map (fun r -> r.Lock_table.r_txn) newly);
+  Alcotest.(check int) "writer still queued" 1 (List.length (Lock_table.queued t (res_i 0)));
+  let newly = Lock_table.release_all t 2 in
+  Alcotest.(check (list int)) "still blocked by reader 3" [] (List.map (fun r -> r.Lock_table.r_txn) newly);
+  let newly = Lock_table.release_all t 3 in
+  Alcotest.(check (list int)) "writer finally granted" [ 4 ]
+    (List.map (fun r -> r.Lock_table.r_txn) newly)
+
+let test_reacquire_idempotent () =
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  Alcotest.check outcome "same again" Lock_table.Granted
+    (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  Alcotest.(check int) "held once" 1 (List.length (Lock_table.holds t 1 (res_i 0)))
+
+let test_conversion () =
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  (* Alone: upgrade is immediate; both modes are now held. *)
+  Alcotest.check outcome "upgrade alone" Lock_table.Granted
+    (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  Alcotest.(check int) "holds two modes" 2 (List.length (Lock_table.holds t 1 (res_i 0)));
+  (* With a concurrent reader the upgrade waits at the head of the queue,
+     in front of earlier waiters. *)
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.read));
+  Alcotest.check outcome "w3 queues" Lock_table.Waiting
+    (Lock_table.acquire t (req 3 (res_i 0) Compat.write));
+  Alcotest.check outcome "upgrade waits" Lock_table.Waiting
+    (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  Alcotest.(check (list int)) "conversion at head" [ 1; 3 ]
+    (List.map (fun r -> r.Lock_table.r_txn) (Lock_table.queued t (res_i 0)));
+  let newly = Lock_table.release_all t 2 in
+  Alcotest.(check (list int)) "conversion granted first" [ 1 ]
+    (List.map (fun r -> r.Lock_table.r_txn) newly)
+
+let test_escalation_deadlock_detected () =
+  (* Two readers both upgrading: the classical escalation deadlock. *)
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  Alcotest.(check (option (list int))) "no deadlock yet" None (Lock_table.find_deadlock t);
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.write));
+  match Lock_table.find_deadlock t with
+  | Some cycle ->
+      Alcotest.(check (list int)) "cycle {1,2}" [ 1; 2 ] (List.sort compare cycle)
+  | None -> Alcotest.fail "expected an escalation deadlock"
+
+let test_cross_resource_deadlock () =
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 2 (res_i 1) Compat.write));
+  ignore (Lock_table.acquire t (req 1 (res_i 1) Compat.write));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.write));
+  (match Lock_table.find_deadlock t with
+  | Some cycle -> Alcotest.(check (list int)) "2-cycle" [ 1; 2 ] (List.sort compare cycle)
+  | None -> Alcotest.fail "expected deadlock");
+  (* Aborting txn 2 releases both its locks and unblocks txn 1. *)
+  let newly = Lock_table.release_all t 2 in
+  Alcotest.(check (list int)) "t1 unblocked" [ 1 ] (List.map (fun r -> r.Lock_table.r_txn) newly);
+  Alcotest.(check (option (list int))) "no deadlock left" None (Lock_table.find_deadlock t)
+
+let test_three_cycle () =
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 2 (res_i 1) Compat.write));
+  ignore (Lock_table.acquire t (req 3 (res_i 2) Compat.write));
+  ignore (Lock_table.acquire t (req 1 (res_i 1) Compat.write));
+  ignore (Lock_table.acquire t (req 2 (res_i 2) Compat.write));
+  ignore (Lock_table.acquire t (req 3 (res_i 0) Compat.write));
+  match Lock_table.find_deadlock t with
+  | Some cycle -> Alcotest.(check (list int)) "3-cycle" [ 1; 2; 3 ] (List.sort compare cycle)
+  | None -> Alcotest.fail "expected 3-cycle"
+
+let test_waits_for_includes_queue_order () =
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 3 (res_i 0) Compat.write));
+  let edges = Lock_table.waits_for_edges t in
+  Alcotest.(check bool) "2 waits for holder 1" true (List.mem (2, 1) edges);
+  Alcotest.(check bool) "3 waits for 2 ahead of it" true (List.mem (3, 2) edges)
+
+let test_conflicting_holders_and_locks_of () =
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 1 (res_i 1) Compat.read));
+  let ch = Lock_table.conflicting_holders t (req 2 (res_i 0) Compat.read) in
+  Alcotest.(check (list int)) "conflicting holder" [ 1 ] (List.map (fun r -> r.Lock_table.r_txn) ch);
+  Alcotest.(check int) "locks_of" 2 (List.length (Lock_table.locks_of t 1));
+  Alcotest.(check bool) "waiting_for none" true (Lock_table.waiting_for t 1 = None);
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.read));
+  Alcotest.(check bool) "waiting_for set" true (Lock_table.waiting_for t 2 <> None)
+
+let test_stats () =
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  let s = Lock_table.stats t in
+  (* txn 1's upgrade converts against no other holder and is immediate;
+     txn 2's write waits behind the read. *)
+  Alcotest.(check int) "requests" 3 s.Lock_table.requests;
+  Alcotest.(check int) "immediate" 2 s.Lock_table.immediate;
+  Alcotest.(check int) "waits" 1 s.Lock_table.waits;
+  Alcotest.(check int) "conversions" 1 s.Lock_table.conversions;
+  Lock_table.reset_stats t;
+  Alcotest.(check int) "reset" 0 (Lock_table.stats t).Lock_table.requests
+
+(* Random operation sequences: structural invariants of the table. *)
+let prop_invariants =
+  QCheck.Test.make ~count:200 ~name:"granted groups compatible; queue heads blocked"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let t = make () in
+      let ok = ref true in
+      let check_invariants () =
+        for res = 0 to 3 do
+          let r = res_i res in
+          let granted = Lock_table.holders t r in
+          (* Every pair of granted requests from different transactions is
+             compatible. *)
+          List.iter
+            (fun a ->
+              List.iter
+                (fun b ->
+                  if a.Lock_table.r_txn <> b.Lock_table.r_txn && rw_conflict a b then ok := false)
+                granted)
+            granted;
+          (* A non-empty queue's head conflicts with some granted holder
+             (otherwise it should have been granted or drained). *)
+          (match Lock_table.queued t r with
+          | [] -> ()
+          | head :: _ ->
+              let blocked =
+                List.exists
+                  (fun h -> h.Lock_table.r_txn <> head.Lock_table.r_txn && rw_conflict h head)
+                  granted
+              in
+              if not blocked then ok := false);
+          (* holds agrees with holders. *)
+          List.iter
+            (fun h ->
+              if not (List.mem (h.Lock_table.r_mode, h.Lock_table.r_hier)
+                        (Lock_table.holds t h.Lock_table.r_txn r))
+              then ok := false)
+            granted
+        done
+      in
+      for _ = 1 to 60 do
+        let txn = 1 + Tavcc_sim.Rng.int rng 5 in
+        (match Tavcc_sim.Rng.int rng 4 with
+        | 0 | 1 | 2 ->
+            let res = res_i (Tavcc_sim.Rng.int rng 4) in
+            let mode = if Tavcc_sim.Rng.bool rng then Compat.read else Compat.write in
+            ignore (Lock_table.acquire t (req txn res mode))
+        | _ -> ignore (Lock_table.release_all t txn));
+        check_invariants ()
+      done;
+      !ok)
+
+let prop_release_grants_are_fifo_consistent =
+  QCheck.Test.make ~count:200 ~name:"drained grants preserve queue order"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let t = make () in
+      (* txn 1 holds W; 2..6 queue in order with random modes. *)
+      ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+      let queued_order =
+        List.map
+          (fun txn ->
+            let m = if Tavcc_sim.Rng.bool rng then Compat.read else Compat.write in
+            ignore (Lock_table.acquire t (req txn (res_i 0) m));
+            txn)
+          [ 2; 3; 4; 5; 6 ]
+      in
+      let newly = List.map (fun r -> r.Lock_table.r_txn) (Lock_table.release_all t 1) in
+      (* The granted prefix respects the queue order. *)
+      let rec is_prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | x :: xs, y :: ys -> x = y && is_prefix xs ys
+        | _ :: _, [] -> false
+      in
+      is_prefix newly queued_order)
+
+let suite =
+  [
+    case "predefined matrices" test_compat_matrices;
+    case "matrix validation" test_compat_validation;
+    case "grant and share" test_grant_and_share;
+    case "FIFO: no overtaking" test_fifo_no_overtake;
+    case "release drains FIFO" test_release_drains_fifo;
+    case "re-acquire is idempotent" test_reacquire_idempotent;
+    case "conversion priority" test_conversion;
+    case "escalation deadlock detected" test_escalation_deadlock_detected;
+    case "cross-resource deadlock" test_cross_resource_deadlock;
+    case "three-party cycle" test_three_cycle;
+    case "waits-for respects queue order" test_waits_for_includes_queue_order;
+    case "introspection" test_conflicting_holders_and_locks_of;
+    case "statistics" test_stats;
+    QCheck_alcotest.to_alcotest prop_invariants;
+    QCheck_alcotest.to_alcotest prop_release_grants_are_fifo_consistent;
+  ]

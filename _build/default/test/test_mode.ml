@@ -1,0 +1,81 @@
+(* The mode lattice and Table 1. *)
+
+open Tavcc_core
+open Helpers
+
+let test_table1 () =
+  (* The exact content of the paper's Table 1. *)
+  let expect =
+    [
+      (Mode.Null, Mode.Null, true); (Mode.Null, Mode.Read, true); (Mode.Null, Mode.Write, true);
+      (Mode.Read, Mode.Null, true); (Mode.Read, Mode.Read, true); (Mode.Read, Mode.Write, false);
+      (Mode.Write, Mode.Null, true); (Mode.Write, Mode.Read, false); (Mode.Write, Mode.Write, false);
+    ]
+  in
+  List.iter
+    (fun (a, b, c) ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a/%a" Mode.pp a Mode.pp b)
+        c (Mode.compatible a b))
+    expect
+
+let test_join_is_max () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let j = Mode.join a b in
+          Alcotest.(check bool) "upper bound" true (Mode.leq a j && Mode.leq b j);
+          Alcotest.check mode "commutative" j (Mode.join b a);
+          Alcotest.check mode "idempotent" a (Mode.join a a))
+        Mode.all)
+    Mode.all;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              Alcotest.check mode "associative" (Mode.join a (Mode.join b c))
+                (Mode.join (Mode.join a b) c))
+            Mode.all)
+        Mode.all)
+    Mode.all
+
+let test_order_from_compatibility () =
+  (* The order is deduced from the compatibility relation by inclusion of
+     rows (definition 2): a <= b iff every mode compatible with b is
+     compatible with a. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let row_incl =
+            List.for_all (fun m -> (not (Mode.compatible b m)) || Mode.compatible a m) Mode.all
+          in
+          Alcotest.(check bool)
+            (Format.asprintf "leq %a %a matches row inclusion" Mode.pp a Mode.pp b)
+            row_incl (Mode.leq a b))
+        Mode.all)
+    Mode.all
+
+let test_strings () =
+  Alcotest.(check (option mode)) "read" (Some Mode.Read) (Mode.of_string "read");
+  Alcotest.(check (option mode)) "W" (Some Mode.Write) (Mode.of_string "W");
+  Alcotest.(check (option mode)) "null" (Some Mode.Null) (Mode.of_string "Null");
+  Alcotest.(check (option mode)) "bad" None (Mode.of_string "shared");
+  Alcotest.(check string) "to_string" "Write" (Mode.to_string Mode.Write)
+
+let test_compare_total () =
+  Alcotest.(check bool) "N < R" true (Mode.compare Mode.Null Mode.Read < 0);
+  Alcotest.(check bool) "R < W" true (Mode.compare Mode.Read Mode.Write < 0);
+  Alcotest.(check int) "refl" 0 (Mode.compare Mode.Read Mode.Read)
+
+let suite =
+  [
+    case "table 1 exactly" test_table1;
+    case "join is a lattice join" test_join_is_max;
+    case "order deduced from compatibility" test_order_from_compatibility;
+    case "string conversions" test_strings;
+    case "total order" test_compare_total;
+  ]

@@ -1,0 +1,70 @@
+(* Names, OIDs and values. *)
+
+open Tavcc_model
+open Helpers
+
+let test_name_roundtrip () =
+  Alcotest.(check string) "class" "Person" (Name.Class.to_string (cn "Person"));
+  Alcotest.check class_name "equal" (cn "a") (cn "a");
+  Alcotest.(check bool) "not equal" false (Name.Class.equal (cn "a") (cn "b"));
+  Alcotest.(check int) "compare" 0 (Name.Method.compare (mn "m") (mn "m"));
+  Alcotest.(check bool) "ordered" true (Name.Field.compare (fn "a") (fn "b") < 0)
+
+let test_name_collections () =
+  let s = Name.Class.Set.of_list [ cn "a"; cn "b"; cn "a" ] in
+  Alcotest.(check int) "set dedupes" 2 (Name.Class.Set.cardinal s);
+  let m = Name.Field.Map.(add (fn "f") 1 empty) in
+  Alcotest.(check (option int)) "map find" (Some 1) (Name.Field.Map.find_opt (fn "f") m)
+
+let test_oid_gen () =
+  let g = Oid.Gen.create () in
+  let a = Oid.Gen.fresh g in
+  let b = Oid.Gen.fresh g in
+  Alcotest.(check bool) "distinct" false (Oid.equal a b);
+  Alcotest.(check int) "count" 2 (Oid.Gen.count g);
+  Alcotest.check oid "of_int/to_int" a (Oid.of_int (Oid.to_int a));
+  let g2 = Oid.Gen.create () in
+  Alcotest.check oid "independent generators" a (Oid.Gen.fresh g2)
+
+let test_value_defaults () =
+  Alcotest.check value "int" (Value.Vint 0) (Value.default Value.Tint);
+  Alcotest.check value "bool" (Value.Vbool false) (Value.default Value.Tbool);
+  Alcotest.check value "string" (Value.Vstring "") (Value.default Value.Tstring);
+  Alcotest.check value "float" (Value.Vfloat 0.) (Value.default Value.Tfloat);
+  Alcotest.check value "ref" Value.Vnull (Value.default (Value.Tref (cn "c")))
+
+let test_value_matches () =
+  Alcotest.(check bool) "int ok" true (Value.matches Value.Tint (Value.Vint 3));
+  Alcotest.(check bool) "int/bool" false (Value.matches Value.Tint (Value.Vbool true));
+  Alcotest.(check bool) "null matches ref" true
+    (Value.matches (Value.Tref (cn "c")) Value.Vnull);
+  Alcotest.(check bool) "null not int" false (Value.matches Value.Tint Value.Vnull);
+  Alcotest.(check bool) "ref matches ref" true
+    (Value.matches (Value.Tref (cn "c")) (Value.Vref (Oid.of_int 0)))
+
+let test_value_truthy () =
+  Alcotest.(check bool) "true" true (Value.truthy (Value.Vbool true));
+  Alcotest.(check bool) "false" false (Value.truthy (Value.Vbool false));
+  Alcotest.(check bool) "null" false (Value.truthy Value.Vnull);
+  Alcotest.(check bool) "int" true (Value.truthy (Value.Vint 0))
+
+let test_value_compare () =
+  Alcotest.(check bool) "int order" true (Value.compare (Value.Vint 1) (Value.Vint 2) < 0);
+  Alcotest.(check int) "equal" 0 (Value.compare (Value.Vstring "a") (Value.Vstring "a"));
+  Alcotest.(check bool) "cross-kind total" true
+    (Value.compare Value.Vnull (Value.Vint 0) <> 0);
+  Alcotest.(check bool) "equal_ty refs" true
+    (Value.equal_ty (Value.Tref (cn "c")) (Value.Tref (cn "c")));
+  Alcotest.(check bool) "distinct ref domains" false
+    (Value.equal_ty (Value.Tref (cn "c")) (Value.Tref (cn "d")))
+
+let suite =
+  [
+    case "name: roundtrip and ordering" test_name_roundtrip;
+    case "name: sets and maps" test_name_collections;
+    case "oid: generation" test_oid_gen;
+    case "value: defaults" test_value_defaults;
+    case "value: matches" test_value_matches;
+    case "value: truthy" test_value_truthy;
+    case "value: compare and type equality" test_value_compare;
+  ]

@@ -1,0 +1,94 @@
+(* Access-mode translation and per-class commutativity matrices (sec. 5.1). *)
+
+open Tavcc_core
+module P = Paper_example
+open Helpers
+
+let table () = Analysis.table (P.analysis ()) P.c2
+
+let test_table2_exact () =
+  let t = table () in
+  List.iter
+    (fun (row, cols) ->
+      List.iter
+        (fun (col, expected) ->
+          match Modes_table.commute_methods t (mn row) (mn col) with
+          | Some got ->
+              Alcotest.(check bool) (Printf.sprintf "commute(%s,%s)" row col) expected got
+          | None -> Alcotest.failf "missing methods %s/%s" row col)
+        cols)
+    P.expected_table2
+
+let test_c1_is_restriction () =
+  (* "Commutativity relation of class c1 is obtained as the restriction of
+     Table 2 to m1, m2, and m3." *)
+  let an = P.analysis () in
+  let t1 = Analysis.table an P.c1 in
+  let t2 = Analysis.table an P.c2 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check (option bool))
+            (Format.asprintf "restriction at %a/%a" Tavcc_model.Name.Method.pp a
+               Tavcc_model.Name.Method.pp b)
+            (Modes_table.commute_methods t2 a b)
+            (Modes_table.commute_methods t1 a b))
+        [ P.m1; P.m2; P.m3 ])
+    [ P.m1; P.m2; P.m3 ]
+
+let test_mode_roundtrip () =
+  let t = table () in
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check (option int)) "mode_of_method" (Some i) (Modes_table.mode_of_method t m);
+      Alcotest.check method_name "method_of_mode" m (Modes_table.method_of_mode t i))
+    (Modes_table.methods t);
+  Alcotest.(check (option int)) "unknown" None (Modes_table.mode_of_method t (mn "nope"))
+
+let test_symmetry () =
+  Alcotest.(check bool) "paper table symmetric" true (Modes_table.is_symmetric (table ()))
+
+let test_parallelism_preserved () =
+  (* "the parallelism which is allowed by access modes is exactly the one
+     which is permitted by access vectors": matrix = vector commutes. *)
+  let an = P.analysis () in
+  List.iter
+    (fun cls ->
+      let t = Analysis.table an cls in
+      let n = Modes_table.size t in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Alcotest.(check bool)
+            (Format.asprintf "%a %d/%d" Tavcc_model.Name.Class.pp cls i j)
+            (Access_vector.commutes (Modes_table.tav t i) (Modes_table.tav t j))
+            (Modes_table.commute t i j)
+        done
+      done)
+    [ P.c1; P.c2; P.c3 ]
+
+let prop_symmetric_on_random =
+  QCheck.Test.make ~count:40 ~name:"matrices are symmetric on random schemas"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 10_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let schema = Tavcc_sim.Workload.make_schema rng Tavcc_sim.Workload.default_params in
+      let an = Analysis.compile schema in
+      List.for_all
+        (fun cls -> Modes_table.is_symmetric (Analysis.table an cls))
+        (Tavcc_model.Schema.classes schema))
+
+let test_pp_table2 () =
+  let s = Format.asprintf "%a" Modes_table.pp (table ()) in
+  Alcotest.(check bool) "header" true (contains s "m1");
+  Alcotest.(check bool) "no on diagonal row m1" true (contains s "m1  no  no  yes yes")
+
+let suite =
+  [
+    case "table 2 exactly" test_table2_exact;
+    case "c1's relation is the restriction of table 2" test_c1_is_restriction;
+    case "mode/method round trip" test_mode_roundtrip;
+    case "symmetry" test_symmetry;
+    case "modes preserve vector parallelism" test_parallelism_preserved;
+    QCheck_alcotest.to_alcotest prop_symmetric_on_random;
+    case "printed table 2" test_pp_table2;
+  ]

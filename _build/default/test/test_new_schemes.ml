@@ -1,0 +1,236 @@
+(* The preclaiming scheme and the ORION-style implicit baseline. *)
+
+open Tavcc_model
+open Tavcc_lock
+module Exec = Tavcc_cc.Exec
+module Engine = Tavcc_sim.Engine
+module P = Tavcc_core.Paper_example
+open Helpers
+
+let kinds reqs =
+  List.map
+    (fun r ->
+      match r.Lock_table.r_res with
+      | Resource.Class c ->
+          Printf.sprintf "C:%s%s" (Name.Class.to_string c)
+            (if r.Lock_table.r_hier then "*" else "")
+      | Resource.Instance o -> Printf.sprintf "I:%d" (Oid.to_int o)
+      | _ -> "?")
+    reqs
+
+(* --- tav-pre --- *)
+
+let test_preclaim_lockset () =
+  let an = P.analysis () in
+  let scheme = Tavcc_cc.Tav_preclaim.scheme an in
+  let store = Store.create (Tavcc_core.Analysis.schema an) in
+  let target = Store.new_instance store P.c3 in
+  let i2 = Store.new_instance store P.c2 ~init:[ (P.f3, Value.Vref target) ] in
+  (* m1 may reach c3 through f3: the begin hook claims it hierarchically,
+     before anything executes — even though f2=false means the send never
+     actually fires. *)
+  let reqs =
+    Tavcc_cc.Lockset.of_actions ~scheme ~store ~txn_id:1 [ Exec.Call (i2, P.m1, [ Value.Vint 1 ]) ]
+  in
+  Alcotest.(check (list string))
+    "entry + hierarchical coverage (canonical order)"
+    [ "C:c2"; "C:c3*"; Printf.sprintf "I:%d" (Oid.to_int i2) ]
+    (kinds reqs);
+  (* m4 reaches nothing: exactly the paper scheme's two locks. *)
+  let reqs =
+    Tavcc_cc.Lockset.of_actions ~scheme ~store ~txn_id:2
+      [ Exec.Call (i2, P.m4, [ Value.Vint (-1); Value.Vstring "x" ]) ]
+  in
+  Alcotest.(check int) "m4: two locks" 2 (List.length reqs)
+
+let crossing_jobs store schema =
+  let cls = cn "chain" in
+  ignore schema;
+  let a = Store.new_instance store cls in
+  let b = Store.new_instance store cls in
+  let m = mn "m0" in
+  [
+    (1, [ Exec.Call (a, m, [ Value.Vint 1 ]); Exec.Call (b, m, [ Value.Vint 1 ]) ]);
+    (2, [ Exec.Call (b, m, [ Value.Vint 1 ]); Exec.Call (a, m, [ Value.Vint 1 ]) ]);
+    (3, [ Exec.Call (a, m, [ Value.Vint 1 ]); Exec.Call (b, m, [ Value.Vint 1 ]) ]);
+    (4, [ Exec.Call (b, m, [ Value.Vint 1 ]); Exec.Call (a, m, [ Value.Vint 1 ]) ]);
+  ]
+
+let test_preclaim_no_deadlocks () =
+  (* Opposite-order acquisitions deadlock the incremental scheme; the
+     preclaimed, canonically-ordered acquisition never can. *)
+  let schema = Tavcc_sim.Workload.chain_schema ~levels:0 in
+  let an = Tavcc_core.Analysis.compile schema in
+  let deadlocks mk seed =
+    let store = Store.create schema in
+    let jobs = crossing_jobs store schema in
+    let config = { Engine.default_config with seed; yield_on_access = true } in
+    let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+    Alcotest.(check int) "all commit" 4 r.Engine.commits;
+    Alcotest.(check bool) "serializable" true (Engine.serializable r);
+    r.Engine.deadlocks
+  in
+  let tav_dl =
+    List.fold_left (fun acc s -> acc + deadlocks Tavcc_cc.Tav_modes.scheme s) 0
+      (List.init 10 (fun i -> 500 + i))
+  in
+  let pre_dl =
+    List.fold_left (fun acc s -> acc + deadlocks Tavcc_cc.Tav_preclaim.scheme s) 0
+      (List.init 10 (fun i -> 500 + i))
+  in
+  Alcotest.(check bool) "incremental tav deadlocks somewhere" true (tav_dl > 0);
+  Alcotest.(check int) "preclaiming never deadlocks" 0 pre_dl
+
+let test_preclaim_correct_on_paper_workload () =
+  let an = P.analysis () in
+  let schema = Tavcc_core.Analysis.schema an in
+  let store = Store.create schema in
+  let insts =
+    List.init 4 (fun _ ->
+        let t = Store.new_instance store P.c3 in
+        Store.new_instance store P.c2 ~init:[ (P.f3, Value.Vref t); (P.f2, Value.Vbool true) ])
+  in
+  (* f2=true: the cross-object sends to c3 really fire and are covered by
+     the preclaimed hierarchical lock, never by a run-time one. *)
+  let jobs =
+    List.mapi (fun i o -> (i + 1, [ Exec.Call (o, P.m1, [ Value.Vint 1 ]) ])) insts
+  in
+  let config = { Engine.default_config with yield_on_access = true } in
+  let r = Engine.run ~config ~scheme:(Tavcc_cc.Tav_preclaim.scheme an) ~store ~jobs () in
+  Alcotest.(check int) "commits" 4 r.Engine.commits;
+  Alcotest.(check bool) "serializable" true (Engine.serializable r);
+  Alcotest.(check int) "no deadlocks" 0 r.Engine.deadlocks
+
+let test_preclaim_dynamic_pessimism () =
+  (* A send to a parameter forces whole-schema coverage. *)
+  let schema =
+    schema_of_source
+      {|
+class t is
+  method tick is end
+end
+class u is
+  fields z : integer;
+  method quiet is z := 1; end
+end
+class owner is
+  fields n : integer;
+  method poke(p) is send tick to p; end
+end
+|}
+  in
+  let an = Tavcc_core.Analysis.compile schema in
+  let scheme = Tavcc_cc.Tav_preclaim.scheme an in
+  let store = Store.create schema in
+  let o = Store.new_instance store (cn "owner") in
+  let t = Store.new_instance store (cn "t") in
+  let reqs =
+    Tavcc_cc.Lockset.of_actions ~scheme ~store ~txn_id:1
+      [ Exec.Call (o, mn "poke", [ Value.Vref t ]) ]
+  in
+  let hier_classes =
+    List.filter_map
+      (fun r ->
+        match r.Lock_table.r_res with
+        | Resource.Class c when r.Lock_table.r_hier -> Some (Name.Class.to_string c)
+        | _ -> None)
+      reqs
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "every class claimed hierarchically"
+    [ "owner"; "t"; "u" ] hier_classes
+
+(* --- rw-impl --- *)
+
+let test_implicit_instance_chain () =
+  let an = P.analysis () in
+  let scheme = Tavcc_cc.Rw_implicit.scheme an in
+  let store = Store.create (Tavcc_core.Analysis.schema an) in
+  let i2 = Store.new_instance store P.c2 in
+  let reqs =
+    Tavcc_cc.Lockset.of_actions ~scheme ~store ~txn_id:1
+      [ Exec.Call (i2, P.m4, [ Value.Vint (-1); Value.Vstring "x" ]) ]
+  in
+  (* Intentions root-first on the whole ancestor chain, then the
+     instance. *)
+  Alcotest.(check (list string))
+    "ancestor chain announced"
+    [ "C:c1"; "C:c2"; Printf.sprintf "I:%d" (Oid.to_int i2) ]
+    (kinds reqs)
+
+let test_implicit_extent_single_lock () =
+  let an = P.analysis () in
+  let scheme = Tavcc_cc.Rw_implicit.scheme an in
+  let store = Store.create (Tavcc_core.Analysis.schema an) in
+  let _ = List.init 5 (fun _ -> Store.new_instance store P.c2) in
+  let reqs =
+    Tavcc_cc.Lockset.of_actions ~scheme ~store ~txn_id:1
+      [ Exec.Call_extent { cls = P.c2; deep = true; meth = P.m4;
+                           args = [ Value.Vint (-1); Value.Vstring "x" ] } ]
+  in
+  Alcotest.(check (list string))
+    "one implicit lock + ancestor intents"
+    [ "C:c1"; "C:c2*" ]
+    (kinds reqs)
+
+let test_implicit_blocks_subclass_writer () =
+  (* X on the root covers subclass instances implicitly: an extent writer
+     on c1 must exclude an instance writer on c2 via the intention on
+     c1. *)
+  let an = P.analysis () in
+  let scheme = Tavcc_cc.Rw_implicit.scheme an in
+  let schema = Tavcc_core.Analysis.schema an in
+  let store = Store.create schema in
+  let i2 = Store.new_instance store P.c2 in
+  let extent_set =
+    Tavcc_cc.Lockset.of_actions ~scheme ~store ~txn_id:1
+      [ Exec.Call_extent { cls = P.c1; deep = true; meth = P.m2; args = [ Value.Vint 1 ] } ]
+  in
+  let inst_set =
+    Tavcc_cc.Lockset.of_actions ~scheme ~store ~txn_id:2
+      [ Exec.Call (i2, P.m4, [ Value.Vint (-1); Value.Vstring "x" ]) ]
+  in
+  Alcotest.(check bool) "conflict detected on the shared root" false
+    (Tavcc_cc.Lockset.compatible_pair scheme extent_set inst_set)
+
+let test_implicit_scenario_matches_rwtop () =
+  let impl = Tavcc_cc.Scenario.evaluate Tavcc_cc.Rw_implicit.scheme in
+  Alcotest.(check (list string))
+    "same admitted groups as rw-top"
+    [ "T1||T3"; "T1||T4"; "T2" ]
+    (Tavcc_cc.Scenario.maximal_names impl)
+
+let test_new_schemes_serializable_randomly () =
+  let rng = Tavcc_sim.Rng.create 77 in
+  let schema =
+    Tavcc_sim.Workload.make_schema rng
+      { Tavcc_sim.Workload.default_params with sp_depth = 2; sp_fanout = 2 }
+  in
+  let an = Tavcc_core.Analysis.compile schema in
+  List.iter
+    (fun (name, mk) ->
+      let store = Store.create schema in
+      Tavcc_sim.Workload.populate store ~per_class:3;
+      let jobs =
+        Tavcc_sim.Workload.random_jobs (Tavcc_sim.Rng.create 7) store ~txns:5
+          ~actions_per_txn:3 ~extent_prob:0.2 ~hot_instances:2 ~hot_prob:0.6
+      in
+      let config = { Engine.default_config with yield_on_access = true; max_restarts = 500 } in
+      let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+      Alcotest.(check int) (name ^ ": commits") 5 r.Engine.commits;
+      Alcotest.(check bool) (name ^ ": serializable") true (Engine.serializable r);
+      if name = "tav-pre" then Alcotest.(check int) "tav-pre: no deadlocks" 0 r.Engine.deadlocks)
+    [ ("tav-pre", Tavcc_cc.Tav_preclaim.scheme); ("rw-impl", Tavcc_cc.Rw_implicit.scheme) ]
+
+let suite =
+  [
+    case "tav-pre: begin-time lock set" test_preclaim_lockset;
+    case "tav-pre: ordered preclaiming never deadlocks" test_preclaim_no_deadlocks;
+    case "tav-pre: live cross-object workload" test_preclaim_correct_on_paper_workload;
+    case "tav-pre: dynamic sends claim the schema" test_preclaim_dynamic_pessimism;
+    case "rw-impl: ancestor intention chain" test_implicit_instance_chain;
+    case "rw-impl: extent locks the root only" test_implicit_extent_single_lock;
+    case "rw-impl: implicit coverage blocks subclass writers" test_implicit_blocks_subclass_writer;
+    case "rw-impl: sec. 5.2 scenario" test_implicit_scenario_matches_rwtop;
+    case "random workloads stay serializable" test_new_schemes_serializable_randomly;
+  ]

@@ -1,0 +1,138 @@
+(* The ODML parser. *)
+
+open Tavcc_model
+open Tavcc_lang
+open Helpers
+
+let e = Parser.parse_expr
+let b = Parser.parse_body
+
+let test_precedence () =
+  Alcotest.check expr "mul before add"
+    (Ast.Binop (Ast.Add, Ast.Lit (Value.Vint 1), Ast.Binop (Ast.Mul, Ast.Lit (Value.Vint 2), Ast.Lit (Value.Vint 3))))
+    (e "1 + 2 * 3");
+  Alcotest.check expr "parens win"
+    (Ast.Binop (Ast.Mul, Ast.Binop (Ast.Add, Ast.Lit (Value.Vint 1), Ast.Lit (Value.Vint 2)), Ast.Lit (Value.Vint 3)))
+    (e "(1 + 2) * 3");
+  Alcotest.check expr "cmp binds looser than add"
+    (Ast.Binop (Ast.Lt, Ast.Ident "x", Ast.Binop (Ast.Add, Ast.Ident "y", Ast.Lit (Value.Vint 1))))
+    (e "x < y + 1");
+  Alcotest.check expr "and/or"
+    (Ast.Binop (Ast.Or, Ast.Binop (Ast.And, Ast.Ident "a", Ast.Ident "b"), Ast.Ident "c"))
+    (e "a and b or c");
+  Alcotest.check expr "not"
+    (Ast.Unop (Ast.Not, Ast.Binop (Ast.Eq, Ast.Ident "a", Ast.Ident "b")))
+    (e "not a = b");
+  Alcotest.check expr "unary minus"
+    (Ast.Binop (Ast.Sub, Ast.Lit (Value.Vint 1), Ast.Unop (Ast.Neg, Ast.Ident "x")))
+    (e "1 - -x")
+
+let test_left_assoc () =
+  Alcotest.check expr "a - b - c"
+    (Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, Ast.Ident "a", Ast.Ident "b"), Ast.Ident "c"))
+    (e "a - b - c")
+
+let test_literals () =
+  Alcotest.check expr "float" (Ast.Lit (Value.Vfloat 2.5)) (e "2.5");
+  Alcotest.check expr "string" (Ast.Lit (Value.Vstring "hi")) (e {|"hi"|});
+  Alcotest.check expr "true" (Ast.Lit (Value.Vbool true)) (e "true");
+  Alcotest.check expr "null" (Ast.Lit Value.Vnull) (e "null");
+  Alcotest.check expr "self" Ast.Self (e "self");
+  Alcotest.check expr "new" (Ast.New (cn "c")) (e "new c")
+
+let msg ?prefix ?(args = []) ?(recv = Ast.Rself) name =
+  {
+    Ast.msg_prefix = Option.map cn prefix;
+    msg_name = mn name;
+    msg_args = args;
+    msg_recv = recv;
+  }
+
+let test_sends () =
+  Alcotest.check body "simple send no parens"
+    [ Ast.Send_stmt (msg "m3") ]
+    (b "send m3 to self;");
+  Alcotest.check body "send with args"
+    [ Ast.Send_stmt (msg "m2" ~args:[ Ast.Ident "p1" ]) ]
+    (b "send m2(p1) to self;");
+  Alcotest.check body "prefixed send"
+    [ Ast.Send_stmt (msg "m2" ~prefix:"c1" ~args:[ Ast.Ident "p1" ]) ]
+    (b "send c1.m2(p1) to self;");
+  Alcotest.check body "send to field"
+    [ Ast.Send_stmt (msg "m" ~recv:(Ast.Rexpr (Ast.Ident "f3"))) ]
+    (b "send m to f3;");
+  Alcotest.check body "send as expression"
+    [ Ast.Assign ("x", Ast.Send (msg "get" ~recv:(Ast.Rexpr (Ast.Ident "other")))) ]
+    (b "x := send get to other;")
+
+let test_statements () =
+  Alcotest.check body "var" [ Ast.Var ("v", Ast.Lit (Value.Vint 1)) ] (b "var v := 1;");
+  Alcotest.check body "return" [ Ast.Return (Ast.Ident "x") ] (b "return x;");
+  Alcotest.check body "if-else"
+    [
+      Ast.If
+        ( Ast.Ident "c",
+          [ Ast.Assign ("x", Ast.Lit (Value.Vint 1)) ],
+          [ Ast.Assign ("x", Ast.Lit (Value.Vint 2)) ] );
+    ]
+    (b "if c then x := 1; else x := 2; end");
+  Alcotest.check body "while"
+    [ Ast.While (Ast.Binop (Ast.Gt, Ast.Ident "n", Ast.Lit (Value.Vint 0)),
+        [ Ast.Assign ("n", Ast.Binop (Ast.Sub, Ast.Ident "n", Ast.Lit (Value.Vint 1))) ]) ]
+    (b "while n > 0 do n := n - 1; end")
+
+let test_class_decl () =
+  let ds =
+    Parser.parse_decls
+      {|
+class a is
+  fields
+    f : integer;
+    g : a;
+  method m(p, q) is
+    f := p;
+  end
+end
+class b extends a is
+end
+|}
+  in
+  Alcotest.(check int) "two classes" 2 (List.length ds);
+  let da = List.nth ds 0 in
+  Alcotest.check class_name "name" (cn "a") da.Schema.c_name;
+  Alcotest.(check int) "fields" 2 (List.length da.Schema.c_fields);
+  Alcotest.(check (list string)) "params" [ "p"; "q" ]
+    (List.hd da.Schema.c_methods).Schema.m_params;
+  let db = List.nth ds 1 in
+  Alcotest.(check (list class_name)) "parents" [ cn "a" ] db.Schema.c_parents
+
+let test_multiple_inheritance_syntax () =
+  let ds = Parser.parse_decls "class a is end class b is end class c extends a, b is end" in
+  Alcotest.(check (list class_name))
+    "two parents" [ cn "a"; cn "b" ] (List.nth ds 2).Schema.c_parents
+
+let expect_syntax_error src =
+  match Parser.parse_decls src with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.failf "expected syntax error on %S" src
+
+let test_errors () =
+  expect_syntax_error "class is end";
+  expect_syntax_error "class a is method m is x := ; end end";
+  expect_syntax_error "class a is method m is send to self; end end";
+  expect_syntax_error "garbage";
+  match Parser.parse_expr "1 +" with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail "expected error on dangling operator"
+
+let suite =
+  [
+    case "precedence" test_precedence;
+    case "left associativity" test_left_assoc;
+    case "literals and primaries" test_literals;
+    case "message forms" test_sends;
+    case "statements" test_statements;
+    case "class declarations" test_class_decl;
+    case "multiple inheritance syntax" test_multiple_inheritance_syntax;
+    case "syntax errors" test_errors;
+  ]

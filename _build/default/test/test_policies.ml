@@ -1,0 +1,135 @@
+(* Deadlock prevention policies: wound-wait, wait-die, no-wait, timeout. *)
+
+open Tavcc_model
+module Exec = Tavcc_cc.Exec
+module Engine = Tavcc_sim.Engine
+module Workload = Tavcc_sim.Workload
+open Helpers
+
+let policies =
+  [
+    ("detect", Engine.Detect);
+    ("wound-wait", Engine.Wound_wait);
+    ("wait-die", Engine.Wait_die);
+    ("no-wait", Engine.No_wait);
+    ("timeout", Engine.Timeout 25);
+  ]
+
+(* The escalation workload under the per-message R/W baseline: guaranteed
+   contention and (under Detect) guaranteed deadlocks. *)
+let run_chain policy ~seed ~txns =
+  let schema = Workload.chain_schema ~levels:3 in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  let oid = Store.new_instance store (cn "chain") in
+  let jobs =
+    List.init txns (fun i -> (i + 1, [ Exec.Call (oid, mn "m3", [ Value.Vint 1 ]) ]))
+  in
+  let config =
+    { Engine.default_config with seed; yield_on_access = true; policy; max_restarts = 1000 }
+  in
+  let r = Engine.run ~config ~scheme:(Tavcc_cc.Rw_instance.scheme an) ~store ~jobs () in
+  (r, Store.read store oid (fn "acc"))
+
+let test_all_policies_complete () =
+  List.iter
+    (fun (name, policy) ->
+      let r, final = run_chain policy ~seed:5 ~txns:6 in
+      Alcotest.(check int) (name ^ ": all commit") 6 r.Engine.commits;
+      Alcotest.(check (list (pair int string))) (name ^ ": none dead") [] r.Engine.failed;
+      Alcotest.check value (name ^ ": correct value") (Value.Vint 6) final;
+      Alcotest.(check bool) (name ^ ": serializable") true (Engine.serializable r))
+    policies
+
+let test_prevention_reports_no_cycles () =
+  (* Only Detect counts deadlock cycles; prevention policies abort before
+     a cycle can close. *)
+  List.iter
+    (fun (name, policy) ->
+      let r, _ = run_chain policy ~seed:5 ~txns:6 in
+      match policy with
+      | Engine.Detect ->
+          Alcotest.(check bool) "detect finds cycles" true (r.Engine.deadlocks > 0)
+      | _ -> Alcotest.(check int) (name ^ ": no cycle counted") 0 r.Engine.deadlocks)
+    policies
+
+let test_no_wait_aborts_most () =
+  let r_nw, _ = run_chain Engine.No_wait ~seed:5 ~txns:6 in
+  let r_det, _ = run_chain Engine.Detect ~seed:5 ~txns:6 in
+  Alcotest.(check bool) "no-wait aborts on every conflict" true
+    (r_nw.Engine.aborts >= r_det.Engine.aborts);
+  (* Every queued request is immediately withdrawn by an abort: the two
+     counters advance in lockstep. *)
+  Alcotest.(check int) "one abort per conflict" r_nw.Engine.lock_waits r_nw.Engine.aborts
+
+let test_policies_on_random_workloads () =
+  (* Every policy must preserve correctness on contended random
+     workloads, under every scheme. *)
+  let rng = Tavcc_sim.Rng.create 17 in
+  let schema =
+    Workload.make_schema rng
+      { Workload.default_params with sp_depth = 2; sp_fanout = 2; sp_shared_methods = 3 }
+  in
+  let an = Tavcc_core.Analysis.compile schema in
+  List.iter
+    (fun (pname, policy) ->
+      List.iter
+        (fun (sname, mk) ->
+          let store = Store.create schema in
+          Workload.populate store ~per_class:3;
+          let jobs =
+            Workload.random_jobs (Tavcc_sim.Rng.create 99) store ~txns:5 ~actions_per_txn:3
+              ~extent_prob:0.2 ~hot_instances:2 ~hot_prob:0.6
+          in
+          let config =
+            { Engine.default_config with seed = 3; yield_on_access = true; policy;
+              max_restarts = 2000 }
+          in
+          let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+          let label = Printf.sprintf "%s/%s" pname sname in
+          Alcotest.(check int) (label ^ ": commits") 5 r.Engine.commits;
+          Alcotest.(check bool) (label ^ ": serializable") true (Engine.serializable r))
+        [
+          ("tav", Tavcc_cc.Tav_modes.scheme);
+          ("rw-msg", Tavcc_cc.Rw_instance.scheme);
+          ("field-rt", Tavcc_cc.Field_runtime.scheme);
+        ])
+    policies
+
+let test_wound_wait_priority () =
+  (* Under wound-wait the oldest transaction is never aborted. *)
+  let r, _ = run_chain Engine.Wound_wait ~seed:11 ~txns:5 in
+  let aborted_t1 =
+    List.exists
+      (function Tavcc_txn.History.Abort 1 -> true | _ -> false)
+      (Tavcc_txn.History.ops r.Engine.history)
+  in
+  Alcotest.(check bool) "t1 (oldest) never wounded" false aborted_t1
+
+let test_wait_die_priority () =
+  (* Under wait-die the oldest transaction never dies either (it always
+     waits). *)
+  let r, _ = run_chain Engine.Wait_die ~seed:11 ~txns:5 in
+  let aborted_t1 =
+    List.exists
+      (function Tavcc_txn.History.Abort 1 -> true | _ -> false)
+      (Tavcc_txn.History.ops r.Engine.history)
+  in
+  Alcotest.(check bool) "t1 (oldest) never dies" false aborted_t1
+
+let test_timeout_breaks_deadlock () =
+  (* With a pure-timeout policy a genuine deadlock must still dissolve. *)
+  let r, final = run_chain (Engine.Timeout 10) ~seed:5 ~txns:4 in
+  Alcotest.(check int) "all commit" 4 r.Engine.commits;
+  Alcotest.check value "value" (Value.Vint 4) final
+
+let suite =
+  [
+    case "all policies run to completion" test_all_policies_complete;
+    case "prevention counts no cycles" test_prevention_reports_no_cycles;
+    case "no-wait aborts on every conflict" test_no_wait_aborts_most;
+    case "policies x schemes on random workloads" test_policies_on_random_workloads;
+    case "wound-wait spares the oldest" test_wound_wait_priority;
+    case "wait-die spares the oldest" test_wait_die_priority;
+    case "timeout dissolves deadlocks" test_timeout_breaks_deadlock;
+  ]

@@ -1,0 +1,182 @@
+(* Range predicates and predicate-refined extent locks. *)
+
+open Tavcc_model
+open Tavcc_lock
+module Exec = Tavcc_cc.Exec
+module Engine = Tavcc_sim.Engine
+module Workload = Tavcc_sim.Workload
+open Helpers
+
+let p ?lo ?hi f = Pred.make ?lo ?hi (fn f)
+
+let test_satisfies () =
+  let q = p ~lo:10 ~hi:20 "v" in
+  Alcotest.(check bool) "in" true (Pred.satisfies q (Value.Vint 15));
+  Alcotest.(check bool) "low edge" true (Pred.satisfies q (Value.Vint 10));
+  Alcotest.(check bool) "high edge" true (Pred.satisfies q (Value.Vint 20));
+  Alcotest.(check bool) "below" false (Pred.satisfies q (Value.Vint 9));
+  Alcotest.(check bool) "above" false (Pred.satisfies q (Value.Vint 21));
+  Alcotest.(check bool) "non-integer" false (Pred.satisfies q (Value.Vstring "15"));
+  Alcotest.(check bool) "open low" true (Pred.satisfies (p ~hi:5 "v") (Value.Vint (-100)));
+  Alcotest.(check bool) "open high" true (Pred.satisfies (p ~lo:5 "v") (Value.Vint 100))
+
+let test_overlaps () =
+  let ov a b = Pred.overlaps (Some a) (Some b) in
+  Alcotest.(check bool) "disjoint" false (ov (p ~lo:0 ~hi:9 "v") (p ~lo:10 ~hi:20 "v"));
+  Alcotest.(check bool) "touching" true (ov (p ~lo:0 ~hi:10 "v") (p ~lo:10 ~hi:20 "v"));
+  Alcotest.(check bool) "nested" true (ov (p ~lo:0 ~hi:100 "v") (p ~lo:10 ~hi:20 "v"));
+  Alcotest.(check bool) "symmetric" false (ov (p ~lo:10 ~hi:20 "v") (p ~lo:0 ~hi:9 "v"));
+  Alcotest.(check bool) "open ends overlap" true (ov (p ~lo:5 "v") (p ~hi:6 "v"));
+  Alcotest.(check bool) "open ends disjoint" false (ov (p ~lo:7 "v") (p ~hi:6 "v"));
+  Alcotest.(check bool) "different fields always overlap" true
+    (ov (p ~lo:0 ~hi:1 "v") (p ~lo:10 ~hi:20 "w"));
+  Alcotest.(check bool) "none is the whole extent" true (Pred.overlaps None (Some (p ~lo:0 ~hi:1 "v")));
+  Alcotest.(check bool) "empty interval never overlaps" false
+    (ov (p ~lo:5 ~hi:4 "v") (p ~lo:0 ~hi:100 "v"))
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~count:300 ~name:"overlap is symmetric"
+    QCheck.(pair (pair (option small_int) (option small_int)) (pair (option small_int) (option small_int)))
+    (fun ((alo, ahi), (blo, bhi)) ->
+      let a = { Pred.field = fn "v"; lo = alo; hi = ahi } in
+      let b = { Pred.field = fn "v"; lo = blo; hi = bhi } in
+      Pred.overlaps (Some a) (Some b) = Pred.overlaps (Some b) (Some a))
+
+let prop_overlap_sound =
+  (* If some integer satisfies both, overlap must say true. *)
+  QCheck.Test.make ~count:500 ~name:"overlap is sound for witnesses"
+    QCheck.(pair (pair (option small_int) (option small_int))
+              (pair (pair (option small_int) (option small_int)) small_int))
+    (fun ((alo, ahi), ((blo, bhi), w)) ->
+      let a = { Pred.field = fn "v"; lo = alo; hi = ahi } in
+      let b = { Pred.field = fn "v"; lo = blo; hi = bhi } in
+      let sat p = Pred.satisfies p (Value.Vint w) in
+      (not (sat a && sat b)) || Pred.overlaps (Some a) (Some b))
+
+(* --- range scans through the engine --- *)
+
+let range_setup () =
+  let schema = Workload.wide_schema ~fields:2 ~touched:1 in
+  (* wide: fields w0, w1; touch writes w0; probe reads w1. *)
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  let insts =
+    List.init 10 (fun i ->
+        Store.new_instance store (cn "wide") ~init:[ (fn "w1", Value.Vint i) ])
+  in
+  (schema, an, store, insts)
+
+let range lo hi = Pred.make ~lo ~hi (fn "w1")
+
+let test_range_scan_filters () =
+  let _, an, store, insts = range_setup () in
+  (* touch increments w0 by p1: only the matching half is touched. *)
+  let jobs =
+    [
+      ( 1,
+        [
+          Exec.Call_range
+            { cls = cn "wide"; deep = true; pred = range 0 4; meth = mn "touch";
+              args = [ Value.Vint 1 ] };
+        ] );
+    ]
+  in
+  let r = Engine.run ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store ~jobs () in
+  Alcotest.(check int) "commit" 1 r.Engine.commits;
+  List.iteri
+    (fun i oid ->
+      let expected = if i <= 4 then 1 else 0 in
+      Alcotest.check value (Printf.sprintf "instance %d" i) (Value.Vint expected)
+        (Store.read store oid (fn "w0")))
+    insts
+
+let test_disjoint_ranges_parallel () =
+  (* Two range writers over disjoint halves: no wait under tav with
+     predicates; full serialisation without them. *)
+  let _, an, store, _ = range_setup () in
+  let job id lo hi =
+    ( id,
+      [
+        Exec.Call_range
+          { cls = cn "wide"; deep = true; pred = range lo hi; meth = mn "touch";
+            args = [ Value.Vint 1 ] };
+      ] )
+  in
+  let config = { Engine.default_config with yield_on_access = true } in
+  let r =
+    Engine.run ~config ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store
+      ~jobs:[ job 1 0 4; job 2 5 9 ] ()
+  in
+  Alcotest.(check int) "no waits on disjoint ranges" 0 r.Engine.lock_waits;
+  Alcotest.(check bool) "serializable" true (Engine.serializable r)
+
+let test_overlapping_ranges_serialise () =
+  let _, an, store, _ = range_setup () in
+  let job id lo hi =
+    ( id,
+      [
+        Exec.Call_range
+          { cls = cn "wide"; deep = true; pred = range lo hi; meth = mn "touch";
+            args = [ Value.Vint 1 ] };
+      ] )
+  in
+  let config = { Engine.default_config with yield_on_access = true } in
+  let r =
+    Engine.run ~config ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store
+      ~jobs:[ job 1 0 6; job 2 4 9 ] ()
+  in
+  Alcotest.(check bool) "overlap forces a wait" true (r.Engine.lock_waits > 0);
+  Alcotest.(check bool) "serializable" true (Engine.serializable r)
+
+let test_range_vs_full_extent () =
+  (* A full extent scan must conflict with any range writer. *)
+  let _, an, store, _ = range_setup () in
+  let config = { Engine.default_config with yield_on_access = true } in
+  let jobs =
+    [
+      ( 1,
+        [
+          Exec.Call_range
+            { cls = cn "wide"; deep = true; pred = range 0 4; meth = mn "touch";
+              args = [ Value.Vint 1 ] };
+        ] );
+      (2, [ Exec.Call_extent { cls = cn "wide"; deep = true; meth = mn "touch"; args = [ Value.Vint 1 ] } ]);
+    ]
+  in
+  let r = Engine.run ~config ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store ~jobs () in
+  Alcotest.(check bool) "waits" true (r.Engine.lock_waits > 0);
+  Alcotest.(check bool) "serializable" true (Engine.serializable r)
+
+let test_other_schemes_ignore_pred_soundly () =
+  (* Schemes without predicate support serialise disjoint ranges — less
+     parallel, still safe. *)
+  let _, an, store, _ = range_setup () in
+  let job id lo hi =
+    ( id,
+      [
+        Exec.Call_range
+          { cls = cn "wide"; deep = true; pred = range lo hi; meth = mn "touch";
+            args = [ Value.Vint 1 ] };
+      ] )
+  in
+  let config = { Engine.default_config with yield_on_access = true } in
+  let r =
+    Engine.run ~config ~scheme:(Tavcc_cc.Rw_toponly.scheme an) ~store
+      ~jobs:[ job 1 0 4; job 2 5 9 ] ()
+  in
+  Alcotest.(check bool) "rw-top serialises ranges" true (r.Engine.lock_waits > 0);
+  Alcotest.(check int) "both commit" 2 r.Engine.commits;
+  Alcotest.(check bool) "serializable" true (Engine.serializable r)
+
+let suite =
+  [
+    case "satisfies" test_satisfies;
+    case "overlaps" test_overlaps;
+    QCheck_alcotest.to_alcotest prop_overlap_symmetric;
+    QCheck_alcotest.to_alcotest prop_overlap_sound;
+    case "range scans filter instances" test_range_scan_filters;
+    case "disjoint ranges run in parallel (tav)" test_disjoint_ranges_parallel;
+    case "overlapping ranges serialise" test_overlapping_ranges_serialise;
+    case "range vs full extent" test_range_vs_full_extent;
+    case "predicate-blind schemes stay sound" test_other_schemes_ignore_pred_soundly;
+  ]

@@ -1,0 +1,112 @@
+(* The predefined counter and collection classes. *)
+
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lang
+module P = Predefined
+open Helpers
+
+let setup () =
+  match P.with_predefined "" with
+  | Error msg -> Alcotest.failf "predefined classes: %s" msg
+  | Ok (schema, adhoc) -> (schema, Analysis.compile ~adhoc schema)
+
+let test_sources_check () = ignore (setup ())
+
+let test_counter_adhoc () =
+  let _, an = setup () in
+  Alcotest.(check bool) "inc/inc" true (Analysis.commute an P.counter (mn "inc") (mn "inc"));
+  Alcotest.(check bool) "inc/dec" true (Analysis.commute an P.counter (mn "inc") (mn "dec"));
+  Alcotest.(check bool) "get/inc conflict kept" false
+    (Analysis.commute an P.counter (mn "get") (mn "inc"));
+  Alcotest.(check bool) "get/get commute (computed)" true
+    (Analysis.commute an P.counter (mn "get") (mn "get"))
+
+let test_collection_adhoc () =
+  let _, an = setup () in
+  Alcotest.(check bool) "insert/insert" true
+    (Analysis.commute an P.collection (mn "insert") (mn "insert"));
+  Alcotest.(check bool) "insert/total conflict" false
+    (Analysis.commute an P.collection (mn "insert") (mn "total"));
+  Alcotest.(check bool) "count/total commute" true
+    (Analysis.commute an P.collection (mn "count") (mn "total"))
+
+let test_collection_runtime () =
+  let schema, _ = setup () in
+  let store = Store.create schema in
+  let bag = Store.new_instance store P.collection in
+  List.iter
+    (fun v -> ignore (Interp.call store bag (mn "insert") [ Value.Vint v ]))
+    [ 10; 20; 30 ];
+  Alcotest.check value "count" (Value.Vint 3) (Interp.call store bag (mn "count") []);
+  Alcotest.check value "total (recursive sum over cells)" (Value.Vint 60)
+    (Interp.call store bag (mn "total") []);
+  ignore (Interp.call store bag (mn "remove_first") []);
+  Alcotest.check value "count after remove" (Value.Vint 2) (Interp.call store bag (mn "count") []);
+  (* insert is LIFO: removing drops the 30. *)
+  Alcotest.check value "total after remove" (Value.Vint 30) (Interp.call store bag (mn "total") []);
+  ignore (Interp.call store bag (mn "remove_first") []);
+  ignore (Interp.call store bag (mn "remove_first") []);
+  Alcotest.check value "empty total" (Value.Vint 0) (Interp.call store bag (mn "total") []);
+  (* remove on empty is a no-op. *)
+  ignore (Interp.call store bag (mn "remove_first") []);
+  Alcotest.check value "still empty" (Value.Vint 0) (Interp.call store bag (mn "count") [])
+
+let test_collection_analysis () =
+  let _, an = setup () in
+  (* total reads head and size... actually head only; the recursion over
+     cells is a cross-object chain, not part of the collection's own
+     vector. *)
+  let tav = Analysis.tav an P.collection (mn "total") in
+  Alcotest.check mode "total reads head" Mode.Read (Access_vector.get tav (fn "head"));
+  Alcotest.check mode "total leaves size alone" Mode.Null (Access_vector.get tav (fn "size"));
+  (* insert writes both fields. *)
+  let tav = Analysis.tav an P.collection (mn "insert") in
+  Alcotest.check mode "insert writes head" Mode.Write (Access_vector.get tav (fn "head"));
+  Alcotest.check mode "insert writes size" Mode.Write (Access_vector.get tav (fn "size"))
+
+let test_collection_depgraph () =
+  let schema, an = setup () in
+  ignore schema;
+  let dep = Depgraph.build (Analysis.extraction an) in
+  (* total reaches the cells; the cells' sum recursion stays in cell. *)
+  Alcotest.(check (list class_name))
+    "total reaches cell" [ P.cell; P.collection ]
+    (Depgraph.reachable_classes dep P.collection (mn "total"));
+  Alcotest.(check (list class_name))
+    "cell.sum stays in cell" [ P.cell ]
+    (Depgraph.reachable_classes dep P.cell (mn "sum"))
+
+let test_user_schema_on_top () =
+  match
+    P.with_predefined
+      {|
+class tally extends counter is
+  fields resets : integer;
+  method reset is
+    n := 0;
+    resets := resets + 1;
+  end
+end
+|}
+  with
+  | Error msg -> Alcotest.failf "user extension: %s" msg
+  | Ok (schema, adhoc) ->
+      let an = Analysis.compile ~adhoc schema in
+      (* Inherited inc keeps the predefined assertion... *)
+      Alcotest.(check bool) "inc/inc in tally" true
+        (Analysis.commute an (cn "tally") (mn "inc") (mn "inc"));
+      (* ...and the new method gets the computed relation. *)
+      Alcotest.(check bool) "reset conflicts with inc" false
+        (Analysis.commute an (cn "tally") (mn "reset") (mn "inc"))
+
+let suite =
+  [
+    case "sources parse and check" test_sources_check;
+    case "counter ad hoc relation" test_counter_adhoc;
+    case "collection ad hoc relation" test_collection_adhoc;
+    case "collection runtime behaviour" test_collection_runtime;
+    case "collection access vectors" test_collection_analysis;
+    case "collection dependency graph" test_collection_depgraph;
+    case "user schemas extend the predefined classes" test_user_schema_on_top;
+  ]

@@ -1,0 +1,124 @@
+(* Pretty-printer: fixed renderings plus the parse-print round trip. *)
+
+open Tavcc_model
+open Tavcc_lang
+open Helpers
+
+let test_expr_rendering () =
+  let roundtrip s = Pretty.expr_to_string (Parser.parse_expr s) in
+  Alcotest.(check string) "precedence kept" "1 + 2 * 3" (roundtrip "1 + 2 * 3");
+  Alcotest.(check string) "parens kept where needed" "(1 + 2) * 3" (roundtrip "(1 + 2) * 3");
+  Alcotest.(check string) "redundant parens dropped" "1 + 2" (roundtrip "(1 + 2)");
+  Alcotest.(check string) "unary" "-x + 1" (roundtrip "-x + 1");
+  Alcotest.(check string) "not" "not (a and b)" (roundtrip "not (a and b)")
+
+let test_stmt_rendering () =
+  let s = Parser.parse_body "if f2 then send m to f3; end" in
+  Alcotest.(check string) "if"
+    "if f2 then\n  send m to f3;\nend"
+    (Pretty.body_to_string s)
+
+let test_figure1_roundtrip () =
+  (* The embedded Figure 1 must survive print → parse → print. *)
+  let d1 = Parser.parse_decls Tavcc_core.Paper_example.source in
+  let printed = Pretty.decls_to_string d1 in
+  let d2 = Parser.parse_decls printed in
+  Alcotest.(check int) "same class count" (List.length d1) (List.length d2);
+  List.iter2
+    (fun (a : Ast.body Schema.class_decl) b ->
+      Alcotest.check class_name "class name" a.Schema.c_name b.Schema.c_name;
+      Alcotest.(check int) "methods" (List.length a.Schema.c_methods) (List.length b.Schema.c_methods);
+      List.iter2
+        (fun (ma : Ast.body Schema.method_def) mb ->
+          Alcotest.check body
+            (Format.asprintf "body of %a" Name.Method.pp ma.Schema.m_name)
+            ma.Schema.m_body mb.Schema.m_body)
+        a.Schema.c_methods b.Schema.c_methods)
+    d1 d2
+
+(* Random ASTs for the round-trip property.  Avoids the few lexically
+   ambiguous shapes: negative literals (indistinguishable from unary
+   minus), float literals, exotic string characters, and [self] as an
+   explicit receiver expression. *)
+let ident_pool = [ "x"; "y"; "z"; "foo"; "p1" ]
+
+let gen_expr =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            map (fun i -> Ast.Lit (Value.Vint (abs i))) small_int;
+            map (fun b -> Ast.Lit (Value.Vbool b)) bool;
+            map (fun s -> Ast.Lit (Value.Vstring s)) (string_size ~gen:(char_range 'a' 'z') (0 -- 6));
+            return (Ast.Lit Value.Vnull);
+            return Ast.Self;
+            map (fun x -> Ast.Ident x) (oneofl ident_pool);
+            return (Ast.New (Name.Class.of_string "c1"));
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map (fun e -> Ast.Unop (Ast.Neg, e)) (self (n / 2));
+            map (fun e -> Ast.Unop (Ast.Not, e)) (self (n / 2));
+            map3
+              (fun op l r -> Ast.Binop (op, l, r))
+              (oneofl
+                 [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Eq; Ast.Ne; Ast.Lt;
+                   Ast.Le; Ast.Gt; Ast.Ge; Ast.And; Ast.Or ])
+              (self (n / 2)) (self (n / 2));
+            map2
+              (fun name args ->
+                Ast.Send
+                  { Ast.msg_prefix = None; msg_name = Name.Method.of_string name;
+                    msg_args = args; msg_recv = Ast.Rself })
+              (oneofl [ "m1"; "m2" ])
+              (list_size (0 -- 2) (self (n / 3)));
+          ])
+
+let rec gen_stmt n =
+  let open QCheck.Gen in
+  let assign = map2 (fun x e -> Ast.Assign (x, e)) (oneofl ident_pool) (gen_expr) in
+  let send =
+    map2
+      (fun name recv ->
+        Ast.Send_stmt
+          { Ast.msg_prefix = None; msg_name = Name.Method.of_string name; msg_args = [];
+            msg_recv = recv })
+      (oneofl [ "m1"; "m2" ])
+      (oneof [ return Ast.Rself; map (fun x -> Ast.Rexpr (Ast.Ident x)) (oneofl ident_pool) ])
+  in
+  if n <= 0 then oneof [ assign; send ]
+  else
+    oneof
+      [
+        assign;
+        send;
+        map2 (fun x e -> Ast.Var (x, e)) (oneofl ident_pool) gen_expr;
+        map (fun e -> Ast.Return e) gen_expr;
+        map3 (fun c t e -> Ast.If (c, t, e)) gen_expr (gen_body (n / 2)) (gen_body (n / 2));
+        map2 (fun c b -> Ast.While (c, b)) gen_expr (gen_body (n / 2));
+      ]
+
+and gen_body n = QCheck.Gen.list_size QCheck.Gen.(0 -- 3) (gen_stmt n)
+
+let arb_body =
+  QCheck.make ~print:Pretty.body_to_string (QCheck.Gen.sized (fun n -> gen_body (min n 4)))
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"pretty/parse round trip" arb_body (fun b ->
+      match Parser.parse_body (Pretty.body_to_string b) with
+      | b' -> Ast.equal_body b b'
+      | exception (Parser.Error (m, _) | Lexer.Error (m, _)) ->
+          QCheck.Test.fail_reportf "reparse failed: %s on@.%s" m (Pretty.body_to_string b))
+
+let suite =
+  [
+    case "expression rendering" test_expr_rendering;
+    case "statement rendering" test_stmt_rendering;
+    case "figure 1 round trip" test_figure1_roundtrip;
+    QCheck_alcotest.to_alcotest roundtrip_prop;
+  ]

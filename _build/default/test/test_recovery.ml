@@ -1,0 +1,237 @@
+(* WAL, snapshots and repeating-history restart. *)
+
+open Tavcc_model
+open Tavcc_recovery
+open Helpers
+
+let schema () =
+  schema_of_source
+    {|class item is
+        fields a : integer; b : integer; tag : string;
+      end|}
+
+let item = cn "item"
+
+let setup () =
+  let store = Store.create (schema ()) in
+  let o1 = Store.new_instance store item ~init:[ (fn "a", Value.Vint 1) ] in
+  let o2 = Store.new_instance store item ~init:[ (fn "a", Value.Vint 2) ] in
+  (store, o1, o2)
+
+let test_wal_stability () =
+  let wal = Wal.create () in
+  ignore (Wal.append wal (Wal.Begin 1));
+  ignore (Wal.append wal (Wal.Commit 1));
+  Alcotest.(check int) "nothing stable before flush" 0 (Wal.stable_lsn wal);
+  Alcotest.(check int) "volatile tail visible" 2 (List.length (Wal.all wal));
+  Wal.flush wal;
+  Alcotest.(check int) "stable after flush" 2 (Wal.stable_lsn wal);
+  ignore (Wal.append wal (Wal.Begin 2));
+  Alcotest.(check int) "new tail volatile" 2 (List.length (Wal.stable wal));
+  Alcotest.(check int) "lsn monotonic" 3 (Wal.length wal)
+
+let test_snapshot_roundtrip () =
+  let store, o1, o2 = setup () in
+  let snap = Recovery.Snapshot.take store in
+  Store.write store o1 (fn "a") (Value.Vint 100);
+  Store.write store o2 (fn "tag") (Value.Vstring "dirty");
+  let o3 = Store.new_instance store item in
+  Recovery.Snapshot.restore store snap;
+  Alcotest.check value "o1.a rewound" (Value.Vint 1) (Store.read store o1 (fn "a"));
+  Alcotest.check value "o2.tag rewound" (Value.Vstring "") (Store.read store o2 (fn "tag"));
+  Alcotest.(check bool) "newborn dropped" false (Store.exists store o3);
+  Alcotest.(check int) "snapshot lists instances" 2
+    (List.length (Recovery.Snapshot.instances snap))
+
+let test_manager_commit_durable () =
+  let store, o1, _ = setup () in
+  let wal = Wal.create () in
+  let mgr = Recovery.Manager.create store wal in
+  let snap = Recovery.Manager.checkpoint mgr in
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 42);
+  Alcotest.check value "write applied" (Value.Vint 42)
+    (Recovery.Manager.read mgr ~txn:1 o1 (fn "a"));
+  Recovery.Manager.commit mgr 1;
+  (* Crash: volatile store lost; rebuild from snapshot + stable log. *)
+  Recovery.Restart.recover store snap (Wal.stable wal);
+  Alcotest.check value "committed write survives" (Value.Vint 42) (Store.read store o1 (fn "a"))
+
+let test_uncommitted_lost () =
+  let store, o1, _ = setup () in
+  let wal = Wal.create () in
+  let mgr = Recovery.Manager.create store wal in
+  let snap = Recovery.Manager.checkpoint mgr in
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 42);
+  (* No commit, no flush: the update never reached the disk. *)
+  Recovery.Restart.recover store snap (Wal.stable wal);
+  Alcotest.check value "update gone" (Value.Vint 1) (Store.read store o1 (fn "a"))
+
+let test_loser_undone_from_stable_log () =
+  let store, o1, o2 = setup () in
+  let wal = Wal.create () in
+  let mgr = Recovery.Manager.create store wal in
+  let snap = Recovery.Manager.checkpoint mgr in
+  (* T1 commits (forces the log, carrying T2's earlier updates with it);
+     T2 is still running at the crash. *)
+  Recovery.Manager.begin_txn mgr 2;
+  Recovery.Manager.write mgr ~txn:2 o2 (fn "a") (Value.Vint 777);
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 42);
+  Recovery.Manager.commit mgr 1;
+  Recovery.Manager.write mgr ~txn:2 o2 (fn "b") (Value.Vint 888);
+  Recovery.Restart.recover store snap (Wal.stable wal);
+  Alcotest.check value "winner redone" (Value.Vint 42) (Store.read store o1 (fn "a"));
+  Alcotest.check value "loser's stable update undone" (Value.Vint 2)
+    (Store.read store o2 (fn "a"));
+  Alcotest.check value "loser's volatile update never applied" (Value.Vint 0)
+    (Store.read store o2 (fn "b"));
+  Alcotest.(check (list int)) "losers" [ 2 ] (Recovery.Restart.losers (Wal.stable wal));
+  Alcotest.(check (list int)) "committed" [ 1 ] (Recovery.Restart.committed (Wal.stable wal))
+
+let test_abort_with_clrs () =
+  let store, o1, _ = setup () in
+  let wal = Wal.create () in
+  let mgr = Recovery.Manager.create store wal in
+  let snap = Recovery.Manager.checkpoint mgr in
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 50);
+  Recovery.Manager.abort mgr 1;
+  Alcotest.check value "abort rolled back" (Value.Vint 1) (Store.read store o1 (fn "a"));
+  (* The same id restarts and commits a different value; the first
+     incarnation's rollback is fully covered by CLRs. *)
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 60);
+  Recovery.Manager.commit mgr 1;
+  Recovery.Restart.recover store snap (Wal.stable wal);
+  Alcotest.check value "second incarnation wins" (Value.Vint 60) (Store.read store o1 (fn "a"))
+
+let test_interleaved_incarnations () =
+  (* The scenario that breaks naive whole-log rollback: t1 aborts, t2
+     commits a new value, t1 restarts and crashes. *)
+  let store, o1, _ = setup () in
+  let wal = Wal.create () in
+  let mgr = Recovery.Manager.create store wal in
+  let snap = Recovery.Manager.checkpoint mgr in
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 5);
+  Recovery.Manager.abort mgr 1;
+  Recovery.Manager.begin_txn mgr 2;
+  Recovery.Manager.write mgr ~txn:2 o1 (fn "a") (Value.Vint 9);
+  Recovery.Manager.commit mgr 2;
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 12);
+  Wal.flush wal;
+  Recovery.Restart.recover store snap (Wal.stable wal);
+  Alcotest.check value "t2's committed value restored" (Value.Vint 9)
+    (Store.read store o1 (fn "a"))
+
+let test_recover_idempotent () =
+  let store, o1, o2 = setup () in
+  let wal = Wal.create () in
+  let mgr = Recovery.Manager.create store wal in
+  let snap = Recovery.Manager.checkpoint mgr in
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 33);
+  Recovery.Manager.commit mgr 1;
+  Recovery.Manager.begin_txn mgr 2;
+  Recovery.Manager.write mgr ~txn:2 o2 (fn "a") (Value.Vint 44);
+  Wal.flush wal;
+  Recovery.Restart.recover store snap (Wal.stable wal);
+  let dump () =
+    List.map
+      (fun o -> (Store.read store o (fn "a"), Store.read store o (fn "b")))
+      [ o1; o2 ]
+  in
+  let first = dump () in
+  Recovery.Restart.recover store snap (Wal.stable wal);
+  Alcotest.(check bool) "second recovery is a no-op" true (first = dump ())
+
+let test_manager_errors () =
+  let store, o1, _ = setup () in
+  let wal = Wal.create () in
+  let mgr = Recovery.Manager.create store wal in
+  Recovery.Manager.begin_txn mgr 1;
+  check_raises_invalid "double begin" (fun () -> Recovery.Manager.begin_txn mgr 1);
+  check_raises_invalid "write outside txn" (fun () ->
+      Recovery.Manager.write mgr ~txn:9 o1 (fn "a") (Value.Vint 0));
+  check_raises_invalid "checkpoint with active txn" (fun () ->
+      Recovery.Manager.checkpoint mgr);
+  Recovery.Manager.commit mgr 1;
+  check_raises_invalid "commit twice" (fun () -> Recovery.Manager.commit mgr 1)
+
+(* Property: crash at a random log position; recovery must equal the
+   state obtained by serially applying exactly the stably-committed
+   transactions. *)
+let prop_crash_anywhere =
+  QCheck.Test.make ~count:120 ~name:"crash anywhere: committed state recovered exactly"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let store, o1, o2 = setup () in
+      let wal = Wal.create () in
+      let mgr = Recovery.Manager.create store wal in
+      let snap = Recovery.Manager.checkpoint mgr in
+      (* Serial transactions, some committing, some aborting, with a few
+         extra flushes sprinkled in. *)
+      let expected = Hashtbl.create 8 in
+      Hashtbl.replace expected (o1, fn "a") (Value.Vint 1);
+      Hashtbl.replace expected (o2, fn "a") (Value.Vint 2);
+      let committed_state = Hashtbl.copy expected in
+      for txn = 1 to 8 do
+        Recovery.Manager.begin_txn mgr txn;
+        let target = if Tavcc_sim.Rng.bool rng then o1 else o2 in
+        let field = if Tavcc_sim.Rng.bool rng then fn "a" else fn "b" in
+        let v = Value.Vint (Tavcc_sim.Rng.int rng 1000) in
+        Recovery.Manager.write mgr ~txn target field v;
+        if Tavcc_sim.Rng.chance rng 0.2 then Wal.flush wal;
+        if Tavcc_sim.Rng.chance rng 0.7 then begin
+          Recovery.Manager.commit mgr txn;
+          Hashtbl.replace committed_state (target, field) v
+        end
+        else Recovery.Manager.abort mgr txn
+      done;
+      (* Crash: only the stable prefix survives. *)
+      let stable = Wal.stable wal in
+      Recovery.Restart.recover store snap stable;
+      (* Expected: committed state *of the transactions whose Commit made
+         it to the stable log*. *)
+      let surviving = Recovery.Restart.committed stable in
+      let truth = Hashtbl.create 8 in
+      Hashtbl.replace truth (o1, fn "a") (Value.Vint 1);
+      Hashtbl.replace truth (o2, fn "a") (Value.Vint 2);
+      List.iter
+        (fun txn ->
+          List.iter
+            (function
+              | Wal.Update { txn = x; oid; field; after; _ } when x = txn ->
+                  Hashtbl.replace truth ((oid, field)) after
+              | _ -> ())
+            stable)
+        surviving;
+      List.for_all
+        (fun o ->
+          List.for_all
+            (fun f ->
+              let expected =
+                Option.value ~default:(Value.default Value.Tint)
+                  (Hashtbl.find_opt truth (o, f))
+              in
+              let expected = if f = fn "tag" then Value.Vstring "" else expected in
+              Value.equal (Store.read store o f) expected)
+            [ fn "a"; fn "b" ])
+        [ o1; o2 ])
+
+let suite =
+  [
+    case "wal stability boundary" test_wal_stability;
+    case "snapshot round trip" test_snapshot_roundtrip;
+    case "committed writes are durable" test_manager_commit_durable;
+    case "uncommitted volatile writes are lost" test_uncommitted_lost;
+    case "stable loser updates are undone" test_loser_undone_from_stable_log;
+    case "abort logs CLRs" test_abort_with_clrs;
+    case "interleaved incarnations" test_interleaved_incarnations;
+    case "recovery is idempotent" test_recover_idempotent;
+    case "manager misuse" test_manager_errors;
+    QCheck_alcotest.to_alcotest prop_crash_anywhere;
+  ]

@@ -1,0 +1,117 @@
+(* Tarjan's strongly connected components. *)
+
+open Tavcc_core
+open Helpers
+
+let compute edges n =
+  let succs = Array.make n [] in
+  List.iter (fun (a, b) -> succs.(a) <- b :: succs.(a)) edges;
+  Scc.compute succs
+
+let comps_as_sets r =
+  Scc.members r |> Array.to_list |> List.map (List.sort_uniq Int.compare)
+
+let test_empty () =
+  let r = compute [] 0 in
+  Alcotest.(check int) "no components" 0 r.Scc.count
+
+let test_singletons () =
+  let r = compute [] 3 in
+  Alcotest.(check int) "three singletons" 3 r.Scc.count;
+  Alcotest.(check (list (list int))) "partition" [ [ 0 ]; [ 1 ]; [ 2 ] ]
+    (List.sort compare (comps_as_sets r))
+
+let test_chain_reverse_topo () =
+  (* 0 -> 1 -> 2: components are numbered sinks first. *)
+  let r = compute [ (0, 1); (1, 2) ] 3 in
+  Alcotest.(check int) "three comps" 3 r.Scc.count;
+  Alcotest.(check bool) "sink smallest" true (r.Scc.comp.(2) < r.Scc.comp.(1));
+  Alcotest.(check bool) "source largest" true (r.Scc.comp.(1) < r.Scc.comp.(0))
+
+let test_cycle () =
+  let r = compute [ (0, 1); (1, 2); (2, 0) ] 3 in
+  Alcotest.(check int) "one component" 1 r.Scc.count;
+  Alcotest.(check (list (list int))) "all together" [ [ 0; 1; 2 ] ] (comps_as_sets r)
+
+let test_self_loop () =
+  let r = compute [ (0, 0) ] 1 in
+  Alcotest.(check int) "self loop is one comp" 1 r.Scc.count
+
+let test_two_cycles_bridge () =
+  (* {0,1} -> {2,3} *)
+  let r = compute [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ] 4 in
+  Alcotest.(check int) "two comps" 2 r.Scc.count;
+  Alcotest.(check bool) "same comp 0 1" true (r.Scc.comp.(0) = r.Scc.comp.(1));
+  Alcotest.(check bool) "same comp 2 3" true (r.Scc.comp.(2) = r.Scc.comp.(3));
+  Alcotest.(check bool) "downstream first" true (r.Scc.comp.(2) < r.Scc.comp.(0))
+
+let test_deep_chain_is_iterative () =
+  (* A 100k-vertex path would overflow a recursive implementation. *)
+  let n = 100_000 in
+  let succs = Array.init n (fun i -> if i + 1 < n then [ i + 1 ] else []) in
+  let r = Scc.compute succs in
+  Alcotest.(check int) "all singletons" n r.Scc.count
+
+(* Random graph properties. *)
+let arb_graph =
+  let gen =
+    QCheck.Gen.(
+      let* n = 1 -- 12 in
+      let* edges = list_size (0 -- 30) (pair (0 -- (n - 1)) (0 -- (n - 1))) in
+      return (n, edges))
+  in
+  QCheck.make
+    ~print:(fun (n, e) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) e)))
+    gen
+
+let reachable succs a =
+  let n = Array.length succs in
+  let seen = Array.make n false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go succs.(v)
+    end
+  in
+  go a;
+  seen
+
+let prop_scc_correct =
+  QCheck.Test.make ~count:300 ~name:"same component iff mutually reachable" arb_graph
+    (fun (n, edges) ->
+      let succs = Array.make n [] in
+      List.iter (fun (a, b) -> succs.(a) <- b :: succs.(a)) edges;
+      let r = Scc.compute succs in
+      let reach = Array.init n (fun v -> reachable succs v) in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          let mutual = reach.(a).(b) && reach.(b).(a) in
+          if (r.Scc.comp.(a) = r.Scc.comp.(b)) <> mutual then ok := false
+        done
+      done;
+      !ok)
+
+let prop_reverse_topological =
+  QCheck.Test.make ~count:300 ~name:"edges point to equal-or-smaller components" arb_graph
+    (fun (n, edges) ->
+      let succs = Array.make n [] in
+      List.iter (fun (a, b) -> succs.(a) <- b :: succs.(a)) edges;
+      let r = Scc.compute succs in
+      List.for_all (fun (a, b) -> r.Scc.comp.(b) <= r.Scc.comp.(a)) edges)
+
+let suite =
+  [
+    case "empty graph" test_empty;
+    case "singletons" test_singletons;
+    case "chain numbering is reverse-topological" test_chain_reverse_topo;
+    case "cycle" test_cycle;
+    case "self loop" test_self_loop;
+    case "two cycles with a bridge" test_two_cycles_bridge;
+    case "100k-deep chain (iterative)" test_deep_chain_is_iterative;
+    QCheck_alcotest.to_alcotest prop_scc_correct;
+    QCheck_alcotest.to_alcotest prop_reverse_topological;
+  ]

@@ -1,0 +1,93 @@
+(* The sec. 5.2 four-transaction scenario: the paper's central comparison. *)
+
+open Tavcc_cc
+open Helpers
+
+let groups mk = Scenario.maximal_names (Scenario.evaluate mk)
+
+let test_tav () =
+  Alcotest.(check (list string))
+    "paper: T1||T3||T4 and T2||T3||T4"
+    [ "T1||T3||T4"; "T2||T3||T4" ]
+    (groups Tav_modes.scheme)
+
+let test_rw_top () =
+  Alcotest.(check (list string))
+    "paper: either T1||T3 or T1||T4"
+    [ "T1||T3"; "T1||T4"; "T2" ]
+    (groups Rw_toponly.scheme)
+
+let test_rw_msg () =
+  Alcotest.(check (list string))
+    "per-message baseline matches rw-top here"
+    [ "T1||T3"; "T1||T4"; "T2" ]
+    (groups Rw_instance.scheme)
+
+let test_relational () =
+  Alcotest.(check (list string))
+    "paper: either T1||T3 or T3||T4"
+    [ "T1||T3"; "T2"; "T3||T4" ]
+    (groups Relational.scheme)
+
+let test_field_runtime_at_least_tav () =
+  (* [1] is less conservative than the paper's scheme: everything TAV
+     admits must be admitted by field locking. *)
+  let tav = Scenario.evaluate Tav_modes.scheme in
+  let field = Scenario.evaluate Field_runtime.scheme in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if tav.Scenario.pairwise.(i).(j) then
+        Alcotest.(check bool)
+          (Printf.sprintf "field admits (%d,%d)" i j)
+          true field.Scenario.pairwise.(i).(j)
+    done
+  done
+
+let test_incomparable_separations () =
+  (* "permitted concurrent executions are incomparable": the relational
+     schema admits T3||T4, which two-mode OO locking refuses, and vice
+     versa for T1||T4. *)
+  let rw = Scenario.evaluate Rw_toponly.scheme in
+  let rel = Scenario.evaluate Relational.scheme in
+  Alcotest.(check bool) "rw admits T1||T4" true rw.Scenario.pairwise.(0).(3);
+  Alcotest.(check bool) "relational refuses T1||T4" false rel.Scenario.pairwise.(0).(3);
+  Alcotest.(check bool) "relational admits T3||T4" true rel.Scenario.pairwise.(2).(3);
+  Alcotest.(check bool) "rw refuses T3||T4" false rw.Scenario.pairwise.(2).(3)
+
+let test_tav_subsumes_both () =
+  (* The paper's punchline: every pair admitted by either previous scheme
+     is admitted by TAV modes. *)
+  let tav = Scenario.evaluate Tav_modes.scheme in
+  let rw = Scenario.evaluate Rw_toponly.scheme in
+  let rel = Scenario.evaluate Relational.scheme in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if rw.Scenario.pairwise.(i).(j) || rel.Scenario.pairwise.(i).(j) then
+        Alcotest.(check bool)
+          (Printf.sprintf "tav admits (%d,%d)" i j)
+          true tav.Scenario.pairwise.(i).(j)
+    done
+  done
+
+let test_t2_conflicts_t1_everywhere () =
+  (* T2 rewrites every instance m1 touches: no scheme may run them
+     concurrently. *)
+  List.iter
+    (fun mk ->
+      let r = Scenario.evaluate mk in
+      Alcotest.(check bool) (r.Scenario.scheme_name ^ ": T1 vs T2") false
+        r.Scenario.pairwise.(0).(1))
+    [ Tav_modes.scheme; Rw_toponly.scheme; Rw_instance.scheme; Relational.scheme;
+      Field_runtime.scheme ]
+
+let suite =
+  [
+    case "tav modes match the paper" test_tav;
+    case "rw-top matches the paper" test_rw_top;
+    case "rw-msg matches the paper" test_rw_msg;
+    case "relational matches the paper" test_relational;
+    case "field locking admits at least TAV's groups" test_field_runtime_at_least_tav;
+    case "rw and relational separations are incomparable" test_incomparable_separations;
+    case "tav subsumes both previous schemes" test_tav_subsumes_both;
+    case "T1 and T2 conflict under every scheme" test_t2_conflicts_t1_everywhere;
+  ]

@@ -1,0 +1,194 @@
+(* Schema building, inheritance, linearisation and late binding. *)
+
+open Tavcc_model
+open Helpers
+
+let decl ?(parents = []) ?(fields = []) ?(methods = []) name =
+  {
+    Schema.c_name = cn name;
+    c_parents = List.map cn parents;
+    c_fields = List.map (fun (f, ty) -> (fn f, ty)) fields;
+    c_methods = methods;
+  }
+
+let meth ?(params = []) name = { Schema.m_name = mn name; m_params = params; m_body = () }
+
+let build_exn decls =
+  match Schema.build decls with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "unexpected build error: %a" Schema.pp_error e
+
+let expect_error decls pred descr =
+  match Schema.build decls with
+  | Ok _ -> Alcotest.failf "expected %s" descr
+  | Error e ->
+      if not (pred e) then Alcotest.failf "wrong error for %s: %a" descr Schema.pp_error e
+
+let test_duplicate_class () =
+  expect_error
+    [ decl "a"; decl "a" ]
+    (function Schema.Duplicate_class _ -> true | _ -> false)
+    "duplicate class"
+
+let test_unknown_parent () =
+  expect_error
+    [ decl "a" ~parents:[ "ghost" ] ]
+    (function Schema.Unknown_parent _ -> true | _ -> false)
+    "unknown parent"
+
+let test_cycle () =
+  expect_error
+    [ decl "a" ~parents:[ "b" ]; decl "b" ~parents:[ "a" ] ]
+    (function Schema.Inheritance_cycle _ -> true | _ -> false)
+    "inheritance cycle"
+
+let test_duplicate_field_same_class () =
+  expect_error
+    [ decl "a" ~fields:[ ("f", Value.Tint); ("f", Value.Tint) ] ]
+    (function Schema.Duplicate_field _ -> true | _ -> false)
+    "duplicate field in one class"
+
+let test_duplicate_field_inherited () =
+  expect_error
+    [
+      decl "a" ~fields:[ ("f", Value.Tint) ];
+      decl "b" ~parents:[ "a" ] ~fields:[ ("f", Value.Tbool) ];
+    ]
+    (function Schema.Duplicate_field _ -> true | _ -> false)
+    "field shadowing an inherited one"
+
+let test_duplicate_method () =
+  expect_error
+    [ decl "a" ~methods:[ meth "m"; meth "m" ] ]
+    (function Schema.Duplicate_method _ -> true | _ -> false)
+    "duplicate method"
+
+let test_unknown_ref_class () =
+  expect_error
+    [ decl "a" ~fields:[ ("f", Value.Tref (cn "ghost")) ] ]
+    (function Schema.Unknown_field_class _ -> true | _ -> false)
+    "reference to an unknown class"
+
+let test_linearization_failure () =
+  (* Classic C3 impossibility: d and e inherit (a, b) in opposite orders
+     and f inherits both. *)
+  expect_error
+    [
+      decl "a";
+      decl "b";
+      decl "d" ~parents:[ "a"; "b" ];
+      decl "e" ~parents:[ "b"; "a" ];
+      decl "f" ~parents:[ "d"; "e" ];
+    ]
+    (function Schema.Linearization_failure _ -> true | _ -> false)
+    "C3 linearisation failure"
+
+let test_chain_linearization () =
+  let s = build_exn [ decl "a"; decl "b" ~parents:[ "a" ]; decl "c" ~parents:[ "b" ] ] in
+  Alcotest.(check (list class_name))
+    "c lin" [ cn "c"; cn "b"; cn "a" ] (Schema.linearization s (cn "c"));
+  Alcotest.(check (list class_name)) "ancestors" [ cn "b"; cn "a" ] (Schema.ancestors s (cn "c"));
+  Alcotest.(check bool) "is_ancestor a of c" true (Schema.is_ancestor s (cn "a") ~of_:(cn "c"));
+  Alcotest.(check bool) "c not ancestor of a" false (Schema.is_ancestor s (cn "c") ~of_:(cn "a"))
+
+let test_diamond_linearization () =
+  let s =
+    build_exn
+      [
+        decl "top" ~fields:[ ("t", Value.Tint) ];
+        decl "left" ~parents:[ "top" ] ~fields:[ ("l", Value.Tint) ];
+        decl "right" ~parents:[ "top" ] ~fields:[ ("r", Value.Tint) ];
+        decl "bottom" ~parents:[ "left"; "right" ] ~fields:[ ("b", Value.Tint) ];
+      ]
+  in
+  Alcotest.(check (list class_name))
+    "C3 diamond" [ cn "bottom"; cn "left"; cn "right"; cn "top" ]
+    (Schema.linearization s (cn "bottom"));
+  (* The diamond top's field appears once; layout follows the reversed
+     linearisation (most general class first). *)
+  let fields = List.map (fun fd -> fd.Schema.f_name) (Schema.fields s (cn "bottom")) in
+  Alcotest.(check (list field_name)) "fields once, general first"
+    [ fn "t"; fn "r"; fn "l"; fn "b" ] fields
+
+let test_field_layout () =
+  let s =
+    build_exn
+      [
+        decl "a" ~fields:[ ("f1", Value.Tint); ("f2", Value.Tbool) ];
+        decl "b" ~parents:[ "a" ] ~fields:[ ("f3", Value.Tstring) ];
+      ]
+  in
+  Alcotest.(check (option int)) "f1@a" (Some 0) (Schema.field_index s (cn "a") (fn "f1"));
+  Alcotest.(check (option int)) "f3@b" (Some 2) (Schema.field_index s (cn "b") (fn "f3"));
+  Alcotest.(check (option int)) "f3 not in a" None (Schema.field_index s (cn "a") (fn "f3"));
+  let fd = Option.get (Schema.field_def s (cn "b") (fn "f1")) in
+  Alcotest.check class_name "owner of f1 seen from b" (cn "a") fd.Schema.f_owner
+
+let test_method_resolution () =
+  let s =
+    build_exn
+      [
+        decl "a" ~methods:[ meth "m"; meth "n" ];
+        decl "b" ~parents:[ "a" ] ~methods:[ meth "m" (* override *); meth "p" ];
+      ]
+  in
+  Alcotest.(check (list method_name)) "METHODS(b) sorted"
+    [ mn "m"; mn "n"; mn "p" ] (Schema.methods s (cn "b"));
+  let c, _ = Option.get (Schema.resolve s (cn "b") (mn "m")) in
+  Alcotest.check class_name "override binds to b" (cn "b") c;
+  let c, _ = Option.get (Schema.resolve s (cn "b") (mn "n")) in
+  Alcotest.check class_name "inherited binds to a" (cn "a") c;
+  Alcotest.(check bool) "unknown method" true (Schema.resolve s (cn "a") (mn "p") = None);
+  (* Prefixed resolution from the ancestor skips the override. *)
+  let c, _ = Option.get (Schema.resolve_from s (cn "a") (mn "m")) in
+  Alcotest.check class_name "resolve_from a" (cn "a") c;
+  Alcotest.(check bool) "own def in b" true (Schema.method_def_in s (cn "b") (mn "m") <> None);
+  Alcotest.(check bool) "n not own in b" true (Schema.method_def_in s (cn "b") (mn "n") = None)
+
+let test_domain () =
+  let s =
+    build_exn
+      [
+        decl "a";
+        decl "b" ~parents:[ "a" ];
+        decl "c" ~parents:[ "a" ];
+        decl "d" ~parents:[ "b"; "c" ];
+      ]
+  in
+  Alcotest.(check (list class_name)) "subclasses of a" [ cn "b"; cn "c" ] (Schema.subclasses s (cn "a"));
+  Alcotest.(check (list class_name))
+    "domain of a, no duplicates" [ cn "a"; cn "b"; cn "d"; cn "c" ] (Schema.domain s (cn "a"));
+  Alcotest.(check (list class_name)) "domain of leaf" [ cn "d" ] (Schema.domain s (cn "d"))
+
+let test_classes_topological () =
+  let s = build_exn [ decl "c" ~parents:[ "b" ]; decl "b" ~parents:[ "a" ]; decl "a" ] in
+  let order = Schema.classes s in
+  let pos x = Option.get (List.find_index (Name.Class.equal (cn x)) order) in
+  Alcotest.(check bool) "parents first" true (pos "a" < pos "b" && pos "b" < pos "c");
+  Alcotest.(check int) "count" 3 (Schema.class_count s)
+
+let test_map_bodies () =
+  let d = decl "a" ~methods:[ { Schema.m_name = mn "m"; m_params = []; m_body = 21 } ] in
+  let s = build_exn [ d ] in
+  let s' = Schema.map_bodies (fun x -> x * 2) s in
+  let _, md = Option.get (Schema.resolve s' (cn "a") (mn "m")) in
+  Alcotest.(check int) "mapped" 42 md.Schema.m_body
+
+let suite =
+  [
+    case "error: duplicate class" test_duplicate_class;
+    case "error: unknown parent" test_unknown_parent;
+    case "error: inheritance cycle" test_cycle;
+    case "error: duplicate field (same class)" test_duplicate_field_same_class;
+    case "error: duplicate field (inherited)" test_duplicate_field_inherited;
+    case "error: duplicate method" test_duplicate_method;
+    case "error: unknown reference class" test_unknown_ref_class;
+    case "error: C3 failure" test_linearization_failure;
+    case "linearisation: chain" test_chain_linearization;
+    case "linearisation: diamond" test_diamond_linearization;
+    case "fields: layout and owners" test_field_layout;
+    case "methods: late binding and overrides" test_method_resolution;
+    case "domain and subclasses" test_domain;
+    case "classes are topologically ordered" test_classes_topological;
+    case "map_bodies" test_map_bodies;
+  ]

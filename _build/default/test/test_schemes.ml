@@ -1,0 +1,228 @@
+(* The five concurrency-control schemes: lock sets and conflict rules. *)
+
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lock
+open Tavcc_cc
+module P = Paper_example
+open Helpers
+
+let setup () =
+  let an = P.analysis () in
+  let store = Store.create (Analysis.schema an) in
+  let target = Store.new_instance store P.c3 in
+  let i2 = Store.new_instance store P.c2 ~init:[ (P.f3, Value.Vref target) ] in
+  (an, store, i2, target)
+
+let lockset scheme store actions = Lockset.of_actions ~scheme ~store ~txn_id:1 actions
+
+let kinds reqs =
+  List.map
+    (fun r ->
+      match r.Lock_table.r_res with
+      | Resource.Class c -> Printf.sprintf "C:%s%s" (Name.Class.to_string c) (if r.Lock_table.r_hier then "*" else "")
+      | Resource.Instance o -> Printf.sprintf "I:%d" (Oid.to_int o)
+      | Resource.Field (o, f) -> Printf.sprintf "F:%d.%s" (Oid.to_int o) (Name.Field.to_string f)
+      | Resource.Fragment (o, c) -> Printf.sprintf "G:%s[%d]" (Name.Class.to_string c) (Oid.to_int o)
+      | Resource.Relation c -> Printf.sprintf "R:%s" (Name.Class.to_string c)
+      | Resource.Meth (c, m) -> Printf.sprintf "M:%s.%s" (Name.Class.to_string c) (Name.Method.to_string m))
+    reqs
+
+(* --- TAV scheme --- *)
+
+let test_tav_single_call () =
+  let an, store, i2, _ = setup () in
+  let scheme = Tav_modes.scheme an in
+  let reqs = lockset scheme store [ Exec.Call (i2, P.m4, [ Value.Vint 0; Value.Vstring "x" ]) ] in
+  (* Exactly one intentional class lock and one instance lock. *)
+  Alcotest.(check (list string)) "class then instance"
+    [ "C:c2"; Printf.sprintf "I:%d" (Oid.to_int i2) ]
+    (kinds reqs)
+
+let test_tav_self_sends_free () =
+  let an, store, i2, target = setup () in
+  let scheme = Tav_modes.scheme an in
+  (* m2 self-sends c1.m2; still one class + one instance lock. *)
+  let reqs = lockset scheme store [ Exec.Call (i2, P.m2, [ Value.Vint 1 ]) ] in
+  Alcotest.(check int) "two locks for a self-send cascade" 2 (List.length reqs);
+  (* m1 with f2=true crosses to the c3 collaborator: two more locks. *)
+  Store.write store i2 P.f2 (Value.Vbool true);
+  let reqs = lockset scheme store [ Exec.Call (i2, P.m1, [ Value.Vint 1 ]) ] in
+  Alcotest.(check (list string)) "cross-object send controlled"
+    [ "C:c2"; Printf.sprintf "I:%d" (Oid.to_int i2); "C:c3";
+      Printf.sprintf "I:%d" (Oid.to_int target) ]
+    (kinds reqs)
+
+let test_tav_class_conflict_rule () =
+  let an, _, _, _ = setup () in
+  let scheme = Tav_modes.scheme an in
+  let gm = Global_modes.build an in
+  let g_m1 = Global_modes.id gm P.c2 P.m1 in
+  let g_m4 = Global_modes.id gm P.c2 P.m4 in
+  let req ?(hier = false) txn mode =
+    { Lock_table.r_txn = txn; r_res = Resource.Class P.c2; r_mode = mode; r_hier = hier;
+      r_pred = None }
+  in
+  (* Both intentional: never conflict, even with non-commuting modes. *)
+  Alcotest.(check bool) "intentional/intentional" false
+    (scheme.Scheme.conflict (req 1 g_m1) (req 2 g_m1));
+  (* Hierarchical vs intentional: decided by commutativity. *)
+  Alcotest.(check bool) "hier m1 vs int m1 conflicts" true
+    (scheme.Scheme.conflict (req 1 ~hier:true g_m1) (req 2 g_m1));
+  Alcotest.(check bool) "hier m1 vs int m4 commutes" false
+    (scheme.Scheme.conflict (req 1 ~hier:true g_m1) (req 2 g_m4));
+  (* Instance locks always go by commutativity. *)
+  let ireq txn mode =
+    { Lock_table.r_txn = txn; r_res = Resource.Instance (Oid.of_int 9); r_mode = mode;
+      r_hier = false; r_pred = None }
+  in
+  Alcotest.(check bool) "instance m1/m1" true (scheme.Scheme.conflict (ireq 1 g_m1) (ireq 2 g_m1));
+  Alcotest.(check bool) "instance m1/m4" false (scheme.Scheme.conflict (ireq 1 g_m1) (ireq 2 g_m4))
+
+let test_global_modes () =
+  let an, _, _, _ = setup () in
+  let gm = Global_modes.build an in
+  Alcotest.(check int) "3 + 4 + 1 modes" 8 (Global_modes.count gm);
+  let g = Global_modes.id gm P.c2 P.m3 in
+  Alcotest.check class_name "class_of" P.c2 (Global_modes.class_of gm g);
+  Alcotest.check method_name "method_of" P.m3 (Global_modes.method_of gm g);
+  Alcotest.(check bool) "commute via matrix" true
+    (Global_modes.commute gm g (Global_modes.id gm P.c2 P.m1));
+  check_raises_invalid "cross-class commute" (fun () ->
+      Global_modes.commute gm g (Global_modes.id gm P.c1 P.m1));
+  check_raises_invalid "unknown method" (fun () -> Global_modes.id gm P.c1 P.m4)
+
+(* --- rw-msg baseline --- *)
+
+let test_rw_msg_controls_every_message () =
+  let an, store, i2, _ = setup () in
+  let scheme = Rw_instance.scheme an in
+  (* m2 on c2: top send (writer) + prefixed self-send c1.m2 (writer):
+     class and instance locks repeat per message. *)
+  let reqs = lockset scheme store [ Exec.Call (i2, P.m2, [ Value.Vint 1 ]) ] in
+  Alcotest.(check (list string)) "two controls for one logical access"
+    [ "C:c2"; Printf.sprintf "I:%d" (Oid.to_int i2) ]
+    (kinds (List.sort_uniq compare reqs) |> List.sort compare);
+  (* The dedup above hides the repetition; count raw acquisitions through
+     a lock table instead. *)
+  let table = Lock_table.create ~conflict:scheme.Scheme.conflict () in
+  let txn = Tavcc_txn.Txn.make ~id:1 ~birth:1 in
+  let ctx = { Scheme.txn; acquire = (fun r -> ignore (Lock_table.acquire table r)) } in
+  Exec.perform ~scheme ~store ~ctx (Exec.Call (i2, P.m2, [ Value.Vint 1 ]));
+  Alcotest.(check int) "4 lock requests (2 messages x class+instance)" 4
+    (Lock_table.stats table).Lock_table.requests
+
+let test_rw_msg_escalation () =
+  let an, store, i2, _ = setup () in
+  let scheme = Rw_instance.scheme an in
+  (* m1 is a reader by direct code; its self-sent m2 is a writer: the
+     instance lock escalates R -> W. *)
+  let reqs = lockset scheme store [ Exec.Call (i2, P.m1, [ Value.Vint 1 ]) ] in
+  let inst_modes =
+    List.filter_map
+      (fun r ->
+        match r.Lock_table.r_res with
+        | Resource.Instance _ -> Some r.Lock_table.r_mode
+        | _ -> None)
+      reqs
+  in
+  Alcotest.(check (list int)) "R then W" [ Compat.read; Compat.write ] inst_modes
+
+(* --- rw-top baseline --- *)
+
+let test_rw_top_announces_up_front () =
+  let an, store, i2, _ = setup () in
+  let scheme = Rw_toponly.scheme an in
+  let reqs = lockset scheme store [ Exec.Call (i2, P.m1, [ Value.Vint 1 ]) ] in
+  let inst_modes =
+    List.filter_map
+      (fun r ->
+        match r.Lock_table.r_res with Resource.Instance _ -> Some r.Lock_table.r_mode | _ -> None)
+      reqs
+  in
+  (* TAV of m1 writes: announce W immediately, no escalation. *)
+  Alcotest.(check (list int)) "W up front" [ Compat.write ] inst_modes;
+  Alcotest.(check int) "exactly 2 locks" 2 (List.length reqs)
+
+let test_rw_pseudo_conflict () =
+  (* m2 vs m4: disjoint fields, but both classified writers — they
+     conflict under two-mode locking and commute under TAV modes. *)
+  let an, _, _, _ = setup () in
+  Alcotest.(check bool) "m2 TAV-writer" true (Scheme.writes_transitively an P.c2 P.m2);
+  Alcotest.(check bool) "m4 TAV-writer" true (Scheme.writes_transitively an P.c2 P.m4);
+  Alcotest.(check bool) "but they commute" true (Analysis.commute an P.c2 P.m2 P.m4);
+  Alcotest.(check bool) "m1 reader by direct code" false (Scheme.writes_directly an P.c2 P.m1);
+  Alcotest.(check bool) "m1 writer transitively" true (Scheme.writes_transitively an P.c2 P.m1)
+
+(* --- field locking --- *)
+
+let test_field_runtime_locks () =
+  let an, store, i2, _ = setup () in
+  let scheme = Field_runtime.scheme an in
+  let reqs = lockset scheme store [ Exec.Call (i2, P.m4, [ Value.Vint (-1); Value.Vstring "x" ]) ] in
+  (* meth lock + f5 read + f6 write+read. *)
+  Alcotest.(check (list string)) "method and field locks"
+    (List.sort compare
+       [ "M:c2.m4"; Printf.sprintf "F:%d.f5" (Oid.to_int i2);
+         Printf.sprintf "F:%d.f6" (Oid.to_int i2) ])
+    (List.sort_uniq compare (kinds reqs))
+
+(* --- relational --- *)
+
+let test_fragments_of_tav () =
+  let an, _, _, _ = setup () in
+  let schema = Analysis.schema an in
+  (* m4 touches only c2 fields: one fragment, write. *)
+  Alcotest.(check (list (pair string bool)))
+    "m4 fragments"
+    [ ("c2", true) ]
+    (List.map
+       (fun (c, w) -> (Name.Class.to_string c, w))
+       (Relational.fragments_of_tav schema P.c2 (Analysis.tav an P.c2 P.m4)));
+  (* m1 writes the key f1: both fragments write-locked. *)
+  Alcotest.(check (list (pair string bool)))
+    "m1 fragments (key rule)"
+    [ ("c1", true); ("c2", true) ]
+    (List.map
+       (fun (c, w) -> (Name.Class.to_string c, w))
+       (Relational.fragments_of_tav schema P.c2 (Analysis.tav an P.c2 P.m1)));
+  (* m3 reads c1 fields only. *)
+  Alcotest.(check (list (pair string bool)))
+    "m3 fragments"
+    [ ("c1", false) ]
+    (List.map
+       (fun (c, w) -> (Name.Class.to_string c, w))
+       (Relational.fragments_of_tav schema P.c2 (Analysis.tav an P.c2 P.m3)));
+  (* Key of c2's relational image is f1, owned by c1. *)
+  match Relational.key_field schema P.c2 with
+  | Some (owner, f) ->
+      Alcotest.check class_name "key owner" P.c1 owner;
+      Alcotest.check field_name "key field" P.f1 f
+  | None -> Alcotest.fail "expected a key"
+
+let test_relational_key_cascade_on_c1_instance () =
+  (* A proper c1 instance writing its key locks the (potential) c2
+     fragment too — the foreign-key guard of sec. 5.2. *)
+  let an, store, _, _ = setup () in
+  let i1 = Store.new_instance store P.c1 in
+  let scheme = Relational.scheme an in
+  let reqs = lockset scheme store [ Exec.Call (i1, P.m2, [ Value.Vint 1 ]) ] in
+  Alcotest.(check (list string)) "both relations reached"
+    [ Printf.sprintf "G:c1[%d]" (Oid.to_int i1); Printf.sprintf "G:c2[%d]" (Oid.to_int i1);
+      "R:c1"; "R:c2" ]
+    (List.sort_uniq compare (kinds reqs))
+
+let suite =
+  [
+    case "tav: one class + one instance lock per top send" test_tav_single_call;
+    case "tav: self-sends are free, cross-sends are not" test_tav_self_sends_free;
+    case "tav: intentional/hierarchical class rule" test_tav_class_conflict_rule;
+    case "global mode numbering" test_global_modes;
+    case "rw-msg: every message controls" test_rw_msg_controls_every_message;
+    case "rw-msg: escalation R->W" test_rw_msg_escalation;
+    case "rw-top: most exclusive mode up front" test_rw_top_announces_up_front;
+    case "classification: pseudo-conflict anatomy" test_rw_pseudo_conflict;
+    case "field-rt: method + field locks" test_field_runtime_locks;
+    case "relational: fragments and key rule" test_fragments_of_tav;
+    case "relational: FK guard on c1 instances" test_relational_key_cascade_on_c1_instance;
+  ]

@@ -1,0 +1,92 @@
+(* The object store: instances, slots, extents. *)
+
+open Tavcc_model
+open Helpers
+
+let schema () =
+  schema_of_source
+    {|
+class person is
+  fields
+    age : integer;
+    name : string;
+  method birthday is
+    age := age + 1;
+  end
+end
+
+class employee extends person is
+  fields
+    salary : integer;
+    boss : employee;
+end
+|}
+
+let test_create_defaults () =
+  let st = Store.create (schema ()) in
+  let o = Store.new_instance st (cn "employee") in
+  Alcotest.check value "age default" (Value.Vint 0) (Store.read st o (fn "age"));
+  Alcotest.check value "name default" (Value.Vstring "") (Store.read st o (fn "name"));
+  Alcotest.check value "boss default" Value.Vnull (Store.read st o (fn "boss"));
+  Alcotest.check class_name "class_of" (cn "employee") (Store.class_of st o);
+  Alcotest.(check int) "field count" 4 (Store.field_count st o)
+
+let test_init_and_write () =
+  let st = Store.create (schema ()) in
+  let o = Store.new_instance st (cn "person") ~init:[ (fn "age", Value.Vint 30) ] in
+  Alcotest.check value "init applied" (Value.Vint 30) (Store.read st o (fn "age"));
+  Store.write st o (fn "name") (Value.Vstring "ada");
+  Alcotest.check value "write visible" (Value.Vstring "ada") (Store.read st o (fn "name"))
+
+let test_type_mismatch () =
+  let st = Store.create (schema ()) in
+  let o = Store.new_instance st (cn "person") in
+  (match Store.write st o (fn "age") (Value.Vstring "x") with
+  | exception Store.Type_mismatch _ -> ()
+  | () -> Alcotest.fail "expected Type_mismatch");
+  match Store.new_instance st (cn "person") ~init:[ (fn "age", Value.Vbool true) ] with
+  | exception Store.Type_mismatch _ -> ()
+  | _ -> Alcotest.fail "expected Type_mismatch on init"
+
+let test_unknown_field_and_oid () =
+  let st = Store.create (schema ()) in
+  let o = Store.new_instance st (cn "person") in
+  (match Store.read st o (fn "salary") with
+  | exception Store.Unknown_field _ -> ()
+  | _ -> Alcotest.fail "person has no salary");
+  Store.delete_instance st o;
+  Alcotest.(check bool) "deleted" false (Store.exists st o);
+  match Store.read st o (fn "age") with
+  | exception Store.Unknown_oid _ -> ()
+  | _ -> Alcotest.fail "expected Unknown_oid"
+
+let test_idx_access () =
+  let st = Store.create (schema ()) in
+  let o = Store.new_instance st (cn "employee") in
+  let i = Option.get (Schema.field_index (Store.schema st) (cn "employee") (fn "salary")) in
+  Store.write_idx st o i (Value.Vint 100);
+  Alcotest.check value "by name" (Value.Vint 100) (Store.read st o (fn "salary"));
+  Alcotest.check value "by idx" (Value.Vint 100) (Store.read_idx st o i)
+
+let test_extents () =
+  let st = Store.create (schema ()) in
+  let p1 = Store.new_instance st (cn "person") in
+  let e1 = Store.new_instance st (cn "employee") in
+  let p2 = Store.new_instance st (cn "person") in
+  Alcotest.(check (list oid)) "extent order" [ p1; p2 ] (Store.extent st (cn "person"));
+  Alcotest.(check (list oid)) "employee extent" [ e1 ] (Store.extent st (cn "employee"));
+  Alcotest.(check (list oid))
+    "deep extent" [ p1; p2; e1 ] (Store.deep_extent st (cn "person"));
+  Alcotest.(check int) "count" 3 (Store.instance_count st);
+  Store.delete_instance st p1;
+  Alcotest.(check (list oid)) "extent after delete" [ p2 ] (Store.extent st (cn "person"))
+
+let suite =
+  [
+    case "create with defaults" test_create_defaults;
+    case "init and write" test_init_and_write;
+    case "type mismatch" test_type_mismatch;
+    case "unknown field and oid" test_unknown_field_and_oid;
+    case "index-based access" test_idx_access;
+    case "extents and deep extents" test_extents;
+  ]

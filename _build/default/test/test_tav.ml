@@ -1,0 +1,138 @@
+(* Transitive access vectors (definition 10, sec. 4.3). *)
+
+open Tavcc_model
+open Tavcc_core
+module AV = Access_vector
+module P = Paper_example
+open Helpers
+
+let av l = AV.of_list (List.map (fun (f, m) -> (fn f, m)) l)
+
+let test_paper_tavs () =
+  (* Sec. 4.3 lists every TAV of class c2 explicitly. *)
+  let ex = Extraction.build (P.schema ()) in
+  let tavs = Tav.compute ex P.c2 in
+  let get m = Name.Method.Map.find m tavs in
+  Alcotest.check access_vector "TAV c2.m2"
+    (av [ ("f1", Mode.Write); ("f2", Mode.Read); ("f4", Mode.Write); ("f5", Mode.Read) ])
+    (get P.m2);
+  Alcotest.check access_vector "TAV c2.m3"
+    (av [ ("f2", Mode.Read); ("f3", Mode.Read) ])
+    (get P.m3);
+  Alcotest.check access_vector "TAV c2.m4"
+    (av [ ("f5", Mode.Read); ("f6", Mode.Write) ])
+    (get P.m4);
+  Alcotest.check access_vector "TAV c2.m1"
+    (av
+       [ ("f1", Mode.Write); ("f2", Mode.Read); ("f3", Mode.Read); ("f4", Mode.Write);
+         ("f5", Mode.Read) ])
+    (get P.m1)
+
+let test_sinks_equal_dav () =
+  (* "Transitive access vectors are calculated from the sinks, with the
+     obvious equality between TAV and DAV". *)
+  let ex = Extraction.build (P.schema ()) in
+  let tavs = Tav.compute ex P.c2 in
+  Alcotest.check access_vector "m4 sink" (Extraction.dav ex P.c2 P.m4)
+    (Name.Method.Map.find P.m4 tavs);
+  Alcotest.check access_vector "m3 sink" (Extraction.dav ex P.c2 P.m3)
+    (Name.Method.Map.find P.m3 tavs)
+
+let test_c1_tavs () =
+  let ex = Extraction.build (P.schema ()) in
+  let tavs = Tav.compute ex P.c1 in
+  Alcotest.check access_vector "TAV c1.m1 = join of m2, m3"
+    (av [ ("f1", Mode.Write); ("f2", Mode.Read); ("f3", Mode.Read) ])
+    (Name.Method.Map.find P.m1 tavs)
+
+let test_recursive_cluster () =
+  (* All methods of a recursive cluster share one TAV: the join of all
+     DAVs. *)
+  let schema = Tavcc_sim.Workload.recursive_cluster_schema ~methods:6 in
+  let ex = Extraction.build schema in
+  let cls = cn "cluster" in
+  let tavs = Tav.compute ex cls in
+  let all = Name.Method.Map.bindings tavs in
+  let expected =
+    List.fold_left
+      (fun acc (m, _) -> AV.join acc (Extraction.dav ex cls m))
+      AV.empty all
+  in
+  List.iter
+    (fun (m, tav) ->
+      Alcotest.check access_vector
+        (Format.asprintf "cluster TAV of %a" Name.Method.pp m)
+        expected tav)
+    all
+
+let test_mutual_recursion_equal () =
+  let schema =
+    schema_of_source
+      {|
+class r is
+  fields f : integer; g : integer;
+  method ping is f := 1; send pong to self; end
+  method pong is g := 1; send ping to self; end
+end
+|}
+  in
+  let ex = Extraction.build schema in
+  let tavs = Tav.compute ex (cn "r") in
+  let p = Name.Method.Map.find (mn "ping") tavs in
+  let q = Name.Method.Map.find (mn "pong") tavs in
+  Alcotest.check access_vector "cycle members share TAV" p q;
+  Alcotest.check access_vector "and it is the join"
+    (av [ ("f", Mode.Write); ("g", Mode.Write) ])
+    p
+
+let tav_dominates_dav ex cls =
+  let tavs = Tav.compute ex cls in
+  Name.Method.Map.for_all
+    (fun m tav ->
+      let dav = Extraction.dav ex cls m in
+      List.for_all (fun f -> Mode.leq (AV.get dav f) (AV.get tav f)) (AV.fields dav))
+    tavs
+
+let prop_matches_naive_and_dominates =
+  (* Random schemas: the linear SCC computation equals the quadratic
+     reachability oracle, and TAV >= DAV field-wise. *)
+  QCheck.Test.make ~count:60 ~name:"SCC TAV = naive TAV, and TAV >= DAV"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 10_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let params =
+        {
+          Tavcc_sim.Workload.default_params with
+          sp_depth = 1 + Tavcc_sim.Rng.int rng 3;
+          sp_fanout = 1 + Tavcc_sim.Rng.int rng 2;
+          sp_shared_methods = 2 + Tavcc_sim.Rng.int rng 4;
+          sp_override_prob = 0.7;
+          sp_selfcalls = 2;
+        }
+      in
+      let schema = Tavcc_sim.Workload.make_schema rng params in
+      let ex = Extraction.build schema in
+      List.for_all
+        (fun cls ->
+          let fast = Tav.compute ex cls in
+          let slow = Tav.compute_naive ex cls in
+          Name.Method.Map.equal AV.equal fast slow && tav_dominates_dav ex cls)
+        (Schema.classes schema))
+
+let prop_recursive_matches_naive =
+  QCheck.Test.make ~count:30 ~name:"SCC TAV = naive TAV on recursive clusters"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(2 -- 12)) (fun n ->
+      let schema = Tavcc_sim.Workload.recursive_cluster_schema ~methods:n in
+      let ex = Extraction.build schema in
+      let cls = cn "cluster" in
+      Name.Method.Map.equal AV.equal (Tav.compute ex cls) (Tav.compute_naive ex cls))
+
+let suite =
+  [
+    case "paper TAVs exactly" test_paper_tavs;
+    case "sinks: TAV = DAV" test_sinks_equal_dav;
+    case "class c1 TAVs" test_c1_tavs;
+    case "recursive cluster shares one TAV" test_recursive_cluster;
+    case "mutual recursion" test_mutual_recursion_equal;
+    QCheck_alcotest.to_alcotest prop_matches_naive_and_dominates;
+    QCheck_alcotest.to_alcotest prop_recursive_matches_naive;
+  ]

@@ -1,0 +1,92 @@
+(* The engine's event trace. *)
+
+open Tavcc_model
+module Exec = Tavcc_cc.Exec
+module Engine = Tavcc_sim.Engine
+module Workload = Tavcc_sim.Workload
+open Helpers
+
+let run_chain ?(policy = Engine.Detect) ~txns () =
+  let schema = Workload.chain_schema ~levels:3 in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  let oid = Store.new_instance store (cn "chain") in
+  let jobs =
+    List.init txns (fun i -> (i + 1, [ Exec.Call (oid, mn "m3", [ Value.Vint 1 ]) ]))
+  in
+  let config =
+    { Engine.default_config with seed = 5; yield_on_access = true; policy; trace = true;
+      max_restarts = 1000 }
+  in
+  Engine.run ~config ~scheme:(Tavcc_cc.Rw_instance.scheme an) ~store ~jobs ()
+
+let count pred events = List.length (List.filter pred events)
+
+let test_trace_off_by_default () =
+  let schema = Workload.chain_schema ~levels:1 in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  let oid = Store.new_instance store (cn "chain") in
+  let r =
+    Engine.run ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store
+      ~jobs:[ (1, [ Exec.Call (oid, mn "m1", [ Value.Vint 1 ]) ]) ] ()
+  in
+  Alcotest.(check int) "no events" 0 (List.length r.Engine.events)
+
+let test_trace_structure () =
+  let r = run_chain ~txns:4 () in
+  let ev = r.Engine.events in
+  Alcotest.(check int) "one commit event per transaction" 4
+    (count (function Engine.Ev_commit _ -> true | _ -> false) ev);
+  Alcotest.(check int) "begins cover restarts" (4 + r.Engine.aborts)
+    (count (function Engine.Ev_begin _ -> true | _ -> false) ev);
+  Alcotest.(check int) "abort events match the counter" r.Engine.aborts
+    (count (function Engine.Ev_abort _ -> true | _ -> false) ev);
+  Alcotest.(check int) "deadlock events match the counter" r.Engine.deadlocks
+    (count (function Engine.Ev_deadlock _ -> true | _ -> false) ev);
+  (* Every transaction's last event is its commit. *)
+  List.iter
+    (fun id ->
+      let last =
+        List.fold_left
+          (fun acc e ->
+            match e with
+            | Engine.Ev_commit t when t = id -> Some `Commit
+            | Engine.Ev_begin t when t = id -> Some `Begin
+            | Engine.Ev_abort t when t = id -> Some `Abort
+            | _ -> acc)
+          None ev
+      in
+      Alcotest.(check bool) (Printf.sprintf "t%d ends committed" id) true (last = Some `Commit))
+    [ 1; 2; 3; 4 ]
+
+let test_trace_blocked_resumed_pair () =
+  let r = run_chain ~txns:3 () in
+  let blocked = count (function Engine.Ev_blocked _ -> true | _ -> false) r.Engine.events in
+  Alcotest.(check bool) "some blocking traced" true (blocked > 0);
+  Alcotest.(check int) "blocked events match the waits counter" r.Engine.lock_waits blocked
+
+let test_trace_policy_events () =
+  let r = run_chain ~policy:Engine.Wound_wait ~txns:4 () in
+  Alcotest.(check bool) "wound events present" true
+    (count (function Engine.Ev_wound _ -> true | _ -> false) r.Engine.events > 0);
+  let r = run_chain ~policy:Engine.Wait_die ~txns:4 () in
+  Alcotest.(check bool) "die events present" true
+    (count (function Engine.Ev_died _ -> true | _ -> false) r.Engine.events > 0);
+  (* Wound-wait never emits a deadlock event. *)
+  let r = run_chain ~policy:Engine.Wound_wait ~txns:4 () in
+  Alcotest.(check int) "no cycle under prevention" 0
+    (count (function Engine.Ev_deadlock _ -> true | _ -> false) r.Engine.events)
+
+let test_pp_event () =
+  let s = Format.asprintf "%a" Engine.pp_event (Engine.Ev_deadlock ([ 1; 2 ], 2)) in
+  Alcotest.(check bool) "readable" true (contains s "deadlock {t1,t2}, victim t2")
+
+let suite =
+  [
+    case "tracing is off by default" test_trace_off_by_default;
+    case "trace structure" test_trace_structure;
+    case "blocked events match waits" test_trace_blocked_resumed_pair;
+    case "policy-specific events" test_trace_policy_events;
+    case "event rendering" test_pp_event;
+  ]

@@ -1,0 +1,191 @@
+(* Transactions, undo logging and the serializability oracle. *)
+
+open Tavcc_model
+module Txn = Tavcc_txn.Txn
+module History = Tavcc_txn.History
+open Helpers
+
+let store () =
+  let schema =
+    schema_of_source
+      {|class a is
+          fields f : integer; g : string;
+        end|}
+  in
+  let st = Store.create schema in
+  (st, Store.new_instance st (cn "a") ~init:[ (fn "f", Value.Vint 10) ])
+
+let test_undo_restores () =
+  let st, o = store () in
+  let t = Txn.make ~id:1 ~birth:1 in
+  Txn.log_write t o (fn "f") ~before:(Store.read st o (fn "f"));
+  Store.write st o (fn "f") (Value.Vint 99);
+  Txn.log_write t o (fn "g") ~before:(Store.read st o (fn "g"));
+  Store.write st o (fn "g") (Value.Vstring "dirty");
+  Txn.abort st t;
+  Alcotest.check value "f restored" (Value.Vint 10) (Store.read st o (fn "f"));
+  Alcotest.check value "g restored" (Value.Vstring "") (Store.read st o (fn "g"));
+  Alcotest.(check bool) "aborted" true (t.Txn.state = Txn.Aborted)
+
+let test_undo_backward_order () =
+  (* Two writes to the same field: backward replay restores the first
+     before-image. *)
+  let st, o = store () in
+  let t = Txn.make ~id:1 ~birth:1 in
+  Txn.log_write t o (fn "f") ~before:(Store.read st o (fn "f"));
+  Store.write st o (fn "f") (Value.Vint 20);
+  Txn.log_write t o (fn "f") ~before:(Store.read st o (fn "f"));
+  Store.write st o (fn "f") (Value.Vint 30);
+  Txn.undo_all st t;
+  Alcotest.check value "original value" (Value.Vint 10) (Store.read st o (fn "f"))
+
+let test_undo_skips_deleted () =
+  let st, o = store () in
+  let t = Txn.make ~id:1 ~birth:1 in
+  Txn.log_write t o (fn "f") ~before:(Value.Vint 0);
+  Store.delete_instance st o;
+  Txn.undo_all st t (* must not raise *)
+
+let test_commit_clears () =
+  let st, o = store () in
+  let t = Txn.make ~id:1 ~birth:1 in
+  Txn.log_write t o (fn "f") ~before:(Value.Vint 0);
+  Store.write st o (fn "f") (Value.Vint 77);
+  Txn.commit t;
+  Alcotest.(check bool) "committed" true (t.Txn.state = Txn.Committed);
+  Alcotest.check value "writes kept" (Value.Vint 77) (Store.read st o (fn "f"));
+  check_raises_invalid "double commit" (fun () -> Txn.commit t)
+
+let test_restart () =
+  let st, _ = store () in
+  let t = Txn.make ~id:7 ~birth:3 in
+  Txn.abort st t;
+  let t' = Txn.reset_for_restart t in
+  Alcotest.(check int) "same id" 7 t'.Txn.id;
+  Alcotest.(check int) "same birth" 3 t'.Txn.birth;
+  Alcotest.(check int) "restart counted" 1 t'.Txn.restarts;
+  Alcotest.(check bool) "active again" true (t'.Txn.state = Txn.Active)
+
+(* --- History oracle --- *)
+
+let o1 = Oid.of_int 100
+let f = fn "f"
+let g = fn "g"
+
+let hist ops =
+  let h = History.create () in
+  List.iter (History.record h) ops;
+  h
+
+let test_serial_history () =
+  let h =
+    hist
+      [
+        History.Begin 1; History.Read (1, o1, f); History.Write (1, o1, f); History.Commit 1;
+        History.Begin 2; History.Read (2, o1, f); History.Commit 2;
+      ]
+  in
+  Alcotest.(check bool) "serial is CSR" true (History.conflict_serializable h);
+  Alcotest.(check (list int)) "committed order" [ 1; 2 ] (History.committed h);
+  Alcotest.(check (option (list int))) "serial order" (Some [ 1; 2 ])
+    (History.equivalent_serial_order h)
+
+let test_lost_update_not_csr () =
+  (* r1[f] r2[f] w1[f] w2[f]: the classical lost update. *)
+  let h =
+    hist
+      [
+        History.Begin 1; History.Begin 2;
+        History.Read (1, o1, f); History.Read (2, o1, f);
+        History.Write (1, o1, f); History.Write (2, o1, f);
+        History.Commit 1; History.Commit 2;
+      ]
+  in
+  Alcotest.(check bool) "lost update rejected" false (History.conflict_serializable h)
+
+let test_disjoint_fields_csr () =
+  let h =
+    hist
+      [
+        History.Begin 1; History.Begin 2;
+        History.Write (1, o1, f); History.Write (2, o1, g);
+        History.Write (2, o1, g); History.Write (1, o1, f);
+        History.Commit 1; History.Commit 2;
+      ]
+  in
+  Alcotest.(check bool) "field granularity: disjoint writers serialize" true
+    (History.conflict_serializable h)
+
+let test_uncommitted_ignored () =
+  let h =
+    hist
+      [
+        History.Begin 1; History.Begin 2;
+        History.Read (1, o1, f); History.Read (2, o1, f);
+        History.Write (1, o1, f); History.Write (2, o1, f);
+        History.Commit 1; History.Abort 2;
+      ]
+  in
+  Alcotest.(check bool) "aborted txn's ops ignored" true (History.conflict_serializable h)
+
+let test_restarted_incarnation () =
+  (* Txn 2's first incarnation races with 1, aborts, then reruns cleanly:
+     only the ops after its last Abort count. *)
+  let h =
+    hist
+      [
+        History.Begin 1; History.Begin 2;
+        History.Read (2, o1, f); History.Write (1, o1, f); History.Read (1, o1, f);
+        History.Write (2, o1, f);
+        History.Abort 2; History.Commit 1;
+        History.Begin 2; History.Read (2, o1, f); History.Write (2, o1, f); History.Commit 2;
+      ]
+  in
+  Alcotest.(check bool) "only final incarnation counts" true (History.conflict_serializable h);
+  Alcotest.(check (option (list int))) "order 1 then 2" (Some [ 1; 2 ])
+    (History.equivalent_serial_order h)
+
+let test_write_skew_is_csr_under_this_model () =
+  (* Pure conflict-serializability check: w1[f] w2[f] with no reads gives a
+     single edge 1 -> 2 and stays serializable. *)
+  let h =
+    hist
+      [
+        History.Begin 1; History.Begin 2;
+        History.Write (1, o1, f); History.Write (2, o1, f);
+        History.Commit 2; History.Commit 1;
+      ]
+  in
+  Alcotest.(check bool) "single edge acyclic" true (History.conflict_serializable h);
+  Alcotest.(check (option (list int))) "order follows conflicts, not commits" (Some [ 1; 2 ])
+    (History.equivalent_serial_order h)
+
+let test_three_txn_cycle () =
+  let o2 = Oid.of_int 101 in
+  let o3 = Oid.of_int 102 in
+  let h =
+    hist
+      [
+        History.Begin 1; History.Begin 2; History.Begin 3;
+        History.Write (1, o1, f); History.Write (2, o2, f); History.Write (3, o3, f);
+        History.Write (2, o1, f); History.Write (3, o2, f); History.Write (1, o3, f);
+        History.Commit 1; History.Commit 2; History.Commit 3;
+      ]
+  in
+  Alcotest.(check bool) "3-cycle rejected" false (History.conflict_serializable h)
+
+let suite =
+  [
+    case "undo restores before-images" test_undo_restores;
+    case "undo replays backwards" test_undo_backward_order;
+    case "undo skips deleted instances" test_undo_skips_deleted;
+    case "commit keeps writes and clears undo" test_commit_clears;
+    case "restart keeps identity" test_restart;
+    case "serial history is CSR" test_serial_history;
+    case "lost update is not CSR" test_lost_update_not_csr;
+    case "disjoint fields serialize" test_disjoint_fields_csr;
+    case "aborted transactions ignored" test_uncommitted_ignored;
+    case "restarted incarnations ignored" test_restarted_incarnation;
+    case "blind writes order by conflicts" test_write_skew_is_csr_under_this_model;
+    case "three-transaction cycle rejected" test_three_txn_cycle;
+  ]

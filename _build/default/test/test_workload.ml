@@ -1,0 +1,140 @@
+(* Workload generators: validity, determinism, termination. *)
+
+open Tavcc_model
+open Tavcc_lang
+module Workload = Tavcc_sim.Workload
+module Rng = Tavcc_sim.Rng
+open Helpers
+
+let test_rng_determinism () =
+  let a = Rng.create 99 in
+  let b = Rng.create 99 in
+  let sa = List.init 20 (fun _ -> Rng.int a 1000) in
+  let sb = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" sa sb;
+  let c = Rng.copy a in
+  Alcotest.(check int) "copy forks the state" (Rng.int a 1000) (Rng.int c 1000)
+
+let test_rng_ranges () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v;
+    let f = Rng.float r 2.0 in
+    if f < 0.0 || f >= 2.0 then Alcotest.failf "float out of range: %f" f
+  done;
+  (match Rng.int r 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  match Rng.pick r [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on empty pick"
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let l = List.init 10 Fun.id in
+  let s = Rng.shuffle r l in
+  Alcotest.(check (list int)) "same elements" l (List.sort compare s)
+
+let test_generated_schema_checks () =
+  let rng = Rng.create 11 in
+  let schema = Workload.make_schema rng Workload.default_params in
+  match Check.check schema with
+  | Ok () -> ()
+  | Error errs ->
+      Alcotest.failf "generated schema has diagnostics: %a"
+        (Format.pp_print_list Check.pp_error)
+        errs
+
+let test_generated_schema_shape () =
+  let rng = Rng.create 11 in
+  let p = { Workload.default_params with sp_depth = 3; sp_fanout = 2 } in
+  let schema = Workload.make_schema rng p in
+  (* depth 3, fanout 2: 1 + 2 + 4 = 7 classes. *)
+  Alcotest.(check int) "class count" 7 (Schema.class_count schema);
+  (* Every class understands every shared method. *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun j ->
+          let m = Name.Method.of_string (Printf.sprintf "g%d" j) in
+          Alcotest.(check bool)
+            (Format.asprintf "%a understands g%d" Name.Class.pp c j)
+            true
+            (Schema.resolve schema c m <> None))
+        [ 0; 1; 2; 3 ])
+    (Schema.classes schema)
+
+let test_generated_methods_terminate () =
+  (* Run every method of every class on a fresh instance: the index
+     discipline guarantees termination well within the fuel. *)
+  let rng = Rng.create 23 in
+  let schema = Workload.make_schema rng Workload.default_params in
+  let store = Store.create schema in
+  List.iter
+    (fun c ->
+      let o = Store.new_instance store c in
+      List.iter
+        (fun m -> ignore (Interp.call ~max_steps:100_000 store o m [ Value.Vint 1 ]))
+        (Schema.methods schema c))
+    (Schema.classes schema)
+
+let test_chain_schema () =
+  let schema = Workload.chain_schema ~levels:5 in
+  let an = Tavcc_core.Analysis.compile schema in
+  let cls = cn "chain" in
+  (* The TAV of the top method reaches the bottom writer. *)
+  let tav = Tavcc_core.Analysis.tav an cls (mn "m5") in
+  Alcotest.check mode "m5 writes acc transitively" Tavcc_core.Mode.Write
+    (Tavcc_core.Access_vector.get tav (fn "acc"));
+  let dav = Tavcc_core.Analysis.dav an cls (mn "m5") in
+  Alcotest.check mode "m5 reads acc directly" Tavcc_core.Mode.Read
+    (Tavcc_core.Access_vector.get dav (fn "acc"))
+
+let test_wide_schema () =
+  let schema = Workload.wide_schema ~fields:10 ~touched:4 in
+  let an = Tavcc_core.Analysis.compile schema in
+  let tav = Tavcc_core.Analysis.tav an (cn "wide") (mn "touch") in
+  Alcotest.(check int) "touch writes 4 fields" 4
+    (List.length (Tavcc_core.Access_vector.write_fields tav));
+  Alcotest.(check bool) "touch and probe commute (disjoint)" true
+    (Tavcc_core.Analysis.commute an (cn "wide") (mn "touch") (mn "probe"))
+
+let test_pseudo_conflict_schema () =
+  let schema = Workload.pseudo_conflict_schema () in
+  let an = Tavcc_core.Analysis.compile schema in
+  Alcotest.(check bool) "wbase/wsub commute" true
+    (Tavcc_core.Analysis.commute an (cn "sub") (mn "wbase") (mn "wsub"));
+  Alcotest.(check bool) "wbase conflicts with itself" false
+    (Tavcc_core.Analysis.commute an (cn "sub") (mn "wbase") (mn "wbase"))
+
+let test_populate_and_jobs () =
+  let rng = Rng.create 3 in
+  let schema = Workload.make_schema rng Workload.default_params in
+  let store = Store.create schema in
+  Workload.populate store ~per_class:5;
+  Alcotest.(check int) "5 per class" (5 * Schema.class_count schema) (Store.instance_count store);
+  let jobs =
+    Workload.random_jobs rng store ~txns:7 ~actions_per_txn:4 ~extent_prob:0.3 ~hot_instances:3
+      ~hot_prob:0.8
+  in
+  Alcotest.(check int) "7 transactions" 7 (List.length jobs);
+  List.iteri
+    (fun i (id, actions) ->
+      Alcotest.(check int) "ids from 1" (i + 1) id;
+      Alcotest.(check int) "4 actions" 4 (List.length actions))
+    jobs
+
+let suite =
+  [
+    case "rng: determinism" test_rng_determinism;
+    case "rng: ranges and errors" test_rng_ranges;
+    case "rng: shuffle permutes" test_rng_shuffle_permutes;
+    case "generated schemas pass the checker" test_generated_schema_checks;
+    case "generated schema shape" test_generated_schema_shape;
+    case "generated methods terminate" test_generated_methods_terminate;
+    case "chain schema analysis" test_chain_schema;
+    case "wide schema analysis" test_wide_schema;
+    case "pseudo-conflict schema analysis" test_pseudo_conflict_schema;
+    case "populate and job generation" test_populate_and_jobs;
+  ]
