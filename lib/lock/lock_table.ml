@@ -22,13 +22,24 @@ type stats = {
   mutable conversions : int;
 }
 
-type entry = { mutable granted : req list; mutable queue : req list }
+(* A queued request remembers whether it is a conversion: conversions live
+   in a FIFO prefix of the queue, ahead of every non-conversion. *)
+type wait = { w_req : req; w_conv : bool }
+
+type entry = { mutable granted : req list; mutable queue : wait list }
 (* [granted] and [queue] are oldest-first. *)
 
 type t = {
   conflict : req -> req -> bool;
   table : entry Resource.Tbl.t;
   held_by : (txn_id, Resource.Set.t) Hashtbl.t;
+  queued_on : (txn_id, Resource.t list) Hashtbl.t;
+      (* reverse index of queued requests: the resources each transaction is
+         queued on, oldest-first, one element per queued request *)
+  wf : (txn_id, (txn_id, int ref) Hashtbl.t) Hashtbl.t;
+      (* the waits-for graph, maintained incrementally: wf[a][b] counts the
+         (waiting request, blocking request) pairs that put a behind b, so
+         edges disappear exactly when their last contribution does *)
   stats : stats;
 }
 
@@ -37,6 +48,8 @@ let create ~conflict () =
     conflict;
     table = Resource.Tbl.create 256;
     held_by = Hashtbl.create 64;
+    queued_on = Hashtbl.create 64;
+    wf = Hashtbl.create 64;
     stats = { requests = 0; immediate = 0; waits = 0; conversions = 0 };
   }
 
@@ -52,6 +65,88 @@ let remember_held t txn res =
   let s = Option.value ~default:Resource.Set.empty (Hashtbl.find_opt t.held_by txn) in
   Hashtbl.replace t.held_by txn (Resource.Set.add res s)
 
+let note_queued t txn res =
+  let l = Option.value ~default:[] (Hashtbl.find_opt t.queued_on txn) in
+  Hashtbl.replace t.queued_on txn (l @ [ res ])
+
+let note_unqueued t txn res =
+  match Hashtbl.find_opt t.queued_on txn with
+  | None -> ()
+  | Some l ->
+      let rec drop = function
+        | [] -> []
+        | r :: tl -> if Resource.equal r res then tl else r :: drop tl
+      in
+      (match drop l with
+      | [] -> Hashtbl.remove t.queued_on txn
+      | l' -> Hashtbl.replace t.queued_on txn l')
+
+(* ------------------------------------------------------------------ *)
+(* Waits-for graph maintenance *)
+
+let add_edge t a b =
+  if a <> b then begin
+    let succs =
+      match Hashtbl.find_opt t.wf a with
+      | Some s -> s
+      | None ->
+          let s = Hashtbl.create 4 in
+          Hashtbl.replace t.wf a s;
+          s
+    in
+    match Hashtbl.find_opt succs b with
+    | Some n -> incr n
+    | None -> Hashtbl.replace succs b (ref 1)
+  end
+
+let remove_edge t a b =
+  if a <> b then
+    match Hashtbl.find_opt t.wf a with
+    | None -> ()
+    | Some succs -> (
+        match Hashtbl.find_opt succs b with
+        | None -> ()
+        | Some n ->
+            decr n;
+            if !n <= 0 then begin
+              Hashtbl.remove succs b;
+              if Hashtbl.length succs = 0 then Hashtbl.remove t.wf a
+            end)
+
+(* The edge contributions of one entry, with multiplicity: a waiting
+   request waits for every conflicting granted request and every
+   conflicting request queued ahead of it. *)
+let entry_edges t e =
+  let acc = ref [] in
+  let rec go ahead = function
+    | [] -> ()
+    | w :: rest ->
+        List.iter
+          (fun h ->
+            if h.r_txn <> w.w_req.r_txn && t.conflict h w.w_req then
+              acc := (w.w_req.r_txn, h.r_txn) :: !acc)
+          e.granted;
+        List.iter
+          (fun a ->
+            if a.w_req.r_txn <> w.w_req.r_txn && t.conflict a.w_req w.w_req then
+              acc := (w.w_req.r_txn, a.w_req.r_txn) :: !acc)
+          ahead;
+        go (w :: ahead) rest
+  in
+  go [] e.queue;
+  !acc
+
+(* Wraps a mutation of [e]: recomputes the entry's edge contributions and
+   applies the difference to the maintained graph.  Used on the cold paths
+   (release/abort); the acquire paths below update edges directly. *)
+let with_edge_diff t e f =
+  let before = entry_edges t e in
+  let r = f () in
+  let after = entry_edges t e in
+  List.iter (fun (a, b) -> add_edge t a b) after;
+  List.iter (fun (a, b) -> remove_edge t a b) before;
+  r
+
 let same_req a b =
   a.r_txn = b.r_txn && Resource.equal a.r_res b.r_res && a.r_mode = b.r_mode
   && Bool.equal a.r_hier b.r_hier
@@ -61,29 +156,81 @@ let same_req a b =
 let blocked_by_holders t e req =
   List.exists (fun h -> h.r_txn <> req.r_txn && t.conflict h req) e.granted
 
+(* Appends a non-conversion wait: edges run from the new request to every
+   conflicting holder and every conflicting queued request (all ahead). *)
+let enqueue_last t e req =
+  List.iter
+    (fun h -> if h.r_txn <> req.r_txn && t.conflict h req then add_edge t req.r_txn h.r_txn)
+    e.granted;
+  List.iter
+    (fun a ->
+      if a.w_req.r_txn <> req.r_txn && t.conflict a.w_req req then
+        add_edge t req.r_txn a.w_req.r_txn)
+    e.queue;
+  e.queue <- e.queue @ [ { w_req = req; w_conv = false } ];
+  note_queued t req.r_txn req.r_res
+
+(* Inserts a conversion wait after the last queued conversion (conversions
+   stay ahead of non-conversions but FIFO among themselves).  Waiters
+   behind the insertion point gain an edge to the converter. *)
+let enqueue_conversion t e req =
+  let rec split pre = function
+    | x :: tl when x.w_conv -> split (x :: pre) tl
+    | post -> (List.rev pre, post)
+  in
+  let pre, post = split [] e.queue in
+  List.iter
+    (fun h -> if h.r_txn <> req.r_txn && t.conflict h req then add_edge t req.r_txn h.r_txn)
+    e.granted;
+  List.iter
+    (fun a ->
+      if a.w_req.r_txn <> req.r_txn && t.conflict a.w_req req then
+        add_edge t req.r_txn a.w_req.r_txn)
+    pre;
+  List.iter
+    (fun b ->
+      if b.w_req.r_txn <> req.r_txn && t.conflict req b.w_req then
+        add_edge t b.w_req.r_txn req.r_txn)
+    post;
+  e.queue <- pre @ ({ w_req = req; w_conv = true } :: post);
+  note_queued t req.r_txn req.r_res
+
+(* A conversion granted while others are queued: every conflicting waiter
+   now also waits for the converter. *)
+let grant_conversion t e req =
+  List.iter
+    (fun w ->
+      if w.w_req.r_txn <> req.r_txn && t.conflict req w.w_req then
+        add_edge t w.w_req.r_txn req.r_txn)
+    e.queue;
+  e.granted <- e.granted @ [ req ];
+  remember_held t req.r_txn req.r_res
+
 let acquire t req =
   t.stats.requests <- t.stats.requests + 1;
   let e = entry t req.r_res in
-  let already = List.exists (same_req req) e.granted in
-  if already then begin
+  if List.exists (same_req req) e.granted then begin
     t.stats.immediate <- t.stats.immediate + 1;
     Granted
   end
+  else if List.exists (fun w -> same_req w.w_req req) e.queue then
+    (* Already queued: re-acquiring must not enqueue a second copy, and is
+       neither a new wait nor an immediate grant. *)
+    Waiting
   else begin
     let holds_some = List.exists (fun h -> h.r_txn = req.r_txn) e.granted in
     if holds_some then begin
-      (* Conversion: checked against the other holders only; waits at the
-         head of the queue on conflict. *)
+      (* Conversion: checked against the other holders only; waits in the
+         conversion prefix of the queue on conflict. *)
       t.stats.conversions <- t.stats.conversions + 1;
       if blocked_by_holders t e req then begin
         t.stats.waits <- t.stats.waits + 1;
-        e.queue <- req :: e.queue;
+        enqueue_conversion t e req;
         Waiting
       end
       else begin
         t.stats.immediate <- t.stats.immediate + 1;
-        e.granted <- e.granted @ [ req ];
-        remember_held t req.r_txn req.r_res;
+        grant_conversion t e req;
         Granted
       end
     end
@@ -95,24 +242,26 @@ let acquire t req =
     end
     else begin
       t.stats.waits <- t.stats.waits + 1;
-      e.queue <- e.queue @ [ req ];
+      enqueue_last t e req;
       Waiting
     end
   end
 
 (* Greedily grants from the head of the queue; stops at the first blocked
-   request (strict FIFO). *)
+   request (strict FIFO).  Edge bookkeeping is the caller's (release_all
+   wraps the whole entry mutation in [with_edge_diff]). *)
 let drain t res e acc =
   let rec go acc =
     match e.queue with
     | [] -> acc
-    | req :: rest ->
-        if blocked_by_holders t e req then acc
+    | w :: rest ->
+        if blocked_by_holders t e w.w_req then acc
         else begin
           e.queue <- rest;
-          e.granted <- e.granted @ [ req ];
-          remember_held t req.r_txn res;
-          go (req :: acc)
+          e.granted <- e.granted @ [ w.w_req ];
+          remember_held t w.w_req.r_txn res;
+          note_unqueued t w.w_req.r_txn res;
+          go (w.w_req :: acc)
         end
   in
   go acc
@@ -121,31 +270,35 @@ let release_all t txn =
   (* Resources where the transaction holds locks... *)
   let held = Option.value ~default:Resource.Set.empty (Hashtbl.find_opt t.held_by txn) in
   Hashtbl.remove t.held_by txn;
-  (* ...plus the one it may be queued on. *)
-  let queued_on = ref Resource.Set.empty in
-  Resource.Tbl.iter
-    (fun res e -> if List.exists (fun r -> r.r_txn = txn) e.queue then queued_on := Resource.Set.add res !queued_on)
-    t.table;
-  let affected = Resource.Set.union held !queued_on in
+  (* ...plus the ones it is queued on, from the reverse index (no table
+     scan). *)
+  let queued_on = Option.value ~default:[] (Hashtbl.find_opt t.queued_on txn) in
+  Hashtbl.remove t.queued_on txn;
+  let affected = List.fold_left (fun s res -> Resource.Set.add res s) held queued_on in
   let newly =
     Resource.Set.fold
       (fun res acc ->
         match Resource.Tbl.find_opt t.table res with
         | None -> acc
         | Some e ->
-            e.granted <- List.filter (fun r -> r.r_txn <> txn) e.granted;
-            e.queue <- List.filter (fun r -> r.r_txn <> txn) e.queue;
-            if e.granted = [] && e.queue = [] then begin
-              Resource.Tbl.remove t.table res;
-              acc
-            end
-            else drain t res e acc)
+            with_edge_diff t e (fun () ->
+                e.granted <- List.filter (fun r -> r.r_txn <> txn) e.granted;
+                e.queue <- List.filter (fun w -> w.w_req.r_txn <> txn) e.queue;
+                if e.granted = [] && e.queue = [] then begin
+                  Resource.Tbl.remove t.table res;
+                  acc
+                end
+                else drain t res e acc))
       affected []
   in
   List.rev newly
 
 let holders t res = match Resource.Tbl.find_opt t.table res with Some e -> e.granted | None -> []
-let queued t res = match Resource.Tbl.find_opt t.table res with Some e -> e.queue | None -> []
+
+let queued t res =
+  match Resource.Tbl.find_opt t.table res with
+  | Some e -> List.map (fun w -> w.w_req) e.queue
+  | None -> []
 
 let holds t txn res =
   List.filter_map
@@ -159,16 +312,20 @@ let locks_of t txn =
     held []
 
 let waiting_for t txn =
-  let found = ref None in
-  Resource.Tbl.iter
-    (fun _ e ->
-      List.iter (fun r -> if r.r_txn = txn && !found = None then found := Some r) e.queue)
-    t.table;
-  !found
+  (* The oldest queued request, through the reverse index: deterministic
+     and O(1) in the table size. *)
+  match Hashtbl.find_opt t.queued_on txn with
+  | None | Some [] -> None
+  | Some (res :: _) -> (
+      match Resource.Tbl.find_opt t.table res with
+      | None -> None
+      | Some e ->
+          List.find_map (fun w -> if w.w_req.r_txn = txn then Some w.w_req else None) e.queue)
 
 let conflicting_holders t req =
-  let e = entry t req.r_res in
-  List.filter (fun h -> h.r_txn <> req.r_txn && t.conflict h req) e.granted
+  match Resource.Tbl.find_opt t.table req.r_res with
+  | None -> []
+  | Some e -> List.filter (fun h -> h.r_txn <> req.r_txn && t.conflict h req) e.granted
 
 let blockers t req =
   match Resource.Tbl.find_opt t.table req.r_res with
@@ -179,40 +336,45 @@ let blockers t req =
       in
       let rec ahead acc = function
         | [] -> List.rev acc
-        | q :: _ when q.r_txn = req.r_txn && same_req q req -> List.rev acc
+        | q :: _ when q.w_req.r_txn = req.r_txn && same_req q.w_req req -> List.rev acc
         | q :: tl ->
-            ahead (if q.r_txn <> req.r_txn && t.conflict q req then q :: acc else acc) tl
+            ahead
+              (if q.w_req.r_txn <> req.r_txn && t.conflict q.w_req req then q.w_req :: acc
+               else acc)
+              tl
       in
       held @ ahead [] e.queue
 
-(* Edges of the waits-for graph.  A queued request waits for:
-   - every conflicting holder of the resource, and
-   - every conflicting request queued ahead of it (FIFO: they are granted
-     first). *)
+(* ------------------------------------------------------------------ *)
+(* The waits-for graph: maintained view and reference rebuild *)
+
 let waits_for_edges t =
+  Hashtbl.fold
+    (fun a succs acc ->
+      Hashtbl.fold (fun b n acc -> if !n > 0 then (a, b) :: acc else acc) succs acc)
+    t.wf []
+  |> List.sort compare
+
+(* Reference implementation: rebuilds the edge list by scanning the whole
+   table, as the pre-incremental manager did.  Kept for differential
+   testing and as the bench baseline. *)
+let waits_for_edges_rebuild t =
   let edges = ref [] in
   let add a b = if a <> b && not (List.mem (a, b) !edges) then edges := (a, b) :: !edges in
   Resource.Tbl.iter
-    (fun _ e ->
-      List.iteri
-        (fun i req ->
-          List.iter
-            (fun h -> if h.r_txn <> req.r_txn && t.conflict h req then add req.r_txn h.r_txn)
-            e.granted;
-          List.iteri
-            (fun j ahead ->
-              if j < i && ahead.r_txn <> req.r_txn && t.conflict ahead req then
-                add req.r_txn ahead.r_txn)
-            e.queue)
-        e.queue)
+    (fun _ e -> List.iter (fun (a, b) -> add a b) (entry_edges t e))
     t.table;
   !edges
 
-let find_deadlock t =
-  let edges = waits_for_edges t in
-  let succs v = List.filter_map (fun (a, b) -> if a = v then Some b else None) edges in
-  let nodes = List.sort_uniq Int.compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
-  (* DFS with an explicit path to recover the cycle. *)
+let succs_of t v =
+  match Hashtbl.find_opt t.wf v with
+  | None -> []
+  | Some s ->
+      Hashtbl.fold (fun b n acc -> if !n > 0 then b :: acc else acc) s []
+      |> List.sort Int.compare
+
+(* DFS with an explicit path to recover the cycle. *)
+let dfs_cycle succs start =
   let visited = Hashtbl.create 16 in
   let rec dfs path v =
     if List.mem v path then
@@ -227,7 +389,20 @@ let find_deadlock t =
       List.find_map (dfs (v :: path)) (succs v)
     end
   in
-  List.find_map (fun v -> Hashtbl.reset visited; dfs [] v) nodes
+  dfs [] start
+
+let find_deadlock ?from t =
+  match from with
+  | Some v -> dfs_cycle (succs_of t) v
+  | None ->
+      let nodes = Hashtbl.fold (fun k _ acc -> k :: acc) t.wf [] |> List.sort Int.compare in
+      List.find_map (dfs_cycle (succs_of t)) nodes
+
+let find_deadlock_rebuild t =
+  let edges = waits_for_edges_rebuild t in
+  let succs v = List.filter_map (fun (a, b) -> if a = v then Some b else None) edges in
+  let nodes = List.sort_uniq Int.compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+  List.find_map (dfs_cycle succs) nodes
 
 let stats t = t.stats
 

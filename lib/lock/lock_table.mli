@@ -11,13 +11,23 @@
       when no one is queued before it (strict FIFO prevents starvation);
     - a transaction already holding the resource and asking for a further
       mode is a {e conversion}: it is checked against the {e other}
-      holders only, and on conflict waits at the {e head} of the queue —
-      the classical upgrade path whose read→write instance is the lock
-      escalation the paper blames for most deadlocks;
+      holders only, and on conflict waits in a {e conversion prefix} of
+      the queue — ahead of every plain waiter but FIFO among concurrent
+      conversions — the classical upgrade path whose read→write instance
+      is the lock escalation the paper blames for most deadlocks;
     - {!release_all} releases everything a transaction holds (strict 2PL
       releases only at commit/abort) and drains every affected queue in
       FIFO order, returning the newly granted requests so the caller can
-      wake the corresponding transactions. *)
+      wake the corresponding transactions.
+
+    The waits-for graph is maintained {e incrementally}: blocking a
+    request adds its edges, granting and releasing remove them, and the
+    adjacency lives in per-node hash tables with per-pair contribution
+    counts.  {!find_deadlock} is therefore a plain DFS over the maintained
+    graph — no rebuild per call — and can start from just the newly
+    blocked transaction.  A per-transaction reverse index of queued
+    requests makes {!release_all} and {!waiting_for} independent of the
+    table size. *)
 
 type txn_id = int
 
@@ -53,7 +63,9 @@ val create : conflict:(req -> req -> bool) -> unit -> t
 
 val acquire : t -> req -> outcome
 (** Requesting a (mode, hier) pair already held is idempotent and counts as
-    an immediate grant. *)
+    an immediate grant.  Re-acquiring a request that is already queued does
+    not enqueue a second copy: it returns [Waiting] and counts as neither a
+    new wait nor an immediate grant. *)
 
 val release_all : t -> txn_id -> req list
 (** Releases every lock held and every wait queued by the transaction, and
@@ -86,10 +98,26 @@ val blockers : t -> req -> req list
 
 val waits_for_edges : t -> (txn_id * txn_id) list
 (** The waits-for graph: an edge [(a, b)] when [a] is queued behind a
-    conflicting request granted to (or queued ahead by) [b].  Deduplicated. *)
+    conflicting request granted to (or queued ahead by) [b].  Read from the
+    incrementally maintained adjacency; deduplicated and sorted. *)
 
-val find_deadlock : t -> txn_id list option
-(** A cycle of the waits-for graph, if any. *)
+val waits_for_edges_rebuild : t -> (txn_id * txn_id) list
+(** Reference implementation of {!waits_for_edges}: rebuilds the edge list
+    by scanning the whole table, as the pre-incremental manager did on
+    every blocked request.  Kept for differential testing and as the
+    [locking/detect] bench baseline; agrees with {!waits_for_edges} up to
+    order. *)
+
+val find_deadlock : ?from:txn_id -> t -> txn_id list option
+(** A cycle of the maintained waits-for graph, if any.  With [~from], the
+    DFS starts only at that node — sufficient after blocking [from], since
+    every edge added by the block is incident to it, so any new cycle runs
+    through it.  Callers resolving deadlocks should re-run [~from] search
+    after aborting a victim: one block can close several cycles. *)
+
+val find_deadlock_rebuild : t -> txn_id list option
+(** Reference implementation of {!find_deadlock}: full rebuild of the edge
+    list followed by DFS from every node (the pre-incremental behaviour). *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -145,15 +145,26 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
     | Lock_table.Waiting ->
         emit (Ev_blocked (t.id, req));
         (match config.policy with
-        | Detect -> (
-            match Lock_table.find_deadlock locks with
-            | Some cycle ->
-                incr deadlocks;
-                (* Victim: the youngest transaction of the cycle. *)
-                let victim = List.fold_left max min_int cycle in
-                emit (Ev_deadlock (cycle, victim));
-                if victim = t.id then raise Deadlock_abort else abort_victim victim
-            | None -> ())
+        | Detect ->
+            (* Every edge added by this block is incident to [t], so any new
+               cycle runs through it: search from [t] only, over the
+               incrementally maintained graph.  One block can close several
+               cycles, so keep resolving until none is left. *)
+            let rec resolve () =
+              match Lock_table.find_deadlock ~from:t.id locks with
+              | Some cycle ->
+                  incr deadlocks;
+                  (* Victim: the youngest transaction of the cycle. *)
+                  let victim = List.fold_left max min_int cycle in
+                  emit (Ev_deadlock (cycle, victim));
+                  if victim = t.id then raise Deadlock_abort
+                  else begin
+                    abort_victim victim;
+                    resolve ()
+                  end
+              | None -> ()
+            in
+            resolve ()
         | Wound_wait ->
             (* Wound every younger transaction in the way; wait for the
                older ones. *)

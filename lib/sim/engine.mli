@@ -8,10 +8,12 @@
     access, which is what the serializability property tests need.
 
     Deadlocks are detected on every blocking request by cycle search in
-    the waits-for graph; the youngest transaction of the cycle is aborted
-    (undo log replayed, locks released) and restarted from scratch, as the
-    protocols of the paper assume.  Everything is driven by a seed:
-    replays are bit-for-bit identical. *)
+    the incrementally maintained waits-for graph, starting from the newly
+    blocked transaction only (every new edge is incident to it); the
+    youngest transaction of the cycle is aborted (undo log replayed, locks
+    released) and restarted from scratch, as the protocols of the paper
+    assume.  Everything is driven by a seed: replays are bit-for-bit
+    identical. *)
 
 open Tavcc_lang
 open Tavcc_cc

@@ -140,9 +140,66 @@ let prop_incremental_total_on_mi =
                     (Schema.methods (Analysis.schema inc) c))
                 (Schema.classes (Analysis.schema inc))))
 
+(* Fuzzing the lock manager under a rich conflict predicate — the Gray
+   granularity matrix refined by range predicates, over class and instance
+   resources — and cross-checking the incrementally maintained waits-for
+   graph against the rebuilt-from-scratch reference after every
+   operation. *)
+let prop_lock_table_incremental_vs_rebuild =
+  let open Tavcc_lock in
+  QCheck.Test.make ~count:150 ~name:"lock table: incremental graph equals rebuild under gray+pred"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let conflict (held : Lock_table.req) (req : Lock_table.req) =
+        (not (Compat.compatible Compat.gray held.Lock_table.r_mode req.Lock_table.r_mode))
+        && Pred.overlaps held.Lock_table.r_pred req.Lock_table.r_pred
+      in
+      let t = Lock_table.create ~conflict () in
+      let random_res () =
+        if Tavcc_sim.Rng.bool rng then
+          Resource.Class (cn (Printf.sprintf "c%d" (Tavcc_sim.Rng.int rng 3)))
+        else Resource.Instance (Oid.of_int (Tavcc_sim.Rng.int rng 3))
+      in
+      let random_pred () =
+        if Tavcc_sim.Rng.chance rng 0.3 then
+          let lo = Tavcc_sim.Rng.int rng 10 in
+          Some (Pred.make ~lo ~hi:(lo + Tavcc_sim.Rng.int rng 10) (fn "k"))
+        else None
+      in
+      let ok = ref true in
+      let check () =
+        let inc = List.sort_uniq compare (Lock_table.waits_for_edges t) in
+        let reb = List.sort_uniq compare (Lock_table.waits_for_edges_rebuild t) in
+        if inc <> reb then ok := false;
+        if
+          Lock_table.find_deadlock t <> None
+          <> (Lock_table.find_deadlock_rebuild t <> None)
+        then ok := false
+      in
+      for _ = 1 to 100 do
+        let txn = 1 + Tavcc_sim.Rng.int rng 6 in
+        (match Tavcc_sim.Rng.int rng 5 with
+        | 0 | 1 | 2 ->
+            let r =
+              { Lock_table.r_txn = txn; r_res = random_res ();
+                r_mode = Tavcc_sim.Rng.int rng 5;
+                r_hier = Tavcc_sim.Rng.bool rng; r_pred = random_pred () }
+            in
+            ignore (Lock_table.acquire t r)
+        | 3 -> (
+            (* duplicate re-acquire of a queued request *)
+            match Lock_table.waiting_for t txn with
+            | Some r -> ignore (Lock_table.acquire t r)
+            | None -> ())
+        | _ -> ignore (Lock_table.release_all t txn));
+        check ()
+      done;
+      !ok)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_analysis_total;
     QCheck_alcotest.to_alcotest prop_root_methods_missing_ok;
     QCheck_alcotest.to_alcotest prop_incremental_total_on_mi;
+    QCheck_alcotest.to_alcotest prop_lock_table_incremental_vs_rebuild;
   ]

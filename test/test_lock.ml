@@ -108,10 +108,94 @@ let test_escalation_deadlock_detected () =
   ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
   Alcotest.(check (option (list int))) "no deadlock yet" None (Lock_table.find_deadlock t);
   ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.write));
-  match Lock_table.find_deadlock t with
+  (match Lock_table.find_deadlock t with
   | Some cycle ->
       Alcotest.(check (list int)) "cycle {1,2}" [ 1; 2 ] (List.sort compare cycle)
-  | None -> Alcotest.fail "expected an escalation deadlock"
+  | None -> Alcotest.fail "expected an escalation deadlock");
+  (* The incremental search from the newly blocked transaction sees it
+     too, and conversions queue FIFO among themselves. *)
+  (match Lock_table.find_deadlock ~from:2 t with
+  | Some cycle ->
+      Alcotest.(check (list int)) "cycle from blocked node" [ 1; 2 ] (List.sort compare cycle)
+  | None -> Alcotest.fail "expected the cycle from the blocked node");
+  Alcotest.(check (list int)) "conversions FIFO among themselves" [ 1; 2 ]
+    (List.map (fun r -> r.Lock_table.r_txn) (Lock_table.queued t (res_i 0)))
+
+let test_no_double_enqueue () =
+  (* Re-acquiring a request that is already queued must not enqueue a
+     second copy, and counts as neither a wait nor an immediate grant. *)
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  Alcotest.check outcome "first acquire waits" Lock_table.Waiting
+    (Lock_table.acquire t (req 2 (res_i 0) Compat.read));
+  Alcotest.check outcome "re-acquire still waits" Lock_table.Waiting
+    (Lock_table.acquire t (req 2 (res_i 0) Compat.read));
+  Alcotest.(check int) "queued once" 1 (List.length (Lock_table.queued t (res_i 0)));
+  let s = Lock_table.stats t in
+  Alcotest.(check int) "requests counted" 3 s.Lock_table.requests;
+  Alcotest.(check int) "one wait only" 1 s.Lock_table.waits;
+  Alcotest.(check int) "one immediate only" 1 s.Lock_table.immediate;
+  (* After the drain the request is granted exactly once. *)
+  let newly = Lock_table.release_all t 1 in
+  Alcotest.(check (list int)) "granted once" [ 2 ]
+    (List.map (fun r -> r.Lock_table.r_txn) newly);
+  Alcotest.(check int) "held once" 1 (List.length (Lock_table.holders t (res_i 0)))
+
+let test_conversion_fifo_order () =
+  (* Three readers; two of them upgrade.  The second conversion must queue
+     behind the first (FIFO among conversions), yet both stay ahead of a
+     later plain writer. *)
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 3 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 4 (res_i 0) Compat.write));
+  Alcotest.(check (list int)) "conversion prefix FIFO, plain writer last" [ 1; 2; 4 ]
+    (List.map (fun r -> r.Lock_table.r_txn) (Lock_table.queued t (res_i 0)));
+  (* Releasing the non-upgrading reader leaves the two-conversion
+     deadlock, detected from either blocked node. *)
+  Alcotest.(check (list int)) "no grant yet" []
+    (List.map (fun r -> r.Lock_table.r_txn) (Lock_table.release_all t 3));
+  (match Lock_table.find_deadlock ~from:1 t with
+  | Some cycle -> Alcotest.(check (list int)) "cycle {1,2}" [ 1; 2 ] (List.sort compare cycle)
+  | None -> Alcotest.fail "expected the conversion deadlock");
+  (* Aborting the younger converter grants the older one first, then the
+     plain writer still waits behind it. *)
+  let newly = Lock_table.release_all t 2 in
+  Alcotest.(check (list int)) "older conversion granted first" [ 1 ]
+    (List.map (fun r -> r.Lock_table.r_txn) newly)
+
+let test_find_deadlock_from_unrelated () =
+  (* ~from limits the search to cycles reachable from that node. *)
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 2 (res_i 1) Compat.write));
+  ignore (Lock_table.acquire t (req 1 (res_i 1) Compat.write));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 3 (res_i 2) Compat.write));
+  Alcotest.(check bool) "global search finds it" true (Lock_table.find_deadlock t <> None);
+  Alcotest.(check (option (list int))) "unrelated node sees nothing" None
+    (Lock_table.find_deadlock ~from:3 t);
+  Alcotest.(check bool) "member node sees it" true (Lock_table.find_deadlock ~from:2 t <> None)
+
+let test_waiting_for_deterministic () =
+  (* waiting_for returns the oldest queued request, whatever the table
+     iteration order. *)
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 3) Compat.write));
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+  ignore (Lock_table.acquire t (req 2 (res_i 3) Compat.read));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.read));
+  (match Lock_table.waiting_for t 2 with
+  | Some r -> Alcotest.(check bool) "oldest queued first" true (r.Lock_table.r_res = res_i 3)
+  | None -> Alcotest.fail "expected a queued request");
+  (* Releasing the blocker of the oldest wait moves the answer to the
+     remaining one. *)
+  ignore (Lock_table.release_all t 1);
+  Alcotest.(check (option (list int))) "fully granted" None
+    (Option.map (fun _ -> []) (Lock_table.waiting_for t 2))
 
 let test_cross_resource_deadlock () =
   let t = make () in
@@ -251,6 +335,95 @@ let prop_release_grants_are_fifo_consistent =
       in
       is_prefix newly queued_order)
 
+(* Random operation sequences: the incrementally maintained waits-for
+   graph must agree with the rebuilt-from-scratch reference at every step,
+   the table must never hold duplicate requests, and waiting_for must be a
+   pure function of the table state. *)
+let prop_incremental_graph_agrees =
+  QCheck.Test.make ~count:200 ~name:"incremental waits-for graph equals rebuild; no duplicates"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let t = make () in
+      let ok = ref true in
+      let key r =
+        (r.Lock_table.r_txn, r.Lock_table.r_res, r.Lock_table.r_mode, r.Lock_table.r_hier,
+         r.Lock_table.r_pred)
+      in
+      let no_dups l =
+        let keys = List.map key l in
+        List.length (List.sort_uniq compare keys) = List.length keys
+      in
+      let check () =
+        (* Maintained edges = rebuilt edges (both deduplicated). *)
+        let inc = List.sort_uniq compare (Lock_table.waits_for_edges t) in
+        let reb = List.sort_uniq compare (Lock_table.waits_for_edges_rebuild t) in
+        if inc <> reb then ok := false;
+        (* Cycle existence agrees between the two detectors. *)
+        let a = Lock_table.find_deadlock t <> None in
+        let b = Lock_table.find_deadlock_rebuild t <> None in
+        if a <> b then ok := false;
+        for res = 0 to 3 do
+          let r = res_i res in
+          if not (no_dups (Lock_table.holders t r)) then ok := false;
+          if not (no_dups (Lock_table.queued t r)) then ok := false;
+          (* waiting_for is deterministic: two reads of the same state
+             agree, and a queued transaction reports a queued request. *)
+          List.iter
+            (fun q ->
+              match Lock_table.waiting_for t q.Lock_table.r_txn with
+              | None -> ok := false
+              | Some w ->
+                  if Lock_table.waiting_for t q.Lock_table.r_txn <> Some w then ok := false)
+            (Lock_table.queued t r)
+        done
+      in
+      for _ = 1 to 80 do
+        let txn = 1 + Tavcc_sim.Rng.int rng 5 in
+        (match Tavcc_sim.Rng.int rng 5 with
+        | 0 | 1 | 2 ->
+            let res = res_i (Tavcc_sim.Rng.int rng 4) in
+            let mode = if Tavcc_sim.Rng.bool rng then Compat.read else Compat.write in
+            ignore (Lock_table.acquire t (req txn res mode))
+        | 3 ->
+            (* Deliberate duplicate re-acquire of whatever the transaction
+               is queued on. *)
+            (match Lock_table.waiting_for t txn with
+            | Some r -> ignore (Lock_table.acquire t r)
+            | None -> ())
+        | _ -> ignore (Lock_table.release_all t txn));
+        check ()
+      done;
+      !ok)
+
+let prop_release_wakeups_fifo =
+  QCheck.Test.make ~count:200 ~name:"release_all wakes waiters in queue order"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let t = make () in
+      ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
+      let waiters =
+        List.filter_map
+          (fun txn ->
+            let m = if Tavcc_sim.Rng.bool rng then Compat.read else Compat.write in
+            match Lock_table.acquire t (req txn (res_i 0) m) with
+            | Lock_table.Waiting -> Some txn
+            | Lock_table.Granted -> None)
+          [ 2; 3; 4; 5; 6; 7 ]
+      in
+      let queue_before =
+        List.map (fun r -> r.Lock_table.r_txn) (Lock_table.queued t (res_i 0))
+      in
+      let newly = List.map (fun r -> r.Lock_table.r_txn) (Lock_table.release_all t 1) in
+      (* The wake-ups are exactly a prefix of the queue, which itself
+         lists the waiters in arrival order. *)
+      let rec is_prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | x :: xs, y :: ys -> x = y && is_prefix xs ys
+        | _ :: _, [] -> false
+      in
+      queue_before = waiters && is_prefix newly queue_before)
+
 let suite =
   [
     case "predefined matrices" test_compat_matrices;
@@ -259,13 +432,19 @@ let suite =
     case "FIFO: no overtaking" test_fifo_no_overtake;
     case "release drains FIFO" test_release_drains_fifo;
     case "re-acquire is idempotent" test_reacquire_idempotent;
+    case "no double enqueue on re-acquire" test_no_double_enqueue;
     case "conversion priority" test_conversion;
+    case "conversions FIFO among themselves" test_conversion_fifo_order;
     case "escalation deadlock detected" test_escalation_deadlock_detected;
     case "cross-resource deadlock" test_cross_resource_deadlock;
     case "three-party cycle" test_three_cycle;
     case "waits-for respects queue order" test_waits_for_includes_queue_order;
+    case "incremental search is scoped" test_find_deadlock_from_unrelated;
+    case "waiting_for is deterministic" test_waiting_for_deterministic;
     case "introspection" test_conflicting_holders_and_locks_of;
     case "statistics" test_stats;
     QCheck_alcotest.to_alcotest prop_invariants;
     QCheck_alcotest.to_alcotest prop_release_grants_are_fifo_consistent;
+    QCheck_alcotest.to_alcotest prop_incremental_graph_agrees;
+    QCheck_alcotest.to_alcotest prop_release_wakeups_fifo;
   ]
