@@ -8,8 +8,13 @@ open Cmdliner
 open Tavcc_model
 module Exec = Tavcc_cc.Exec
 module Engine = Tavcc_sim.Engine
+module Engine_trace = Tavcc_sim.Engine_trace
 module Workload = Tavcc_sim.Workload
 module Rng = Tavcc_sim.Rng
+module Metrics = Tavcc_obs.Metrics
+module Sink = Tavcc_obs.Sink
+module Json = Tavcc_obs.Json
+module Trace = Tavcc_obs.Trace
 
 let schemes =
   [
@@ -63,6 +68,50 @@ let scheme_conv =
   in
   Arg.conv (parse, Format.pp_print_string)
 
+(* --- shared observability flags --- *)
+
+let metrics_arg =
+  let fmt =
+    Arg.enum [ ("text", `Text); ("json", `Json) ]
+  in
+  Arg.(value & opt ~vopt:(Some `Text) (some fmt) None
+       & info [ "metrics" ] ~docv:"FMT"
+           ~doc:"Collect metrics (counters, gauges, histograms) across the run and report \
+                 them; FMT is $(b,text) (default) or $(b,json).  With $(b,json) the command \
+                 prints a single machine-readable JSON object instead of the human output.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file of the run(s) — open it in Perfetto or \
+                 chrome://tracing.  Timestamps are scheduler steps; with several schemes each \
+                 gets its own pid.")
+
+let write_file file contents =
+  let oc = open_out file in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+let result_to_json name policy (r : Engine.result) =
+  Json.Obj
+    [
+      ("scheme", Json.String name);
+      ("policy", Json.String (Engine.policy_name policy));
+      ("commits", Json.Int r.Engine.commits);
+      ("deadlocks", Json.Int r.Engine.deadlocks);
+      ("aborts", Json.Int r.Engine.aborts);
+      ("restarts", Json.Int r.Engine.restarts);
+      ("scheduler_steps", Json.Int r.Engine.scheduler_steps);
+      ("serializable", Json.Bool (Engine.serializable r));
+      ("lock_stats", Tavcc_lock.Lock_table.stats_to_json r.Engine.lock_stats);
+      ( "failed",
+        Json.List
+          (List.map
+             (fun (id, msg) -> Json.Obj [ ("txn", Json.Int id); ("error", Json.String msg) ])
+             r.Engine.failed) );
+    ]
+
 let print_result name (r : Engine.result) =
   Printf.printf
     "%-12s commits=%-4d deadlocks=%-4d aborts=%-4d restarts=%-4d reqs=%-6d waits=%-5d \
@@ -75,32 +124,101 @@ let print_result name (r : Engine.result) =
 (* --- run: random workloads on generated schemas --- *)
 
 let run_cmd =
-  let run scheme_names seed txns actions depth fanout per_class extent_prob hot yield policy =
+  let run scheme_names seed txns actions depth fanout per_class extent_prob hot yield policy
+      metrics_fmt trace_out =
+    let json_mode = metrics_fmt = Some `Json in
     let rng = Rng.create seed in
     let schema =
       Workload.make_schema rng
         { Workload.default_params with sp_depth = depth; sp_fanout = fanout }
     in
-    let an = Tavcc_core.Analysis.compile schema in
-    Printf.printf
-      "schema: %d classes, %d analysed methods; %d instances per class; %d txns x %d actions; \
-       seed %d\n\n"
-      (Schema.class_count schema)
-      (Tavcc_core.Analysis.method_count an)
-      per_class txns actions seed;
+    let analysis_metrics = Option.map (fun _ -> Metrics.create ()) metrics_fmt in
+    let an = Tavcc_core.Analysis.compile ?metrics:analysis_metrics schema in
+    if not json_mode then
+      Printf.printf
+        "schema: %d classes, %d analysed methods; %d instances per class; %d txns x %d \
+         actions; seed %d\n\n"
+        (Schema.class_count schema)
+        (Tavcc_core.Analysis.method_count an)
+        per_class txns actions seed;
     let names = if scheme_names = [] then List.map fst schemes else scheme_names in
-    List.iter
-      (fun name ->
-        let mk = List.assoc name schemes in
-        let store = Store.create schema in
-        Workload.populate store ~per_class;
-        let jobs =
-          Workload.random_jobs (Rng.create (seed + 1)) store ~txns ~actions_per_txn:actions
-            ~extent_prob ~hot_instances:hot ~hot_prob:0.7
+    let runs =
+      List.map
+        (fun name ->
+          let mk = List.assoc name schemes in
+          let store = Store.create schema in
+          Workload.populate store ~per_class;
+          let jobs =
+            Workload.random_jobs (Rng.create (seed + 1)) store ~txns ~actions_per_txn:actions
+              ~extent_prob ~hot_instances:hot ~hot_prob:0.7
+          in
+          let metrics = Option.map (fun _ -> Metrics.create ()) metrics_fmt in
+          let sink =
+            if trace_out <> None then Sink.ring 1_000_000 else Sink.null
+          in
+          let config =
+            { Engine.default_config with seed; yield_on_access = yield; policy; sink;
+              metrics }
+          in
+          let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+          if not json_mode then begin
+            print_result name r;
+            match metrics with
+            | Some m -> Format.printf "%a@." Metrics.pp m
+            | None -> ()
+          end;
+          (name, r, metrics))
+        names
+    in
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+        (* One pid per scheme, labelled, all in a single trace. *)
+        let events =
+          List.concat
+            (List.mapi
+               (fun pid (name, r, _) ->
+                 Trace.process_name ~pid name :: Engine_trace.to_trace ~pid r.Engine.events)
+               runs)
         in
-        let config = { Engine.default_config with seed; yield_on_access = yield; policy } in
-        print_result name (Engine.run ~config ~scheme:(mk an) ~store ~jobs ()))
-      names;
+        write_file file (Trace.to_string events);
+        if not json_mode then
+          Printf.printf "wrote %s (%d trace events)\n" file (List.length events));
+    if json_mode then begin
+      let doc =
+        Json.Obj
+          [
+            ( "schema",
+              Json.Obj
+                [
+                  ("classes", Json.Int (Schema.class_count schema));
+                  ("methods", Json.Int (Tavcc_core.Analysis.method_count an));
+                  ("instances_per_class", Json.Int per_class);
+                  ("txns", Json.Int txns);
+                  ("actions_per_txn", Json.Int actions);
+                  ("seed", Json.Int seed);
+                ] );
+            ( "analysis_metrics",
+              match analysis_metrics with Some m -> Metrics.to_json m | None -> Json.Null );
+            ( "runs",
+              Json.List
+                (List.map
+                   (fun (name, r, metrics) ->
+                     let base = result_to_json name policy r in
+                     match (base, metrics) with
+                     | Json.Obj kvs, Some m ->
+                         Json.Obj (kvs @ [ ("metrics", Metrics.to_json m) ])
+                     | _ -> base)
+                   runs) );
+          ]
+      in
+      print_endline (Json.to_string doc)
+    end
+    else begin
+      match analysis_metrics with
+      | Some m -> Format.printf "analysis phases:@.%a@." Metrics.pp m
+      | None -> ()
+    end;
     0
   in
   let scheme_arg =
@@ -125,7 +243,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ scheme_arg $ seed $ txns $ actions $ depth $ fanout $ per_class $ extent_prob
-      $ hot $ yield $ policy_arg)
+      $ hot $ yield $ policy_arg $ metrics_arg $ trace_out_arg)
 
 (* --- scenario: the sec. 5.2 comparison --- *)
 
@@ -143,26 +261,48 @@ let scenario_cmd =
 (* --- escalation: the deadlock demonstration --- *)
 
 let escalation_cmd =
-  let run seed txns levels policy trace =
+  let run seed txns levels policy trace trace_out =
     let schema = Workload.chain_schema ~levels in
     let an = Tavcc_core.Analysis.compile schema in
     Printf.printf
       "reader-then-writer cascade of depth %d, %d transactions on one instance, seed %d\n\n"
       levels txns seed;
-    List.iter
-      (fun (name, mk) ->
-        let store = Store.create schema in
-        let oid = Store.new_instance store (Name.Class.of_string "chain") in
-        let top = Name.Method.of_string (Printf.sprintf "m%d" levels) in
-        let jobs = List.init txns (fun i -> (i + 1, [ Exec.Call (oid, top, [ Value.Vint 1 ]) ])) in
-        let config =
-          { Engine.default_config with seed; yield_on_access = true; policy; trace }
+    let runs =
+      List.map
+        (fun (name, mk) ->
+          let store = Store.create schema in
+          let oid = Store.new_instance store (Name.Class.of_string "chain") in
+          let top = Name.Method.of_string (Printf.sprintf "m%d" levels) in
+          let jobs =
+            List.init txns (fun i -> (i + 1, [ Exec.Call (oid, top, [ Value.Vint 1 ]) ]))
+          in
+          let sink =
+            if trace || trace_out <> None then Sink.ring 1_000_000 else Sink.null
+          in
+          let config =
+            { Engine.default_config with seed; yield_on_access = true; policy; sink }
+          in
+          let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+          print_result name r;
+          if trace then
+            List.iter
+              (fun (step, e) -> Format.printf "    [%4d] %a@." step Engine.pp_event e)
+              r.Engine.events;
+          (name, r))
+        schemes
+    in
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+        let events =
+          List.concat
+            (List.mapi
+               (fun pid (name, r) ->
+                 Trace.process_name ~pid name :: Engine_trace.to_trace ~pid r.Engine.events)
+               runs)
         in
-        let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
-        print_result name r;
-        if trace then
-          List.iter (fun e -> Format.printf "    %a@." Engine.pp_event e) r.Engine.events)
-      schemes;
+        write_file file (Trace.to_string events);
+        Printf.printf "wrote %s (%d trace events)\n" file (List.length events));
     0
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
@@ -172,7 +312,8 @@ let escalation_cmd =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the engine's event log for each scheme.")
   in
   let doc = "demonstrate escalation deadlocks (problem P3)" in
-  Cmd.v (Cmd.info "escalation" ~doc) Term.(const run $ seed $ txns $ levels $ policy_arg $ trace)
+  Cmd.v (Cmd.info "escalation" ~doc)
+    Term.(const run $ seed $ txns $ levels $ policy_arg $ trace $ trace_out_arg)
 
 let main =
   let doc = "object-oriented concurrency-control simulator (Malta & Martinez, ICDE'93)" in

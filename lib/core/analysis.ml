@@ -16,9 +16,16 @@ type t = {
   adhoc : Adhoc.t;
 }
 
-let analyse_class ?(adhoc = Adhoc.empty) ex schema cls =
-  let lbr = Lbr.build ex cls in
-  let per_vertex = Tav.of_graph ex lbr in
+(* Phase timers: with a registry, each pipeline pass accumulates its
+   wall-clock cost per class into a microsecond histogram. *)
+let timed metrics name f =
+  match metrics with
+  | None -> f ()
+  | Some m -> Tavcc_obs.Metrics.time_us m name f
+
+let analyse_class ?(adhoc = Adhoc.empty) ?metrics ex schema cls =
+  let lbr = timed metrics "analysis.lbr_us" (fun () -> Lbr.build ex cls) in
+  let per_vertex = timed metrics "analysis.tav_us" (fun () -> Tav.of_graph ex lbr) in
   let tavs =
     List.fold_left
       (fun m meth ->
@@ -27,10 +34,13 @@ let analyse_class ?(adhoc = Adhoc.empty) ex schema cls =
         | None -> m)
       MN.Map.empty (Schema.methods schema cls)
   in
-  let table = Adhoc.apply adhoc schema cls (Modes_table.build cls (MN.Map.bindings tavs)) in
+  let table =
+    timed metrics "analysis.table_us" (fun () ->
+        Adhoc.apply adhoc schema cls (Modes_table.build cls (MN.Map.bindings tavs)))
+  in
   { lbr; tavs; table }
 
-let compile_classes ?adhoc ?reuse ~schema ~extraction classes =
+let compile_classes ?adhoc ?reuse ?metrics ~schema ~extraction classes =
   let adhoc =
     match (adhoc, reuse) with
     | Some a, _ -> a
@@ -42,23 +52,23 @@ let compile_classes ?adhoc ?reuse ~schema ~extraction classes =
     List.fold_left
       (fun acc cls ->
         let info =
-          if CN.Set.mem cls fresh then analyse_class ~adhoc extraction schema cls
+          if CN.Set.mem cls fresh then analyse_class ~adhoc ?metrics extraction schema cls
           else
             match reuse with
             | Some old -> (
                 match CN.Map.find_opt cls old.infos with
                 | Some info -> info
-                | None -> analyse_class ~adhoc extraction schema cls)
-            | None -> analyse_class ~adhoc extraction schema cls
+                | None -> analyse_class ~adhoc ?metrics extraction schema cls)
+            | None -> analyse_class ~adhoc ?metrics extraction schema cls
         in
         CN.Map.add cls info acc)
       CN.Map.empty (Schema.classes schema)
   in
   { schema; ex = extraction; infos; adhoc }
 
-let compile ?adhoc schema =
-  let ex = Extraction.build schema in
-  compile_classes ?adhoc ~schema ~extraction:ex (Schema.classes schema)
+let compile ?adhoc ?metrics schema =
+  let ex = timed metrics "analysis.extraction_us" (fun () -> Extraction.build schema) in
+  compile_classes ?adhoc ?metrics ~schema ~extraction:ex (Schema.classes schema)
 
 let adhoc t = t.adhoc
 

@@ -20,10 +20,16 @@ type class_info = {
 
 type t
 
-val compile : ?adhoc:Adhoc.t -> Ast.body Schema.t -> t
+val compile : ?adhoc:Adhoc.t -> ?metrics:Tavcc_obs.Metrics.t -> Ast.body Schema.t -> t
 (** [compile ?adhoc schema] runs the pipeline; [adhoc] installs the
     semantic commutativity overrides of {!Adhoc} into the generated
-    per-class tables (sec. 3's predefined-type escape hatch). *)
+    per-class tables (sec. 3's predefined-type escape hatch).
+
+    With [metrics], every pass accumulates its wall-clock cost into
+    microsecond histograms: [analysis.extraction_us] (once per compile)
+    and, per class, [analysis.lbr_us] (resolution-graph construction),
+    [analysis.tav_us] (the TAV fixpoint over SCCs) and
+    [analysis.table_us] (mode translation + commutativity matrix). *)
 
 val schema : t -> Ast.body Schema.t
 val extraction : t -> Extraction.t
@@ -51,8 +57,8 @@ val adhoc : t -> Adhoc.t
 (** The registry the analysis was compiled with. *)
 
 val compile_classes :
-  ?adhoc:Adhoc.t -> ?reuse:t -> schema:Ast.body Schema.t ->
-  extraction:Extraction.t -> Name.Class.t list -> t
+  ?adhoc:Adhoc.t -> ?reuse:t -> ?metrics:Tavcc_obs.Metrics.t ->
+  schema:Ast.body Schema.t -> extraction:Extraction.t -> Name.Class.t list -> t
 (** [compile_classes ?reuse ~schema ~extraction classes] builds an
     analysis for [schema] computing graphs/TAVs/matrices for [classes]
     and splicing every other class's results from [reuse] (which must

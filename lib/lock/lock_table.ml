@@ -20,14 +20,47 @@ type stats = {
   mutable immediate : int;
   mutable waits : int;
   mutable conversions : int;
+  mutable reacquires : int;
+  mutable granted_after_wait : int;
+  mutable max_queue_depth : int;
 }
 
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "requests=%d immediate=%d waits=%d conversions=%d reacquires=%d granted_after_wait=%d \
+     max_queue_depth=%d"
+    s.requests s.immediate s.waits s.conversions s.reacquires s.granted_after_wait
+    s.max_queue_depth
+
+let stats_to_json s =
+  Tavcc_obs.Json.Obj
+    [
+      ("requests", Tavcc_obs.Json.Int s.requests);
+      ("immediate", Tavcc_obs.Json.Int s.immediate);
+      ("waits", Tavcc_obs.Json.Int s.waits);
+      ("conversions", Tavcc_obs.Json.Int s.conversions);
+      ("reacquires", Tavcc_obs.Json.Int s.reacquires);
+      ("granted_after_wait", Tavcc_obs.Json.Int s.granted_after_wait);
+      ("max_queue_depth", Tavcc_obs.Json.Int s.max_queue_depth);
+    ]
+
 (* A queued request remembers whether it is a conversion: conversions live
-   in a FIFO prefix of the queue, ahead of every non-conversion. *)
-type wait = { w_req : req; w_conv : bool }
+   in a FIFO prefix of the queue, ahead of every non-conversion.  [w_at]
+   is the clock reading at enqueue, for the wait-latency histogram. *)
+type wait = { w_req : req; w_conv : bool; w_at : int }
 
 type entry = { mutable granted : req list; mutable queue : wait list }
 (* [granted] and [queue] are oldest-first. *)
+
+(* Histogram/counter handles, resolved once at [create]: the hot paths
+   never look a metric up by name. *)
+type obs = {
+  m_queue_depth : Tavcc_obs.Metrics.histogram;  (* queue length after each enqueue *)
+  m_wait_steps : Tavcc_obs.Metrics.histogram;  (* enqueue -> grant, in clock units *)
+  m_wait_conv : Tavcc_obs.Metrics.counter;  (* conversion waits *)
+  m_wait_plain : Tavcc_obs.Metrics.counter;  (* non-conversion waits *)
+  m_cycle_len : Tavcc_obs.Metrics.histogram;  (* length of each detected cycle *)
+}
 
 type t = {
   conflict : req -> req -> bool;
@@ -41,16 +74,41 @@ type t = {
          (waiting request, blocking request) pairs that put a behind b, so
          edges disappear exactly when their last contribution does *)
   stats : stats;
+  clock : unit -> int;
+  obs : obs option;
 }
 
-let create ~conflict () =
+let create ?metrics ?(clock = fun () -> 0) ~conflict () =
+  let obs =
+    Option.map
+      (fun m ->
+        {
+          m_queue_depth = Tavcc_obs.Metrics.histogram m "lock.queue_depth";
+          m_wait_steps = Tavcc_obs.Metrics.histogram m "lock.wait_steps";
+          m_wait_conv = Tavcc_obs.Metrics.counter m "lock.waits_conversion";
+          m_wait_plain = Tavcc_obs.Metrics.counter m "lock.waits_plain";
+          m_cycle_len = Tavcc_obs.Metrics.histogram m "lock.cycle_length";
+        })
+      metrics
+  in
   {
     conflict;
     table = Resource.Tbl.create 256;
     held_by = Hashtbl.create 64;
     queued_on = Hashtbl.create 64;
     wf = Hashtbl.create 64;
-    stats = { requests = 0; immediate = 0; waits = 0; conversions = 0 };
+    stats =
+      {
+        requests = 0;
+        immediate = 0;
+        waits = 0;
+        conversions = 0;
+        reacquires = 0;
+        granted_after_wait = 0;
+        max_queue_depth = 0;
+      };
+    clock;
+    obs;
   }
 
 let entry t res =
@@ -156,6 +214,17 @@ let same_req a b =
 let blocked_by_holders t e req =
   List.exists (fun h -> h.r_txn <> req.r_txn && t.conflict h req) e.granted
 
+(* Accounting shared by both enqueue paths: queue depth (after the insert)
+   and the conversion/plain wait split. *)
+let observe_enqueue t e ~conv =
+  let depth = List.length e.queue in
+  if depth > t.stats.max_queue_depth then t.stats.max_queue_depth <- depth;
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      Tavcc_obs.Metrics.observe o.m_queue_depth depth;
+      Tavcc_obs.Metrics.incr (if conv then o.m_wait_conv else o.m_wait_plain)
+
 (* Appends a non-conversion wait: edges run from the new request to every
    conflicting holder and every conflicting queued request (all ahead). *)
 let enqueue_last t e req =
@@ -167,8 +236,9 @@ let enqueue_last t e req =
       if a.w_req.r_txn <> req.r_txn && t.conflict a.w_req req then
         add_edge t req.r_txn a.w_req.r_txn)
     e.queue;
-  e.queue <- e.queue @ [ { w_req = req; w_conv = false } ];
-  note_queued t req.r_txn req.r_res
+  e.queue <- e.queue @ [ { w_req = req; w_conv = false; w_at = t.clock () } ];
+  note_queued t req.r_txn req.r_res;
+  observe_enqueue t e ~conv:false
 
 (* Inserts a conversion wait after the last queued conversion (conversions
    stay ahead of non-conversions but FIFO among themselves).  Waiters
@@ -192,8 +262,9 @@ let enqueue_conversion t e req =
       if b.w_req.r_txn <> req.r_txn && t.conflict req b.w_req then
         add_edge t b.w_req.r_txn req.r_txn)
     post;
-  e.queue <- pre @ ({ w_req = req; w_conv = true } :: post);
-  note_queued t req.r_txn req.r_res
+  e.queue <- pre @ ({ w_req = req; w_conv = true; w_at = t.clock () } :: post);
+  note_queued t req.r_txn req.r_res;
+  observe_enqueue t e ~conv:true
 
 (* A conversion granted while others are queued: every conflicting waiter
    now also waits for the converter. *)
@@ -213,10 +284,12 @@ let acquire t req =
     t.stats.immediate <- t.stats.immediate + 1;
     Granted
   end
-  else if List.exists (fun w -> same_req w.w_req req) e.queue then
+  else if List.exists (fun w -> same_req w.w_req req) e.queue then begin
     (* Already queued: re-acquiring must not enqueue a second copy, and is
        neither a new wait nor an immediate grant. *)
+    t.stats.reacquires <- t.stats.reacquires + 1;
     Waiting
+  end
   else begin
     let holds_some = List.exists (fun h -> h.r_txn = req.r_txn) e.granted in
     if holds_some then begin
@@ -261,6 +334,10 @@ let drain t res e acc =
           e.granted <- e.granted @ [ w.w_req ];
           remember_held t w.w_req.r_txn res;
           note_unqueued t w.w_req.r_txn res;
+          t.stats.granted_after_wait <- t.stats.granted_after_wait + 1;
+          (match t.obs with
+          | None -> ()
+          | Some o -> Tavcc_obs.Metrics.observe o.m_wait_steps (t.clock () - w.w_at));
           go (w.w_req :: acc)
         end
   in
@@ -392,11 +469,17 @@ let dfs_cycle succs start =
   dfs [] start
 
 let find_deadlock ?from t =
-  match from with
-  | Some v -> dfs_cycle (succs_of t) v
-  | None ->
-      let nodes = Hashtbl.fold (fun k _ acc -> k :: acc) t.wf [] |> List.sort Int.compare in
-      List.find_map (dfs_cycle (succs_of t)) nodes
+  let cycle =
+    match from with
+    | Some v -> dfs_cycle (succs_of t) v
+    | None ->
+        let nodes = Hashtbl.fold (fun k _ acc -> k :: acc) t.wf [] |> List.sort Int.compare in
+        List.find_map (dfs_cycle (succs_of t)) nodes
+  in
+  (match (cycle, t.obs) with
+  | Some c, Some o -> Tavcc_obs.Metrics.observe o.m_cycle_len (List.length c)
+  | _ -> ());
+  cycle
 
 let find_deadlock_rebuild t =
   let edges = waits_for_edges_rebuild t in
@@ -410,4 +493,9 @@ let reset_stats t =
   t.stats.requests <- 0;
   t.stats.immediate <- 0;
   t.stats.waits <- 0;
-  t.stats.conversions <- 0
+  t.stats.conversions <- 0;
+  t.stats.reacquires <- 0;
+  t.stats.granted_after_wait <- 0;
+  t.stats.max_queue_depth <- 0
+
+let copy_stats s = { s with requests = s.requests }

@@ -53,13 +53,36 @@ type stats = {
   mutable immediate : int;  (** granted without waiting *)
   mutable waits : int;  (** requests that had to queue *)
   mutable conversions : int;  (** requests upgrading an already-held resource *)
+  mutable reacquires : int;
+      (** re-acquisitions of an already-queued request — neither immediate
+          nor a new wait, so [requests = immediate + waits + reacquires]
+          always holds *)
+  mutable granted_after_wait : int;  (** queued requests eventually granted *)
+  mutable max_queue_depth : int;  (** longest wait queue ever seen, per table *)
 }
+
+val pp_stats : Format.formatter -> stats -> unit
+val stats_to_json : stats -> Tavcc_obs.Json.t
+
+val copy_stats : stats -> stats
+(** A snapshot unaffected by further table activity. *)
 
 type t
 
-val create : conflict:(req -> req -> bool) -> unit -> t
+val create :
+  ?metrics:Tavcc_obs.Metrics.t -> ?clock:(unit -> int) ->
+  conflict:(req -> req -> bool) -> unit -> t
 (** [conflict held requested] decides whether [requested] must wait behind
-    [held]; it is never called on two requests of the same transaction. *)
+    [held]; it is never called on two requests of the same transaction.
+
+    With [metrics], the table records into the registry (handles are
+    resolved once here, never on the hot path): the [lock.queue_depth]
+    histogram (queue length at each enqueue), the [lock.wait_steps]
+    histogram (enqueue-to-grant latency in [clock] units — pass the
+    scheduler's step counter), the [lock.waits_conversion] /
+    [lock.waits_plain] counters, and the [lock.cycle_length] histogram
+    (length of each cycle {!find_deadlock} reports).  Without [metrics]
+    the only per-operation cost is the always-on {!stats} fields. *)
 
 val acquire : t -> req -> outcome
 (** Requesting a (mode, hier) pair already held is idempotent and counts as
@@ -120,4 +143,11 @@ val find_deadlock_rebuild : t -> txn_id list option
     list followed by DFS from every node (the pre-incremental behaviour). *)
 
 val stats : t -> stats
+(** The live record: it keeps mutating as the table is used ({!copy_stats}
+    for a snapshot). *)
+
 val reset_stats : t -> unit
+(** Resets {e every} counter of {!stats} to zero — including
+    [reacquires], [granted_after_wait] and the [max_queue_depth]
+    high-water mark.  Metrics registered through [create ?metrics] are
+    not touched (the registry belongs to the caller). *)

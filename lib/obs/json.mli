@@ -1,0 +1,34 @@
+(** A minimal JSON tree: emitter and strict parser.
+
+    The observability layer exports metrics registries and Chrome
+    trace-event files as JSON; nothing heavier than this module is needed
+    (and the container deliberately carries no JSON library).  The parser
+    exists so tests and the CI smoke job can assert that everything we
+    emit round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace), valid JSON — strings
+    are escaped, control characters become [\uXXXX]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete document; trailing garbage is an error.
+    Integers stay [Int]; anything with a fraction or exponent becomes
+    [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_str : t -> string option

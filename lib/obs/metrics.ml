@@ -1,0 +1,161 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int; mutable g_max : int }
+
+let buckets_len = 63
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+  h_buckets : int array; (* h_buckets.(i) counts observations in bucket i *)
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list; (* registration order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let register t name mk unpack kind =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+      match unpack m with
+      | Some x -> x
+      | None -> invalid_arg (Printf.sprintf "Metrics: %s is already a %s" name kind))
+  | None ->
+      let x = mk () in
+      Hashtbl.replace t.tbl name x;
+      t.order <- name :: t.order;
+      (match unpack x with Some y -> y | None -> assert false)
+
+let counter t name =
+  register t name (fun () -> C { c = 0 }) (function C c -> Some c | _ -> None) "counter"
+
+let gauge t name =
+  register t name
+    (fun () -> G { g = 0; g_max = 0 })
+    (function G g -> Some g | _ -> None)
+    "gauge"
+
+let histogram t name =
+  register t name
+    (fun () -> H { h_count = 0; h_sum = 0; h_max = 0; h_buckets = Array.make buckets_len 0 })
+    (function H h -> Some h | _ -> None)
+    "histogram"
+
+(* --- counters --- *)
+
+let add c n = c.c <- c.c + n
+let incr c = add c 1
+let value c = c.c
+
+(* --- gauges --- *)
+
+let set g v =
+  g.g <- v;
+  if v > g.g_max then g.g_max <- v
+
+let gauge_value g = g.g
+let gauge_max g = g.g_max
+
+(* --- histograms --- *)
+
+(* Log-bucketing: bucket 0 holds the observations [<= 0]; bucket [i >= 1]
+   holds the values whose binary magnitude is [i], i.e. the interval
+   [2^(i-1), 2^i - 1].  The index of [v] is therefore the number of
+   significant bits of [v]. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and n = ref v in
+    while !n > 0 do
+      n := !n lsr 1;
+      i := !i + 1
+    done;
+    min !i (buckets_len - 1)
+  end
+
+let bucket_bounds i =
+  if i = 0 then (min_int, 0) else ((1 lsl (i - 1)), (1 lsl i) - 1)
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v > h.h_max then h.h_max <- v;
+  let b = h.h_buckets in
+  let i = bucket_of v in
+  b.(i) <- b.(i) + 1
+
+let count h = h.h_count
+let sum h = h.h_sum
+let max_value h = h.h_max
+let mean h = if h.h_count = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_count
+
+let nonempty_buckets h =
+  let acc = ref [] in
+  for i = buckets_len - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then
+      let lo, hi = bucket_bounds i in
+      acc := (lo, hi, h.h_buckets.(i)) :: !acc
+  done;
+  !acc
+
+(* --- timing --- *)
+
+let time_us t name f =
+  let h = histogram t name in
+  let t0 = Unix.gettimeofday () in
+  let finally () = observe h (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)) in
+  Fun.protect ~finally f
+
+(* --- export --- *)
+
+let names t = List.rev t.order
+
+let metric_to_json = function
+  | C c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int c.c) ]
+  | G g ->
+      Json.Obj
+        [ ("type", Json.String "gauge"); ("value", Json.Int g.g); ("max", Json.Int g.g_max) ]
+  | H h ->
+      let buckets =
+        List.map
+          (fun (lo, hi, n) ->
+            Json.Obj
+              [
+                ("lo", Json.Int (if lo = min_int then 0 else lo));
+                ("hi", Json.Int hi);
+                ("count", Json.Int n);
+              ])
+          (nonempty_buckets h)
+      in
+      Json.Obj
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int h.h_count);
+          ("sum", Json.Int h.h_sum);
+          ("max", Json.Int h.h_max);
+          ("mean", Json.Float (mean h));
+          ("buckets", Json.List buckets);
+        ]
+
+let to_json t =
+  Json.Obj (List.map (fun name -> (name, metric_to_json (Hashtbl.find t.tbl name))) (names t))
+
+let pp ppf t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | C c -> Format.fprintf ppf "%-32s %d@." name c.c
+      | G g -> Format.fprintf ppf "%-32s %d (max %d)@." name g.g g.g_max
+      | H h ->
+          Format.fprintf ppf "%-32s count=%d sum=%d max=%d mean=%.1f@." name h.h_count h.h_sum
+            h.h_max (mean h);
+          List.iter
+            (fun (lo, hi, n) ->
+              Format.fprintf ppf "%-32s   [%d..%d] %d@." "" (if lo = min_int then 0 else lo) hi n)
+            (nonempty_buckets h))
+    (names t)

@@ -1,0 +1,68 @@
+(** Counters, gauges and log-bucketed histograms in a named registry.
+
+    Instruments hand a registry around ({!create} once, pass it to every
+    layer) and hold on to the metric handles they obtain from {!counter},
+    {!gauge} and {!histogram} — the name lookup happens at registration,
+    never on the hot path.  Recording is a handful of integer stores: no
+    allocation, no formatting, nothing is rendered until {!to_json} or
+    {!pp} is called.
+
+    Histograms are log-bucketed: bucket 0 holds the observations [<= 0]
+    and bucket [i >= 1] the values in [2^(i-1), 2^i - 1], so a histogram
+    is 63 ints regardless of range — wait times of 1 step and of a
+    million steps fit the same array. *)
+
+type t
+(** A registry: an ordered set of named metrics. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Registers (or retrieves) the counter [name].
+    @raise Invalid_argument if [name] is registered with another type. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> int -> unit
+(** Sets the current value and tracks the high-water mark. *)
+
+val gauge_value : gauge -> int
+val gauge_max : gauge -> int
+
+val observe : histogram -> int -> unit
+
+val count : histogram -> int
+val sum : histogram -> int
+val max_value : histogram -> int
+val mean : histogram -> float
+
+val bucket_of : int -> int
+(** The bucket index of a value: 0 for [v <= 0], otherwise the number of
+    significant bits of [v]. *)
+
+val bucket_bounds : int -> int * int
+(** Inclusive [(lo, hi)] range of a bucket; bucket 0 is [(min_int, 0)]. *)
+
+val nonempty_buckets : histogram -> (int * int * int) list
+(** [(lo, hi, count)] for every bucket with at least one observation, in
+    increasing order. *)
+
+val time_us : t -> string -> (unit -> 'a) -> 'a
+(** [time_us t name f] runs [f] and records its wall-clock duration in
+    microseconds into the histogram [name] (observed even if [f]
+    raises). *)
+
+val names : t -> string list
+(** Registration order. *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

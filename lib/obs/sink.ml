@@ -1,0 +1,42 @@
+type 'a t =
+  | Null
+  | Ring of { cap : int; buf : 'a option array; mutable next : int; mutable pushed : int }
+  | Callback of { cb : 'a -> unit; mutable sent : int }
+
+let null = Null
+
+let ring cap =
+  if cap <= 0 then invalid_arg "Sink.ring: capacity must be positive";
+  Ring { cap; buf = Array.make cap None; next = 0; pushed = 0 }
+
+let callback cb = Callback { cb; sent = 0 }
+
+let push t x =
+  match t with
+  | Null -> ()
+  | Ring r ->
+      r.buf.(r.next) <- Some x;
+      r.next <- (r.next + 1) mod r.cap;
+      r.pushed <- r.pushed + 1
+  | Callback c ->
+      c.sent <- c.sent + 1;
+      c.cb x
+
+let contents t =
+  match t with
+  | Null | Callback _ -> []
+  | Ring r ->
+      let len = min r.pushed r.cap in
+      let start = (r.next - len + r.cap) mod r.cap in
+      List.init len (fun i ->
+          match r.buf.((start + i) mod r.cap) with
+          | Some x -> x
+          | None -> assert false)
+
+let pushed = function Null -> 0 | Ring r -> r.pushed | Callback c -> c.sent
+
+let dropped = function
+  | Null | Callback _ -> 0
+  | Ring r -> max 0 (r.pushed - r.cap)
+
+let is_null = function Null -> true | _ -> false

@@ -1,0 +1,32 @@
+(** A pluggable event sink: where a producer's stream of events goes.
+
+    Three behaviours cover every consumer the engine has:
+    - {!null} discards everything — the production default, a single
+      branch per event;
+    - {!ring} keeps the most recent [n] events in a preallocated circular
+      buffer (read back with {!contents});
+    - {!callback} hands each event to the caller as it happens (streaming
+      exporters, live dashboards, tests). *)
+
+type 'a t
+
+val null : 'a t
+
+val ring : int -> 'a t
+(** @raise Invalid_argument on a non-positive capacity. *)
+
+val callback : ('a -> unit) -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val contents : 'a t -> 'a list
+(** Ring contents, oldest surviving event first; [[]] for null and
+    callback sinks. *)
+
+val pushed : 'a t -> int
+(** Events pushed so far (0 for {!null}, which does not count). *)
+
+val dropped : 'a t -> int
+(** Events a ring has overwritten; 0 for the other sinks. *)
+
+val is_null : 'a t -> bool

@@ -1,0 +1,53 @@
+type phase = Complete | Begin | End | Instant | Meta
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : int;
+  dur : int;
+  pid : int;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+let ph_string = function
+  | Complete -> "X"
+  | Begin -> "B"
+  | End -> "E"
+  | Instant -> "i"
+  | Meta -> "M"
+
+let make ?(cat = "") ?(pid = 0) ?(args = []) ~ph ~ts ~tid name =
+  { name; cat; ph; ts; dur = 0; pid; tid; args }
+
+let complete ?cat ?pid ?args ~ts ~dur ~tid name =
+  { (make ?cat ?pid ?args ~ph:Complete ~ts ~tid name) with dur }
+
+let begin_ ?cat ?pid ?args ~ts ~tid name = make ?cat ?pid ?args ~ph:Begin ~ts ~tid name
+let end_ ?cat ?pid ?args ~ts ~tid name = make ?cat ?pid ?args ~ph:End ~ts ~tid name
+let instant ?cat ?pid ?args ~ts ~tid name = make ?cat ?pid ?args ~ph:Instant ~ts ~tid name
+
+let process_name ~pid name =
+  make ~pid ~args:[ ("name", Json.String name) ] ~ph:Meta ~ts:0 ~tid:0 "process_name"
+
+let event_to_json e =
+  let base =
+    [
+      ("name", Json.String e.name);
+      ("cat", Json.String (if e.cat = "" then "default" else e.cat));
+      ("ph", Json.String (ph_string e.ph));
+      ("ts", Json.Int e.ts);
+      ("pid", Json.Int e.pid);
+      ("tid", Json.Int e.tid);
+    ]
+  in
+  let dur = if e.ph = Complete then [ ("dur", Json.Int e.dur) ] else [] in
+  (* Thread-scoped instants render as small arrows in Perfetto. *)
+  let scope = if e.ph = Instant then [ ("s", Json.String "t") ] else [] in
+  let args = if e.args = [] then [] else [ ("args", Json.Obj e.args) ] in
+  Json.Obj (base @ dur @ scope @ args)
+
+let to_json events = Json.List (List.map event_to_json events)
+
+let to_string events = Json.to_string (to_json events)

@@ -1,0 +1,58 @@
+(** Chrome trace-event model: the JSON array format Perfetto and
+    [chrome://tracing] load directly.
+
+    Every event carries the four mandatory fields of the format — [ph]
+    (phase), [ts] (timestamp, conventionally microseconds; the simulator
+    uses scheduler steps), [pid] and [tid] — plus a name, a category and
+    optional typed [args].  Four phases are enough for the simulator's
+    fiber schedules:
+    - [Complete] ("X"): a span with an explicit duration — one per
+      transaction attempt;
+    - [Begin]/[End] ("B"/"E"): nested open/close spans — lock waits;
+    - [Instant] ("i"): a point event — deadlocks, wounds, deaths,
+      timeouts. *)
+
+type phase = Complete | Begin | End | Instant | Meta
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : int;
+  dur : int;  (** meaningful for [Complete] only *)
+  pid : int;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+val ph_string : phase -> string
+
+val complete :
+  ?cat:string -> ?pid:int -> ?args:(string * Json.t) list ->
+  ts:int -> dur:int -> tid:int -> string -> event
+
+val begin_ :
+  ?cat:string -> ?pid:int -> ?args:(string * Json.t) list ->
+  ts:int -> tid:int -> string -> event
+
+val end_ :
+  ?cat:string -> ?pid:int -> ?args:(string * Json.t) list ->
+  ts:int -> tid:int -> string -> event
+
+val instant :
+  ?cat:string -> ?pid:int -> ?args:(string * Json.t) list ->
+  ts:int -> tid:int -> string -> event
+
+val process_name : pid:int -> string -> event
+(** The ["M"] metadata event that labels a pid in the viewer — one per
+    process when merging several runs into one trace. *)
+
+val event_to_json : event -> Json.t
+(** Always includes ["name"], ["cat"], ["ph"], ["ts"], ["pid"] and
+    ["tid"]; ["dur"] for complete events, ["s"] = "t" (thread scope) for
+    instants, ["args"] when non-empty. *)
+
+val to_json : event list -> Json.t
+(** The array-of-events form of the trace-event format. *)
+
+val to_string : event list -> string

@@ -126,25 +126,41 @@ module Restart = struct
     Hashtbl.fold (fun t s acc -> if s = `Active then t :: acc else acc) state []
     |> List.sort Int.compare
 
-  let recover store snapshot log =
+  let recover ?metrics store snapshot log =
+    let bump name n =
+      match metrics with
+      | None -> ()
+      | Some m -> Tavcc_obs.Metrics.add (Tavcc_obs.Metrics.counter m name) n
+    in
     Snapshot.restore store snapshot;
     (* Repeating history: redo every update and compensation, winners and
        losers alike. *)
+    let redone = ref 0 in
     List.iter
       (function
         | Wal.Update { oid; field; after; _ } | Wal.Clr { oid; field; after; _ } ->
-            if Store.exists store oid then Store.write store oid field after
+            if Store.exists store oid then begin
+              Store.write store oid field after;
+              incr redone
+            end
         | _ -> ())
       log;
     (* Undo pass: the losers' live incarnations, backwards, stopping at
        each loser's Begin.  CLRs are redo-only and skipped. *)
     let open_ = Hashtbl.create 8 in
     List.iter (fun t -> Hashtbl.replace open_ t ()) (losers log);
+    let undone = ref 0 in
     List.iter
       (function
         | Wal.Begin x when Hashtbl.mem open_ x -> Hashtbl.remove open_ x
         | Wal.Update { txn; oid; field; before; _ } when Hashtbl.mem open_ txn ->
-            if Store.exists store oid then Store.write store oid field before
+            if Store.exists store oid then begin
+              Store.write store oid field before;
+              incr undone
+            end
         | _ -> ())
-      (List.rev log)
+      (List.rev log);
+    bump "wal.replayed" (List.length log);
+    bump "wal.redo_applied" !redone;
+    bump "wal.undo_applied" !undone
 end

@@ -68,10 +68,15 @@ module Manager : sig
 end
 
 module Restart : sig
-  val recover : 'b Store.t -> Snapshot.t -> Wal.record list -> unit
+  val recover :
+    ?metrics:Tavcc_obs.Metrics.t -> 'b Store.t -> Snapshot.t -> Wal.record list -> unit
   (** [recover store snapshot log] rebuilds [store] to the state every
       stably-committed transaction produced: restore the snapshot, redo
-      all updates in log order, undo losers backwards.  Idempotent. *)
+      all updates in log order, undo losers backwards.  Idempotent.
+
+      With [metrics], the pass sizes go to counters: [wal.replayed]
+      (records scanned), [wal.redo_applied] and [wal.undo_applied]
+      (writes performed by each pass). *)
 
   val losers : Wal.record list -> int list
   (** Transactions whose latest [Begin] has no later [Commit] or

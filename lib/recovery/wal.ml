@@ -32,17 +32,38 @@ let pp_record ppf = function
            Format.pp_print_int)
         ts
 
-type t = { mutable records : record list (* newest first *); mutable n : int; mutable stable : int }
+(* Counter handles, resolved once at [create]. *)
+type obs = { m_appends : Tavcc_obs.Metrics.counter; m_flushes : Tavcc_obs.Metrics.counter }
 
-let create () = { records = []; n = 0; stable = 0 }
+type t = {
+  mutable records : record list (* newest first *);
+  mutable n : int;
+  mutable stable : int;
+  obs : obs option;
+}
+
+let create ?metrics () =
+  let obs =
+    Option.map
+      (fun m ->
+        {
+          m_appends = Tavcc_obs.Metrics.counter m "wal.appends";
+          m_flushes = Tavcc_obs.Metrics.counter m "wal.flushes";
+        })
+      metrics
+  in
+  { records = []; n = 0; stable = 0; obs }
 
 let append t r =
   let lsn = t.n in
   t.records <- r :: t.records;
   t.n <- t.n + 1;
+  (match t.obs with None -> () | Some o -> Tavcc_obs.Metrics.incr o.m_appends);
   lsn
 
-let flush t = t.stable <- t.n
+let flush t =
+  t.stable <- t.n;
+  match t.obs with None -> () | Some o -> Tavcc_obs.Metrics.incr o.m_flushes
 let stable_lsn t = t.stable
 let all t = List.rev t.records
 let stable t = List.filteri (fun i _ -> i < t.stable) (all t)

@@ -37,7 +37,9 @@ val pp_record : Format.formatter -> record -> unit
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Tavcc_obs.Metrics.t -> unit -> t
+(** With [metrics], the log counts its traffic into the registry:
+    [wal.appends] (records appended) and [wal.flushes] (forces). *)
 
 val append : t -> record -> lsn
 

@@ -2,21 +2,17 @@ open Tavcc_cc
 open Tavcc_lock
 module Txn = Tavcc_txn.Txn
 module History = Tavcc_txn.History
+module Sink = Tavcc_obs.Sink
+module Metrics = Tavcc_obs.Metrics
 
 type deadlock_policy = Detect | Wound_wait | Wait_die | No_wait | Timeout of int
 
-type config = {
-  seed : int;
-  yield_on_access : bool;
-  max_restarts : int;
-  max_steps : int;
-  policy : deadlock_policy;
-  trace : bool;
-}
-
-let default_config =
-  { seed = 42; yield_on_access = false; max_restarts = 100; max_steps = 1_000_000;
-    policy = Detect; trace = false }
+let policy_name = function
+  | Detect -> "detect"
+  | Wound_wait -> "wound-wait"
+  | Wait_die -> "wait-die"
+  | No_wait -> "no-wait"
+  | Timeout _ -> "timeout"
 
 type event =
   | Ev_begin of int
@@ -43,6 +39,22 @@ let pp_event ppf = function
   | Ev_abort t -> Format.fprintf ppf "t%d aborts" t
   | Ev_commit t -> Format.fprintf ppf "t%d commits" t
 
+type sink = (int * event) Sink.t
+
+type config = {
+  seed : int;
+  yield_on_access : bool;
+  max_restarts : int;
+  max_steps : int;
+  policy : deadlock_policy;
+  sink : sink;
+  metrics : Metrics.t option;
+}
+
+let default_config =
+  { seed = 42; yield_on_access = false; max_restarts = 100; max_steps = 1_000_000;
+    policy = Detect; sink = Sink.null; metrics = None }
+
 type result = {
   commits : int;
   deadlocks : int;
@@ -54,7 +66,8 @@ type result = {
   scheduler_steps : int;
   history : History.t;
   failed : (int * string) list;
-  events : event list;
+  events : (int * event) list;
+  lock_stats : Lock_table.stats;
 }
 
 let serializable r = History.conflict_serializable r.history
@@ -73,22 +86,63 @@ type task = {
   mutable k : (unit, unit) Effect.Deep.continuation option;
   mutable restarts : int;
   mutable parked_at : int;  (* scheduler step at which the fiber parked *)
+  mutable began_at : int;  (* step at which the current attempt began *)
+}
+
+(* Engine-level metric handles, resolved once per run. *)
+type emetrics = {
+  em_commits : Metrics.counter;
+  em_aborts : Metrics.counter;
+  em_deadlocks : Metrics.counter;
+  em_wounds : Metrics.counter;
+  em_died : Metrics.counter;
+  em_timeouts : Metrics.counter;
+  em_restarts : Metrics.counter;
+  em_attempt_steps : Metrics.histogram;  (* begin -> commit/abort, per attempt *)
+  em_steps : Metrics.counter;
+  em_steps_policy : Metrics.counter;  (* same, keyed by the run's policy *)
 }
 
 let run ?(config = default_config) ~scheme ~store ~jobs () =
   let rng = Rng.create config.seed in
-  let locks = Lock_table.create ~conflict:scheme.Scheme.conflict () in
+  let steps = ref 0 in
+  let locks =
+    Lock_table.create ?metrics:config.metrics
+      ~clock:(fun () -> !steps)
+      ~conflict:scheme.Scheme.conflict ()
+  in
   let history = History.create () in
-  let commits = ref 0 and deadlocks = ref 0 and aborts = ref 0 and steps = ref 0 in
+  let commits = ref 0 and deadlocks = ref 0 and aborts = ref 0 in
   let failed = ref [] in
-  let events = ref [] in
-  let emit e = if config.trace then events := e :: !events in
+  let em =
+    Option.map
+      (fun m ->
+        {
+          em_commits = Metrics.counter m "engine.commits";
+          em_aborts = Metrics.counter m "engine.aborts";
+          em_deadlocks = Metrics.counter m "engine.deadlocks";
+          em_wounds = Metrics.counter m "engine.wounds";
+          em_died = Metrics.counter m "engine.died";
+          em_timeouts = Metrics.counter m "engine.timeouts";
+          em_restarts = Metrics.counter m "engine.restarts";
+          em_attempt_steps = Metrics.histogram m "engine.attempt_steps";
+          em_steps = Metrics.counter m "engine.steps";
+          em_steps_policy =
+            Metrics.counter m ("engine.steps." ^ policy_name config.policy);
+        })
+      config.metrics
+  in
+  let tick f = match em with None -> () | Some e -> f e in
+  let emit e = Sink.push config.sink (!steps, e) in
+  let end_attempt t =
+    tick (fun e -> Metrics.observe e.em_attempt_steps (!steps - t.began_at))
+  in
   let tasks =
     List.map
       (fun (id, actions) ->
         if id <= 0 then invalid_arg "Engine.run: transaction ids must be positive";
         { id; actions; txn = Txn.make ~id ~birth:id; state = Ready; k = None; restarts = 0;
-          parked_at = 0 })
+          parked_at = 0; began_at = 0 })
       jobs
   in
   let task_of_txn id =
@@ -106,6 +160,8 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
   let release_and_wake id = wake (Lock_table.release_all locks id) in
   let cleanup_abort t =
     incr aborts;
+    tick (fun e -> Metrics.incr e.em_aborts);
+    end_attempt t;
     emit (Ev_abort t.id);
     History.record history (History.Abort t.id);
     Txn.abort store t.txn;
@@ -117,6 +173,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
     end
     else begin
       t.restarts <- t.restarts + 1;
+      tick (fun e -> Metrics.incr e.em_restarts);
       t.txn <- Txn.reset_for_restart t.txn;
       t.state <- Ready
     end
@@ -154,6 +211,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
               match Lock_table.find_deadlock ~from:t.id locks with
               | Some cycle ->
                   incr deadlocks;
+                  tick (fun e -> Metrics.incr e.em_deadlocks);
                   (* Victim: the youngest transaction of the cycle. *)
                   let victim = List.fold_left max min_int cycle in
                   emit (Ev_deadlock (cycle, victim));
@@ -179,6 +237,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
                 if v.txn.Txn.birth > t.txn.Txn.birth && v.state <> Finished && v.state <> Dead
                 then begin
                   emit (Ev_wound (t.id, txn));
+                  tick (fun e -> Metrics.incr e.em_wounds);
                   abort_victim txn
                 end)
               blocking
@@ -192,10 +251,12 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
                 blocking
             then begin
               emit (Ev_died t.id);
+              tick (fun e -> Metrics.incr e.em_died);
               raise Deadlock_abort
             end
         | No_wait ->
             emit (Ev_died t.id);
+            tick (fun e -> Metrics.incr e.em_died);
             raise Deadlock_abort
         | Timeout _ -> ());
         let rec wait parked =
@@ -209,6 +270,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
   in
   let start t =
     let body () =
+      t.began_at <- !steps;
       emit (Ev_begin t.id);
       History.record history (History.Begin t.id);
       let ctx = { Scheme.txn = t.txn; acquire = (fun req -> acquire t req) } in
@@ -229,6 +291,8 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
         retc =
           (fun () ->
             Txn.commit t.txn;
+            tick (fun e -> Metrics.incr e.em_commits);
+            end_attempt t;
             emit (Ev_commit t.id);
             History.record history (History.Commit t.id);
             incr commits;
@@ -240,6 +304,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
             match e with
             | Deadlock_abort -> cleanup_abort t
             | e ->
+                end_attempt t;
                 History.record history (History.Abort t.id);
                 Txn.abort store t.txn;
                 release_and_wake t.id;
@@ -271,6 +336,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
           (fun t ->
             if t.state = Parked && !steps - t.parked_at > n then begin
               emit (Ev_timeout t.id);
+              tick (fun e -> Metrics.incr e.em_timeouts);
               abort_victim t.id
             end)
           tasks
@@ -285,6 +351,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
             (* Nothing can run: fire the oldest waiter's timeout early. *)
             let oldest = List.fold_left (fun a t -> if t.parked_at < a.parked_at then t else a) p parked in
             emit (Ev_timeout oldest.id);
+            tick (fun e -> Metrics.incr e.em_timeouts);
             abort_victim oldest.id;
             loop ()
         | _ :: _, _ ->
@@ -301,7 +368,11 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
         loop ()
   in
   loop ();
-  let ls = Lock_table.stats locks in
+  tick (fun e ->
+      Metrics.add e.em_steps !steps;
+      Metrics.add e.em_steps_policy !steps);
+  (* A snapshot, so the result is not mutated by later table reuse. *)
+  let ls = Lock_table.copy_stats (Lock_table.stats locks) in
   {
     commits = !commits;
     deadlocks = !deadlocks;
@@ -313,5 +384,6 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
     scheduler_steps = !steps;
     history;
     failed = !failed;
-    events = List.rev !events;
+    events = Sink.contents config.sink;
+    lock_stats = ls;
   }

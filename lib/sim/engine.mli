@@ -36,19 +36,10 @@ type deadlock_policy =
   | No_wait
   | Timeout of int
 
-type config = {
-  seed : int;
-  yield_on_access : bool;
-      (** reschedule after every field read/write (finer interleavings,
-          slower) *)
-  max_restarts : int;  (** per transaction; beyond it the run fails *)
-  max_steps : int;  (** interpreter fuel per action *)
-  policy : deadlock_policy;
-  trace : bool;  (** record an {!event} log of the run *)
-}
+val policy_name : deadlock_policy -> string
+(** The CLI spelling: "detect", "wound-wait", ... *)
 
-(** Observable milestones of a run, in execution order (only recorded
-    with [trace = true]). *)
+(** Observable milestones of a run, in execution order. *)
 type event =
   | Ev_begin of int
   | Ev_blocked of int * Tavcc_lock.Lock_table.req
@@ -62,8 +53,37 @@ type event =
 
 val pp_event : Format.formatter -> event -> unit
 
+type sink = (int * event) Tavcc_obs.Sink.t
+(** Where the engine's event stream goes; each event is stamped with the
+    scheduler step at which it happened.  {!Tavcc_obs.Sink.null} records
+    nothing (the default — a single branch per event),
+    [Tavcc_obs.Sink.ring n] keeps the last [n] events (returned in
+    {!result.events}), [Tavcc_obs.Sink.callback f] streams them out. *)
+
+type config = {
+  seed : int;
+  yield_on_access : bool;
+      (** reschedule after every field read/write (finer interleavings,
+          slower) *)
+  max_restarts : int;  (** per transaction; beyond it the run fails *)
+  max_steps : int;  (** interpreter fuel per action *)
+  policy : deadlock_policy;
+  sink : sink;
+  metrics : Tavcc_obs.Metrics.t option;
+      (** when set, the run records engine counters ([engine.commits],
+          [engine.aborts], [engine.deadlocks], [engine.wounds],
+          [engine.died], [engine.timeouts], [engine.restarts],
+          [engine.steps] and [engine.steps.<policy>]), the
+          [engine.attempt_steps] histogram (scheduler steps from each
+          attempt's begin to its commit or abort) and, through the lock
+          table it creates, the [lock.*] metrics of
+          {!Tavcc_lock.Lock_table.create} with the step counter as the
+          clock *)
+}
+
 val default_config : config
-(** seed 42, no access yields, 100 restarts, [Detect]. *)
+(** seed 42, no access yields, 100 restarts, [Detect], null sink, no
+    metrics. *)
 
 type result = {
   commits : int;
@@ -77,7 +97,13 @@ type result = {
   history : Tavcc_txn.History.t;
   failed : (int * string) list;
       (** transactions that exceeded [max_restarts] or raised *)
-  events : event list;  (** empty unless [config.trace] *)
+  events : (int * event) list;
+      (** the (step, event) contents of a ring sink, oldest first; empty
+          for null and callback sinks *)
+  lock_stats : Tavcc_lock.Lock_table.stats;
+      (** snapshot of the run's complete lock-table statistics — the
+          [lock_requests]/[lock_waits]/[lock_conversions] fields above
+          are projections of it, kept for compatibility *)
 }
 
 val serializable : result -> bool

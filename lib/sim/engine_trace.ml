@@ -1,0 +1,89 @@
+open Tavcc_lock
+module Trace = Tavcc_obs.Trace
+module Json = Tavcc_obs.Json
+
+(* Per-transaction reconstruction state while folding over the timed
+   event stream. *)
+type tstate = {
+  mutable gen : int;  (* attempt number, counts up across restarts *)
+  mutable attempt_start : int option;  (* step of the open attempt's begin *)
+  mutable wait_start : int option;  (* step of the open wait's block *)
+}
+
+let to_trace ?(pid = 0) events =
+  let states = Hashtbl.create 16 in
+  let state id =
+    match Hashtbl.find_opt states id with
+    | Some s -> s
+    | None ->
+        let s = { gen = 0; attempt_start = None; wait_start = None } in
+        Hashtbl.replace states id s;
+        s
+  in
+  let out = ref [] in
+  let push e = out := e :: !out in
+  let close_wait ts id =
+    let s = state id in
+    match s.wait_start with
+    | None -> ()
+    | Some _ ->
+        s.wait_start <- None;
+        push (Trace.end_ ~cat:"lock" ~pid ~ts ~tid:id "wait")
+  in
+  let close_attempt ts id outcome =
+    let s = state id in
+    close_wait ts id;
+    match s.attempt_start with
+    | None -> ()
+    | Some t0 ->
+        s.attempt_start <- None;
+        push
+          (Trace.complete ~cat:"txn" ~pid ~ts:t0 ~dur:(ts - t0) ~tid:id
+             ~args:
+               [ ("outcome", Json.String outcome); ("generation", Json.Int s.gen) ]
+             (Printf.sprintf "t%d#%d" id s.gen));
+        s.gen <- s.gen + 1
+  in
+  let last_ts = ref 0 in
+  List.iter
+    (fun ((ts, ev) : int * Engine.event) ->
+      last_ts := max !last_ts ts;
+      match ev with
+      | Engine.Ev_begin id -> (state id).attempt_start <- Some ts
+      | Engine.Ev_blocked (id, req) ->
+          (state id).wait_start <- Some ts;
+          push
+            (Trace.begin_ ~cat:"lock" ~pid ~ts ~tid:id
+               ~args:[ ("request", Json.String (Format.asprintf "%a" Lock_table.pp_req req)) ]
+               "wait")
+      | Engine.Ev_resumed id -> close_wait ts id
+      | Engine.Ev_deadlock (cycle, victim) ->
+          push
+            (Trace.instant ~cat:"deadlock" ~pid ~ts ~tid:victim
+               ~args:
+                 [
+                   ("cycle", Json.List (List.map (fun t -> Json.Int t) cycle));
+                   ("victim", Json.Int victim);
+                 ]
+               "deadlock")
+      | Engine.Ev_wound (by, victim) ->
+          push
+            (Trace.instant ~cat:"deadlock" ~pid ~ts ~tid:victim
+               ~args:[ ("by", Json.Int by) ]
+               "wound")
+      | Engine.Ev_died id -> push (Trace.instant ~cat:"deadlock" ~pid ~ts ~tid:id "die")
+      | Engine.Ev_timeout id -> push (Trace.instant ~cat:"deadlock" ~pid ~ts ~tid:id "timeout")
+      | Engine.Ev_abort id -> close_attempt ts id "abort"
+      | Engine.Ev_commit id -> close_attempt ts id "commit")
+    events;
+  (* Close whatever is still open (transactions that died with a raised
+     exception emit no Ev_abort). *)
+  Hashtbl.iter
+    (fun id s ->
+      if s.wait_start <> None || s.attempt_start <> None then begin
+        close_attempt !last_ts id "unfinished"
+      end)
+    states;
+  List.rev !out
+
+let to_json ?pid events = Trace.to_json (to_trace ?pid events)

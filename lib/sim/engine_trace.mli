@@ -1,0 +1,18 @@
+(** Export an engine event stream as a Chrome trace.
+
+    Folds the (step, event) stream a ring or callback sink collected into
+    {!Tavcc_obs.Trace} events — one ["X"] complete span per transaction
+    attempt (named [t<id>#<generation>], with the outcome in [args]),
+    ["B"]/["E"] wait spans for each blocked-to-resumed interval, and
+    instant markers for deadlocks, wounds, deaths and timeouts.
+    Timestamps are scheduler steps (the format calls them microseconds;
+    the scale is irrelevant to the viewer).  The resulting JSON loads
+    directly in Perfetto or [chrome://tracing]. *)
+
+val to_trace : ?pid:int -> (int * Engine.event) list -> Tavcc_obs.Trace.event list
+(** [pid] distinguishes runs when several traces are merged (default
+    0).  Attempts still open at the end of the stream — transactions
+    that failed with a raised exception — are closed at the last seen
+    step with outcome ["unfinished"]. *)
+
+val to_json : ?pid:int -> (int * Engine.event) list -> Tavcc_obs.Json.t

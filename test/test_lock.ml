@@ -255,8 +255,57 @@ let test_stats () =
   Alcotest.(check int) "immediate" 2 s.Lock_table.immediate;
   Alcotest.(check int) "waits" 1 s.Lock_table.waits;
   Alcotest.(check int) "conversions" 1 s.Lock_table.conversions;
+  Alcotest.(check int) "max queue depth" 1 s.Lock_table.max_queue_depth;
+  Alcotest.(check int) "nothing granted from a queue yet" 0 s.Lock_table.granted_after_wait;
+  (* Re-asking for the queued write is a no-op re-acquire, not a new wait. *)
+  Alcotest.check outcome "still waiting" Lock_table.Waiting
+    (Lock_table.acquire t (req 2 (res_i 0) Compat.write));
+  Alcotest.(check int) "reacquire counted" 1 s.Lock_table.reacquires;
+  Alcotest.(check int) "requests split exactly" s.Lock_table.requests
+    (s.Lock_table.immediate + s.Lock_table.waits + s.Lock_table.reacquires);
+  ignore (Lock_table.acquire t (req 3 (res_i 0) Compat.read));
+  Alcotest.(check int) "high-water mark grows" 2 s.Lock_table.max_queue_depth;
+  ignore (Lock_table.release_all t 1);
+  Alcotest.(check int) "queue drains count as granted_after_wait" 1
+    s.Lock_table.granted_after_wait;
   Lock_table.reset_stats t;
-  Alcotest.(check int) "reset" 0 (Lock_table.stats t).Lock_table.requests
+  let z = Lock_table.stats t in
+  List.iter
+    (fun (name, v) -> Alcotest.(check int) ("reset " ^ name) 0 v)
+    [
+      ("requests", z.Lock_table.requests);
+      ("immediate", z.Lock_table.immediate);
+      ("waits", z.Lock_table.waits);
+      ("conversions", z.Lock_table.conversions);
+      ("reacquires", z.Lock_table.reacquires);
+      ("granted_after_wait", z.Lock_table.granted_after_wait);
+      ("max_queue_depth", z.Lock_table.max_queue_depth);
+    ]
+
+let test_stats_rendering () =
+  let t = make () in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.read));
+  ignore (Lock_table.acquire t (req 2 (res_i 0) Compat.write));
+  let s = Lock_table.stats t in
+  let text = Format.asprintf "%a" Lock_table.pp_stats s in
+  Alcotest.(check bool) "pp mentions requests" true (contains text "requests");
+  Alcotest.(check bool) "pp mentions the high-water mark" true
+    (contains text "max_queue_depth");
+  let j = Lock_table.stats_to_json s in
+  List.iter
+    (fun (field, v) ->
+      match Tavcc_obs.Json.member field j with
+      | Some (Tavcc_obs.Json.Int n) -> Alcotest.(check int) field v n
+      | _ -> Alcotest.failf "missing json field %s" field)
+    [
+      ("requests", 2); ("immediate", 1); ("waits", 1); ("conversions", 0);
+      ("reacquires", 0); ("granted_after_wait", 0); ("max_queue_depth", 1);
+    ];
+  (* The snapshot does not track the live record. *)
+  let snap = Lock_table.copy_stats s in
+  ignore (Lock_table.acquire t (req 3 (res_i 1) Compat.read));
+  Alcotest.(check int) "snapshot frozen" 2 snap.Lock_table.requests;
+  Alcotest.(check int) "live record moved" 3 s.Lock_table.requests
 
 (* Random operation sequences: structural invariants of the table. *)
 let prop_invariants =
@@ -443,6 +492,7 @@ let suite =
     case "waiting_for is deterministic" test_waiting_for_deterministic;
     case "introspection" test_conflicting_holders_and_locks_of;
     case "statistics" test_stats;
+    case "statistics rendering and snapshots" test_stats_rendering;
     QCheck_alcotest.to_alcotest prop_invariants;
     QCheck_alcotest.to_alcotest prop_release_grants_are_fifo_consistent;
     QCheck_alcotest.to_alcotest prop_incremental_graph_agrees;

@@ -1,0 +1,366 @@
+(* The observability layer: JSON round-trips, metric registries, sinks,
+   the engine/lock/analysis/recovery instrumentation, and the Chrome
+   trace exporter. *)
+
+open Tavcc_model
+module Exec = Tavcc_cc.Exec
+module Engine = Tavcc_sim.Engine
+module Engine_trace = Tavcc_sim.Engine_trace
+module Workload = Tavcc_sim.Workload
+module Lock_table = Tavcc_lock.Lock_table
+module Json = Tavcc_obs.Json
+module Metrics = Tavcc_obs.Metrics
+module Sink = Tavcc_obs.Sink
+module Trace = Tavcc_obs.Trace
+open Helpers
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("n", Json.Int (-42));
+        ("x", Json.Float 1.5);
+        ("s", Json.String "quote \" slash \\ newline \n tab \t unicode \xc3\xa9");
+        ("empty", Json.Obj []);
+        ("nested", Json.List [ Json.Obj [ ("k", Json.Int 1) ] ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_parse () =
+  (match Json.of_string {| { "a" : [ 1, 2.5, "bA", true, null ] } |} with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "bA"; Json.Bool true; Json.Null ]) ]) -> ()
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
+
+let test_json_accessors () =
+  let j = Json.Obj [ ("a", Json.Int 3); ("b", Json.List [ Json.String "x" ]) ] in
+  Alcotest.(check (option int)) "member + to_int" (Some 3)
+    (Option.bind (Json.member "a" j) Json.to_int);
+  Alcotest.(check bool) "missing member" true (Json.member "zz" j = None);
+  Alcotest.(check (option string)) "to_str in list" (Some "x")
+    (match Option.bind (Json.member "b" j) Json.to_list with
+    | Some [ s ] -> Json.to_str s
+    | _ -> None)
+
+(* --- Metrics --- *)
+
+let test_metrics_counters_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.value c);
+  Alcotest.(check int) "same name, same counter" 5 (Metrics.value (Metrics.counter m "c"));
+  let g = Metrics.gauge m "g" in
+  Metrics.set g 7;
+  Metrics.set g 3;
+  Alcotest.(check int) "gauge tracks last" 3 (Metrics.gauge_value g);
+  Alcotest.(check int) "gauge tracks max" 7 (Metrics.gauge_max g);
+  check_raises_invalid "type clash" (fun () -> Metrics.histogram m "c");
+  Alcotest.(check (list string)) "registration order" [ "c"; "g" ] (Metrics.names m)
+
+let test_metrics_buckets () =
+  Alcotest.(check int) "v<=0 in bucket 0" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "negative in bucket 0" 0 (Metrics.bucket_of (-5));
+  Alcotest.(check int) "1" 1 (Metrics.bucket_of 1);
+  Alcotest.(check int) "2" 2 (Metrics.bucket_of 2);
+  Alcotest.(check int) "3" 2 (Metrics.bucket_of 3);
+  Alcotest.(check int) "4" 3 (Metrics.bucket_of 4);
+  Alcotest.(check int) "1023" 10 (Metrics.bucket_of 1023);
+  Alcotest.(check int) "1024" 11 (Metrics.bucket_of 1024);
+  (* Buckets partition the positives: [2^(i-1), 2^i - 1]. *)
+  for i = 1 to 20 do
+    let lo, hi = Metrics.bucket_bounds i in
+    Alcotest.(check int) "lo lands in its bucket" i (Metrics.bucket_of lo);
+    Alcotest.(check int) "hi lands in its bucket" i (Metrics.bucket_of hi);
+    Alcotest.(check int) "buckets are adjacent" (2 * lo) (hi + 1)
+  done
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "h" in
+  List.iter (Metrics.observe h) [ 0; 1; 1; 3; 1000 ];
+  Alcotest.(check int) "count" 5 (Metrics.count h);
+  Alcotest.(check int) "sum" 1005 (Metrics.sum h);
+  Alcotest.(check int) "max" 1000 (Metrics.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 201.0 (Metrics.mean h);
+  Alcotest.(check (list (triple int int int))) "nonempty buckets"
+    [ (min_int, 0, 1); (1, 1, 2); (2, 3, 1); (512, 1023, 1) ]
+    (Metrics.nonempty_buckets h)
+
+let test_metrics_json_and_timer () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "hits") 3;
+  Metrics.observe (Metrics.histogram m "lat") 5;
+  let r = Metrics.time_us m "phase_us" (fun () -> 17) in
+  Alcotest.(check int) "time_us returns the result" 17 r;
+  Alcotest.(check int) "time_us observed once" 1
+    (Metrics.count (Metrics.histogram m "phase_us"));
+  let j = Metrics.to_json m in
+  (* Everything we just emitted must survive a print/parse cycle. *)
+  (match Json.of_string (Json.to_string j) with
+  | Error e -> Alcotest.failf "metrics json unparseable: %s" e
+  | Ok j' -> Alcotest.(check bool) "metrics json round-trips" true (j = j'));
+  (match Json.member "hits" j with
+  | Some (Json.Obj fields) ->
+      Alcotest.(check (option int)) "counter value" (Some 3)
+        (Option.bind (List.assoc_opt "value" fields) Json.to_int)
+  | _ -> Alcotest.fail "counter missing from json");
+  match Json.member "lat" j with
+  | Some (Json.Obj fields) ->
+      Alcotest.(check (option int)) "histogram count" (Some 1)
+        (Option.bind (List.assoc_opt "count" fields) Json.to_int);
+      Alcotest.(check bool) "histogram buckets present" true
+        (List.mem_assoc "buckets" fields)
+  | _ -> Alcotest.fail "histogram missing from json"
+
+(* --- Sink --- *)
+
+let test_sink_behaviours () =
+  Alcotest.(check bool) "null is null" true (Sink.is_null Sink.null);
+  Sink.push Sink.null 1;
+  Alcotest.(check int) "null records nothing" 0 (Sink.pushed Sink.null);
+  check_raises_invalid "bad capacity" (fun () -> Sink.ring 0);
+  let r = Sink.ring 3 in
+  List.iter (Sink.push r) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "ring keeps newest, oldest first" [ 3; 4; 5 ] (Sink.contents r);
+  Alcotest.(check int) "pushed" 5 (Sink.pushed r);
+  Alcotest.(check int) "dropped" 2 (Sink.dropped r);
+  let seen = ref [] in
+  let cb = Sink.callback (fun x -> seen := x :: !seen) in
+  List.iter (Sink.push cb) [ 1; 2 ];
+  Alcotest.(check (list int)) "callback streams in order" [ 1; 2 ] (List.rev !seen);
+  Alcotest.(check (list int)) "callback holds nothing" [] (Sink.contents cb)
+
+(* --- engine + lock instrumentation --- *)
+
+let run_contended ?(policy = Engine.Detect) ?metrics ?(sink = Sink.null) ?(txns = 4) () =
+  let schema = Workload.chain_schema ~levels:3 in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  let oid = Store.new_instance store (cn "chain") in
+  let jobs =
+    List.init txns (fun i -> (i + 1, [ Exec.Call (oid, mn "m3", [ Value.Vint 1 ]) ]))
+  in
+  let config =
+    { Engine.default_config with seed = 5; yield_on_access = true; policy;
+      max_restarts = 1000; sink; metrics }
+  in
+  Engine.run ~config ~scheme:(Tavcc_cc.Rw_instance.scheme an) ~store ~jobs ()
+
+let all_policies =
+  [ Engine.Detect; Engine.Wound_wait; Engine.Wait_die; Engine.No_wait; Engine.Timeout 10 ]
+
+let test_lock_stats_accounting () =
+  (* The request ledger must balance for every policy: each acquire is an
+     immediate grant, a new wait, or a queued-request no-op. *)
+  List.iter
+    (fun policy ->
+      let r = run_contended ~policy () in
+      let s = r.Engine.lock_stats in
+      let name = Engine.policy_name policy in
+      Alcotest.(check int)
+        (name ^ ": requests = immediate + waits + reacquires")
+        s.Lock_table.requests
+        (s.Lock_table.immediate + s.Lock_table.waits + s.Lock_table.reacquires);
+      (* The flat result fields are projections of the same snapshot. *)
+      Alcotest.(check int) (name ^ ": lock_requests projection")
+        s.Lock_table.requests r.Engine.lock_requests;
+      Alcotest.(check int) (name ^ ": lock_waits projection")
+        s.Lock_table.waits r.Engine.lock_waits;
+      Alcotest.(check int) (name ^ ": lock_conversions projection")
+        s.Lock_table.conversions r.Engine.lock_conversions;
+      Alcotest.(check bool) (name ^ ": waits bound granted_after_wait") true
+        (s.Lock_table.granted_after_wait <= s.Lock_table.waits);
+      if s.Lock_table.waits > 0 then
+        Alcotest.(check bool) (name ^ ": queue depth observed") true
+          (s.Lock_table.max_queue_depth >= 1))
+    all_policies
+
+let test_engine_metrics () =
+  let m = Metrics.create () in
+  let r = run_contended ~metrics:m () in
+  let c name = Metrics.value (Metrics.counter m name) in
+  Alcotest.(check int) "commits counted" r.Engine.commits (c "engine.commits");
+  Alcotest.(check int) "aborts counted" r.Engine.aborts (c "engine.aborts");
+  Alcotest.(check int) "deadlocks counted" r.Engine.deadlocks (c "engine.deadlocks");
+  Alcotest.(check int) "restarts counted" r.Engine.restarts (c "engine.restarts");
+  Alcotest.(check int) "steps counted" r.Engine.scheduler_steps (c "engine.steps");
+  Alcotest.(check int) "steps attributed to the policy" r.Engine.scheduler_steps
+    (c "engine.steps.detect");
+  let attempts = Metrics.histogram m "engine.attempt_steps" in
+  Alcotest.(check int) "one attempt span per begin"
+    (r.Engine.commits + r.Engine.aborts) (Metrics.count attempts);
+  (* The lock table fed the same registry through the step clock. *)
+  let wait_h = Metrics.histogram m "lock.wait_steps" in
+  Alcotest.(check int) "wait latency observed per drained wait"
+    r.Engine.lock_stats.Lock_table.granted_after_wait (Metrics.count wait_h);
+  Alcotest.(check int) "conversion/plain split covers all waits"
+    r.Engine.lock_waits
+    (Metrics.value (Metrics.counter m "lock.waits_conversion")
+    + Metrics.value (Metrics.counter m "lock.waits_plain"));
+  Alcotest.(check int) "queue depth observed at each enqueue" r.Engine.lock_waits
+    (Metrics.count (Metrics.histogram m "lock.queue_depth"));
+  Alcotest.(check int) "cycle lengths observed" r.Engine.deadlocks
+    (Metrics.count (Metrics.histogram m "lock.cycle_length"))
+
+let test_engine_metrics_off_by_default () =
+  let r = run_contended () in
+  Alcotest.(check bool) "run works with no registry" true (r.Engine.commits > 0)
+
+(* --- analysis + recovery instrumentation --- *)
+
+let test_analysis_timers () =
+  let m = Metrics.create () in
+  ignore (Tavcc_core.Analysis.compile ~metrics:m (Workload.chain_schema ~levels:3));
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " recorded") true
+        (Metrics.count (Metrics.histogram m name) >= 1))
+    [ "analysis.extraction_us"; "analysis.lbr_us"; "analysis.tav_us"; "analysis.table_us" ]
+
+let test_recovery_counters () =
+  let open Tavcc_recovery in
+  let schema =
+    schema_of_source {|class item is fields a : integer; end|}
+  in
+  let store = Store.create schema in
+  let o1 = Store.new_instance store (cn "item") ~init:[ (fn "a", Value.Vint 1) ] in
+  let m = Metrics.create () in
+  let wal = Wal.create ~metrics:m () in
+  let mgr = Recovery.Manager.create store wal in
+  let snap = Recovery.Manager.checkpoint mgr in
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 42);
+  Recovery.Manager.commit mgr 1;
+  Recovery.Manager.begin_txn mgr 2;
+  Recovery.Manager.write mgr ~txn:2 o1 (fn "a") (Value.Vint 7);
+  Wal.flush wal;
+  let c name = Metrics.value (Metrics.counter m name) in
+  Alcotest.(check int) "appends counted" (Wal.length wal) (c "wal.appends");
+  Alcotest.(check bool) "flushes counted" true (c "wal.flushes" >= 1);
+  Recovery.Restart.recover ~metrics:m store snap (Wal.stable wal);
+  Alcotest.(check int) "replayed counts the whole stable log"
+    (List.length (Wal.stable wal)) (c "wal.replayed");
+  Alcotest.(check bool) "redo applied" true (c "wal.redo_applied" >= 1);
+  (* t2 is a loser: its update must be undone during replay. *)
+  Alcotest.(check bool) "undo applied" true (c "wal.undo_applied" >= 1);
+  Alcotest.check value "committed state" (Value.Vint 42) (Store.read store o1 (fn "a"))
+
+(* --- the Chrome trace exporter --- *)
+
+let test_trace_export_shape () =
+  (* Acceptance: a seeded trace round-trips through the JSON parser and
+     every event carries the mandatory trace-event fields. *)
+  let sink = Sink.ring 100_000 in
+  let r = run_contended ~sink () in
+  let json = Engine_trace.to_json ~pid:3 r.Engine.events in
+  let parsed =
+    match Json.of_string (Json.to_string json) with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "trace json unparseable: %s" e
+  in
+  Alcotest.(check bool) "identical after the round-trip" true (parsed = json);
+  let events =
+    match Json.to_list parsed with
+    | Some l -> l
+    | None -> Alcotest.fail "trace must be an array of events"
+  in
+  Alcotest.(check bool) "non-empty" true (events <> []);
+  List.iter
+    (fun e ->
+      let field name = Json.member name e in
+      (match Option.bind (field "ph") Json.to_str with
+      | Some ("X" | "B" | "E" | "i" | "M") -> ()
+      | _ -> Alcotest.fail "ph must be a known phase string");
+      List.iter
+        (fun name ->
+          match Option.bind (field name) Json.to_int with
+          | Some v -> Alcotest.(check bool) (name ^ " non-negative") true (v >= 0)
+          | None -> Alcotest.failf "event missing %s" name)
+        [ "ts"; "pid"; "tid" ];
+      Alcotest.(check (option int)) "pid propagated" (Some 3)
+        (Option.bind (field "pid") Json.to_int))
+    events
+
+let test_trace_export_semantics () =
+  let sink = Sink.ring 100_000 in
+  let r = run_contended ~sink () in
+  let tr = Engine_trace.to_trace r.Engine.events in
+  let count ph = List.length (List.filter (fun e -> e.Trace.ph = ph) tr) in
+  Alcotest.(check int) "one complete span per attempt"
+    (r.Engine.commits + r.Engine.aborts) (count Trace.Complete);
+  Alcotest.(check int) "wait spans balance" (count Trace.Begin) (count Trace.End);
+  Alcotest.(check int) "instants mark deadlocks" r.Engine.deadlocks (count Trace.Instant);
+  (* Generations: each transaction's spans are t<id>#0, t<id>#1, ... *)
+  let spans = List.filter (fun e -> e.Trace.ph = Trace.Complete) tr in
+  List.iter
+    (fun tid ->
+      let names =
+        List.filter_map
+          (fun e -> if e.Trace.tid = tid then Some e.Trace.name else None)
+          spans
+      in
+      List.iteri
+        (fun gen name ->
+          Alcotest.(check string) "generation naming"
+            (Printf.sprintf "t%d#%d" tid gen) name)
+        names;
+      (* The last attempt of every transaction commits. *)
+      match List.rev names with
+      | last :: _ ->
+          let e = List.find (fun e -> e.Trace.name = last && e.Trace.tid = tid) spans in
+          Alcotest.(check (option string)) "final outcome" (Some "commit")
+            (Option.bind (List.assoc_opt "outcome" e.Trace.args) Json.to_str)
+      | [] -> Alcotest.fail "transaction left no spans")
+    [ 1; 2; 3; 4 ]
+
+let test_trace_export_unfinished () =
+  (* A stream that ends mid-attempt still closes its span. *)
+  let events = [ (0, Engine.Ev_begin 1); (5, Engine.Ev_blocked (1, {
+      Lock_table.r_txn = 1; r_res = Tavcc_lock.Resource.Instance (Oid.of_int 0);
+      r_mode = 0; r_hier = false; r_pred = None })) ]
+  in
+  let tr = Engine_trace.to_trace events in
+  let spans = List.filter (fun e -> e.Trace.ph = Trace.Complete) tr in
+  (match spans with
+  | [ e ] ->
+      Alcotest.(check (option string)) "marked unfinished" (Some "unfinished")
+        (Option.bind (List.assoc_opt "outcome" e.Trace.args) Json.to_str);
+      Alcotest.(check int) "closed at the last step" 5 (e.Trace.ts + e.Trace.dur)
+  | _ -> Alcotest.fail "expected exactly one span");
+  Alcotest.(check int) "dangling wait closed too" 1
+    (List.length (List.filter (fun e -> e.Trace.ph = Trace.End) tr))
+
+let suite =
+  [
+    case "json round-trip" test_json_roundtrip;
+    case "json parser accepts and rejects" test_json_parse;
+    case "json accessors" test_json_accessors;
+    case "counters and gauges" test_metrics_counters_gauges;
+    case "histogram bucket math" test_metrics_buckets;
+    case "histogram aggregates" test_metrics_histogram;
+    case "metrics json and timers" test_metrics_json_and_timer;
+    case "sink behaviours" test_sink_behaviours;
+    case "lock request ledger balances under every policy" test_lock_stats_accounting;
+    case "engine metrics agree with the result" test_engine_metrics;
+    case "metrics are opt-in" test_engine_metrics_off_by_default;
+    case "analysis phase timers" test_analysis_timers;
+    case "recovery counters" test_recovery_counters;
+    case "trace export: perfetto shape round-trips" test_trace_export_shape;
+    case "trace export: spans and generations" test_trace_export_semantics;
+    case "trace export: unfinished attempts" test_trace_export_unfinished;
+  ]

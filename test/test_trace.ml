@@ -1,12 +1,15 @@
-(* The engine's event trace. *)
+(* The engine's event trace: sink plumbing, structure, and the
+   policy-specific events (wound / die / timeout / deadlock) with their
+   ordering and victim identity on seeded runs. *)
 
 open Tavcc_model
 module Exec = Tavcc_cc.Exec
 module Engine = Tavcc_sim.Engine
 module Workload = Tavcc_sim.Workload
+module Sink = Tavcc_obs.Sink
 open Helpers
 
-let run_chain ?(policy = Engine.Detect) ~txns () =
+let run_chain ?(policy = Engine.Detect) ?(seed = 5) ~txns () =
   let schema = Workload.chain_schema ~levels:3 in
   let an = Tavcc_core.Analysis.compile schema in
   let store = Store.create schema in
@@ -15,12 +18,13 @@ let run_chain ?(policy = Engine.Detect) ~txns () =
     List.init txns (fun i -> (i + 1, [ Exec.Call (oid, mn "m3", [ Value.Vint 1 ]) ]))
   in
   let config =
-    { Engine.default_config with seed = 5; yield_on_access = true; policy; trace = true;
-      max_restarts = 1000 }
+    { Engine.default_config with seed; yield_on_access = true; policy;
+      sink = Sink.ring 100_000; max_restarts = 1000 }
   in
   Engine.run ~config ~scheme:(Tavcc_cc.Rw_instance.scheme an) ~store ~jobs ()
 
-let count pred events = List.length (List.filter pred events)
+let events r = List.map snd r.Engine.events
+let count pred evs = List.length (List.filter pred evs)
 
 let test_trace_off_by_default () =
   let schema = Workload.chain_schema ~levels:1 in
@@ -33,9 +37,49 @@ let test_trace_off_by_default () =
   in
   Alcotest.(check int) "no events" 0 (List.length r.Engine.events)
 
+let test_callback_sink_streams () =
+  let schema = Workload.chain_schema ~levels:1 in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  let oid = Store.new_instance store (cn "chain") in
+  let seen = ref [] in
+  let sink = Sink.callback (fun te -> seen := te :: !seen) in
+  let r =
+    Engine.run
+      ~config:{ Engine.default_config with sink }
+      ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store
+      ~jobs:[ (1, [ Exec.Call (oid, mn "m1", [ Value.Vint 1 ]) ]) ] ()
+  in
+  Alcotest.(check int) "result carries no buffer for a callback sink" 0
+    (List.length r.Engine.events);
+  let evs = List.map snd (List.rev !seen) in
+  Alcotest.(check bool) "callback saw begin and commit" true
+    (count (function Engine.Ev_begin _ -> true | _ -> false) evs = 1
+    && count (function Engine.Ev_commit _ -> true | _ -> false) evs = 1)
+
+let test_ring_capacity () =
+  (* A tiny ring keeps only the newest events; the run itself is
+     unaffected. *)
+  let schema = Workload.chain_schema ~levels:1 in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  let oid = Store.new_instance store (cn "chain") in
+  let sink = Sink.ring 1 in
+  let r =
+    Engine.run
+      ~config:{ Engine.default_config with sink }
+      ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store
+      ~jobs:[ (1, [ Exec.Call (oid, mn "m1", [ Value.Vint 1 ]) ]) ] ()
+  in
+  Alcotest.(check int) "one survivor" 1 (List.length r.Engine.events);
+  (match List.map snd r.Engine.events with
+  | [ Engine.Ev_commit 1 ] -> ()
+  | _ -> Alcotest.fail "newest event (the commit) should survive");
+  Alcotest.(check bool) "drops counted" true (Sink.dropped sink > 0)
+
 let test_trace_structure () =
   let r = run_chain ~txns:4 () in
-  let ev = r.Engine.events in
+  let ev = events r in
   Alcotest.(check int) "one commit event per transaction" 4
     (count (function Engine.Ev_commit _ -> true | _ -> false) ev);
   Alcotest.(check int) "begins cover restarts" (4 + r.Engine.aborts)
@@ -60,23 +104,116 @@ let test_trace_structure () =
       Alcotest.(check bool) (Printf.sprintf "t%d ends committed" id) true (last = Some `Commit))
     [ 1; 2; 3; 4 ]
 
+let test_steps_nondecreasing () =
+  let r = run_chain ~txns:4 () in
+  let rec mono = function
+    | (a, _) :: ((b, _) :: _ as tl) -> a <= b && mono tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "event steps never go backwards" true (mono r.Engine.events);
+  Alcotest.(check bool) "steps bounded by the scheduler" true
+    (List.for_all (fun (s, _) -> s >= 0 && s <= r.Engine.scheduler_steps) r.Engine.events)
+
 let test_trace_blocked_resumed_pair () =
   let r = run_chain ~txns:3 () in
-  let blocked = count (function Engine.Ev_blocked _ -> true | _ -> false) r.Engine.events in
+  let blocked = count (function Engine.Ev_blocked _ -> true | _ -> false) (events r) in
   Alcotest.(check bool) "some blocking traced" true (blocked > 0);
   Alcotest.(check int) "blocked events match the waits counter" r.Engine.lock_waits blocked
 
-let test_trace_policy_events () =
+(* --- policy-specific events: ordering and victim identity --- *)
+
+(* Index of the first element satisfying [p], or None. *)
+let find_index p l =
+  let rec go i = function
+    | [] -> None
+    | x :: tl -> if p x then Some i else go (i + 1) tl
+  in
+  go 0 l
+
+let test_deadlock_events () =
+  let r = run_chain ~policy:Engine.Detect ~txns:4 () in
+  let ev = events r in
+  let dls =
+    List.filter_map (function Engine.Ev_deadlock (c, v) -> Some (c, v) | _ -> None) ev
+  in
+  Alcotest.(check bool) "cycles found" true (dls <> []);
+  List.iter
+    (fun (cycle, victim) ->
+      Alcotest.(check bool) "victim is in its cycle" true (List.mem victim cycle);
+      Alcotest.(check int) "victim is the youngest of the cycle"
+        (List.fold_left max min_int cycle) victim)
+    dls;
+  (* Every deadlock is followed by its victim's abort before that victim
+     begins again. *)
+  List.iter
+    (fun (_, victim) ->
+      let after =
+        match find_index (function Engine.Ev_deadlock (_, v) -> v = victim | _ -> false) ev with
+        | Some i -> List.filteri (fun j _ -> j > i) ev
+        | None -> []
+      in
+      let abort_i = find_index (function Engine.Ev_abort t -> t = victim | _ -> false) after in
+      let begin_i = find_index (function Engine.Ev_begin t -> t = victim | _ -> false) after in
+      match (abort_i, begin_i) with
+      | Some a, Some b -> Alcotest.(check bool) "abort precedes the restart" true (a < b)
+      | Some _, None -> ()
+      | None, _ -> Alcotest.fail "deadlock victim never aborted")
+    dls
+
+let test_wound_events () =
   let r = run_chain ~policy:Engine.Wound_wait ~txns:4 () in
-  Alcotest.(check bool) "wound events present" true
-    (count (function Engine.Ev_wound _ -> true | _ -> false) r.Engine.events > 0);
-  let r = run_chain ~policy:Engine.Wait_die ~txns:4 () in
-  Alcotest.(check bool) "die events present" true
-    (count (function Engine.Ev_died _ -> true | _ -> false) r.Engine.events > 0);
-  (* Wound-wait never emits a deadlock event. *)
-  let r = run_chain ~policy:Engine.Wound_wait ~txns:4 () in
+  let ev = events r in
+  let wounds =
+    List.filter_map (function Engine.Ev_wound (w, v) -> Some (w, v) | _ -> None) ev
+  in
+  Alcotest.(check bool) "wound events present" true (wounds <> []);
+  (* Ids are births here: the wounding transaction is always older. *)
+  List.iter
+    (fun (w, v) -> Alcotest.(check bool) "older wounds younger" true (w < v))
+    wounds;
+  (* The wound is followed by the victim's abort, and no deadlock cycle is
+     ever counted under prevention. *)
+  (match wounds with
+  | (_, v0) :: _ ->
+      let i = Option.get (find_index (function Engine.Ev_wound _ -> true | _ -> false) ev) in
+      let after = List.filteri (fun j _ -> j > i) ev in
+      Alcotest.(check bool) "victim aborts after the wound" true
+        (find_index (function Engine.Ev_abort t -> t = v0 | _ -> false) after <> None)
+  | [] -> ());
   Alcotest.(check int) "no cycle under prevention" 0
-    (count (function Engine.Ev_deadlock _ -> true | _ -> false) r.Engine.events)
+    (count (function Engine.Ev_deadlock _ -> true | _ -> false) ev)
+
+let test_died_events () =
+  let r = run_chain ~policy:Engine.Wait_die ~txns:4 () in
+  let ev = events r in
+  let died = List.filter_map (function Engine.Ev_died t -> Some t | _ -> None) ev in
+  Alcotest.(check bool) "die events present" true (died <> []);
+  (* The oldest transaction never dies, and each death is immediately
+     followed by that transaction's own abort. *)
+  Alcotest.(check bool) "t1 never dies" true (not (List.mem 1 died));
+  List.iteri
+    (fun _ t ->
+      let i = Option.get (find_index (function Engine.Ev_died t' -> t' = t | _ -> false) ev) in
+      match List.nth_opt ev (i + 1) with
+      | Some (Engine.Ev_abort t') -> Alcotest.(check int) "dies then aborts itself" t t'
+      | _ -> Alcotest.fail "Ev_died must be followed by the victim's Ev_abort")
+    died
+
+let test_timeout_events () =
+  let r = run_chain ~policy:(Engine.Timeout 10) ~txns:4 () in
+  let ev = events r in
+  let touts = List.filter_map (function Engine.Ev_timeout t -> Some t | _ -> None) ev in
+  Alcotest.(check bool) "timeout events present" true (touts <> []);
+  List.iter
+    (fun t ->
+      let i =
+        Option.get (find_index (function Engine.Ev_timeout t' -> t' = t | _ -> false) ev)
+      in
+      let after = List.filteri (fun j _ -> j > i) ev in
+      Alcotest.(check bool) "timed-out txn aborts" true
+        (find_index (function Engine.Ev_abort t' -> t' = t | _ -> false) after <> None))
+    (List.sort_uniq compare touts);
+  Alcotest.(check int) "all commit in the end" 4 r.Engine.commits
 
 let test_pp_event () =
   let s = Format.asprintf "%a" Engine.pp_event (Engine.Ev_deadlock ([ 1; 2 ], 2)) in
@@ -85,8 +222,14 @@ let test_pp_event () =
 let suite =
   [
     case "tracing is off by default" test_trace_off_by_default;
+    case "callback sink streams events" test_callback_sink_streams;
+    case "ring sink keeps the newest events" test_ring_capacity;
     case "trace structure" test_trace_structure;
+    case "event steps are monotone" test_steps_nondecreasing;
     case "blocked events match waits" test_trace_blocked_resumed_pair;
-    case "policy-specific events" test_trace_policy_events;
+    case "deadlock events: victim identity and ordering" test_deadlock_events;
+    case "wound events: priority and ordering" test_wound_events;
+    case "die events: priority and ordering" test_died_events;
+    case "timeout events: ordering" test_timeout_events;
     case "event rendering" test_pp_event;
   ]
