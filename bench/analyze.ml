@@ -1,0 +1,151 @@
+(* analyze/wall-time — cost of the lint passes vs the compile pipeline,
+   as schema size grows.
+
+   The linter (Lint.analyze) re-walks the compiled artefacts: blame
+   chains are one BFS per widened (class, method), pseudo-conflicts one
+   commutativity test per method pair, PRE001 one SCC pass over the
+   method dependency graph.  All of that is the same asymptotic shape as
+   Analysis.compile itself (extraction + LBR + TAV fixpoint + tables),
+   so linting must stay within a small constant of compiling — the gate
+   fails the run when lint exceeds [threshold_x] times compile on any
+   schema.  Each measurement takes the minimum of [repeats] runs.
+   Results go to stdout and BENCH_analyze.json.
+
+   The workloads scale schema size (class count, inheritance depth and
+   fanout, self-call chain length), which is the axis compile time
+   itself scales along.  Diagnostic *output* volume is a different axis:
+   a single-class clique of M mutually recursive methods emits O(M^2)
+   provenance-rich chains while its TAV fixpoint condenses to one SCC
+   join, so lint-to-compile on such a schema measures message
+   materialisation, not analysis — that regime is covered by the
+   per-diag figures in the JSON rather than the ratio gate. *)
+
+module Workload = Tavcc_sim.Workload
+module Rng = Tavcc_sim.Rng
+module Analysis = Tavcc_core.Analysis
+module Lint = Tavcc_analyze.Lint
+
+let repeats = 7
+let threshold_x = 3.0
+let now () = Unix.gettimeofday ()
+
+(* Per-run times here are tens of microseconds — single-call samples sit
+   at the timer's resolution and the min wanders by 2x.  Each sample is
+   therefore a batch sized to ~1ms of work; the reported time is the
+   best batch average over [repeats] batches. *)
+let min_time f =
+  let t0 = now () in
+  let v0 = f () in
+  let est = Float.max 1e-7 (now () -. t0) in
+  let iters = max 1 (int_of_float (1e-3 /. est)) in
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = now () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let dt = (now () -. t0) /. float_of_int iters in
+    if dt < !best then best := dt
+  done;
+  (!best *. 1e3, v0)
+
+type row = {
+  label : string;
+  gated : bool;
+  classes : int;
+  methods : int;
+  diags : int;
+  compile_ms : float;
+  lint_ms : float;
+  ratio : float;
+  us_per_diag : float;
+}
+
+let run_config ~seed ~gated label schema =
+  (* Start each measurement from a settled heap: a pending major
+     collection landing inside one config's timing loop but not the
+     other's would skew the ratio. *)
+  Gc.major ();
+  let compile_ms, an = min_time (fun () -> Analysis.compile schema) in
+  Gc.major ();
+  let lint_ms, report = min_time (fun () -> Lint.analyze an) in
+  ignore seed;
+  let diags = List.length report.Lint.r_diags in
+  {
+    label;
+    gated;
+    classes = Tavcc_model.Schema.class_count schema;
+    methods = Analysis.method_count an;
+    diags;
+    compile_ms;
+    lint_ms;
+    ratio = lint_ms /. compile_ms;
+    us_per_diag = (if diags = 0 then 0.0 else lint_ms *. 1e3 /. float_of_int diags);
+  }
+
+let json_of_row r =
+  Printf.sprintf
+    "    {\"label\": \"%s\", \"gated\": %b, \"classes\": %d, \"methods\": %d, \
+     \"diags\": %d, \"compile_ms\": %.3f, \"lint_ms\": %.3f, \"ratio\": %.2f, \
+     \"us_per_diag\": %.2f}"
+    r.label r.gated r.classes r.methods r.diags r.compile_ms r.lint_ms r.ratio
+    r.us_per_diag
+
+let () =
+  let seed = 42 in
+  let configs =
+    [
+      ("paper-fig1", true, Tavcc_core.Paper_example.schema ());
+      ( "tree-d2-f2",
+        true,
+        Workload.make_schema (Rng.create seed)
+          { Workload.default_params with sp_depth = 2; sp_fanout = 2 } );
+      ( "tree-d3-f2",
+        true,
+        Workload.make_schema (Rng.create seed)
+          { Workload.default_params with sp_depth = 3; sp_fanout = 2 } );
+      ( "tree-d3-f3",
+        true,
+        Workload.make_schema (Rng.create seed)
+          { Workload.default_params with sp_depth = 3; sp_fanout = 3 } );
+      ("chain-12", true, Workload.chain_schema ~levels:12);
+      (* Output-bound outlier: O(M^2) chains out of one condensed SCC —
+         reported for the per-diag figure, outside the ratio gate. *)
+      ("scc-cluster-24", false, Workload.recursive_cluster_schema ~methods:24);
+    ]
+  in
+  Printf.printf "analyze/wall-time — lint passes vs Analysis.compile\n";
+  Printf.printf
+    "(min of %d repeats, seed %d, gate: lint <= %.1fx compile on gated rows)\n\n" repeats
+    seed threshold_x;
+  Printf.printf "%-16s %-6s %-8s %-8s %-6s %-12s %-10s %-8s %-8s\n" "schema" "gated"
+    "classes" "methods" "diags" "compile-ms" "lint-ms" "ratio" "us/diag";
+  let rows =
+    List.map
+      (fun (label, gated, schema) ->
+        let r = run_config ~seed ~gated label schema in
+        Printf.printf "%-16s %-6b %-8d %-8d %-6d %-12.3f %-10.3f %-8.2f %-8.2f\n" r.label
+          r.gated r.classes r.methods r.diags r.compile_ms r.lint_ms r.ratio r.us_per_diag;
+        r)
+      configs
+  in
+  let max_ratio =
+    List.fold_left
+      (fun acc r -> if r.gated then Float.max acc r.ratio else acc)
+      neg_infinity rows
+  in
+  let oc = open_out "BENCH_analyze.json" in
+  output_string oc "{\n  \"bench\": \"analyze/wall-time\",\n";
+  Printf.fprintf oc "  \"repeats\": %d,\n  \"seed\": %d,\n  \"threshold_x\": %.1f,\n" repeats
+    seed threshold_x;
+  output_string oc "  \"rows\": [\n";
+  output_string oc (String.concat ",\n" (List.map json_of_row rows));
+  output_string oc "\n  ],\n";
+  Printf.fprintf oc "  \"max_ratio\": %.2f\n}\n" max_ratio;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_analyze.json (%d rows, max ratio %.2fx)\n" (List.length rows)
+    max_ratio;
+  if max_ratio > threshold_x then begin
+    Printf.printf "FAIL: lint exceeded %.1fx the compile time\n" threshold_x;
+    exit 1
+  end

@@ -138,23 +138,131 @@ let depgraph_cmd =
   let doc = "emit the whole-schema method dependency graph (composition links) as DOT" in
   Cmd.v (Cmd.info "depgraph" ~doc) Term.(const run $ file_arg)
 
+let json_of_check_errors errs =
+  let module Json = Tavcc_obs.Json in
+  let pos = function
+    | None -> Json.Null
+    | Some p ->
+        Json.Obj [ ("line", Json.Int p.Tavcc_lang.Token.line); ("col", Json.Int p.Tavcc_lang.Token.col) ]
+  in
+  Json.Obj
+    [
+      ( "errors",
+        Json.List
+          (List.map
+             (fun (e : Tavcc_lang.Check.error) ->
+               Json.Obj
+                 [
+                   ("class", Json.String (Name.Class.to_string e.Tavcc_lang.Check.ce_class));
+                   ( "method",
+                     match e.Tavcc_lang.Check.ce_method with
+                     | Some m -> Json.String (Name.Method.to_string m)
+                     | None -> Json.Null );
+                   ("pos", pos e.Tavcc_lang.Check.ce_pos);
+                   ("message", Json.String e.Tavcc_lang.Check.ce_msg);
+                 ])
+             errs) );
+    ]
+
 let check_cmd =
-  let run file =
+  let run file json =
     match handle_syntax (fun () -> load file) with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok schema -> (
-        match check_schema schema with
+        match Tavcc_lang.Check.check schema with
         | Ok () ->
-            Printf.printf "%s: %d class(es), no diagnostics\n" file (Schema.class_count schema);
+            if json then print_endline (Tavcc_obs.Json.to_string (json_of_check_errors []))
+            else
+              Printf.printf "%s: %d class(es), no diagnostics\n" file
+                (Schema.class_count schema);
             0
-        | Error msg ->
-            prerr_endline msg;
+        | Error errs ->
+            if json then print_endline (Tavcc_obs.Json.to_string (json_of_check_errors errs))
+            else
+              prerr_endline
+                (Format.asprintf "%a"
+                   (Format.pp_print_list ~pp_sep:Format.pp_print_newline
+                      Tavcc_lang.Check.pp_error)
+                   errs);
             1)
   in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the diagnostics as JSON instead of text.")
+  in
   let doc = "parse and statically check a schema" in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg)
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg $ json)
+
+let lint_cmd =
+  let module Lint = Tavcc_analyze.Lint in
+  let module Diag = Tavcc_analyze.Diag in
+  let run file use_example json fail_on dot_class =
+    let fail_on =
+      match fail_on with
+      | "never" -> None
+      | s -> (
+          match Diag.severity_of_string s with
+          | Some _ as sev -> sev
+          | None ->
+              Printf.eprintf "favc lint: unknown severity '%s' (info|warning|error|never)\n" s;
+              exit 2)
+    in
+    let with_an f =
+      if use_example then f (Paper_example.schema ())
+      else
+        match file with
+        | None ->
+            prerr_endline "favc lint: a FILE argument or --example is required";
+            2
+        | Some file -> with_schema file f
+    in
+    with_an (fun schema ->
+        let an = Analysis.compile schema in
+        let report = Lint.analyze an in
+        (match dot_class with
+        | Some c ->
+            let c = Name.Class.of_string c in
+            if not (Schema.mem schema c) then (
+              Format.eprintf "favc lint: unknown class %a@." Name.Class.pp c;
+              exit 2);
+            print_string (Lint.dot_overlay an report c)
+        | None ->
+            if json then print_endline (Tavcc_obs.Json.to_string (Lint.to_json report))
+            else Format.printf "%a" Lint.pp_report report);
+        let fail =
+          match (Lint.max_severity report, fail_on) with
+          | Some s, Some threshold -> Diag.severity_rank s >= Diag.severity_rank threshold
+          | _ -> false
+        in
+        if fail then 1 else 0)
+  in
+  let file =
+    let doc = "ODML schema file ('-' for standard input)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let example =
+    Arg.(value & flag & info [ "example" ] ~doc:"Lint the embedded paper schema (Figure 1).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let fail_on =
+    let doc =
+      "Exit nonzero when a diagnostic of severity $(docv) or above is reported \
+       (info|warning|error|never)."
+    in
+    Arg.(value & opt string "error" & info [ "fail-on" ] ~docv:"SEV" ~doc)
+  in
+  let dot_class =
+    let doc =
+      "Instead of the report, emit $(docv)'s late-binding resolution graph as GraphViz \
+       DOT with the blamed edges highlighted."
+    in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"CLASS" ~doc)
+  in
+  let doc = "statically analyse a schema for concurrency-control problems (P3/P4)" in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ file $ example $ json $ fail_on $ dot_class)
 
 let example_cmd =
   let run () =
@@ -175,6 +283,9 @@ let main =
   let doc = "fine concurrency control compiler (Malta & Martinez, ICDE'93)" in
   Cmd.group
     (Cmd.info "favc" ~version:"1.0.0" ~doc)
-    [ compile_cmd; davs_cmd; tavs_cmd; commute_cmd; dot_cmd; depgraph_cmd; check_cmd; example_cmd ]
+    [
+      compile_cmd; davs_cmd; tavs_cmd; commute_cmd; dot_cmd; depgraph_cmd; check_cmd;
+      lint_cmd; example_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -10,6 +10,7 @@ module Exec = Tavcc_cc.Exec
 module Engine = Tavcc_sim.Engine
 module Engine_trace = Tavcc_sim.Engine_trace
 module Workload = Tavcc_sim.Workload
+module Crosscheck = Tavcc_sim.Crosscheck
 module Rng = Tavcc_sim.Rng
 module Metrics = Tavcc_obs.Metrics
 module Sink = Tavcc_obs.Sink
@@ -315,8 +316,32 @@ let escalation_cmd =
   Cmd.v (Cmd.info "escalation" ~doc)
     Term.(const run $ seed $ txns $ levels $ policy_arg $ trace $ trace_out_arg)
 
+(* --- crosscheck: static ESC001 predictions vs the engine --- *)
+
+let crosscheck_cmd =
+  let run seed txns levels =
+    let o = Crosscheck.run_e4 ~seed ~txns ~levels () in
+    Format.printf
+      "cross-check: E4 cascade of depth %d, %d transactions on one instance, seed %d@\n%a"
+      levels txns seed Crosscheck.pp_outcome o;
+    if Crosscheck.sound o then 0 else 1
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let txns =
+    Arg.(value & opt int 8 & info [ "t"; "txns" ] ~docv:"N" ~doc:"Concurrent transactions.")
+  in
+  let levels =
+    Arg.(value & opt int 3 & info [ "depth" ] ~docv:"N" ~doc:"Self-call cascade depth.")
+  in
+  let doc =
+    "verify every escalation deadlock the engine observes was statically predicted (ESC001)"
+  in
+  Cmd.v (Cmd.info "crosscheck" ~doc) Term.(const run $ seed $ txns $ levels)
+
 let main =
   let doc = "object-oriented concurrency-control simulator (Malta & Martinez, ICDE'93)" in
-  Cmd.group (Cmd.info "oosim" ~version:"1.0.0" ~doc) [ run_cmd; scenario_cmd; escalation_cmd ]
+  Cmd.group
+    (Cmd.info "oosim" ~version:"1.0.0" ~doc)
+    [ run_cmd; scenario_cmd; escalation_cmd; crosscheck_cmd ]
 
 let () = exit (Cmd.eval' main)

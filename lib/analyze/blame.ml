@@ -1,0 +1,142 @@
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lang
+module CN = Name.Class
+module MN = Name.Method
+
+type step = { s_from : Site.t; s_to : Site.t; s_pos : Token.pos option }
+
+type chain = {
+  c_entry : Site.t;
+  c_field : Name.Field.t;
+  c_dav_mode : Mode.t;
+  c_tav_mode : Mode.t;
+  c_steps : step list;
+  c_sink : Site.t;
+  c_access_pos : Token.pos option;
+}
+
+let edge_pos ex ~cls v w =
+  let sends = Extraction.send_sites ex (fst v) (snd v) in
+  let is_psc s =
+    match s.Extraction.sk_kind with
+    | Extraction.Sk_psc (c, m) -> CN.equal c (fst w) && MN.equal m (snd w)
+    | _ -> false
+  in
+  let is_dsc s =
+    match s.Extraction.sk_kind with
+    | Extraction.Sk_dsc m -> MN.equal m (snd w)
+    | _ -> false
+  in
+  match List.find_opt is_psc sends with
+  | Some s -> s.Extraction.sk_pos
+  | None ->
+      (* A DSC edge re-resolves its target against the receiver class, so
+         it can only lead to a vertex of [cls] itself (definition 9). *)
+      if CN.equal (fst w) cls then
+        match List.find_opt is_dsc sends with Some s -> s.Extraction.sk_pos | None -> None
+      else None
+
+(* BFS tree rooted at [start]: parents array plus visit order, giving
+   shortest chains by edge count. *)
+let bfs_tree lbr start =
+  let succs = Lbr.succs lbr in
+  let n = Array.length succs in
+  let parent = Array.make n (-1) in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let q = Queue.create () in
+  visited.(start) <- true;
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    order := v :: !order;
+    List.iter
+      (fun w ->
+        if not visited.(w) then (
+          visited.(w) <- true;
+          parent.(w) <- v;
+          Queue.add w q))
+      succs.(v)
+  done;
+  (parent, List.rev !order)
+
+(* Per-class context: the LBR, one DAV per vertex and the position of every
+   LBR edge are computed once and shared by all entry methods of the class.
+   Blaming walks each edge many times (once per chain crossing it), so the
+   send-site scan behind [edge_pos] must not run per step. *)
+type context = {
+  x_ex : Extraction.t;
+  x_cls : CN.t;
+  x_lbr : Lbr.t;
+  x_vs : Site.t array;
+  x_davs : Access_vector.t array;
+  x_epos : (int * int, Token.pos option) Hashtbl.t;
+}
+
+let context an cls =
+  let ex = Analysis.extraction an in
+  let lbr = Analysis.lbr an cls in
+  let vs = Lbr.vertices lbr in
+  let davs = Array.map (fun (c', m') -> Extraction.dav ex c' m') vs in
+  let succs = Lbr.succs lbr in
+  let epos = Hashtbl.create (2 * Array.length vs) in
+  Array.iteri
+    (fun i v ->
+      List.iter (fun j -> Hashtbl.replace epos (i, j) (edge_pos ex ~cls v vs.(j))) succs.(i))
+    vs;
+  { x_ex = ex; x_cls = cls; x_lbr = lbr; x_vs = vs; x_davs = davs; x_epos = epos }
+
+let path_to ctx parent sink start =
+  let rec up acc v =
+    if v = start then acc
+    else
+      let p = parent.(v) in
+      let s =
+        {
+          s_from = ctx.x_vs.(p);
+          s_to = ctx.x_vs.(v);
+          s_pos = (try Hashtbl.find ctx.x_epos (p, v) with Not_found -> None);
+        }
+      in
+      up (s :: acc) p
+  in
+  up [] sink
+
+let widened_in ctx an meth =
+  let cls = ctx.x_cls in
+  let dav = Analysis.dav an cls meth in
+  let tav = Analysis.tav an cls meth in
+  let widened_fields =
+    List.filter
+      (fun (f, m) -> not (Mode.leq m (Access_vector.get dav f)))
+      (Access_vector.to_list tav)
+  in
+  if widened_fields = [] then []
+  else
+    match Lbr.index ctx.x_lbr (cls, meth) with
+    | None -> []
+    | Some start ->
+        let parent, order = bfs_tree ctx.x_lbr start in
+        List.filter_map
+          (fun (f, tmode) ->
+            (* The TAV is the join of reachable DAVs, so some reachable
+               vertex attains the mode; BFS order makes it the nearest. *)
+            let attains v = Mode.leq tmode (Access_vector.get ctx.x_davs.(v) f) in
+            match List.find_opt attains order with
+            | None -> None
+            | Some sink ->
+                let c', m' = ctx.x_vs.(sink) in
+                Some
+                  {
+                    c_entry = (cls, meth);
+                    c_field = f;
+                    c_dav_mode = Access_vector.get dav f;
+                    c_tav_mode = tmode;
+                    c_steps = path_to ctx parent sink start;
+                    c_sink = ctx.x_vs.(sink);
+                    c_access_pos = Extraction.first_field_pos ctx.x_ex c' m' f tmode;
+                  })
+          widened_fields
+
+let widened an cls meth = widened_in (context an cls) an meth

@@ -1,0 +1,49 @@
+(** Precision-loss blame: which self-call chain widened a TAV field.
+
+    Definition 10 joins, into [TAV{C,M}], the DAV of every vertex the
+    entry [(C, M)] reaches in the late-binding resolution graph.  When a
+    field ends up wider in the TAV than in the entry's own DAV, some
+    reachable vertex is responsible; this module recovers the {e
+    shortest} self-call chain from the entry to the first vertex whose
+    DAV attains the widened mode, with the source position of every send
+    along the way — the provenance the linter attaches to escalation
+    (ESC001) and precision-loss (PRL001) diagnostics. *)
+
+open Tavcc_model
+open Tavcc_lang
+open Tavcc_core
+
+type step = {
+  s_from : Site.t;
+  s_to : Site.t;
+  s_pos : Token.pos option;  (** position of the self-send in [s_from]'s body *)
+}
+
+type chain = {
+  c_entry : Site.t;
+  c_field : Name.Field.t;
+  c_dav_mode : Mode.t;  (** the field's mode in the entry's DAV *)
+  c_tav_mode : Mode.t;  (** its (strictly wider) mode in the TAV *)
+  c_steps : step list;  (** entry → … → sink, shortest by edge count *)
+  c_sink : Site.t;  (** first vertex whose DAV attains [c_tav_mode] *)
+  c_access_pos : Token.pos option;  (** the widening field access in the sink *)
+}
+
+val widened : Tavcc_core.Analysis.t -> Name.Class.t -> Name.Method.t -> chain list
+(** One chain per field whose TAV mode strictly exceeds its DAV mode at
+    the entry [(C, M)], in field order.  Empty when [TAV = DAV]. *)
+
+type context
+(** Per-class blame state — the LBR, one DAV per vertex, and the source
+    position of every LBR edge, computed once.  Blaming every entry of a
+    class through one context avoids re-scanning send sites per step. *)
+
+val context : Tavcc_core.Analysis.t -> Name.Class.t -> context
+
+val widened_in : context -> Tavcc_core.Analysis.t -> Name.Method.t -> chain list
+(** [widened] against a precomputed per-class context. *)
+
+val edge_pos : Tavcc_core.Extraction.t -> cls:Name.Class.t -> Site.t -> Site.t -> Token.pos option
+(** Position of the send statement realising the LBR edge [v -> w] in the
+    graph of class [cls] — the prefixed send naming [w], or the simple
+    self-send of [w]'s method when [w] is a re-resolved vertex of [cls]. *)

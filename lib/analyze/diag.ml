@@ -1,0 +1,110 @@
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lang
+module Json = Tavcc_obs.Json
+
+type severity = Info | Warning | Error
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let pp_severity ppf s = Format.pp_print_string ppf (severity_to_string s)
+
+type code = Esc001 | Pcf001 | Prl001 | Prl002 | Dyn001 | Pre001
+
+let code_to_string = function
+  | Esc001 -> "ESC001"
+  | Pcf001 -> "PCF001"
+  | Prl001 -> "PRL001"
+  | Prl002 -> "PRL002"
+  | Dyn001 -> "DYN001"
+  | Pre001 -> "PRE001"
+
+let severity_of_code = function
+  | Esc001 | Pcf001 | Dyn001 -> Warning
+  | Prl001 | Prl002 -> Info
+  | Pre001 -> Error
+
+type note = { n_msg : string; n_pos : Token.pos option }
+
+type t = {
+  d_code : code;
+  d_severity : severity;
+  d_site : Site.t;
+  d_pos : Token.pos option;
+  d_msg : string;
+  d_notes : note list;
+}
+
+let make ?pos ?(notes = []) code site msg =
+  {
+    d_code = code;
+    d_severity = severity_of_code code;
+    d_site = site;
+    d_pos = pos;
+    d_msg = msg;
+    d_notes = notes;
+  }
+
+let compare_pos p p' =
+  match (p, p') with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some a, Some b ->
+      let c = Int.compare a.Token.line b.Token.line in
+      if c <> 0 then c else Int.compare a.Token.col b.Token.col
+
+let compare d d' =
+  let c = Int.compare (severity_rank d'.d_severity) (severity_rank d.d_severity) in
+  if c <> 0 then c
+  else
+    let c = Site.compare d.d_site d'.d_site in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare d.d_code d'.d_code in
+      if c <> 0 then c else compare_pos d.d_pos d'.d_pos
+
+let pp_pos_opt ppf = function
+  | Some p -> Format.fprintf ppf " %d:%d" p.Token.line p.Token.col
+  | None -> ()
+
+let pp ppf d =
+  let c, m = d.d_site in
+  Format.fprintf ppf "%a %s %a.%a%a: %s" pp_severity d.d_severity
+    (code_to_string d.d_code) Name.Class.pp c Name.Method.pp m pp_pos_opt d.d_pos d.d_msg;
+  List.iter
+    (fun n -> Format.fprintf ppf "@\n  note%a: %s" pp_pos_opt n.n_pos n.n_msg)
+    d.d_notes
+
+let json_of_pos = function
+  | None -> Json.Null
+  | Some p -> Json.Obj [ ("line", Json.Int p.Token.line); ("col", Json.Int p.Token.col) ]
+
+let to_json d =
+  let c, m = d.d_site in
+  Json.Obj
+    [
+      ("code", Json.String (code_to_string d.d_code));
+      ("severity", Json.String (severity_to_string d.d_severity));
+      ("class", Json.String (Name.Class.to_string c));
+      ("method", Json.String (Name.Method.to_string m));
+      ("pos", json_of_pos d.d_pos);
+      ("message", Json.String d.d_msg);
+      ( "notes",
+        Json.List
+          (List.map
+             (fun n ->
+               Json.Obj [ ("message", Json.String n.n_msg); ("pos", json_of_pos n.n_pos) ])
+             d.d_notes) );
+    ]

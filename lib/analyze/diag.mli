@@ -1,0 +1,55 @@
+(** Structured, severity-ranked diagnostics with source provenance.
+
+    Every diagnostic names the [(class, method)] site it is about, the
+    position of the statement that causes it (threaded from the parser
+    through {!Tavcc_core.Extraction}) and a list of secondary notes — the
+    self-call chain, the forcing branch, the offending sends — each with
+    its own position.  The catalogue of codes is documented in
+    [docs/ANALYZER.md]. *)
+
+open Tavcc_core
+open Tavcc_lang
+
+type severity = Info | Warning | Error
+
+val severity_rank : severity -> int
+(** [Info = 0 < Warning = 1 < Error = 2]. *)
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+val pp_severity : Format.formatter -> severity -> unit
+
+type code =
+  | Esc001  (** escalation-deadlock site (problem P3) — warning *)
+  | Pcf001  (** pseudo-conflict pair (problem P4) — warning *)
+  | Prl001  (** precision loss: TAV field wider than DAV — info *)
+  | Prl002  (** precision loss: branch-forced widening at a join — info *)
+  | Dyn001  (** dynamic send: receiver class statically unknown — warning *)
+  | Pre001  (** preclaim lock-order cycle in the dependency graph — error *)
+
+val code_to_string : code -> string
+val severity_of_code : code -> severity
+
+type note = { n_msg : string; n_pos : Token.pos option }
+
+type t = {
+  d_code : code;
+  d_severity : severity;
+  d_site : Site.t;  (** the [(class, method)] the diagnostic is about *)
+  d_pos : Token.pos option;  (** primary causing statement *)
+  d_msg : string;
+  d_notes : note list;  (** provenance trail, in causal order *)
+}
+
+val make : ?pos:Token.pos -> ?notes:note list -> code -> Site.t -> string -> t
+(** Severity is derived from the code. *)
+
+val compare : t -> t -> int
+(** Most severe first, then by class, method, code and position — the
+    order reports are presented in. *)
+
+val pp : Format.formatter -> t -> unit
+(** One [severity CODE class.method line:col: message] line, notes
+    indented below. *)
+
+val to_json : t -> Tavcc_obs.Json.t

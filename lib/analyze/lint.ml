@@ -1,0 +1,494 @@
+open Tavcc_model
+open Tavcc_core
+module Json = Tavcc_obs.Json
+module CN = Name.Class
+module MN = Name.Method
+module FN = Name.Field
+
+type report = {
+  r_diags : Diag.t list;
+  r_blamed : (Site.t * Site.t) list CN.Map.t;
+}
+
+let fields_str fs = "{" ^ String.concat ", " (List.map FN.to_string fs) ^ "}"
+
+(* Sites rendered relative to the class under analysis: [m2] for its own
+   vertices, [c1.m2] for prefixed-call vertices of an ancestor.  Plain
+   string building — a large schema yields thousands of chain notes, and
+   [Format.asprintf] per note dominated the analyzer's wall-time. *)
+let site_str cls (c, m) =
+  if CN.equal c cls then MN.to_string m
+  else CN.to_string c ^ "." ^ MN.to_string m
+
+let chain_str cls (entry, steps) =
+  String.concat " -> "
+    (site_str cls entry :: List.map (fun s -> site_str cls s.Blame.s_to) steps)
+
+let chain_notes cls chain =
+  let step_notes =
+    List.map
+      (fun s ->
+        { Diag.n_msg = "self-call resolves to " ^ site_str cls s.Blame.s_to;
+          n_pos = s.Blame.s_pos })
+      chain.Blame.c_steps
+  in
+  step_notes
+  @ [
+      {
+        Diag.n_msg =
+          site_str cls chain.Blame.c_sink ^ " accesses "
+          ^ FN.to_string chain.Blame.c_field
+          ^ " in mode "
+          ^ Mode.to_string chain.Blame.c_tav_mode;
+        n_pos = chain.Blame.c_access_pos;
+      };
+    ]
+
+(* --- ESC001: escalation-deadlock sites (problem P3) --- *)
+
+let escalation_sites an =
+  let schema = Analysis.schema an in
+  List.fold_left
+    (fun acc cls ->
+      List.fold_left
+        (fun acc m ->
+          let dav = Analysis.dav an cls m and tav = Analysis.tav an cls m in
+          if Access_vector.write_fields dav = [] && Access_vector.write_fields tav <> []
+          then Site.Set.add (cls, m) acc
+          else acc)
+        acc (Schema.methods schema cls))
+    Site.Set.empty (Schema.classes schema)
+
+let escalation_diags an chains_of =
+  Site.Set.fold
+    (fun (cls, m) acc ->
+      let tav = Analysis.tav an cls m in
+      let writes = Access_vector.write_fields tav in
+      let chains =
+        List.filter
+          (fun c -> Mode.equal c.Blame.c_tav_mode Mode.Write)
+          (chains_of cls m)
+      in
+      let pos =
+        match chains with
+        | { Blame.c_steps = s :: _; _ } :: _ -> s.Blame.s_pos
+        | _ -> None
+      in
+      let notes = List.concat_map (chain_notes cls) chains in
+      let msg =
+        "entry lock is Read (the DAV writes nothing) but self-calls escalate it to Write "
+        ^ fields_str writes
+        ^ "; concurrent sends to one instance convert Read -> Write and deadlock under \
+           rw-msg locking (problem P3)"
+      in
+      Diag.make ?pos ~notes Diag.Esc001 (cls, m) msg :: acc)
+    (escalation_sites an) []
+
+(* --- PCF001: pseudo-conflicts (problem P4) --- *)
+
+let pseudo_conflicts an =
+  let schema = Analysis.schema an in
+  List.concat_map
+    (fun cls ->
+      let meths = Schema.methods schema cls in
+      let rec pairs = function
+        | [] -> []
+        | m :: tl -> List.map (fun m' -> (m, m')) tl @ pairs tl
+      in
+      List.filter_map
+        (fun (m, m') ->
+          let tav = Analysis.tav an cls m and tav' = Analysis.tav an cls m' in
+          let writes v = Access_vector.write_fields v <> [] in
+          if (writes tav || writes tav') && Access_vector.commutes tav tav' then
+            Some (cls, (m, m'))
+          else None)
+        (pairs meths))
+    (Schema.classes schema)
+
+let describe_writes (m, tav) =
+  match Access_vector.write_fields tav with
+  | [] -> MN.to_string m ^ " only reads"
+  | ws -> MN.to_string m ^ " writes " ^ fields_str ws
+
+let av_str v =
+  "("
+  ^ String.concat ", "
+      (List.map
+         (fun (f, m) -> Mode.to_string m ^ " " ^ FN.to_string f)
+         (Access_vector.to_list v))
+  ^ ")"
+
+let pcf_diags an =
+  let ex = Analysis.extraction an in
+  List.map
+    (fun (cls, (m, m')) ->
+      let tav = Analysis.tav an cls m and tav' = Analysis.tav an cls m' in
+      let fs = FN.Set.of_list (Access_vector.fields tav) in
+      let fs' = FN.Set.of_list (Access_vector.fields tav') in
+      let only s s' = FN.Set.elements (FN.Set.diff s s') in
+      let shared = FN.Set.elements (FN.Set.inter fs fs') in
+      let first_write_pos mth v =
+        match Access_vector.write_fields v with
+        | f :: _ -> Extraction.first_field_pos ex cls mth f Mode.Write
+        | [] -> None
+      in
+      let pos =
+        match first_write_pos m tav with
+        | Some _ as p -> p
+        | None -> first_write_pos m' tav'
+      in
+      let note mth v =
+        { Diag.n_msg = "TAV of " ^ MN.to_string mth ^ ": " ^ av_str v;
+          n_pos = first_write_pos mth v }
+      in
+      let msg =
+        MN.to_string m ^ " and " ^ MN.to_string m'
+        ^ " conflict under whole-instance read/write locking ("
+        ^ describe_writes (m, tav)
+        ^ "; "
+        ^ describe_writes (m', tav')
+        ^ ") yet their TAVs commute; decomposing the instance lock into field groups "
+        ^ fields_str (only fs fs')
+        ^ " / "
+        ^ fields_str (only fs' fs)
+        ^ (if shared = [] then "" else " (compatibly shared: " ^ fields_str shared ^ ")")
+        ^ " lets them run concurrently (problem P4)"
+      in
+      Diag.make ?pos ~notes:[ note m tav; note m' tav' ] Diag.Pcf001 (cls, m) msg)
+    (pseudo_conflicts an)
+
+(* --- PRL001: per-field precision-loss blame --- *)
+
+let prl001_diags an chains_of =
+  let schema = Analysis.schema an in
+  List.concat_map
+    (fun cls ->
+      List.concat_map
+        (fun m ->
+          List.map
+            (fun ch ->
+              let pos =
+                match ch.Blame.c_steps with s :: _ -> s.Blame.s_pos | [] -> None
+              in
+              let f = FN.to_string ch.Blame.c_field in
+              let msg =
+                "TAV holds "
+                ^ Mode.to_string ch.Blame.c_tav_mode
+                ^ " " ^ f ^ " but the DAV has "
+                ^ Mode.to_string ch.Blame.c_dav_mode
+                ^ " " ^ f ^ ": widened by the self-call chain "
+                ^ chain_str cls (ch.Blame.c_entry, ch.Blame.c_steps)
+              in
+              Diag.make ?pos ~notes:(chain_notes cls ch) Diag.Prl001 (cls, m) msg)
+            (chains_of cls m))
+        (Schema.methods schema cls))
+    (Schema.classes schema)
+
+(* --- PRL002: joins whose branches force a widening --- *)
+
+let rec flatten_branch acc = function
+  | [] -> acc
+  | (Extraction.Afield _ as a) :: tl | (Extraction.Asend _ as a) :: tl ->
+      flatten_branch (a :: acc) tl
+  | Extraction.Ajoin j :: tl ->
+      flatten_branch (flatten_branch (flatten_branch acc j.Extraction.j_then) j.Extraction.j_else) tl
+
+let first_write_in branch f =
+  List.find_map
+    (function
+      | Extraction.Afield (f', Mode.Write, p) when FN.equal f f' -> p
+      | _ -> None)
+    (List.rev (flatten_branch [] branch))
+
+let prl002_diags an =
+  let schema = Analysis.schema an in
+  let ex = Analysis.extraction an in
+  let site_diags cls m tree =
+    (* Post-order: a field blamed on an inner join is not re-blamed on an
+       enclosing one — the innermost branch is the forcing statement. *)
+    let rec walk (rep, ds) tree =
+      List.fold_left
+        (fun (rep, ds) a ->
+          match a with
+          | Extraction.Afield _ | Extraction.Asend _ -> (rep, ds)
+          | Extraction.Ajoin j ->
+              let rep, ds = walk (walk (rep, ds) j.Extraction.j_then) j.Extraction.j_else in
+              let av_t = Extraction.join_av j.Extraction.j_then in
+              let av_e = Extraction.join_av j.Extraction.j_else in
+              let fields =
+                List.sort_uniq FN.compare
+                  (Access_vector.fields av_t @ Access_vector.fields av_e)
+              in
+              List.fold_left
+                (fun (rep, ds) f ->
+                  let mt = Access_vector.get av_t f and me = Access_vector.get av_e f in
+                  if
+                    Mode.equal mt me
+                    || (not (Mode.equal (Mode.join mt me) Mode.Write))
+                    || FN.Set.mem f rep
+                  then (rep, ds)
+                  else
+                    let wbranch =
+                      if Mode.equal mt Mode.Write then j.Extraction.j_then
+                      else j.Extraction.j_else
+                    in
+                    let kind = if j.Extraction.j_while then "while" else "if" in
+                    let fstr = FN.to_string f in
+                    let msg =
+                      fstr ^ " is written only inside a branch of this " ^ kind
+                      ^ "; definition 6 joins both branches, so the method's vector \
+                         conservatively holds Write "
+                      ^ fstr
+                    in
+                    let notes =
+                      match first_write_in wbranch f with
+                      | Some _ as p ->
+                          [ { Diag.n_msg = fstr ^ " is written here"; n_pos = p } ]
+                      | None -> []
+                    in
+                    ( FN.Set.add f rep,
+                      Diag.make ?pos:j.Extraction.j_pos ~notes Diag.Prl002 (cls, m) msg
+                      :: ds ))
+                (rep, ds) fields)
+        (rep, ds) tree
+    in
+    snd (walk (FN.Set.empty, []) tree)
+  in
+  List.concat_map
+    (fun cls ->
+      List.concat_map
+        (fun (md : _ Schema.method_def) ->
+          let m = md.Schema.m_name in
+          site_diags cls m (Extraction.access_tree ex cls m))
+        (Schema.own_methods schema cls))
+    (Schema.classes schema)
+
+(* --- DYN001: statically unknown receivers --- *)
+
+let dyn_diags an =
+  let schema = Analysis.schema an in
+  let ex = Analysis.extraction an in
+  List.concat_map
+    (fun cls ->
+      List.concat_map
+        (fun (md : _ Schema.method_def) ->
+          let m = md.Schema.m_name in
+          List.filter_map
+            (fun s ->
+              match s.Extraction.sk_kind with
+              | Extraction.Sk_dyn ->
+                  let msg =
+                    "receiver class is statically unknown: the impact analysis must \
+                     assume every class is reachable, so preclaiming degrades to \
+                     locking the whole schema"
+                  in
+                  Some (Diag.make ?pos:s.Extraction.sk_pos Diag.Dyn001 (cls, m) msg)
+              | _ -> None)
+            (Extraction.send_sites ex cls m))
+        (Schema.own_methods schema cls))
+    (Schema.classes schema)
+
+(* --- PRE001: preclaim cycles in the method dependency graph --- *)
+
+let sccs vertices successors =
+  let arr = Array.of_list vertices in
+  let n = Array.length arr in
+  let idx = Hashtbl.create (2 * n) in
+  Array.iteri (fun i v -> Hashtbl.replace idx v i) arr;
+  let succ i =
+    List.filter_map (fun w -> Hashtbl.find_opt idx w) (successors arr.(i))
+  in
+  let index = Array.make n (-1) and low = Array.make n 0 in
+  let onstack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and out = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    onstack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then (
+          strong w;
+          low.(v) <- min low.(v) low.(w))
+        else if onstack.(w) then low.(v) <- min low.(v) index.(w))
+      (succ v);
+    if low.(v) = index.(v) then (
+      let rec pop acc =
+        match !stack with
+        | w :: tl ->
+            stack := tl;
+            onstack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := List.map (Array.get arr) (pop []) :: !out)
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strong v
+  done;
+  !out
+
+let pre_diags an =
+  let schema = Analysis.schema an in
+  let ex = Analysis.extraction an in
+  let dg = Depgraph.build_with (Analysis.lbr an) ex in
+  let cross_classes =
+    List.filter
+      (fun scc ->
+        List.length (List.sort_uniq CN.compare (List.map fst scc)) >= 2)
+      (sccs (Depgraph.vertices dg) (Depgraph.successors dg))
+  in
+  List.map
+    (fun scc ->
+      let scc = List.sort Site.compare scc in
+      let classes = List.sort_uniq CN.compare (List.map fst scc) in
+      (* A cross-send realises a cycle edge when its target method, resolved
+         over the declared class's domain, lands on a member of the SCC. *)
+      let in_scc d m' =
+        List.exists
+          (fun (c'', m'') ->
+            MN.equal m'' m'
+            && (CN.equal c'' d || List.exists (CN.equal c'') (Schema.domain schema d)))
+          scc
+      in
+      let notes =
+        List.concat_map
+          (fun (c, m) ->
+            List.filter_map
+              (fun s ->
+                match s.Extraction.sk_kind with
+                | Extraction.Sk_cross (d, m') when in_scc d m' ->
+                    Some
+                      {
+                        Diag.n_msg =
+                          Format.asprintf "%a.%a sends %a to an instance of %a" CN.pp c
+                            MN.pp m MN.pp m' CN.pp d;
+                        n_pos = s.Extraction.sk_pos;
+                      }
+                | _ -> None)
+              (Extraction.send_sites ex c m))
+          scc
+      in
+      let pos = List.find_map (fun n -> n.Diag.n_pos) notes in
+      let msg =
+        Format.asprintf
+          "methods of classes %a call each other through composition links (a cycle of \
+           the method dependency graph): their preclaiming sets are mutually recursive, \
+           every class of the cycle must be claimed up front, and incremental locking \
+           may deadlock across objects (sec. 4.3)"
+          (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+             CN.pp)
+          classes
+      in
+      Diag.make ?pos ~notes Diag.Pre001 (List.hd scc) msg)
+    cross_classes
+
+(* --- the report --- *)
+
+let analyze an =
+  let schema = Analysis.schema an in
+  (* Blame chains are shared between ESC001, PRL001 and the DOT overlay;
+     compute them once per (class, method). *)
+  let chains =
+    List.fold_left
+      (fun acc cls ->
+        let ctx = Blame.context an cls in
+        List.fold_left
+          (fun acc m -> Site.Map.add (cls, m) (Blame.widened_in ctx an m) acc)
+          acc (Schema.methods schema cls))
+      Site.Map.empty (Schema.classes schema)
+  in
+  let chains_of cls m =
+    match Site.Map.find_opt (cls, m) chains with Some cs -> cs | None -> []
+  in
+  let diags =
+    escalation_diags an chains_of
+    @ pcf_diags an @ prl001_diags an chains_of @ prl002_diags an @ dyn_diags an
+    @ pre_diags an
+  in
+  let blamed =
+    let seen = Hashtbl.create 64 in
+    Site.Map.fold
+      (fun (cls, _) cs acc ->
+        List.fold_left
+          (fun acc ch ->
+            List.fold_left
+              (fun acc s ->
+                let key = (cls, s.Blame.s_from, s.Blame.s_to) in
+                if Hashtbl.mem seen key then acc
+                else begin
+                  Hashtbl.add seen key ();
+                  let e = (s.Blame.s_from, s.Blame.s_to) in
+                  let es =
+                    match CN.Map.find_opt cls acc with Some l -> l | None -> []
+                  in
+                  CN.Map.add cls (e :: es) acc
+                end)
+              acc ch.Blame.c_steps)
+          acc cs)
+      chains CN.Map.empty
+  in
+  { r_diags = List.sort Diag.compare diags; r_blamed = blamed }
+
+let count r sev =
+  List.length (List.filter (fun d -> d.Diag.d_severity = sev) r.r_diags)
+
+let max_severity r =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some s when Diag.severity_rank s >= Diag.severity_rank d.Diag.d_severity -> acc
+      | _ -> Some d.Diag.d_severity)
+    None r.r_diags
+
+let pp_report ppf r =
+  List.iter (fun d -> Format.fprintf ppf "%a@\n" Diag.pp d) r.r_diags;
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info(s)@\n" (count r Diag.Error)
+    (count r Diag.Warning) (count r Diag.Info)
+
+let to_json r =
+  Json.Obj
+    [
+      ("diagnostics", Json.List (List.map Diag.to_json r.r_diags));
+      ( "summary",
+        Json.Obj
+          [
+            ("error", Json.Int (count r Diag.Error));
+            ("warning", Json.Int (count r Diag.Warning));
+            ("info", Json.Int (count r Diag.Info));
+          ] );
+    ]
+
+let dot_overlay an r cls =
+  let lbr = Analysis.lbr an cls in
+  let vs = Lbr.vertices lbr in
+  let blamed = match CN.Map.find_opt cls r.r_blamed with Some l -> l | None -> [] in
+  let is_blamed v w =
+    List.exists (fun (a, b) -> Site.equal a v && Site.equal b w) blamed
+  in
+  let touches v = List.exists (fun (a, b) -> Site.equal a v || Site.equal b v) blamed in
+  let name (c, m) = Printf.sprintf "%s,%s" (CN.to_string c) (MN.to_string m) in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "digraph lbr_%s {\n  rankdir=TB;\n  node [shape=box];\n"
+       (CN.to_string cls));
+  Array.iter
+    (fun v ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"%s\"%s;\n" (name v)
+           (if touches v then " [color=red]" else "")))
+    vs;
+  Array.iteri
+    (fun i v ->
+      List.iter
+        (fun j ->
+          let w = vs.(j) in
+          Buffer.add_string b
+            (Printf.sprintf "  \"%s\" -> \"%s\"%s;\n" (name v) (name w)
+               (if is_blamed v w then " [color=red penwidth=2]" else "")))
+        (Lbr.succs lbr).(i))
+    vs;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,64 @@
+(** The compile-time conflict analyzer behind [favc lint].
+
+    [analyze] runs five passes over a compiled schema and returns
+    severity-ranked {!Diag.t} diagnostics with statement-level
+    provenance:
+
+    - {b ESC001} (warning): escalation-deadlock sites (problem P3) — a
+      method whose DAV writes nothing takes a Read instance lock under
+      rw-msg locking, but a self-call chain widens some field to [Write],
+      so concurrent invocations on one instance convert Read → Write and
+      deadlock.  The blamed chain comes from {!Blame.widened}.
+    - {b PCF001} (warning): pseudo-conflicts (problem P4) — method pairs
+      that conflict under whole-instance read/write locking (at least one
+      writes) while their TAVs commute (definition 5), with the
+      field-group decomposition that would let them run concurrently.
+    - {b PRL001} (info): per-field precision-loss blame — the shortest
+      LBR chain responsible for each field whose TAV exceeds its DAV.
+    - {b PRL002} (info): joins whose branches disagree on a field that
+      ends up [Write] — the [if]/[while] statement that forced the
+      conservative widening of definition 6 (sec. 4.4).
+    - {b DYN001} (warning): sends whose receiver class is statically
+      unknown, forcing impact analyses to assume the whole schema
+      (whole-schema preclaiming in {!Tavcc_cc.Tav_preclaim}).
+    - {b PRE001} (error): cycles of the method dependency graph spanning
+      several classes — mutually recursive preclaiming sets (sec. 4.3).
+
+    The full catalogue, each code with a minimal ODML example, is in
+    [docs/ANALYZER.md]. *)
+
+open Tavcc_model
+open Tavcc_core
+
+type report = {
+  r_diags : Diag.t list;  (** sorted by {!Diag.compare}: most severe first *)
+  r_blamed : (Site.t * Site.t) list Name.Class.Map.t;
+      (** per class, the LBR edges blamed by some chain — the overlay
+          {!dot_overlay} highlights *)
+}
+
+val analyze : Analysis.t -> report
+
+val escalation_sites : Analysis.t -> Site.Set.t
+(** The ESC001 sites alone: entries whose DAV writes nothing while their
+    TAV writes.  Under rw-msg locking these are exactly the entries that
+    convert Read → Write mid-flight; {!Tavcc_sim.Crosscheck} verifies
+    every escalation deadlock the engine observes starts from this set. *)
+
+val pseudo_conflicts : Analysis.t -> (Name.Class.t * (Name.Method.t * Name.Method.t)) list
+(** The PCF001 pairs alone, [(class, (m, m'))] with [m < m']. *)
+
+val count : report -> Diag.severity -> int
+val max_severity : report -> Diag.severity option
+(** [None] on a clean report. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** The text rendering of [favc lint]: one block per diagnostic, then a
+    one-line summary. *)
+
+val to_json : report -> Tavcc_obs.Json.t
+(** [{ "diagnostics": [...], "summary": {"error": n, ...} }]. *)
+
+val dot_overlay : Analysis.t -> report -> Name.Class.t -> string
+(** The class's LBR graph in GraphViz form with the blamed edges (and the
+    vertices they connect) highlighted in red. *)

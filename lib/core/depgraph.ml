@@ -8,17 +8,41 @@ type t = {
   dyn : Site.Set.t;  (* vertices whose execution contains a dynamic send *)
 }
 
-let build ex =
+let build_with lbr_of ex =
   let schema = Extraction.schema ex in
   let classes = Schema.classes schema in
   (* Per-class LBR graphs, reused across the class's methods. *)
-  let lbrs = List.map (fun c -> (c, Lbr.build ex c)) classes in
+  let lbrs = List.map (fun c -> (c, lbr_of c)) classes in
   let succs, dyn =
     List.fold_left
       (fun (succs, dyn) (cls, lbr) ->
         let n = Lbr.vertex_count lbr in
         let adj = Lbr.succs lbr in
         let verts = Lbr.vertices lbr in
+        (* Every entry method of the class DFSes over the same vertices,
+           so each vertex's contribution — its resolved composition
+           targets and dynamic-send flag — is computed once per class,
+           not once per (entry, vertex). *)
+        let vert_dyn =
+          Array.map (fun (c', m') -> Extraction.has_dynamic_sends ex c' m') verts
+        in
+        let vert_out =
+          Array.map
+            (fun (c', m') ->
+              List.fold_left
+                (fun acc (d, m'') ->
+                  (* The run-time receiver may be any instance of the
+                     declared class's domain. *)
+                  List.fold_left
+                    (fun acc e ->
+                      if Schema.resolve schema e m'' <> None then
+                        Site.Set.add (e, m'') acc
+                      else acc)
+                    acc (Schema.domain schema d))
+                Site.Set.empty
+                (Extraction.cross_sends ex c' m'))
+            verts
+        in
         (* Reachable executing sites from each entry method, by DFS. *)
         List.fold_left
           (fun (succs, dyn) m ->
@@ -26,38 +50,26 @@ let build ex =
             | None -> (succs, dyn)
             | Some start ->
                 let seen = Array.make n false in
+                let out = ref Site.Set.empty in
+                let is_dyn = ref false in
                 let rec go v =
                   if not seen.(v) then begin
                     seen.(v) <- true;
+                    if vert_dyn.(v) then is_dyn := true;
+                    if not (Site.Set.is_empty vert_out.(v)) then
+                      out := Site.Set.union vert_out.(v) !out;
                     List.iter go adj.(v)
                   end
                 in
                 go start;
-                let out = ref Site.Set.empty in
-                let is_dyn = ref false in
-                Array.iteri
-                  (fun v reached ->
-                    if reached then begin
-                      let c', m' = verts.(v) in
-                      if Extraction.has_dynamic_sends ex c' m' then is_dyn := true;
-                      List.iter
-                        (fun (d, m'') ->
-                          (* The run-time receiver may be any instance of
-                             the declared class's domain. *)
-                          List.iter
-                            (fun e ->
-                              if Schema.resolve schema e m'' <> None then
-                                out := Site.Set.add (e, m'') !out)
-                            (Schema.domain schema d))
-                        (Extraction.cross_sends ex c' m')
-                    end)
-                  seen;
                 ( Site.Map.add (cls, m) !out succs,
                   if !is_dyn then Site.Set.add (cls, m) dyn else dyn ))
           (succs, dyn) (Schema.methods schema cls))
       (Site.Map.empty, Site.Set.empty) lbrs
   in
   { schema_classes = classes; succs; dyn }
+
+let build ex = build_with (fun c -> Lbr.build ex c) ex
 
 let vertices t = List.map fst (Site.Map.bindings t.succs)
 

@@ -25,6 +25,11 @@ type t
 val build : Extraction.t -> t
 (** Builds the whole-schema graph (every class's methods). *)
 
+val build_with : (Name.Class.t -> Lbr.t) -> Extraction.t -> t
+(** [build] with a caller-supplied source of per-class LBR graphs, so a
+    pipeline that has already built them (e.g. {!Analysis}) does not pay
+    for them twice. *)
+
 val vertices : t -> Site.t list
 val successors : t -> Site.t -> Site.t list
 val edge_count : t -> int

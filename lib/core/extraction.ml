@@ -4,7 +4,47 @@ module CN = Name.Class
 module MN = Name.Method
 module FN = Name.Field
 
+(* --- provenance-carrying access tree --- *)
+
+type send_kind =
+  | Sk_dsc of MN.t
+  | Sk_psc of CN.t * MN.t
+  | Sk_cross of CN.t * MN.t
+  | Sk_dyn
+
+type send_site = { sk_kind : send_kind; sk_pos : Token.pos option }
+
+type access =
+  | Afield of FN.t * Mode.t * Token.pos option
+  | Asend of send_site
+  | Ajoin of join
+
+and join = {
+  j_while : bool;
+  j_pos : Token.pos option;
+  j_then : access list;  (* the loop body for a [while] *)
+  j_else : access list;  (* always [] for a [while] *)
+}
+
+let rec flatten acc tree =
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Afield _ | Asend _ -> a :: acc
+      | Ajoin j -> flatten (flatten acc j.j_then) j.j_else)
+    acc tree
+
+let flatten tree = List.rev (flatten [] tree)
+
+let av_of_tree tree =
+  List.fold_left
+    (fun av a ->
+      match a with Afield (f, m, _) -> Access_vector.add av f m | Asend _ | Ajoin _ -> av)
+    Access_vector.empty (flatten tree)
+
 type site_info = {
+  si_tree : access list;
+  si_flat : access list;  (* [flatten si_tree], cached for the accessors *)
   si_dav : Access_vector.t;
   si_dsc : MN.Set.t;
   si_psc : Site.Set.t;
@@ -13,17 +53,14 @@ type site_info = {
 }
 type t = { schema : Ast.body Schema.t; sites : site_info Site.Map.t }
 
-(* Walks one method body, accumulating assigned fields, read fields and the
-   two self-call sets.  [params] shadow fields; locals shadow both and are
-   scoped to their block, mirroring the interpreter. *)
+(* Walks one method body into an access tree, keeping source order and
+   positions.  [params] shadow fields; locals shadow both and are scoped to
+   their block, mirroring the interpreter.  The classic DAV/DSC/PSC triple
+   (defs. 6–8) is derived from the tree afterwards, so the join semantics
+   are unchanged: both branches of an [if] and the body of a [while]
+   contribute. *)
 let analyze schema cls (md : Ast.body Schema.method_def) =
   let is_field x = Schema.field_index schema cls (FN.of_string x) <> None in
-  let assigned = ref FN.Set.empty in
-  let read = ref FN.Set.empty in
-  let dsc = ref MN.Set.empty in
-  let psc = ref Site.Set.empty in
-  let cross = ref [] in
-  let dyn = ref false in
   let shadowed locals x = List.mem x locals || List.mem x md.Schema.m_params in
   (* Static class of a receiver expression, when determinable. *)
   let static_class locals e =
@@ -35,28 +72,34 @@ let analyze schema cls (md : Ast.body Schema.method_def) =
         | _ -> None)
     | _ -> None
   in
-  let rec walk_expr locals e =
+  (* [out] accumulates the current block's accesses in reverse order;
+     [pos] is the position of the enclosing statement. *)
+  let rec walk_expr locals pos out e =
     match e with
-    | Ast.Lit _ | Ast.Self | Ast.New _ -> ()
-    | Ast.Ident x -> if (not (shadowed locals x)) && is_field x then read := FN.Set.add (FN.of_string x) !read
-    | Ast.Unop (_, e1) -> walk_expr locals e1
-    | Ast.Binop (_, l, r) ->
-        walk_expr locals l;
-        walk_expr locals r
-    | Ast.Send m -> walk_msg locals m
-  and walk_msg locals m =
-    List.iter (walk_expr locals) m.Ast.msg_args;
-    let self_directed =
+    | Ast.Lit _ | Ast.Self | Ast.New _ -> out
+    | Ast.Ident x ->
+        if (not (shadowed locals x)) && is_field x then
+          Afield (FN.of_string x, Mode.Read, pos) :: out
+        else out
+    | Ast.Unop (_, e1) -> walk_expr locals pos out e1
+    | Ast.Binop (_, l, r) -> walk_expr locals pos (walk_expr locals pos out l) r
+    | Ast.Send m -> walk_msg locals pos out m
+  and walk_msg locals pos out m =
+    let pos = match m.Ast.msg_pos with Some _ as p -> p | None -> pos in
+    let out = List.fold_left (walk_expr locals pos) out m.Ast.msg_args in
+    let out, self_directed =
       match m.Ast.msg_recv with
-      | Ast.Rself -> true
-      | Ast.Rexpr Ast.Self -> true
+      | Ast.Rself -> (out, true)
+      | Ast.Rexpr Ast.Self -> (out, true)
       | Ast.Rexpr e ->
-          walk_expr locals e;
-          (match static_class locals e with
-          | Some d when Schema.resolve schema d m.Ast.msg_name <> None ->
-              cross := (d, m.Ast.msg_name) :: !cross
-          | Some _ | None -> dyn := true);
-          false
+          let out = walk_expr locals pos out e in
+          let out =
+            match static_class locals e with
+            | Some d when Schema.resolve schema d m.Ast.msg_name <> None ->
+                Asend { sk_kind = Sk_cross (d, m.Ast.msg_name); sk_pos = pos } :: out
+            | Some _ | None -> Asend { sk_kind = Sk_dyn; sk_pos = pos } :: out
+          in
+          (out, false)
     in
     match (m.Ast.msg_prefix, self_directed) with
     | Some c', true ->
@@ -65,53 +108,69 @@ let analyze schema cls (md : Ast.body Schema.method_def) =
           Schema.mem schema c'
           && List.exists (CN.equal c') (Schema.ancestors schema cls)
           && Schema.resolve_from schema c' m.Ast.msg_name <> None
-        then psc := Site.Set.add (c', m.Ast.msg_name) !psc
+        then Asend { sk_kind = Sk_psc (c', m.Ast.msg_name); sk_pos = pos } :: out
+        else out
     | None, true ->
         (* Definition 7: only methods the class understands are recorded. *)
         if Schema.resolve schema cls m.Ast.msg_name <> None then
-          dsc := MN.Set.add m.Ast.msg_name !dsc
-    | _, false -> ()
+          Asend { sk_kind = Sk_dsc m.Ast.msg_name; sk_pos = pos } :: out
+        else out
+    | _, false -> out
   in
   let rec walk_stmts locals stmts =
-    (* Returns the scope extended with this block's locals; callers of a
-       nested block discard the extension (block scoping). *)
-    List.fold_left walk_stmt locals stmts
-  and walk_stmt locals s =
+    (* Returns the block's access list; locals declared inside do not
+       escape the block. *)
+    let _, out =
+      List.fold_left
+        (fun (locals, out) s -> walk_stmt locals None out s)
+        (locals, []) stmts
+    in
+    List.rev out
+  and walk_stmt locals pos out s =
     match s with
+    | Ast.At (p, s) -> walk_stmt locals (Some p) out s
     | Ast.Assign (x, e) ->
-        walk_expr locals e;
-        if (not (shadowed locals x)) && is_field x then
-          assigned := FN.Set.add (FN.of_string x) !assigned;
-        locals
-    | Ast.Var (x, e) ->
-        walk_expr locals e;
-        x :: locals
-    | Ast.Send_stmt m ->
-        walk_msg locals m;
-        locals
-    | Ast.Return e ->
-        walk_expr locals e;
-        locals
+        let out = walk_expr locals pos out e in
+        let out =
+          if (not (shadowed locals x)) && is_field x then
+            Afield (FN.of_string x, Mode.Write, pos) :: out
+          else out
+        in
+        (locals, out)
+    | Ast.Var (x, e) -> (x :: locals, walk_expr locals pos out e)
+    | Ast.Send_stmt m -> (locals, walk_msg locals pos out m)
+    | Ast.Return e -> (locals, walk_expr locals pos out e)
     | Ast.If (c, t, f) ->
-        walk_expr locals c;
-        ignore (walk_stmts locals t);
-        ignore (walk_stmts locals f);
-        locals
+        let out = walk_expr locals pos out c in
+        let j =
+          { j_while = false; j_pos = pos; j_then = walk_stmts locals t;
+            j_else = walk_stmts locals f }
+        in
+        (locals, Ajoin j :: out)
     | Ast.While (c, b) ->
-        walk_expr locals c;
-        ignore (walk_stmts locals b);
-        locals
+        let out = walk_expr locals pos out c in
+        let j = { j_while = true; j_pos = pos; j_then = walk_stmts locals b; j_else = [] } in
+        (locals, Ajoin j :: out)
   in
-  ignore (walk_stmts [] md.Schema.m_body);
-  let dav =
-    FN.Set.fold
-      (fun f av -> Access_vector.add av f Mode.Write)
-      !assigned
-      (FN.Set.fold
-         (fun f av -> if FN.Set.mem f !assigned then av else Access_vector.add av f Mode.Read)
-         !read Access_vector.empty)
+  let tree = walk_stmts [] md.Schema.m_body in
+  let flat = flatten tree in
+  let dav = av_of_tree tree in
+  let dsc, psc, cross, dyn =
+    List.fold_left
+      (fun (dsc, psc, cross, dyn) a ->
+        match a with
+        | Afield _ | Ajoin _ -> (dsc, psc, cross, dyn)
+        | Asend { sk_kind; _ } -> (
+            match sk_kind with
+            | Sk_dsc m -> (MN.Set.add m dsc, psc, cross, dyn)
+            | Sk_psc (c, m) -> (dsc, Site.Set.add (c, m) psc, cross, dyn)
+            | Sk_cross (c, m) -> (dsc, psc, (c, m) :: cross, dyn)
+            | Sk_dyn -> (dsc, psc, cross, true)))
+      (MN.Set.empty, Site.Set.empty, [], false)
+      flat
   in
-  { si_dav = dav; si_dsc = !dsc; si_psc = !psc; si_cross = List.rev !cross; si_dyn = !dyn }
+  { si_tree = tree; si_flat = flat; si_dav = dav; si_dsc = dsc; si_psc = psc;
+    si_cross = List.rev cross; si_dyn = dyn }
 
 let build schema =
   let sites =
@@ -152,3 +211,25 @@ let dsc t c m = (site_info t c m).si_dsc
 let psc t c m = (site_info t c m).si_psc
 let cross_sends t c m = (site_info t c m).si_cross
 let has_dynamic_sends t c m = (site_info t c m).si_dyn
+
+let access_tree t c m = (site_info t c m).si_tree
+let accesses t c m = (site_info t c m).si_flat
+
+let field_accesses t c m =
+  List.filter_map
+    (function Afield (f, md, p) -> Some (f, md, p) | Asend _ | Ajoin _ -> None)
+    (accesses t c m)
+
+let send_sites t c m =
+  List.filter_map
+    (function Asend s -> Some s | Afield _ | Ajoin _ -> None)
+    (accesses t c m)
+
+let first_field_pos t c m f mode =
+  List.find_map
+    (function
+      | Afield (f', md, p) when FN.equal f f' && Mode.equal md mode -> p
+      | Afield _ | Asend _ | Ajoin _ -> None)
+    (accesses t c m)
+
+let join_av = av_of_tree

@@ -26,6 +26,38 @@ open Tavcc_lang
 
 type t
 
+(** {1 Provenance}
+
+    Extraction keeps, per defining site, the full {e access tree} of the
+    method body: every field access, every send and every control-flow
+    join, in source order, each carrying the position of its statement
+    (threaded by the parser through {!Ast.At} locators and
+    [Ast.msg_pos]).  The classic DAV/DSC/PSC triple is derived from the
+    tree, so definitions 6–8 are unchanged; the tree is what the
+    {!module:Tavcc_analyze} linter uses to blame a diagnostic on the
+    statement that caused it. *)
+
+type send_kind =
+  | Sk_dsc of Name.Method.t  (** simple self-send (definition 7) *)
+  | Sk_psc of Name.Class.t * Name.Method.t  (** prefixed self-send (definition 8) *)
+  | Sk_cross of Name.Class.t * Name.Method.t
+      (** send to an object of statically known class *)
+  | Sk_dyn  (** send with statically unknown receiver class *)
+
+type send_site = { sk_kind : send_kind; sk_pos : Token.pos option }
+
+type access =
+  | Afield of Name.Field.t * Mode.t * Token.pos option
+  | Asend of send_site
+  | Ajoin of join
+
+and join = {
+  j_while : bool;  (** [true] for a [while], [false] for an [if] *)
+  j_pos : Token.pos option;
+  j_then : access list;  (** the loop body for a [while] *)
+  j_else : access list;  (** always [[]] for a [while] *)
+}
+
 val build : Ast.body Schema.t -> t
 (** Parses every defining site of the schema.  Self-sends naming unknown
     methods and prefixed sends to non-ancestors are ignored (the static
@@ -58,6 +90,27 @@ val has_dynamic_sends : t -> Name.Class.t -> Name.Method.t -> bool
 
 val defining_site : t -> Name.Class.t -> Name.Method.t -> Site.t
 (** The site whose source code is executed when [M] is resolved from [C]. *)
+
+val access_tree : t -> Name.Class.t -> Name.Method.t -> access list
+(** The provenance tree of the defining site's body, in source order. *)
+
+val accesses : t -> Name.Class.t -> Name.Method.t -> access list
+(** {!access_tree} flattened (joins inlined, both branches), source order. *)
+
+val field_accesses :
+  t -> Name.Class.t -> Name.Method.t -> (Name.Field.t * Mode.t * Token.pos option) list
+(** Every field access of the flattened tree with its mode and position. *)
+
+val send_sites : t -> Name.Class.t -> Name.Method.t -> send_site list
+(** Every send of the flattened tree with its kind and position. *)
+
+val first_field_pos :
+  t -> Name.Class.t -> Name.Method.t -> Name.Field.t -> Mode.t -> Token.pos option
+(** Position of the first access of the field at exactly the given mode. *)
+
+val join_av : access list -> Access_vector.t
+(** The access vector contributed by a subtree — what definition 6 computes
+    when restricted to one branch of a join. *)
 
 val update_classes : t -> Ast.body Schema.t -> Name.Class.t list -> t
 (** [update_classes ex schema cs] re-extracts the methods {e defined in}

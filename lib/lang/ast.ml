@@ -21,6 +21,7 @@ and msg = {
   msg_name : Name.Method.t;
   msg_args : expr list;
   msg_recv : recv;
+  msg_pos : Token.pos option;
 }
 
 and recv = Rself | Rexpr of expr
@@ -32,8 +33,22 @@ type stmt =
   | If of expr * stmt list * stmt list
   | While of expr * stmt list
   | Return of expr
+  | At of Token.pos * stmt
 
 type body = stmt list
+
+let stmt_pos = function
+  | At (p, _) -> Some p
+  | Send_stmt m -> m.msg_pos
+  | Assign _ | Var _ | Return _ | While _ | If _ -> None
+
+let rec strip_stmt = function
+  | At (_, s) -> strip_stmt s
+  | If (c, t, f) -> If (c, strip_body t, strip_body f)
+  | While (c, b) -> While (c, strip_body b)
+  | (Assign _ | Var _ | Send_stmt _ | Return _) as s -> s
+
+and strip_body b = List.map strip_stmt b
 
 let pp_unop ppf = function
   | Neg -> Format.pp_print_string ppf "-"
@@ -68,6 +83,7 @@ let rec equal_expr a b =
   | (Lit _ | Ident _ | Self | New _ | Unop _ | Binop _ | Send _), _ -> false
 
 and equal_msg m m' =
+  (* [msg_pos] is deliberately ignored: equality is span-agnostic. *)
   Option.equal Name.Class.equal m.msg_prefix m'.msg_prefix
   && Name.Method.equal m.msg_name m'.msg_name
   && List.equal equal_expr m.msg_args m'.msg_args
@@ -79,8 +95,13 @@ and equal_recv r r' =
   | Rexpr e, Rexpr e' -> equal_expr e e'
   | (Rself | Rexpr _), _ -> false
 
+(* Statement equality is span-agnostic: [At] locators are transparent, so
+   pretty-print round-trips compare equal whether or not the two sides went
+   through the parser. *)
 let rec equal_stmt a b =
   match (a, b) with
+  | At (_, a), _ -> equal_stmt a b
+  | _, At (_, b) -> equal_stmt a b
   | Assign (x, e), Assign (x', e') | Var (x, e), Var (x', e') ->
       String.equal x x' && equal_expr e e'
   | Send_stmt m, Send_stmt m' -> equal_msg m m'
@@ -105,6 +126,7 @@ and fold_msg_exprs f acc m =
   match m.msg_recv with Rself -> acc | Rexpr e -> fold_expr f acc e
 
 let rec fold_stmt_exprs f acc = function
+  | At (_, s) -> fold_stmt_exprs f acc s
   | Assign (_, e) | Var (_, e) | Return e -> fold_expr f acc e
   | Send_stmt m -> fold_msg_exprs f acc m
   | If (c, t, e) ->
@@ -129,6 +151,7 @@ and fold_msg_deep f acc m =
   match m.msg_recv with Rself -> acc | Rexpr e -> fold_msg_in_expr f acc e
 
 let rec fold_msg_in_stmt f acc = function
+  | At (_, s) -> fold_msg_in_stmt f acc s
   | Assign (_, e) | Var (_, e) | Return e -> fold_msg_in_expr f acc e
   | Send_stmt m -> fold_msg_deep f acc m
   | If (c, t, e) ->

@@ -33,6 +33,9 @@ and msg = {
   msg_name : Tavcc_model.Name.Method.t;
   msg_args : expr list;
   msg_recv : recv;
+  msg_pos : Token.pos option;
+      (** source position of the [send] keyword; [None] for synthesised
+          ASTs.  Ignored by {!equal_msg}. *)
 }
 
 and recv = Rself | Rexpr of expr
@@ -44,8 +47,23 @@ type stmt =
   | If of expr * stmt list * stmt list
   | While of expr * stmt list
   | Return of expr
+  | At of Token.pos * stmt
+      (** source locator: the parser wraps every statement it produces in
+          [At], recording the position of its first token.  [At] is
+          semantically transparent — equality, pretty-printing, the
+          interpreter and the access-vector analysis all look through it;
+          only diagnostics read the position. *)
 
 type body = stmt list
+
+val stmt_pos : stmt -> Token.pos option
+(** The statement's own position: its [At] locator if present, else the
+    message position of a bare [Send_stmt]. *)
+
+val strip_stmt : stmt -> stmt
+val strip_body : body -> body
+(** Recursively removes every [At] locator (message positions are kept —
+    they are ignored by comparisons anyway). *)
 
 val pp_unop : Format.formatter -> unop -> unit
 val pp_binop : Format.formatter -> binop -> unit

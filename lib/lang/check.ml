@@ -3,9 +3,17 @@ module CN = Name.Class
 module MN = Name.Method
 module FN = Name.Field
 
-type error = { ce_class : CN.t; ce_method : MN.t option; ce_msg : string }
+type error = {
+  ce_class : CN.t;
+  ce_method : MN.t option;
+  ce_msg : string;
+  ce_pos : Token.pos option;
+}
 
 let pp_error ppf e =
+  (match e.ce_pos with
+  | Some p -> Format.fprintf ppf "%d:%d: " p.Token.line p.Token.col
+  | None -> ());
   match e.ce_method with
   | Some m -> Format.fprintf ppf "%a.%a: %s" CN.pp e.ce_class MN.pp m e.ce_msg
   | None -> Format.fprintf ppf "%a: %s" CN.pp e.ce_class e.ce_msg
@@ -33,13 +41,16 @@ type ctx = {
   cls : CN.t;
   meth : MN.t;
   mutable scope : (string * binding) list;  (* innermost first *)
+  mutable pos : Token.pos option;  (* position of the enclosing statement *)
   mutable errors : error list;
 }
 
 let err ctx fmt =
   Format.kasprintf
     (fun msg ->
-      ctx.errors <- { ce_class = ctx.cls; ce_method = Some ctx.meth; ce_msg = msg } :: ctx.errors)
+      ctx.errors <-
+        { ce_class = ctx.cls; ce_method = Some ctx.meth; ce_msg = msg; ce_pos = ctx.pos }
+        :: ctx.errors)
     fmt
 
 let lookup ctx x =
@@ -165,6 +176,9 @@ and check_msg ctx m =
 
 let rec check_stmt ctx s =
   match s with
+  | Ast.At (p, s) ->
+      ctx.pos <- Some p;
+      check_stmt ctx s
   | Ast.Assign (x, e) -> (
       let te = infer ctx e in
       match lookup ctx x with
@@ -210,6 +224,7 @@ let check_method schema cls (md : Ast.body Schema.method_def) =
       cls;
       meth = md.Schema.m_name;
       scope = List.map (fun p -> (p, Bparam)) md.Schema.m_params;
+      pos = None;
       errors = [];
     }
   in

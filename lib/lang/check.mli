@@ -20,6 +20,9 @@ type error = {
   ce_class : Tavcc_model.Name.Class.t;
   ce_method : Tavcc_model.Name.Method.t option;
   ce_msg : string;
+  ce_pos : Token.pos option;
+      (** position of the enclosing statement, when the schema came
+          through the parser; [None] for synthesised ASTs *)
 }
 
 val pp_error : Format.formatter -> error -> unit

@@ -171,6 +171,7 @@ and exec_body env frame body =
 and exec_stmt env frame s =
   burn env;
   match s with
+  | Ast.At (_, s) -> exec_stmt env frame s
   | Ast.Assign (x, e) -> (
       let v = eval env frame e in
       match List.assoc_opt x frame.locals with

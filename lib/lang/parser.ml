@@ -125,6 +125,7 @@ and parse_primary st =
 (* --- Messages --- *)
 
 and parse_send st =
+  let send_pos = pos st in
   expect st Token.SEND;
   let first = expect_ident st in
   let prefix, name =
@@ -147,11 +148,18 @@ and parse_send st =
   in
   expect st Token.TO;
   let recv = if accept st Token.SELF then Ast.Rself else Ast.Rexpr (parse_expr_prec st) in
-  { Ast.msg_prefix = prefix; msg_name = Name.Method.of_string name; msg_args = args; msg_recv = recv }
+  { Ast.msg_prefix = prefix; msg_name = Name.Method.of_string name; msg_args = args;
+    msg_recv = recv; msg_pos = Some send_pos }
 
 (* --- Statements --- *)
 
+(* Every statement is wrapped in an [At] locator carrying the position of
+   its first token, so downstream analyses can report [line:col]. *)
 let rec parse_stmt st =
+  let start = pos st in
+  Ast.At (start, parse_stmt_bare st)
+
+and parse_stmt_bare st =
   match peek st with
   | Token.IDENT x ->
       advance st;

@@ -64,6 +64,7 @@ let pp_expr ppf e = pp_prec 0 ppf e
 let rec pp_stmt_ind ind ppf s =
   let pad = String.make ind ' ' in
   match s with
+  | Ast.At (_, s) -> pp_stmt_ind ind ppf s
   | Ast.Assign (x, e) -> Format.fprintf ppf "%s%s := %a;" pad x pp_expr e
   | Ast.Var (x, e) -> Format.fprintf ppf "%svar %s := %a;" pad x pp_expr e
   | Ast.Send_stmt m -> Format.fprintf ppf "%s%a;" pad pp_msg m

@@ -1,0 +1,71 @@
+open Tavcc_model
+open Tavcc_core
+module CN = Name.Class
+module MN = Name.Method
+
+type outcome = {
+  o_predicted : Site.t list;
+  o_observed : Site.t list;
+  o_unpredicted : Site.t list;
+  o_deadlocks : int;
+  o_commits : int;
+}
+
+let sound o = o.o_unpredicted = []
+
+let entries_in_cycles entry_of events =
+  List.fold_left
+    (fun acc (_, ev) ->
+      match ev with
+      | Engine.Ev_deadlock (cycle, _victim) ->
+          List.fold_left (fun acc t -> Site.Set.add (entry_of t) acc) acc cycle
+      | _ -> acc)
+    Site.Set.empty events
+
+let run_single_instance ?(seed = 42) ?(yield_on_access = true) ~an ~cls ~meths () =
+  let schema = Analysis.schema an in
+  let store = Store.create schema in
+  let oid = Store.new_instance store cls in
+  let jobs =
+    List.mapi (fun i m -> (i + 1, [ Tavcc_cc.Exec.Call (oid, m, [ Value.Vint 1 ]) ])) meths
+  in
+  let sink = Tavcc_obs.Sink.ring 1_000_000 in
+  let config =
+    { Engine.default_config with seed; yield_on_access; policy = Engine.Detect; sink }
+  in
+  let r = Engine.run ~config ~scheme:(Tavcc_cc.Rw_instance.scheme an) ~store ~jobs () in
+  let meths = Array.of_list meths in
+  let entry_of t = (cls, meths.(t - 1)) in
+  let observed = entries_in_cycles entry_of r.Engine.events in
+  let predicted = Tavcc_analyze.Lint.escalation_sites an in
+  {
+    o_predicted = Site.Set.elements predicted;
+    o_observed = Site.Set.elements observed;
+    o_unpredicted = Site.Set.elements (Site.Set.diff observed predicted);
+    o_deadlocks = r.Engine.deadlocks;
+    o_commits = r.Engine.commits;
+  }
+
+let run_e4 ?(seed = 42) ?(txns = 8) ~levels () =
+  let schema = Workload.chain_schema ~levels in
+  let an = Analysis.compile schema in
+  let cls = CN.of_string "chain" in
+  let meths =
+    List.init txns (fun i -> MN.of_string (Printf.sprintf "m%d" (i mod (levels + 1))))
+  in
+  run_single_instance ~seed ~an ~cls ~meths ()
+
+let pp_sites ppf sites =
+  match sites with
+  | [] -> Format.pp_print_string ppf "(none)"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        Site.pp ppf sites
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "predicted escalation sites: %a@\n" pp_sites o.o_predicted;
+  Format.fprintf ppf "observed deadlock entries:  %a@\n" pp_sites o.o_observed;
+  Format.fprintf ppf "deadlock cycles: %d, commits: %d@\n" o.o_deadlocks o.o_commits;
+  if sound o then Format.fprintf ppf "sound: every observed deadlock was predicted@\n"
+  else Format.fprintf ppf "UNSOUND: unpredicted entries %a@\n" pp_sites o.o_unpredicted

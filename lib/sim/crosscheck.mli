@@ -1,0 +1,51 @@
+(** Cross-validation of the static escalation analysis against the engine.
+
+    The linter's ESC001 pass ({!Tavcc_analyze.Lint.escalation_sites})
+    claims to predict every escalation deadlock (problem P3) rw-msg
+    locking can produce.  This module puts the claim to the test: it runs
+    concurrent single-instance workloads under {!Tavcc_cc.Rw_instance}
+    with deadlock detection on, collects every [Ev_deadlock] cycle the
+    engine reports, maps its member transactions back to their entry
+    [(class, method)] sites, and diffs those against the predicted set.
+
+    On a single shared instance the class locks of the scheme ([is]/[ix])
+    are always compatible, so a transaction can only wait for the
+    instance lock; a member of a wait cycle therefore holds [Read] and
+    requests the [Write] conversion — precisely an escalation.  Every
+    observed deadlock must then start from a predicted entry:
+    [o_unpredicted] is the analyzer's false-negative set and must come
+    back empty. *)
+
+open Tavcc_model
+open Tavcc_core
+
+type outcome = {
+  o_predicted : Site.t list;  (** the static ESC001 set, whole schema *)
+  o_observed : Site.t list;  (** distinct entries involved in observed cycles *)
+  o_unpredicted : Site.t list;  (** observed but not predicted — false negatives *)
+  o_deadlocks : int;  (** cycles the engine resolved *)
+  o_commits : int;
+}
+
+val sound : outcome -> bool
+(** [o_unpredicted = []]. *)
+
+val run_single_instance :
+  ?seed:int ->
+  ?yield_on_access:bool ->
+  an:Analysis.t ->
+  cls:Name.Class.t ->
+  meths:Name.Method.t list ->
+  unit ->
+  outcome
+(** One transaction per entry in [meths] (ids in order), all sending to a
+    single fresh instance of [cls] with argument [1], under rw-msg
+    locking with [Detect].  Replays are deterministic in [seed]. *)
+
+val run_e4 : ?seed:int -> ?txns:int -> levels:int -> unit -> outcome
+(** The escalation workload of bench E4: {!Workload.chain_schema}'s
+    reader-then-writer cascade, [txns] transactions cycling through the
+    entry points [m0 .. m{levels}] (so directly-writing and escalating
+    entries are both represented) on one shared instance. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

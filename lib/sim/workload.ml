@@ -42,7 +42,8 @@ let write_stmt f =
 
 let self_send ?prefix m =
   Ast.Send_stmt
-    { Ast.msg_prefix = prefix; msg_name = m; msg_args = [ Ast.Ident "p1" ]; msg_recv = Ast.Rself }
+    { Ast.msg_prefix = prefix; msg_name = m; msg_args = [ Ast.Ident "p1" ]; msg_recv = Ast.Rself;
+      msg_pos = None }
 
 let pick_fields rng fields n =
   if fields = [] then []

@@ -1,0 +1,295 @@
+(* The compile-time conflict analyzer: spans, provenance, diagnostics and
+   the simulator cross-check of the escalation predictions. *)
+
+open Tavcc_model
+open Tavcc_lang
+open Tavcc_core
+open Tavcc_analyze
+open Helpers
+
+let pos line col = { Token.line; col }
+let pos_opt : Token.pos option Alcotest.testable =
+  Alcotest.testable
+    (Format.pp_print_option Token.pp_pos)
+    (Option.equal (fun a b -> a.Token.line = b.Token.line && a.Token.col = b.Token.col))
+
+(* --- spans threaded from the parser --- *)
+
+let span_src =
+  "class a is\n\
+  \  fields\n\
+  \    f : integer;\n\
+  \  method m(p) is\n\
+  \    f := f + p;\n\
+  \    if f > 0 then\n\
+  \      send m(p) to self;\n\
+  \    end\n\
+  \  end\n\
+   end\n"
+
+let test_stmt_spans () =
+  let schema = schema_of_source span_src in
+  let md = Option.get (Schema.method_def_in schema (cn "a") (mn "m")) in
+  match md.Schema.m_body with
+  | [ s1; s2 ] ->
+      Alcotest.check pos_opt "assign span" (Some (pos 5 5)) (Ast.stmt_pos s1);
+      Alcotest.check pos_opt "if span" (Some (pos 6 5)) (Ast.stmt_pos s2);
+      (match Ast.strip_stmt s2 with
+      | Ast.If (_, [ t1 ], []) -> (
+          Alcotest.check pos_opt "nested send span" (Some (pos 7 7)) (Ast.stmt_pos t1);
+          match Ast.strip_stmt t1 with
+          | Ast.Send_stmt m ->
+              Alcotest.check pos_opt "msg_pos of the send keyword" (Some (pos 7 7))
+                m.Ast.msg_pos
+          | _ -> Alcotest.fail "expected a send statement")
+      | _ -> Alcotest.fail "expected an if with one then-statement")
+  | _ -> Alcotest.fail "expected two statements"
+
+let test_spans_are_transparent () =
+  let schema = schema_of_source span_src in
+  let md = Option.get (Schema.method_def_in schema (cn "a") (mn "m")) in
+  let stripped = Ast.strip_body md.Schema.m_body in
+  Alcotest.check pos_opt "strip removes locators" None
+    (Ast.stmt_pos (List.hd stripped));
+  Alcotest.check body "equality is span-agnostic" md.Schema.m_body stripped
+
+let test_extraction_provenance () =
+  let schema = schema_of_source span_src in
+  let ex = Extraction.build schema in
+  Alcotest.check pos_opt "first write of f" (Some (pos 5 5))
+    (Extraction.first_field_pos ex (cn "a") (mn "m") (fn "f") Mode.Write);
+  match Extraction.send_sites ex (cn "a") (mn "m") with
+  | [ { Extraction.sk_kind = Extraction.Sk_dsc m; sk_pos } ] ->
+      Alcotest.check method_name "self-send target" (mn "m") m;
+      Alcotest.check pos_opt "self-send position" (Some (pos 7 7)) sk_pos
+  | _ -> Alcotest.fail "expected exactly one simple self-send"
+
+let test_check_error_positions () =
+  let schema =
+    build_of_source
+      "class a is\n  fields\n    f : integer;\n  method m is\n    g := 1;\n  end\nend\n"
+  in
+  match Check.check schema with
+  | Ok () -> Alcotest.fail "expected a check error"
+  | Error [ e ] ->
+      Alcotest.check pos_opt "error carries the statement position" (Some (pos 5 5))
+        e.Check.ce_pos;
+      let rendered = Format.asprintf "%a" Check.pp_error e in
+      Alcotest.(check bool) "rendering leads with line:col" true
+        (contains rendered "5:5: a.m:")
+  | Error _ -> Alcotest.fail "expected exactly one check error"
+
+(* --- Figure 1: the known escalation pair and pseudo-conflicts --- *)
+
+let sorted_pairs l =
+  List.sort compare
+    (List.map
+       (fun (m, m') ->
+         let a = Name.Method.to_string m and b = Name.Method.to_string m' in
+         if a <= b then (a, b) else (b, a))
+       l)
+
+let test_figure1_escalation_sites () =
+  let an = Paper_example.analysis () in
+  let sites = Lint.escalation_sites an in
+  Alcotest.(check (list (pair class_name method_name)))
+    "exactly the two m1 entries"
+    [ (cn "c1", mn "m1"); (cn "c2", mn "m1") ]
+    (Site.Set.elements sites)
+
+let test_figure1_escalation_provenance () =
+  let an = Paper_example.analysis () in
+  let r = Lint.analyze an in
+  let esc site =
+    List.find
+      (fun d -> d.Diag.d_code = Diag.Esc001 && Site.equal d.Diag.d_site site)
+      r.Lint.r_diags
+  in
+  let d1 = esc (cn "c1", mn "m1") in
+  Alcotest.check pos_opt "c1.m1 blamed at its first self-send" (Some (pos 17 5))
+    d1.Diag.d_pos;
+  (match List.rev d1.Diag.d_notes with
+  | last :: _ ->
+      Alcotest.check pos_opt "the widening write of f1 in c1.m2" (Some (pos 23 7))
+        last.Diag.n_pos
+  | [] -> Alcotest.fail "expected provenance notes");
+  let d2 = esc (cn "c2", mn "m1") in
+  Alcotest.check pos_opt "the inherited entry blames the same send" (Some (pos 17 5))
+    d2.Diag.d_pos
+
+let test_figure1_pseudo_conflicts () =
+  let an = Paper_example.analysis () in
+  let pairs_of c =
+    sorted_pairs
+      (List.filter_map
+         (fun (c', p) -> if Name.Class.equal c c' then Some p else None)
+         (Lint.pseudo_conflicts an))
+  in
+  Alcotest.(check (list (pair string string)))
+    "c1 pairs"
+    [ ("m1", "m3"); ("m2", "m3") ]
+    (pairs_of (cn "c1"));
+  Alcotest.(check (list (pair string string)))
+    "c2 pairs (m2/m4 is the paper's example)"
+    [ ("m1", "m3"); ("m1", "m4"); ("m2", "m3"); ("m2", "m4"); ("m3", "m4") ]
+    (pairs_of (cn "c2"));
+  Alcotest.(check (list (pair string string))) "c3 has none" [] (pairs_of (cn "c3"))
+
+let test_figure1_m2_m4_diag () =
+  let an = Paper_example.analysis () in
+  let r = Lint.analyze an in
+  let d =
+    List.find
+      (fun d ->
+        d.Diag.d_code = Diag.Pcf001
+        && Site.equal d.Diag.d_site (cn "c2", mn "m2")
+        && contains d.Diag.d_msg "m4")
+      r.Lint.r_diags
+  in
+  Alcotest.check pos_opt "anchored at m4's write of f6" (Some (pos 48 7)) d.Diag.d_pos;
+  Alcotest.(check bool) "suggests decomposing into field groups" true
+    (contains d.Diag.d_msg "field groups")
+
+let test_figure1_blame_chain () =
+  let an = Paper_example.analysis () in
+  let ch =
+    List.find
+      (fun c -> Name.Field.equal c.Blame.c_field (fn "f1"))
+      (Blame.widened an (cn "c2") (mn "m1"))
+  in
+  Alcotest.check mode "dav mode" Mode.Null ch.Blame.c_dav_mode;
+  Alcotest.check mode "tav mode" Mode.Write ch.Blame.c_tav_mode;
+  Alcotest.check site "sink is the inherited writer" (cn "c1", mn "m2") ch.Blame.c_sink;
+  Alcotest.(check (list site))
+    "chain passes through the override"
+    [ (cn "c2", mn "m2"); (cn "c1", mn "m2") ]
+    (List.map (fun s -> s.Blame.s_to) ch.Blame.c_steps);
+  Alcotest.check pos_opt "the write itself" (Some (pos 23 7)) ch.Blame.c_access_pos
+
+let test_figure1_prl002 () =
+  let an = Paper_example.analysis () in
+  let r = Lint.analyze an in
+  match List.filter (fun d -> d.Diag.d_code = Diag.Prl002) r.Lint.r_diags with
+  | [ d ] ->
+      Alcotest.check site "only c2.m4's guarded write" (cn "c2", mn "m4") d.Diag.d_site;
+      Alcotest.check pos_opt "anchored at the if" (Some (pos 47 5)) d.Diag.d_pos;
+      Alcotest.(check bool) "names the widened field" true (contains d.Diag.d_msg "f6")
+  | ds -> Alcotest.failf "expected one PRL002, got %d" (List.length ds)
+
+(* --- DYN001 and PRE001 on dedicated schemas --- *)
+
+let test_dyn001 () =
+  let schema =
+    schema_of_source
+      "class a is\n\
+      \  fields\n\
+      \    f : integer;\n\
+      \  method ma(p) is\n\
+      \    send poke(p) to p;\n\
+      \  end\n\
+      \  method poke(p) is\n\
+      \    f := p;\n\
+      \  end\n\
+       end\n"
+  in
+  let r = Lint.analyze (Analysis.compile schema) in
+  match List.filter (fun d -> d.Diag.d_code = Diag.Dyn001) r.Lint.r_diags with
+  | [ d ] ->
+      Alcotest.check site "the dynamic sender" (cn "a", mn "ma") d.Diag.d_site;
+      Alcotest.check pos_opt "the send statement" (Some (pos 5 5)) d.Diag.d_pos
+  | ds -> Alcotest.failf "expected one DYN001, got %d" (List.length ds)
+
+let test_pre001 () =
+  let schema =
+    schema_of_source
+      "class a is\n\
+      \  fields\n\
+      \    other : b;\n\
+      \  method ma(p) is\n\
+      \    send mb(p) to other;\n\
+      \  end\n\
+       end\n\
+       class b is\n\
+      \  fields\n\
+      \    peer : a;\n\
+      \  method mb(p) is\n\
+      \    send ma(p) to peer;\n\
+      \  end\n\
+       end\n"
+  in
+  let r = Lint.analyze (Analysis.compile schema) in
+  (match List.filter (fun d -> d.Diag.d_code = Diag.Pre001) r.Lint.r_diags with
+  | [ d ] ->
+      Alcotest.(check bool) "names both classes" true
+        (contains d.Diag.d_msg "a, b");
+      Alcotest.(check bool) "has cross-send provenance" true (d.Diag.d_notes <> [])
+  | ds -> Alcotest.failf "expected one PRE001, got %d" (List.length ds));
+  Alcotest.(check bool) "cycle is an error" true
+    (Lint.max_severity r = Some Diag.Error)
+
+let test_figure1_no_errors () =
+  let r = Lint.analyze (Paper_example.analysis ()) in
+  Alcotest.(check int) "no error-severity diagnostics" 0 (Lint.count r Diag.Error);
+  Alcotest.(check bool) "but warnings exist" true (Lint.count r Diag.Warning > 0)
+
+(* --- the simulator cross-check --- *)
+
+let test_crosscheck_e4 () =
+  let o = Tavcc_sim.Crosscheck.run_e4 ~seed:42 ~txns:8 ~levels:3 () in
+  Alcotest.(check bool) "observed deadlocks (not vacuous)" true (o.Tavcc_sim.Crosscheck.o_deadlocks > 0);
+  Alcotest.(check bool) "entries were involved" true
+    (o.Tavcc_sim.Crosscheck.o_observed <> []);
+  Alcotest.(check (list site))
+    "no statically-unpredicted escalation deadlock" []
+    o.Tavcc_sim.Crosscheck.o_unpredicted
+
+let prop_chain_no_false_negatives =
+  QCheck.Test.make ~count:25 ~name:"E4 cascades: every deadlock predicted"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000))
+    (fun seed ->
+      let levels = 1 + (seed mod 4) in
+      let txns = 2 + (seed / 7 mod 7) in
+      Tavcc_sim.Crosscheck.(sound (run_e4 ~seed ~txns ~levels ())))
+
+let prop_random_no_false_negatives =
+  QCheck.Test.make ~count:25 ~name:"random schemas: every deadlock predicted"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000))
+    (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let schema =
+        Tavcc_sim.Workload.make_schema rng
+          { Tavcc_sim.Workload.default_params with sp_depth = 2; sp_fanout = 2 }
+      in
+      let an = Analysis.compile schema in
+      let classes = Schema.classes schema in
+      let cls = List.nth classes (Tavcc_sim.Rng.int rng (List.length classes)) in
+      let meths = Schema.methods schema cls in
+      match meths with
+      | [] -> true
+      | _ ->
+          let pick () =
+            List.nth meths (Tavcc_sim.Rng.int rng (List.length meths))
+          in
+          let chosen = List.init (3 + Tavcc_sim.Rng.int rng 4) (fun _ -> pick ()) in
+          Tavcc_sim.Crosscheck.(
+            sound (run_single_instance ~seed ~an ~cls ~meths:chosen ())))
+
+let suite =
+  [
+    case "statement and message spans" test_stmt_spans;
+    case "spans are semantically transparent" test_spans_are_transparent;
+    case "extraction provenance" test_extraction_provenance;
+    case "check errors carry positions" test_check_error_positions;
+    case "figure 1: escalation sites" test_figure1_escalation_sites;
+    case "figure 1: escalation provenance" test_figure1_escalation_provenance;
+    case "figure 1: pseudo-conflict pairs" test_figure1_pseudo_conflicts;
+    case "figure 1: the m2/m4 diagnostic" test_figure1_m2_m4_diag;
+    case "figure 1: blame chain for f1" test_figure1_blame_chain;
+    case "figure 1: branch-forced widening" test_figure1_prl002;
+    case "DYN001 on an untyped receiver" test_dyn001;
+    case "PRE001 on a composition cycle" test_pre001;
+    case "figure 1 lints clean of errors" test_figure1_no_errors;
+    case "cross-check: E4 deadlocks predicted" test_crosscheck_e4;
+    QCheck_alcotest.to_alcotest prop_chain_no_false_negatives;
+    QCheck_alcotest.to_alcotest prop_random_no_false_negatives;
+  ]

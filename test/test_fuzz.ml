@@ -46,7 +46,7 @@ let random_mi_decls rng =
           stmts :=
             Ast.Send_stmt
               { Ast.msg_prefix = None; msg_name = Tavcc_sim.Rng.pick rng meths;
-                msg_args = [ Ast.Ident "p1" ]; msg_recv = Ast.Rself }
+                msg_args = [ Ast.Ident "p1" ]; msg_recv = Ast.Rself; msg_pos = None }
             :: !stmts;
         !stmts
       in
@@ -92,7 +92,7 @@ let prop_root_methods_missing_ok =
           Ast.Send_stmt
             { Ast.msg_prefix = None;
               msg_name = mn (Printf.sprintf "ghost%d" (Tavcc_sim.Rng.int rng 5));
-              msg_args = []; msg_recv = Ast.Rself };
+              msg_args = []; msg_recv = Ast.Rself; msg_pos = None };
         ]
       in
       let decls =

@@ -46,6 +46,7 @@ let msg ?prefix ?(args = []) ?(recv = Ast.Rself) name =
     msg_name = mn name;
     msg_args = args;
     msg_recv = recv;
+    msg_pos = None;
   }
 
 let test_sends () =

@@ -74,7 +74,7 @@ let gen_expr =
               (fun name args ->
                 Ast.Send
                   { Ast.msg_prefix = None; msg_name = Name.Method.of_string name;
-                    msg_args = args; msg_recv = Ast.Rself })
+                    msg_args = args; msg_recv = Ast.Rself; msg_pos = None })
               (oneofl [ "m1"; "m2" ])
               (list_size (0 -- 2) (self (n / 3)));
           ])
@@ -87,7 +87,7 @@ let rec gen_stmt n =
       (fun name recv ->
         Ast.Send_stmt
           { Ast.msg_prefix = None; msg_name = Name.Method.of_string name; msg_args = [];
-            msg_recv = recv })
+            msg_recv = recv; msg_pos = None })
       (oneofl [ "m1"; "m2" ])
       (oneof [ return Ast.Rself; map (fun x -> Ast.Rexpr (Ast.Ident x)) (oneofl ident_pool) ])
   in
