@@ -25,7 +25,8 @@ module Rng = Tavcc_sim.Rng
 module Analysis = Tavcc_core.Analysis
 module Lint = Tavcc_analyze.Lint
 
-let repeats = 7
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let repeats = if quick then 5 else 7
 let threshold_x = 3.0
 let now () = Unix.gettimeofday ()
 

@@ -23,7 +23,8 @@ open Tavcc_lock
 module Rng = Tavcc_sim.Rng
 
 let ops_per_txn = 6
-let steps_per_config = 20_000
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let steps_per_config = if quick then 5_000 else 20_000
 
 let rw_conflict (held : Lock_table.req) (req : Lock_table.req) =
   not (Compat.compatible Compat.rw held.Lock_table.r_mode req.Lock_table.r_mode)

@@ -25,8 +25,9 @@ module Metrics = Tavcc_obs.Metrics
 module Sink = Tavcc_obs.Sink
 
 let ops_per_txn = 6
-let steps_per_config = 100_000
-let repeats = 7
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let steps_per_config = if quick then 20_000 else 100_000
+let repeats = if quick then 3 else 7
 let threshold_pct = 5.0
 
 let rw_conflict (held : Lock_table.req) (req : Lock_table.req) =

@@ -12,6 +12,7 @@ module Engine_trace = Tavcc_sim.Engine_trace
 module Workload = Tavcc_sim.Workload
 module Crosscheck = Tavcc_sim.Crosscheck
 module Rng = Tavcc_sim.Rng
+module Par_engine = Tavcc_par.Par_engine
 module Metrics = Tavcc_obs.Metrics
 module Sink = Tavcc_obs.Sink
 module Json = Tavcc_obs.Json
@@ -246,6 +247,158 @@ let run_cmd =
       const run $ scheme_arg $ seed $ txns $ actions $ depth $ fanout $ per_class $ extent_prob
       $ hot $ yield $ policy_arg $ metrics_arg $ trace_out_arg)
 
+(* --- par: the multicore driver on the contended slice workload --- *)
+
+let par_cmd =
+  let run scheme_names domains shards seed txns actions methods work instances hot policy
+      check metrics_fmt =
+    let json_mode = metrics_fmt = Some `Json in
+    let schema = Workload.slice_schema ~methods ~work in
+    let an = Tavcc_core.Analysis.compile schema in
+    if not json_mode then
+      Printf.printf
+        "par: %d domains, %d shards, %d txns x %d actions, %d slices x %d writes, %d grid \
+         instances (hot %d), policy %s, seed %d%s\n\n"
+        domains shards txns actions methods work instances hot (Engine.policy_name policy)
+        seed
+        (if check then ", serializability check on" else "");
+    let names = if scheme_names = [] then [ "rw-msg"; "tav" ] else scheme_names in
+    let runs =
+      List.map
+        (fun name ->
+          let mk = List.assoc name schemes in
+          let store = Store.create schema in
+          Workload.populate store ~per_class:instances;
+          let jobs =
+            Workload.slice_jobs (Rng.create (seed + 1)) store ~txns ~actions_per_txn:actions
+              ~hot_instances:hot
+          in
+          let metrics = Option.map (fun _ -> Metrics.create ()) metrics_fmt in
+          let config =
+            {
+              Par_engine.default_config with
+              domains;
+              shards;
+              policy;
+              record_history = check;
+              metrics;
+            }
+          in
+          let r = Par_engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+          if not json_mode then begin
+            Format.printf "%-12s %a%s@." name Par_engine.pp_result r
+              (if check then
+                 Printf.sprintf " serializable=%b" (Par_engine.serializable r)
+               else "");
+            List.iter
+              (fun (id, msg) -> Printf.printf "  txn %d FAILED: %s\n" id msg)
+              r.Par_engine.failed;
+            match metrics with Some m -> Format.printf "%a@." Metrics.pp m | None -> ()
+          end;
+          (name, r, metrics))
+        names
+    in
+    if json_mode then begin
+      let doc =
+        Json.Obj
+          [
+            ( "config",
+              Json.Obj
+                [
+                  ("domains", Json.Int domains);
+                  ("shards", Json.Int shards);
+                  ("txns", Json.Int txns);
+                  ("actions_per_txn", Json.Int actions);
+                  ("slices", Json.Int methods);
+                  ("work", Json.Int work);
+                  ("instances", Json.Int instances);
+                  ("hot", Json.Int hot);
+                  ("policy", Json.String (Engine.policy_name policy));
+                  ("seed", Json.Int seed);
+                ] );
+            ( "runs",
+              Json.List
+                (List.map
+                   (fun (name, (r : Par_engine.result), metrics) ->
+                     Json.Obj
+                       ([
+                          ("scheme", Json.String name);
+                          ("commits", Json.Int r.Par_engine.commits);
+                          ("aborts", Json.Int r.Par_engine.aborts);
+                          ("deadlocks", Json.Int r.Par_engine.deadlocks);
+                          ("wounds", Json.Int r.Par_engine.wounds);
+                          ("died", Json.Int r.Par_engine.died);
+                          ("timeouts", Json.Int r.Par_engine.timeouts);
+                          ("restarts", Json.Int r.Par_engine.restarts);
+                          ("wall_seconds", Json.Float r.Par_engine.wall_seconds);
+                          ("txns_per_sec", Json.Float r.Par_engine.throughput);
+                          ("serializable", Json.Bool (Par_engine.serializable r));
+                          ( "failed",
+                            Json.List
+                              (List.map
+                                 (fun (id, msg) ->
+                                   Json.Obj
+                                     [
+                                       ("txn", Json.Int id); ("error", Json.String msg);
+                                     ])
+                                 r.Par_engine.failed) );
+                          ( "lock_stats",
+                            Tavcc_lock.Lock_table.stats_to_json r.Par_engine.lock_stats );
+                        ]
+                       @
+                       match metrics with
+                       | Some m -> [ ("metrics", Metrics.to_json m) ]
+                       | None -> []))
+                   runs) );
+          ]
+      in
+      print_endline (Json.to_string doc)
+    end;
+    if List.exists (fun (_, r, _) -> r.Par_engine.failed <> []) runs then 1 else 0
+  in
+  let scheme_arg =
+    Arg.(value & opt_all scheme_conv []
+         & info [ "s"; "scheme" ] ~docv:"SCHEME"
+             ~doc:"Scheme to run (repeatable); default: rw-msg and tav.")
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let shards =
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc:"Lock-manager shards.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let txns =
+    Arg.(value & opt int 200 & info [ "t"; "txns" ] ~docv:"N" ~doc:"Transactions to run.")
+  in
+  let actions =
+    Arg.(value & opt int 4 & info [ "a"; "actions" ] ~docv:"N" ~doc:"Actions per transaction.")
+  in
+  let methods =
+    Arg.(value & opt int 16 & info [ "slices" ] ~docv:"N"
+         ~doc:"Disjoint field slices (methods) of the grid class.")
+  in
+  let work =
+    Arg.(value & opt int 8 & info [ "work" ] ~docv:"N"
+         ~doc:"Read-modify-writes per method call.")
+  in
+  let instances =
+    Arg.(value & opt int 4 & info [ "instances" ] ~docv:"N" ~doc:"Grid instances.")
+  in
+  let hot =
+    Arg.(value & opt int 2 & info [ "hot" ] ~docv:"N" ~doc:"Hot-set size (contention knob).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+         ~doc:"Record the field-access history (serialises the hot path) and report the \
+                 conflict-serializability verdict.")
+  in
+  let doc = "run the contended slice workload on real domains (multicore)" in
+  Cmd.v (Cmd.info "par" ~doc)
+    Term.(
+      const run $ scheme_arg $ domains $ shards $ seed $ txns $ actions $ methods $ work
+      $ instances $ hot $ policy_arg $ check $ metrics_arg)
+
 (* --- scenario: the sec. 5.2 comparison --- *)
 
 let scenario_cmd =
@@ -342,6 +495,6 @@ let main =
   let doc = "object-oriented concurrency-control simulator (Malta & Martinez, ICDE'93)" in
   Cmd.group
     (Cmd.info "oosim" ~version:"1.0.0" ~doc)
-    [ run_cmd; scenario_cmd; escalation_cmd; crosscheck_cmd ]
+    [ run_cmd; par_cmd; scenario_cmd; escalation_cmd; crosscheck_cmd ]
 
 let () = exit (Cmd.eval' main)

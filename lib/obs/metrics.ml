@@ -1,65 +1,94 @@
-type counter = { mutable c : int }
-type gauge = { mutable g : int; mutable g_max : int }
+(* Every cell is an [Atomic.t]: handles are shared freely across domains
+   (the parallel engine hammers one registry from every worker), and an
+   increment is a single fetch-and-add — no locks, no lost updates.  The
+   high-water marks (gauge max, histogram max) use a CAS loop, the
+   standard atomic-max idiom.  Reads ([value], [to_json], ...) are
+   per-cell atomic: a concurrent snapshot may mix in-flight updates of
+   {e different} cells (count vs sum), which is fine for monitoring. *)
+
+type counter = { c : int Atomic.t }
+type gauge = { g : int Atomic.t; g_max : int Atomic.t }
 
 let buckets_len = 63
 
 type histogram = {
-  mutable h_count : int;
-  mutable h_sum : int;
-  mutable h_max : int;
-  h_buckets : int array; (* h_buckets.(i) counts observations in bucket i *)
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_max : int Atomic.t;
+  h_buckets : int Atomic.t array; (* h_buckets.(i) counts observations in bucket i *)
 }
 
 type metric = C of counter | G of gauge | H of histogram
 
 type t = {
+  mu : Mutex.t; (* guards registration only, never the hot paths *)
   tbl : (string, metric) Hashtbl.t;
   mutable order : string list; (* registration order, newest first *)
 }
 
-let create () = { tbl = Hashtbl.create 32; order = [] }
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 32; order = [] }
 
 let register t name mk unpack kind =
-  match Hashtbl.find_opt t.tbl name with
-  | Some m -> (
-      match unpack m with
-      | Some x -> x
-      | None -> invalid_arg (Printf.sprintf "Metrics: %s is already a %s" name kind))
-  | None ->
-      let x = mk () in
-      Hashtbl.replace t.tbl name x;
-      t.order <- name :: t.order;
-      (match unpack x with Some y -> y | None -> assert false)
+  Mutex.lock t.mu;
+  let x =
+    match Hashtbl.find_opt t.tbl name with
+    | Some m -> m
+    | None ->
+        let x = mk () in
+        Hashtbl.replace t.tbl name x;
+        t.order <- name :: t.order;
+        x
+  in
+  Mutex.unlock t.mu;
+  match unpack x with
+  | Some y -> y
+  | None -> invalid_arg (Printf.sprintf "Metrics: %s is already a %s" name kind)
 
 let counter t name =
-  register t name (fun () -> C { c = 0 }) (function C c -> Some c | _ -> None) "counter"
+  register t name
+    (fun () -> C { c = Atomic.make 0 })
+    (function C c -> Some c | _ -> None)
+    "counter"
 
 let gauge t name =
   register t name
-    (fun () -> G { g = 0; g_max = 0 })
+    (fun () -> G { g = Atomic.make 0; g_max = Atomic.make 0 })
     (function G g -> Some g | _ -> None)
     "gauge"
 
 let histogram t name =
   register t name
-    (fun () -> H { h_count = 0; h_sum = 0; h_max = 0; h_buckets = Array.make buckets_len 0 })
+    (fun () ->
+      H
+        {
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0;
+          h_max = Atomic.make 0;
+          h_buckets = Array.init buckets_len (fun _ -> Atomic.make 0);
+        })
     (function H h -> Some h | _ -> None)
     "histogram"
 
 (* --- counters --- *)
 
-let add c n = c.c <- c.c + n
+let add c n = ignore (Atomic.fetch_and_add c.c n)
 let incr c = add c 1
-let value c = c.c
+let value c = Atomic.get c.c
+
+(* --- atomic max --- *)
+
+let rec store_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then store_max cell v
 
 (* --- gauges --- *)
 
 let set g v =
-  g.g <- v;
-  if v > g.g_max then g.g_max <- v
+  Atomic.set g.g v;
+  store_max g.g_max v
 
-let gauge_value g = g.g
-let gauge_max g = g.g_max
+let gauge_value g = Atomic.get g.g
+let gauge_max g = Atomic.get g.g_max
 
 (* --- histograms --- *)
 
@@ -82,24 +111,25 @@ let bucket_bounds i =
   if i = 0 then (min_int, 0) else ((1 lsl (i - 1)), (1 lsl i) - 1)
 
 let observe h v =
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum + v;
-  if v > h.h_max then h.h_max <- v;
-  let b = h.h_buckets in
-  let i = bucket_of v in
-  b.(i) <- b.(i) + 1
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  ignore (Atomic.fetch_and_add h.h_sum v);
+  store_max h.h_max v;
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1)
 
-let count h = h.h_count
-let sum h = h.h_sum
-let max_value h = h.h_max
-let mean h = if h.h_count = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_count
+let count h = Atomic.get h.h_count
+let sum h = Atomic.get h.h_sum
+let max_value h = Atomic.get h.h_max
+let mean h =
+  let n = count h in
+  if n = 0 then 0.0 else float_of_int (sum h) /. float_of_int n
 
 let nonempty_buckets h =
   let acc = ref [] in
   for i = buckets_len - 1 downto 0 do
-    if h.h_buckets.(i) > 0 then
+    let n = Atomic.get h.h_buckets.(i) in
+    if n > 0 then
       let lo, hi = bucket_bounds i in
-      acc := (lo, hi, h.h_buckets.(i)) :: !acc
+      acc := (lo, hi, n) :: !acc
   done;
   !acc
 
@@ -113,13 +143,27 @@ let time_us t name f =
 
 (* --- export --- *)
 
-let names t = List.rev t.order
+let names t =
+  Mutex.lock t.mu;
+  let ns = List.rev t.order in
+  Mutex.unlock t.mu;
+  ns
+
+let find t name =
+  Mutex.lock t.mu;
+  let m = Hashtbl.find t.tbl name in
+  Mutex.unlock t.mu;
+  m
 
 let metric_to_json = function
-  | C c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int c.c) ]
+  | C c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int (value c)) ]
   | G g ->
       Json.Obj
-        [ ("type", Json.String "gauge"); ("value", Json.Int g.g); ("max", Json.Int g.g_max) ]
+        [
+          ("type", Json.String "gauge");
+          ("value", Json.Int (gauge_value g));
+          ("max", Json.Int (gauge_max g));
+        ]
   | H h ->
       let buckets =
         List.map
@@ -135,25 +179,25 @@ let metric_to_json = function
       Json.Obj
         [
           ("type", Json.String "histogram");
-          ("count", Json.Int h.h_count);
-          ("sum", Json.Int h.h_sum);
-          ("max", Json.Int h.h_max);
+          ("count", Json.Int (count h));
+          ("sum", Json.Int (sum h));
+          ("max", Json.Int (max_value h));
           ("mean", Json.Float (mean h));
           ("buckets", Json.List buckets);
         ]
 
 let to_json t =
-  Json.Obj (List.map (fun name -> (name, metric_to_json (Hashtbl.find t.tbl name))) (names t))
+  Json.Obj (List.map (fun name -> (name, metric_to_json (find t name))) (names t))
 
 let pp ppf t =
   List.iter
     (fun name ->
-      match Hashtbl.find t.tbl name with
-      | C c -> Format.fprintf ppf "%-32s %d@." name c.c
-      | G g -> Format.fprintf ppf "%-32s %d (max %d)@." name g.g g.g_max
+      match find t name with
+      | C c -> Format.fprintf ppf "%-32s %d@." name (value c)
+      | G g -> Format.fprintf ppf "%-32s %d (max %d)@." name (gauge_value g) (gauge_max g)
       | H h ->
-          Format.fprintf ppf "%-32s count=%d sum=%d max=%d mean=%.1f@." name h.h_count h.h_sum
-            h.h_max (mean h);
+          Format.fprintf ppf "%-32s count=%d sum=%d max=%d mean=%.1f@." name (count h)
+            (sum h) (max_value h) (mean h);
           List.iter
             (fun (lo, hi, n) ->
               Format.fprintf ppf "%-32s   [%d..%d] %d@." "" (if lo = min_int then 0 else lo) hi n)

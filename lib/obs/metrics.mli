@@ -10,7 +10,13 @@
     Histograms are log-bucketed: bucket 0 holds the observations [<= 0]
     and bucket [i >= 1] the values in [2^(i-1), 2^i - 1], so a histogram
     is 63 ints regardless of range — wait times of 1 step and of a
-    million steps fit the same array. *)
+    million steps fit the same array.
+
+    Every cell is an [Atomic.t], so handles may be shared across domains:
+    concurrent increments are never lost (the parallel engine hammers one
+    registry from every worker).  Registration itself is mutex-protected;
+    snapshots ({!value}, {!to_json}, {!pp}) are per-cell atomic but do not
+    freeze the registry as a whole. *)
 
 type t
 (** A registry: an ordered set of named metrics. *)

@@ -1,0 +1,286 @@
+open Tavcc_cc
+module Engine = Tavcc_sim.Engine
+module LT = Tavcc_lock.Lock_table
+module Txn = Tavcc_txn.Txn
+module History = Tavcc_txn.History
+module Metrics = Tavcc_obs.Metrics
+module Store = Tavcc_model.Store
+module Schema = Tavcc_model.Schema
+
+type config = {
+  domains : int;
+  shards : int;
+  policy : Engine.deadlock_policy;
+  max_restarts : int;
+  max_steps : int;
+  detector_period_us : int;
+  restart_backoff_us : int;
+  record_history : bool;
+  metrics : Metrics.t option;
+}
+
+let default_config =
+  {
+    domains = 4;
+    shards = 8;
+    policy = Engine.Detect;
+    max_restarts = 1000;
+    max_steps = 1_000_000;
+    detector_period_us = 500;
+    restart_backoff_us = 50;
+    record_history = false;
+    metrics = None;
+  }
+
+type result = {
+  commits : int;
+  aborts : int;
+  deadlocks : int;
+  wounds : int;
+  died : int;
+  timeouts : int;
+  restarts : int;
+  failed : (int * string) list;
+  wall_seconds : float;
+  throughput : float;
+  lock_stats : LT.stats;
+  history : History.t option;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "commits=%d aborts=%d deadlocks=%d wounds=%d died=%d timeouts=%d restarts=%d \
+     failed=%d wall=%.3fs throughput=%.0f txn/s"
+    r.commits r.aborts r.deadlocks r.wounds r.died r.timeouts r.restarts
+    (List.length r.failed) r.wall_seconds r.throughput
+
+let serializable r =
+  match r.history with None -> true | Some h -> History.conflict_serializable h
+
+type pmetrics = {
+  pm_commits : Metrics.counter;
+  pm_aborts : Metrics.counter;
+  pm_deadlocks : Metrics.counter;
+  pm_wounds : Metrics.counter;
+  pm_died : Metrics.counter;
+  pm_timeouts : Metrics.counter;
+  pm_restarts : Metrics.counter;
+  pm_txn_us : Metrics.histogram;
+}
+
+let run ?(config = default_config) ~scheme ~store ~jobs () =
+  if config.domains <= 0 then invalid_arg "Par_engine.run: domains must be positive";
+  List.iter
+    (fun (id, _) ->
+      if id <= 0 then invalid_arg "Par_engine.run: transaction ids must be positive")
+    jobs;
+  (* Touch every extent ref before spawning: [Store.extent] lazily
+     creates the per-class ref cell, and that Hashtbl write must not race
+     with concurrent extent scans. *)
+  List.iter
+    (fun c -> ignore (Store.extent store c))
+    (Schema.classes (Store.schema store));
+  let t0 = Unix.gettimeofday () in
+  let clock () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  let locks =
+    Shard_table.create ~shards:config.shards ?metrics:config.metrics ~clock
+      ~conflict:scheme.Scheme.conflict ()
+  in
+  let pm =
+    Option.map
+      (fun m ->
+        {
+          pm_commits = Metrics.counter m "par.commits";
+          pm_aborts = Metrics.counter m "par.aborts";
+          pm_deadlocks = Metrics.counter m "par.deadlocks";
+          pm_wounds = Metrics.counter m "par.wounds";
+          pm_died = Metrics.counter m "par.died";
+          pm_timeouts = Metrics.counter m "par.timeouts";
+          pm_restarts = Metrics.counter m "par.restarts";
+          pm_txn_us = Metrics.histogram m "par.txn_us";
+        })
+      config.metrics
+  in
+  let tick f = match pm with None -> () | Some p -> f p in
+  let commits = Atomic.make 0
+  and aborts = Atomic.make 0
+  and deadlocks = Atomic.make 0
+  and wounds = Atomic.make 0
+  and died = Atomic.make 0
+  and timeouts = Atomic.make 0
+  and restarts = Atomic.make 0 in
+  let failed_mu = Mutex.create () in
+  let failed = ref [] in
+  let history = if config.record_history then Some (History.create ()) else None in
+  let hist_mu = Mutex.create () in
+  let record op =
+    match history with
+    | None -> ()
+    | Some h ->
+        Mutex.lock hist_mu;
+        History.record h op;
+        Mutex.unlock hist_mu
+  in
+  let wait_policy =
+    match config.policy with
+    | Engine.Detect | Engine.Timeout _ -> Shard_table.Block
+    | Engine.Wound_wait -> Shard_table.Wound
+    | Engine.Wait_die -> Shard_table.Die_if_older
+    | Engine.No_wait -> Shard_table.Never_wait
+  in
+  (* --- detector domain: cycles always, timeouts when asked --- *)
+  let stop = Atomic.make false in
+  let timeout_s =
+    match config.policy with Engine.Timeout n -> Some (float_of_int n /. 1000.) | _ -> None
+  in
+  let detector () =
+    let period = float_of_int (max 50 config.detector_period_us) /. 1e6 in
+    while not (Atomic.get stop) do
+      Unix.sleepf period;
+      (match timeout_s with
+      | None -> ()
+      | Some limit ->
+          List.iter
+            (fun (id, waited) ->
+              if waited > limit && Shard_table.kill locks ~victim:id Shard_table.Timed_out
+              then begin
+                Atomic.incr timeouts;
+                tick (fun p -> Metrics.incr p.pm_timeouts)
+              end)
+            (Shard_table.waiting_txns locks));
+      (* Resolve every cycle visible in this sweep.  The victim is the
+         youngest member (max birth, ties to max id), killed only if the
+         kill actually lands — a member may have finished since the
+         snapshot (phantom cycle), in which case the next sweep retries. *)
+      let rec resolve edges =
+        match Shard_table.find_cycle_edges edges with
+        | None -> ()
+        | Some cycle ->
+            let victim =
+              List.fold_left
+                (fun best id ->
+                  let b v = Option.value ~default:v (Shard_table.birth_of locks v) in
+                  if b id > b best || (b id = b best && id > best) then id else best)
+                (List.hd cycle) cycle
+            in
+            if Shard_table.kill locks ~victim Shard_table.Deadlock_victim then begin
+              Atomic.incr deadlocks;
+              tick (fun p -> Metrics.incr p.pm_deadlocks)
+            end;
+            (* Drop the victim's edges and look for further cycles. *)
+            resolve (List.filter (fun (a, b) -> a <> victim && b <> victim) edges)
+      in
+      resolve (Shard_table.waits_for_edges locks)
+    done
+  in
+  (* --- workers --- *)
+  let jobs_arr = Array.of_list jobs in
+  let cursor = Atomic.make 0 in
+  let backoff attempt =
+    if config.restart_backoff_us > 0 then
+      Unix.sleepf
+        (float_of_int (min 5000 (attempt * config.restart_backoff_us)) /. 1e6)
+  in
+  let run_job (id, actions) =
+    let rec attempt n txn =
+      Shard_table.register locks ~id ~birth:id;
+      let began = Unix.gettimeofday () in
+      let finish_and_release () =
+        Shard_table.finish locks id;
+        ignore (Shard_table.release_all locks id)
+      in
+      match
+        record (History.Begin id);
+        let ctx =
+          {
+            Scheme.txn;
+            acquire = (fun r -> Shard_table.acquire_blocking locks ~policy:wait_policy r);
+          }
+        in
+        let on_read oid f = record (History.Read (id, oid, f)) in
+        let on_write oid f = record (History.Write (id, oid, f)) in
+        Exec.begin_txn ~scheme ~store ~ctx actions;
+        List.iter
+          (fun a ->
+            Exec.perform ~scheme ~store ~ctx ~on_read ~on_write ~max_steps:config.max_steps
+              a)
+          actions;
+        Shard_table.check_killed locks id
+      with
+      | () ->
+          Txn.commit txn;
+          record (History.Commit id);
+          Atomic.incr commits;
+          tick (fun p ->
+              Metrics.incr p.pm_commits;
+              Metrics.observe p.pm_txn_us
+                (int_of_float ((Unix.gettimeofday () -. began) *. 1e6)));
+          finish_and_release ()
+      | exception Shard_table.Aborted reason ->
+          (match reason with
+          | Shard_table.Wounded _ ->
+              Atomic.incr wounds;
+              tick (fun p -> Metrics.incr p.pm_wounds)
+          | Shard_table.Died ->
+              Atomic.incr died;
+              tick (fun p -> Metrics.incr p.pm_died)
+          | Shard_table.Deadlock_victim | Shard_table.Timed_out -> ());
+          Atomic.incr aborts;
+          tick (fun p -> Metrics.incr p.pm_aborts);
+          record (History.Abort id);
+          (* Undo while the locks are still held (strict 2PL), then
+             release and wake whoever was queued behind us. *)
+          Txn.abort store txn;
+          finish_and_release ();
+          if n >= config.max_restarts then begin
+            Mutex.lock failed_mu;
+            failed := (id, "exceeded max restarts") :: !failed;
+            Mutex.unlock failed_mu
+          end
+          else begin
+            Atomic.incr restarts;
+            tick (fun p -> Metrics.incr p.pm_restarts);
+            backoff (n + 1);
+            attempt (n + 1) (Txn.reset_for_restart txn)
+          end
+      | exception e ->
+          record (History.Abort id);
+          Txn.abort store txn;
+          finish_and_release ();
+          Mutex.lock failed_mu;
+          failed := (id, Printexc.to_string e) :: !failed;
+          Mutex.unlock failed_mu
+    in
+    attempt 0 (Txn.make ~id ~birth:id)
+  in
+  let worker () =
+    let rec pull () =
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < Array.length jobs_arr then begin
+        run_job jobs_arr.(i);
+        pull ()
+      end
+    in
+    pull ()
+  in
+  let det = Domain.spawn detector in
+  let workers = List.init config.domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join workers;
+  Atomic.set stop true;
+  Domain.join det;
+  let wall = Unix.gettimeofday () -. t0 in
+  let c = Atomic.get commits in
+  {
+    commits = c;
+    aborts = Atomic.get aborts;
+    deadlocks = Atomic.get deadlocks;
+    wounds = Atomic.get wounds;
+    died = Atomic.get died;
+    timeouts = Atomic.get timeouts;
+    restarts = Atomic.get restarts;
+    failed = !failed;
+    wall_seconds = wall;
+    throughput = (if wall > 0. then float_of_int c /. wall else 0.);
+    lock_stats = Shard_table.stats locks;
+    history;
+  }

@@ -1,0 +1,99 @@
+(** Parallel execution driver: real transactions on real cores.
+
+    Where [Tavcc_sim.Engine] interleaves cooperative fibers under a
+    seeded single-threaded scheduler, this engine runs the {e same} jobs
+    through the {e same} pluggable {!Tavcc_cc.Scheme} callbacks on a pool
+    of OCaml 5 domains, against a {!Shard_table} whose blocking is real:
+    a conflicting request parks its worker on a condition variable until
+    the lock manager grants it.
+
+    The deadlock policies mirror the step engine's
+    {!Tavcc_sim.Engine.deadlock_policy}:
+    - [Detect] — a periodic detector domain snapshots the per-shard
+      waits-for edges, unions them (cycles may cross shards) and kills
+      the youngest member of every cycle;
+    - [Wound_wait] / [Wait_die] / [No_wait] — decided inline at block
+      time from registered births;
+    - [Timeout n] — [n] is interpreted as {e milliseconds} of real wait
+      (the step engine counts scheduler steps; there is no step clock
+      here), enforced by the detector's periodic sweep.
+
+    The detector domain runs under every policy: under the prevention
+    policies it is a backstop for the rare conversion-induced cycles
+    that inline wounding cannot see.
+
+    Safety requirements on the shared store: jobs must not create or
+    delete instances (the generated workloads never do — the engine
+    pre-touches every extent so even extent scans mutate nothing), and
+    every field access is covered by the scheme's locks (strict 2PL), so
+    data accesses to the same slot are ordered by lock hand-off.
+    Transactions killed while {e running} (wound, phantom deadlock) only
+    notice at their next lock operation or at commit; a victim that
+    reaches commit first is allowed to commit — it releases its locks
+    either way, so progress is preserved.
+
+    With [record_history] the raw field accesses go into a
+    mutex-protected {!Tavcc_txn.History}, and because conflicting
+    accesses are ordered by 2PL the recorded order is conflict-faithful:
+    [History.conflict_serializable] is a sound oracle for the parallel
+    run, exactly as for the step engine.  Recording serialises the hot
+    path — leave it off when measuring throughput. *)
+
+open Tavcc_lang
+open Tavcc_cc
+
+type config = {
+  domains : int;  (** worker domains (>= 1) *)
+  shards : int;  (** lock-manager shards (>= 1) *)
+  policy : Tavcc_sim.Engine.deadlock_policy;
+  max_restarts : int;  (** per transaction; beyond it the txn fails *)
+  max_steps : int;  (** interpreter fuel per action *)
+  detector_period_us : int;  (** deadlock/timeout sweep period *)
+  restart_backoff_us : int;
+      (** base of the linear abort backoff ([attempt * base], capped at
+          5 ms); 0 disables *)
+  record_history : bool;
+  metrics : Tavcc_obs.Metrics.t option;
+      (** counters [par.commits], [par.aborts], [par.deadlocks],
+          [par.wounds], [par.died], [par.timeouts], [par.restarts], the
+          [par.txn_us] per-commit latency histogram, and the shard
+          tables' [lock.*] metrics with a microsecond clock *)
+}
+
+val default_config : config
+(** 4 domains, 8 shards, [Detect], 1000 restarts, 500 us detector
+    period, 50 us backoff, no history, no metrics. *)
+
+type result = {
+  commits : int;
+  aborts : int;  (** aborted attempts (then restarted) *)
+  deadlocks : int;  (** cycles the detector resolved *)
+  wounds : int;
+  died : int;
+  timeouts : int;
+  restarts : int;
+  failed : (int * string) list;
+  wall_seconds : float;
+  throughput : float;  (** committed transactions per second *)
+  lock_stats : Tavcc_lock.Lock_table.stats;
+  history : Tavcc_txn.History.t option;  (** when [record_history] *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val serializable : result -> bool
+(** [History.conflict_serializable] of the recorded history; true when no
+    history was recorded (nothing to refute — enable [record_history] for
+    a meaningful check). *)
+
+val run :
+  ?config:config ->
+  scheme:Scheme.t ->
+  store:Ast.body Tavcc_model.Store.t ->
+  jobs:(int * Exec.action list) list ->
+  unit ->
+  result
+(** Ids must be distinct and positive; births equal ids (lower id =
+    older, as in the step engine).  Jobs are dispensed to workers from an
+    atomic cursor in list order; every job runs to commit or to
+    [max_restarts]. *)

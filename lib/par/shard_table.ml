@@ -1,0 +1,323 @@
+open Tavcc_lock
+module LT = Lock_table
+
+type txn_id = int
+type reason = Deadlock_victim | Wounded of txn_id | Timed_out | Died
+
+let reason_name = function
+  | Deadlock_victim -> "deadlock"
+  | Wounded w -> Printf.sprintf "wounded-by-%d" w
+  | Timed_out -> "timeout"
+  | Died -> "died"
+
+exception Aborted of reason
+
+type wait_policy = Block | Wound | Die_if_older | Never_wait
+
+type shard = { mu : Mutex.t; tbl : LT.t }
+
+(* One slot per live transaction.  Lock ordering: a shard mutex may be
+   held while taking a slot mutex (grant, wound, park), never the
+   reverse — [kill] and the wait loop take only the slot mutex. *)
+type slot = {
+  s_mu : Mutex.t;
+  s_cond : Condition.t;
+  s_birth : int;
+  mutable s_active : bool;  (* false once the attempt finished *)
+  mutable s_waiting_since : float;  (* > 0 while parked (Unix time) *)
+  mutable s_granted : bool;  (* the parked request was granted *)
+  mutable s_kill : reason option;
+}
+
+type t = {
+  shards : shard array;
+  reg_mu : Mutex.t;
+  slots : (txn_id, slot) Hashtbl.t;
+}
+
+let create ?(shards = 8) ?metrics ?clock ~conflict () =
+  if shards <= 0 then invalid_arg "Shard_table.create: shards must be positive";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { mu = Mutex.create (); tbl = LT.create ?metrics ?clock ~conflict () });
+    reg_mu = Mutex.create ();
+    slots = Hashtbl.create 64;
+  }
+
+let shard_count t = Array.length t.shards
+let shard_of t res = Resource.hash res mod Array.length t.shards
+let shard t res = t.shards.(shard_of t res)
+
+let with_mu mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
+(* --- registry --- *)
+
+let find_slot_opt t id = with_mu t.reg_mu (fun () -> Hashtbl.find_opt t.slots id)
+
+let find_slot t id =
+  match find_slot_opt t id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Shard_table: transaction %d is not registered" id)
+
+let register t ~id ~birth =
+  with_mu t.reg_mu (fun () ->
+      (* A fresh record per attempt: a kill aimed at the previous
+         incarnation cannot leak into this one. *)
+      Hashtbl.replace t.slots id
+        {
+          s_mu = Mutex.create ();
+          s_cond = Condition.create ();
+          s_birth = birth;
+          s_active = true;
+          s_waiting_since = 0.;
+          s_granted = false;
+          s_kill = None;
+        })
+
+let finish t id =
+  match find_slot_opt t id with
+  | None -> ()
+  | Some s ->
+      with_mu s.s_mu (fun () ->
+          s.s_active <- false;
+          s.s_waiting_since <- 0.)
+
+let kill_slot s reason =
+  with_mu s.s_mu (fun () ->
+      if s.s_active && s.s_kill = None then begin
+        s.s_kill <- Some reason;
+        Condition.broadcast s.s_cond;
+        true
+      end
+      else false)
+
+let kill t ~victim reason =
+  match find_slot_opt t victim with None -> false | Some s -> kill_slot s reason
+
+let check_killed t id =
+  match find_slot_opt t id with
+  | None -> ()
+  | Some s -> (
+      match with_mu s.s_mu (fun () -> s.s_kill) with
+      | Some r -> raise (Aborted r)
+      | None -> ())
+
+let birth_of t id = Option.map (fun s -> s.s_birth) (find_slot_opt t id)
+
+let waiting_txns t =
+  let now = Unix.gettimeofday () in
+  with_mu t.reg_mu (fun () ->
+      Hashtbl.fold
+        (fun id s acc ->
+          let since = with_mu s.s_mu (fun () -> if s.s_active then s.s_waiting_since else 0.) in
+          if since > 0. then (id, now -. since) :: acc else acc)
+        t.slots [])
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* --- wake-up plumbing --- *)
+
+let signal_granted t (reqs : LT.req list) =
+  List.iter
+    (fun (r : LT.req) ->
+      match find_slot_opt t r.LT.r_txn with
+      | None -> ()
+      | Some s ->
+          with_mu s.s_mu (fun () ->
+              s.s_granted <- true;
+              Condition.broadcast s.s_cond))
+    reqs
+
+(* --- non-blocking mirror --- *)
+
+let acquire t req =
+  let sh = shard t req.LT.r_res in
+  with_mu sh.mu (fun () -> LT.acquire sh.tbl req)
+
+let release_all t id =
+  let granted =
+    Array.fold_left
+      (fun acc sh -> acc @ with_mu sh.mu (fun () -> LT.release_all sh.tbl id))
+      [] t.shards
+  in
+  signal_granted t granted;
+  granted
+
+let holders t res = with_mu (shard t res).mu (fun () -> LT.holders (shard t res).tbl res)
+let queued t res = with_mu (shard t res).mu (fun () -> LT.queued (shard t res).tbl res)
+let holds t id res = with_mu (shard t res).mu (fun () -> LT.holds (shard t res).tbl id res)
+
+let locks_of t id =
+  Array.fold_left (fun acc sh -> acc @ with_mu sh.mu (fun () -> LT.locks_of sh.tbl id)) [] t.shards
+
+let waiting_for t id =
+  Array.fold_left
+    (fun acc sh ->
+      match acc with
+      | Some _ -> acc
+      | None -> with_mu sh.mu (fun () -> LT.waiting_for sh.tbl id))
+    None t.shards
+
+let waits_for_edges t =
+  Array.fold_left
+    (fun acc sh -> acc @ with_mu sh.mu (fun () -> LT.waits_for_edges sh.tbl))
+    [] t.shards
+  |> List.sort_uniq compare
+
+(* Cycle search over an explicit edge list: DFS with the classical
+   white/gray/black colouring, returning the gray path segment that
+   closes the cycle (same shape as [Lock_table.find_deadlock]). *)
+let find_cycle ?from edges =
+  let adj = Hashtbl.create 64 in
+  let nodes = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace nodes a ();
+      Hashtbl.replace nodes b ();
+      Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a)))
+    edges;
+  let color = Hashtbl.create 64 in
+  let rec dfs path n =
+    match Hashtbl.find_opt color n with
+    | Some 2 -> None
+    | Some 1 ->
+        (* [n] is on the current path: the cycle is the path segment from
+           its previous occurrence.  The head of [path] is this repeat
+           visit of [n] itself, so the cut scans the tail. *)
+        let rec cut = function
+          | [] -> []
+          | x :: tl -> if x = n then [ x ] else x :: cut tl
+        in
+        Some (List.rev (cut (List.tl path)))
+    | _ -> (
+        Hashtbl.replace color n 1;
+        let succs = Option.value ~default:[] (Hashtbl.find_opt adj n) in
+        match List.find_map (fun m -> dfs (m :: path) m) succs with
+        | Some c -> Some c
+        | None ->
+            Hashtbl.replace color n 2;
+            None)
+  in
+  match from with
+  | Some f -> dfs [ f ] f
+  | None ->
+      Hashtbl.fold
+        (fun n () acc -> match acc with Some _ -> acc | None -> dfs [ n ] n)
+        nodes None
+
+let find_cycle_edges = find_cycle
+
+let find_deadlock ?from t =
+  if Array.length t.shards = 1 then
+    with_mu t.shards.(0).mu (fun () -> LT.find_deadlock ?from t.shards.(0).tbl)
+  else
+    (* Intra-shard cycles first (each shard's own incremental graph),
+       then the union graph for cycles that cross shards. *)
+    let intra =
+      Array.fold_left
+        (fun acc sh ->
+          match acc with
+          | Some _ -> acc
+          | None -> with_mu sh.mu (fun () -> LT.find_deadlock ?from sh.tbl))
+        None t.shards
+    in
+    match intra with Some c -> Some c | None -> find_cycle ?from (waits_for_edges t)
+
+let stats t =
+  let acc = LT.copy_stats (with_mu t.shards.(0).mu (fun () -> LT.stats t.shards.(0).tbl)) in
+  Array.iteri
+    (fun i sh ->
+      if i > 0 then begin
+        let s = with_mu sh.mu (fun () -> LT.copy_stats (LT.stats sh.tbl)) in
+        acc.LT.requests <- acc.LT.requests + s.LT.requests;
+        acc.LT.immediate <- acc.LT.immediate + s.LT.immediate;
+        acc.LT.waits <- acc.LT.waits + s.LT.waits;
+        acc.LT.conversions <- acc.LT.conversions + s.LT.conversions;
+        acc.LT.reacquires <- acc.LT.reacquires + s.LT.reacquires;
+        acc.LT.granted_after_wait <- acc.LT.granted_after_wait + s.LT.granted_after_wait;
+        acc.LT.max_queue_depth <- max acc.LT.max_queue_depth s.LT.max_queue_depth
+      end)
+    t.shards;
+  acc
+
+let per_shard_stats t =
+  Array.to_list t.shards
+  |> List.map (fun sh -> with_mu sh.mu (fun () -> LT.copy_stats (LT.stats sh.tbl)))
+
+(* --- blocking acquisition --- *)
+
+let acquire_blocking t ~policy (req : LT.req) =
+  let me = find_slot t req.LT.r_txn in
+  (match with_mu me.s_mu (fun () -> me.s_kill) with
+  | Some r -> raise (Aborted r)
+  | None -> ());
+  let sh = shard t req.LT.r_res in
+  Mutex.lock sh.mu;
+  match LT.acquire sh.tbl req with
+  | LT.Granted -> Mutex.unlock sh.mu
+  | LT.Waiting -> (
+      let decision =
+        match policy with
+        | Block -> `Wait
+        | Never_wait -> `Die
+        | Wound ->
+            (* Wound every younger transaction in the way, then wait for
+               the older ones; the victims abort at their own next lock
+               operation or wake-up. *)
+            let blocking =
+              LT.blockers sh.tbl req
+              |> List.map (fun (r : LT.req) -> r.LT.r_txn)
+              |> List.sort_uniq Int.compare
+            in
+            List.iter
+              (fun vid ->
+                match find_slot_opt t vid with
+                | Some v when v.s_birth > me.s_birth ->
+                    ignore (kill_slot v (Wounded req.LT.r_txn))
+                | _ -> ())
+              blocking;
+            `Wait
+        | Die_if_older ->
+            let blocking = LT.blockers sh.tbl req in
+            if
+              List.exists
+                (fun (r : LT.req) ->
+                  match find_slot_opt t r.LT.r_txn with
+                  | Some v -> v.s_birth < me.s_birth
+                  | None -> false)
+                blocking
+            then `Die
+            else `Wait
+      in
+      match decision with
+      | `Die ->
+          Mutex.unlock sh.mu;
+          (* The queued request stays; the abort path's [release_all]
+             removes it. *)
+          raise (Aborted Died)
+      | `Wait ->
+          (* Arm the slot while still holding the shard mutex: a grant
+             needs that mutex, so it cannot slip in before the flags are
+             reset (no lost wake-up). *)
+          with_mu me.s_mu (fun () ->
+              me.s_granted <- false;
+              me.s_waiting_since <- Unix.gettimeofday ());
+          Mutex.unlock sh.mu;
+          Mutex.lock me.s_mu;
+          while (not me.s_granted) && me.s_kill = None do
+            Condition.wait me.s_cond me.s_mu
+          done;
+          me.s_waiting_since <- 0.;
+          let k = me.s_kill in
+          Mutex.unlock me.s_mu;
+          (* A kill that raced with the grant wins: the wound/deadlock
+             resolution wants the locks released. *)
+          (match k with Some r -> raise (Aborted r) | None -> ()))

@@ -1,0 +1,143 @@
+(** Thread-safe sharded lock manager.
+
+    [Lock_table] is a sequential data structure driven by the step
+    simulator; this module makes it safe for real OCaml 5 domains by
+    splitting the resource space over [N] independent shards — shard
+    [Resource.hash r mod N] owns resource [r] — each a plain
+    [Lock_table] protected by its own mutex.  Requests on different
+    shards never contend on a lock-manager mutex, which is what lets
+    compatible workloads (TAV field modes on disjoint fields) scale.
+
+    Two layers:
+
+    - a {e non-blocking} mirror of the [Lock_table] API ({!acquire},
+      {!release_all}, {!holders}, {!find_deadlock}, ...) used by
+      single-threaded drivers and the S=1 equivalence tests — every call
+      is individually thread-safe but returns [Waiting] instead of
+      blocking;
+    - a {e blocking} layer ({!acquire_blocking}) for worker domains:
+      a transaction that must wait parks on its own condition variable
+      until the grant arrives ({!release_all} signals it) or until it is
+      {!kill}ed — by the cross-shard deadlock detector, a wound-wait
+      elder, or a timeout — in which case {!Aborted} is raised in the
+      waiter's own domain so it can undo and restart.
+
+    Deadlock handling is split: the wound-wait / wait-die / no-wait
+    decisions happen inline at block time (under the shard mutex, using
+    the registered births), while {e detection} is left to an external
+    periodic detector (see [Par_engine]) that snapshots the per-shard
+    waits-for edges with {!waits_for_edges} — a cycle may cross shards —
+    and kills the youngest member of each cycle.  Because the snapshot is
+    not globally atomic, the detector can observe a phantom cycle whose
+    edges never coexisted (an abort in mid-scan); the consequence is an
+    unnecessary restart, never a safety violation. *)
+
+open Tavcc_lock
+
+type txn_id = int
+
+(** Why a transaction was aborted.  [Deadlock_victim] comes from the
+    detector, [Wounded w] from the older transaction [w] at its block
+    site, [Timed_out] from the timeout sweep, [Died] is the wait-die /
+    no-wait self-abort. *)
+type reason = Deadlock_victim | Wounded of txn_id | Timed_out | Died
+
+val reason_name : reason -> string
+
+exception Aborted of reason
+(** Raised by {!acquire_blocking} and {!check_killed} in the victim's own
+    domain.  The catcher must undo the transaction and call
+    {!release_all}. *)
+
+(** What {!acquire_blocking} does when the request must wait:
+    [Block] parks unconditionally (deadlock handling is the detector's
+    job); [Wound] first kills every {e younger} blocker (wound-wait);
+    [Die_if_older] raises {!Aborted}[ Died] when some blocker is older
+    (wait-die); [Never_wait] always raises (no-wait). *)
+type wait_policy = Block | Wound | Die_if_older | Never_wait
+
+type t
+
+val create :
+  ?shards:int ->
+  ?metrics:Tavcc_obs.Metrics.t ->
+  ?clock:(unit -> int) ->
+  conflict:(Lock_table.req -> Lock_table.req -> bool) ->
+  unit ->
+  t
+(** [shards] defaults to 8.  [metrics] and [clock] are handed to every
+    shard's [Lock_table.create]; the shards share one registry (its cells
+    are atomic).  @raise Invalid_argument on [shards <= 0]. *)
+
+val shard_count : t -> int
+val shard_of : t -> Resource.t -> int
+
+(** {2 Transaction registry}
+
+    The blocking layer needs to know every live transaction: its birth
+    (for the priority policies) and a slot holding its condition
+    variable and kill flag.  Workers {!register} at the start of every
+    attempt (re-registering resets a stale kill flag) and {!finish} when
+    the attempt commits or aborts, after which {!kill} refuses the id. *)
+
+val register : t -> id:txn_id -> birth:int -> unit
+val finish : t -> txn_id -> unit
+
+val kill : t -> victim:txn_id -> reason -> bool
+(** Marks the victim for abort and wakes it if it is parked.  False when
+    the id is finished, unknown, or already killed (the kill is not
+    double-counted).  A running victim only notices at its next
+    {!acquire_blocking} or {!check_killed}. *)
+
+val check_killed : t -> txn_id -> unit
+(** @raise Aborted if a kill is pending — call before committing. *)
+
+val birth_of : t -> txn_id -> int option
+
+val waiting_txns : t -> (txn_id * float) list
+(** Transactions currently parked, with seconds waited so far — the
+    timeout sweep's input. *)
+
+(** {2 Blocking acquisition} *)
+
+val acquire_blocking : t -> policy:wait_policy -> Lock_table.req -> unit
+(** Returns once the request is held.
+    @raise Aborted when the transaction is killed while waiting (or had a
+    pending kill on entry), or when the policy decides against waiting.
+    The queued request, if any, is left in place — the abort path's
+    {!release_all} removes it. *)
+
+(** {2 Non-blocking mirror of [Lock_table]} *)
+
+val acquire : t -> Lock_table.req -> Lock_table.outcome
+val release_all : t -> txn_id -> Lock_table.req list
+(** Releases across every shard (in shard order) and {e signals} every
+    newly granted transaction's slot, so blocked workers resume. *)
+
+val holders : t -> Resource.t -> Lock_table.req list
+val queued : t -> Resource.t -> Lock_table.req list
+val holds : t -> txn_id -> Resource.t -> (int * bool) list
+val locks_of : t -> txn_id -> Lock_table.req list
+val waiting_for : t -> txn_id -> Lock_table.req option
+
+val waits_for_edges : t -> (txn_id * txn_id) list
+(** Union of the per-shard waits-for graphs, deduplicated and sorted.
+    Shards are snapshotted one at a time (see the phantom-cycle caveat
+    above). *)
+
+val find_cycle_edges : ?from:txn_id -> (txn_id * txn_id) list -> txn_id list option
+(** Pure cycle search over an explicit edge list — what the detector runs
+    on a {!waits_for_edges} snapshot (possibly after pruning resolved
+    victims). *)
+
+val find_deadlock : ?from:txn_id -> t -> txn_id list option
+(** With one shard this delegates to [Lock_table.find_deadlock]
+    (bit-for-bit the sequential behaviour); with several it first asks
+    each shard, then runs a DFS over the union graph to catch
+    cross-shard cycles. *)
+
+val stats : t -> Lock_table.stats
+(** Aggregated snapshot: counters are summed across shards,
+    [max_queue_depth] is the max. *)
+
+val per_shard_stats : t -> Lock_table.stats list

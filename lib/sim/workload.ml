@@ -264,6 +264,48 @@ let wide_schema ~fields ~touched =
       };
     ]
 
+let slice_schema ~methods ~work =
+  let f i = FN.of_string (Printf.sprintf "s%d" i) in
+  let n = max 1 methods in
+  let w = max 1 work in
+  build_exn
+    [
+      {
+        Schema.c_name = CN.of_string "grid";
+        c_parents = [];
+        c_fields = List.init n (fun i -> (f i, Value.Tint));
+        c_methods =
+          List.init n (fun i ->
+              {
+                Schema.m_name = MN.of_string (Printf.sprintf "u%d" i);
+                m_params = [ "p1" ];
+                (* [work] read-modify-writes of the method's own field:
+                   a critical section long enough to measure, touching
+                   nothing anyone else's slice touches. *)
+                m_body = List.init w (fun _ -> write_stmt (f i));
+              });
+      };
+    ]
+
+let slice_jobs rng store ~txns ~actions_per_txn ~hot_instances =
+  let grid = CN.of_string "grid" in
+  let ext = Array.of_list (Store.extent store grid) in
+  let n = Array.length ext in
+  if n = 0 then invalid_arg "Workload.slice_jobs: no grid instances";
+  let hot = max 1 (min hot_instances n) in
+  let slices =
+    match Schema.methods (Store.schema store) grid with
+    | [] -> invalid_arg "Workload.slice_jobs: grid has no methods"
+    | ms -> Array.of_list ms
+  in
+  List.init txns (fun i ->
+      let id = i + 1 in
+      let meth = slices.(i mod Array.length slices) in
+      ( id,
+        List.init actions_per_txn (fun _ ->
+            Tavcc_cc.Exec.Call
+              (ext.(Rng.int rng hot), meth, [ Value.Vint (Rng.int rng 100) ])) ))
+
 let populate store ~per_class =
   let schema = Store.schema store in
   List.iter

@@ -56,6 +56,29 @@ val wide_schema : fields:int -> touched:int -> Ast.body Schema.t
     the first [touched] of them (plus [probe] reading the last field) —
     the lock-call-count workload of bench E6. *)
 
+val slice_schema : methods:int -> work:int -> Ast.body Schema.t
+(** One class [grid] with [methods] integer fields [s0..] and methods
+    [u0..], where [u_i] performs [work] read-modify-writes of field
+    [s_i] and touches nothing else.  The slices are pairwise disjoint,
+    so under the paper's TAV modes every pair of distinct methods
+    commutes on the same instance, while an instance-granularity r/w
+    scheme sees every [u_i] as a writer and serialises them — the
+    multicore benchmark's contended workload (E16). *)
+
+val slice_jobs :
+  Rng.t ->
+  Ast.body Store.t ->
+  txns:int ->
+  actions_per_txn:int ->
+  hot_instances:int ->
+  (int * Tavcc_cc.Exec.action list) list
+(** Transaction [i] calls its own slice method [u_{(i-1) mod methods}]
+    [actions_per_txn] times, each on a random instance of a hot set of
+    [hot_instances] grid instances.  Every transaction hammers the same
+    few instances — full contention for instance locking (including
+    lock-order deadlocks across the hot set), none for field-disjoint
+    modes.  Transaction ids start at 1. *)
+
 val populate : 'a Store.t -> per_class:int -> unit
 (** Creates [per_class] instances of every class. *)
 

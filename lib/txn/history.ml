@@ -33,9 +33,10 @@ let committed t =
 
 let precedence_edges t =
   let committed = committed t in
-  let is_committed x = List.mem x committed in
+  let committed_tbl = Hashtbl.create 64 in
+  List.iter (fun x -> Hashtbl.replace committed_tbl x ()) committed;
+  let is_committed x = Hashtbl.mem committed_tbl x in
   let arr = Array.of_list (ops t) in
-  let n = Array.length arr in
   (* A transaction aborted by deadlock restarts under the same id; only the
      operations of its final (committed) incarnation — those after its last
      Abort record — take part in the conflict graph. *)
@@ -46,27 +47,57 @@ let precedence_edges t =
   let live x i =
     match Hashtbl.find_opt last_abort x with None -> true | Some j -> i > j
   in
+  (* Ops on distinct (oid, field) resources never conflict, so bucket the
+     live committed accesses per resource and only pair within a bucket. *)
+  let by_res : (Oid.t * Name.Field.t, (int * bool) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iteri
+    (fun i op ->
+      match op with
+      | (Read (a, o, f) | Write (a, o, f)) when is_committed a && live a i ->
+          let w = match op with Write _ -> true | _ -> false in
+          let key = (o, f) in
+          let cell =
+            match Hashtbl.find_opt by_res key with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add by_res key c;
+                c
+          in
+          cell := (a, w) :: !cell
+      | _ -> ())
+    arr;
+  let seen = Hashtbl.create 256 in
   let edges = ref [] in
-  let add a b = if a <> b && not (List.mem (a, b) !edges) then edges := (a, b) :: !edges in
-  for i = 0 to n - 1 do
-    match arr.(i) with
-    | (Read (a, o, f) | Write (a, o, f)) when is_committed a && live a i ->
-        let a_writes = match arr.(i) with Write _ -> true | _ -> false in
+  let add a b =
+    if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+      Hashtbl.replace seen (a, b) ();
+      edges := (a, b) :: !edges
+    end
+  in
+  Hashtbl.iter
+    (fun _ cell ->
+      let l = Array.of_list (List.rev !cell) in
+      let n = Array.length l in
+      for i = 0 to n - 1 do
+        let a, a_writes = l.(i) in
         for j = i + 1 to n - 1 do
-          match arr.(j) with
-          | (Read (b, o', f') | Write (b, o', f'))
-            when is_committed b && live b j && b <> a && Oid.equal o o' && Name.Field.equal f f'
-            ->
-              let b_writes = match arr.(j) with Write _ -> true | _ -> false in
-              if a_writes || b_writes then add a b
-          | _ -> ()
+          let b, b_writes = l.(j) in
+          if b <> a && (a_writes || b_writes) then add a b
         done
-    | _ -> ()
-  done;
+      done)
+    by_res;
   !edges
 
 let topo_sort nodes edges =
-  let succ v = List.filter_map (fun (a, b) -> if a = v then Some b else None) edges in
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a)))
+    edges;
+  let succ v = Option.value ~default:[] (Hashtbl.find_opt adj v) in
   let temp = Hashtbl.create 16 in
   let perm = Hashtbl.create 16 in
   let order = ref [] in

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Compare freshly generated BENCH_*.json files against committed baselines.
+
+Workflow (the CI bench-regression job):
+
+  1. the checkout carries the committed baselines (full-mode runs);
+  2. the benches are re-run in --quick mode, overwriting the files in the
+     working tree;
+  3. this script diffs working tree vs `git show HEAD:<file>`.
+
+Wall-clock fields are never compared raw — quick mode shrinks each
+bench's workload, so every wall metric is first normalised by the work
+unit recorded in the same JSON (scheduler steps, committed txns; the
+analyze bench already reports batch-normalised per-call times).  A
+normalised metric more than --threshold (default 25%) above its baseline
+fails the job.  Machine-independent ratio gates (detector speedup,
+lint/compile ratio, instrumentation overhead, the TAV-vs-rw headline)
+are enforced by the benches themselves at generation time.
+
+Baselines refresh: re-run the benches in full mode, commit the JSONs.
+In CI the `bench-baseline-update` label skips this gate for PRs that
+intentionally change a bench's performance envelope.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def load_baseline(path, baseline_dir):
+    if baseline_dir:
+        p = pathlib.Path(baseline_dir) / path.name
+        if not p.exists():
+            return None
+        return json.loads(p.read_text())
+    try:
+        out = subprocess.run(
+            ["git", "show", f"HEAD:{path.name}"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except subprocess.CalledProcessError:
+        return None
+    return json.loads(out)
+
+
+def rows_by(doc, keys):
+    return {tuple(r[k] for k in keys): r for r in doc["rows"]}
+
+
+def metrics_for(doc):
+    """Yield (row_key_fields, [(metric_name, extractor, abs_floor)]).
+
+    abs_floor is an absolute delta (in the metric's own unit) below which
+    a relative regression is timer noise, not a code change — micro-rows
+    whose whole budget is a few microseconds swing far past 25% run to
+    run without any source difference.
+    """
+    bench = doc.get("bench", "")
+    if bench == "locking/detect":
+        steps = lambda d: d["steps_per_config"]
+        return ["txns", "resources"], [
+            ("incremental_ms/step", lambda r, d: r["incremental_ms"] / steps(d), 1e-3),
+        ]
+    if bench == "obs/overhead":
+        steps = lambda d: d["steps_per_config"]
+        return ["txns", "resources"], [
+            ("base_ms/step", lambda r, d: r["base_ms"] / steps(d), 1e-3),
+            ("metrics_ms/step", lambda r, d: r["metrics_ms"] / steps(d), 1e-3),
+        ]
+    if bench == "analyze/wall-time":
+        # compile_ms / lint_ms are already best-batch per-call times.
+        return ["label"], [
+            ("compile_ms", lambda r, d: r["compile_ms"], 0.25),
+            ("lint_ms", lambda r, d: r["lint_ms"], 0.25),
+        ]
+    if bench == "par/throughput":
+        return ["scheme", "domains"], [
+            ("wall_ms/txn", lambda r, d: r["wall_ms"] / d["txns"], 0.02),
+        ]
+    return None, []
+
+
+def compare(path, current, baseline, threshold):
+    keys, metrics = metrics_for(current)
+    failures = []
+    if keys is None:
+        print(f"{path.name}: unknown bench {current.get('bench')!r}, skipped")
+        return failures
+    base_rows = rows_by(baseline, keys)
+    cur_rows = rows_by(current, keys)
+    shared = [k for k in cur_rows if k in base_rows]
+    missing = [k for k in base_rows if k not in cur_rows]
+    if missing:
+        print(f"{path.name}: {len(missing)} baseline row(s) not re-run: {missing}")
+    for key in shared:
+        # Rows a bench marks gated=false are its own declared outliers
+        # (e.g. the output-bound SCC cluster) — informational only.
+        if cur_rows[key].get("gated") is False:
+            continue
+        for name, f, floor in metrics:
+            base = f(base_rows[key], baseline)
+            cur = f(cur_rows[key], current)
+            if base <= 0:
+                continue
+            delta = (cur - base) / base
+            tag = "OK"
+            if delta > threshold and cur - base > floor:
+                tag = "FAIL"
+                failures.append((path.name, key, name, base, cur, delta))
+            print(
+                f"  {tag:4} {dict(zip(keys, key))} {name}: "
+                f"{base:.6f} -> {cur:.6f} ({delta:+.1%})"
+            )
+    # The par headline ratio is machine-independent: it must not fall
+    # below the gate recorded in the baseline.
+    if current.get("bench") == "par/throughput":
+        gate = baseline.get("threshold_x", 2.0)
+        ratio = current["headline"]["tav_x_rw"]
+        ok = ratio >= gate
+        print(f"  {'OK' if ok else 'FAIL':4} headline tav_x_rw: {ratio:.2f} (gate >= {gate})")
+        if not ok:
+            failures.append((path.name, ("headline",), "tav_x_rw", gate, ratio, 0.0))
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="*", help="BENCH_*.json files (default: all in cwd)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional wall-time regression (default 0.25)")
+    ap.add_argument("--baseline-dir", default=None,
+                    help="read baselines from this directory instead of git HEAD")
+    args = ap.parse_args()
+
+    files = [pathlib.Path(f) for f in args.files] or sorted(
+        pathlib.Path(".").glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 2
+
+    failures = []
+    for path in files:
+        current = json.loads(path.read_text())
+        baseline = load_baseline(path, args.baseline_dir)
+        if baseline is None:
+            print(f"{path.name}: no committed baseline, skipped (commit one to gate it)")
+            continue
+        print(f"{path.name} (bench {current.get('bench')!r}):")
+        failures += compare(path, current, baseline, args.threshold)
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) above {args.threshold:.0%}:")
+        for fname, key, metric, base, cur, delta in failures:
+            print(f"  {fname} {key} {metric}: {base:.6f} -> {cur:.6f}")
+        print("intentional? re-run the benches in full mode, commit the JSONs "
+              "(or apply the bench-baseline-update label).")
+        return 1
+    print("\nall benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -345,6 +345,41 @@ let test_trace_export_unfinished () =
   Alcotest.(check int) "dangling wait closed too" 1
     (List.length (List.filter (fun e -> e.Trace.ph = Trace.End) tr))
 
+let test_metrics_domain_hammer () =
+  (* Two domains hammer the same handles; every cell is an [Atomic.t],
+     so nothing may be lost — exact totals, not approximations. *)
+  let m = Metrics.create () in
+  let c = Metrics.counter m "hammer.count" in
+  let g = Metrics.gauge m "hammer.gauge" in
+  let h = Metrics.histogram m "hammer.hist" in
+  let per_domain = 100_000 in
+  let body lo () =
+    for i = lo to lo + per_domain - 1 do
+      Metrics.incr c;
+      Metrics.add c 2;
+      Metrics.set g i;
+      Metrics.observe h ((i - lo) land 1023)
+    done
+  in
+  let d1 = Domain.spawn (body 1) and d2 = Domain.spawn (body 500_001) in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no lost increments" (2 * per_domain * 3) (Metrics.value c);
+  Alcotest.(check int) "gauge high-water mark" (500_000 + per_domain) (Metrics.gauge_max g);
+  Alcotest.(check int) "no lost observations" (2 * per_domain) (Metrics.count h);
+  let expect_sum = ref 0 in
+  for j = 0 to per_domain - 1 do
+    expect_sum := !expect_sum + (j land 1023)
+  done;
+  Alcotest.(check int) "exact histogram sum" (2 * !expect_sum) (Metrics.sum h);
+  Alcotest.(check int) "exact histogram max" 1023 (Metrics.max_value h);
+  (* Concurrent registration of the same names must converge on one cell. *)
+  let r1 = Domain.spawn (fun () -> Metrics.counter m "hammer.reg") in
+  let r2 = Domain.spawn (fun () -> Metrics.counter m "hammer.reg") in
+  Metrics.incr (Domain.join r1);
+  Metrics.incr (Domain.join r2);
+  Alcotest.(check int) "one shared cell" 2 (Metrics.value (Metrics.counter m "hammer.reg"))
+
 let suite =
   [
     case "json round-trip" test_json_roundtrip;
@@ -363,4 +398,5 @@ let suite =
     case "trace export: perfetto shape round-trips" test_trace_export_shape;
     case "trace export: spans and generations" test_trace_export_semantics;
     case "trace export: unfinished attempts" test_trace_export_unfinished;
+    case "two-domain hammer loses nothing" test_metrics_domain_hammer;
   ]
