@@ -7,6 +7,9 @@
 open Cmdliner
 open Tavcc_model
 module Exec = Tavcc_cc.Exec
+module Fault = Tavcc_chaos.Fault
+module Torture = Tavcc_chaos.Torture
+module Explore = Tavcc_chaos.Explore
 module Engine = Tavcc_sim.Engine
 module Engine_trace = Tavcc_sim.Engine_trace
 module Workload = Tavcc_sim.Workload
@@ -469,6 +472,251 @@ let escalation_cmd =
   Cmd.v (Cmd.info "escalation" ~doc)
     Term.(const run $ seed $ txns $ levels $ policy_arg $ trace $ trace_out_arg)
 
+(* --- chaos: fault injection, schedule exploration, crash torture --- *)
+
+let chaos_cmd =
+  let run workload_names scheme_names seed runs budget_ms systematic preemptions
+      policy replay json out =
+    let select names all kind =
+      List.map
+        (fun n ->
+          match List.assoc_opt n all with
+          | Some v -> (n, v)
+          | None ->
+              Printf.eprintf "oosim chaos: unknown %s %S (expected %s)\n" kind n
+                (String.concat ", " (List.map fst all));
+              exit 2)
+        names
+    in
+    let workloads_all =
+      [
+        ("escalation", Torture.escalation_workload ());
+        ("slices", Torture.slices_workload ());
+        ("random", Torture.random_workload ());
+      ]
+    in
+    let workloads =
+      match workload_names with
+      | [] | [ "all" ] -> workloads_all
+      | names -> select names workloads_all "workload"
+    in
+    let schemes_sel =
+      match scheme_names with
+      | [] -> schemes
+      | names -> select names schemes "scheme"
+    in
+    let deadline = Unix.gettimeofday () +. (float_of_int budget_ms /. 1000.) in
+    let within_budget () = budget_ms <= 0 || Unix.gettimeofday () < deadline in
+    let policy_name = Engine.policy_name policy in
+    let torture sname mk w (c : Explore.case) =
+      Torture.run ~policy ~scheme_name:sname ~scheme:mk ~workload:w
+        ~seed:c.Explore.c_seed ~plan:c.Explore.c_plan ()
+    in
+    match replay with
+    | Some plan_str ->
+        (* Replay mode: one deterministic run per selected combination. *)
+        let plan =
+          try Fault.of_string plan_str
+          with Invalid_argument msg ->
+            Printf.eprintf "oosim chaos: %s\n" msg;
+            exit 2
+        in
+        let case = { Explore.c_seed = seed; c_plan = plan } in
+        let all_ok = ref true in
+        List.iter
+          (fun (_, w) ->
+            List.iter
+              (fun (sname, mk) ->
+                let r = torture sname mk w case in
+                if json then print_endline (Json.to_string (Torture.report_to_json r))
+                else Format.printf "%a@." Torture.pp_report r;
+                if not (Torture.ok r) then all_ok := false)
+              schemes_sel)
+          workloads;
+        if !all_ok then 0 else 1
+    | None ->
+        (* Exploration mode: randomized cases (plus optional systematic
+           bounded-preemption perturbations of the sticky schedule) until
+           a failure, the run count, or the budget is exhausted. *)
+        let total_runs = ref 0
+        and total_crash = ref 0
+        and total_torn = ref 0
+        and total_violations = ref 0 in
+        let per = ref [] in
+        let counterexample = ref None in
+        List.iter
+          (fun (wname, w) ->
+            List.iter
+              (fun (sname, mk) ->
+                if !counterexample = None then begin
+                  let combo_runs = ref 0
+                  and combo_crash = ref 0
+                  and combo_torn = ref 0
+                  and combo_violations = ref 0 in
+                  let txns = List.map fst (snd (w.Torture.w_build ())) in
+                  let base = { Explore.c_seed = seed;
+                               c_plan = { Fault.injections = []; schedule = Fault.Fixed [] } } in
+                  let run_one c =
+                    incr total_runs;
+                    incr combo_runs;
+                    let r = torture sname mk w c in
+                    combo_crash := !combo_crash + r.Torture.r_crash_points;
+                    combo_torn := !combo_torn + r.Torture.r_torn_points;
+                    combo_violations :=
+                      !combo_violations + List.length r.Torture.r_violations;
+                    total_crash := !total_crash + r.Torture.r_crash_points;
+                    total_torn := !total_torn + r.Torture.r_torn_points;
+                    total_violations :=
+                      !total_violations + List.length r.Torture.r_violations;
+                    r
+                  in
+                  let base_report = run_one base in
+                  (* Cross-driver differential: the same jobs through the
+                     multicore engine pinned to one domain must land on
+                     the same final state. *)
+                  let par_violations =
+                    Torture.par_differential ~scheme_name:sname ~scheme:mk
+                      ~workload:w ~expect:base_report.Torture.r_final_dump ()
+                  in
+                  List.iter (fun v -> Printf.eprintf "chaos: %s\n" v) par_violations;
+                  combo_violations := !combo_violations + List.length par_violations;
+                  total_violations := !total_violations + List.length par_violations;
+                  let cases =
+                    Explore.random_cases ~base_seed:seed ~runs ~txns
+                    @ (if systematic then
+                         Explore.systematic_cases ~seed
+                           ~ready_sizes:base_report.Torture.r_ready_sizes
+                           ~preemptions ~max_cases:runs
+                       else [])
+                  in
+                  let failing = ref (if Torture.ok base_report then None
+                                     else Some (base, base_report)) in
+                  List.iter
+                    (fun c ->
+                      if !failing = None && within_budget () then begin
+                        let r = run_one c in
+                        if not (Torture.ok r) then failing := Some (c, r)
+                      end)
+                    cases;
+                  (match !failing with
+                  | None -> ()
+                  | Some (c, r) ->
+                      (* Shrink quietly (no stats), then report. *)
+                      let shrunk =
+                        Explore.shrink
+                          ~run:(fun c -> Torture.ok (torture sname mk w c))
+                          c
+                      in
+                      let cmd =
+                        Explore.to_command ~workload:wname ~scheme:sname
+                          ~policy:policy_name shrunk
+                      in
+                      counterexample := Some (cmd, r));
+                  per :=
+                    (wname, sname, !combo_runs, !combo_crash, !combo_torn,
+                     !combo_violations)
+                    :: !per;
+                  if not json then
+                    Printf.printf
+                      "%-10s %-10s %4d runs  %6d crash points  %4d torn points  %d violations\n%!"
+                      wname sname !combo_runs !combo_crash !combo_torn
+                      !combo_violations
+                end)
+              schemes_sel)
+          workloads;
+        (match !counterexample with
+        | None -> if not json then Printf.printf "chaos: no counterexample found\n"
+        | Some (cmd, r) ->
+            let text =
+              Format.asprintf "# shrunk chaos counterexample@.%s@.@.%a@." cmd
+                Torture.pp_report r
+            in
+            write_file out text;
+            if not json then
+              Printf.printf "chaos: COUNTEREXAMPLE (written to %s)\n  %s\n" out cmd
+            else Printf.eprintf "chaos: counterexample written to %s\n" out);
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("workloads", Json.Int (List.length workloads));
+                    ("schemes", Json.Int (List.length schemes_sel));
+                    ("runs", Json.Int !total_runs);
+                    ("crash_points", Json.Int !total_crash);
+                    ("torn_points", Json.Int !total_torn);
+                    ("violations", Json.Int !total_violations);
+                    ( "per",
+                      Json.List
+                        (List.rev_map
+                           (fun (w, s, r, c, t, v) ->
+                             Json.Obj
+                               [
+                                 ("workload", Json.String w);
+                                 ("scheme", Json.String s);
+                                 ("runs", Json.Int r);
+                                 ("crash_points", Json.Int c);
+                                 ("torn_points", Json.Int t);
+                                 ("violations", Json.Int v);
+                               ])
+                           !per) );
+                    ("ok", Json.Bool (!counterexample = None));
+                    ( "counterexample",
+                      match !counterexample with
+                      | None -> Json.Null
+                      | Some (cmd, _) -> Json.String cmd );
+                  ]));
+        if !counterexample = None then 0 else 1
+  in
+  let workload_arg =
+    Arg.(value & opt_all string []
+         & info [ "workload" ] ~docv:"NAME"
+             ~doc:"Workload(s) to torture: escalation, slices, random, or all \
+                   (default all; repeatable).")
+  in
+  let scheme_arg =
+    Arg.(value & opt_all string []
+         & info [ "scheme" ] ~docv:"NAME"
+             ~doc:"Concurrency-control scheme(s) (default all; repeatable).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.") in
+  let runs =
+    Arg.(value & opt int 20
+         & info [ "runs" ] ~docv:"N"
+             ~doc:"Random cases per (workload, scheme) combination.")
+  in
+  let budget_ms =
+    Arg.(value & opt int 0
+         & info [ "budget-ms" ] ~docv:"MS"
+             ~doc:"Stop launching new cases after this many milliseconds (0 = no limit).")
+  in
+  let systematic =
+    Arg.(value & flag
+         & info [ "systematic" ]
+             ~doc:"Also enumerate bounded-preemption perturbations of the sticky \
+                   schedule.")
+  in
+  let preemptions =
+    Arg.(value & opt int 2
+         & info [ "preemptions" ] ~docv:"N"
+             ~doc:"Preemption bound for $(b,--systematic).")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"PLAN"
+             ~doc:"Replay one fault plan (the string printed for a counterexample) \
+                   instead of exploring.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON summary on stdout.") in
+  let out =
+    Arg.(value & opt string "chaos_counterexample.txt"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write a shrunk counterexample.")
+  in
+  let doc = "fault-injection and schedule-exploration torture (crash matrix + oracles)" in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ workload_arg $ scheme_arg $ seed $ runs $ budget_ms $ systematic
+          $ preemptions $ policy_arg $ replay $ json $ out)
+
 (* --- crosscheck: static ESC001 predictions vs the engine --- *)
 
 let crosscheck_cmd =
@@ -495,6 +743,6 @@ let main =
   let doc = "object-oriented concurrency-control simulator (Malta & Martinez, ICDE'93)" in
   Cmd.group
     (Cmd.info "oosim" ~version:"1.0.0" ~doc)
-    [ run_cmd; par_cmd; scenario_cmd; escalation_cmd; crosscheck_cmd ]
+    [ run_cmd; par_cmd; scenario_cmd; escalation_cmd; chaos_cmd; crosscheck_cmd ]
 
 let () = exit (Cmd.eval' main)

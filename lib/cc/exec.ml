@@ -24,7 +24,7 @@ let begin_txn ~scheme ~store ~ctx actions =
   scheme.Scheme.on_begin ctx ~class_of:(Store.class_of store) actions
 
 let perform ~scheme ~store ~ctx ?(on_read = fun _ _ -> ()) ?(on_write = fun _ _ -> ())
-    ?(yield = fun () -> ()) ?max_steps action =
+    ?(on_update = fun _ _ ~before:_ ~after:_ -> ()) ?(yield = fun () -> ()) ?max_steps action =
   (* When set, the next top send to this oid is the root of an extent call
      covered by a hierarchical class lock: skip its instance locking. *)
   let skip_root = ref None in
@@ -43,10 +43,10 @@ let perform ~scheme ~store ~ctx ?(on_read = fun _ _ -> ()) ?(on_write = fun _ _ 
           yield ());
       h_write =
         (fun oid cls f ~old v ->
-          ignore v;
           scheme.Scheme.on_write ctx oid cls f;
           Tavcc_txn.Txn.log_write ctx.Scheme.txn oid f ~before:old;
           on_write oid f;
+          on_update oid f ~before:old ~after:v;
           yield ());
       h_new = (fun _ _ -> ());
     }

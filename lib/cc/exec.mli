@@ -50,10 +50,16 @@ val perform :
   ctx:Scheme.ctx ->
   ?on_read:(Oid.t -> Name.Field.t -> unit) ->
   ?on_write:(Oid.t -> Name.Field.t -> unit) ->
+  ?on_update:(Oid.t -> Name.Field.t -> before:Value.t -> after:Value.t -> unit) ->
   ?yield:(unit -> unit) ->
   ?max_steps:int ->
   action ->
   unit
 (** Undo images are logged into [ctx.txn] before each write takes effect.
+
+    [on_write] sees only the touched slot (the serializability oracle
+    needs nothing more); [on_update] additionally carries the before- and
+    after-images, exactly what a write-ahead logger must persist.  Both
+    run after the scheme's lock is held and before the store mutates.
 
     @raise Interp.Runtime_error on dynamic failures of the method code *)

@@ -1,0 +1,181 @@
+open Tavcc_model
+open Tavcc_recovery
+
+(* --- payload encoding ---
+
+   Tokens are concatenated with no separators beyond their own
+   terminators: ints are decimal with a trailing ',', strings are
+   length-prefixed, floats are the fixed 16 hex digits of their IEEE
+   bits.  Record tags: B(egin) U(pdate) C(lr) T(commit) A(bort)
+   K(checkpoint). *)
+
+let enc_int b n =
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_char b ','
+
+let enc_str b s =
+  enc_int b (String.length s);
+  Buffer.add_string b s
+
+let enc_value b = function
+  | Value.Vint n ->
+      Buffer.add_char b 'i';
+      enc_int b n
+  | Value.Vbool v -> Buffer.add_string b (if v then "b1" else "b0")
+  | Value.Vstring s ->
+      Buffer.add_char b 's';
+      enc_str b s
+  | Value.Vfloat f ->
+      Buffer.add_char b 'f';
+      Buffer.add_string b (Printf.sprintf "%016Lx" (Int64.bits_of_float f))
+  | Value.Vref oid ->
+      Buffer.add_char b 'r';
+      enc_int b (Oid.to_int oid)
+  | Value.Vnull -> Buffer.add_char b 'n'
+
+let payload (r : Wal.record) =
+  let b = Buffer.create 32 in
+  (match r with
+  | Wal.Begin txn ->
+      Buffer.add_char b 'B';
+      enc_int b txn
+  | Wal.Update { txn; oid; field; before; after } ->
+      Buffer.add_char b 'U';
+      enc_int b txn;
+      enc_int b (Oid.to_int oid);
+      enc_str b (Name.Field.to_string field);
+      enc_value b before;
+      enc_value b after
+  | Wal.Clr { txn; oid; field; after } ->
+      Buffer.add_char b 'C';
+      enc_int b txn;
+      enc_int b (Oid.to_int oid);
+      enc_str b (Name.Field.to_string field);
+      enc_value b after
+  | Wal.Commit txn ->
+      Buffer.add_char b 'T';
+      enc_int b txn
+  | Wal.Abort txn ->
+      Buffer.add_char b 'A';
+      enc_int b txn
+  | Wal.Checkpoint active ->
+      Buffer.add_char b 'K';
+      enc_int b (List.length active);
+      List.iter (enc_int b) active);
+  Buffer.contents b
+
+let checksum payload = String.sub (Digest.to_hex (Digest.string payload)) 0 8
+
+let encode_record r =
+  let p = payload r in
+  Printf.sprintf "%08x%s%s" (String.length p) (checksum p) p
+
+let encode rs = String.concat "" (List.map encode_record rs)
+
+(* --- decoding --- *)
+
+exception Torn
+
+type cursor = { s : string; mutable pos : int }
+
+let take c n =
+  if c.pos + n > String.length c.s then raise Torn;
+  let r = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  r
+
+let dec_char c = (take c 1).[0]
+
+let dec_int c =
+  let start = c.pos in
+  let rec find i =
+    if i >= String.length c.s then raise Torn
+    else if c.s.[i] = ',' then i
+    else find (i + 1)
+  in
+  let stop = find start in
+  c.pos <- stop + 1;
+  match int_of_string_opt (String.sub c.s start (stop - start)) with
+  | Some n -> n
+  | None -> raise Torn
+
+let dec_str c =
+  let n = dec_int c in
+  if n < 0 then raise Torn;
+  take c n
+
+let dec_value c =
+  match dec_char c with
+  | 'i' -> Value.Vint (dec_int c)
+  | 'b' -> (
+      match dec_char c with
+      | '0' -> Value.Vbool false
+      | '1' -> Value.Vbool true
+      | _ -> raise Torn)
+  | 's' -> Value.Vstring (dec_str c)
+  | 'f' -> (
+      let hex = take c 16 in
+      match Int64.of_string_opt ("0x" ^ hex) with
+      | Some bits -> Value.Vfloat (Int64.float_of_bits bits)
+      | None -> raise Torn)
+  | 'r' -> Value.Vref (Oid.of_int (dec_int c))
+  | 'n' -> Value.Vnull
+  | _ -> raise Torn
+
+let dec_record p : Wal.record =
+  let c = { s = p; pos = 0 } in
+  let r =
+    match dec_char c with
+    | 'B' -> Wal.Begin (dec_int c)
+    | 'U' ->
+        let txn = dec_int c in
+        let oid = Oid.of_int (dec_int c) in
+        let field = Name.Field.of_string (dec_str c) in
+        let before = dec_value c in
+        let after = dec_value c in
+        Wal.Update { txn; oid; field; before; after }
+    | 'C' ->
+        let txn = dec_int c in
+        let oid = Oid.of_int (dec_int c) in
+        let field = Name.Field.of_string (dec_str c) in
+        let after = dec_value c in
+        Wal.Clr { txn; oid; field; after }
+    | 'T' -> Wal.Commit (dec_int c)
+    | 'A' -> Wal.Abort (dec_int c)
+    | 'K' ->
+        let n = dec_int c in
+        if n < 0 then raise Torn;
+        Wal.Checkpoint (List.init n (fun _ -> dec_int c))
+    | _ -> raise Torn
+  in
+  if c.pos <> String.length p then raise Torn;
+  r
+
+let hex_int s = match int_of_string_opt ("0x" ^ s) with Some n -> n | None -> raise Torn
+
+let decode_from s =
+  let c = { s; pos = 0 } in
+  let acc = ref [] in
+  (try
+     while c.pos < String.length s do
+       let saved = c.pos in
+       try
+         let len = hex_int (take c 8) in
+         let sum = take c 8 in
+         let p = take c len in
+         if checksum p <> sum then raise Torn;
+         acc := dec_record p :: !acc
+       with Torn ->
+         c.pos <- saved;
+         raise Torn
+     done
+   with Torn -> ());
+  (List.rev !acc, c.pos)
+
+let decode s = fst (decode_from s)
+
+let decode_exact s =
+  let rs, consumed = decode_from s in
+  if consumed <> String.length s then
+    invalid_arg "Codec.decode_exact: torn or corrupt tail";
+  rs

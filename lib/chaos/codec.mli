@@ -1,0 +1,31 @@
+(** Byte-level framing of WAL records, for torn-tail simulation.
+
+    {!Tavcc_recovery.Wal} keeps records as values; real logs are byte
+    streams, and real crashes cut them at arbitrary byte offsets — most
+    interestingly {e inside} the last record (a torn write).  This codec
+    gives the in-memory log a faithful byte representation: each record
+    is framed as
+
+    {v <len:8 hex chars><checksum:8 hex chars><payload:len bytes> v}
+
+    where the checksum covers the payload.  {!decode} scans frames and
+    stops at the first incomplete or corrupt one, returning the longest
+    valid record prefix — exactly the recovery-time behaviour of a real
+    log scanner finding a torn tail.  The chaos harness encodes a flushed
+    image, cuts it at a byte offset, decodes, and feeds the surviving
+    prefix to {!Tavcc_recovery.Restart.recover}. *)
+
+val encode_record : Tavcc_recovery.Wal.record -> string
+(** One framed record. *)
+
+val encode : Tavcc_recovery.Wal.record list -> string
+(** The concatenation of the framed records, oldest first. *)
+
+val decode : string -> Tavcc_recovery.Wal.record list
+(** The longest prefix of well-formed frames: scanning stops (without
+    raising) at a truncated header, a truncated payload, a checksum
+    mismatch, or a payload that does not parse back to a record. *)
+
+val decode_exact : string -> Tavcc_recovery.Wal.record list
+(** Like {!decode} but refuses torn input.
+    @raise Invalid_argument unless the whole string is consumed *)

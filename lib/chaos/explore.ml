@@ -1,0 +1,174 @@
+open Tavcc_sim
+
+type case = { c_seed : int; c_plan : Fault.plan }
+
+let pp_case ppf c =
+  Format.fprintf ppf "seed=%d plan=%s" c.c_seed (Fault.to_string c.c_plan)
+
+(* --- random case generation --- *)
+
+let random_cases ~base_seed ~runs ~txns =
+  List.init runs (fun i ->
+      let rng = Rng.create ((base_seed * 2_654_435_761) + i) in
+      let c_seed = 1 + Rng.int rng 1_000_000 in
+      let sched = Fault.Random_sched (1 + Rng.int rng 1_000_000) in
+      let inj = ref [] in
+      let some_txn () = Rng.pick rng txns in
+      (* A small brew: each fault kind appears with moderate probability
+         so most cases combine two or three. *)
+      if txns <> [] && Rng.chance rng 0.6 then
+        inj :=
+          Fault.Delay
+            { step = 1 + Rng.int rng 40; txn = some_txn (); ticks = 1 + Rng.int rng 30 }
+          :: !inj;
+      if txns <> [] && Rng.chance rng 0.5 then
+        inj :=
+          Fault.Forced_abort { step = 1 + Rng.int rng 40; txn = some_txn () } :: !inj;
+      if Rng.chance rng 0.4 then
+        inj :=
+          Fault.Torn_flush { nth = 1 + Rng.int rng 12; keep = 1 + Rng.int rng 64 }
+          :: !inj;
+      if Rng.chance rng 0.3 then
+        inj := Fault.Crash_at_append (1 + Rng.int rng 60) :: !inj;
+      if Rng.chance rng 0.3 then
+        inj := Fault.Crash_at_flush (1 + Rng.int rng 20) :: !inj;
+      { c_seed; c_plan = { Fault.injections = List.rev !inj; schedule = sched } })
+
+(* --- bounded-preemption systematic enumeration ---
+
+   The base schedule is the all-zero trail (sticky: always the first
+   ready transaction).  A preemption flips one step that had [ready > 1]
+   to a non-zero successor index.  Cases are emitted by number of
+   preemptions: all single-preemption perturbations first, then pairs,
+   and so on — the standard bounded-preemption search order. *)
+
+let systematic_cases ~seed ~ready_sizes ~preemptions ~max_cases =
+  let sizes = Array.of_list ready_sizes in
+  let choice_steps =
+    List.filter (fun i -> sizes.(i) > 1) (List.init (Array.length sizes) Fun.id)
+  in
+  let acc = ref [] and count = ref 0 in
+  let emit trail =
+    if !count < max_cases then begin
+      incr count;
+      (* Trim trailing zeroes: past-the-end picks default to 0 anyway. *)
+      let rec trim = function 0 :: tl -> trim tl | l -> List.rev l in
+      acc :=
+        { c_seed = seed; c_plan = { Fault.injections = []; schedule = Fault.Fixed (trim (List.rev trail)) } }
+        :: !acc
+    end
+  in
+  let trail_with choices =
+    List.init (Array.length sizes) (fun i ->
+        match List.assoc_opt i choices with Some v -> v | None -> 0)
+  in
+  (* Breadth-first over the number of preemptions. *)
+  let rec level k chosen_from partial =
+    if k = 0 then emit (trail_with partial)
+    else
+      List.iter
+        (fun i ->
+          for v = 1 to sizes.(i) - 1 do
+            if !count < max_cases then
+              level (k - 1)
+                (List.filter (fun j -> j > i) chosen_from)
+                ((i, v) :: partial)
+          done)
+        chosen_from
+  in
+  let rec levels k =
+    if k <= preemptions && !count < max_cases then begin
+      level k choice_steps [];
+      levels (k + 1)
+    end
+  in
+  levels 1;
+  List.rev !acc
+
+let find_failure ~run cases =
+  List.find_map
+    (fun c ->
+      let r = run c in
+      if Torture.ok r then None else Some (c, r))
+    cases
+
+(* --- shrinking --- *)
+
+let shrink ~run case =
+  let fails c = not (run c) in
+  let with_inj c inj = { c with c_plan = { c.c_plan with Fault.injections = inj } } in
+  let with_sched c s = { c with c_plan = { c.c_plan with Fault.schedule = s } } in
+  (* Drop injections one at a time, keeping drops that still fail. *)
+  let drop_injections c =
+    List.fold_left
+      (fun c i ->
+        let inj = c.c_plan.Fault.injections in
+        if i >= List.length inj then c
+        else
+          let cand = with_inj c (List.filteri (fun j _ -> j <> i) inj) in
+          if fails cand then cand else c)
+      c
+      (List.init (List.length case.c_plan.Fault.injections) Fun.id)
+  in
+  (* Halve delay windows while the case still fails. *)
+  let rec soften c =
+    let softened = ref false in
+    let inj =
+      List.map
+        (function
+          | Fault.Delay { step; txn; ticks } when ticks > 1 ->
+              softened := true;
+              Fault.Delay { step; txn; ticks = ticks / 2 }
+          | i -> i)
+        c.c_plan.Fault.injections
+    in
+    if not !softened then c
+    else
+      let cand = with_inj c inj in
+      if fails cand then soften cand else c
+  in
+  (* Shorten a fixed trail from the back, then zero entries. *)
+  let shrink_sched c =
+    match c.c_plan.Fault.schedule with
+    | Fault.Random_sched _ -> c
+    | Fault.Fixed trail ->
+        let rec truncate c trail =
+          match List.rev trail with
+          | [] -> c
+          | _ :: rtl ->
+              let shorter = List.rev rtl in
+              let cand = with_sched c (Fault.Fixed shorter) in
+              if fails cand then truncate cand shorter else c
+        in
+        let c = truncate c trail in
+        let trail =
+          match c.c_plan.Fault.schedule with Fault.Fixed t -> t | _ -> []
+        in
+        List.fold_left
+          (fun c i ->
+            let trail =
+              match c.c_plan.Fault.schedule with Fault.Fixed t -> t | _ -> []
+            in
+            if i >= List.length trail || List.nth trail i = 0 then c
+            else
+              let cand =
+                with_sched c
+                  (Fault.Fixed (List.mapi (fun j v -> if j = i then 0 else v) trail))
+              in
+              if fails cand then cand else c)
+          c
+          (List.init (List.length trail) Fun.id)
+  in
+  let pass c = shrink_sched (soften (drop_injections c)) in
+  let rec fix c =
+    let c' = pass c in
+    if c' = c then c else fix c'
+  in
+  fix case
+
+let to_command ~workload ~scheme ?policy case =
+  Printf.sprintf "oosim chaos --workload %s --scheme %s%s --seed %d --replay '%s'"
+    workload scheme
+    (match policy with None -> "" | Some p -> " --policy " ^ p)
+    case.c_seed
+    (Fault.to_string case.c_plan)

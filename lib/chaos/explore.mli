@@ -1,0 +1,42 @@
+(** Schedule and fault exploration, and counterexample shrinking.
+
+    The explorer owns no execution machinery: callers hand it a [run]
+    function (normally a closure over {!Torture.run}) mapping a case to
+    a report, and it decides which cases to try.  Everything is driven
+    by seeds and plans, so any failing case it returns replays
+    bit-for-bit. *)
+
+type case = { c_seed : int; c_plan : Fault.plan }
+
+val pp_case : Format.formatter -> case -> unit
+
+val random_cases :
+  base_seed:int -> runs:int -> txns:int list -> case list
+(** [runs] randomized cases derived from [base_seed]: each gets a fresh
+    engine seed, a fresh scheduler seed, and a small random brew of
+    delay, forced-abort and torn-flush injections over the given
+    transaction ids.  Case [i] is a pure function of [(base_seed, i)]. *)
+
+val systematic_cases :
+  seed:int -> ready_sizes:int list -> preemptions:int -> max_cases:int -> case list
+(** Bounded-preemption enumeration around a recorded run: [ready_sizes]
+    is the {!Torture.report.r_ready_sizes} trail of the base (all-sticky)
+    schedule; every returned case perturbs at most [preemptions] of the
+    steps that actually had a choice ([ready > 1]), covering alternative
+    successors at each.  At most [max_cases] cases, in breadth-first
+    (fewest-preemptions-first) order. *)
+
+val find_failure :
+  run:(case -> Torture.report) -> case list -> (case * Torture.report) option
+(** First case whose report fails {!Torture.ok}, with its report. *)
+
+val shrink : run:(case -> bool) -> case -> case
+(** Greedy minimisation of a failing case ([run] must return [false] on
+    it): repeatedly drops injections, shortens delays, and truncates or
+    zeroes fixed-schedule trail entries, keeping every mutation that
+    still fails, until a fixpoint.  The result still fails [run]. *)
+
+val to_command :
+  workload:string -> scheme:string -> ?policy:string -> case -> string
+(** The replay incantation, e.g.
+    ["oosim chaos --workload slices --scheme tav --seed 9 --replay 'r:3;abort:4:2'"]. *)

@@ -1,0 +1,55 @@
+type injection =
+  | Crash_at_append of int
+  | Crash_at_flush of int
+  | Torn_flush of { nth : int; keep : int }
+  | Delay of { step : int; txn : int; ticks : int }
+  | Forced_abort of { step : int; txn : int }
+
+type schedule = Random_sched of int | Fixed of int list
+
+type plan = { injections : injection list; schedule : schedule }
+
+let none = { injections = []; schedule = Random_sched 0 }
+
+let injection_to_string = function
+  | Crash_at_append n -> Printf.sprintf "ca:%d" n
+  | Crash_at_flush n -> Printf.sprintf "cf:%d" n
+  | Torn_flush { nth; keep } -> Printf.sprintf "torn:%d:%d" nth keep
+  | Delay { step; txn; ticks } -> Printf.sprintf "delay:%d:%d:%d" step txn ticks
+  | Forced_abort { step; txn } -> Printf.sprintf "abort:%d:%d" step txn
+
+let schedule_to_string = function
+  | Random_sched seed -> Printf.sprintf "r:%d" seed
+  | Fixed trail -> "f:" ^ String.concat "." (List.map string_of_int trail)
+
+let to_string { injections; schedule } =
+  String.concat ";" (schedule_to_string schedule :: List.map injection_to_string injections)
+
+let bad part = invalid_arg (Printf.sprintf "Fault.of_string: malformed component %S" part)
+
+let int_of part s = match int_of_string_opt s with Some n -> n | None -> bad part
+
+let injection_of_string part =
+  match String.split_on_char ':' part with
+  | [ "ca"; n ] -> Crash_at_append (int_of part n)
+  | [ "cf"; n ] -> Crash_at_flush (int_of part n)
+  | [ "torn"; nth; keep ] -> Torn_flush { nth = int_of part nth; keep = int_of part keep }
+  | [ "delay"; step; txn; ticks ] ->
+      Delay { step = int_of part step; txn = int_of part txn; ticks = int_of part ticks }
+  | [ "abort"; step; txn ] -> Forced_abort { step = int_of part step; txn = int_of part txn }
+  | _ -> bad part
+
+let schedule_of_string part =
+  match String.split_on_char ':' part with
+  | [ "r"; seed ] -> Random_sched (int_of part seed)
+  | [ "f"; "" ] -> Fixed []
+  | [ "f"; trail ] ->
+      Fixed (List.map (int_of part) (String.split_on_char '.' trail))
+  | _ -> bad part
+
+let of_string s =
+  match List.filter (fun p -> p <> "") (String.split_on_char ';' (String.trim s)) with
+  | [] -> invalid_arg "Fault.of_string: empty plan"
+  | sched :: rest ->
+      { schedule = schedule_of_string sched;
+        injections = List.map injection_of_string rest }

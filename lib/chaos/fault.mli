@@ -1,0 +1,47 @@
+(** The fault-plan DSL: a replayable description of what to inject.
+
+    A plan names faults by {e virtual-clock} coordinates — WAL append and
+    flush ordinals, scheduler steps — never wall time, so a (seed, plan)
+    pair replays bit-for-bit.  Plans print to a compact string
+    ([to_string]) that the [oosim chaos --replay] flag parses back
+    ([of_string]); the shrinker works directly on the structure. *)
+
+type injection =
+  | Crash_at_append of int
+      (** record the disk image as of the [n]-th WAL append (1-based) and
+          verify recovery from it — the run continues counterfactually *)
+  | Crash_at_flush of int  (** same, at the [n]-th WAL force *)
+  | Torn_flush of { nth : int; keep : int }
+      (** cut the byte image of the log after the [nth] flush, keeping
+          [keep] bytes of the record the cut lands in — a torn write *)
+  | Delay of { step : int; txn : int; ticks : int }
+      (** from scheduler step [step] on, refuse to schedule [txn] for
+          [ticks] steps whenever anything else is runnable — models a
+          stalled lock grant / slow client *)
+  | Forced_abort of { step : int; txn : int }
+      (** abort [txn] externally at the first step [>= step] where it is
+          parked or yielded, as a deadlock victim would be *)
+
+(** How the pluggable scheduler picks among ready transactions. *)
+type schedule =
+  | Random_sched of int  (** seeded uniform choice, independent of the engine seed *)
+  | Fixed of int list
+      (** at step [i], pick ready transaction number [trail.(i) mod
+          ready-count] (job order); past the end of the trail, pick the
+          first — the sticky run-to-completion default the explorer
+          perturbs *)
+
+type plan = { injections : injection list; schedule : schedule }
+
+val none : plan
+(** No injections, [Random_sched 0]. *)
+
+val to_string : plan -> string
+(** E.g. ["r:42;ca:17;torn:3:9;delay:5:2:10;abort:9:3"] — the schedule
+    first ([r:<seed>] or [f:<i>.<i>...]), then each injection:
+    [ca:<n>] / [cf:<n>] for crashes, [torn:<nth>:<keep>],
+    [delay:<step>:<txn>:<ticks>], [abort:<step>:<txn>]. *)
+
+val of_string : string -> plan
+(** Inverse of {!to_string}.  @raise Invalid_argument on a malformed
+    plan string (the offending component is named). *)

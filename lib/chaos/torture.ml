@@ -1,0 +1,565 @@
+open Tavcc_model
+open Tavcc_lang
+open Tavcc_sim
+open Tavcc_recovery
+open Tavcc_lock
+module Manager = Recovery.Manager
+module Restart = Recovery.Restart
+
+(* --- workloads --- *)
+
+type workload = {
+  w_name : string;
+  w_schema : Ast.body Schema.t;
+  w_build : unit -> Ast.body Store.t * (int * Tavcc_cc.Exec.action list) list;
+  mutable w_an : Tavcc_core.Analysis.t option;
+}
+
+let analysis w =
+  match w.w_an with
+  | Some an -> an
+  | None ->
+      let an = Tavcc_core.Analysis.compile w.w_schema in
+      w.w_an <- Some an;
+      an
+
+let escalation_workload ?(levels = 3) ?(txns = 6) () =
+  let schema = Workload.chain_schema ~levels in
+  let build () =
+    let store = Store.create schema in
+    let oid = Store.new_instance store (Name.Class.of_string "chain") in
+    let top = Name.Method.of_string (Printf.sprintf "m%d" levels) in
+    let jobs =
+      List.init txns (fun i ->
+          (i + 1, [ Tavcc_cc.Exec.Call (oid, top, [ Value.Vint 1 ]) ]))
+    in
+    (store, jobs)
+  in
+  { w_name = "escalation"; w_schema = schema; w_build = build; w_an = None }
+
+let slices_workload ?(methods = 4) ?(work = 2) ?(instances = 2) ?(txns = 6)
+    ?(actions_per_txn = 2) ?(hot = 2) ?(seed = 7) () =
+  let schema = Workload.slice_schema ~methods ~work in
+  let build () =
+    let store = Store.create schema in
+    Workload.populate store ~per_class:instances;
+    let jobs =
+      Workload.slice_jobs (Rng.create seed) store ~txns ~actions_per_txn
+        ~hot_instances:hot
+    in
+    (store, jobs)
+  in
+  { w_name = "slices"; w_schema = schema; w_build = build; w_an = None }
+
+let random_workload ?(seed = 11) ?(txns = 5) ?(actions_per_txn = 3) ?(per_class = 2) () =
+  let schema =
+    Workload.make_schema (Rng.create seed)
+      { Workload.default_params with sp_depth = 2; sp_fanout = 2 }
+  in
+  let build () =
+    let store = Store.create schema in
+    Workload.populate store ~per_class;
+    let jobs =
+      Workload.random_jobs (Rng.create (seed + 1)) store ~txns ~actions_per_txn
+        ~extent_prob:0.2 ~hot_instances:3 ~hot_prob:0.7
+    in
+    (store, jobs)
+  in
+  { w_name = "random"; w_schema = schema; w_build = build; w_an = None }
+
+let schemes =
+  [
+    ("tav", Tavcc_cc.Tav_modes.scheme);
+    ("tav-pre", Tavcc_cc.Tav_preclaim.scheme);
+    ("rw-msg", Tavcc_cc.Rw_instance.scheme);
+    ("rw-top", Tavcc_cc.Rw_toponly.scheme);
+    ("rw-impl", Tavcc_cc.Rw_implicit.scheme);
+    ("field-rt", Tavcc_cc.Field_runtime.scheme);
+    ("relational", Tavcc_cc.Relational.scheme);
+  ]
+
+(* --- canonical store dump --- *)
+
+let dump store =
+  let schema = Store.schema store in
+  let b = Buffer.create 256 in
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun oid ->
+          Buffer.add_string b
+            (Printf.sprintf "%d:%s{" (Oid.to_int oid) (Name.Class.to_string cls));
+          List.iter
+            (fun (fd : Schema.field_def) ->
+              Buffer.add_string b
+                (Format.asprintf "%s=%a;" (Name.Field.to_string fd.Schema.f_name)
+                   Value.pp
+                   (Store.read store oid fd.Schema.f_name)))
+            (Schema.fields schema cls);
+          Buffer.add_string b "}\n")
+        (List.sort
+           (fun a b -> compare (Oid.to_int a) (Oid.to_int b))
+           (Store.extent store cls)))
+    (List.sort Name.Class.compare (Schema.classes schema));
+  Buffer.contents b
+
+(* --- committed-prefix replay (the recovery truth) ---
+
+   A transaction's durable effect is the update list of its {e
+   committed incarnation}: engine restarts reuse ids, so a [Begin]
+   resets the pending list and only a [Commit] freezes it.  Under
+   strict 2PL, conflicting writes of distinct transactions are ordered
+   consistently with commit order, so applying the frozen lists in
+   commit order reproduces the field-level final state; aborted and
+   loser incarnations (and their CLRs) net to nothing and are ignored. *)
+
+let committed_replay store log =
+  let pending = Hashtbl.create 8 in
+  let committed = ref [] in
+  List.iter
+    (fun (r : Wal.record) ->
+      match r with
+      | Wal.Begin t -> Hashtbl.replace pending t []
+      | Wal.Update { txn; oid; field; after; _ } -> (
+          match Hashtbl.find_opt pending txn with
+          | Some l -> Hashtbl.replace pending txn ((oid, field, after) :: l)
+          | None -> ())
+      | Wal.Clr _ -> ()
+      | Wal.Commit t -> (
+          match Hashtbl.find_opt pending t with
+          | Some l ->
+              committed := List.rev l :: !committed;
+              Hashtbl.remove pending t
+          | None -> ())
+      | Wal.Abort t -> Hashtbl.remove pending t
+      | Wal.Checkpoint _ -> ())
+    log;
+  List.iter
+    (fun updates ->
+      List.iter (fun (oid, field, after) -> Store.write store oid field after) updates)
+    (List.rev !committed)
+
+(* --- the report --- *)
+
+type report = {
+  r_workload : string;
+  r_scheme : string;
+  r_seed : int;
+  r_plan : string;
+  r_commits : int;
+  r_aborts : int;
+  r_forced_aborts : int;
+  r_delays_honoured : int;
+  r_grants : int;
+  r_wal_appends : int;
+  r_wal_flushes : int;
+  r_crash_points : int;
+  r_torn_points : int;
+  r_serializable : bool;
+  r_failed : (int * string) list;
+  r_violations : string list;
+  r_event_hash : string;
+  r_final_dump : string;
+  r_ready_sizes : int list;
+}
+
+let ok r = r.r_violations = [] && r.r_serializable && r.r_failed = []
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s/%s seed=%d plan=%s@,\
+     commits=%d aborts=%d forced=%d delays=%d grants=%d@,\
+     wal: %d appends, %d flushes; %d crash points, %d torn points@,\
+     serializable=%b failed=%d violations=%d hash=%s@]" r.r_workload r.r_scheme
+    r.r_seed r.r_plan r.r_commits r.r_aborts r.r_forced_aborts r.r_delays_honoured
+    r.r_grants r.r_wal_appends r.r_wal_flushes r.r_crash_points r.r_torn_points
+    r.r_serializable
+    (List.length r.r_failed)
+    (List.length r.r_violations)
+    r.r_event_hash;
+  List.iter (fun v -> Format.fprintf ppf "@,  violation: %s" v) r.r_violations
+
+let report_to_json r =
+  let open Tavcc_obs.Json in
+  Obj
+    [
+      ("workload", String r.r_workload);
+      ("scheme", String r.r_scheme);
+      ("seed", Int r.r_seed);
+      ("plan", String r.r_plan);
+      ("commits", Int r.r_commits);
+      ("aborts", Int r.r_aborts);
+      ("forced_aborts", Int r.r_forced_aborts);
+      ("delays_honoured", Int r.r_delays_honoured);
+      ("grants", Int r.r_grants);
+      ("wal_appends", Int r.r_wal_appends);
+      ("wal_flushes", Int r.r_wal_flushes);
+      ("crash_points", Int r.r_crash_points);
+      ("torn_points", Int r.r_torn_points);
+      ("serializable", Bool r.r_serializable);
+      ("failed", Int (List.length r.r_failed));
+      ("violations", List (List.map (fun v -> String v) r.r_violations));
+      ("event_hash", String r.r_event_hash);
+      ("ok", Bool (ok r));
+    ]
+
+(* --- the run --- *)
+
+let take_first n l = List.filteri (fun i _ -> i < n) l
+
+let run ?(policy = Engine.Detect) ?(yield_on_access = true) ?(crash_matrix = true)
+    ?(torn_per_flush = 2) ?metrics ~scheme_name ~scheme ~workload ~seed
+    ~(plan : Fault.plan) () =
+  let an = analysis workload in
+  let store, jobs = workload.w_build () in
+  let mstore, _ = workload.w_build () in
+  let wal = Wal.create ?metrics () in
+  let mgr = Manager.create mstore wal in
+  let snap = Manager.checkpoint mgr in
+  let hb = Buffer.create 4096 in
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let tick =
+    match metrics with
+    | None -> fun _ _ -> ()
+    | Some m ->
+        let module Mx = Tavcc_obs.Metrics in
+        let handles = Hashtbl.create 8 in
+        fun name n ->
+          let c =
+            match Hashtbl.find_opt handles name with
+            | Some c -> c
+            | None ->
+                let c = Mx.counter m name in
+                Hashtbl.add handles name c;
+                c
+          in
+          Mx.add c n
+  in
+  (* WAL virtual clock: ordinals of appends and flushes, flush spans for
+     torn tails, requested crash images. *)
+  let appends = ref 0 and flushes = ref 0 in
+  let prev_stable = ref (Wal.stable_lsn wal) in
+  let flush_spans = ref [] (* (ordinal, lo, hi), newest first *) in
+  let requested_lsns = ref [] in
+  let want_append =
+    List.filter_map
+      (function Fault.Crash_at_append n -> Some n | _ -> None)
+      plan.Fault.injections
+  and want_flush =
+    List.filter_map
+      (function Fault.Crash_at_flush n -> Some n | _ -> None)
+      plan.Fault.injections
+  in
+  Wal.set_observer wal
+    (Some
+       (fun ev ->
+         match ev with
+         | Wal.Appended (_, lsn) ->
+             incr appends;
+             Buffer.add_string hb (Printf.sprintf "wA%d@%d;" !appends lsn);
+             if List.mem !appends want_append then
+               requested_lsns := Wal.stable_lsn wal :: !requested_lsns
+         | Wal.Flushed lsn ->
+             incr flushes;
+             Buffer.add_string hb (Printf.sprintf "wF%d@%d;" !flushes lsn);
+             if lsn > !prev_stable then
+               flush_spans := (!flushes, !prev_stable, lsn) :: !flush_spans;
+             prev_stable := lsn;
+             if List.mem !flushes want_flush then
+               requested_lsns := lsn :: !requested_lsns));
+  (* Scheduling hooks. *)
+  let delays =
+    List.filter_map
+      (function
+        | Fault.Delay { step; txn; ticks } -> Some (step, txn, ticks) | _ -> None)
+      plan.Fault.injections
+  in
+  let delays_honoured = ref 0 in
+  let sched_rng =
+    match plan.Fault.schedule with
+    | Fault.Random_sched s -> Some (Rng.create s)
+    | Fault.Fixed _ -> None
+  in
+  let trail =
+    match plan.Fault.schedule with
+    | Fault.Fixed t -> Array.of_list t
+    | Fault.Random_sched _ -> [||]
+  in
+  let picks = ref 0 in
+  let ready_sizes = ref [] in
+  let hk_pick =
+    Some
+      (fun ~step ~ready ->
+        ready_sizes := List.length ready :: !ready_sizes;
+        let avail =
+          let undelayed =
+            List.filter
+              (fun id ->
+                not
+                  (List.exists
+                     (fun (s, txn, ticks) ->
+                       id = txn && step >= s && step < s + ticks)
+                     delays))
+              ready
+          in
+          if undelayed = [] then ready
+          else begin
+            if List.length undelayed < List.length ready then incr delays_honoured;
+            undelayed
+          end
+        in
+        let chosen =
+          match sched_rng with
+          | Some rng -> Rng.pick rng avail
+          | None ->
+              let i =
+                if !picks < Array.length trail then
+                  ((trail.(!picks) mod List.length avail) + List.length avail)
+                  mod List.length avail
+                else 0
+              in
+              List.nth avail i
+        in
+        incr picks;
+        Buffer.add_string hb (Printf.sprintf "p%d@%d;" chosen step);
+        chosen)
+  in
+  let forced =
+    ref
+      (List.filter_map
+         (function
+           | Fault.Forced_abort { step; txn } -> Some (step, txn) | _ -> None)
+         plan.Fault.injections)
+  in
+  let forced_fired = ref 0 in
+  let hk_forced_abort =
+    match !forced with
+    | [] -> None
+    | _ ->
+        Some
+          (fun ~step ~eligible ->
+            let fire, keep =
+              List.partition
+                (fun (s, t) -> step >= s && List.mem t eligible)
+                !forced
+            in
+            forced := keep;
+            forced_fired := !forced_fired + List.length fire;
+            List.iter
+              (fun (_, t) -> Buffer.add_string hb (Printf.sprintf "X%d@%d;" t step))
+              fire;
+            List.map snd fire)
+  in
+  let grants = ref 0 in
+  let hk_on_grant =
+    Some
+      (fun (req : Lock_table.req) ->
+        incr grants;
+        Buffer.add_string hb (Printf.sprintf "g%d;" req.Lock_table.r_txn))
+  in
+  (* The mirror bridge: shadow every access into the logging manager.
+     Bridge failures are oracle violations, never exceptions — raising
+     from a hook would kill the observed fiber and corrupt the very
+     state the oracles compare. *)
+  let bridge name f = try f () with e -> violation "%s: %s" name (Printexc.to_string e) in
+  let hk_observe =
+    Some
+      (fun (a : Engine.access) ->
+        match a with
+        | Engine.Ob_begin t ->
+            Buffer.add_string hb (Printf.sprintf "B%d;" t);
+            bridge "mirror begin" (fun () -> Manager.begin_txn mgr t)
+        | Engine.Ob_read (t, oid, f) ->
+            Buffer.add_string hb
+              (Printf.sprintf "r%d:%d.%s;" t (Oid.to_int oid) (Name.Field.to_string f))
+        | Engine.Ob_write { txn; oid; field; before; after } ->
+            Buffer.add_string hb
+              (Format.asprintf "w%d:%d.%s=%a;" txn (Oid.to_int oid)
+                 (Name.Field.to_string field) Value.pp after);
+            bridge "mirror write" (fun () ->
+                let mirror_before = Manager.read mgr ~txn oid field in
+                if not (Value.equal mirror_before before) then
+                  violation
+                    "mirror divergence at t%d %d.%s: engine before-image %s, mirror holds %s"
+                    txn (Oid.to_int oid) (Name.Field.to_string field)
+                    (Format.asprintf "%a" Value.pp before)
+                    (Format.asprintf "%a" Value.pp mirror_before);
+                Manager.write mgr ~txn oid field after)
+        | Engine.Ob_commit t ->
+            Buffer.add_string hb (Printf.sprintf "C%d;" t);
+            bridge "mirror commit" (fun () -> Manager.commit mgr t)
+        | Engine.Ob_abort t ->
+            Buffer.add_string hb (Printf.sprintf "A%d;" t);
+            bridge "mirror abort" (fun () -> Manager.abort mgr t))
+  in
+  let hooks = { Engine.hk_pick; hk_forced_abort; hk_on_grant; hk_observe } in
+  let config =
+    { Engine.default_config with seed; yield_on_access; policy; hooks; metrics }
+  in
+  let res = Engine.run ~config ~scheme:(scheme an) ~store ~jobs () in
+  Wal.set_observer wal None;
+  let serializable = Engine.serializable res in
+  if not serializable then violation "history not conflict-serializable";
+  List.iter
+    (fun (id, msg) -> violation "transaction %d failed: %s" id msg)
+    res.Engine.failed;
+  (* Oracle: the WAL-managed mirror tracked the engine store exactly. *)
+  let engine_dump = dump store in
+  let mirror_dump = dump mstore in
+  if engine_dump <> mirror_dump then
+    violation "mirror store diverges from engine store after the run";
+  (* Oracle: recovering from the full (forced) log reproduces the final
+     state. *)
+  Wal.flush wal;
+  let full_log = Wal.all wal in
+  (try
+     let rstore, _ = workload.w_build () in
+     Restart.recover ?metrics rstore snap full_log;
+     if dump rstore <> mirror_dump then
+       violation "full-log recovery diverges from the final state"
+   with e -> violation "full-log recovery raised: %s" (Printexc.to_string e));
+  tick "chaos.recoveries" 1;
+  (* The crash matrix: recover from every record prefix (or only the
+     plan's requested images) and compare against committed-prefix
+     replay. *)
+  let truth_dump k =
+    let expect, _ = workload.w_build () in
+    committed_replay expect (take_first k full_log);
+    dump expect
+  in
+  let crash_points = ref 0 in
+  let check_prefix k =
+    incr crash_points;
+    tick "chaos.crash_points" 1;
+    tick "chaos.recoveries" 1;
+    try
+      let rs, _ = workload.w_build () in
+      Restart.recover rs snap (take_first k full_log);
+      if dump rs <> truth_dump k then
+        violation "crash at lsn %d: recovery diverges from committed-prefix replay" k
+    with e -> violation "crash at lsn %d: recovery raised %s" k (Printexc.to_string e)
+  in
+  let n = List.length full_log in
+  if crash_matrix then
+    for k = 0 to n do
+      check_prefix k
+    done
+  else
+    List.iter check_prefix
+      (List.sort_uniq compare (List.rev !requested_lsns));
+  (* Torn tails: cut the byte image inside a record of a flushed span;
+     the decoder must surface exactly the whole records before the cut
+     and recovery from them must match that prefix's truth. *)
+  let torn_points = ref 0 in
+  let check_torn ~j ~keep =
+    match List.nth_opt full_log (j - 1) with
+    | None -> ()
+    | Some torn_rec ->
+        incr torn_points;
+        tick "chaos.torn_points" 1;
+        tick "chaos.recoveries" 1;
+        let frame = Codec.encode_record torn_rec in
+        let keep = max 1 (min keep (String.length frame - 1)) in
+        let bytes =
+          Codec.encode (take_first (j - 1) full_log) ^ String.sub frame 0 keep
+        in
+        let decoded = Codec.decode bytes in
+        if List.length decoded <> j - 1 then
+          violation "torn cut in record %d (keeping %d bytes) decoded %d records, expected %d"
+            j keep (List.length decoded) (j - 1)
+        else (
+          try
+            let rs, _ = workload.w_build () in
+            Restart.recover rs snap decoded;
+            if dump rs <> truth_dump (j - 1) then
+              violation "torn tail at record %d: recovery diverges from committed-prefix replay" j
+          with e ->
+            violation "torn tail at record %d: recovery raised %s" j
+              (Printexc.to_string e))
+  in
+  let spans = List.rev !flush_spans in
+  List.iter
+    (function
+      | Fault.Torn_flush { nth; keep } -> (
+          match List.find_opt (fun (o, _, _) -> o = nth) spans with
+          | Some (_, _, hi) -> check_torn ~j:hi ~keep
+          | None -> ())
+      | _ -> ())
+    plan.Fault.injections;
+  if torn_per_flush > 0 then
+    List.iter
+      (fun (ordinal, lo, hi) ->
+        let rng = Rng.create ((seed * 1_000_003) + ordinal) in
+        for _ = 1 to torn_per_flush do
+          let j = lo + 1 + Rng.int rng (hi - lo) in
+          match List.nth_opt full_log (j - 1) with
+          | None -> ()
+          | Some r ->
+              let len = String.length (Codec.encode_record r) in
+              check_torn ~j ~keep:(1 + Rng.int rng (len - 1))
+        done)
+      spans;
+  tick "chaos.grants" !grants;
+  tick "chaos.forced_aborts" !forced_fired;
+  tick "chaos.delays" !delays_honoured;
+  tick "chaos.violations" (List.length !violations);
+  {
+    r_workload = workload.w_name;
+    r_scheme = scheme_name;
+    r_seed = seed;
+    r_plan = Fault.to_string plan;
+    r_commits = res.Engine.commits;
+    r_aborts = res.Engine.aborts;
+    r_forced_aborts = !forced_fired;
+    r_delays_honoured = !delays_honoured;
+    r_grants = !grants;
+    r_wal_appends = !appends;
+    r_wal_flushes = !flushes;
+    r_crash_points = !crash_points;
+    r_torn_points = !torn_points;
+    r_serializable = serializable;
+    r_failed = res.Engine.failed;
+    r_violations = List.rev !violations;
+    r_event_hash = Digest.to_hex (Digest.string (Buffer.contents hb));
+    r_final_dump = engine_dump;
+    r_ready_sizes = List.rev !ready_sizes;
+  }
+
+(* --- the multicore driver, pinned to one domain ---
+
+   With a single worker the job cursor dispenses transactions strictly
+   in list order and each runs to completion before the next starts: a
+   deterministic serial execution through the real Par_engine machinery
+   (shard table, detector domain and all).  Commuting workload writes
+   make its final state comparable to any serializable step-engine
+   run. *)
+
+let par_differential ~scheme_name ~scheme ~workload ~expect () =
+  let an = analysis workload in
+  let store, jobs = workload.w_build () in
+  let config =
+    {
+      Tavcc_par.Par_engine.default_config with
+      domains = 1;
+      shards = 1;
+      record_history = true;
+      restart_backoff_us = 0;
+    }
+  in
+  let r = Tavcc_par.Par_engine.run ~config ~scheme:(scheme an) ~store ~jobs () in
+  let v = ref [] in
+  if not (Tavcc_par.Par_engine.serializable r) then
+    v := Printf.sprintf "par(%s): history not conflict-serializable" scheme_name :: !v;
+  List.iter
+    (fun (id, msg) ->
+      v := Printf.sprintf "par(%s): transaction %d failed: %s" scheme_name id msg :: !v)
+    r.Tavcc_par.Par_engine.failed;
+  if dump store <> expect then
+    v :=
+      Printf.sprintf "par(%s): single-domain final state diverges from the step engine"
+        scheme_name
+      :: !v;
+  List.rev !v

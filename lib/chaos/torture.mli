@@ -1,0 +1,129 @@
+(** The torture harness: one engine run under a fault plan, with every
+    oracle checked.
+
+    A torture run executes a workload through {!Tavcc_sim.Engine} with
+    the chaos hooks installed and, {e concurrently}, shadows every data
+    access into a {!Tavcc_recovery.Manager} over a mirror store, so the
+    run produces a real write-ahead log.  Crash injections never stop
+    the run: the harness records the disk image a crash at that boundary
+    would leave and, after the run, recovers from {e every} such image
+    (the crash matrix) — one execution services hundreds of crash
+    points.
+
+    Oracles, all checked by {!run}:
+    - the committed projection of the history is conflict-serializable;
+    - the mirror store (WAL-managed) equals the engine store at the end;
+    - recovering from the full log equals the final state;
+    - for every crash point [k], recovering from the first [k] records
+      equals replaying exactly the committed-transaction prefix of those
+      records, in commit order, over the initial state;
+    - every torn-tail cut decodes to the longest whole-record prefix and
+      recovers to that prefix's committed state.
+
+    Violations are collected, not raised; {!ok} folds them up. *)
+
+open Tavcc_lang
+open Tavcc_model
+
+(** A named, replayable workload: [w_build] must be deterministic (equal
+    stores, object ids and jobs on every call) — the harness rebuilds it
+    to obtain the mirror store and the pristine base state recoveries
+    start from. *)
+type workload = {
+  w_name : string;
+  w_schema : Ast.body Schema.t;
+  w_build : unit -> Ast.body Store.t * (int * Tavcc_cc.Exec.action list) list;
+  mutable w_an : Tavcc_core.Analysis.t option;  (** memoised compile *)
+}
+
+val analysis : workload -> Tavcc_core.Analysis.t
+
+val escalation_workload : ?levels:int -> ?txns:int -> unit -> workload
+(** The E4 reader-then-writer cascade: [txns] transactions sending
+    [m{levels}] to one shared chain instance (problem P3's deadlock
+    breeding ground). *)
+
+val slices_workload :
+  ?methods:int -> ?work:int -> ?instances:int -> ?txns:int ->
+  ?actions_per_txn:int -> ?hot:int -> ?seed:int -> unit -> workload
+(** The E16 sliced-field grid: disjoint under field modes, fully
+    contended under instance modes. *)
+
+val random_workload :
+  ?seed:int -> ?txns:int -> ?actions_per_txn:int -> ?per_class:int -> unit -> workload
+(** A generated schema with random single-instance and extent calls. *)
+
+val schemes : (string * (Tavcc_core.Analysis.t -> Tavcc_cc.Scheme.t)) list
+(** Every concurrency-control scheme under test, by CLI name — the same
+    seven the [oosim] comparisons run. *)
+
+type report = {
+  r_workload : string;
+  r_scheme : string;
+  r_seed : int;
+  r_plan : string;  (** {!Fault.to_string} of the plan that ran *)
+  r_commits : int;
+  r_aborts : int;
+  r_forced_aborts : int;  (** chaos-injected aborts that actually fired *)
+  r_delays_honoured : int;  (** scheduler picks diverted by a delay injection *)
+  r_grants : int;  (** lock grants observed (the grant virtual clock) *)
+  r_wal_appends : int;
+  r_wal_flushes : int;
+  r_crash_points : int;  (** distinct log prefixes recovered and checked *)
+  r_torn_points : int;  (** byte-level torn-tail cuts checked *)
+  r_serializable : bool;
+  r_failed : (int * string) list;  (** transactions the engine gave up on *)
+  r_violations : string list;  (** oracle violations, oldest first *)
+  r_event_hash : string;
+      (** digest of the full observable event stream (accesses, grants,
+          WAL traffic, scheduling picks): equal hashes mean bit-for-bit
+          equal runs *)
+  r_final_dump : string;  (** canonical printable final store state *)
+  r_ready_sizes : int list;
+      (** ready-set size at each scheduler pick, oldest first — the
+          explorer derives preemption points from this *)
+}
+
+val ok : report -> bool
+(** No violations, serializable, and no failed transactions. *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> Tavcc_obs.Json.t
+
+val run :
+  ?policy:Tavcc_sim.Engine.deadlock_policy ->
+  ?yield_on_access:bool ->
+  ?crash_matrix:bool ->
+  ?torn_per_flush:int ->
+  ?metrics:Tavcc_obs.Metrics.t ->
+  scheme_name:string ->
+  scheme:(Tavcc_core.Analysis.t -> Tavcc_cc.Scheme.t) ->
+  workload:workload ->
+  seed:int ->
+  plan:Fault.plan ->
+  unit ->
+  report
+(** One torture run.  [yield_on_access] defaults to [true] (finest
+    interleavings); [crash_matrix] (default [true]) recovers from every
+    record prefix of the log — when [false], only the plan's explicit
+    crash injections are checked; [torn_per_flush] (default 2) adds that
+    many deterministic byte cuts per WAL force on top of the plan's
+    [Torn_flush] injections.  With [metrics], chaos counters go to the
+    registry: [chaos.crash_points], [chaos.torn_points],
+    [chaos.recoveries], [chaos.grants], [chaos.forced_aborts],
+    [chaos.delays], [chaos.violations]. *)
+
+val par_differential :
+  scheme_name:string ->
+  scheme:(Tavcc_core.Analysis.t -> Tavcc_cc.Scheme.t) ->
+  workload:workload ->
+  expect:string ->
+  unit ->
+  string list
+(** Runs the same jobs through {!Tavcc_par.Par_engine} on a {e single}
+    worker domain (one shard, no backoff, history recorded) — a
+    deterministic sequential execution through the real multicore
+    driver — and returns oracle violations: the recorded history must be
+    conflict-serializable, every transaction must commit, and the final
+    store must equal [expect] (the step engine's {!report.r_final_dump};
+    workload writes commute, so any serializable order agrees). *)

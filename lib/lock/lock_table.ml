@@ -76,9 +76,10 @@ type t = {
   stats : stats;
   clock : unit -> int;
   obs : obs option;
+  on_grant : req -> unit;
 }
 
-let create ?metrics ?(clock = fun () -> 0) ~conflict () =
+let create ?metrics ?(clock = fun () -> 0) ?(on_grant = fun _ -> ()) ~conflict () =
   let obs =
     Option.map
       (fun m ->
@@ -109,6 +110,7 @@ let create ?metrics ?(clock = fun () -> 0) ~conflict () =
       };
     clock;
     obs;
+    on_grant;
   }
 
 let entry t res =
@@ -275,7 +277,8 @@ let grant_conversion t e req =
         add_edge t w.w_req.r_txn req.r_txn)
     e.queue;
   e.granted <- e.granted @ [ req ];
-  remember_held t req.r_txn req.r_res
+  remember_held t req.r_txn req.r_res;
+  t.on_grant req
 
 let acquire t req =
   t.stats.requests <- t.stats.requests + 1;
@@ -311,6 +314,7 @@ let acquire t req =
       t.stats.immediate <- t.stats.immediate + 1;
       e.granted <- e.granted @ [ req ];
       remember_held t req.r_txn req.r_res;
+      t.on_grant req;
       Granted
     end
     else begin
@@ -338,6 +342,7 @@ let drain t res e acc =
           (match t.obs with
           | None -> ()
           | Some o -> Tavcc_obs.Metrics.observe o.m_wait_steps (t.clock () - w.w_at));
+          t.on_grant w.w_req;
           go (w.w_req :: acc)
         end
   in

@@ -70,10 +70,16 @@ val copy_stats : stats -> stats
 type t
 
 val create :
-  ?metrics:Tavcc_obs.Metrics.t -> ?clock:(unit -> int) ->
+  ?metrics:Tavcc_obs.Metrics.t -> ?clock:(unit -> int) -> ?on_grant:(req -> unit) ->
   conflict:(req -> req -> bool) -> unit -> t
 (** [conflict held requested] decides whether [requested] must wait behind
     [held]; it is never called on two requests of the same transaction.
+
+    [on_grant] observes every grant — fresh immediate grants, granted
+    conversions, and queue pops after a wait (re-acquisitions of a pair
+    already held are not new grants).  Chaos harnesses use it as a
+    virtual-clock tick at exactly the boundaries where a real lock
+    manager hands locks over; it must not call back into the table.
 
     With [metrics], the table records into the registry (handles are
     resolved once here, never on the hot path): the [lock.queue_depth]

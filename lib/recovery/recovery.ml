@@ -97,6 +97,8 @@ module Manager = struct
     ignore (Wal.append t.wal (Wal.Abort txn));
     t.active <- List.filter (( <> ) txn) t.active
 
+  let crash_image t = Wal.stable t.wal
+
   let checkpoint t =
     if t.active <> [] then invalid_arg "Manager.checkpoint: transactions are active";
     let snap = Snapshot.take t.store in

@@ -26,6 +26,16 @@ module Snapshot : sig
   (** Rewinds the store to the image: instances created since the
       snapshot are deleted, deleted ones are {e not} resurrected (the
       workloads under test do not delete), and every field is reset.
+
+      {b Limitation (no-delete assumption).}  Snapshots capture field
+      images, not creation records, so a snapshotted instance that was
+      deleted after the snapshot cannot be rebuilt.  Rather than
+      silently recovering a store with the instance missing — which
+      would corrupt every committed update to it that restart would
+      otherwise redo — [restore] (and therefore {!Restart.recover},
+      which restores first) refuses the whole recovery.  Workloads that
+      delete instances need logical creation/deletion logging, which
+      the WAL does not carry.
       @raise Invalid_argument if a snapshotted instance no longer
       exists *)
 
@@ -65,6 +75,13 @@ module Manager : sig
       @raise Invalid_argument if transactions are active *)
 
   val active : 'b t -> int list
+
+  val crash_image : 'b t -> Wal.record list
+  (** The disk as a crash right now would leave it: the stable prefix of
+      the log.  Chaos harnesses pair this with the checkpoint snapshot
+      to drive {!Restart.recover} at arbitrary points of a run; for
+      byte-level crash points (torn tails) they instead encode the
+      prefix and cut it mid-record. *)
 end
 
 module Restart : sig

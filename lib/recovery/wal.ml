@@ -35,11 +35,14 @@ let pp_record ppf = function
 (* Counter handles, resolved once at [create]. *)
 type obs = { m_appends : Tavcc_obs.Metrics.counter; m_flushes : Tavcc_obs.Metrics.counter }
 
+type event = Appended of record * lsn | Flushed of lsn
+
 type t = {
   mutable records : record list (* newest first *);
   mutable n : int;
   mutable stable : int;
   obs : obs option;
+  mutable observer : (event -> unit) option;
 }
 
 let create ?metrics () =
@@ -52,18 +55,24 @@ let create ?metrics () =
         })
       metrics
   in
-  { records = []; n = 0; stable = 0; obs }
+  { records = []; n = 0; stable = 0; obs; observer = None }
+
+let set_observer t f = t.observer <- f
+
+let notify t ev = match t.observer with None -> () | Some f -> f ev
 
 let append t r =
   let lsn = t.n in
   t.records <- r :: t.records;
   t.n <- t.n + 1;
   (match t.obs with None -> () | Some o -> Tavcc_obs.Metrics.incr o.m_appends);
+  notify t (Appended (r, lsn));
   lsn
 
 let flush t =
   t.stable <- t.n;
-  match t.obs with None -> () | Some o -> Tavcc_obs.Metrics.incr o.m_flushes
+  (match t.obs with None -> () | Some o -> Tavcc_obs.Metrics.incr o.m_flushes);
+  notify t (Flushed t.stable)
 let stable_lsn t = t.stable
 let all t = List.rev t.records
 let stable t = List.filteri (fun i _ -> i < t.stable) (all t)

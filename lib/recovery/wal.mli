@@ -41,6 +41,19 @@ val create : ?metrics:Tavcc_obs.Metrics.t -> unit -> t
 (** With [metrics], the log counts its traffic into the registry:
     [wal.appends] (records appended) and [wal.flushes] (forces). *)
 
+(** The boundary events a crash simulator keys off: every append to the
+    volatile tail and every force of the stable prefix. *)
+type event =
+  | Appended of record * lsn
+  | Flushed of lsn  (** the new {!stable_lsn} *)
+
+val set_observer : t -> (event -> unit) option -> unit
+(** Installs (or clears) the chaos hook.  The observer runs {e after} the
+    mutation, so [Flushed n] sees [stable_lsn = n]; fault-injection
+    harnesses use it as a virtual clock and to record the disk image a
+    crash at that boundary would leave.  The observer must not mutate the
+    log. *)
+
 val append : t -> record -> lsn
 
 val flush : t -> unit

@@ -22,6 +22,7 @@ type event =
   | Ev_wound of int * int
   | Ev_died of int
   | Ev_timeout of int
+  | Ev_forced_abort of int
   | Ev_abort of int
   | Ev_commit of int
 
@@ -36,10 +37,34 @@ let pp_event ppf = function
   | Ev_wound (w, v) -> Format.fprintf ppf "t%d wounds t%d" w v
   | Ev_died t -> Format.fprintf ppf "t%d dies" t
   | Ev_timeout t -> Format.fprintf ppf "t%d times out" t
+  | Ev_forced_abort t -> Format.fprintf ppf "t%d force-aborted" t
   | Ev_abort t -> Format.fprintf ppf "t%d aborts" t
   | Ev_commit t -> Format.fprintf ppf "t%d commits" t
 
 type sink = (int * event) Sink.t
+
+type access =
+  | Ob_begin of int
+  | Ob_read of int * Tavcc_model.Oid.t * Tavcc_model.Name.Field.t
+  | Ob_write of {
+      txn : int;
+      oid : Tavcc_model.Oid.t;
+      field : Tavcc_model.Name.Field.t;
+      before : Tavcc_model.Value.t;
+      after : Tavcc_model.Value.t;
+    }
+  | Ob_commit of int
+  | Ob_abort of int
+
+type hooks = {
+  hk_pick : (step:int -> ready:int list -> int) option;
+  hk_forced_abort : (step:int -> eligible:int list -> int list) option;
+  hk_on_grant : (Lock_table.req -> unit) option;
+  hk_observe : (access -> unit) option;
+}
+
+let no_hooks =
+  { hk_pick = None; hk_forced_abort = None; hk_on_grant = None; hk_observe = None }
 
 type config = {
   seed : int;
@@ -48,12 +73,13 @@ type config = {
   max_steps : int;
   policy : deadlock_policy;
   sink : sink;
+  hooks : hooks;
   metrics : Metrics.t option;
 }
 
 let default_config =
   { seed = 42; yield_on_access = false; max_restarts = 100; max_steps = 1_000_000;
-    policy = Detect; sink = Sink.null; metrics = None }
+    policy = Detect; sink = Sink.null; hooks = no_hooks; metrics = None }
 
 type result = {
   commits : int;
@@ -107,9 +133,12 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
   let rng = Rng.create config.seed in
   let steps = ref 0 in
   let locks =
-    Lock_table.create ?metrics:config.metrics
+    Lock_table.create ?metrics:config.metrics ?on_grant:config.hooks.hk_on_grant
       ~clock:(fun () -> !steps)
       ~conflict:scheme.Scheme.conflict ()
+  in
+  let observe =
+    match config.hooks.hk_observe with Some f -> f | None -> fun _ -> ()
   in
   let history = History.create () in
   let commits = ref 0 and deadlocks = ref 0 and aborts = ref 0 in
@@ -164,6 +193,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
     end_attempt t;
     emit (Ev_abort t.id);
     History.record history (History.Abort t.id);
+    observe (Ob_abort t.id);
     Txn.abort store t.txn;
     release_and_wake t.id;
     t.k <- None;
@@ -273,16 +303,28 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
       t.began_at <- !steps;
       emit (Ev_begin t.id);
       History.record history (History.Begin t.id);
+      observe (Ob_begin t.id);
       let ctx = { Scheme.txn = t.txn; acquire = (fun req -> acquire t req) } in
-      let on_read oid f = History.record history (History.Read (t.id, oid, f)) in
+      let on_read oid f =
+        History.record history (History.Read (t.id, oid, f));
+        observe (Ob_read (t.id, oid, f))
+      in
       let on_write oid f = History.record history (History.Write (t.id, oid, f)) in
+      let on_update =
+        match config.hooks.hk_observe with
+        | None -> None
+        | Some _ ->
+            Some
+              (fun oid field ~before ~after ->
+                observe (Ob_write { txn = t.id; oid; field; before; after }))
+      in
       let yield =
         if config.yield_on_access then fun () -> Effect.perform Yield else fun () -> ()
       in
       Exec.begin_txn ~scheme ~store ~ctx t.actions;
       List.iter
         (fun a ->
-          Exec.perform ~scheme ~store ~ctx ~on_read ~on_write ~yield
+          Exec.perform ~scheme ~store ~ctx ~on_read ~on_write ?on_update ~yield
             ~max_steps:config.max_steps a)
         t.actions
     in
@@ -295,6 +337,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
             end_attempt t;
             emit (Ev_commit t.id);
             History.record history (History.Commit t.id);
+            observe (Ob_commit t.id);
             incr commits;
             t.state <- Finished;
             t.k <- None;
@@ -306,6 +349,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
             | e ->
                 end_attempt t;
                 History.record history (History.Abort t.id);
+                observe (Ob_abort t.id);
                 Txn.abort store t.txn;
                 release_and_wake t.id;
                 t.state <- Dead;
@@ -341,6 +385,34 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
             end)
           tasks
     | _ -> ());
+    (match config.hooks.hk_forced_abort with
+    | None -> ()
+    | Some f ->
+        (* Only parked or yielded fibers with a live continuation can be
+           discontinued the way a deadlock victim is. *)
+        let eligible =
+          List.filter
+            (fun t -> (t.state = Parked || t.state = Ready) && t.k <> None)
+            tasks
+        in
+        let ids = List.map (fun t -> t.id) eligible in
+        if ids <> [] then
+          List.iter
+            (fun id ->
+              (* Re-check at abort time: an earlier abort this round may
+                 have restarted the task (fresh attempt, no continuation). *)
+              let still_eligible =
+                List.exists
+                  (fun t ->
+                    t.id = id && (t.state = Parked || t.state = Ready)
+                    && t.k <> None)
+                  eligible
+              in
+              if List.mem id ids && still_eligible then begin
+                emit (Ev_forced_abort id);
+                abort_victim id
+              end)
+            (f ~step:!steps ~eligible:ids));
     let ready = List.filter (fun t -> t.state = Ready) tasks in
     match ready with
     | [] ->
@@ -358,7 +430,16 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
             failwith "Engine: stalled — parked fibers with no runnable task and no deadlock")
     | ready ->
         incr steps;
-        let t = Rng.pick rng ready in
+        let t =
+          match config.hooks.hk_pick with
+          | None -> Rng.pick rng ready
+          | Some f ->
+              let id = f ~step:!steps ~ready:(List.map (fun t -> t.id) ready) in
+              (match List.find_opt (fun t -> t.id = id) ready with
+              | Some t -> t
+              | None ->
+                  invalid_arg "Engine: pick hook chose a non-ready transaction")
+        in
         t.state <- Running;
         (match t.k with
         | Some k ->

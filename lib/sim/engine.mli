@@ -48,6 +48,7 @@ type event =
   | Ev_wound of int * int  (** wounding txn, victim *)
   | Ev_died of int  (** wait-die / no-wait self-abort *)
   | Ev_timeout of int
+  | Ev_forced_abort of int  (** chaos-injected abort ({!hooks}) *)
   | Ev_abort of int
   | Ev_commit of int
 
@@ -60,6 +61,47 @@ type sink = (int * event) Tavcc_obs.Sink.t
     [Tavcc_obs.Sink.ring n] keeps the last [n] events (returned in
     {!result.events}), [Tavcc_obs.Sink.callback f] streams them out. *)
 
+(** The raw data accesses of a run, in execution order, with the images a
+    write-ahead logger needs.  Unlike {!Tavcc_txn.History} ops, these are
+    streamed as they happen (not recorded), carry values, and are the
+    bridge by which the chaos harness shadows a run into a
+    {!Tavcc_recovery}-style transaction manager. *)
+type access =
+  | Ob_begin of int  (** attempt begins (also on each restart) *)
+  | Ob_read of int * Tavcc_model.Oid.t * Tavcc_model.Name.Field.t
+  | Ob_write of {
+      txn : int;
+      oid : Tavcc_model.Oid.t;
+      field : Tavcc_model.Name.Field.t;
+      before : Tavcc_model.Value.t;
+      after : Tavcc_model.Value.t;
+    }
+  | Ob_commit of int
+  | Ob_abort of int
+
+(** Deterministic intervention points for fault injection and schedule
+    exploration.  All hooks run synchronously inside the scheduler loop,
+    so a pure hook keeps the run bit-for-bit replayable. *)
+type hooks = {
+  hk_pick : (step:int -> ready:int list -> int) option;
+      (** chooses the next transaction to run from the (non-empty,
+          job-ordered) ready list; when absent the seeded RNG picks.  The
+          returned id must be in [ready]. *)
+  hk_forced_abort : (step:int -> eligible:int list -> int list) option;
+      (** consulted once per scheduler iteration with the transactions
+          that can be externally aborted right now (parked or yielded,
+          holding a live continuation); every returned eligible id is
+          aborted and restarted exactly as a deadlock victim would be,
+          after an {!Ev_forced_abort} event *)
+  hk_on_grant : (Tavcc_lock.Lock_table.req -> unit) option;
+      (** forwarded to {!Tavcc_lock.Lock_table.create}'s [on_grant] *)
+  hk_observe : (access -> unit) option;
+      (** streams every begin/read/write/commit/abort, with write images *)
+}
+
+val no_hooks : hooks
+(** All four absent: the engine behaves exactly as without chaos. *)
+
 type config = {
   seed : int;
   yield_on_access : bool;
@@ -69,6 +111,7 @@ type config = {
   max_steps : int;  (** interpreter fuel per action *)
   policy : deadlock_policy;
   sink : sink;
+  hooks : hooks;
   metrics : Tavcc_obs.Metrics.t option;
       (** when set, the run records engine counters ([engine.commits],
           [engine.aborts], [engine.deadlocks], [engine.wounds],
@@ -82,8 +125,8 @@ type config = {
 }
 
 val default_config : config
-(** seed 42, no access yields, 100 restarts, [Detect], null sink, no
-    metrics. *)
+(** seed 42, no access yields, 100 restarts, [Detect], null sink,
+    {!no_hooks}, no metrics. *)
 
 type result = {
   commits : int;

@@ -73,6 +73,8 @@ let to_trace ?(pid = 0) events =
                "wound")
       | Engine.Ev_died id -> push (Trace.instant ~cat:"deadlock" ~pid ~ts ~tid:id "die")
       | Engine.Ev_timeout id -> push (Trace.instant ~cat:"deadlock" ~pid ~ts ~tid:id "timeout")
+      | Engine.Ev_forced_abort id ->
+          push (Trace.instant ~cat:"deadlock" ~pid ~ts ~tid:id "chaos-abort")
       | Engine.Ev_abort id -> close_attempt ts id "abort"
       | Engine.Ev_commit id -> close_attempt ts id "commit")
     events;

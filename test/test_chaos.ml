@@ -1,0 +1,411 @@
+(* The fault-injection and schedule-exploration harness. *)
+
+open Tavcc_model
+open Tavcc_recovery
+open Tavcc_chaos
+open Helpers
+
+(* --- the fault-plan DSL --- *)
+
+let test_plan_roundtrip () =
+  let plans =
+    [
+      Fault.none;
+      { Fault.injections = []; schedule = Fault.Fixed [] };
+      { Fault.injections = []; schedule = Fault.Fixed [ 1; 0; 2 ] };
+      {
+        Fault.injections =
+          [
+            Fault.Crash_at_append 17;
+            Fault.Crash_at_flush 3;
+            Fault.Torn_flush { nth = 3; keep = 9 };
+            Fault.Delay { step = 5; txn = 2; ticks = 10 };
+            Fault.Forced_abort { step = 9; txn = 3 };
+          ];
+        schedule = Fault.Random_sched 42;
+      };
+    ]
+  in
+  List.iter
+    (fun p ->
+      let s = Fault.to_string p in
+      Alcotest.(check bool)
+        (Printf.sprintf "plan %s round-trips" s)
+        true
+        (Fault.of_string s = p))
+    plans;
+  Alcotest.check_raises "malformed plan refused"
+    (Invalid_argument "Fault.of_string: malformed component \"bogus:1\"") (fun () ->
+      ignore (Fault.of_string "r:1;bogus:1"))
+
+(* --- the WAL byte codec --- *)
+
+let sample_records =
+  let o = Oid.of_int 3 in
+  [
+    Wal.Checkpoint [ 1; 2 ];
+    Wal.Begin 1;
+    Wal.Update
+      { txn = 1; oid = o; field = fn "a"; before = Value.Vint 1; after = Value.Vint 2 };
+    Wal.Update
+      {
+        txn = 1;
+        oid = o;
+        field = fn "s";
+        before = Value.Vstring "x;y";
+        after = Value.Vnull;
+      };
+    Wal.Update
+      {
+        txn = 1;
+        oid = o;
+        field = fn "f";
+        before = Value.Vfloat 0.1;
+        after = Value.Vfloat (-1e300);
+      };
+    Wal.Update
+      {
+        txn = 1;
+        oid = o;
+        field = fn "r";
+        before = Value.Vref (Oid.of_int 7);
+        after = Value.Vbool true;
+      };
+    Wal.Clr { txn = 2; oid = o; field = fn "a"; after = Value.Vint 1 };
+    Wal.Commit 1;
+    Wal.Abort 2;
+  ]
+
+let test_codec_roundtrip () =
+  let bytes = Codec.encode sample_records in
+  Alcotest.(check bool) "decode_exact inverts encode" true
+    (Codec.decode_exact bytes = sample_records);
+  Alcotest.(check bool) "decode inverts encode" true
+    (Codec.decode bytes = sample_records)
+
+let test_codec_every_cut () =
+  (* Cutting the byte image anywhere yields the longest whole-record
+     prefix — never garbage, never an exception. *)
+  let bytes = Codec.encode sample_records in
+  let boundaries =
+    (* Byte offset at which each record's frame ends. *)
+    let _, offs =
+      List.fold_left
+        (fun (off, acc) r ->
+          let off = off + String.length (Codec.encode_record r) in
+          (off, off :: acc))
+        (0, [ 0 ])
+        sample_records
+    in
+    List.rev offs
+  in
+  for cut = 0 to String.length bytes - 1 do
+    let decoded = Codec.decode (String.sub bytes 0 cut) in
+    let expect = List.length (List.filter (fun b -> b <= cut) boundaries) - 1 in
+    Alcotest.(check int) (Printf.sprintf "cut at byte %d" cut) expect
+      (List.length decoded);
+    Alcotest.(check bool)
+      (Printf.sprintf "prefix at byte %d well-formed" cut)
+      true
+      (decoded = List.filteri (fun i _ -> i < expect) sample_records)
+  done
+
+let test_codec_corruption () =
+  let bytes = Codec.encode sample_records in
+  (* Flip a payload byte of the first frame: checksum mismatch stops the
+     scan at record 0. *)
+  let b = Bytes.of_string bytes in
+  Bytes.set b 20 (Char.chr (Char.code (Bytes.get b 20) lxor 0xff));
+  Alcotest.(check int) "corrupt first frame decodes nothing" 0
+    (List.length (Codec.decode (Bytes.to_string b)));
+  Alcotest.check_raises "decode_exact refuses torn tail"
+    (Invalid_argument "Codec.decode_exact: torn or corrupt tail") (fun () ->
+      ignore (Codec.decode_exact (String.sub bytes 0 (String.length bytes - 1))))
+
+(* --- torn-tail recovery through the manager (satellite: WAL cut
+   mid-record recovers the longest valid prefix) --- *)
+
+let test_torn_tail_recovery () =
+  let schema =
+    schema_of_source
+      {|class item is
+          fields a : integer; b : integer;
+        end|}
+  in
+  let store = Store.create schema in
+  let o1 = Store.new_instance store (cn "item") in
+  let wal = Wal.create () in
+  let mgr = Recovery.Manager.create store wal in
+  let snap = Recovery.Manager.checkpoint mgr in
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 10);
+  Recovery.Manager.commit mgr 1;
+  Recovery.Manager.begin_txn mgr 2;
+  Recovery.Manager.write mgr ~txn:2 o1 (fn "a") (Value.Vint 99);
+  Recovery.Manager.commit mgr 2;
+  let log = Wal.stable wal in
+  let bytes = Codec.encode log in
+  (* Tear the disk inside the final record (t2's Commit): t2's updates
+     redo but then undo as a loser — only t1 survives. *)
+  let cut = String.length bytes - 3 in
+  let surviving = Codec.decode (String.sub bytes 0 cut) in
+  Alcotest.(check int) "one record torn off" (List.length log - 1)
+    (List.length surviving);
+  let rstore = Store.create schema in
+  let r1 = Store.new_instance rstore (cn "item") in
+  Recovery.Restart.recover rstore snap surviving;
+  Alcotest.check value "t1 committed, survives" (Value.Vint 10)
+    (Store.read rstore r1 (fn "a"))
+
+(* --- torture determinism: (seed, plan) replays bit-for-bit --- *)
+
+let slices = Torture.slices_workload ()
+let escalation = Torture.escalation_workload ()
+let tav = List.assoc "tav" Torture.schemes
+
+let torture ?(crash_matrix = true) ?(torn_per_flush = 2) ?(scheme_name = "tav")
+    ?(scheme = tav) ~workload ~seed plan =
+  Torture.run ~crash_matrix ~torn_per_flush ~scheme_name ~scheme ~workload ~seed
+    ~plan ()
+
+let chaotic_plan =
+  {
+    Fault.injections =
+      [
+        Fault.Delay { step = 3; txn = 1; ticks = 8 };
+        Fault.Forced_abort { step = 6; txn = 2 };
+        Fault.Torn_flush { nth = 2; keep = 11 };
+        Fault.Crash_at_append 9;
+      ];
+    schedule = Fault.Random_sched 77;
+  }
+
+let test_torture_deterministic () =
+  let r1 = torture ~workload:slices ~seed:5 chaotic_plan in
+  let r2 = torture ~workload:slices ~seed:5 chaotic_plan in
+  Alcotest.(check string) "event hashes equal" r1.Torture.r_event_hash
+    r2.Torture.r_event_hash;
+  Alcotest.(check bool) "whole reports equal" true (r1 = r2);
+  (* With a pick hook installed the plan's scheduler seed, not the
+     engine seed, drives the interleaving. *)
+  let r3 =
+    torture ~workload:slices ~seed:5
+      { chaotic_plan with Fault.schedule = Fault.Random_sched 78 }
+  in
+  Alcotest.(check bool) "different schedule seed, different stream" true
+    (r1.Torture.r_event_hash <> r3.Torture.r_event_hash)
+
+let test_torture_oracles_hold () =
+  let r = torture ~workload:slices ~seed:5 chaotic_plan in
+  Alcotest.(check bool) "run is clean" true (Torture.ok r);
+  Alcotest.(check (list string)) "no violations" [] r.Torture.r_violations;
+  Alcotest.(check bool) "forced abort fired" true (r.Torture.r_forced_aborts >= 1);
+  Alcotest.(check bool) "delay diverted the scheduler" true
+    (r.Torture.r_delays_honoured >= 1);
+  Alcotest.(check bool) "crash matrix covered the log" true
+    (r.Torture.r_crash_points > r.Torture.r_wal_appends);
+  Alcotest.(check bool) "torn tails checked" true (r.Torture.r_torn_points >= 1);
+  Alcotest.(check bool) "all transactions committed" true (r.Torture.r_commits = 6)
+
+let test_escalation_torture () =
+  (* The E4 cascade under the finest interleavings, with the full crash
+     matrix: deadlock aborts and restarts flow through the mirror WAL. *)
+  let r = torture ~workload:escalation ~seed:42
+      { Fault.injections = []; schedule = Fault.Random_sched 1 }
+  in
+  Alcotest.(check bool) "clean" true (Torture.ok r);
+  Alcotest.(check int) "all committed" 6 r.Torture.r_commits
+
+(* --- differential testing: every scheme reaches the same final state ---
+
+   Workload writes are read-modify-write increments, so any
+   conflict-serializable execution of the same jobs produces the same
+   final store no matter which scheme ordered them. *)
+
+let test_differential_schemes () =
+  List.iter
+    (fun workload ->
+      let reports =
+        List.map
+          (fun (name, mk) ->
+            ( name,
+              torture ~crash_matrix:false ~torn_per_flush:0 ~scheme_name:name
+                ~scheme:mk ~workload ~seed:11
+                { Fault.injections = []; schedule = Fault.Random_sched 4 } ))
+          Torture.schemes
+      in
+      let _, first = List.hd reports in
+      List.iter
+        (fun (name, r) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s clean" workload.Torture.w_name name)
+            true (Torture.ok r);
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s same final state" workload.Torture.w_name name)
+            first.Torture.r_final_dump r.Torture.r_final_dump)
+        reports)
+    [ slices; escalation ]
+
+let test_par_differential () =
+  (* The real multicore driver, pinned to one domain, is a deterministic
+     serial execution — its final state must match the step engine's. *)
+  let r =
+    torture ~crash_matrix:false ~torn_per_flush:0 ~workload:slices ~seed:11
+      { Fault.injections = []; schedule = Fault.Random_sched 4 }
+  in
+  Alcotest.(check bool) "step run clean" true (Torture.ok r);
+  Alcotest.(check (list string)) "par agrees with the step engine" []
+    (Torture.par_differential ~scheme_name:"tav" ~scheme:tav ~workload:slices
+       ~expect:r.Torture.r_final_dump ())
+
+(* --- the explorer --- *)
+
+let test_systematic_cases () =
+  let cases =
+    Explore.systematic_cases ~seed:3 ~ready_sizes:[ 1; 3; 2; 1; 2 ] ~preemptions:2
+      ~max_cases:100
+  in
+  (* Steps 1, 2 and 4 have a choice (sizes 3, 2, 2): singles = 2+1+1,
+     pairs = 2*1 + 2*1 + 1*1. *)
+  Alcotest.(check int) "bounded enumeration size" 9 (List.length cases);
+  List.iter
+    (fun (c : Explore.case) ->
+      match c.Explore.c_plan.Fault.schedule with
+      | Fault.Fixed trail ->
+          Alcotest.(check bool) "preemption bound respected" true
+            (List.length (List.filter (fun v -> v <> 0) trail) <= 2)
+      | Fault.Random_sched _ -> Alcotest.fail "systematic case must be Fixed")
+    cases;
+  let distinct =
+    List.sort_uniq compare (List.map (fun c -> c.Explore.c_plan) cases)
+  in
+  Alcotest.(check int) "cases distinct" 9 (List.length distinct)
+
+let test_fixed_schedule_runs () =
+  (* Every bounded-preemption perturbation of the sticky schedule passes
+     the oracles on the slices workload. *)
+  let base =
+    torture ~crash_matrix:false ~torn_per_flush:0 ~workload:slices ~seed:3
+      { Fault.injections = []; schedule = Fault.Fixed [] }
+  in
+  Alcotest.(check bool) "sticky base clean" true (Torture.ok base);
+  let cases =
+    Explore.systematic_cases ~seed:3 ~ready_sizes:base.Torture.r_ready_sizes
+      ~preemptions:1 ~max_cases:10
+  in
+  Alcotest.(check bool) "perturbations exist" true (cases <> []);
+  List.iter
+    (fun (c : Explore.case) ->
+      let r =
+        torture ~crash_matrix:false ~torn_per_flush:0 ~workload:slices
+          ~seed:c.Explore.c_seed c.Explore.c_plan
+      in
+      Alcotest.(check bool) "perturbed schedule clean" true (Torture.ok r))
+    cases
+
+(* --- the shrinker --- *)
+
+let test_shrinker_minimality () =
+  (* A synthetic bug: the run "fails" exactly when the plan carries the
+     culprit injection.  Shrinking from a big noisy case must isolate
+     it. *)
+  let culprit = Fault.Forced_abort { step = 7; txn = 2 } in
+  let run (c : Explore.case) =
+    (* true = ok, false = still failing *)
+    not (List.mem culprit c.Explore.c_plan.Fault.injections)
+  in
+  let noisy =
+    {
+      Explore.c_seed = 13;
+      c_plan =
+        {
+          Fault.injections =
+            [
+              Fault.Delay { step = 1; txn = 1; ticks = 64 };
+              culprit;
+              Fault.Crash_at_flush 4;
+              Fault.Torn_flush { nth = 1; keep = 5 };
+              Fault.Crash_at_append 31;
+            ];
+          schedule = Fault.Fixed [ 0; 2; 1; 0; 3; 0; 0 ];
+        };
+    }
+  in
+  let shrunk = Explore.shrink ~run noisy in
+  Alcotest.(check bool) "shrunk case still fails" false (run shrunk);
+  Alcotest.(check bool) "only the culprit remains" true
+    (shrunk.Explore.c_plan.Fault.injections = [ culprit ]);
+  (match shrunk.Explore.c_plan.Fault.schedule with
+  | Fault.Fixed trail -> Alcotest.(check (list int)) "trail zeroed away" [] trail
+  | Fault.Random_sched _ -> Alcotest.fail "schedule kind must be preserved");
+  Alcotest.(check string) "replay command"
+    "oosim chaos --workload slices --scheme tav --seed 13 --replay 'f:;abort:7:2'"
+    (Explore.to_command ~workload:"slices" ~scheme:"tav" shrunk)
+
+let test_shrinker_delay_ticks () =
+  (* Delay windows shrink by halving while the failure persists. *)
+  let run (c : Explore.case) =
+    not
+      (List.exists
+         (function Fault.Delay { ticks; _ } -> ticks >= 4 | _ -> false)
+         c.Explore.c_plan.Fault.injections)
+  in
+  let case =
+    {
+      Explore.c_seed = 1;
+      c_plan =
+        {
+          Fault.injections = [ Fault.Delay { step = 2; txn = 1; ticks = 64 } ];
+          schedule = Fault.Random_sched 9;
+        };
+    }
+  in
+  let shrunk = Explore.shrink ~run case in
+  match shrunk.Explore.c_plan.Fault.injections with
+  | [ Fault.Delay { ticks; _ } ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ticks %d shrunk near the threshold" ticks)
+        true
+        (ticks >= 4 && ticks < 8)
+  | _ -> Alcotest.fail "delay injection must survive shrinking"
+
+let test_random_cases_deterministic () =
+  let a = Explore.random_cases ~base_seed:5 ~runs:10 ~txns:[ 1; 2; 3 ] in
+  let b = Explore.random_cases ~base_seed:5 ~runs:10 ~txns:[ 1; 2; 3 ] in
+  Alcotest.(check bool) "same base seed, same cases" true (a = b);
+  let c = Explore.random_cases ~base_seed:6 ~runs:10 ~txns:[ 1; 2; 3 ] in
+  Alcotest.(check bool) "different base seed, different cases" true (a <> c)
+
+(* --- randomized torture sweep (qcheck) --- *)
+
+let prop_random_torture =
+  QCheck.Test.make ~count:8 ~name:"random chaos cases: all oracles hold"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let txns = List.map fst (snd (escalation.Torture.w_build ())) in
+      match Explore.random_cases ~base_seed:seed ~runs:1 ~txns with
+      | [ c ] ->
+          let r =
+            torture ~workload:escalation ~seed:c.Explore.c_seed c.Explore.c_plan
+          in
+          Torture.ok r
+      | _ -> false)
+
+let suite =
+  [
+    case "fault plans round-trip" test_plan_roundtrip;
+    case "codec round-trips" test_codec_roundtrip;
+    case "codec survives every byte cut" test_codec_every_cut;
+    case "codec detects corruption" test_codec_corruption;
+    case "torn tail recovers longest valid prefix" test_torn_tail_recovery;
+    case "torture replays bit-for-bit" test_torture_deterministic;
+    case "oracles hold under a chaotic plan" test_torture_oracles_hold;
+    case "escalation deadlocks under torture" test_escalation_torture;
+    case "all schemes agree on the final state" test_differential_schemes;
+    case "single-domain par engine agrees" test_par_differential;
+    case "systematic enumeration is bounded" test_systematic_cases;
+    case "perturbed schedules stay clean" test_fixed_schedule_runs;
+    case "shrinker isolates the culprit" test_shrinker_minimality;
+    case "shrinker halves delay windows" test_shrinker_delay_ticks;
+    case "case generation is seeded" test_random_cases_deterministic;
+    QCheck_alcotest.to_alcotest prop_random_torture;
+  ]

@@ -222,6 +222,114 @@ let prop_crash_anywhere =
             [ fn "a"; fn "b" ])
         [ o1; o2 ])
 
+(* Property: crash after EVERY prefix of the log, not just the one the
+   sprinkled flushes produced.  The truth is committed-incarnation
+   replay: a Begin resets a transaction's pending updates (ids are
+   reused across restarts), a Commit freezes them, and the frozen lists
+   apply in commit order over the initial state. *)
+let committed_prefix_truth base prefix =
+  let truth = Hashtbl.copy base in
+  let pending = Hashtbl.create 8 in
+  let committed = ref [] in
+  List.iter
+    (fun (r : Wal.record) ->
+      match r with
+      | Wal.Begin t -> Hashtbl.replace pending t []
+      | Wal.Update { txn; oid; field; after; _ } -> (
+          match Hashtbl.find_opt pending txn with
+          | Some l -> Hashtbl.replace pending txn ((oid, field, after) :: l)
+          | None -> ())
+      | Wal.Clr _ -> ()
+      | Wal.Commit t -> (
+          match Hashtbl.find_opt pending t with
+          | Some l ->
+              committed := List.rev l :: !committed;
+              Hashtbl.remove pending t
+          | None -> ())
+      | Wal.Abort t -> Hashtbl.remove pending t
+      | Wal.Checkpoint _ -> ())
+    prefix;
+  List.iter
+    (List.iter (fun (oid, field, after) -> Hashtbl.replace truth (oid, field) after))
+    (List.rev !committed);
+  truth
+
+let prop_crash_every_prefix =
+  QCheck.Test.make ~count:40 ~name:"crash after every prefix: committed prefix replayed"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)) (fun seed ->
+      let rng = Tavcc_sim.Rng.create seed in
+      let store, o1, o2 = setup () in
+      let wal = Wal.create () in
+      let mgr = Recovery.Manager.create store wal in
+      let snap = Recovery.Manager.checkpoint mgr in
+      let base = Hashtbl.create 8 in
+      Hashtbl.replace base (o1, fn "a") (Value.Vint 1);
+      Hashtbl.replace base (o2, fn "a") (Value.Vint 2);
+      (* Serial transactions with id reuse: an aborted id may restart,
+         so prefixes cut through several incarnations of the same id. *)
+      let ids = ref [] in
+      for i = 1 to 10 do
+        let txn =
+          match !ids with
+          | t :: _ when Tavcc_sim.Rng.chance rng 0.3 -> t
+          | _ -> i
+        in
+        Recovery.Manager.begin_txn mgr txn;
+        for _ = 1 to 1 + Tavcc_sim.Rng.int rng 2 do
+          let target = if Tavcc_sim.Rng.bool rng then o1 else o2 in
+          let field = if Tavcc_sim.Rng.bool rng then fn "a" else fn "b" in
+          Recovery.Manager.write mgr ~txn target field
+            (Value.Vint (Tavcc_sim.Rng.int rng 1000))
+        done;
+        if Tavcc_sim.Rng.chance rng 0.2 then Wal.flush wal;
+        if Tavcc_sim.Rng.chance rng 0.6 then Recovery.Manager.commit mgr txn
+        else begin
+          Recovery.Manager.abort mgr txn;
+          ids := txn :: !ids
+        end
+      done;
+      Wal.flush wal;
+      let log = Wal.all wal in
+      let n = List.length log in
+      let ok = ref true in
+      for k = 0 to n do
+        let prefix = List.filteri (fun i _ -> i < k) log in
+        let rstore, r1, r2 = setup () in
+        ignore r1;
+        ignore r2;
+        Recovery.Restart.recover rstore snap prefix;
+        let truth = committed_prefix_truth base prefix in
+        List.iter
+          (fun o ->
+            List.iter
+              (fun f ->
+                let expected =
+                  Option.value ~default:(Value.Vint 0) (Hashtbl.find_opt truth (o, f))
+                in
+                if not (Value.equal (Store.read rstore o f) expected) then ok := false)
+              [ fn "a"; fn "b" ])
+          [ o1; o2 ]
+      done;
+      !ok)
+
+(* The documented no-delete limitation: a snapshotted instance deleted
+   after the snapshot cannot be rebuilt, so restore — and recovery,
+   which restores first — must refuse rather than resurrect a partial
+   store. *)
+let test_delete_then_recover_refused () =
+  let store, o1, _ = setup () in
+  let wal = Wal.create () in
+  let mgr = Recovery.Manager.create store wal in
+  let snap = Recovery.Manager.checkpoint mgr in
+  Recovery.Manager.begin_txn mgr 1;
+  Recovery.Manager.write mgr ~txn:1 o1 (fn "a") (Value.Vint 42);
+  Recovery.Manager.commit mgr 1;
+  Store.delete_instance store o1;
+  check_raises_invalid "restore refuses after delete" (fun () ->
+      Recovery.Snapshot.restore store snap);
+  check_raises_invalid "recover refuses after delete" (fun () ->
+      Recovery.Restart.recover store snap (Wal.stable wal))
+
 let suite =
   [
     case "wal stability boundary" test_wal_stability;
@@ -234,4 +342,6 @@ let suite =
     case "recovery is idempotent" test_recover_idempotent;
     case "manager misuse" test_manager_errors;
     QCheck_alcotest.to_alcotest prop_crash_anywhere;
+    QCheck_alcotest.to_alcotest prop_crash_every_prefix;
+    case "delete-then-recover is refused" test_delete_then_recover_refused;
   ]
