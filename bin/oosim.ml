@@ -30,6 +30,7 @@ let schemes =
     ("rw-impl", Tavcc_cc.Rw_implicit.scheme);
     ("field-rt", Tavcc_cc.Field_runtime.scheme);
     ("relational", Tavcc_cc.Relational.scheme);
+    ("mvcc-tav", fun an -> Tavcc_mvcc.Mvcc_tav.scheme an);
   ]
 
 let policies =
@@ -253,17 +254,18 @@ let run_cmd =
 (* --- par: the multicore driver on the contended slice workload --- *)
 
 let par_cmd =
-  let run scheme_names domains shards seed txns actions methods work instances hot policy
-      check metrics_fmt =
+  let run scheme_names domains shards seed txns actions methods work instances hot read_frac
+      policy check metrics_fmt =
     let json_mode = metrics_fmt = Some `Json in
-    let schema = Workload.slice_schema ~methods ~work in
+    let readers = if read_frac > 0. then methods else 0 in
+    let schema = Workload.slice_schema ~readers ~methods ~work () in
     let an = Tavcc_core.Analysis.compile schema in
     if not json_mode then
       Printf.printf
         "par: %d domains, %d shards, %d txns x %d actions, %d slices x %d writes, %d grid \
-         instances (hot %d), policy %s, seed %d%s\n\n"
-        domains shards txns actions methods work instances hot (Engine.policy_name policy)
-        seed
+         instances (hot %d), read-frac %.2f, policy %s, seed %d%s\n\n"
+        domains shards txns actions methods work instances hot read_frac
+        (Engine.policy_name policy) seed
         (if check then ", serializability check on" else "");
     let names = if scheme_names = [] then [ "rw-msg"; "tav" ] else scheme_names in
     let runs =
@@ -273,8 +275,12 @@ let par_cmd =
           let store = Store.create schema in
           Workload.populate store ~per_class:instances;
           let jobs =
-            Workload.slice_jobs (Rng.create (seed + 1)) store ~txns ~actions_per_txn:actions
-              ~hot_instances:hot
+            if read_frac > 0. then
+              Workload.mixed_slice_jobs (Rng.create (seed + 1)) store ~txns
+                ~actions_per_txn:actions ~hot_instances:hot ~read_frac
+            else
+              Workload.slice_jobs (Rng.create (seed + 1)) store ~txns
+                ~actions_per_txn:actions ~hot_instances:hot
           in
           let metrics = Option.map (fun _ -> Metrics.create ()) metrics_fmt in
           let config =
@@ -316,6 +322,7 @@ let par_cmd =
                   ("work", Json.Int work);
                   ("instances", Json.Int instances);
                   ("hot", Json.Int hot);
+                  ("read_frac", Json.Float read_frac);
                   ("policy", Json.String (Engine.policy_name policy));
                   ("seed", Json.Int seed);
                 ] );
@@ -333,6 +340,11 @@ let par_cmd =
                           ("died", Json.Int r.Par_engine.died);
                           ("timeouts", Json.Int r.Par_engine.timeouts);
                           ("restarts", Json.Int r.Par_engine.restarts);
+                          ("snapshot_commits", Json.Int r.Par_engine.snapshot_commits);
+                          ("snapshot_aborts", Json.Int r.Par_engine.snapshot_aborts);
+                          ("occ_commits", Json.Int r.Par_engine.occ_commits);
+                          ( "occ_validation_failures",
+                            Json.Int r.Par_engine.occ_validation_failures );
                           ("wall_seconds", Json.Float r.Par_engine.wall_seconds);
                           ("txns_per_sec", Json.Float r.Par_engine.throughput);
                           ("serializable", Json.Bool (Par_engine.serializable r));
@@ -391,6 +403,11 @@ let par_cmd =
   let hot =
     Arg.(value & opt int 2 & info [ "hot" ] ~docv:"N" ~doc:"Hot-set size (contention knob).")
   in
+  let read_frac =
+    Arg.(value & opt float 0. & info [ "read-frac" ] ~docv:"F"
+         ~doc:"Fraction of transactions that are read-only (adds reader methods to the \
+                 grid schema; snapshot-eligible under mvcc-tav).")
+  in
   let check =
     Arg.(value & flag & info [ "check" ]
          ~doc:"Record the field-access history (serialises the hot path) and report the \
@@ -400,7 +417,7 @@ let par_cmd =
   Cmd.v (Cmd.info "par" ~doc)
     Term.(
       const run $ scheme_arg $ domains $ shards $ seed $ txns $ actions $ methods $ work
-      $ instances $ hot $ policy_arg $ check $ metrics_arg)
+      $ instances $ hot $ read_frac $ policy_arg $ check $ metrics_arg)
 
 (* --- scenario: the sec. 5.2 comparison --- *)
 
@@ -492,6 +509,7 @@ let chaos_cmd =
       [
         ("escalation", Torture.escalation_workload ());
         ("slices", Torture.slices_workload ());
+        ("mixed", Torture.mixed_slices_workload ());
         ("random", Torture.random_workload ());
       ]
     in
@@ -671,7 +689,7 @@ let chaos_cmd =
   let workload_arg =
     Arg.(value & opt_all string []
          & info [ "workload" ] ~docv:"NAME"
-             ~doc:"Workload(s) to torture: escalation, slices, random, or all \
+             ~doc:"Workload(s) to torture: escalation, slices, mixed, random, or all \
                    (default all; repeatable).")
   in
   let scheme_arg =

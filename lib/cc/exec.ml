@@ -23,11 +23,19 @@ let pp_action = Action.pp
 let begin_txn ~scheme ~store ~ctx actions =
   scheme.Scheme.on_begin ctx ~class_of:(Store.class_of store) actions
 
-let perform ~scheme ~store ~ctx ?(on_read = fun _ _ -> ()) ?(on_write = fun _ _ -> ())
+let perform ~scheme ~store ~ctx ?mv ?(on_read = fun _ _ -> ()) ?(on_write = fun _ _ -> ())
     ?(on_update = fun _ _ ~before:_ ~after:_ -> ()) ?(yield = fun () -> ()) ?max_steps action =
   (* When set, the next top send to this oid is the root of an extent call
      covered by a hierarchical class lock: skip its instance locking. *)
   let skip_root = ref None in
+  (* Sessions whose reads must resolve against a snapshot rather than the
+     live store slots. Pessimistic sessions read in place (their locks make
+     the live slot the right version). *)
+  let versioned =
+    match mv with
+    | Some s when s.Scheme.ms_mode <> Scheme.Mv_pessimistic -> Some s
+    | _ -> None
+  in
   let hooks =
     {
       Interp.h_top_send =
@@ -48,7 +56,22 @@ let perform ~scheme ~store ~ctx ?(on_read = fun _ _ -> ()) ?(on_write = fun _ _ 
           on_write oid f;
           on_update oid f ~before:old ~after:v;
           yield ());
-      h_new = (fun _ _ -> ());
+      h_new =
+        (fun _ cls ->
+          (* Versioned (snapshot / optimistic) sessions are classified as
+             creation-free; a [new] slipping through would mutate the live
+             store outside the locking protocol. *)
+          match versioned with
+          | Some _ ->
+              raise
+                (Invalid_argument
+                   (Format.asprintf "mvcc: 'new %a' inside a versioned transaction" Name.Class.pp
+                      cls))
+          | None -> ());
+      h_read_value =
+        Option.map (fun s oid _cls f -> s.Scheme.ms_read oid f) versioned;
+      h_write_value =
+        Option.map (fun s oid _cls f ~old v -> s.Scheme.ms_write oid f ~before:old v) mv;
     }
   in
   let call oid m args = ignore (Interp.call ~hooks ?max_steps store oid m args) in

@@ -48,6 +48,7 @@ val perform :
   scheme:Scheme.t ->
   store:Ast.body Store.t ->
   ctx:Scheme.ctx ->
+  ?mv:Scheme.mvcc_session ->
   ?on_read:(Oid.t -> Name.Field.t -> unit) ->
   ?on_write:(Oid.t -> Name.Field.t -> unit) ->
   ?on_update:(Oid.t -> Name.Field.t -> before:Value.t -> after:Value.t -> unit) ->
@@ -56,6 +57,14 @@ val perform :
   action ->
   unit
 (** Undo images are logged into [ctx.txn] before each write takes effect.
+
+    [mv], when given, routes field accesses through a multi-version
+    session: snapshot/optimistic sessions read via [ms_read] and have
+    writes offered to [ms_write] (absorbed writes skip the undo log, the
+    trace callbacks and the store mutation); pessimistic sessions keep the
+    in-place read path but still see writes via [ms_write] so the session
+    can publish versions at commit.  Versioned sessions refuse [new]
+    ([Invalid_argument]) — classification must exclude creating methods.
 
     [on_write] sees only the touched slot (the serializability oracle
     needs nothing more); [on_update] additionally carries the before- and

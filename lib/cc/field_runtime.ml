@@ -26,4 +26,5 @@ let scheme _an =
     on_extent = (fun _ _ ~deep:_ ~pred:_ _ -> ());
     on_some_of_domain = (fun _ _ _ -> ());
     locks_instances_on_extent = true;
+    mvcc = None;
   }

@@ -126,4 +126,5 @@ let scheme an =
     on_extent;
     on_some_of_domain;
     locks_instances_on_extent = false;
+    mvcc = None;
   }

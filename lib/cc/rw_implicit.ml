@@ -50,4 +50,5 @@ let scheme an =
       (fun ctx cls m ->
         if Schema.resolve schema cls m <> None then intents ctx cls (classify an cls m));
     locks_instances_on_extent = false;
+    mvcc = None;
   }

@@ -63,4 +63,5 @@ let scheme an =
         lock_extent an schema ctx cls ~deep ~pred m ~classify:Scheme.writes_transitively);
     on_some_of_domain = (fun ctx cls m -> lock_some an schema ctx cls m ~classify);
     locks_instances_on_extent = true;
+    mvcc = None;
   }

@@ -16,4 +16,5 @@ let scheme an =
       (fun ctx cls ~deep ~pred m -> Rw_instance.lock_extent an schema ctx cls ~deep ~pred m ~classify);
     on_some_of_domain = (fun ctx cls m -> Rw_instance.lock_some an schema ctx cls m ~classify);
     locks_instances_on_extent = false;
+    mvcc = None;
   }

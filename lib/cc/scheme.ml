@@ -4,6 +4,44 @@ open Tavcc_lock
 
 type ctx = { txn : Tavcc_txn.Txn.t; acquire : Lock_table.req -> unit }
 
+(* --- multi-version hooks (the mvcc-tav scheme) ---
+
+   The engines stay scheme-agnostic: when a scheme carries an [mvcc]
+   record they open a session per transaction attempt, route field
+   accesses through it (via the interpreter's value overrides) and drive
+   the two-step commit; with [mvcc = None] nothing changes. *)
+
+type txn_mode = Mv_pessimistic | Mv_snapshot | Mv_optimistic
+
+let mode_label = function
+  | Mv_pessimistic -> "pessimistic"
+  | Mv_snapshot -> "snapshot"
+  | Mv_optimistic -> "optimistic"
+
+exception Validation_failed
+
+type mvcc_session = {
+  ms_mode : txn_mode;
+  ms_snapshot : int;
+  ms_read : Oid.t -> Name.Field.t -> Value.t;
+  ms_write : Oid.t -> Name.Field.t -> before:Value.t -> Value.t -> bool;
+  ms_precommit : ctx -> write:(Oid.t -> Name.Field.t -> Value.t -> unit) -> unit;
+  ms_publish : unit -> int option;
+  ms_abort : unit -> unit;
+  ms_reads : unit -> (Oid.t * Name.Field.t * int) list;
+}
+
+type mvcc = {
+  mv_begin :
+    ctx ->
+    read:(Oid.t -> Name.Field.t -> Value.t) ->
+    class_of:(Oid.t -> Name.Class.t) ->
+    Action.t list ->
+    mvcc_session;
+  mv_run_begin : unit -> unit;
+  mv_dump : unit -> (Oid.t * Name.Field.t * (int * Value.t) list) list;
+}
+
 type t = {
   name : string;
   descr : string;
@@ -17,6 +55,7 @@ type t = {
     ctx -> Name.Class.t -> deep:bool -> pred:Tavcc_lock.Pred.t option -> Name.Method.t -> unit;
   on_some_of_domain : ctx -> Name.Class.t -> Name.Method.t -> unit;
   locks_instances_on_extent : bool;
+  mvcc : mvcc option;
 }
 
 let no_begin _ctx ~class_of:_ _actions = ()

@@ -29,6 +29,74 @@ type ctx = {
           while it waits *)
 }
 
+(** {2 Multi-version hooks}
+
+    A scheme that maintains a versioned store (the [mvcc-tav] scheme of
+    {!Tavcc_mvcc.Mvcc_tav}) exposes it through {!mvcc}; both engines open
+    an {!mvcc_session} per transaction attempt and drive its two-step
+    commit.  Schemes with [mvcc = None] are executed exactly as before. *)
+
+type txn_mode =
+  | Mv_pessimistic  (** plain strict-2PL locking; writes also publish versions *)
+  | Mv_snapshot
+      (** read-only: every field read resolves against the snapshot
+          timestamp, no locks are taken, the transaction cannot abort *)
+  | Mv_optimistic
+      (** reads from the snapshot, writes buffered; commit acquires the
+          deferred locks, validates the read/write set and publishes *)
+
+val mode_label : txn_mode -> string
+
+exception Validation_failed
+(** Raised by {!mvcc_session.ms_precommit} when optimistic validation
+    finds a version newer than the snapshot; the engines treat it like a
+    deadlock abort (undo, release, restart with backoff). *)
+
+type mvcc_session = {
+  ms_mode : txn_mode;
+  ms_snapshot : int;  (** commit timestamp the reads are consistent with *)
+  ms_read : Oid.t -> Name.Field.t -> Value.t;
+      (** versioned field read (snapshot/optimistic modes only); logs the
+          version read for the serializability oracle *)
+  ms_write : Oid.t -> Name.Field.t -> before:Value.t -> Value.t -> bool;
+      (** called {e before} a field write takes effect; [true] means the
+          session absorbed the write (buffered — skip the in-place store
+          write, undo log and history record), [false] means proceed
+          in-place (the session captured the base version) *)
+  ms_precommit : ctx -> write:(Oid.t -> Name.Field.t -> Value.t -> unit) -> unit;
+      (** optimistic: acquire the deferred locks through [ctx], validate,
+          and write the buffered values back through [write] (which must
+          undo-log and apply each); no-op for the other modes.
+          @raise Validation_failed when validation fails *)
+  ms_publish : unit -> int option;
+      (** point of no return: publish this transaction's versions and
+          close the snapshot; returns the commit timestamp when versions
+          were published.  Must not raise. *)
+  ms_abort : unit -> unit;
+      (** drop buffers, close the snapshot, feed the contention stats *)
+  ms_reads : unit -> (Oid.t * Name.Field.t * int) list;
+      (** the versioned reads performed: (oid, field, version timestamp),
+          recorded as {!Tavcc_txn.History.Snapshot_read} at commit *)
+}
+
+type mvcc = {
+  mv_begin :
+    ctx ->
+    read:(Oid.t -> Name.Field.t -> Value.t) ->
+    class_of:(Oid.t -> Name.Class.t) ->
+    Action.t list ->
+    mvcc_session;
+      (** classify the transaction's actions and open a session; [read]
+          is a live (locked-slot) field read the version store uses to
+          capture base versions lazily *)
+  mv_run_begin : unit -> unit;
+      (** reset run-scoped state (version chains, contention counters);
+          engines call it once at the start of a run *)
+  mv_dump : unit -> (Oid.t * Name.Field.t * (int * Value.t) list) list;
+      (** every version chain, newest first, as (commit ts, value) — the
+          chaos harness's coherence oracle *)
+}
+
 type t = {
   name : string;
   descr : string;
@@ -55,6 +123,8 @@ type t = {
   locks_instances_on_extent : bool;
       (** true when extent iteration must still lock each instance
           individually (schemes without hierarchical class locks) *)
+  mvcc : mvcc option;
+      (** multi-version hooks; [None] for the single-version schemes *)
 }
 
 val req :

@@ -52,4 +52,5 @@ let scheme an =
     on_some_of_domain =
       (fun ctx cls m -> lock_classes ctx ~hier:false (Schema.domain schema cls) m);
     locks_instances_on_extent = false;
+    mvcc = None;
   }

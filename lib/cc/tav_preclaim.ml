@@ -108,4 +108,5 @@ let scheme an =
     on_extent = (fun _ _ ~deep:_ ~pred:_ _ -> ());
     on_some_of_domain = (fun _ _ _ -> ());
     locks_instances_on_extent = false;
+    mvcc = None;
   }

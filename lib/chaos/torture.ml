@@ -39,7 +39,7 @@ let escalation_workload ?(levels = 3) ?(txns = 6) () =
 
 let slices_workload ?(methods = 4) ?(work = 2) ?(instances = 2) ?(txns = 6)
     ?(actions_per_txn = 2) ?(hot = 2) ?(seed = 7) () =
-  let schema = Workload.slice_schema ~methods ~work in
+  let schema = Workload.slice_schema ~methods ~work () in
   let build () =
     let store = Store.create schema in
     Workload.populate store ~per_class:instances;
@@ -50,6 +50,20 @@ let slices_workload ?(methods = 4) ?(work = 2) ?(instances = 2) ?(txns = 6)
     (store, jobs)
   in
   { w_name = "slices"; w_schema = schema; w_build = build; w_an = None }
+
+let mixed_slices_workload ?(methods = 4) ?(work = 2) ?(instances = 2) ?(txns = 8)
+    ?(actions_per_txn = 2) ?(hot = 2) ?(read_frac = 0.5) ?(seed = 7) () =
+  let schema = Workload.slice_schema ~readers:methods ~methods ~work () in
+  let build () =
+    let store = Store.create schema in
+    Workload.populate store ~per_class:instances;
+    let jobs =
+      Workload.mixed_slice_jobs (Rng.create seed) store ~txns ~actions_per_txn
+        ~hot_instances:hot ~read_frac
+    in
+    (store, jobs)
+  in
+  { w_name = "mixed-slices"; w_schema = schema; w_build = build; w_an = None }
 
 let random_workload ?(seed = 11) ?(txns = 5) ?(actions_per_txn = 3) ?(per_class = 2) () =
   let schema =
@@ -67,6 +81,16 @@ let random_workload ?(seed = 11) ?(txns = 5) ?(actions_per_txn = 3) ?(per_class 
   in
   { w_name = "random"; w_schema = schema; w_build = build; w_an = None }
 
+let mvcc_tav_scheme an =
+  (* Unbounded chains: the crash-prefix oracle reads historical versions. *)
+  Tavcc_mvcc.Mvcc_tav.scheme
+    ~config:
+      {
+        Tavcc_mvcc.Mvcc_tav.gc_keep = max_int;
+        contention = Tavcc_mvcc.Contention.default_cfg;
+      }
+    an
+
 let schemes =
   [
     ("tav", Tavcc_cc.Tav_modes.scheme);
@@ -76,6 +100,7 @@ let schemes =
     ("rw-impl", Tavcc_cc.Rw_implicit.scheme);
     ("field-rt", Tavcc_cc.Field_runtime.scheme);
     ("relational", Tavcc_cc.Relational.scheme);
+    ("mvcc-tav", mvcc_tav_scheme);
   ]
 
 (* --- canonical store dump --- *)
@@ -399,7 +424,8 @@ let run ?(policy = Engine.Detect) ?(yield_on_access = true) ?(crash_matrix = tru
   let config =
     { Engine.default_config with seed; yield_on_access; policy; hooks; metrics }
   in
-  let res = Engine.run ~config ~scheme:(scheme an) ~store ~jobs () in
+  let sch = scheme an in
+  let res = Engine.run ~config ~scheme:sch ~store ~jobs () in
   Wal.set_observer wal None;
   let serializable = Engine.serializable res in
   if not serializable then violation "history not conflict-serializable";
@@ -411,6 +437,49 @@ let run ?(policy = Engine.Detect) ?(yield_on_access = true) ?(crash_matrix = tru
   let mirror_dump = dump mstore in
   if engine_dump <> mirror_dump then
     violation "mirror store diverges from engine store after the run";
+  (* Oracles for versioned schemes: every chain's timestamps strictly
+     descend and its newest version equals the live slot (all committed
+     writers publish, so the head of each chain is the last committed
+     write). *)
+  let mv_chains =
+    match sch.Tavcc_cc.Scheme.mvcc with
+    | None -> None
+    | Some m -> Some (m.Tavcc_cc.Scheme.mv_dump ())
+  in
+  (match mv_chains with
+  | None -> ()
+  | Some chains ->
+      List.iter
+        (fun (oid, f, versions) ->
+          let rec descending = function
+            | (a, _) :: ((b, _) :: _ as rest) -> a > b && descending rest
+            | _ -> true
+          in
+          if not (descending versions) then
+            violation "version chain %d.%s: timestamps not strictly decreasing"
+              (Oid.to_int oid) (Name.Field.to_string f);
+          match versions with
+          | (_, v) :: _ ->
+              let lv = Store.read store oid f in
+              if not (Value.equal v lv) then
+                violation "version chain %d.%s: newest value %s, live slot holds %s"
+                  (Oid.to_int oid) (Name.Field.to_string f)
+                  (Format.asprintf "%a" Value.pp v)
+                  (Format.asprintf "%a" Value.pp lv)
+          | [] -> ())
+        chains);
+  (* Publish timestamps of committed transactions, for the crash-prefix
+     version oracle.  Only committed incarnations publish, and each id
+     commits once, so a flat scan suffices. *)
+  let publish_ts = Hashtbl.create 16 in
+  (match mv_chains with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (function
+          | Tavcc_txn.History.Publish (t, ts) -> Hashtbl.replace publish_ts t ts
+          | _ -> ())
+        (Tavcc_txn.History.ops res.Engine.history));
   (* Oracle: recovering from the full (forced) log reproduces the final
      state. *)
   Wal.flush wal;
@@ -425,21 +494,57 @@ let run ?(policy = Engine.Detect) ?(yield_on_access = true) ?(crash_matrix = tru
   (* The crash matrix: recover from every record prefix (or only the
      plan's requested images) and compare against committed-prefix
      replay. *)
-  let truth_dump k =
+  let truth_store k =
     let expect, _ = workload.w_build () in
     committed_replay expect (take_first k full_log);
-    dump expect
+    expect
   in
+  let truth_dump k = dump (truth_store k) in
   let crash_points = ref 0 in
   let check_prefix k =
     incr crash_points;
     tick "chaos.crash_points" 1;
     tick "chaos.recoveries" 1;
     try
+      let truth = truth_store k in
       let rs, _ = workload.w_build () in
       Restart.recover rs snap (take_first k full_log);
-      if dump rs <> truth_dump k then
-        violation "crash at lsn %d: recovery diverges from committed-prefix replay" k
+      if dump rs <> dump truth then
+        violation "crash at lsn %d: recovery diverges from committed-prefix replay" k;
+      (* Versioned schemes: the snapshot at the prefix's highest committed
+         publish timestamp must equal the committed-prefix replay — the
+         version store can serve any crash point as a consistent
+         snapshot.  Publish order matches WAL commit order (both happen
+         in the same atomic commit step), so the prefix's committed set
+         is exactly the set of publishers at or below [ts_k]. *)
+      match mv_chains with
+      | None -> ()
+      | Some chains ->
+          let ts_k =
+            List.fold_left
+              (fun acc (r : Wal.record) ->
+                match r with
+                | Wal.Commit t -> (
+                    match Hashtbl.find_opt publish_ts t with
+                    | Some ts -> max acc ts
+                    | None -> acc)
+                | _ -> acc)
+              0 (take_first k full_log)
+          in
+          List.iter
+            (fun (oid, f, versions) ->
+              match List.find_opt (fun (ts, _) -> ts <= ts_k) versions with
+              | None -> ()
+              | Some (_, v) ->
+                  let tv = Store.read truth oid f in
+                  if not (Value.equal v tv) then
+                    violation
+                      "crash at lsn %d: version of %d.%s visible at ts %d is %s, \
+                       committed-prefix replay holds %s"
+                      k (Oid.to_int oid) (Name.Field.to_string f) ts_k
+                      (Format.asprintf "%a" Value.pp v)
+                      (Format.asprintf "%a" Value.pp tv))
+            chains
     with e -> violation "crash at lsn %d: recovery raised %s" k (Printexc.to_string e)
   in
   let n = List.length full_log in

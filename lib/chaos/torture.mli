@@ -18,7 +18,13 @@
       equals replaying exactly the committed-transaction prefix of those
       records, in commit order, over the initial state;
     - every torn-tail cut decodes to the longest whole-record prefix and
-      recovers to that prefix's committed state.
+      recovers to that prefix's committed state;
+    - under a versioned scheme ([mvcc-tav]), every chain's timestamps
+      strictly descend, its newest version equals the final live slot,
+      and at every crash point the version visible at the prefix's
+      highest committed publish timestamp equals the committed-prefix
+      replay — the version store serves any crash point as a consistent
+      snapshot.
 
     Violations are collected, not raised; {!ok} folds them up. *)
 
@@ -49,13 +55,22 @@ val slices_workload :
 (** The E16 sliced-field grid: disjoint under field modes, fully
     contended under instance modes. *)
 
+val mixed_slices_workload :
+  ?methods:int -> ?work:int -> ?instances:int -> ?txns:int ->
+  ?actions_per_txn:int -> ?hot:int -> ?read_frac:float -> ?seed:int -> unit -> workload
+(** The sliced grid with reader methods: with probability [read_frac]
+    (default 0.5) a transaction is whole-transaction read-only —
+    snapshot-eligible under [mvcc-tav], a plain reader elsewhere. *)
+
 val random_workload :
   ?seed:int -> ?txns:int -> ?actions_per_txn:int -> ?per_class:int -> unit -> workload
 (** A generated schema with random single-instance and extent calls. *)
 
 val schemes : (string * (Tavcc_core.Analysis.t -> Tavcc_cc.Scheme.t)) list
 (** Every concurrency-control scheme under test, by CLI name — the same
-    seven the [oosim] comparisons run. *)
+    eight the [oosim] comparisons run.  [mvcc-tav] is built with
+    unbounded version chains so the crash-prefix oracle can read
+    historical versions. *)
 
 type report = {
   r_workload : string;

@@ -9,6 +9,8 @@ type hooks = {
   h_read : Oid.t -> CN.t -> FN.t -> unit;
   h_write : Oid.t -> CN.t -> FN.t -> old:Value.t -> Value.t -> unit;
   h_new : Oid.t -> CN.t -> unit;
+  h_read_value : (Oid.t -> CN.t -> FN.t -> Value.t) option;
+  h_write_value : (Oid.t -> CN.t -> FN.t -> old:Value.t -> Value.t -> bool) option;
 }
 
 let no_hooks =
@@ -18,6 +20,8 @@ let no_hooks =
     h_read = (fun _ _ _ -> ());
     h_write = (fun _ _ _ ~old:_ _ -> ());
     h_new = (fun _ _ -> ());
+    h_read_value = None;
+    h_write_value = None;
   }
 
 exception Runtime_error of string
@@ -62,7 +66,9 @@ let rec eval env frame e =
               if Schema.field_index schema frame.cls f = None then
                 error "unknown identifier '%s' in class %a" x CN.pp frame.cls;
               env.hooks.h_read frame.self frame.cls f;
-              Store.read env.store frame.self f))
+              (match env.hooks.h_read_value with
+              | Some rv -> rv frame.self frame.cls f
+              | None -> Store.read env.store frame.self f)))
   | Ast.Unop (op, e1) -> eval_unop op (eval env frame e1)
   | Ast.Binop (Ast.And, l, r) ->
       if Value.truthy (eval env frame l) then
@@ -182,9 +188,20 @@ and exec_stmt env frame s =
           let schema = Store.schema env.store in
           if Schema.field_index schema frame.cls f = None then
             error "assignment to unknown identifier '%s' in class %a" x CN.pp frame.cls;
-          let old = Store.read env.store frame.self f in
-          env.hooks.h_write frame.self frame.cls f ~old v;
-          Store.write env.store frame.self f v)
+          let old =
+            match env.hooks.h_read_value with
+            | Some rv -> rv frame.self frame.cls f
+            | None -> Store.read env.store frame.self f
+          in
+          let absorbed =
+            match env.hooks.h_write_value with
+            | Some wv -> wv frame.self frame.cls f ~old v
+            | None -> false
+          in
+          if not absorbed then begin
+            env.hooks.h_write frame.self frame.cls f ~old v;
+            Store.write env.store frame.self f v
+          end)
   | Ast.Var (x, e) ->
       let v = eval env frame e in
       frame.locals <- (x, ref v) :: frame.locals

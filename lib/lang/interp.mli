@@ -19,6 +19,17 @@ type hooks = {
   h_read : Oid.t -> Name.Class.t -> Name.Field.t -> unit;
   h_write : Oid.t -> Name.Class.t -> Name.Field.t -> old:Value.t -> Value.t -> unit;
   h_new : Oid.t -> Name.Class.t -> unit;
+  h_read_value : (Oid.t -> Name.Class.t -> Name.Field.t -> Value.t) option;
+      (** when set, replaces {!Store.read} as the source of field values —
+          both for [Ident] reads and for the old-image of an assignment.
+          The multi-version executor resolves reads against a snapshot
+          here.  [h_read] still fires first. *)
+  h_write_value :
+    (Oid.t -> Name.Class.t -> Name.Field.t -> old:Value.t -> Value.t -> bool) option;
+      (** when set, consulted before an assignment takes effect; returning
+          [true] absorbs the write (the store is {e not} mutated and
+          [h_write] does {e not} fire) — the optimistic executor buffers
+          the value instead.  Returning [false] proceeds as usual. *)
 }
 
 val no_hooks : hooks

@@ -174,8 +174,15 @@ let remove_edge t a b =
             end)
 
 (* The edge contributions of one entry, with multiplicity: a waiting
-   request waits for every conflicting granted request and every
-   conflicting request queued ahead of it. *)
+   request waits for every conflicting granted request and for EVERY
+   request queued ahead of it — conflicting or not.  The second half is
+   not optional: [drain] grants strictly in queue order and stops at the
+   first blocked request, so a queued request really does wait on
+   everything ahead of it.  Modelling only the conflicting subset made
+   deadlocks invisible whenever compatible requests interleave in a
+   queue (two TAV slice writers queued behind each other's conflicts
+   form a cycle with no conflict edge between them), and the detector
+   slept through a genuine four-party hang. *)
 let entry_edges t e =
   let acc = ref [] in
   let rec go ahead = function
@@ -188,7 +195,7 @@ let entry_edges t e =
           e.granted;
         List.iter
           (fun a ->
-            if a.w_req.r_txn <> w.w_req.r_txn && t.conflict a.w_req w.w_req then
+            if a.w_req.r_txn <> w.w_req.r_txn then
               acc := (w.w_req.r_txn, a.w_req.r_txn) :: !acc)
           ahead;
         go (w :: ahead) rest
@@ -228,15 +235,13 @@ let observe_enqueue t e ~conv =
       Tavcc_obs.Metrics.incr (if conv then o.m_wait_conv else o.m_wait_plain)
 
 (* Appends a non-conversion wait: edges run from the new request to every
-   conflicting holder and every conflicting queued request (all ahead). *)
+   conflicting holder and every queued request (all ahead, FIFO). *)
 let enqueue_last t e req =
   List.iter
     (fun h -> if h.r_txn <> req.r_txn && t.conflict h req then add_edge t req.r_txn h.r_txn)
     e.granted;
   List.iter
-    (fun a ->
-      if a.w_req.r_txn <> req.r_txn && t.conflict a.w_req req then
-        add_edge t req.r_txn a.w_req.r_txn)
+    (fun a -> if a.w_req.r_txn <> req.r_txn then add_edge t req.r_txn a.w_req.r_txn)
     e.queue;
   e.queue <- e.queue @ [ { w_req = req; w_conv = false; w_at = t.clock () } ];
   note_queued t req.r_txn req.r_res;
@@ -255,14 +260,10 @@ let enqueue_conversion t e req =
     (fun h -> if h.r_txn <> req.r_txn && t.conflict h req then add_edge t req.r_txn h.r_txn)
     e.granted;
   List.iter
-    (fun a ->
-      if a.w_req.r_txn <> req.r_txn && t.conflict a.w_req req then
-        add_edge t req.r_txn a.w_req.r_txn)
+    (fun a -> if a.w_req.r_txn <> req.r_txn then add_edge t req.r_txn a.w_req.r_txn)
     pre;
   List.iter
-    (fun b ->
-      if b.w_req.r_txn <> req.r_txn && t.conflict req b.w_req then
-        add_edge t b.w_req.r_txn req.r_txn)
+    (fun b -> if b.w_req.r_txn <> req.r_txn then add_edge t b.w_req.r_txn req.r_txn)
     post;
   e.queue <- pre @ ({ w_req = req; w_conv = true; w_at = t.clock () } :: post);
   note_queued t req.r_txn req.r_res;
@@ -416,6 +417,13 @@ let blockers t req =
       let held =
         List.filter (fun h -> h.r_txn <> req.r_txn && t.conflict h req) e.granted
       in
+      (* Only *conflicting* queued-ahead requests count here, even though
+         grants are strict FIFO and a compatible request ahead delays this
+         one too (see [entry_edges]).  [blockers] feeds wound-wait and
+         wait-die; wounding compatible-ahead waiters turns ordinary queue
+         depth into restart storms (livelock on hot instances).  A cycle
+         closed only by FIFO order is instead resolved by the detector,
+         whose waits-for graph does carry the FIFO edges. *)
       let rec ahead acc = function
         | [] -> List.rev acc
         | q :: _ when q.w_req.r_txn = req.r_txn && same_req q.w_req req -> List.rev acc

@@ -121,14 +121,21 @@ val conflicting_holders : t -> req -> req list
 
 val blockers : t -> req -> req list
 (** The requests a queued [req] is waiting behind: conflicting granted
-    requests plus conflicting requests queued ahead of it.  Used by the
-    deadlock-prevention policies to decide whom to wound or whether to
-    die. *)
+    requests plus the {e conflicting} requests queued ahead of it.  Used by
+    the deadlock-prevention policies to decide whom to wound or whether to
+    die — deliberately narrower than [waits_for_edges], which also carries
+    the strict-FIFO queue-order edges: wounding a compatible-ahead waiter
+    turns queue depth into restart storms, while a cycle closed only by
+    FIFO order is the detector's job to break. *)
 
 val waits_for_edges : t -> (txn_id * txn_id) list
 (** The waits-for graph: an edge [(a, b)] when [a] is queued behind a
-    conflicting request granted to (or queued ahead by) [b].  Read from the
-    incrementally maintained adjacency; deduplicated and sorted. *)
+    conflicting request granted to [b], or behind {e any} request of [b]
+    queued ahead of it (strict FIFO: the queue position blocks whether or
+    not the modes conflict — omitting those edges hid real deadlocks
+    between compatible slice writers queued behind each other's
+    conflicts).  Read from the incrementally maintained adjacency;
+    deduplicated and sorted. *)
 
 val waits_for_edges_rebuild : t -> (txn_id * txn_id) list
 (** Reference implementation of {!waits_for_edges}: rebuilds the edge list

@@ -1,0 +1,118 @@
+open Tavcc_model
+module Metrics = Tavcc_obs.Metrics
+
+type cfg = { enabled : bool; window : int; flip_up_aborts : int; flip_down_fails : int }
+
+let default_cfg = { enabled = true; window = 128; flip_up_aborts = 3; flip_down_fails = 3 }
+
+type cell = {
+  mutable la : int;  (* lock-mode aborts *)
+  mutable lc : int;  (* lock-mode commits *)
+  mutable oc : int;  (* optimistic commits *)
+  mutable ofl : int;  (* optimistic validation failures *)
+  mutable opt : bool;
+}
+
+type t = {
+  cfg : cfg;
+  mu : Mutex.t;
+  cells : (int, cell) Hashtbl.t;
+  mutable notes : int;
+  mutable n_opt : int;
+  m_to_occ : Metrics.counter option;
+  m_to_lock : Metrics.counter option;
+  m_opt : Metrics.gauge option;
+}
+
+let create ?metrics cfg =
+  let m f = Option.map f metrics in
+  {
+    cfg;
+    mu = Mutex.create ();
+    cells = Hashtbl.create 64;
+    notes = 0;
+    n_opt = 0;
+    m_to_occ = m (fun r -> Metrics.counter r "mvcc.flips_to_occ");
+    m_to_lock = m (fun r -> Metrics.counter r "mvcc.flips_to_lock");
+    m_opt = m (fun r -> Metrics.gauge r "mvcc.optimistic_objects");
+  }
+
+let with_mu mu f =
+  Mutex.lock mu;
+  match f () with
+  | r ->
+      Mutex.unlock mu;
+      r
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
+let reset t =
+  with_mu t.mu (fun () ->
+      Hashtbl.reset t.cells;
+      t.notes <- 0;
+      t.n_opt <- 0);
+  Option.iter (fun g -> Metrics.set g 0) t.m_opt
+
+let cell t oid =
+  let k = Oid.to_int oid in
+  match Hashtbl.find_opt t.cells k with
+  | Some c -> c
+  | None ->
+      let c = { la = 0; lc = 0; oc = 0; ofl = 0; opt = false } in
+      Hashtbl.add t.cells k c;
+      c
+
+(* mutex held *)
+let decay t =
+  t.notes <- t.notes + 1;
+  if t.cfg.window > 0 && t.notes mod t.cfg.window = 0 then
+    Hashtbl.iter
+      (fun _ c ->
+        c.la <- c.la / 2;
+        c.lc <- c.lc / 2;
+        c.oc <- c.oc / 2;
+        c.ofl <- c.ofl / 2)
+      t.cells
+
+let note t oid f =
+  if t.cfg.enabled then begin
+    with_mu t.mu (fun () ->
+        decay t;
+        f (cell t oid));
+    Option.iter (fun g -> Metrics.set g t.n_opt) t.m_opt
+  end
+
+let note_lock_abort t oid =
+  note t oid (fun c ->
+      c.la <- c.la + 1;
+      if (not c.opt) && c.la >= t.cfg.flip_up_aborts then begin
+        c.opt <- true;
+        c.la <- 0;
+        c.ofl <- 0;
+        t.n_opt <- t.n_opt + 1;
+        Option.iter Metrics.incr t.m_to_occ
+      end)
+
+let note_lock_commit t oid = note t oid (fun c -> c.lc <- c.lc + 1)
+let note_occ_commit t oid = note t oid (fun c -> c.oc <- c.oc + 1)
+
+let note_occ_failure t oid =
+  note t oid (fun c ->
+      c.ofl <- c.ofl + 1;
+      if c.opt && c.ofl >= t.cfg.flip_down_fails then begin
+        c.opt <- false;
+        c.ofl <- 0;
+        c.la <- 0;
+        t.n_opt <- t.n_opt - 1;
+        Option.iter Metrics.incr t.m_to_lock
+      end)
+
+let optimistic t oid =
+  t.cfg.enabled
+  && with_mu t.mu (fun () ->
+         match Hashtbl.find_opt t.cells (Oid.to_int oid) with
+         | Some c -> c.opt
+         | None -> false)
+
+let optimistic_objects t = with_mu t.mu (fun () -> t.n_opt)

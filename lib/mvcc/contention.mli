@@ -1,0 +1,40 @@
+(** Adaptive per-object concurrency-control selection.
+
+    Following Thomasian's heterogeneous data-access model (arXiv
+    2404.02276), each object carries windowed counters of how transactions
+    rooted at it fared under each regime: lock-mode commits and aborts
+    (deadlock or wound restarts), optimistic commits and validation
+    failures.  An object flips to {e optimistic} once lock aborts reach a
+    threshold — its update transactions then defer their locks and
+    validate at commit, so a hot reader-heavy object stops feeding the
+    deadlock detector — and flips back to {e pessimistic} once validation
+    failures show the optimism was misplaced.
+
+    Counters halve every [window] notes, so old behaviour ages out and an
+    object can flip repeatedly as the workload shifts. *)
+
+open Tavcc_model
+
+type cfg = {
+  enabled : bool;
+  window : int;  (** notes between decay steps *)
+  flip_up_aborts : int;  (** lock aborts (within the window) that flip an object optimistic *)
+  flip_down_fails : int;  (** validation failures that flip it back *)
+}
+
+val default_cfg : cfg
+
+type t
+
+val create : ?metrics:Tavcc_obs.Metrics.t -> cfg -> t
+val reset : t -> unit
+
+val optimistic : t -> Oid.t -> bool
+(** Current regime choice for the object; always false when disabled. *)
+
+val note_lock_abort : t -> Oid.t -> unit
+val note_lock_commit : t -> Oid.t -> unit
+val note_occ_commit : t -> Oid.t -> unit
+val note_occ_failure : t -> Oid.t -> unit
+
+val optimistic_objects : t -> int

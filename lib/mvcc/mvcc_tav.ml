@@ -1,0 +1,310 @@
+open Tavcc_model
+open Tavcc_lang
+open Tavcc_core
+open Tavcc_lock
+open Tavcc_cc
+
+type config = { gc_keep : int; contention : Contention.cfg }
+
+let default_config = { gc_keep = 8; contention = Contention.default_cfg }
+
+type handle = {
+  h_scheme : Scheme.t;
+  h_vstore : Version_store.t;
+  h_contention : Contention.t;
+}
+
+let with_mu mu f =
+  Mutex.lock mu;
+  match f () with
+  | r ->
+      Mutex.unlock mu;
+      r
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
+(* --- snapshot eligibility ---
+
+   A transaction may run lock-free on a snapshot only if nothing it can
+   transitively execute writes a field, creates an instance, or sends to a
+   statically unknown receiver.  TAV already closes field writes over the
+   self-call closure; the classifier re-walks that closure for the other
+   two conditions and recurses across statically-known cross-class sends,
+   widened to the receiver's whole domain (the run-time receiver may be of
+   any subclass).  Cycles in the cross-send graph are classified
+   pessimistically — the memo must not record optimistic assumptions. *)
+
+let classifier an =
+  let schema = Analysis.schema an in
+  let ex = Analysis.extraction an in
+  let memo : (string * string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let in_progress : (string * string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let skey c m = (Name.Class.to_string c, Name.Method.to_string m) in
+  let creates body =
+    Ast.fold_exprs (fun acc e -> acc || match e with Ast.New _ -> true | _ -> false) false body
+  in
+  (* the (extraction-key, method) pairs whose defining sites execute when
+     [m] runs on an instance of proper class [root]: simple self-sends
+     re-resolve from [root], prefixed ones from the named ancestor *)
+  let closure_sites root m =
+    let seen = Hashtbl.create 8 in
+    let rec go qcls m =
+      if Schema.resolve_from schema qcls m <> None && not (Hashtbl.mem seen (skey qcls m))
+      then begin
+        Hashtbl.replace seen (skey qcls m) (qcls, m);
+        Name.Method.Set.iter (fun m' -> go root m') (Extraction.dsc ex qcls m);
+        Site.Set.iter (fun (c', m') -> go c' m') (Extraction.psc ex qcls m)
+      end
+    in
+    go root m;
+    Hashtbl.fold (fun _ site acc -> site :: acc) seen []
+  in
+  let rec read_only root m =
+    let k = skey root m in
+    match Hashtbl.find_opt memo k with
+    | Some r -> r
+    | None ->
+        if Hashtbl.mem in_progress k then false
+        else begin
+          Hashtbl.replace in_progress k ();
+          let site_ok (qcls, m') =
+            (not (Extraction.has_dynamic_sends ex qcls m'))
+            && (match Schema.resolve_from schema qcls m' with
+               | Some (_, md) -> not (creates md.Schema.m_body)
+               | None -> true)
+            && List.for_all
+                 (fun (c'', m'') ->
+                   List.for_all
+                     (fun d -> Schema.resolve schema d m'' = None || read_only d m'')
+                     (Schema.domain schema c''))
+                 (Extraction.cross_sends ex qcls m')
+          in
+          let r =
+            Schema.resolve_from schema root m <> None
+            && (not (Scheme.writes_transitively an root m))
+            && List.for_all site_ok (closure_sites root m)
+          in
+          Hashtbl.remove in_progress k;
+          (* a [false] propagated out of a cycle may be over-conservative
+             for this particular root; only cache cycle-free verdicts *)
+          if Hashtbl.length in_progress = 0 || r then Hashtbl.replace memo k r;
+          r
+        end
+  in
+  read_only
+
+let read_only_method an cls m = (classifier an) cls m
+
+(* --- per-attempt session state --- *)
+
+type session_state = {
+  st_mode : Scheme.txn_mode;
+  st_snapshot : int;  (* meaningful for snapshot/optimistic modes *)
+  st_roots : Oid.t list;
+  st_reads : (int * string, Oid.t * Name.Field.t * int) Hashtbl.t;
+  st_buf : (int * string, Value.t) Hashtbl.t;  (* optimistic write buffer *)
+  mutable st_buf_order : (Oid.t * Name.Field.t) list;  (* first-write order, reversed *)
+  mutable st_deferred : Lock_table.req list;  (* optimistic: reversed acquisition order *)
+  st_wseen : (int * string, unit) Hashtbl.t;
+  mutable st_wkeys : (Oid.t * Name.Field.t) list;  (* pessimistic write set, reversed *)
+  mutable st_published : int option;
+  mutable st_closed : bool;
+}
+
+let key oid f = (Oid.to_int oid, Name.Field.to_string f)
+
+let make ?(config = default_config) ?metrics an =
+  let tav = Tav_modes.scheme an in
+  let vstore = Version_store.create ~gc_keep:config.gc_keep ?metrics () in
+  let ctl = Contention.create ?metrics config.contention in
+  let read_only = classifier an in
+  let smu = Mutex.create () in
+  let sessions : (int, session_state) Hashtbl.t = Hashtbl.create 64 in
+  let session_of ctx =
+    with_mu smu (fun () -> Hashtbl.find_opt sessions ctx.Scheme.txn.Tavcc_txn.Txn.id)
+  in
+  let on_top_send ctx oid cls m =
+    match session_of ctx with
+    | Some st when st.st_mode = Scheme.Mv_snapshot -> ()
+    | Some st when st.st_mode = Scheme.Mv_optimistic ->
+        (* record exactly the requests tav would issue; acquired at commit *)
+        tav.Scheme.on_top_send
+          { ctx with Scheme.acquire = (fun r -> st.st_deferred <- r :: st.st_deferred) }
+          oid cls m
+    | _ -> tav.Scheme.on_top_send ctx oid cls m
+  in
+  let mv_begin ctx ~read ~class_of actions =
+    let id = ctx.Scheme.txn.Tavcc_txn.Txn.id in
+    let roots = List.filter_map (function Action.Call (o, _, _) -> Some o | _ -> None) actions in
+    let mode =
+      let simple = List.for_all (function Action.Call _ -> true | _ -> false) actions in
+      if simple && actions <> []
+         && List.for_all
+              (function Action.Call (o, m, _) -> read_only (class_of o) m | _ -> false)
+              actions
+      then Scheme.Mv_snapshot
+      else if
+        simple && roots <> [] && config.contention.enabled
+        && List.for_all (Contention.optimistic ctl) roots
+      then Scheme.Mv_optimistic
+      else Scheme.Mv_pessimistic
+    in
+    let snapshot =
+      match mode with
+      | Scheme.Mv_snapshot | Scheme.Mv_optimistic -> Version_store.begin_snapshot vstore
+      | Scheme.Mv_pessimistic -> 0
+    in
+    let st =
+      {
+        st_mode = mode;
+        st_snapshot = snapshot;
+        st_roots = roots;
+        st_reads = Hashtbl.create 16;
+        st_buf = Hashtbl.create 16;
+        st_buf_order = [];
+        st_deferred = [];
+        st_wseen = Hashtbl.create 16;
+        st_wkeys = [];
+        st_published = None;
+        st_closed = false;
+      }
+    in
+    with_mu smu (fun () -> Hashtbl.replace sessions id st);
+    let close () =
+      if not st.st_closed then begin
+        st.st_closed <- true;
+        (match st.st_mode with
+        | Scheme.Mv_snapshot | Scheme.Mv_optimistic ->
+            Version_store.end_snapshot vstore st.st_snapshot
+        | Scheme.Mv_pessimistic -> ());
+        with_mu smu (fun () -> Hashtbl.remove sessions id)
+      end
+    in
+    let ms_read oid f =
+      match Hashtbl.find_opt st.st_buf (key oid f) with
+      | Some v -> v  (* read-own-write: served from the buffer, not logged *)
+      | None ->
+          let vts, v = Version_store.read_at vstore oid f ~ts:st.st_snapshot ~live:read in
+          let k = key oid f in
+          if not (Hashtbl.mem st.st_reads k) then Hashtbl.replace st.st_reads k (oid, f, vts);
+          v
+    in
+    let ms_write oid f ~before v =
+      match st.st_mode with
+      | Scheme.Mv_pessimistic ->
+          (* first write of the run to this slot freezes the pre-run value
+             as the base version, under the slot's bucket mutex, before
+             the in-place store write happens *)
+          Version_store.capture_base vstore oid f ~live:(fun _ _ -> before);
+          let k = key oid f in
+          if not (Hashtbl.mem st.st_wseen k) then begin
+            Hashtbl.replace st.st_wseen k ();
+            st.st_wkeys <- (oid, f) :: st.st_wkeys
+          end;
+          false
+      | Scheme.Mv_optimistic ->
+          let k = key oid f in
+          if not (Hashtbl.mem st.st_buf k) then st.st_buf_order <- (oid, f) :: st.st_buf_order;
+          Hashtbl.replace st.st_buf k v;
+          true
+      | Scheme.Mv_snapshot ->
+          invalid_arg "mvcc-tav: field write in a snapshot-classified transaction"
+    in
+    let ms_precommit ctx ~write =
+      match st.st_mode with
+      | Scheme.Mv_pessimistic | Scheme.Mv_snapshot -> ()
+      | Scheme.Mv_optimistic ->
+          let writes =
+            List.rev_map (fun (o, f) -> (o, f, Hashtbl.find st.st_buf (key o f))) st.st_buf_order
+          in
+          if writes <> [] then begin
+            (* acquire the deferred TAV locks (first-need order, deduped);
+               a conflict here queues or aborts exactly like an eager one *)
+            let acquired = ref [] in
+            List.iter
+              (fun (r : Lock_table.req) ->
+                let same (h : Lock_table.req) =
+                  h.Lock_table.r_res = r.Lock_table.r_res
+                  && h.r_mode = r.r_mode && h.r_hier = r.r_hier && h.r_pred = r.r_pred
+                in
+                if not (List.exists same !acquired) then begin
+                  ctx.Scheme.acquire r;
+                  acquired := r :: !acquired
+                end)
+              (List.rev st.st_deferred);
+            let validate () =
+              Hashtbl.fold
+                (fun _ (o, f, _) ok ->
+                  ok && Version_store.latest_ts vstore o f <= st.st_snapshot)
+                st.st_reads true
+            in
+            let on_ok () =
+              List.iter
+                (fun (o, f, v) ->
+                  Version_store.capture_base vstore o f ~live:read;
+                  write o f v)
+                writes
+            in
+            match Version_store.publish ~validate ~on_ok vstore writes with
+            | Some ts -> st.st_published <- Some ts
+            | None ->
+                List.iter (Contention.note_occ_failure ctl) st.st_roots;
+                raise Scheme.Validation_failed
+          end
+    in
+    let ms_publish () =
+      match st.st_mode with
+      | Scheme.Mv_snapshot ->
+          close ();
+          None
+      | Scheme.Mv_optimistic ->
+          List.iter (Contention.note_occ_commit ctl) st.st_roots;
+          close ();
+          st.st_published
+      | Scheme.Mv_pessimistic ->
+          (* final values of the written slots, read in place while the
+             strict-2PL locks are still held *)
+          let writes = List.rev_map (fun (o, f) -> (o, f, read o f)) st.st_wkeys in
+          let ts = if writes = [] then None else Version_store.publish vstore writes in
+          List.iter (Contention.note_lock_commit ctl) st.st_roots;
+          close ();
+          ts
+    in
+    let ms_abort () =
+      if not st.st_closed then begin
+        (match st.st_mode with
+        | Scheme.Mv_pessimistic -> List.iter (Contention.note_lock_abort ctl) st.st_roots
+        | Scheme.Mv_optimistic | Scheme.Mv_snapshot -> ());
+        close ()
+      end
+    in
+    let ms_reads () = Hashtbl.fold (fun _ r acc -> r :: acc) st.st_reads [] in
+    {
+      Scheme.ms_mode = mode;
+      ms_snapshot = snapshot;
+      ms_read;
+      ms_write;
+      ms_precommit;
+      ms_publish;
+      ms_abort;
+      ms_reads;
+    }
+  in
+  let mv_run_begin () =
+    Version_store.reset vstore;
+    Contention.reset ctl;
+    with_mu smu (fun () -> Hashtbl.reset sessions)
+  in
+  let scheme =
+    {
+      tav with
+      Scheme.name = "mvcc-tav";
+      descr = "TAV locks for writers, versioned snapshots for readers, adaptive optimism";
+      on_top_send;
+      mvcc = Some { Scheme.mv_begin; mv_run_begin; mv_dump = (fun () -> Version_store.dump vstore) };
+    }
+  in
+  { h_scheme = scheme; h_vstore = vstore; h_contention = ctl }
+
+let scheme ?config ?metrics an = (make ?config ?metrics an).h_scheme

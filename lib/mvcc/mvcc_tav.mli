@@ -1,0 +1,54 @@
+(** The [mvcc-tav] scheme: TAV field-mode locking for writers, versioned
+    snapshots for readers, adaptive optimism for hot objects.
+
+    Transactions are classified per attempt from their action list:
+
+    - {b snapshot} — every action is a plain call to a method whose whole
+      transitive closure is write-free, creation-free and free of
+      dynamically-dispatched sends.  The transaction takes {e no locks}:
+      it registers a snapshot timestamp and resolves every field read
+      against the version chains.  It cannot deadlock and cannot abort.
+    - {b optimistic} — an updater whose root objects the {!Contention}
+      controller currently flags as hot: the locks the TAV scheme would
+      take are deferred to commit, writes are buffered, and commit
+      validates the read set against the version clock before writing
+      back and publishing (first conflict loses and restarts).
+    - {b pessimistic} — everything else (including any transaction using
+      extent or domain actions, which need hierarchical class locks):
+      plain TAV strict-2PL, unchanged, except committed writes also
+      publish versions so concurrent snapshots stay consistent.
+
+    The lock table sees exactly the requests {!Tav_modes.scheme} would
+    issue — conflict relation included — so both engines run this scheme
+    through the same machinery as every other. *)
+
+open Tavcc_model
+open Tavcc_core
+open Tavcc_cc
+
+type config = {
+  gc_keep : int;  (** version-chain GC bound, see {!Version_store.create} *)
+  contention : Contention.cfg;
+}
+
+val default_config : config
+
+type handle = {
+  h_scheme : Scheme.t;
+  h_vstore : Version_store.t;
+  h_contention : Contention.t;
+}
+
+val make : ?config:config -> ?metrics:Tavcc_obs.Metrics.t -> Analysis.t -> handle
+(** Build the scheme plus introspection handles on its run-scoped state
+    (tests and the chaos harness read the version chains directly). *)
+
+val scheme : ?config:config -> ?metrics:Tavcc_obs.Metrics.t -> Analysis.t -> Scheme.t
+(** [make] without the handles. *)
+
+val read_only_method : Analysis.t -> Name.Class.t -> Name.Method.t -> bool
+(** The snapshot-eligibility classifier: true when calling the method can
+    neither write a field, create an instance, nor reach a
+    dynamically-dispatched send, over its whole transitive closure
+    (self-calls resolved as at run time, cross-class sends widened to the
+    receiver's domain).  Exposed for tests. *)

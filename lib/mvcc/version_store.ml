@@ -1,0 +1,215 @@
+open Tavcc_model
+module Metrics = Tavcc_obs.Metrics
+
+type version = { v_ts : int; v_value : Value.t }
+
+type chain = {
+  c_oid : Oid.t;
+  c_field : Name.Field.t;
+  mutable c_versions : version list;  (* newest first; never empty once created *)
+}
+
+type bucket = { b_mu : Mutex.t; b_chains : (int * string, chain) Hashtbl.t }
+
+type t = {
+  commit_mu : Mutex.t;
+  mutable clock : int;  (* guarded by commit_mu *)
+  snapshots : (int, int ref) Hashtbl.t;  (* ts -> refcount; guarded by commit_mu *)
+  buckets : bucket array;
+  gc_keep : int;
+  n_versions : int Atomic.t;
+  m_versions : Metrics.gauge option;
+  m_snapshots : Metrics.gauge option;
+  m_opened : Metrics.counter option;
+  m_published : Metrics.counter option;
+  m_pruned : Metrics.counter option;
+  m_vfail : Metrics.counter option;
+}
+
+let n_buckets = 16
+
+let create ?(gc_keep = 8) ?metrics () =
+  let m f = Option.map f metrics in
+  {
+    commit_mu = Mutex.create ();
+    clock = 0;
+    snapshots = Hashtbl.create 16;
+    buckets =
+      Array.init n_buckets (fun _ -> { b_mu = Mutex.create (); b_chains = Hashtbl.create 64 });
+    gc_keep = (if gc_keep < 1 then 1 else gc_keep);
+    n_versions = Atomic.make 0;
+    m_versions = m (fun r -> Metrics.gauge r "mvcc.versions");
+    m_snapshots = m (fun r -> Metrics.gauge r "mvcc.active_snapshots");
+    m_opened = m (fun r -> Metrics.counter r "mvcc.snapshots_opened");
+    m_published = m (fun r -> Metrics.counter r "mvcc.versions_published");
+    m_pruned = m (fun r -> Metrics.counter r "mvcc.versions_pruned");
+    m_vfail = m (fun r -> Metrics.counter r "mvcc.validation_failures");
+  }
+
+let opt_incr = Option.iter Metrics.incr
+let opt_add c n = Option.iter (fun c -> Metrics.add c n) c
+let opt_set g v = Option.iter (fun g -> Metrics.set g v) g
+
+let with_mu mu f =
+  Mutex.lock mu;
+  match f () with
+  | r ->
+      Mutex.unlock mu;
+      r
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
+let reset t =
+  with_mu t.commit_mu (fun () ->
+      t.clock <- 0;
+      Hashtbl.reset t.snapshots;
+      Array.iter (fun b -> with_mu b.b_mu (fun () -> Hashtbl.reset b.b_chains)) t.buckets;
+      Atomic.set t.n_versions 0;
+      opt_set t.m_versions 0;
+      opt_set t.m_snapshots 0)
+
+let now t = with_mu t.commit_mu (fun () -> t.clock)
+
+let key oid f = (Oid.to_int oid, Name.Field.to_string f)
+
+let bucket t oid =
+  t.buckets.(Oid.hash oid land max_int mod n_buckets)
+
+(* bucket mutex held *)
+let chain_of b oid f =
+  let k = key oid f in
+  match Hashtbl.find_opt b.b_chains k with
+  | Some c -> c
+  | None ->
+      let c = { c_oid = oid; c_field = f; c_versions = [] } in
+      Hashtbl.add b.b_chains k c;
+      c
+
+(* bucket mutex held; install the ts-0 base from the live slot if the
+   chain is empty.  Returns the (now non-empty) chain. *)
+let ensure_base t b oid f ~live =
+  let c = chain_of b oid f in
+  if c.c_versions = [] then begin
+    c.c_versions <- [ { v_ts = 0; v_value = live oid f } ];
+    Atomic.incr t.n_versions
+  end;
+  c
+
+let capture_base t oid f ~live =
+  let b = bucket t oid in
+  with_mu b.b_mu (fun () -> ignore (ensure_base t b oid f ~live));
+  opt_set t.m_versions (Atomic.get t.n_versions)
+
+let read_at t oid f ~ts ~live =
+  let b = bucket t oid in
+  with_mu b.b_mu (fun () ->
+      let c = ensure_base t b oid f ~live in
+      let rec visible = function
+        | [ v ] -> v  (* oldest retained version: the floor GC keeps *)
+        | v :: rest -> if v.v_ts <= ts then v else visible rest
+        | [] -> assert false
+      in
+      let v = visible c.c_versions in
+      (v.v_ts, v.v_value))
+
+let latest_ts t oid f =
+  let b = bucket t oid in
+  with_mu b.b_mu (fun () ->
+      match Hashtbl.find_opt b.b_chains (key oid f) with
+      | Some { c_versions = v :: _; _ } -> v.v_ts
+      | _ -> 0)
+
+(* commit mutex held *)
+let watermark t = Hashtbl.fold (fun ts _ acc -> min ts acc) t.snapshots t.clock
+
+(* commit and bucket mutexes held *)
+let prune t c ~wm =
+  if List.length c.c_versions > t.gc_keep then begin
+    (* keep everything a live snapshot could still need: versions above
+       the watermark plus one floor at or below it *)
+    let rec split kept = function
+      | [] -> (kept, [])
+      | v :: rest ->
+          if v.v_ts > wm then split (v :: kept) rest else ((v :: kept), rest)
+    in
+    let kept_rev, dropped = split [] c.c_versions in
+    let n = List.length dropped in
+    if n > 0 then begin
+      c.c_versions <- List.rev kept_rev;
+      ignore (Atomic.fetch_and_add t.n_versions (-n));
+      opt_add t.m_pruned n
+    end
+  end
+
+let begin_snapshot t =
+  let ts =
+    with_mu t.commit_mu (fun () ->
+        let ts = t.clock in
+        (match Hashtbl.find_opt t.snapshots ts with
+        | Some r -> incr r
+        | None -> Hashtbl.add t.snapshots ts (ref 1));
+        ts)
+  in
+  opt_incr t.m_opened;
+  opt_set t.m_snapshots (Hashtbl.length t.snapshots);
+  ts
+
+let end_snapshot t ts =
+  with_mu t.commit_mu (fun () ->
+      match Hashtbl.find_opt t.snapshots ts with
+      | Some r ->
+          decr r;
+          if !r <= 0 then Hashtbl.remove t.snapshots ts
+      | None -> ());
+  opt_set t.m_snapshots (Hashtbl.length t.snapshots)
+
+let publish ?(validate = fun () -> true) ?(on_ok = fun () -> ()) t writes =
+  let r =
+    with_mu t.commit_mu (fun () ->
+        if not (validate ()) then begin
+          opt_incr t.m_vfail;
+          None
+        end
+        else begin
+          on_ok ();
+          let ts = t.clock + 1 in
+          let wm = watermark t in
+          List.iter
+            (fun (oid, f, v) ->
+              let b = bucket t oid in
+              with_mu b.b_mu (fun () ->
+                  let c = chain_of b oid f in
+                  c.c_versions <- { v_ts = ts; v_value = v } :: c.c_versions;
+                  Atomic.incr t.n_versions;
+                  if t.gc_keep < max_int then prune t c ~wm))
+            writes;
+          t.clock <- ts;
+          Some ts
+        end)
+  in
+  (match r with
+  | Some _ ->
+      opt_add t.m_published (List.length writes);
+      opt_set t.m_versions (Atomic.get t.n_versions)
+  | None -> ());
+  r
+
+let dump t =
+  let all = ref [] in
+  Array.iter
+    (fun b ->
+      with_mu b.b_mu (fun () ->
+          Hashtbl.iter
+            (fun _ c ->
+              all :=
+                (c.c_oid, c.c_field, List.map (fun v -> (v.v_ts, v.v_value)) c.c_versions)
+                :: !all)
+            b.b_chains))
+    t.buckets;
+  List.sort
+    (fun (o1, f1, _) (o2, f2, _) ->
+      match compare (Oid.to_int o1) (Oid.to_int o2) with
+      | 0 -> String.compare (Name.Field.to_string f1) (Name.Field.to_string f2)
+      | c -> c)
+    !all

@@ -1,0 +1,77 @@
+(** Per-field version chains with commit timestamps and bounded GC.
+
+    The versioned store shadows the live {!Tavcc_model.Store}: every
+    committed write of an mvcc transaction appends a version [(ts, value)]
+    to the chain of its [(oid, field)] slot, and snapshot transactions
+    resolve their reads against the newest version no younger than their
+    snapshot timestamp, never touching locks.
+
+    Timestamps come from a logical commit clock.  Publication, snapshot
+    registration and the clock all serialize on one commit mutex, so a
+    version is only ever appended with a timestamp strictly greater than
+    every open snapshot's — a chain reader (which takes only its bucket
+    mutex) either sees a fully published version or finds it invisible
+    ([ts] beyond its snapshot); there is no torn state.
+
+    Base versions (timestamp 0, the pre-run value) are captured lazily:
+    the first writer of a slot installs one from the live value {e before}
+    its in-place write, and a snapshot reader that finds an empty chain
+    installs one from the live slot.  Both happen under the bucket mutex,
+    so a reader can never observe a writer's half-done first update.
+
+    Lock order: commit mutex, then bucket mutex.  Neither is ever held
+    while calling out except to the [live] read closures. *)
+
+open Tavcc_model
+
+type t
+
+val create : ?gc_keep:int -> ?metrics:Tavcc_obs.Metrics.t -> unit -> t
+(** [gc_keep] (default 8) bounds each chain: once it grows past this many
+    versions, versions superseded before the oldest open snapshot are
+    pruned (always keeping one version at or below the watermark, so every
+    snapshot still resolves).  [max_int] disables pruning. *)
+
+val reset : t -> unit
+(** Drop every chain and snapshot registration, rewind the clock to 0 —
+    called at the start of each run. *)
+
+val now : t -> int
+(** Current value of the commit clock. *)
+
+val begin_snapshot : t -> int
+(** Register a snapshot at the current clock; reads at this timestamp stay
+    resolvable until the matching {!end_snapshot}. *)
+
+val end_snapshot : t -> int -> unit
+
+val capture_base : t -> Oid.t -> Name.Field.t -> live:(Oid.t -> Name.Field.t -> Value.t) -> unit
+(** Install the timestamp-0 base version from [live] if the slot has no
+    chain yet.  Writers call this {e before} mutating the live slot. *)
+
+val read_at :
+  t -> Oid.t -> Name.Field.t -> ts:int -> live:(Oid.t -> Name.Field.t -> Value.t) -> int * Value.t
+(** The newest version of the slot with timestamp [<= ts], as
+    [(version ts, value)]; an empty chain captures the base version from
+    [live] first (see module comment for why that read is safe). *)
+
+val latest_ts : t -> Oid.t -> Name.Field.t -> int
+(** Timestamp of the newest version; 0 when the slot has no chain (the
+    live value is still the base version). *)
+
+val publish :
+  ?validate:(unit -> bool) ->
+  ?on_ok:(unit -> unit) ->
+  t ->
+  (Oid.t * Name.Field.t * Value.t) list ->
+  int option
+(** Atomically (under the commit mutex): run [validate]; on [false]
+    return [None] (counting a validation failure).  Otherwise run [on_ok]
+    (the optimistic write-back — base capture + live store writes), append
+    one version per entry at timestamp [clock + 1], bump the clock, and
+    return [Some ts].  Exceptions from the callbacks release the mutex and
+    propagate. *)
+
+val dump : t -> (Oid.t * Name.Field.t * (int * Value.t) list) list
+(** Every chain, versions newest first, in a deterministic slot order —
+    the chaos harness's coherence oracle. *)

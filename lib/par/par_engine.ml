@@ -15,6 +15,7 @@ type config = {
   max_steps : int;
   detector_period_us : int;
   restart_backoff_us : int;
+  backoff_cap_us : int;
   record_history : bool;
   metrics : Metrics.t option;
 }
@@ -28,6 +29,7 @@ let default_config =
     max_steps = 1_000_000;
     detector_period_us = 500;
     restart_backoff_us = 50;
+    backoff_cap_us = 5000;
     record_history = false;
     metrics = None;
   }
@@ -40,6 +42,10 @@ type result = {
   died : int;
   timeouts : int;
   restarts : int;
+  snapshot_commits : int;
+  snapshot_aborts : int;
+  occ_commits : int;
+  occ_validation_failures : int;
   failed : (int * string) list;
   wall_seconds : float;
   throughput : float;
@@ -50,8 +56,9 @@ type result = {
 let pp_result ppf r =
   Format.fprintf ppf
     "commits=%d aborts=%d deadlocks=%d wounds=%d died=%d timeouts=%d restarts=%d \
-     failed=%d wall=%.3fs throughput=%.0f txn/s"
+     snapshot=%d/%d occ=%d/%d failed=%d wall=%.3fs throughput=%.0f txn/s"
     r.commits r.aborts r.deadlocks r.wounds r.died r.timeouts r.restarts
+    r.snapshot_commits r.snapshot_aborts r.occ_commits r.occ_validation_failures
     (List.length r.failed) r.wall_seconds r.throughput
 
 let serializable r =
@@ -66,6 +73,7 @@ type pmetrics = {
   pm_timeouts : Metrics.counter;
   pm_restarts : Metrics.counter;
   pm_txn_us : Metrics.histogram;
+  pm_backoff_us : Metrics.histogram;
 }
 
 let run ?(config = default_config) ~scheme ~store ~jobs () =
@@ -98,6 +106,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
           pm_timeouts = Metrics.counter m "par.timeouts";
           pm_restarts = Metrics.counter m "par.restarts";
           pm_txn_us = Metrics.histogram m "par.txn_us";
+          pm_backoff_us = Metrics.histogram m "par.backoff_us";
         })
       config.metrics
   in
@@ -108,7 +117,11 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
   and wounds = Atomic.make 0
   and died = Atomic.make 0
   and timeouts = Atomic.make 0
-  and restarts = Atomic.make 0 in
+  and restarts = Atomic.make 0
+  and snapshot_commits = Atomic.make 0
+  and snapshot_aborts = Atomic.make 0
+  and occ_commits = Atomic.make 0
+  and occ_vfails = Atomic.make 0 in
   let failed_mu = Mutex.create () in
   let failed = ref [] in
   let history = if config.record_history then Some (History.create ()) else None in
@@ -133,10 +146,26 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
   let timeout_s =
     match config.policy with Engine.Timeout n -> Some (float_of_int n /. 1000.) | _ -> None
   in
+  let watchdog_s =
+    match Sys.getenv_opt "TAVCC_PAR_WATCHDOG" with
+    | Some v -> ( try float_of_string v with _ -> 3.)
+    | None -> 0.
+  in
   let detector () =
     let period = float_of_int (max 50 config.detector_period_us) /. 1e6 in
+    let last_progress = ref (0, Unix.gettimeofday ()) in
     while not (Atomic.get stop) do
       Unix.sleepf period;
+      if watchdog_s > 0. then begin
+        let p = Atomic.get commits + Atomic.get aborts + Atomic.get restarts in
+        let lp, lt = !last_progress in
+        if p <> lp then last_progress := (p, Unix.gettimeofday ())
+        else if Unix.gettimeofday () -. lt > watchdog_s then begin
+          Format.eprintf "@[<v>=== par watchdog: no progress for %.1fs ===@,%a=== end ===@]@."
+            (Unix.gettimeofday () -. lt) Shard_table.pp_state locks;
+          last_progress := (p, Unix.gettimeofday ())
+        end
+      end;
       (match timeout_s with
       | None -> ()
       | Some limit ->
@@ -176,10 +205,21 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
   (* --- workers --- *)
   let jobs_arr = Array.of_list jobs in
   let cursor = Atomic.make 0 in
-  let backoff attempt =
-    if config.restart_backoff_us > 0 then
-      Unix.sleepf
-        (float_of_int (min 5000 (attempt * config.restart_backoff_us)) /. 1e6)
+  (* Capped exponential backoff with deterministic jitter.  The old
+     linear [attempt * base] kept every loser of a conflict on the same
+     short cadence, so they re-collided and sustained the restart storm;
+     doubling with a per-(txn, attempt) jitter spreads them out. *)
+  let backoff ~id attempt =
+    if config.restart_backoff_us > 0 && attempt > 0 then begin
+      let base = config.restart_backoff_us in
+      let cap = max base config.backoff_cap_us in
+      let bounded = min cap (base * (1 lsl min 20 (attempt - 1))) in
+      let rng = Tavcc_sim.Rng.create ((id * 1_000_003) + attempt) in
+      let jitter = if bounded >= 2 then Tavcc_sim.Rng.int rng (bounded / 2) else 0 in
+      let us = (bounded / 2) + jitter in
+      tick (fun p -> Metrics.observe p.pm_backoff_us us);
+      Unix.sleepf (float_of_int us /. 1e6)
+    end
   in
   let run_job (id, actions) =
     let rec attempt n txn =
@@ -189,6 +229,28 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
         Shard_table.finish locks id;
         ignore (Shard_table.release_all locks id)
       in
+      let session = ref None in
+      let close_session_abort () =
+        (match !session with
+        | Some s ->
+            if s.Scheme.ms_mode = Scheme.Mv_snapshot then Atomic.incr snapshot_aborts;
+            s.Scheme.ms_abort ()
+        | None -> ());
+        session := None
+      in
+      let retry_or_fail () =
+        if n >= config.max_restarts then begin
+          Mutex.lock failed_mu;
+          failed := (id, "exceeded max restarts") :: !failed;
+          Mutex.unlock failed_mu
+        end
+        else begin
+          Atomic.incr restarts;
+          tick (fun p -> Metrics.incr p.pm_restarts);
+          backoff ~id (n + 1);
+          attempt (n + 1) (Txn.reset_for_restart txn)
+        end
+      in
       match
         record (History.Begin id);
         let ctx =
@@ -197,17 +259,64 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
             acquire = (fun r -> Shard_table.acquire_blocking locks ~policy:wait_policy r);
           }
         in
-        let on_read oid f = record (History.Read (id, oid, f)) in
+        let mv =
+          Option.map
+            (fun m ->
+              m.Scheme.mv_begin ctx ~read:(Store.read store) ~class_of:(Store.class_of store)
+                actions)
+            scheme.Scheme.mvcc
+        in
+        session := mv;
+        let versioned =
+          match mv with
+          | Some s -> s.Scheme.ms_mode <> Scheme.Mv_pessimistic
+          | None -> false
+        in
+        let on_read oid f =
+          (* versioned reads enter the history as [Snapshot_read]s below *)
+          if not versioned then record (History.Read (id, oid, f))
+        in
         let on_write oid f = record (History.Write (id, oid, f)) in
         Exec.begin_txn ~scheme ~store ~ctx actions;
         List.iter
           (fun a ->
-            Exec.perform ~scheme ~store ~ctx ~on_read ~on_write ~max_steps:config.max_steps
-              a)
+            Exec.perform ~scheme ~store ~ctx ?mv ~on_read ~on_write
+              ~max_steps:config.max_steps a)
           actions;
-        Shard_table.check_killed locks id
+        match mv with
+        | None -> ()
+        | Some s ->
+            (* A deadlock victim that got this far is allowed to commit
+               (it releases its locks either way — see the mli); precommit
+               may still abort on its own terms (deferred lock
+               acquisition checks the kill flag, validation may fail);
+               publish is the point of no return. *)
+            let write oid f v =
+              let before = Store.read store oid f in
+              Txn.log_write txn oid f ~before;
+              record (History.Write (id, oid, f));
+              Store.write store oid f v
+            in
+            s.Scheme.ms_precommit ctx ~write;
+            if versioned then begin
+              record (History.Snapshot (id, s.Scheme.ms_snapshot));
+              List.iter
+                (fun (oid, f, vts) -> record (History.Snapshot_read (id, oid, f, vts)))
+                (s.Scheme.ms_reads ())
+            end;
+            (match s.Scheme.ms_publish () with
+            | Some ts -> record (History.Publish (id, ts))
+            | None -> ())
       with
       | () ->
+          (match !session with
+          | Some s -> (
+              match s.Scheme.ms_mode with
+              | Scheme.Mv_snapshot -> Atomic.incr snapshot_commits
+              | Scheme.Mv_optimistic -> Atomic.incr occ_commits
+              | Scheme.Mv_pessimistic -> ())
+          | None -> ());
+          session := None;
           Txn.commit txn;
           record (History.Commit id);
           Atomic.incr commits;
@@ -217,6 +326,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
                 (int_of_float ((Unix.gettimeofday () -. began) *. 1e6)));
           finish_and_release ()
       | exception Shard_table.Aborted reason ->
+          close_session_abort ();
           (match reason with
           | Shard_table.Wounded _ ->
               Atomic.incr wounds;
@@ -232,18 +342,20 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
              release and wake whoever was queued behind us. *)
           Txn.abort store txn;
           finish_and_release ();
-          if n >= config.max_restarts then begin
-            Mutex.lock failed_mu;
-            failed := (id, "exceeded max restarts") :: !failed;
-            Mutex.unlock failed_mu
-          end
-          else begin
-            Atomic.incr restarts;
-            tick (fun p -> Metrics.incr p.pm_restarts);
-            backoff (n + 1);
-            attempt (n + 1) (Txn.reset_for_restart txn)
-          end
+          retry_or_fail ()
+      | exception Scheme.Validation_failed ->
+          (* optimistic commit lost its validation race: same shape as a
+             deadlock abort — undo, release, restart with backoff *)
+          close_session_abort ();
+          Atomic.incr occ_vfails;
+          Atomic.incr aborts;
+          tick (fun p -> Metrics.incr p.pm_aborts);
+          record (History.Abort id);
+          Txn.abort store txn;
+          finish_and_release ();
+          retry_or_fail ()
       | exception e ->
+          close_session_abort ();
           record (History.Abort id);
           Txn.abort store txn;
           finish_and_release ();
@@ -263,6 +375,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
     in
     pull ()
   in
+  Option.iter (fun m -> m.Scheme.mv_run_begin ()) scheme.Scheme.mvcc;
   let det = Domain.spawn detector in
   let workers = List.init config.domains (fun _ -> Domain.spawn worker) in
   List.iter Domain.join workers;
@@ -278,6 +391,10 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
     died = Atomic.get died;
     timeouts = Atomic.get timeouts;
     restarts = Atomic.get restarts;
+    snapshot_commits = Atomic.get snapshot_commits;
+    snapshot_aborts = Atomic.get snapshot_aborts;
+    occ_commits = Atomic.get occ_commits;
+    occ_validation_failures = Atomic.get occ_vfails;
     failed = !failed;
     wall_seconds = wall;
     throughput = (if wall > 0. then float_of_int c /. wall else 0.);

@@ -50,19 +50,24 @@ type config = {
   max_steps : int;  (** interpreter fuel per action *)
   detector_period_us : int;  (** deadlock/timeout sweep period *)
   restart_backoff_us : int;
-      (** base of the linear abort backoff ([attempt * base], capped at
-          5 ms); 0 disables *)
+      (** base of the exponential abort backoff: attempt [n] sleeps a
+          uniformly jittered duration in [[b/2, b]] for
+          [b = min cap (base * 2^(n-1))], the jitter seeded from
+          [(txn id, attempt)] so runs stay reproducible; 0 disables *)
+  backoff_cap_us : int;  (** ceiling of the exponential doubling *)
   record_history : bool;
   metrics : Tavcc_obs.Metrics.t option;
       (** counters [par.commits], [par.aborts], [par.deadlocks],
           [par.wounds], [par.died], [par.timeouts], [par.restarts], the
-          [par.txn_us] per-commit latency histogram, and the shard
-          tables' [lock.*] metrics with a microsecond clock *)
+          [par.txn_us] per-commit latency and [par.backoff_us] sleep
+          histograms, and the shard tables' [lock.*] metrics with a
+          microsecond clock *)
 }
 
 val default_config : config
 (** 4 domains, 8 shards, [Detect], 1000 restarts, 500 us detector
-    period, 50 us backoff, no history, no metrics. *)
+    period, 50 us backoff base capped at 5 ms, no history, no
+    metrics. *)
 
 type result = {
   commits : int;
@@ -72,6 +77,10 @@ type result = {
   died : int;
   timeouts : int;
   restarts : int;
+  snapshot_commits : int;  (** mvcc: lock-free read-only commits *)
+  snapshot_aborts : int;  (** mvcc: snapshot transactions that failed anyway *)
+  occ_commits : int;  (** mvcc: optimistic transactions that validated *)
+  occ_validation_failures : int;  (** mvcc: optimistic commits that lost *)
   failed : (int * string) list;
   wall_seconds : float;
   throughput : float;  (** committed transactions per second *)

@@ -252,6 +252,46 @@ let per_shard_stats t =
   Array.to_list t.shards
   |> List.map (fun sh -> with_mu sh.mu (fun () -> LT.copy_stats (LT.stats sh.tbl)))
 
+let pp_state ppf t =
+  let ids =
+    with_mu t.reg_mu (fun () -> Hashtbl.fold (fun id _ acc -> id :: acc) t.slots [])
+    |> List.sort Int.compare
+  in
+  List.iter
+    (fun id ->
+      match find_slot_opt t id with
+      | None -> ()
+      | Some s ->
+          let active, since, granted, kill =
+            with_mu s.s_mu (fun () -> (s.s_active, s.s_waiting_since, s.s_granted, s.s_kill))
+          in
+          if active then begin
+            let show r = Format.asprintf "%a" LT.pp_req r in
+            Format.fprintf ppf "txn %d: %s granted=%b kill=%s@," id
+              (if since > 0. then Printf.sprintf "PARKED %.3fs" (Unix.gettimeofday () -. since)
+               else "running")
+              granted
+              (match kill with None -> "-" | Some r -> reason_name r);
+            (match waiting_for t id with
+            | Some r ->
+                Format.fprintf ppf "  waiting-for %s; holders=[%s] queued=[%s]@," (show r)
+                  (String.concat "; " (List.map show (holders t r.LT.r_res)))
+                  (String.concat "; " (List.map show (queued t r.LT.r_res)))
+            | None -> ());
+            List.iter (fun r -> Format.fprintf ppf "  lock %s@," (show r)) (locks_of t id)
+          end)
+    ids;
+  let pp_edges name edges =
+    Format.fprintf ppf "%s: %s@," name
+      (String.concat " "
+         (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) (List.sort_uniq compare edges)))
+  in
+  pp_edges "edges(incremental)" (waits_for_edges t);
+  pp_edges "edges(rebuilt)"
+    (Array.fold_left
+       (fun acc sh -> acc @ with_mu sh.mu (fun () -> LT.waits_for_edges_rebuild sh.tbl))
+       [] t.shards)
+
 (* --- blocking acquisition --- *)
 
 let acquire_blocking t ~policy (req : LT.req) =
@@ -311,13 +351,42 @@ let acquire_blocking t ~policy (req : LT.req) =
               me.s_granted <- false;
               me.s_waiting_since <- Unix.gettimeofday ());
           Mutex.unlock sh.mu;
-          Mutex.lock me.s_mu;
-          while (not me.s_granted) && me.s_kill = None do
-            Condition.wait me.s_cond me.s_mu
-          done;
-          me.s_waiting_since <- 0.;
-          let k = me.s_kill in
-          Mutex.unlock me.s_mu;
-          (* A kill that raced with the grant wins: the wound/deadlock
-             resolution wants the locks released. *)
-          (match k with Some r -> raise (Aborted r) | None -> ()))
+          let rec park () =
+            Mutex.lock me.s_mu;
+            while (not me.s_granted) && me.s_kill = None do
+              Condition.wait me.s_cond me.s_mu
+            done;
+            let k = me.s_kill in
+            Mutex.unlock me.s_mu;
+            match k with
+            | Some r ->
+                (* A kill that raced with the grant wins: the
+                   wound/deadlock resolution wants the locks released. *)
+                with_mu me.s_mu (fun () -> me.s_waiting_since <- 0.);
+                raise (Aborted r)
+            | None ->
+                (* Grant signals are addressed by transaction id, so one
+                   collected for a previous incarnation (killed between
+                   the table grant and [signal_granted]) can land on this
+                   slot after the restart re-registered it.  Trust the
+                   table, not the flag: still queued means the wake-up was
+                   stale — re-arm under the shard mutex (a real grant
+                   needs it, so it cannot slip between check and reset)
+                   and park again. *)
+                Mutex.lock sh.mu;
+                let still_queued =
+                  List.exists
+                    (fun (r : LT.req) -> r.LT.r_txn = req.LT.r_txn)
+                    (LT.queued sh.tbl req.LT.r_res)
+                in
+                if still_queued then begin
+                  with_mu me.s_mu (fun () -> me.s_granted <- false);
+                  Mutex.unlock sh.mu;
+                  park ()
+                end
+                else begin
+                  Mutex.unlock sh.mu;
+                  with_mu me.s_mu (fun () -> me.s_waiting_since <- 0.)
+                end
+          in
+          park ())

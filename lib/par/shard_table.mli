@@ -141,3 +141,10 @@ val stats : t -> Lock_table.stats
     [max_queue_depth] is the max. *)
 
 val per_shard_stats : t -> Lock_table.stats list
+
+val pp_state : Format.formatter -> t -> unit
+(** Diagnostic snapshot of every live slot (park/grant/kill flags) and
+    its transaction's granted and queued requests — what the engine's
+    stall watchdog prints.  Takes the registry and slot mutexes one at a
+    time; the picture may be inconsistent across transactions but each
+    line is internally coherent. *)

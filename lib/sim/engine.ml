@@ -113,6 +113,7 @@ type task = {
   mutable restarts : int;
   mutable parked_at : int;  (* scheduler step at which the fiber parked *)
   mutable began_at : int;  (* step at which the current attempt began *)
+  mutable session : Scheme.mvcc_session option;  (* open mvcc session of the attempt *)
 }
 
 (* Engine-level metric handles, resolved once per run. *)
@@ -171,7 +172,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
       (fun (id, actions) ->
         if id <= 0 then invalid_arg "Engine.run: transaction ids must be positive";
         { id; actions; txn = Txn.make ~id ~birth:id; state = Ready; k = None; restarts = 0;
-          parked_at = 0; began_at = 0 })
+          parked_at = 0; began_at = 0; session = None })
       jobs
   in
   let task_of_txn id =
@@ -188,6 +189,8 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
   in
   let release_and_wake id = wake (Lock_table.release_all locks id) in
   let cleanup_abort t =
+    (match t.session with Some s -> s.Scheme.ms_abort () | None -> ());
+    t.session <- None;
     incr aborts;
     tick (fun e -> Metrics.incr e.em_aborts);
     end_attempt t;
@@ -305,8 +308,24 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
       History.record history (History.Begin t.id);
       observe (Ob_begin t.id);
       let ctx = { Scheme.txn = t.txn; acquire = (fun req -> acquire t req) } in
+      let mv =
+        Option.map
+          (fun m ->
+            m.Scheme.mv_begin ctx
+              ~read:(Tavcc_model.Store.read store)
+              ~class_of:(Tavcc_model.Store.class_of store)
+              t.actions)
+          scheme.Scheme.mvcc
+      in
+      t.session <- mv;
+      let versioned =
+        match mv with
+        | Some s -> s.Scheme.ms_mode <> Scheme.Mv_pessimistic
+        | None -> false
+      in
       let on_read oid f =
-        History.record history (History.Read (t.id, oid, f));
+        (* versioned reads enter the history as [Snapshot_read]s at commit *)
+        if not versioned then History.record history (History.Read (t.id, oid, f));
         observe (Ob_read (t.id, oid, f))
       in
       let on_write oid f = History.record history (History.Write (t.id, oid, f)) in
@@ -324,9 +343,36 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
       Exec.begin_txn ~scheme ~store ~ctx t.actions;
       List.iter
         (fun a ->
-          Exec.perform ~scheme ~store ~ctx ~on_read ~on_write ?on_update ~yield
+          Exec.perform ~scheme ~store ~ctx ?mv ~on_read ~on_write ?on_update ~yield
             ~max_steps:config.max_steps a)
-        t.actions
+        t.actions;
+      match mv with
+      | None -> ()
+      | Some s ->
+          (* two-step mvcc commit: precommit may still abort (deferred
+             locks, optimistic validation); publish is the point of no
+             return and immediately precedes the commit record *)
+          let write oid f v =
+            let before = Tavcc_model.Store.read store oid f in
+            Txn.log_write t.txn oid f ~before;
+            History.record history (History.Write (t.id, oid, f));
+            (match on_update with
+            | Some g -> g oid f ~before ~after:v
+            | None -> ());
+            Tavcc_model.Store.write store oid f v
+          in
+          s.Scheme.ms_precommit ctx ~write;
+          if versioned then begin
+            History.record history (History.Snapshot (t.id, s.Scheme.ms_snapshot));
+            List.iter
+              (fun (oid, f, vts) ->
+                History.record history (History.Snapshot_read (t.id, oid, f, vts)))
+              (s.Scheme.ms_reads ())
+          end;
+          (match s.Scheme.ms_publish () with
+          | Some ts -> History.record history (History.Publish (t.id, ts))
+          | None -> ());
+          t.session <- None
     in
     Effect.Deep.match_with body ()
       {
@@ -345,8 +391,10 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
         exnc =
           (fun e ->
             match e with
-            | Deadlock_abort -> cleanup_abort t
+            | Deadlock_abort | Scheme.Validation_failed -> cleanup_abort t
             | e ->
+                (match t.session with Some s -> s.Scheme.ms_abort () | None -> ());
+                t.session <- None;
                 end_attempt t;
                 History.record history (History.Abort t.id);
                 observe (Ob_abort t.id);
@@ -372,6 +420,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
             | _ -> None);
       }
   in
+  Option.iter (fun m -> m.Scheme.mv_run_begin ()) scheme.Scheme.mvcc;
   let rec loop () =
     (* Expire timed-out waiters before scheduling. *)
     (match config.policy with

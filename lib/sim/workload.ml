@@ -264,7 +264,7 @@ let wide_schema ~fields ~touched =
       };
     ]
 
-let slice_schema ~methods ~work =
+let slice_schema ?(readers = 0) ~methods ~work () =
   let f i = FN.of_string (Printf.sprintf "s%d" i) in
   let n = max 1 methods in
   let w = max 1 work in
@@ -283,9 +283,21 @@ let slice_schema ~methods ~work =
                    a critical section long enough to measure, touching
                    nothing anyone else's slice touches. *)
                 m_body = List.init w (fun _ -> write_stmt (f i));
-              });
+              })
+          @ List.init readers (fun i ->
+                {
+                  Schema.m_name = MN.of_string (Printf.sprintf "r%d" i);
+                  m_params = [ "p1" ];
+                  (* write-free: snapshot-eligible under mvcc-tav *)
+                  m_body = List.init w (fun k -> read_stmt k (f (i mod n)));
+                });
       };
     ]
+
+let grid_methods store ~prefix =
+  let grid = CN.of_string "grid" in
+  Schema.methods (Store.schema store) grid
+  |> List.filter (fun m -> String.length (MN.to_string m) > 0 && (MN.to_string m).[0] = prefix)
 
 let slice_jobs rng store ~txns ~actions_per_txn ~hot_instances =
   let grid = CN.of_string "grid" in
@@ -294,13 +306,33 @@ let slice_jobs rng store ~txns ~actions_per_txn ~hot_instances =
   if n = 0 then invalid_arg "Workload.slice_jobs: no grid instances";
   let hot = max 1 (min hot_instances n) in
   let slices =
-    match Schema.methods (Store.schema store) grid with
+    match grid_methods store ~prefix:'u' with
     | [] -> invalid_arg "Workload.slice_jobs: grid has no methods"
     | ms -> Array.of_list ms
   in
   List.init txns (fun i ->
       let id = i + 1 in
       let meth = slices.(i mod Array.length slices) in
+      ( id,
+        List.init actions_per_txn (fun _ ->
+            Tavcc_cc.Exec.Call
+              (ext.(Rng.int rng hot), meth, [ Value.Vint (Rng.int rng 100) ])) ))
+
+let mixed_slice_jobs rng store ~txns ~actions_per_txn ~hot_instances ~read_frac =
+  let grid = CN.of_string "grid" in
+  let ext = Array.of_list (Store.extent store grid) in
+  let n = Array.length ext in
+  if n = 0 then invalid_arg "Workload.mixed_slice_jobs: no grid instances";
+  let hot = max 1 (min hot_instances n) in
+  let writers = Array.of_list (grid_methods store ~prefix:'u') in
+  let readers = Array.of_list (grid_methods store ~prefix:'r') in
+  if Array.length writers = 0 then invalid_arg "Workload.mixed_slice_jobs: no writer methods";
+  if read_frac > 0. && Array.length readers = 0 then
+    invalid_arg "Workload.mixed_slice_jobs: read_frac > 0 but the schema has no readers";
+  List.init txns (fun i ->
+      let id = i + 1 in
+      let pool = if read_frac > 0. && Rng.chance rng read_frac then readers else writers in
+      let meth = pool.(i mod Array.length pool) in
       ( id,
         List.init actions_per_txn (fun _ ->
             Tavcc_cc.Exec.Call

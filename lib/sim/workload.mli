@@ -56,14 +56,18 @@ val wide_schema : fields:int -> touched:int -> Ast.body Schema.t
     the first [touched] of them (plus [probe] reading the last field) —
     the lock-call-count workload of bench E6. *)
 
-val slice_schema : methods:int -> work:int -> Ast.body Schema.t
+val slice_schema : ?readers:int -> methods:int -> work:int -> unit -> Ast.body Schema.t
 (** One class [grid] with [methods] integer fields [s0..] and methods
     [u0..], where [u_i] performs [work] read-modify-writes of field
     [s_i] and touches nothing else.  The slices are pairwise disjoint,
     so under the paper's TAV modes every pair of distinct methods
     commutes on the same instance, while an instance-granularity r/w
     scheme sees every [u_i] as a writer and serialises them — the
-    multicore benchmark's contended workload (E16). *)
+    multicore benchmark's contended workload (E16).
+
+    [readers] (default 0) adds write-free methods [r0..]: [r_i] performs
+    [work] reads of field [s_(i mod methods)].  These are
+    snapshot-eligible under [mvcc-tav] and plain readers elsewhere. *)
 
 val slice_jobs :
   Rng.t ->
@@ -77,7 +81,23 @@ val slice_jobs :
     [hot_instances] grid instances.  Every transaction hammers the same
     few instances — full contention for instance locking (including
     lock-order deadlocks across the hot set), none for field-disjoint
-    modes.  Transaction ids start at 1. *)
+    modes.  Only the [u*] slice methods are used.  Transaction ids start
+    at 1. *)
+
+val mixed_slice_jobs :
+  Rng.t ->
+  Ast.body Store.t ->
+  txns:int ->
+  actions_per_txn:int ->
+  hot_instances:int ->
+  read_frac:float ->
+  (int * Tavcc_cc.Exec.action list) list
+(** Like {!slice_jobs} over a {!slice_schema} built with [readers > 0]:
+    with probability [read_frac] a transaction performs only [r*] calls
+    (all of its actions), otherwise only [u*] calls — whole transactions
+    are read-only, which is what snapshot classification needs.
+    @raise Invalid_argument when [read_frac > 0] but the schema has no
+    reader methods *)
 
 val populate : 'a Store.t -> per_class:int -> unit
 (** Creates [per_class] instances of every class. *)

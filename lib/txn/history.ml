@@ -6,9 +6,13 @@ type op =
   | Write of int * Oid.t * Name.Field.t
   | Commit of int
   | Abort of int
+  | Snapshot of int * int
+  | Snapshot_read of int * Oid.t * Name.Field.t * int
+  | Publish of int * int
 
 let txn_of = function
-  | Begin t | Read (t, _, _) | Write (t, _, _) | Commit t | Abort t -> t
+  | Begin t | Read (t, _, _) | Write (t, _, _) | Commit t | Abort t
+  | Snapshot (t, _) | Snapshot_read (t, _, _, _) | Publish (t, _) -> t
 
 let pp_op ppf = function
   | Begin t -> Format.fprintf ppf "b%d" t
@@ -16,6 +20,10 @@ let pp_op ppf = function
   | Write (t, o, f) -> Format.fprintf ppf "w%d[%a.%a]" t Oid.pp o Name.Field.pp f
   | Commit t -> Format.fprintf ppf "c%d" t
   | Abort t -> Format.fprintf ppf "a%d" t
+  | Snapshot (t, s) -> Format.fprintf ppf "s%d@%d" t s
+  | Snapshot_read (t, o, f, v) ->
+      Format.fprintf ppf "sr%d[%a.%a=v%d]" t Oid.pp o Name.Field.pp f v
+  | Publish (t, ts) -> Format.fprintf ppf "p%d@%d" t ts
 
 type t = { mutable ops : op list (* newest first *); mutable n : int }
 
@@ -89,6 +97,46 @@ let precedence_edges t =
         done
       done)
     by_res;
+  (* Multi-version edges.  A snapshot read is not a temporal conflict — the
+     reader saw the version published at [vts], whatever writers did since —
+     so it takes part through the MVSG rule instead: the publisher of the
+     version read precedes the reader, and the reader precedes every writer
+     whose version was published after the reader's snapshot.  Writers
+     without a [Publish] record (non-mvcc histories) contribute nothing. *)
+  let publisher = Hashtbl.create 32 in (* commit ts -> txn *)
+  let pub_ts = Hashtbl.create 32 in (* txn -> commit ts *)
+  let snap_of = Hashtbl.create 32 in (* txn -> snapshot ts *)
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Publish (x, ts) when is_committed x && live x i ->
+          Hashtbl.replace publisher ts x;
+          Hashtbl.replace pub_ts x ts
+      | Snapshot (x, s) when is_committed x && live x i -> Hashtbl.replace snap_of x s
+      | _ -> ())
+    arr;
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Snapshot_read (r, o, f, vts) when is_committed r && live r i ->
+          (* vts = 0 is the pre-run base version: no publishing writer. *)
+          (if vts > 0 then
+             match Hashtbl.find_opt publisher vts with
+             | Some w when w <> r -> add w r
+             | _ -> ());
+          let s = Option.value ~default:vts (Hashtbl.find_opt snap_of r) in
+          (match Hashtbl.find_opt by_res (o, f) with
+          | None -> ()
+          | Some cell ->
+              List.iter
+                (fun (w', is_w) ->
+                  if is_w && w' <> r then
+                    match Hashtbl.find_opt pub_ts w' with
+                    | Some ts when ts > s -> add r w'
+                    | _ -> ())
+                !cell)
+      | _ -> ())
+    arr;
   !edges
 
 let topo_sort nodes edges =

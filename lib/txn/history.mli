@@ -16,6 +16,20 @@ type op =
   | Write of int * Oid.t * Name.Field.t
   | Commit of int
   | Abort of int
+  | Snapshot of int * int
+      (** [Snapshot (t, s)]: transaction [t] read from the consistent
+          snapshot at commit timestamp [s] (mvcc schemes only) *)
+  | Snapshot_read of int * Oid.t * Name.Field.t * int
+      (** [Snapshot_read (t, o, f, vts)]: [t] read the version of [o.f]
+          published at commit timestamp [vts] (0 = the pre-run base).
+          Unlike {!Read}, this is not a temporal conflict: the oracle
+          connects it through the multi-version serialization-graph rule —
+          publisher([vts]) precedes [t], and [t] precedes every writer of
+          [o.f] whose {!Publish} timestamp exceeds [t]'s snapshot. *)
+  | Publish of int * int
+      (** [Publish (t, ts)]: [t] committed its versions at timestamp [ts].
+          Every committed mvcc writer must record one, or its conflicts
+          with snapshot readers are invisible to the oracle. *)
 
 val txn_of : op -> int
 val pp_op : Format.formatter -> op -> unit

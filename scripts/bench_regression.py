@@ -79,6 +79,10 @@ def metrics_for(doc):
         return ["scheme", "domains"], [
             ("wall_ms/txn", lambda r, d: r["wall_ms"] / d["txns"], 0.02),
         ]
+    if bench == "mvcc/throughput":
+        return ["scheme", "domains"], [
+            ("wall_ms/txn", lambda r, d: r["wall_ms"] / d["txns"], 0.02),
+        ]
     return None, []
 
 
@@ -122,6 +126,22 @@ def compare(path, current, baseline, threshold):
         print(f"  {'OK' if ok else 'FAIL':4} headline tav_x_rw: {ratio:.2f} (gate >= {gate})")
         if not ok:
             failures.append((path.name, ("headline",), "tav_x_rw", gate, ratio, 0.0))
+    # The mvcc headline gates are likewise machine-independent: the
+    # snapshot path must never abort, and the mixed-workload throughput
+    # must clear the committed rw-instance collapse baseline.
+    if current.get("bench") == "mvcc/throughput":
+        gate = baseline.get("threshold_x", 2.0)
+        head = current["headline"]
+        ratio = head["mvcc_x_rw"]
+        ok = ratio >= gate
+        print(f"  {'OK' if ok else 'FAIL':4} headline mvcc_x_rw: {ratio:.2f} (gate >= {gate})")
+        if not ok:
+            failures.append((path.name, ("headline",), "mvcc_x_rw", gate, ratio, 0.0))
+        snap_aborts = head.get("snapshot_aborts", 0)
+        ok = snap_aborts == 0
+        print(f"  {'OK' if ok else 'FAIL':4} headline snapshot_aborts: {snap_aborts} (gate 0)")
+        if not ok:
+            failures.append((path.name, ("headline",), "snapshot_aborts", 0, snap_aborts, 0.0))
     return failures
 
 

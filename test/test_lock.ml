@@ -232,6 +232,39 @@ let test_waits_for_includes_queue_order () =
   Alcotest.(check bool) "2 waits for holder 1" true (List.mem (2, 1) edges);
   Alcotest.(check bool) "3 waits for 2 ahead of it" true (List.mem (3, 2) edges)
 
+let test_fifo_deadlock_between_compatible_modes () =
+  (* The four-party hang the par bench caught: two disjoint "field slice"
+     modes (a conflicts only a, b conflicts only b).  Each of T1/T3 is
+     queued behind a request it does NOT conflict with, whose owner
+     conflicts with a holder — the cycle runs entirely through strict
+     FIFO queue positions, with no conflict edge closing it.  The
+     waits-for graph must model queue order or the detector sleeps
+     through it forever. *)
+  let slice_conflict (held : Lock_table.req) (r : Lock_table.req) =
+    held.Lock_table.r_mode = r.Lock_table.r_mode
+  in
+  let t = Lock_table.create ~conflict:slice_conflict () in
+  let a = 0 and b = 1 in
+  ignore (Lock_table.acquire t (req 1 (res_i 0) a));
+  ignore (Lock_table.acquire t (req 3 (res_i 1) b));
+  Alcotest.check outcome "T2 conflicts holder T1" Lock_table.Waiting
+    (Lock_table.acquire t (req 2 (res_i 0) a));
+  Alcotest.check outcome "T3 FIFO-stuck behind T2" Lock_table.Waiting
+    (Lock_table.acquire t (req 3 (res_i 0) b));
+  Alcotest.check outcome "T4 conflicts holder T3" Lock_table.Waiting
+    (Lock_table.acquire t (req 4 (res_i 1) b));
+  Alcotest.check outcome "T1 FIFO-stuck behind T4" Lock_table.Waiting
+    (Lock_table.acquire t (req 1 (res_i 1) a));
+  let edges = Lock_table.waits_for_edges t in
+  Alcotest.(check bool) "FIFO edge 3->2" true (List.mem (3, 2) edges);
+  Alcotest.(check bool) "FIFO edge 1->4" true (List.mem (1, 4) edges);
+  (match Lock_table.find_deadlock t with
+  | Some cycle ->
+      Alcotest.(check (list int)) "the full FIFO cycle" [ 1; 2; 3; 4 ] (List.sort compare cycle)
+  | None -> Alcotest.fail "FIFO deadlock not detected");
+  (* The rebuild reference agrees. *)
+  Alcotest.(check bool) "rebuild sees it too" true (Lock_table.find_deadlock_rebuild t <> None)
+
 let test_conflicting_holders_and_locks_of () =
   let t = make () in
   ignore (Lock_table.acquire t (req 1 (res_i 0) Compat.write));
@@ -488,6 +521,7 @@ let suite =
     case "cross-resource deadlock" test_cross_resource_deadlock;
     case "three-party cycle" test_three_cycle;
     case "waits-for respects queue order" test_waits_for_includes_queue_order;
+    case "FIFO deadlock between compatible modes" test_fifo_deadlock_between_compatible_modes;
     case "incremental search is scoped" test_find_deadlock_from_unrelated;
     case "waiting_for is deterministic" test_waiting_for_deterministic;
     case "introspection" test_conflicting_holders_and_locks_of;

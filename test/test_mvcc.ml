@@ -1,0 +1,356 @@
+(* The mvcc layer: version chains, the contention controller, the MVSG
+   oracle extension, and the mvcc-tav scheme end to end.
+
+   Groups:
+   - version store mechanics: publication order, snapshot resolution,
+     validation, and GC that never prunes a version an open snapshot
+     still needs;
+   - contention flips: lock aborts push an object optimistic,
+     validation failures push it back;
+   - the snapshot-eligibility classifier on the generated grid schema;
+   - the History oracle's multi-version edges (a write-skew cycle must
+     be caught, a properly ordered snapshot read must pass);
+   - both engines running mvcc-tav on the mixed workload: everything
+     commits, histories are serializable, snapshot transactions never
+     abort, and the final state agrees with a plain strict-2PL run of
+     the same jobs;
+   - a chaos torture run with the version store enabled (crash matrix
+     and version-chain oracles). *)
+
+open Tavcc_model
+module VS = Tavcc_mvcc.Version_store
+module Contention = Tavcc_mvcc.Contention
+module Mvcc_tav = Tavcc_mvcc.Mvcc_tav
+module History = Tavcc_txn.History
+module Scheme = Tavcc_cc.Scheme
+module Engine = Tavcc_sim.Engine
+module Par_engine = Tavcc_par.Par_engine
+module Workload = Tavcc_sim.Workload
+module Rng = Tavcc_sim.Rng
+module Torture = Tavcc_chaos.Torture
+module Fault = Tavcc_chaos.Fault
+module CN = Name.Class
+module FN = Name.Field
+module MN = Name.Method
+
+let oid n = Oid.of_int n
+let f = FN.of_string "f"
+let vi n = Value.Vint n
+let no_live _ _ = vi (-1)
+
+(* --- version store --- *)
+
+let test_vs_publish_and_read () =
+  let vs = VS.create () in
+  Alcotest.(check int) "clock starts at 0" 0 (VS.now vs);
+  (match VS.publish vs [ (oid 1, f, vi 10) ] with
+  | Some 1 -> ()
+  | other ->
+      Alcotest.failf "first publish returned %s"
+        (match other with Some n -> string_of_int n | None -> "None"));
+  Alcotest.(check int) "clock advanced" 1 (VS.now vs);
+  Alcotest.(check int) "latest_ts" 1 (VS.latest_ts vs (oid 1) f);
+  ignore (VS.publish vs [ (oid 1, f, vi 20) ]);
+  (* A snapshot between the publishes sees the old version. *)
+  let got ts = VS.read_at vs (oid 1) f ~ts ~live:no_live in
+  Alcotest.(check bool) "ts=1 sees v10" true (got 1 = (1, vi 10));
+  Alcotest.(check bool) "ts=2 sees v20" true (got 2 = (2, vi 20));
+  (* An empty chain captures the base version from the live slot. *)
+  Alcotest.(check bool) "base capture" true (VS.read_at vs (oid 9) f ~ts:2 ~live:(fun _ _ -> vi 77) = (0, vi 77))
+
+let test_vs_validation () =
+  let vs = VS.create () in
+  ignore (VS.publish vs [ (oid 1, f, vi 1) ]);
+  let ran = ref false in
+  (match VS.publish vs ~validate:(fun () -> false) ~on_ok:(fun () -> ran := true)
+           [ (oid 1, f, vi 2) ]
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "failed validation still published");
+  Alcotest.(check bool) "write-back skipped" false !ran;
+  Alcotest.(check int) "clock unchanged" 1 (VS.now vs);
+  (match VS.publish vs ~validate:(fun () -> true) ~on_ok:(fun () -> ran := true)
+           [ (oid 1, f, vi 2) ]
+  with
+  | Some 2 -> ()
+  | _ -> Alcotest.fail "passing validation must publish at the next tick");
+  Alcotest.(check bool) "write-back ran" true !ran
+
+let test_vs_gc_respects_snapshots () =
+  let vs = VS.create ~gc_keep:2 () in
+  ignore (VS.publish vs [ (oid 1, f, vi 1) ]);
+  let snap = VS.begin_snapshot vs in
+  Alcotest.(check int) "snapshot at 1" 1 snap;
+  (* Publish far past the bound: versions the snapshot needs survive. *)
+  for i = 2 to 10 do
+    ignore (VS.publish vs [ (oid 1, f, vi i) ])
+  done;
+  Alcotest.(check bool) "snapshot still resolves" true
+    (VS.read_at vs (oid 1) f ~ts:snap ~live:no_live = (1, vi 1));
+  Alcotest.(check bool) "newest unaffected" true
+    (VS.read_at vs (oid 1) f ~ts:10 ~live:no_live = (10, vi 10));
+  VS.end_snapshot vs snap;
+  (* With the watermark released, the next publish prunes the chain down
+     to the bound (plus the floor version). *)
+  ignore (VS.publish vs [ (oid 1, f, vi 11) ]);
+  let chain =
+    match VS.dump vs with
+    | [ (_, _, versions) ] -> versions
+    | _ -> Alcotest.fail "expected one chain"
+  in
+  Alcotest.(check bool) "chain pruned" true (List.length chain <= 4);
+  Alcotest.(check bool) "newest kept" true (List.hd chain = (11, vi 11))
+
+let test_vs_reset () =
+  let vs = VS.create () in
+  ignore (VS.publish vs [ (oid 1, f, vi 1) ]);
+  ignore (VS.begin_snapshot vs);
+  VS.reset vs;
+  Alcotest.(check int) "clock rewound" 0 (VS.now vs);
+  Alcotest.(check bool) "chains dropped" true (VS.dump vs = [])
+
+(* --- contention controller --- *)
+
+let test_contention_flips () =
+  let c = Contention.create Contention.default_cfg in
+  let o = oid 5 in
+  Alcotest.(check bool) "starts pessimistic" false (Contention.optimistic c o);
+  Contention.note_lock_abort c o;
+  Contention.note_lock_abort c o;
+  Alcotest.(check bool) "below threshold" false (Contention.optimistic c o);
+  Contention.note_lock_abort c o;
+  Alcotest.(check bool) "flips optimistic" true (Contention.optimistic c o);
+  Alcotest.(check int) "counted" 1 (Contention.optimistic_objects c);
+  Contention.note_occ_failure c o;
+  Contention.note_occ_failure c o;
+  Contention.note_occ_failure c o;
+  Alcotest.(check bool) "flips back" false (Contention.optimistic c o);
+  Contention.note_lock_abort c (oid 6);
+  Alcotest.(check bool) "objects are independent" false (Contention.optimistic c (oid 6))
+
+let test_contention_disabled () =
+  let c = Contention.create { Contention.default_cfg with enabled = false } in
+  for _ = 1 to 10 do Contention.note_lock_abort c (oid 1) done;
+  Alcotest.(check bool) "never optimistic when disabled" false
+    (Contention.optimistic c (oid 1))
+
+(* --- the classifier --- *)
+
+let test_classifier_on_grid () =
+  let schema = Workload.slice_schema ~readers:4 ~methods:4 ~work:2 () in
+  let an = Tavcc_core.Analysis.compile schema in
+  let grid = CN.of_string "grid" in
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "r%d is read-only" i)
+      true
+      (Mvcc_tav.read_only_method an grid (MN.of_string (Printf.sprintf "r%d" i)));
+    Alcotest.(check bool)
+      (Printf.sprintf "u%d is not" i)
+      false
+      (Mvcc_tav.read_only_method an grid (MN.of_string (Printf.sprintf "u%d" i)))
+  done;
+  Alcotest.(check bool) "unknown method is not" false
+    (Mvcc_tav.read_only_method an grid (MN.of_string "nope"))
+
+(* --- the MVSG oracle --- *)
+
+let record_all h ops = List.iter (History.record h) ops
+
+let test_mvsg_ordered_snapshot_passes () =
+  (* w1 publishes, reader r3 rides that version, w2 publishes later:
+     1 -> 3 (version source), 3 -> 2 (publish after 3's snapshot). *)
+  let h = History.create () in
+  record_all h
+    [
+      History.Begin 1;
+      History.Write (1, oid 1, f);
+      History.Publish (1, 1);
+      History.Commit 1;
+      History.Begin 3;
+      History.Snapshot (3, 1);
+      History.Snapshot_read (3, oid 1, f, 1);
+      History.Commit 3;
+      History.Begin 2;
+      History.Write (2, oid 1, f);
+      History.Publish (2, 2);
+      History.Commit 2;
+    ];
+  Alcotest.(check bool) "serializable" true (History.conflict_serializable h);
+  let edges = History.precedence_edges h in
+  Alcotest.(check bool) "publisher precedes reader" true (List.mem (1, 3) edges);
+  Alcotest.(check bool) "reader precedes later writer" true (List.mem (3, 2) edges)
+
+let test_mvsg_write_skew_cycle () =
+  (* Classic write skew: both transactions read the other's slot from
+     the initial snapshot and publish their own — each must precede the
+     other, a cycle a read-set-blind oracle would miss. *)
+  let h = History.create () in
+  let g = FN.of_string "g" in
+  record_all h
+    [
+      History.Begin 1;
+      History.Begin 2;
+      History.Snapshot (1, 0);
+      History.Snapshot (2, 0);
+      History.Snapshot_read (1, oid 2, g, 0);
+      History.Snapshot_read (2, oid 1, f, 0);
+      History.Write (1, oid 1, f);
+      History.Write (2, oid 2, g);
+      History.Publish (1, 1);
+      History.Publish (2, 2);
+      History.Commit 1;
+      History.Commit 2;
+    ];
+  Alcotest.(check bool) "write skew caught" false (History.conflict_serializable h)
+
+let test_mvsg_base_version_has_no_publisher () =
+  (* vts=0 is the pre-run base: no publisher edge, and no edge at all
+     when nobody overwrites the slot. *)
+  let h = History.create () in
+  record_all h
+    [
+      History.Begin 1;
+      History.Snapshot (1, 0);
+      History.Snapshot_read (1, oid 1, f, 0);
+      History.Commit 1;
+    ];
+  Alcotest.(check bool) "trivially serializable" true (History.conflict_serializable h);
+  Alcotest.(check (list (pair int int))) "no edges" [] (History.precedence_edges h)
+
+(* --- the step engine end to end --- *)
+
+let mixed_setup ~seed ~txns =
+  let schema = Workload.slice_schema ~readers:8 ~methods:8 ~work:4 () in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  Workload.populate store ~per_class:2;
+  let jobs =
+    Workload.mixed_slice_jobs (Rng.create seed) store ~txns ~actions_per_txn:3
+      ~hot_instances:2 ~read_frac:0.5
+  in
+  (an, store, jobs)
+
+let stores_equal name s1 s2 =
+  let grid = CN.of_string "grid" in
+  List.iter2
+    (fun o1 o2 ->
+      for i = 0 to Store.field_count s1 o1 - 1 do
+        if Store.read_idx s1 o1 i <> Store.read_idx s2 o2 i then
+          Alcotest.failf "%s: stores diverged at %a field %d" name Oid.pp o1 i
+      done)
+    (Store.extent s1 grid) (Store.extent s2 grid)
+
+let test_step_engine_mvcc () =
+  let an, store, jobs = mixed_setup ~seed:5 ~txns:24 in
+  let sch = Mvcc_tav.scheme an in
+  let r = Engine.run ~scheme:sch ~store ~jobs () in
+  Alcotest.(check int) "all commit" 24 r.Engine.commits;
+  Alcotest.(check (list (pair int string))) "none failed" [] r.Engine.failed;
+  Alcotest.(check bool) "serializable" true (Engine.serializable r);
+  (* Snapshot reads and publishes made it into the history. *)
+  let has_snapshot_read =
+    List.exists
+      (function History.Snapshot_read _ -> true | _ -> false)
+      (History.ops r.Engine.history)
+  and has_publish =
+    List.exists (function History.Publish _ -> true | _ -> false)
+      (History.ops r.Engine.history)
+  in
+  Alcotest.(check bool) "snapshot reads recorded" true has_snapshot_read;
+  Alcotest.(check bool) "publishes recorded" true has_publish;
+  (* Version chains agree with the live store. *)
+  (match sch.Scheme.mvcc with
+  | None -> Alcotest.fail "mvcc-tav must expose its version store"
+  | Some m ->
+      let chains = m.Scheme.mv_dump () in
+      Alcotest.(check bool) "chains exist" true (chains <> []);
+      List.iter
+        (fun (o, fld, versions) ->
+          match versions with
+          | (_, v) :: _ ->
+              Alcotest.(check bool)
+                (Format.asprintf "chain head matches store at %a.%a" Oid.pp o FN.pp fld)
+                true
+                (Value.equal v (Store.read store o fld))
+          | [] -> ())
+        chains);
+  (* Differential: plain tav on identical jobs lands on the same state
+     (slice writes commute, so any serializable order agrees). *)
+  let an2, store2, jobs2 = mixed_setup ~seed:5 ~txns:24 in
+  let r2 = Engine.run ~scheme:(Tavcc_cc.Tav_modes.scheme an2) ~store:store2 ~jobs:jobs2 () in
+  Alcotest.(check int) "tav commits" 24 r2.Engine.commits;
+  stores_equal "mvcc-tav vs tav (step)" store store2
+
+(* --- the parallel engine: qcheck differential --- *)
+
+let par_mvcc_property seed =
+  let txns = 40 in
+  let an, store, jobs = mixed_setup ~seed ~txns in
+  let config =
+    { Par_engine.default_config with domains = 4; shards = 4; record_history = true }
+  in
+  let r = Par_engine.run ~config ~scheme:(Mvcc_tav.scheme an) ~store ~jobs () in
+  if r.Par_engine.failed <> [] then QCheck.Test.fail_reportf "transactions failed";
+  if r.Par_engine.commits <> txns then
+    QCheck.Test.fail_reportf "committed %d of %d" r.Par_engine.commits txns;
+  if not (Par_engine.serializable r) then QCheck.Test.fail_reportf "not serializable";
+  if r.Par_engine.snapshot_aborts <> 0 then
+    QCheck.Test.fail_reportf "%d snapshot transactions aborted" r.Par_engine.snapshot_aborts;
+  (* The same jobs through a single-domain strict-2PL run must agree on
+     every final field value. *)
+  let an2, store2, jobs2 = mixed_setup ~seed ~txns in
+  let config2 = { Par_engine.default_config with domains = 1; shards = 1 } in
+  let r2 =
+    Par_engine.run ~config:config2 ~scheme:(Tavcc_cc.Tav_modes.scheme an2) ~store:store2
+      ~jobs:jobs2 ()
+  in
+  if r2.Par_engine.commits <> txns then QCheck.Test.fail_reportf "2pl run incomplete";
+  stores_equal "mvcc-tav par vs 2pl" store store2;
+  true
+
+let par_mvcc_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:12
+       ~name:"par mvcc-tav: serializable, snapshots never abort, agrees with 2pl"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000))
+       par_mvcc_property)
+
+(* --- chaos torture with the version store enabled --- *)
+
+let test_chaos_torture_mvcc () =
+  let w = Torture.mixed_slices_workload ~txns:6 ~seed:13 () in
+  let mk = List.assoc "mvcc-tav" Torture.schemes in
+  let plan = { Fault.injections = []; schedule = Fault.Random_sched 3 } in
+  let r = Torture.run ~scheme_name:"mvcc-tav" ~scheme:mk ~workload:w ~seed:13 ~plan () in
+  Alcotest.(check (list string)) "no violations" [] r.Torture.r_violations;
+  Alcotest.(check bool) "serializable" true r.Torture.r_serializable;
+  Alcotest.(check bool) "crash matrix ran" true (r.Torture.r_crash_points > 0);
+  Alcotest.(check bool) "ok" true (Torture.ok r)
+
+let suite =
+  [
+    Alcotest.test_case "version store: publish and snapshot reads" `Quick
+      test_vs_publish_and_read;
+    Alcotest.test_case "version store: validation gates publication" `Quick
+      test_vs_validation;
+    Alcotest.test_case "version store: GC respects open snapshots" `Quick
+      test_vs_gc_respects_snapshots;
+    Alcotest.test_case "version store: reset rewinds everything" `Quick test_vs_reset;
+    Alcotest.test_case "contention: aborts flip optimistic, failures flip back" `Quick
+      test_contention_flips;
+    Alcotest.test_case "contention: disabled controller never flips" `Quick
+      test_contention_disabled;
+    Alcotest.test_case "classifier: readers eligible, updaters not" `Quick
+      test_classifier_on_grid;
+    Alcotest.test_case "mvsg: ordered snapshot read passes" `Quick
+      test_mvsg_ordered_snapshot_passes;
+    Alcotest.test_case "mvsg: write skew forms a cycle" `Quick test_mvsg_write_skew_cycle;
+    Alcotest.test_case "mvsg: base version has no publisher" `Quick
+      test_mvsg_base_version_has_no_publisher;
+    Alcotest.test_case "step engine: mvcc-tav mixed run, full oracle" `Quick
+      test_step_engine_mvcc;
+    par_mvcc_qcheck;
+    Alcotest.test_case "chaos: torture run with version store" `Slow
+      test_chaos_torture_mvcc;
+  ]

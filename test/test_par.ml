@@ -223,7 +223,7 @@ let check_sums store tbl =
 let run_slice ?(policy = Engine.Detect) ?(domains = 4) ?(check = true) ~scheme_of ~seed
     ~txns () =
   let work = 4 in
-  let schema = Workload.slice_schema ~methods:8 ~work in
+  let schema = Workload.slice_schema ~methods:8 ~work () in
   let an = Tavcc_core.Analysis.compile schema in
   let store = Store.create schema in
   Workload.populate store ~per_class:2;
@@ -286,7 +286,7 @@ let test_differential_vs_step_engine () =
         store
       in
       let run_step () =
-        let schema = Workload.slice_schema ~methods:8 ~work:4 in
+        let schema = Workload.slice_schema ~methods:8 ~work:4 () in
         let an = Tavcc_core.Analysis.compile schema in
         let store = Store.create schema in
         Workload.populate store ~per_class:2;
