@@ -94,6 +94,23 @@ let min_time f =
   done;
   (!best *. 1e3, !out)
 
+(* Paired variant for the multicore rows: base and instrumented samples
+   alternate within one loop, so frequency drift and background load hit
+   both sides equally before the minima are compared. *)
+let min_time2 f g =
+  let bf = ref infinity and bg = ref infinity and out_f = ref 0 and out_g = ref 0 in
+  for _ = 1 to repeats do
+    let t0 = now () in
+    out_f := f ();
+    let dt = now () -. t0 in
+    if dt < !bf then bf := dt;
+    let t0 = now () in
+    out_g := g ();
+    let dt = now () -. t0 in
+    if dt < !bg then bg := dt
+  done;
+  ((!bf *. 1e3, !out_f), (!bg *. 1e3, !out_g))
+
 type row = {
   txns : int;
   resources : int;
@@ -121,6 +138,44 @@ let run_config ~seed ~txns ~resources =
   assert (commits = commits');
   let overhead_pct = (metrics_ms -. base_ms) /. base_ms *. 100.0 in
   { txns; resources; commits; base_ms; metrics_ms; overhead_pct }
+
+(* Multicore stack: the slice workload through [Par_engine], everything
+   off vs the full observability path — live registry, per-domain event
+   rings, contention profiler.  This is the instrumentation the issue
+   gates at <= threshold: every lock wait and transaction transition goes
+   through a ring push on the hot path. *)
+let par_txns = if quick then 400 else 1500
+
+(* Setup (schema analysis, store, registry, ring allocation) happens once
+   per configuration, outside the timed region: the gate is on the
+   per-operation cost, not on allocating three rings.  The rings are kept
+   small (4096): capacity beyond the drain backlog only adds major-heap
+   scan work, which on a single core counts against the workload. *)
+let par_runner ~domains ~instrumented =
+  let open Tavcc_sim in
+  let schema = Workload.slice_schema ~readers:0 ~methods:16 ~work:8 () in
+  let an = Tavcc_core.Analysis.compile schema in
+  let scheme = Tavcc_cc.Tav_modes.scheme an in
+  let config =
+    {
+      Tavcc_par.Par_engine.default_config with
+      domains;
+      metrics = (if instrumented then Some (Metrics.create ()) else None);
+      obs =
+        (if instrumented then
+           Some (Tavcc_par.Par_obs.create ~ring_cap:4096 ~keep_events:false ~domains ())
+         else None);
+    }
+  in
+  fun () ->
+    let store = Tavcc_model.Store.create schema in
+    Workload.populate store ~per_class:4;
+    let jobs =
+      Workload.slice_jobs (Rng.create 43) store ~txns:par_txns ~actions_per_txn:4
+        ~hot_instances:2
+    in
+    let r = Tavcc_par.Par_engine.run ~config ~scheme ~store ~jobs () in
+    r.Tavcc_par.Par_engine.commits
 
 (* Full stack for context: same engine workload with everything off vs a
    ring sink plus a live registry. *)
@@ -170,12 +225,36 @@ let () =
         r)
       [ (16, 4); (32, 8); (64, 16) ]
   in
+  let par_rows =
+    List.map
+      (fun domains ->
+        let (base_ms, commits), (obs_ms, commits') =
+          min_time2
+            (par_runner ~domains ~instrumented:false)
+            (par_runner ~domains ~instrumented:true)
+        in
+        assert (commits = commits');
+        let pct = (obs_ms -. base_ms) /. base_ms *. 100.0 in
+        Printf.printf
+          "par %d domains (registry + rings + profiler vs all off): %.3f ms vs %.3f ms \
+           (%+.2f%%)\n"
+          domains obs_ms base_ms pct;
+        (domains, commits, base_ms, obs_ms, pct))
+      [ 2; 4 ]
+  in
   let eng_base_ms, _ = min_time (fun () -> engine_run false) in
   let eng_live_ms, _ = min_time (fun () -> engine_run true) in
   let eng_pct = (eng_live_ms -. eng_base_ms) /. eng_base_ms *. 100.0 in
   Printf.printf "\nengine (8 txns, ring sink + registry vs all off): %.3f ms vs %.3f ms (%+.2f%%)\n"
     eng_live_ms eng_base_ms eng_pct;
+  Printf.printf
+    "  (context only, not gated: a sub-millisecond micro-run whose event ring records\n\
+    \   every scheduler step — fixed setup dominates, so the percentage is meaningless;\n\
+    \   the gated rows above isolate the per-operation cost on realistic workloads)\n";
   let max_pct = List.fold_left (fun acc r -> Float.max acc r.overhead_pct) neg_infinity rows in
+  let max_par_pct =
+    List.fold_left (fun acc (_, _, _, _, pct) -> Float.max acc pct) neg_infinity par_rows
+  in
   let oc = open_out "BENCH_obs.json" in
   output_string oc "{\n  \"bench\": \"obs/overhead\",\n";
   Printf.fprintf oc
@@ -185,15 +264,36 @@ let () =
   output_string oc "  \"rows\": [\n";
   output_string oc (String.concat ",\n" (List.map json_of_row rows));
   output_string oc "\n  ],\n";
+  output_string oc "  \"par_rows\": [\n";
+  output_string oc
+    (String.concat ",\n"
+       (List.map
+          (fun (domains, commits, base_ms, obs_ms, pct) ->
+            Printf.sprintf
+              "    {\"domains\": %d, \"commits\": %d, \"base_ms\": %.3f, \"obs_ms\": %.3f, \
+               \"overhead_pct\": %.2f}"
+              domains commits base_ms obs_ms pct)
+          par_rows));
+  output_string oc "\n  ],\n";
   Printf.fprintf oc
-    "  \"engine\": {\"base_ms\": %.3f, \"instrumented_ms\": %.3f, \"overhead_pct\": %.2f},\n"
+    "  \"engine\": {\"base_ms\": %.3f, \"instrumented_ms\": %.3f, \"overhead_pct\": %.2f, \
+     \"gated\": false, \"note\": \"sub-ms micro-run, setup-dominated; context only — see \
+     the gated rows/par_rows for the per-operation cost\"},\n"
     eng_base_ms eng_live_ms eng_pct;
-  Printf.fprintf oc "  \"max_overhead_pct\": %.2f\n}\n" max_pct;
+  Printf.fprintf oc "  \"max_overhead_pct\": %.2f,\n" max_pct;
+  Printf.fprintf oc "  \"max_par_overhead_pct\": %.2f\n}\n" max_par_pct;
   close_out oc;
-  Printf.printf "wrote BENCH_obs.json (%d rows, max overhead %.2f%%)\n" (List.length rows)
-    max_pct;
+  Printf.printf "wrote BENCH_obs.json (%d rows + %d par rows, max overhead %.2f%% / par %.2f%%)\n"
+    (List.length rows) (List.length par_rows) max_pct max_par_pct;
   if max_pct > threshold_pct then begin
     Printf.printf "FAIL: live instrumentation above %.1f%% — the null path cannot be cheaper\n"
+      threshold_pct;
+    exit 1
+  end;
+  if max_par_pct > threshold_pct then begin
+    Printf.printf
+      "FAIL: multicore instrumentation (rings + profiler) above %.1f%% of the \
+       uninstrumented run\n"
       threshold_pct;
     exit 1
   end;

@@ -16,6 +16,7 @@ module Workload = Tavcc_sim.Workload
 module Crosscheck = Tavcc_sim.Crosscheck
 module Rng = Tavcc_sim.Rng
 module Par_engine = Tavcc_par.Par_engine
+module Par_obs = Tavcc_par.Par_obs
 module Metrics = Tavcc_obs.Metrics
 module Sink = Tavcc_obs.Sink
 module Json = Tavcc_obs.Json
@@ -253,9 +254,17 @@ let run_cmd =
 
 (* --- par: the multicore driver on the contended slice workload --- *)
 
+(* Scheme names become Prometheus prefixes; keep only name chars. *)
+let prom_prefix name =
+  "tavcc_"
+  ^ String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+
 let par_cmd =
   let run scheme_names domains shards seed txns actions methods work instances hot read_frac
-      policy check metrics_fmt =
+      policy check metrics_fmt trace_out profile top_k prom_out =
     let json_mode = metrics_fmt = Some `Json in
     let readers = if read_frac > 0. then methods else 0 in
     let schema = Workload.slice_schema ~readers ~methods ~work () in
@@ -282,7 +291,17 @@ let par_cmd =
               Workload.slice_jobs (Rng.create (seed + 1)) store ~txns
                 ~actions_per_txn:actions ~hot_instances:hot
           in
-          let metrics = Option.map (fun _ -> Metrics.create ()) metrics_fmt in
+          let metrics =
+            if metrics_fmt <> None || prom_out <> None then Some (Metrics.create ())
+            else None
+          in
+          (* One event stream per scheme: its own rings, its own pid in
+             the merged trace. *)
+          let obs =
+            if trace_out <> None || profile then
+              Some (Par_obs.create ~keep_events:(trace_out <> None) ~domains ())
+            else None
+          in
           let config =
             {
               Par_engine.default_config with
@@ -291,6 +310,7 @@ let par_cmd =
               policy;
               record_history = check;
               metrics;
+              obs;
             }
           in
           let r = Par_engine.run ~config ~scheme:(mk an) ~store ~jobs () in
@@ -302,11 +322,53 @@ let par_cmd =
             List.iter
               (fun (id, msg) -> Printf.printf "  txn %d FAILED: %s\n" id msg)
               r.Par_engine.failed;
-            match metrics with Some m -> Format.printf "%a@." Metrics.pp m | None -> ()
+            (match metrics with
+            | Some m when metrics_fmt <> None -> Format.printf "%a@." Metrics.pp m
+            | _ -> ());
+            match obs with
+            | Some o when profile ->
+                Format.printf "contention (%s):@.%a@." name
+                  (Tavcc_obs.Contention.pp ~key:Par_obs.res_key ~k:top_k)
+                  (Par_obs.contention o)
+            | _ -> ()
           end;
-          (name, r, metrics))
+          (name, r, metrics, obs))
         names
     in
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+        let events =
+          List.concat
+            (List.mapi
+               (fun pid (name, _, _, obs) ->
+                 match obs with
+                 | None -> []
+                 | Some o -> Trace.process_name ~pid name :: Par_obs.to_trace ~pid o)
+               runs)
+        in
+        write_file file (Trace.to_string events);
+        let dropped =
+          List.fold_left
+            (fun acc (_, _, _, obs) ->
+              acc + match obs with Some o -> Par_obs.dropped o | None -> 0)
+            0 runs
+        in
+        if not json_mode then
+          Printf.printf "wrote %s (%d trace events%s)\n" file (List.length events)
+            (if dropped > 0 then Printf.sprintf ", %d ring overflows" dropped else ""));
+    (match prom_out with
+    | None -> ()
+    | Some file ->
+        let text =
+          String.concat ""
+            (List.filter_map
+               (fun (name, _, metrics, _) ->
+                 Option.map (Metrics.to_prometheus ~prefix:(prom_prefix name)) metrics)
+               runs)
+        in
+        write_file file text;
+        if not json_mode then Printf.printf "wrote %s\n" file);
     if json_mode then begin
       let doc =
         Json.Obj
@@ -329,7 +391,7 @@ let par_cmd =
             ( "runs",
               Json.List
                 (List.map
-                   (fun (name, (r : Par_engine.result), metrics) ->
+                   (fun (name, (r : Par_engine.result), metrics, obs) ->
                      Json.Obj
                        ([
                           ("scheme", Json.String name);
@@ -360,16 +422,24 @@ let par_cmd =
                           ( "lock_stats",
                             Tavcc_lock.Lock_table.stats_to_json r.Par_engine.lock_stats );
                         ]
+                       @ (match metrics with
+                         | Some m -> [ ("metrics", Metrics.to_json m) ]
+                         | None -> [])
                        @
-                       match metrics with
-                       | Some m -> [ ("metrics", Metrics.to_json m) ]
-                       | None -> []))
+                       match obs with
+                       | Some o when profile ->
+                           [
+                             ( "contention",
+                               Tavcc_obs.Contention.to_json ~key:Par_obs.res_key ~k:top_k
+                                 (Par_obs.contention o) );
+                           ]
+                       | _ -> []))
                    runs) );
           ]
       in
       print_endline (Json.to_string doc)
     end;
-    if List.exists (fun (_, r, _) -> r.Par_engine.failed <> []) runs then 1 else 0
+    if List.exists (fun (_, r, _, _) -> r.Par_engine.failed <> []) runs then 1 else 0
   in
   let scheme_arg =
     Arg.(value & opt_all scheme_conv []
@@ -413,11 +483,195 @@ let par_cmd =
          ~doc:"Record the field-access history (serialises the hot path) and report the \
                  conflict-serializability verdict.")
   in
+  let par_trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON file of the run(s): one track per worker \
+                   domain plus the detector track, wait spans, kill instants, and flow \
+                   arrows linking each blocked request to the grant (or wound) that ended \
+                   its wait.  Timestamps are microseconds; with several schemes each gets \
+                   its own pid.  Open in Perfetto or chrome://tracing.")
+  in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Attribute cumulative wait time, queue depth and kills to the contended \
+                   resources and print the hottest ones per scheme (JSON mode: a \
+                   $(b,contention) object per run).")
+  in
+  let top_k =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K" ~doc:"Resources to list with $(b,--profile).")
+  in
+  let prom_out =
+    Arg.(value & opt (some string) None
+         & info [ "prom-out" ] ~docv:"FILE"
+             ~doc:"Write the metrics registries as Prometheus text exposition (one \
+                   $(b,tavcc_<scheme>_) section per scheme); implies metrics collection.")
+  in
   let doc = "run the contended slice workload on real domains (multicore)" in
   Cmd.v (Cmd.info "par" ~doc)
     Term.(
       const run $ scheme_arg $ domains $ shards $ seed $ txns $ actions $ methods $ work
-      $ instances $ hot $ read_frac $ policy_arg $ check $ metrics_arg)
+      $ instances $ hot $ read_frac $ policy_arg $ check $ metrics_arg $ par_trace_out
+      $ profile $ top_k $ prom_out)
+
+(* --- top: live introspection of a running multicore workload --- *)
+
+let top_cmd =
+  let run scheme_name domains shards seed txns actions methods work instances hot read_frac
+      policy refresh_ms iterations prom_out =
+    let readers = if read_frac > 0. then methods else 0 in
+    let schema = Workload.slice_schema ~readers ~methods ~work () in
+    let an = Tavcc_core.Analysis.compile schema in
+    let mk = List.assoc scheme_name schemes in
+    let metrics = Metrics.create () in
+    let obs = Par_obs.create ~keep_events:false ~domains () in
+    let config =
+      {
+        Par_engine.default_config with
+        domains;
+        shards;
+        policy;
+        metrics = Some metrics;
+        obs = Some obs;
+      }
+    in
+    (* The workload runs on its own domain tree; this domain only reads
+       the shared registry and the contention profiler (both are safe to
+       poll: atomic cells and an internal mutex). *)
+    let done_ = Atomic.make false in
+    let last = Atomic.make None in
+    let runner =
+      Domain.spawn (fun () ->
+          Fun.protect
+            ~finally:(fun () -> Atomic.set done_ true)
+            (fun () ->
+              for it = 1 to max 1 iterations do
+                let store = Store.create schema in
+                Workload.populate store ~per_class:instances;
+                let jobs =
+                  if read_frac > 0. then
+                    Workload.mixed_slice_jobs (Rng.create (seed + it)) store ~txns
+                      ~actions_per_txn:actions ~hot_instances:hot ~read_frac
+                  else
+                    Workload.slice_jobs (Rng.create (seed + it)) store ~txns
+                      ~actions_per_txn:actions ~hot_instances:hot
+                in
+                let r = Par_engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+                Atomic.set last (Some r)
+              done))
+    in
+    let t0 = Unix.gettimeofday () in
+    let tty = Unix.isatty Unix.stdout in
+    let c name = Metrics.counter metrics name in
+    let commits = c "par.commits"
+    and aborts = c "par.aborts"
+    and restarts = c "par.restarts"
+    and deadlocks = c "par.deadlocks"
+    and wounds = c "par.wounds"
+    and timeouts = c "par.timeouts" in
+    let busy = Array.init domains (fun d -> c (Printf.sprintf "par.dom%d.busy_us" d)) in
+    let txn_us = Metrics.histogram metrics "par.txn_us" in
+    let snapshot ~final () =
+      if tty && not final then print_string "\027[H\027[2J";
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Printf.printf "oosim top — %s, %d domains, %d shards, policy %s, %.1fs%s\n"
+        scheme_name domains shards (Engine.policy_name policy) elapsed
+        (if final then " (done)" else "");
+      Printf.printf
+        "  commits=%d aborts=%d restarts=%d deadlocks=%d wounds=%d timeouts=%d\n"
+        (Metrics.value commits) (Metrics.value aborts) (Metrics.value restarts)
+        (Metrics.value deadlocks) (Metrics.value wounds) (Metrics.value timeouts);
+      let el_us = Float.max 1.0 (elapsed *. 1e6) in
+      Printf.printf "  utilisation:%s\n"
+        (String.concat ""
+           (List.init domains (fun d ->
+                Printf.sprintf " dom%d %3.0f%%" d
+                  (100.0 *. float_of_int (Metrics.value busy.(d)) /. el_us))));
+      Printf.printf "  txn_us: n=%d p50=%.0f p95=%.0f p99=%.0f max=%d\n"
+        (Metrics.count txn_us)
+        (Metrics.quantile txn_us 0.50)
+        (Metrics.quantile txn_us 0.95)
+        (Metrics.quantile txn_us 0.99)
+        (Metrics.max_value txn_us);
+      Format.printf "%a@?"
+        (Tavcc_obs.Contention.pp ~key:Par_obs.res_key ~k:5)
+        (Par_obs.contention obs);
+      flush stdout
+    in
+    while not (Atomic.get done_) do
+      snapshot ~final:false ();
+      Unix.sleepf (float_of_int (max 20 refresh_ms) /. 1000.)
+    done;
+    Domain.join runner;
+    snapshot ~final:true ();
+    (match Atomic.get last with
+    | Some r -> Format.printf "%a@." Par_engine.pp_result r
+    | None -> ());
+    (match prom_out with
+    | None -> ()
+    | Some file ->
+        write_file file (Metrics.to_prometheus metrics);
+        Printf.printf "wrote %s\n" file);
+    0
+  in
+  let scheme_arg =
+    Arg.(value & opt scheme_conv "tav"
+         & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc:"Scheme to run (default tav).")
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let shards =
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc:"Lock-manager shards.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let txns =
+    Arg.(value & opt int 1000 & info [ "t"; "txns" ] ~docv:"N"
+         ~doc:"Transactions per iteration.")
+  in
+  let actions =
+    Arg.(value & opt int 4 & info [ "a"; "actions" ] ~docv:"N" ~doc:"Actions per transaction.")
+  in
+  let methods =
+    Arg.(value & opt int 16 & info [ "slices" ] ~docv:"N"
+         ~doc:"Disjoint field slices (methods) of the grid class.")
+  in
+  let work =
+    Arg.(value & opt int 8 & info [ "work" ] ~docv:"N"
+         ~doc:"Read-modify-writes per method call.")
+  in
+  let instances =
+    Arg.(value & opt int 4 & info [ "instances" ] ~docv:"N" ~doc:"Grid instances.")
+  in
+  let hot =
+    Arg.(value & opt int 2 & info [ "hot" ] ~docv:"N" ~doc:"Hot-set size (contention knob).")
+  in
+  let read_frac =
+    Arg.(value & opt float 0. & info [ "read-frac" ] ~docv:"F"
+         ~doc:"Fraction of read-only transactions.")
+  in
+  let refresh_ms =
+    Arg.(value & opt int 200 & info [ "refresh-ms" ] ~docv:"MS"
+         ~doc:"Snapshot refresh period (min 20).")
+  in
+  let iterations =
+    Arg.(value & opt int 1 & info [ "iterations" ] ~docv:"N"
+         ~doc:"Workload repetitions — raise to keep the display live longer; counters \
+               and the contention profile accumulate across iterations.")
+  in
+  let prom_out =
+    Arg.(value & opt (some string) None
+         & info [ "prom-out" ] ~docv:"FILE"
+             ~doc:"On exit, write the registry as Prometheus text exposition.")
+  in
+  let doc = "live in-terminal view of a running multicore workload (commits, per-domain \
+             utilisation, latency quantiles, hottest resources)" in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const run $ scheme_arg $ domains $ shards $ seed $ txns $ actions $ methods $ work
+      $ instances $ hot $ read_frac $ policy_arg $ refresh_ms $ iterations $ prom_out)
 
 (* --- scenario: the sec. 5.2 comparison --- *)
 
@@ -761,6 +1015,6 @@ let main =
   let doc = "object-oriented concurrency-control simulator (Malta & Martinez, ICDE'93)" in
   Cmd.group
     (Cmd.info "oosim" ~version:"1.0.0" ~doc)
-    [ run_cmd; par_cmd; scenario_cmd; escalation_cmd; chaos_cmd; crosscheck_cmd ]
+    [ run_cmd; par_cmd; top_cmd; scenario_cmd; escalation_cmd; chaos_cmd; crosscheck_cmd ]
 
 let () = exit (Cmd.eval' main)

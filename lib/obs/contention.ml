@@ -1,0 +1,174 @@
+type 'k entry = {
+  e_res : 'k;
+  e_blocks : int;
+  e_waits : int;
+  e_wait_us : int;
+  e_max_wait_us : int;
+  e_queue_depth_sum : int;
+  e_max_queue_depth : int;
+  e_deadlocks : int;
+  e_kills : int;
+}
+
+let mean_wait_us e =
+  if e.e_waits = 0 then 0.0 else float_of_int e.e_wait_us /. float_of_int e.e_waits
+
+let mean_queue_depth e =
+  if e.e_blocks = 0 then 0.0
+  else float_of_int e.e_queue_depth_sum /. float_of_int e.e_blocks
+
+(* Mutable cells per resource; the mutex serialises the coordinator's
+   feed against snapshot readers (oosim top), never a hot path. *)
+type 'k cell = {
+  mutable c_blocks : int;
+  mutable c_waits : int;
+  mutable c_wait_us : int;
+  mutable c_max_wait_us : int;
+  mutable c_queue_depth_sum : int;
+  mutable c_max_queue_depth : int;
+  mutable c_deadlocks : int;
+  mutable c_kills : int;
+}
+
+type 'k t = {
+  mu : Mutex.t;
+  tbl : ('k, 'k cell) Hashtbl.t;
+  mutable t_blocks : int;
+  mutable t_wait_us : int;
+}
+
+let create () =
+  { mu = Mutex.create (); tbl = Hashtbl.create 64; t_blocks = 0; t_wait_us = 0 }
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+      Mutex.unlock t.mu;
+      v
+  | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+
+let cell t res =
+  match Hashtbl.find_opt t.tbl res with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          c_blocks = 0;
+          c_waits = 0;
+          c_wait_us = 0;
+          c_max_wait_us = 0;
+          c_queue_depth_sum = 0;
+          c_max_queue_depth = 0;
+          c_deadlocks = 0;
+          c_kills = 0;
+        }
+      in
+      Hashtbl.replace t.tbl res c;
+      c
+
+let record_block t res ~queue_depth =
+  with_mu t (fun () ->
+      let c = cell t res in
+      c.c_blocks <- c.c_blocks + 1;
+      c.c_queue_depth_sum <- c.c_queue_depth_sum + queue_depth;
+      if queue_depth > c.c_max_queue_depth then c.c_max_queue_depth <- queue_depth;
+      t.t_blocks <- t.t_blocks + 1)
+
+let record_wait t res ~wait_us =
+  let wait_us = max 0 wait_us in
+  with_mu t (fun () ->
+      let c = cell t res in
+      c.c_waits <- c.c_waits + 1;
+      c.c_wait_us <- c.c_wait_us + wait_us;
+      if wait_us > c.c_max_wait_us then c.c_max_wait_us <- wait_us;
+      t.t_wait_us <- t.t_wait_us + wait_us)
+
+let record_kill t ?(deadlock = false) res =
+  with_mu t (fun () ->
+      let c = cell t res in
+      c.c_kills <- c.c_kills + 1;
+      if deadlock then c.c_deadlocks <- c.c_deadlocks + 1)
+
+let blocks t = with_mu t (fun () -> t.t_blocks)
+let total_wait_us t = with_mu t (fun () -> t.t_wait_us)
+
+let entry_of res (c : 'k cell) =
+  {
+    e_res = res;
+    e_blocks = c.c_blocks;
+    e_waits = c.c_waits;
+    e_wait_us = c.c_wait_us;
+    e_max_wait_us = c.c_max_wait_us;
+    e_queue_depth_sum = c.c_queue_depth_sum;
+    e_max_queue_depth = c.c_max_queue_depth;
+    e_deadlocks = c.c_deadlocks;
+    e_kills = c.c_kills;
+  }
+
+let top ?(k = 10) t =
+  let all =
+    with_mu t (fun () -> Hashtbl.fold (fun res c acc -> entry_of res c :: acc) t.tbl [])
+  in
+  let ranked =
+    List.sort
+      (fun a b ->
+        match Int.compare b.e_wait_us a.e_wait_us with
+        | 0 -> (
+            match Int.compare b.e_deadlocks a.e_deadlocks with
+            | 0 -> Int.compare b.e_blocks a.e_blocks
+            | c -> c)
+        | c -> c)
+      all
+  in
+  List.filteri (fun i _ -> i < k) ranked
+
+let share total us = if total <= 0 then 0.0 else 100.0 *. float_of_int us /. float_of_int total
+
+let to_json ~key ?k t =
+  let total = total_wait_us t in
+  Json.Obj
+    [
+      ("blocks", Json.Int (blocks t));
+      ("total_wait_us", Json.Int total);
+      ( "top",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("resource", Json.String (key e.e_res));
+                   ("blocks", Json.Int e.e_blocks);
+                   ("waits", Json.Int e.e_waits);
+                   ("wait_us", Json.Int e.e_wait_us);
+                   ("wait_share_pct", Json.Float (share total e.e_wait_us));
+                   ("mean_wait_us", Json.Float (mean_wait_us e));
+                   ("max_wait_us", Json.Int e.e_max_wait_us);
+                   ("mean_queue_depth", Json.Float (mean_queue_depth e));
+                   ("max_queue_depth", Json.Int e.e_max_queue_depth);
+                   ("deadlocks", Json.Int e.e_deadlocks);
+                   ("kills", Json.Int e.e_kills);
+                 ])
+             (top ?k t)) );
+    ]
+
+let pp ~key ?k ppf t =
+  let total = total_wait_us t in
+  let entries = top ?k t in
+  if entries = [] then Format.fprintf ppf "no lock waits recorded@."
+  else begin
+    Format.fprintf ppf "%-34s %6s %9s %7s %9s %6s %5s %5s@." "resource" "waits"
+      "wait-ms" "share%" "mean-us" "max-q" "dlk" "kill";
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "%-34s %6d %9.2f %7.1f %9.0f %6d %5d %5d@." (key e.e_res)
+          e.e_waits
+          (float_of_int e.e_wait_us /. 1e3)
+          (share total e.e_wait_us) (mean_wait_us e) e.e_max_queue_depth e.e_deadlocks
+          e.e_kills)
+      entries;
+    Format.fprintf ppf "%-34s %6d %9.2f@." "(total)" (blocks t)
+      (float_of_int total /. 1e3)
+  end

@@ -1,0 +1,58 @@
+(** Lock-contention profiler: attributes waiting to resources.
+
+    Fed from drained trace events (one coordinator thread), it
+    accumulates per-resource totals — how often requests blocked on the
+    resource, how long they waited, how deep its queue ran, and how many
+    deadlocks or kills it participated in — and reports the top-k hot
+    spots by cumulative wait time.
+
+    The profiler is generic in the resource key ['k] (the parallel
+    engine keys it by [Tavcc_lock.Resource.t], i.e. the (instance,
+    field-slice) granule); keys are compared structurally.  All entry
+    points are mutex-protected so a live introspection loop ([oosim
+    top]) can snapshot {!top} while the coordinator is still feeding —
+    the cost is irrelevant at drain cadence. *)
+
+type 'k entry = {
+  e_res : 'k;
+  e_blocks : int;  (** requests that had to queue on the resource *)
+  e_waits : int;  (** completed waits (matched block→grant pairs) *)
+  e_wait_us : int;  (** cumulative wait attributed, microseconds *)
+  e_max_wait_us : int;
+  e_queue_depth_sum : int;  (** sum of queue depths seen at block time *)
+  e_max_queue_depth : int;
+  e_deadlocks : int;  (** deadlock cycles broken while a victim waited here *)
+  e_kills : int;  (** victims killed (any reason) while waiting here *)
+}
+
+val mean_wait_us : 'k entry -> float
+val mean_queue_depth : 'k entry -> float
+
+type 'k t
+
+val create : unit -> 'k t
+
+val record_block : 'k t -> 'k -> queue_depth:int -> unit
+(** A request queued on the resource behind [queue_depth] others. *)
+
+val record_wait : 'k t -> 'k -> wait_us:int -> unit
+(** A wait on the resource completed (granted, or cut short by a kill)
+    after [wait_us] microseconds. *)
+
+val record_kill : 'k t -> ?deadlock:bool -> 'k -> unit
+(** A transaction waiting on the resource was killed; [deadlock] marks
+    the kill as a deadlock-cycle resolution (default false). *)
+
+val blocks : 'k t -> int
+val total_wait_us : 'k t -> int
+
+val top : ?k:int -> 'k t -> 'k entry list
+(** The [k] (default 10) hottest resources by cumulative wait time, ties
+    broken by deadlock participation then block count; fewer when fewer
+    resources ever blocked. *)
+
+val to_json : key:('k -> string) -> ?k:int -> 'k t -> Json.t
+
+val pp : key:('k -> string) -> ?k:int -> Format.formatter -> 'k t -> unit
+(** A ranked table: share of total wait, cumulative/mean/max wait, queue
+    depths and deadlock participation per resource. *)

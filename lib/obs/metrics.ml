@@ -123,6 +123,34 @@ let mean h =
   let n = count h in
   if n = 0 then 0.0 else float_of_int (sum h) /. float_of_int n
 
+(* Quantile estimation by bucket interpolation: walk the cumulative
+   counts to the bucket holding the target rank, then interpolate
+   linearly inside its [lo, hi] range (bucket 0 is exactly 0).  The
+   exact tracked max clamps the top bucket's open-ended guess. *)
+let quantile h q =
+  let n = count h in
+  if n = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let target = q *. float_of_int n in
+    let rec go i cum =
+      if i >= buckets_len then float_of_int (max_value h)
+      else
+        let c = Atomic.get h.h_buckets.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= target then
+          if i = 0 then 0.0
+          else begin
+            let lo, hi = bucket_bounds i in
+            let frac = (target -. float_of_int cum) /. float_of_int c in
+            let v = float_of_int lo +. (frac *. float_of_int (hi - lo)) in
+            Float.min v (float_of_int (max_value h))
+          end
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
 let nonempty_buckets h =
   let acc = ref [] in
   for i = buckets_len - 1 downto 0 do
@@ -183,11 +211,60 @@ let metric_to_json = function
           ("sum", Json.Int (sum h));
           ("max", Json.Int (max_value h));
           ("mean", Json.Float (mean h));
+          ("p50", Json.Float (quantile h 0.50));
+          ("p95", Json.Float (quantile h 0.95));
+          ("p99", Json.Float (quantile h 0.99));
           ("buckets", Json.List buckets);
         ]
 
 let to_json t =
   Json.Obj (List.map (fun name -> (name, metric_to_json (find t name))) (names t))
+
+(* Prometheus text exposition (version 0.0.4).  Metric names keep only
+   [a-zA-Z0-9_:]; the registry's dots become underscores.  Histograms
+   render as the classical cumulative [le] series plus p50/p95/p99
+   gauges (Prometheus histograms carry no native quantiles; summaries
+   cannot share a histogram's name). *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+let to_prometheus ?(prefix = "tavcc") t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let full name = if prefix = "" then prom_name name else prefix ^ "_" ^ prom_name name in
+  List.iter
+    (fun name ->
+      let n = full name in
+      match find t name with
+      | C c ->
+          line "# TYPE %s counter" n;
+          line "%s %d" n (value c)
+      | G g ->
+          line "# TYPE %s gauge" n;
+          line "%s %d" n (gauge_value g);
+          line "# TYPE %s_max gauge" n;
+          line "%s_max %d" n (gauge_max g)
+      | H h ->
+          line "# TYPE %s histogram" n;
+          let cum = ref 0 in
+          List.iter
+            (fun (_, hi, cnt) ->
+              cum := !cum + cnt;
+              line "%s_bucket{le=\"%d\"} %d" n (max hi 0) !cum)
+            (nonempty_buckets h);
+          line "%s_bucket{le=\"+Inf\"} %d" n (count h);
+          line "%s_sum %d" n (sum h);
+          line "%s_count %d" n (count h);
+          List.iter
+            (fun (q, label) ->
+              line "# TYPE %s_%s gauge" n label;
+              line "%s_%s %g" n label (quantile h q))
+            [ (0.50, "p50"); (0.95, "p95"); (0.99, "p99") ])
+    (names t);
+  Buffer.contents b
 
 let pp ppf t =
   List.iter
@@ -196,8 +273,9 @@ let pp ppf t =
       | C c -> Format.fprintf ppf "%-32s %d@." name (value c)
       | G g -> Format.fprintf ppf "%-32s %d (max %d)@." name (gauge_value g) (gauge_max g)
       | H h ->
-          Format.fprintf ppf "%-32s count=%d sum=%d max=%d mean=%.1f@." name (count h)
-            (sum h) (max_value h) (mean h);
+          Format.fprintf ppf "%-32s count=%d sum=%d max=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f@."
+            name (count h) (sum h) (max_value h) (mean h) (quantile h 0.50)
+            (quantile h 0.95) (quantile h 0.99);
           List.iter
             (fun (lo, hi, n) ->
               Format.fprintf ppf "%-32s   [%d..%d] %d@." "" (if lo = min_int then 0 else lo) hi n)

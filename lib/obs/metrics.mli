@@ -62,6 +62,13 @@ val nonempty_buckets : histogram -> (int * int * int) list
 (** [(lo, hi, count)] for every bucket with at least one observation, in
     increasing order. *)
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([q] clamped to [0, 1]) by
+    linear interpolation inside the log bucket holding the target rank;
+    the exact tracked max clamps the top bucket, and an empty histogram
+    reports [0.].  The estimate's relative error is bounded by the
+    bucket width (a factor of 2). *)
+
 val time_us : t -> string -> (unit -> 'a) -> 'a
 (** [time_us t name f] runs [f] and records its wall-clock duration in
     microseconds into the histogram [name] (observed even if [f]
@@ -71,4 +78,16 @@ val names : t -> string list
 (** Registration order. *)
 
 val to_json : t -> Json.t
+(** Histograms carry [count]/[sum]/[max]/[mean], interpolated
+    [p50]/[p95]/[p99], and the non-empty buckets. *)
+
 val pp : Format.formatter -> t -> unit
+
+val to_prometheus : ?prefix:string -> t -> string
+(** The Prometheus text exposition (format 0.0.4) of the whole registry,
+    ready to be written to a file or served verbatim over HTTP.  Names
+    are sanitised to [[a-zA-Z0-9_:]] and prefixed with [prefix]
+    (default ["tavcc"], "" for none): counter [par.commits] becomes
+    [tavcc_par_commits].  Gauges emit their [_max] high-water mark as a
+    second gauge; histograms emit the cumulative [le] bucket series,
+    [_sum]/[_count], and [_p50]/[_p95]/[_p99] quantile gauges. *)

@@ -1,0 +1,70 @@
+(* SPSC ring: [head] is owned by the consumer, [tail] by the producer;
+   each side only ever stores to its own index.  A slot between head and
+   tail is published (producer wrote it, then released it through the
+   atomic store to [tail]); a slot outside that window belongs to the
+   producer.  The option array holds immutable values, so a drained
+   event is a single pointer read — nothing can tear. *)
+
+type 'a t = {
+  mask : int;
+  buf : 'a option array;
+  head : int Atomic.t; (* next slot to read; consumer-owned *)
+  tail : int Atomic.t; (* next slot to write; producer-owned *)
+  r_pushed : int Atomic.t;
+  r_dropped : int Atomic.t;
+  r_drained : int Atomic.t;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 2
+
+let create cap =
+  if cap <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  let size = next_pow2 cap in
+  {
+    mask = size - 1;
+    buf = Array.make size None;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    r_pushed = Atomic.make 0;
+    r_dropped = Atomic.make 0;
+    r_drained = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then begin
+    ignore (Atomic.fetch_and_add t.r_dropped 1);
+    false
+  end
+  else begin
+    t.buf.(tail land t.mask) <- Some x;
+    (* Release: publishes the slot write above to the consumer. *)
+    Atomic.set t.tail (tail + 1);
+    ignore (Atomic.fetch_and_add t.r_pushed 1);
+    true
+  end
+
+let drain t f =
+  let tail = Atomic.get t.tail (* acquire: slots below [tail] are visible *) in
+  let head = Atomic.get t.head in
+  let n = tail - head in
+  for i = head to tail - 1 do
+    let slot = i land t.mask in
+    (match t.buf.(slot) with Some x -> f x | None -> assert false);
+    t.buf.(slot) <- None
+  done;
+  (* Release: returns the slots to the producer only after they are
+     read and cleared. *)
+  Atomic.set t.head tail;
+  ignore (Atomic.fetch_and_add t.r_drained n);
+  n
+
+let pushed t = Atomic.get t.r_pushed
+let dropped t = Atomic.get t.r_dropped
+let drained t = Atomic.get t.r_drained
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)

@@ -1,0 +1,50 @@
+(** Single-producer single-consumer event rings.
+
+    One ring per writer domain: the owning domain {!push}es without ever
+    taking a lock (a slot write plus one atomic store), and a single
+    coordinator domain {!drain}s all rings periodically.  This is how the
+    multicore engine streams trace events off its workers without a
+    global mutex — contrast {!Sink.ring}, which is single-domain and
+    keeps only the newest window.
+
+    Correctness under the OCaml 5 memory model is the classical
+    message-passing idiom: the producer's plain slot write is published
+    by its atomic store to [tail], and the consumer's acquire read of
+    [tail] makes the slot visible before it is read.  Slots hold
+    immutable values, so a drained event is never torn.  When the ring is
+    full the push is {e dropped} (never blocks, never overwrites unread
+    events) and counted, so a consumer can always reconcile
+    [pushed = drained + dropped + pending].
+
+    The SPSC discipline is the caller's contract: one domain pushing, one
+    domain draining.  Any number of domains may read the counters. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create cap] — capacity is rounded up to a power of two, minimum 2.
+    @raise Invalid_argument when [cap <= 0]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** Producer side only.  [false] means the ring was full and the event
+    was dropped (and counted in {!dropped}). *)
+
+val drain : 'a t -> ('a -> unit) -> int
+(** Consumer side only.  Applies the callback to every event published
+    so far, oldest first, frees the slots, and returns how many were
+    consumed. *)
+
+val pushed : 'a t -> int
+(** Events accepted by {!push} since creation (excludes drops). *)
+
+val dropped : 'a t -> int
+(** Pushes refused because the ring was full. *)
+
+val drained : 'a t -> int
+(** Events consumed by {!drain} since creation. *)
+
+val length : 'a t -> int
+(** Events currently published but not yet drained (a racy snapshot —
+    exact only when producer or consumer is quiescent). *)

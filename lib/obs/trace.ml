@@ -1,4 +1,4 @@
-type phase = Complete | Begin | End | Instant | Meta
+type phase = Complete | Begin | End | Instant | Meta | Flow_start | Flow_end
 
 type event = {
   name : string;
@@ -8,6 +8,7 @@ type event = {
   dur : int;
   pid : int;
   tid : int;
+  id : int;
   args : (string * Json.t) list;
 }
 
@@ -17,9 +18,11 @@ let ph_string = function
   | End -> "E"
   | Instant -> "i"
   | Meta -> "M"
+  | Flow_start -> "s"
+  | Flow_end -> "f"
 
 let make ?(cat = "") ?(pid = 0) ?(args = []) ~ph ~ts ~tid name =
-  { name; cat; ph; ts; dur = 0; pid; tid; args }
+  { name; cat; ph; ts; dur = 0; pid; tid; id = 0; args }
 
 let complete ?cat ?pid ?args ~ts ~dur ~tid name =
   { (make ?cat ?pid ?args ~ph:Complete ~ts ~tid name) with dur }
@@ -28,8 +31,20 @@ let begin_ ?cat ?pid ?args ~ts ~tid name = make ?cat ?pid ?args ~ph:Begin ~ts ~t
 let end_ ?cat ?pid ?args ~ts ~tid name = make ?cat ?pid ?args ~ph:End ~ts ~tid name
 let instant ?cat ?pid ?args ~ts ~tid name = make ?cat ?pid ?args ~ph:Instant ~ts ~tid name
 
+(* A flow is an arrow between two slices: an "s" record anchored at the
+   source slice and an "f" record (binding point "e": the enclosing
+   slice) at the destination, paired by [id] within the same cat+name. *)
+let flow_start ?cat ?pid ?args ~ts ~tid ~id name =
+  { (make ?cat ?pid ?args ~ph:Flow_start ~ts ~tid name) with id }
+
+let flow_end ?cat ?pid ?args ~ts ~tid ~id name =
+  { (make ?cat ?pid ?args ~ph:Flow_end ~ts ~tid name) with id }
+
 let process_name ~pid name =
   make ~pid ~args:[ ("name", Json.String name) ] ~ph:Meta ~ts:0 ~tid:0 "process_name"
+
+let thread_name ~pid ~tid name =
+  make ~pid ~args:[ ("name", Json.String name) ] ~ph:Meta ~ts:0 ~tid "thread_name"
 
 let event_to_json e =
   let base =
@@ -45,8 +60,14 @@ let event_to_json e =
   let dur = if e.ph = Complete then [ ("dur", Json.Int e.dur) ] else [] in
   (* Thread-scoped instants render as small arrows in Perfetto. *)
   let scope = if e.ph = Instant then [ ("s", Json.String "t") ] else [] in
+  let flow =
+    match e.ph with
+    | Flow_start -> [ ("id", Json.Int e.id) ]
+    | Flow_end -> [ ("id", Json.Int e.id); ("bp", Json.String "e") ]
+    | _ -> []
+  in
   let args = if e.args = [] then [] else [ ("args", Json.Obj e.args) ] in
-  Json.Obj (base @ dur @ scope @ args)
+  Json.Obj (base @ dur @ scope @ flow @ args)
 
 let to_json events = Json.List (List.map event_to_json events)
 

@@ -4,15 +4,18 @@
     Every event carries the four mandatory fields of the format — [ph]
     (phase), [ts] (timestamp, conventionally microseconds; the simulator
     uses scheduler steps), [pid] and [tid] — plus a name, a category and
-    optional typed [args].  Four phases are enough for the simulator's
-    fiber schedules:
+    optional typed [args].  The phases in use:
     - [Complete] ("X"): a span with an explicit duration — one per
       transaction attempt;
     - [Begin]/[End] ("B"/"E"): nested open/close spans — lock waits;
     - [Instant] ("i"): a point event — deadlocks, wounds, deaths,
-      timeouts. *)
+      timeouts;
+    - [Flow_start]/[Flow_end] ("s"/"f"): an arrow between two slices,
+      possibly on different tracks — the multicore exporter links a
+      blocked request on one domain to its grant or wound on another;
+      the two records pair by [id] within the same [cat] and [name]. *)
 
-type phase = Complete | Begin | End | Instant | Meta
+type phase = Complete | Begin | End | Instant | Meta | Flow_start | Flow_end
 
 type event = {
   name : string;
@@ -22,6 +25,7 @@ type event = {
   dur : int;  (** meaningful for [Complete] only *)
   pid : int;
   tid : int;
+  id : int;  (** flow-pairing id; meaningful for the flow phases only *)
   args : (string * Json.t) list;
 }
 
@@ -43,14 +47,29 @@ val instant :
   ?cat:string -> ?pid:int -> ?args:(string * Json.t) list ->
   ts:int -> tid:int -> string -> event
 
+val flow_start :
+  ?cat:string -> ?pid:int -> ?args:(string * Json.t) list ->
+  ts:int -> tid:int -> id:int -> string -> event
+
+val flow_end :
+  ?cat:string -> ?pid:int -> ?args:(string * Json.t) list ->
+  ts:int -> tid:int -> id:int -> string -> event
+(** Rendered with binding point ["e"]: the arrow lands on the slice
+    enclosing [ts] on the destination track. *)
+
 val process_name : pid:int -> string -> event
 (** The ["M"] metadata event that labels a pid in the viewer — one per
     process when merging several runs into one trace. *)
 
+val thread_name : pid:int -> tid:int -> string -> event
+(** The ["M"] metadata event that labels a tid (a track) in the viewer —
+    the multicore exporter emits one per domain. *)
+
 val event_to_json : event -> Json.t
 (** Always includes ["name"], ["cat"], ["ph"], ["ts"], ["pid"] and
     ["tid"]; ["dur"] for complete events, ["s"] = "t" (thread scope) for
-    instants, ["args"] when non-empty. *)
+    instants, ["id"] (plus ["bp"] = "e" on "f") for flow events, and
+    ["args"] when non-empty. *)
 
 val to_json : event list -> Json.t
 (** The array-of-events form of the trace-event format. *)

@@ -18,6 +18,8 @@ type config = {
   backoff_cap_us : int;
   record_history : bool;
   metrics : Metrics.t option;
+  obs : Par_obs.t option;
+  stall_sink : Shard_table.stall_report Tavcc_obs.Sink.t;
 }
 
 let default_config =
@@ -32,6 +34,8 @@ let default_config =
     backoff_cap_us = 5000;
     record_history = false;
     metrics = None;
+    obs = None;
+    stall_sink = Tavcc_obs.Sink.null;
   }
 
 type result = {
@@ -90,8 +94,13 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
     (Schema.classes (Store.schema store));
   let t0 = Unix.gettimeofday () in
   let clock () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  if Option.fold ~none:false ~some:(fun o -> Par_obs.domain_count o <> config.domains)
+       config.obs
+  then invalid_arg "Par_engine.run: obs was created for a different domain count";
+  let oemit k = Option.iter (fun o -> Par_obs.emit o k) config.obs in
   let locks =
     Shard_table.create ~shards:config.shards ?metrics:config.metrics ~clock
+      ?tracer:(Option.map Par_obs.tracer config.obs)
       ~conflict:scheme.Scheme.conflict ()
   in
   let pm =
@@ -152,17 +161,28 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
     | None -> 0.
   in
   let detector () =
+    Option.iter (fun o -> Par_obs.attach o ~dom:(Par_obs.detector_dom o)) config.obs;
     let period = float_of_int (max 50 config.detector_period_us) /. 1e6 in
     let last_progress = ref (0, Unix.gettimeofday ()) in
     while not (Atomic.get stop) do
       Unix.sleepf period;
+      (* The detector doubles as the ring coordinator: it is the single
+         consumer of the per-domain event rings while the run is live. *)
+      Option.iter (fun o -> ignore (Par_obs.drain o)) config.obs;
       if watchdog_s > 0. then begin
         let p = Atomic.get commits + Atomic.get aborts + Atomic.get restarts in
         let lp, lt = !last_progress in
         if p <> lp then last_progress := (p, Unix.gettimeofday ())
         else if Unix.gettimeofday () -. lt > watchdog_s then begin
-          Format.eprintf "@[<v>=== par watchdog: no progress for %.1fs ===@,%a=== end ===@]@."
-            (Unix.gettimeofday () -. lt) Shard_table.pp_state locks;
+          let report =
+            Shard_table.stall_report ~elapsed_s:(Unix.gettimeofday () -. lt) locks
+          in
+          (* Structured consumers take the report itself; without a sink
+             the pretty-printed dump goes to stderr as before. *)
+          if Tavcc_obs.Sink.is_null config.stall_sink then
+            Format.eprintf "@[<v>=== par watchdog: no progress for %.1fs ===@,%a=== end ===@]@."
+              report.Shard_table.sr_elapsed_s Shard_table.pp_stall_report report
+          else Tavcc_obs.Sink.push config.stall_sink report;
           last_progress := (p, Unix.gettimeofday ())
         end
       end;
@@ -224,6 +244,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
   let run_job (id, actions) =
     let rec attempt n txn =
       Shard_table.register locks ~id ~birth:id;
+      oemit (Par_obs.E_begin { txn = id; attempt = n });
       let began = Unix.gettimeofday () in
       let finish_and_release () =
         Shard_table.finish locks id;
@@ -319,6 +340,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
           session := None;
           Txn.commit txn;
           record (History.Commit id);
+          oemit (Par_obs.E_commit { txn = id; attempt = n });
           Atomic.incr commits;
           tick (fun p ->
               Metrics.incr p.pm_commits;
@@ -327,6 +349,9 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
           finish_and_release ()
       | exception Shard_table.Aborted reason ->
           close_session_abort ();
+          oemit
+            (Par_obs.E_abort
+               { txn = id; attempt = n; reason = Shard_table.reason_name reason });
           (match reason with
           | Shard_table.Wounded _ ->
               Atomic.incr wounds;
@@ -347,6 +372,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
           (* optimistic commit lost its validation race: same shape as a
              deadlock abort — undo, release, restart with backoff *)
           close_session_abort ();
+          oemit (Par_obs.E_abort { txn = id; attempt = n; reason = "validation" });
           Atomic.incr occ_vfails;
           Atomic.incr aborts;
           tick (fun p -> Metrics.incr p.pm_aborts);
@@ -356,6 +382,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
           retry_or_fail ()
       | exception e ->
           close_session_abort ();
+          oemit (Par_obs.E_abort { txn = id; attempt = n; reason = "failed" });
           record (History.Abort id);
           Txn.abort store txn;
           finish_and_release ();
@@ -365,11 +392,22 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
     in
     attempt 0 (Txn.make ~id ~birth:id)
   in
-  let worker () =
+  let worker dom () =
+    Option.iter (fun o -> Par_obs.attach o ~dom) config.obs;
+    (* Per-domain busy time: what [oosim top] turns into utilisation. *)
+    let busy =
+      Option.map
+        (fun m -> Metrics.counter m (Printf.sprintf "par.dom%d.busy_us" dom))
+        config.metrics
+    in
     let rec pull () =
       let i = Atomic.fetch_and_add cursor 1 in
       if i < Array.length jobs_arr then begin
+        let j0 = Unix.gettimeofday () in
         run_job jobs_arr.(i);
+        Option.iter
+          (fun c -> Metrics.add c (int_of_float ((Unix.gettimeofday () -. j0) *. 1e6)))
+          busy;
         pull ()
       end
     in
@@ -377,10 +415,14 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
   in
   Option.iter (fun m -> m.Scheme.mv_run_begin ()) scheme.Scheme.mvcc;
   let det = Domain.spawn detector in
-  let workers = List.init config.domains (fun _ -> Domain.spawn worker) in
+  let workers = List.init config.domains (fun dom -> Domain.spawn (worker dom)) in
   List.iter Domain.join workers;
   Atomic.set stop true;
   Domain.join det;
+  (* The joins make every ring quiescent and published; the final drain
+     (consumer role handed from the detector to this domain) picks up
+     whatever the last sweep missed. *)
+  Option.iter (fun o -> ignore (Par_obs.drain o)) config.obs;
   let wall = Unix.gettimeofday () -. t0 in
   let c = Atomic.get commits in
   {

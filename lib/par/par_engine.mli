@@ -60,14 +60,29 @@ type config = {
       (** counters [par.commits], [par.aborts], [par.deadlocks],
           [par.wounds], [par.died], [par.timeouts], [par.restarts], the
           [par.txn_us] per-commit latency and [par.backoff_us] sleep
-          histograms, and the shard tables' [lock.*] metrics with a
+          histograms, a [par.dom<i>.busy_us] busy-time counter per worker
+          domain, and the shard tables' [lock.*] metrics with a
           microsecond clock *)
+  obs : Par_obs.t option;
+      (** per-domain event streams: workers and the lock manager emit
+          transaction- and lock-lifecycle events into domain-local rings,
+          the detector domain drains them while the run is live (a final
+          drain happens after the joins), feeding the contention profiler
+          and — with [keep_events] — the multicore Perfetto export.  Must
+          have been created with this config's [domains].
+          @raise Invalid_argument otherwise *)
+  stall_sink : Shard_table.stall_report Tavcc_obs.Sink.t;
+      (** where the [TAVCC_PAR_WATCHDOG] stall dump goes: [Sink.null]
+          (the default) pretty-prints to stderr as before; any other sink
+          receives the structured {!Shard_table.stall_report} instead
+          (render with [Shard_table.stall_report_to_json]).  The env var
+          still arms the watchdog either way. *)
 }
 
 val default_config : config
 (** 4 domains, 8 shards, [Detect], 1000 restarts, 500 us detector
     period, 50 us backoff base capped at 5 ms, no history, no
-    metrics. *)
+    metrics, no event streams, stderr stall dumps. *)
 
 type result = {
   commits : int;

@@ -1,0 +1,237 @@
+open Tavcc_lock
+module LT = Lock_table
+module Ring = Tavcc_obs.Ring
+module Contention = Tavcc_obs.Contention
+module Trace = Tavcc_obs.Trace
+module Json = Tavcc_obs.Json
+
+type ev_kind =
+  | E_begin of { txn : int; attempt : int }
+  | E_block of {
+      txn : int;
+      wait_id : int;
+      res : Resource.t;
+      mode : int;
+      queue_depth : int;
+    }
+  | E_resume of { txn : int; wait_id : int }
+  | E_grant of { txn : int; wait_id : int }
+  | E_kill of {
+      victim : int;
+      wait_id : int;
+      res : Resource.t option;
+      reason : Shard_table.reason;
+    }
+  | E_commit of { txn : int; attempt : int }
+  | E_abort of { txn : int; attempt : int; reason : string }
+
+type ev = { ev_ts : int; ev_dom : int; ev_kind : ev_kind }
+
+type t = {
+  rings : ev Ring.t array;  (* workers 0..domains-1, detector at [domains] *)
+  dls : int option Domain.DLS.key;
+  epoch : float;
+  keep : bool;
+  unattached : int Atomic.t;  (* emissions with no ring — counted as drops *)
+  cont : Resource.t Contention.t;
+  (* Consumer-only state (the single-drainer contract covers it): *)
+  mutable acc : ev list;  (* retained stream, newest batch first *)
+  pending_blocks : (int, Resource.t * int) Hashtbl.t;  (* wait_id -> res, ts *)
+  orphan_grants : (int, int) Hashtbl.t;  (* grant drained before its block *)
+}
+
+let create ?(ring_cap = 65536) ?(keep_events = true) ~domains () =
+  if domains <= 0 then invalid_arg "Par_obs.create: domains must be positive";
+  {
+    rings = Array.init (domains + 1) (fun _ -> Ring.create ring_cap);
+    dls = Domain.DLS.new_key (fun () -> None);
+    epoch = Unix.gettimeofday ();
+    keep = keep_events;
+    unattached = Atomic.make 0;
+    cont = Contention.create ();
+    acc = [];
+    pending_blocks = Hashtbl.create 64;
+    orphan_grants = Hashtbl.create 16;
+  }
+
+let domain_count t = Array.length t.rings - 1
+let detector_dom t = domain_count t
+
+let attach t ~dom =
+  if dom < 0 || dom >= Array.length t.rings then
+    invalid_arg "Par_obs.attach: domain index out of range";
+  Domain.DLS.set t.dls (Some dom)
+
+let now_us t = int_of_float ((Unix.gettimeofday () -. t.epoch) *. 1e6)
+
+let emit t kind =
+  match Domain.DLS.get t.dls with
+  | None -> ignore (Atomic.fetch_and_add t.unattached 1)
+  | Some dom ->
+      ignore (Ring.push t.rings.(dom) { ev_ts = now_us t; ev_dom = dom; ev_kind = kind })
+
+let tracer t =
+  {
+    Shard_table.tr_block =
+      (fun (r : LT.req) ~wait_id ~queue_depth ->
+        emit t
+          (E_block
+             { txn = r.LT.r_txn; wait_id; res = r.LT.r_res; mode = r.LT.r_mode; queue_depth }));
+    tr_resume = (fun (r : LT.req) ~wait_id -> emit t (E_resume { txn = r.LT.r_txn; wait_id }));
+    tr_grant = (fun (r : LT.req) ~wait_id -> emit t (E_grant { txn = r.LT.r_txn; wait_id }));
+    tr_kill =
+      (fun ~victim ~wait_id ~waiting_on reason ->
+        emit t
+          (E_kill
+             {
+               victim;
+               wait_id;
+               res = Option.map (fun (r : LT.req) -> r.LT.r_res) waiting_on;
+               reason;
+             }));
+  }
+
+(* --- consumer side --- *)
+
+(* Close the wait [wait_id] at [ts], attributing the elapsed time to the
+   blocked resource.  First closer wins: a grant and the subsequent
+   resume both try, the second finds nothing pending. *)
+let close_wait t ~wait_id ~ts =
+  match Hashtbl.find_opt t.pending_blocks wait_id with
+  | Some (res, t0) ->
+      Hashtbl.remove t.pending_blocks wait_id;
+      Contention.record_wait t.cont res ~wait_us:(ts - t0)
+  | None -> ()
+
+let feed t e =
+  match e.ev_kind with
+  | E_block { res; queue_depth; wait_id; _ } -> (
+      Contention.record_block t.cont res ~queue_depth;
+      Hashtbl.replace t.pending_blocks wait_id (res, e.ev_ts);
+      (* A grant from another ring may have surfaced first. *)
+      match Hashtbl.find_opt t.orphan_grants wait_id with
+      | Some ts ->
+          Hashtbl.remove t.orphan_grants wait_id;
+          close_wait t ~wait_id ~ts:(max ts e.ev_ts)
+      | None -> ())
+  | E_grant { wait_id; _ } ->
+      if Hashtbl.mem t.pending_blocks wait_id then close_wait t ~wait_id ~ts:e.ev_ts
+      else Hashtbl.replace t.orphan_grants wait_id e.ev_ts
+  | E_resume { wait_id; _ } -> close_wait t ~wait_id ~ts:e.ev_ts
+  | E_kill { res; wait_id; reason; _ } ->
+      Option.iter
+        (fun r ->
+          Contention.record_kill t.cont
+            ~deadlock:(reason = Shard_table.Deadlock_victim)
+            r)
+        res;
+      if wait_id > 0 then close_wait t ~wait_id ~ts:e.ev_ts
+  | E_begin _ | E_commit _ | E_abort _ -> ()
+
+let drain t =
+  let batch = ref [] in
+  Array.iter (fun r -> ignore (Ring.drain r (fun e -> batch := e :: !batch))) t.rings;
+  let evs = List.sort (fun a b -> Int.compare a.ev_ts b.ev_ts) !batch in
+  List.iter (feed t) evs;
+  if t.keep then t.acc <- List.rev_append evs t.acc;
+  List.length evs
+
+let contention t = t.cont
+let events t = List.sort (fun a b -> Int.compare a.ev_ts b.ev_ts) t.acc
+
+let pushed t = Array.fold_left (fun acc r -> acc + Ring.pushed r) 0 t.rings
+
+let dropped t =
+  Atomic.get t.unattached + Array.fold_left (fun acc r -> acc + Ring.dropped r) 0 t.rings
+
+let res_key r = Format.asprintf "%a" Resource.pp r
+
+(* --- Perfetto export --- *)
+
+let to_trace ?(pid = 0) t =
+  let evs = events t in
+  let out = ref [] in
+  let push e = out := e :: !out in
+  for d = 0 to domain_count t do
+    push
+      (Trace.thread_name ~pid ~tid:d
+         (if d = detector_dom t then "detector" else Printf.sprintf "worker %d" d))
+  done;
+  let last_ts = ref 0 in
+  let attempts = Hashtbl.create 64 in (* txn -> start ts, dom, attempt *)
+  let open_waits = Hashtbl.create 64 in (* wait_id -> waiter dom *)
+  let flowed = Hashtbl.create 64 in (* wait ids whose arrow already landed *)
+  let span_name txn attempt = Printf.sprintf "t%d#%d" txn attempt in
+  let attempt_span ~ts ~outcome txn =
+    match Hashtbl.find_opt attempts txn with
+    | None -> ()
+    | Some (t0, dom, n) ->
+        Hashtbl.remove attempts txn;
+        push
+          (Trace.complete ~cat:"txn" ~pid
+             ~args:
+               [
+                 ("txn", Json.Int txn);
+                 ("attempt", Json.Int n);
+                 ("outcome", Json.String outcome);
+               ]
+             ~ts:t0 ~dur:(max 0 (ts - t0)) ~tid:dom (span_name txn n))
+  in
+  let end_wait ~ts wait_id =
+    match Hashtbl.find_opt open_waits wait_id with
+    | None -> ()
+    | Some dom ->
+        Hashtbl.remove open_waits wait_id;
+        push (Trace.end_ ~cat:"lock" ~pid ~ts ~tid:dom "wait")
+  in
+  let land_flow ~ts ~tid wait_id =
+    if wait_id > 0 && not (Hashtbl.mem flowed wait_id) then begin
+      Hashtbl.replace flowed wait_id ();
+      push (Trace.flow_end ~cat:"flow" ~pid ~ts ~tid ~id:wait_id "grant")
+    end
+  in
+  List.iter
+    (fun e ->
+      last_ts := max !last_ts e.ev_ts;
+      match e.ev_kind with
+      | E_begin { txn; attempt } ->
+          (* A begin with a stale open span means the abort event was
+             dropped; close it so the track stays well-nested. *)
+          attempt_span ~ts:e.ev_ts ~outcome:"lost" txn;
+          Hashtbl.replace attempts txn (e.ev_ts, e.ev_dom, attempt)
+      | E_commit { txn; _ } -> attempt_span ~ts:e.ev_ts ~outcome:"commit" txn
+      | E_abort { txn; reason; _ } -> attempt_span ~ts:e.ev_ts ~outcome:reason txn
+      | E_block { txn; wait_id; res; mode; queue_depth } ->
+          Hashtbl.replace open_waits wait_id e.ev_dom;
+          push
+            (Trace.begin_ ~cat:"lock" ~pid
+               ~args:
+                 [
+                   ("txn", Json.Int txn);
+                   ("resource", Json.String (res_key res));
+                   ("mode", Json.Int mode);
+                   ("queue_depth", Json.Int queue_depth);
+                   ("wait_id", Json.Int wait_id);
+                 ]
+               ~ts:e.ev_ts ~tid:e.ev_dom "wait");
+          push (Trace.flow_start ~cat:"flow" ~pid ~ts:e.ev_ts ~tid:e.ev_dom ~id:wait_id "grant")
+      | E_resume { wait_id; _ } -> end_wait ~ts:e.ev_ts wait_id
+      | E_grant { wait_id; _ } -> land_flow ~ts:e.ev_ts ~tid:e.ev_dom wait_id
+      | E_kill { victim; wait_id; res; reason } ->
+          push
+            (Trace.instant ~cat:"kill" ~pid
+               ~args:
+                 (("victim", Json.Int victim)
+                 :: (match res with
+                    | None -> []
+                    | Some r -> [ ("waiting_on", Json.String (res_key r)) ]))
+               ~ts:e.ev_ts ~tid:e.ev_dom
+               ("kill:" ^ Shard_table.reason_name reason));
+          land_flow ~ts:e.ev_ts ~tid:e.ev_dom wait_id)
+    evs;
+  (* Close whatever survived the stream (dropped events, torn-down run). *)
+  Hashtbl.fold (fun wid dom acc -> (wid, dom) :: acc) open_waits []
+  |> List.iter (fun (_, dom) -> push (Trace.end_ ~cat:"lock" ~pid ~ts:!last_ts ~tid:dom "wait"));
+  Hashtbl.fold (fun txn _ acc -> txn :: acc) attempts []
+  |> List.iter (fun txn -> attempt_span ~ts:!last_ts ~outcome:"unfinished" txn);
+  List.rev !out

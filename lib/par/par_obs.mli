@@ -1,0 +1,112 @@
+(** Domain-aware event streams for the parallel engine.
+
+    One {!Tavcc_obs.Ring} per writer domain — the workers and the
+    detector — so lock-lifecycle and transaction-lifecycle events flow
+    off the hot paths without a global mutex: a worker's {!emit} is a
+    ring push on its own ring, found through a domain-local key set by
+    {!attach}.  A single coordinator (the detector domain while the run
+    is live, the main domain after the joins) {!drain}s all rings,
+    merges the batches by timestamp, and feeds them to the
+    {!Tavcc_obs.Contention} profiler; with [keep_events] the merged
+    stream is retained for {!to_trace}, the multicore Perfetto export.
+
+    Event pairing across rings uses the {!Shard_table} wait ids: a block
+    on domain A and its grant on domain B carry the same [wait_id], which
+    becomes the flow-event id linking the two tracks in the trace.  The
+    drain tolerates a grant surfacing {e before} its block (the rings are
+    independent; a batch boundary can fall between them) by parking the
+    orphan until its block arrives.
+
+    Overflow never blocks a worker: a full ring drops the event and
+    counts it ({!dropped}); sized by [ring_cap] (default 65536). *)
+
+open Tavcc_lock
+
+type ev_kind =
+  | E_begin of { txn : int; attempt : int }  (** attempt [n > 0] is a restart *)
+  | E_block of {
+      txn : int;
+      wait_id : int;
+      res : Resource.t;
+      mode : int;
+      queue_depth : int;
+    }
+  | E_resume of { txn : int; wait_id : int }  (** the waiter unparked *)
+  | E_grant of { txn : int; wait_id : int }  (** fired on the releasing domain *)
+  | E_kill of {
+      victim : int;
+      wait_id : int;  (** 0 when the victim was running *)
+      res : Resource.t option;  (** what the victim was waiting on *)
+      reason : Shard_table.reason;
+    }
+  | E_commit of { txn : int; attempt : int }
+  | E_abort of { txn : int; attempt : int; reason : string }
+
+type ev = { ev_ts : int; ev_dom : int; ev_kind : ev_kind }
+(** [ev_ts] in microseconds since {!create}; [ev_dom] is the emitting
+    domain's track index. *)
+
+type t
+
+val create : ?ring_cap:int -> ?keep_events:bool -> domains:int -> unit -> t
+(** [domains] worker rings plus one detector ring.  [keep_events]
+    (default true) retains the drained stream for {!events}/{!to_trace};
+    off, only the contention profiler and counters are fed.
+    @raise Invalid_argument when [domains <= 0]. *)
+
+val domain_count : t -> int
+(** Worker domains; track indices are [0 .. domain_count] with
+    {!detector_dom} last. *)
+
+val detector_dom : t -> int
+
+val attach : t -> dom:int -> unit
+(** Binds the calling domain to ring [dom] (a worker's index, or
+    {!detector_dom}); every subsequent {!emit} on this domain targets
+    that ring.  Call once at the top of the domain body.
+    @raise Invalid_argument on an out-of-range [dom]. *)
+
+val now_us : t -> int
+(** Microseconds since {!create} — the event clock. *)
+
+val emit : t -> ev_kind -> unit
+(** Stamps the event with {!now_us} and the attached ring.  Emitting
+    from an unattached domain counts the event as dropped. *)
+
+val tracer : t -> Shard_table.tracer
+(** The {!Shard_table} hooks rendered as {!emit}s: block, resume, grant
+    and kill events with their wait ids. *)
+
+(** {2 Consumer side — one domain at a time} *)
+
+val drain : t -> int
+(** Drains every ring, merges the batches by timestamp, feeds the
+    contention profiler (and the retained stream).  Single consumer: the
+    detector calls this while the run is live; after the joins the main
+    domain takes over for the final sweep. *)
+
+val contention : t -> Resource.t Tavcc_obs.Contention.t
+(** Safe to read from any domain at any time (internally locked) — what
+    [oosim top] polls. *)
+
+val events : t -> ev list
+(** The retained stream, timestamp-sorted.  Complete only after a final
+    {!drain} with all producers quiescent; empty when [keep_events] is
+    off. *)
+
+val pushed : t -> int
+
+val dropped : t -> int
+(** Ring overflows plus emissions from unattached domains. *)
+
+val res_key : Resource.t -> string
+(** Stable rendering of a resource — the contention report key. *)
+
+val to_trace : ?pid:int -> t -> Tavcc_obs.Trace.event list
+(** The Chrome trace-event rendering of {!events}: one track (tid) per
+    worker domain plus the detector track, labelled with [thread_name]
+    metas; a [Complete] span per transaction attempt named [t<id>#<gen>];
+    [Begin]/[End] wait spans; kill instants on the killer's track; and a
+    flow arrow per hand-off, from the block on the waiter's track to the
+    grant (on the releasing domain's track) or to the kill that ended
+    the wait.  Unclosed spans are closed at the last timestamp. *)

@@ -14,6 +14,18 @@ exception Aborted of reason
 
 type wait_policy = Block | Wound | Die_if_older | Never_wait
 
+(* Tracer callbacks fire on the domain where the transition happens (a
+   grant on the releasing domain, a wound on the elder's domain, a
+   detector kill on the detector domain), sometimes while a shard mutex
+   is held — they must not call back into the table.  [Par_obs] feeds
+   them into per-domain rings, which is exactly that cheap. *)
+type tracer = {
+  tr_block : LT.req -> wait_id:int -> queue_depth:int -> unit;
+  tr_resume : LT.req -> wait_id:int -> unit;
+  tr_grant : LT.req -> wait_id:int -> unit;
+  tr_kill : victim:txn_id -> wait_id:int -> waiting_on:LT.req option -> reason -> unit;
+}
+
 type shard = { mu : Mutex.t; tbl : LT.t }
 
 (* One slot per live transaction.  Lock ordering: a shard mutex may be
@@ -27,15 +39,22 @@ type slot = {
   mutable s_waiting_since : float;  (* > 0 while parked (Unix time) *)
   mutable s_granted : bool;  (* the parked request was granted *)
   mutable s_kill : reason option;
+  mutable s_wait_id : int;  (* id of the wait in progress, 0 when none *)
+  mutable s_wait_req : LT.req option;
+      (* the parked request — lets a killer report what the victim was
+         waiting on without calling [waiting_for] (which takes shard
+         mutexes the wound path already holds) *)
 }
 
 type t = {
   shards : shard array;
   reg_mu : Mutex.t;
   slots : (txn_id, slot) Hashtbl.t;
+  tracer : tracer option;
+  wait_ids : int Atomic.t;  (* fresh id per park, links block to grant/kill *)
 }
 
-let create ?(shards = 8) ?metrics ?clock ~conflict () =
+let create ?(shards = 8) ?metrics ?clock ?tracer ~conflict () =
   if shards <= 0 then invalid_arg "Shard_table.create: shards must be positive";
   {
     shards =
@@ -43,6 +62,8 @@ let create ?(shards = 8) ?metrics ?clock ~conflict () =
           { mu = Mutex.create (); tbl = LT.create ?metrics ?clock ~conflict () });
     reg_mu = Mutex.create ();
     slots = Hashtbl.create 64;
+    tracer;
+    wait_ids = Atomic.make 0;
   }
 
 let shard_count t = Array.length t.shards
@@ -81,6 +102,8 @@ let register t ~id ~birth =
           s_waiting_since = 0.;
           s_granted = false;
           s_kill = None;
+          s_wait_id = 0;
+          s_wait_req = None;
         })
 
 let finish t id =
@@ -91,17 +114,28 @@ let finish t id =
           s.s_active <- false;
           s.s_waiting_since <- 0.)
 
-let kill_slot s reason =
-  with_mu s.s_mu (fun () ->
-      if s.s_active && s.s_kill = None then begin
-        s.s_kill <- Some reason;
-        Condition.broadcast s.s_cond;
-        true
-      end
-      else false)
+let kill_slot t ~victim s reason =
+  let landed, wid, wreq =
+    with_mu s.s_mu (fun () ->
+        if s.s_active && s.s_kill = None then begin
+          s.s_kill <- Some reason;
+          Condition.broadcast s.s_cond;
+          (true, s.s_wait_id, s.s_wait_req)
+        end
+        else (false, 0, None))
+  in
+  if landed then
+    Option.iter
+      (fun tr ->
+        (* [wait_id] is 0 for a running victim; the slot's stored request
+           avoids [waiting_for] here — the wound path holds a shard
+           mutex. *)
+        tr.tr_kill ~victim ~wait_id:(if wreq = None then 0 else wid) ~waiting_on:wreq reason)
+      t.tracer;
+  landed
 
 let kill t ~victim reason =
-  match find_slot_opt t victim with None -> false | Some s -> kill_slot s reason
+  match find_slot_opt t victim with None -> false | Some s -> kill_slot t ~victim s reason
 
 let check_killed t id =
   match find_slot_opt t id with
@@ -131,9 +165,15 @@ let signal_granted t (reqs : LT.req list) =
       match find_slot_opt t r.LT.r_txn with
       | None -> ()
       | Some s ->
-          with_mu s.s_mu (fun () ->
-              s.s_granted <- true;
-              Condition.broadcast s.s_cond))
+          let wid =
+            with_mu s.s_mu (fun () ->
+                s.s_granted <- true;
+                Condition.broadcast s.s_cond;
+                if s.s_wait_req = None then 0 else s.s_wait_id)
+          in
+          (* The grant event fires on the {e releasing} domain — that is
+             the hand-off edge the flow arrows in the trace draw. *)
+          if wid > 0 then Option.iter (fun tr -> tr.tr_grant r ~wait_id:wid) t.tracer)
     reqs
 
 (* --- non-blocking mirror --- *)
@@ -252,45 +292,138 @@ let per_shard_stats t =
   Array.to_list t.shards
   |> List.map (fun sh -> with_mu sh.mu (fun () -> LT.copy_stats (LT.stats sh.tbl)))
 
-let pp_state ppf t =
+(* --- stall reports --- *)
+
+type stall_txn = {
+  st_txn : txn_id;
+  st_parked_s : float;
+  st_granted : bool;
+  st_kill : reason option;
+  st_waiting_for : LT.req option;
+  st_holders : LT.req list;
+  st_queued : LT.req list;
+  st_locks : LT.req list;
+}
+
+type stall_report = {
+  sr_elapsed_s : float;
+  sr_txns : stall_txn list;
+  sr_edges : (txn_id * txn_id) list;
+  sr_edges_rebuilt : (txn_id * txn_id) list;
+}
+
+let stall_report ?(elapsed_s = 0.) t =
   let ids =
     with_mu t.reg_mu (fun () -> Hashtbl.fold (fun id _ acc -> id :: acc) t.slots [])
     |> List.sort Int.compare
   in
+  let now = Unix.gettimeofday () in
+  let txns =
+    List.filter_map
+      (fun id ->
+        match find_slot_opt t id with
+        | None -> None
+        | Some s ->
+            let active, since, granted, kill =
+              with_mu s.s_mu (fun () -> (s.s_active, s.s_waiting_since, s.s_granted, s.s_kill))
+            in
+            if not active then None
+            else
+              let waiting = waiting_for t id in
+              let holders_q, queued_q =
+                match waiting with
+                | None -> ([], [])
+                | Some r -> (holders t r.LT.r_res, queued t r.LT.r_res)
+              in
+              Some
+                {
+                  st_txn = id;
+                  st_parked_s = (if since > 0. then now -. since else 0.);
+                  st_granted = granted;
+                  st_kill = kill;
+                  st_waiting_for = waiting;
+                  st_holders = holders_q;
+                  st_queued = queued_q;
+                  st_locks = locks_of t id;
+                })
+      ids
+  in
+  {
+    sr_elapsed_s = elapsed_s;
+    sr_txns = txns;
+    sr_edges = waits_for_edges t;
+    sr_edges_rebuilt =
+      Array.fold_left
+        (fun acc sh -> acc @ with_mu sh.mu (fun () -> LT.waits_for_edges_rebuild sh.tbl))
+        [] t.shards
+      |> List.sort_uniq compare;
+  }
+
+let pp_stall_report ppf sr =
+  let show r = Format.asprintf "%a" LT.pp_req r in
   List.iter
-    (fun id ->
-      match find_slot_opt t id with
-      | None -> ()
-      | Some s ->
-          let active, since, granted, kill =
-            with_mu s.s_mu (fun () -> (s.s_active, s.s_waiting_since, s.s_granted, s.s_kill))
-          in
-          if active then begin
-            let show r = Format.asprintf "%a" LT.pp_req r in
-            Format.fprintf ppf "txn %d: %s granted=%b kill=%s@," id
-              (if since > 0. then Printf.sprintf "PARKED %.3fs" (Unix.gettimeofday () -. since)
-               else "running")
-              granted
-              (match kill with None -> "-" | Some r -> reason_name r);
-            (match waiting_for t id with
-            | Some r ->
-                Format.fprintf ppf "  waiting-for %s; holders=[%s] queued=[%s]@," (show r)
-                  (String.concat "; " (List.map show (holders t r.LT.r_res)))
-                  (String.concat "; " (List.map show (queued t r.LT.r_res)))
-            | None -> ());
-            List.iter (fun r -> Format.fprintf ppf "  lock %s@," (show r)) (locks_of t id)
-          end)
-    ids;
+    (fun st ->
+      Format.fprintf ppf "txn %d: %s granted=%b kill=%s@," st.st_txn
+        (if st.st_parked_s > 0. then Printf.sprintf "PARKED %.3fs" st.st_parked_s
+         else "running")
+        st.st_granted
+        (match st.st_kill with None -> "-" | Some r -> reason_name r);
+      (match st.st_waiting_for with
+      | Some r ->
+          Format.fprintf ppf "  waiting-for %s; holders=[%s] queued=[%s]@," (show r)
+            (String.concat "; " (List.map show st.st_holders))
+            (String.concat "; " (List.map show st.st_queued))
+      | None -> ());
+      List.iter (fun r -> Format.fprintf ppf "  lock %s@," (show r)) st.st_locks)
+    sr.sr_txns;
   let pp_edges name edges =
     Format.fprintf ppf "%s: %s@," name
-      (String.concat " "
-         (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) (List.sort_uniq compare edges)))
+      (String.concat " " (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) edges))
   in
-  pp_edges "edges(incremental)" (waits_for_edges t);
-  pp_edges "edges(rebuilt)"
-    (Array.fold_left
-       (fun acc sh -> acc @ with_mu sh.mu (fun () -> LT.waits_for_edges_rebuild sh.tbl))
-       [] t.shards)
+  pp_edges "edges(incremental)" sr.sr_edges;
+  pp_edges "edges(rebuilt)" sr.sr_edges_rebuilt
+
+module Json = Tavcc_obs.Json
+
+let stall_report_to_json sr =
+  let req_json r = Json.String (Format.asprintf "%a" LT.pp_req r) in
+  let edges_json es =
+    Json.List (List.map (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ]) es)
+  in
+  Json.Obj
+    [
+      ("elapsed_s", Json.Float sr.sr_elapsed_s);
+      ( "txns",
+        Json.List
+          (List.map
+             (fun st ->
+               Json.Obj
+                 ([
+                    ("txn", Json.Int st.st_txn);
+                    ( "state",
+                      Json.String (if st.st_parked_s > 0. then "parked" else "running") );
+                    ("parked_s", Json.Float st.st_parked_s);
+                    ("granted", Json.Bool st.st_granted);
+                    ( "kill",
+                      match st.st_kill with
+                      | None -> Json.Null
+                      | Some r -> Json.String (reason_name r) );
+                  ]
+                 @ (match st.st_waiting_for with
+                   | None -> []
+                   | Some r ->
+                       [
+                         ("waiting_for", req_json r);
+                         ("holders", Json.List (List.map req_json st.st_holders));
+                         ("queued", Json.List (List.map req_json st.st_queued));
+                       ])
+                 @ [ ("locks", Json.List (List.map req_json st.st_locks)) ]))
+             sr.sr_txns) );
+      ("edges", edges_json sr.sr_edges);
+      ("edges_rebuilt", edges_json sr.sr_edges_rebuilt);
+    ]
+
+let pp_state ppf t = pp_stall_report ppf (stall_report t)
 
 (* --- blocking acquisition --- *)
 
@@ -321,7 +454,7 @@ let acquire_blocking t ~policy (req : LT.req) =
               (fun vid ->
                 match find_slot_opt t vid with
                 | Some v when v.s_birth > me.s_birth ->
-                    ignore (kill_slot v (Wounded req.LT.r_txn))
+                    ignore (kill_slot t ~victim:vid v (Wounded req.LT.r_txn))
                 | _ -> ())
               blocking;
             `Wait
@@ -347,10 +480,21 @@ let acquire_blocking t ~policy (req : LT.req) =
           (* Arm the slot while still holding the shard mutex: a grant
              needs that mutex, so it cannot slip in before the flags are
              reset (no lost wake-up). *)
+          let wid = 1 + Atomic.fetch_and_add t.wait_ids 1 in
+          let queue_depth = List.length (LT.queued sh.tbl req.LT.r_res) in
           with_mu me.s_mu (fun () ->
               me.s_granted <- false;
-              me.s_waiting_since <- Unix.gettimeofday ());
+              me.s_waiting_since <- Unix.gettimeofday ();
+              me.s_wait_id <- wid;
+              me.s_wait_req <- Some req);
           Mutex.unlock sh.mu;
+          Option.iter (fun tr -> tr.tr_block req ~wait_id:wid ~queue_depth) t.tracer;
+          let unpark () =
+            with_mu me.s_mu (fun () ->
+                me.s_waiting_since <- 0.;
+                me.s_wait_req <- None);
+            Option.iter (fun tr -> tr.tr_resume req ~wait_id:wid) t.tracer
+          in
           let rec park () =
             Mutex.lock me.s_mu;
             while (not me.s_granted) && me.s_kill = None do
@@ -362,7 +506,7 @@ let acquire_blocking t ~policy (req : LT.req) =
             | Some r ->
                 (* A kill that raced with the grant wins: the
                    wound/deadlock resolution wants the locks released. *)
-                with_mu me.s_mu (fun () -> me.s_waiting_since <- 0.);
+                unpark ();
                 raise (Aborted r)
             | None ->
                 (* Grant signals are addressed by transaction id, so one
@@ -386,7 +530,7 @@ let acquire_blocking t ~policy (req : LT.req) =
                 end
                 else begin
                   Mutex.unlock sh.mu;
-                  with_mu me.s_mu (fun () -> me.s_waiting_since <- 0.)
+                  unpark ()
                 end
           in
           park ())

@@ -56,12 +56,33 @@ exception Aborted of reason
     (wait-die); [Never_wait] always raises (no-wait). *)
 type wait_policy = Block | Wound | Die_if_older | Never_wait
 
+(** Lifecycle hooks for the blocking layer, fired on the domain where the
+    transition happens: {!tr_block} on the waiter as it parks (with a
+    fresh [wait_id] and the resource's queue depth at that instant),
+    {!tr_grant} on the {e releasing} domain as it hands the lock over,
+    {!tr_resume} on the waiter as it unparks (grant or kill — it closes
+    the wait that {!tr_block} opened), {!tr_kill} on the killer (detector
+    sweep, wound-wait elder, timeout) with what the victim was waiting on
+    ([wait_id] 0 and [waiting_on] [None] for a running victim).
+
+    Callbacks may run under a shard mutex (the wound path) and must not
+    call back into the table; pushing into a per-domain {!Tavcc_obs.Ring}
+    is the intended use. *)
+type tracer = {
+  tr_block : Lock_table.req -> wait_id:int -> queue_depth:int -> unit;
+  tr_resume : Lock_table.req -> wait_id:int -> unit;
+  tr_grant : Lock_table.req -> wait_id:int -> unit;
+  tr_kill :
+    victim:txn_id -> wait_id:int -> waiting_on:Lock_table.req option -> reason -> unit;
+}
+
 type t
 
 val create :
   ?shards:int ->
   ?metrics:Tavcc_obs.Metrics.t ->
   ?clock:(unit -> int) ->
+  ?tracer:tracer ->
   conflict:(Lock_table.req -> Lock_table.req -> bool) ->
   unit ->
   t
@@ -142,9 +163,35 @@ val stats : t -> Lock_table.stats
 
 val per_shard_stats : t -> Lock_table.stats list
 
+(** {2 Stall reports}
+
+    A structured snapshot of every live slot (park/grant/kill flags,
+    what it waits on, what it holds) plus both waits-for edge sets — what
+    the engine's stall watchdog captures.  Taking it grabs the registry,
+    slot and shard mutexes one at a time: the picture may be inconsistent
+    across transactions but each entry is internally coherent. *)
+
+type stall_txn = {
+  st_txn : txn_id;
+  st_parked_s : float;  (** seconds parked so far; [0.] when running *)
+  st_granted : bool;
+  st_kill : reason option;
+  st_waiting_for : Lock_table.req option;
+  st_holders : Lock_table.req list;  (** holders of the awaited resource *)
+  st_queued : Lock_table.req list;  (** queue of the awaited resource *)
+  st_locks : Lock_table.req list;  (** everything the transaction holds *)
+}
+
+type stall_report = {
+  sr_elapsed_s : float;  (** how long the watchdog saw no progress *)
+  sr_txns : stall_txn list;
+  sr_edges : (txn_id * txn_id) list;  (** incremental waits-for graph *)
+  sr_edges_rebuilt : (txn_id * txn_id) list;  (** rebuilt from scratch *)
+}
+
+val stall_report : ?elapsed_s:float -> t -> stall_report
+val pp_stall_report : Format.formatter -> stall_report -> unit
+val stall_report_to_json : stall_report -> Tavcc_obs.Json.t
+
 val pp_state : Format.formatter -> t -> unit
-(** Diagnostic snapshot of every live slot (park/grant/kill flags) and
-    its transaction's granted and queued requests — what the engine's
-    stall watchdog prints.  Takes the registry and slot mutexes one at a
-    time; the picture may be inconsistent across transactions but each
-    line is internally coherent. *)
+(** [pp_stall_report] of a fresh {!stall_report}. *)

@@ -1,0 +1,491 @@
+(* The multicore observability layer: SPSC rings under concurrent
+   producers, histogram quantiles and the Prometheus exposition, the
+   contention profiler, structured stall reports, and the per-domain
+   event streams (Par_obs) — both driven directly against a Shard_table
+   for a deterministic block/grant hand-off and end-to-end through a
+   real Par_engine run. *)
+
+open Tavcc_lock
+open Tavcc_model
+module LT = Lock_table
+module ST = Tavcc_par.Shard_table
+module Par_engine = Tavcc_par.Par_engine
+module Par_obs = Tavcc_par.Par_obs
+module Engine = Tavcc_sim.Engine
+module Workload = Tavcc_sim.Workload
+module Rng = Tavcc_sim.Rng
+module Json = Tavcc_obs.Json
+module Metrics = Tavcc_obs.Metrics
+module Ring = Tavcc_obs.Ring
+module Contention = Tavcc_obs.Contention
+module Trace = Tavcc_obs.Trace
+open Helpers
+
+let rw_conflict (held : LT.req) (req : LT.req) =
+  not (Compat.compatible Compat.rw held.LT.r_mode req.LT.r_mode)
+
+let req txn res mode =
+  { LT.r_txn = txn; r_res = res; r_mode = mode; r_hier = false; r_pred = None }
+
+let res_i n = Resource.Instance (Oid.of_int n)
+
+(* --- SPSC rings --- *)
+
+let test_ring_basics () =
+  check_raises_invalid "bad capacity" (fun () -> Ring.create 0);
+  let r = Ring.create 3 in
+  Alcotest.(check int) "capacity rounds up to a power of two" 4 (Ring.capacity r);
+  Alcotest.(check bool) "push accepted" true (Ring.push r 1);
+  Alcotest.(check bool) "push accepted" true (Ring.push r 2);
+  Alcotest.(check int) "length sees published events" 2 (Ring.length r);
+  let got = ref [] in
+  Alcotest.(check int) "drain count" 2 (Ring.drain r (fun x -> got := x :: !got));
+  Alcotest.(check (list int)) "oldest first" [ 1; 2 ] (List.rev !got);
+  (* Fill to capacity: the overflow push is dropped, never blocks. *)
+  for i = 1 to 4 do
+    Alcotest.(check bool) "fits" true (Ring.push r (10 + i))
+  done;
+  Alcotest.(check bool) "overflow dropped" false (Ring.push r 99);
+  Alcotest.(check int) "pushed excludes drops" 6 (Ring.pushed r);
+  Alcotest.(check int) "dropped counted" 1 (Ring.dropped r);
+  ignore (Ring.drain r (fun _ -> ()));
+  Alcotest.(check int) "ledger balances" (Ring.pushed r) (Ring.drained r)
+
+let test_ring_two_domain_hammer () =
+  (* Two producer domains, each on its own ring, while the main domain
+     drains both live.  Events are (domain, seq, checksum) triples so a
+     torn read is detectable; nothing may be lost: after the final
+     drain, pushed = drained per ring and every sequence is gapless. *)
+  let per_domain = 50_000 in
+  let rings = [| Ring.create 1024; Ring.create 1024 |] in
+  let accepted = [| Atomic.make 0; Atomic.make 0 |] in
+  let producer d () =
+    for seq = 1 to per_domain do
+      if Ring.push rings.(d) (d, seq, (seq * 31) + d) then
+        Atomic.incr accepted.(d)
+    done
+  in
+  let d0 = Domain.spawn (producer 0) and d1 = Domain.spawn (producer 1) in
+  let seen = [| 0; 0 |] in
+  let check (d, seq, sum) =
+    if sum <> (seq * 31) + d then Alcotest.failf "torn event on ring %d" d;
+    (* Drops may leave gaps, but order within a ring is preserved. *)
+    if seq <= seen.(d) then Alcotest.failf "ring %d replayed seq %d" d seq;
+    seen.(d) <- seq
+  in
+  let drained = ref 0 in
+  let live_polls = ref 0 in
+  while !live_polls < 100_000 && (!drained < Atomic.get accepted.(0) + Atomic.get accepted.(1) || !live_polls < 10) do
+    incr live_polls;
+    Array.iter (fun r -> drained := !drained + Ring.drain r check) rings
+  done;
+  Domain.join d0;
+  Domain.join d1;
+  Array.iter (fun r -> drained := !drained + Ring.drain r check) rings;
+  Array.iteri
+    (fun d r ->
+      Alcotest.(check int)
+        (Printf.sprintf "ring %d: pushed counter matches producer" d)
+        (Atomic.get accepted.(d)) (Ring.pushed r);
+      Alcotest.(check int)
+        (Printf.sprintf "ring %d: everything pushed was drained" d)
+        (Ring.pushed r) (Ring.drained r);
+      Alcotest.(check int)
+        (Printf.sprintf "ring %d: push attempts = pushed + dropped" d)
+        per_domain
+        (Ring.pushed r + Ring.dropped r))
+    rings;
+  Alcotest.(check int) "total drained matches both ledgers"
+    (Ring.drained rings.(0) + Ring.drained rings.(1))
+    !drained
+
+(* --- histogram quantiles --- *)
+
+let test_metrics_quantiles () =
+  let m = Metrics.create () in
+  let empty = Metrics.histogram m "empty" in
+  Alcotest.(check (float 0.0)) "empty histogram" 0.0 (Metrics.quantile empty 0.5);
+  let one = Metrics.histogram m "one" in
+  Metrics.observe one 42;
+  let q = Metrics.quantile one 0.5 in
+  Alcotest.(check bool) "single value within its bucket" true (q >= 32. && q <= 42.);
+  Alcotest.(check (float 0.001)) "q=1 clamps to the tracked max" 42.0
+    (Metrics.quantile one 1.0);
+  let h = Metrics.histogram m "uniform" in
+  for v = 1 to 1000 do
+    Metrics.observe h v
+  done;
+  let p50 = Metrics.quantile h 0.50
+  and p95 = Metrics.quantile h 0.95
+  and p99 = Metrics.quantile h 0.99 in
+  (* Log buckets bound the relative error by a factor of two. *)
+  Alcotest.(check bool) "p50 within a factor of two" true (p50 >= 250. && p50 <= 1000.);
+  Alcotest.(check bool) "p95 within a factor of two" true (p95 >= 475. && p95 <= 1000.);
+  Alcotest.(check bool) "p99 within a factor of two" true (p99 >= 495. && p99 <= 1000.);
+  Alcotest.(check bool) "quantiles are monotone" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "clamped by the max" true
+    (Metrics.quantile h 1.0 <= 1000.);
+  (* Out-of-range q is clamped, not rejected. *)
+  Alcotest.(check bool) "q clamped below" true (Metrics.quantile h (-1.) <= p50);
+  (* The JSON snapshot carries the same estimates. *)
+  match Json.member "uniform" (Metrics.to_json m) with
+  | Some (Json.Obj fields) ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " exported") true (List.mem_assoc k fields))
+        [ "p50"; "p95"; "p99" ]
+  | _ -> Alcotest.fail "histogram missing from json"
+
+(* --- Prometheus exposition --- *)
+
+let test_metrics_prometheus () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "par.commits") 5;
+  Metrics.set (Metrics.gauge m "par.live") 7;
+  Metrics.set (Metrics.gauge m "par.live") 3;
+  let h = Metrics.histogram m "lat" in
+  List.iter (Metrics.observe h) [ 1; 3; 1000 ];
+  let s = Metrics.to_prometheus m in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (Printf.sprintf "exposition contains %S" frag) true
+        (contains s frag))
+    [
+      "# TYPE tavcc_par_commits counter";
+      "tavcc_par_commits 5";
+      "# TYPE tavcc_par_live gauge";
+      "tavcc_par_live 3";
+      "tavcc_par_live_max 7";
+      "# TYPE tavcc_lat histogram";
+      "tavcc_lat_bucket{le=\"+Inf\"} 3";
+      "tavcc_lat_sum 1004";
+      "tavcc_lat_count 3";
+      "tavcc_lat_p50";
+      "tavcc_lat_p99";
+    ];
+  (* The cumulative bucket series must be non-decreasing and end at the
+     count. *)
+  let cum =
+    List.filter_map
+      (fun l ->
+        if contains l "tavcc_lat_bucket{le=\"" && not (contains l "+Inf") then
+          String.rindex_opt l ' '
+          |> Option.map (fun i ->
+                 int_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      (String.split_on_char '\n' s)
+  in
+  Alcotest.(check bool) "at least one finite bucket" true (cum <> []);
+  ignore
+    (List.fold_left
+       (fun prev c ->
+         Alcotest.(check bool) "cumulative series non-decreasing" true (c >= prev);
+         c)
+       0 cum);
+  Alcotest.(check int) "series ends at the count" 3 (List.nth cum (List.length cum - 1));
+  (* A custom prefix and the empty prefix both sanitise. *)
+  Alcotest.(check bool) "custom prefix" true
+    (contains (Metrics.to_prometheus ~prefix:"x" m) "x_par_commits 5");
+  Alcotest.(check bool) "no prefix" true
+    (contains (Metrics.to_prometheus ~prefix:"" m) "par_commits 5")
+
+(* --- contention profiler --- *)
+
+let test_contention_profiler () =
+  let c : string Contention.t = Contention.create () in
+  Alcotest.(check int) "empty: no blocks" 0 (Contention.blocks c);
+  Alcotest.(check bool) "empty: no entries" true (Contention.top c = []);
+  Contention.record_block c "hot" ~queue_depth:3;
+  Contention.record_block c "hot" ~queue_depth:1;
+  Contention.record_wait c "hot" ~wait_us:100;
+  Contention.record_wait c "hot" ~wait_us:50;
+  Contention.record_kill c ~deadlock:true "hot";
+  Contention.record_block c "cold" ~queue_depth:0;
+  Contention.record_wait c "cold" ~wait_us:10;
+  Alcotest.(check int) "blocks total" 3 (Contention.blocks c);
+  Alcotest.(check int) "wait total" 160 (Contention.total_wait_us c);
+  (match Contention.top c with
+  | [ a; b ] ->
+      Alcotest.(check string) "hottest first" "hot" a.Contention.e_res;
+      Alcotest.(check int) "blocks" 2 a.Contention.e_blocks;
+      Alcotest.(check int) "waits" 2 a.Contention.e_waits;
+      Alcotest.(check int) "wait_us" 150 a.Contention.e_wait_us;
+      Alcotest.(check int) "max wait" 100 a.Contention.e_max_wait_us;
+      Alcotest.(check int) "max depth" 3 a.Contention.e_max_queue_depth;
+      Alcotest.(check int) "deadlocks" 1 a.Contention.e_deadlocks;
+      Alcotest.(check int) "kills" 1 a.Contention.e_kills;
+      Alcotest.(check (float 0.001)) "mean wait" 75.0 (Contention.mean_wait_us a);
+      Alcotest.(check (float 0.001)) "mean depth" 2.0 (Contention.mean_queue_depth a);
+      Alcotest.(check string) "runner-up" "cold" b.Contention.e_res
+  | l -> Alcotest.failf "expected two entries, got %d" (List.length l));
+  Alcotest.(check int) "top-1 truncates" 1 (List.length (Contention.top ~k:1 c));
+  let j = Contention.to_json ~key:Fun.id c in
+  match Json.of_string (Json.to_string j) with
+  | Error e -> Alcotest.failf "contention json unparseable: %s" e
+  | Ok _ ->
+      let s = Format.asprintf "%a" (Contention.pp ~key:Fun.id ?k:None) c in
+      Alcotest.(check bool) "pp names the hot spot" true (contains s "hot")
+
+(* --- a deterministic block/grant hand-off through Par_obs --- *)
+
+(* Main attaches as worker 0 and takes a write lock; a spawned domain
+   attaches as worker 1 and parks on the conflicting request; main then
+   releases, which fires the grant on its own ring.  Every event of the
+   wait's lifecycle must surface, pair by wait id, and render as a flow
+   arrow between the two tracks. *)
+let test_par_obs_handoff () =
+  let o = Par_obs.create ~domains:2 () in
+  Alcotest.(check int) "domain count" 2 (Par_obs.domain_count o);
+  Alcotest.(check int) "detector track is last" 2 (Par_obs.detector_dom o);
+  check_raises_invalid "attach range" (fun () -> Par_obs.attach o ~dom:5);
+  Par_obs.attach o ~dom:0;
+  let st = ST.create ~shards:2 ~tracer:(Par_obs.tracer o) ~conflict:rw_conflict () in
+  ST.register st ~id:1 ~birth:1;
+  ST.register st ~id:2 ~birth:2;
+  ST.acquire_blocking st ~policy:ST.Block (req 1 (res_i 0) Compat.write);
+  let waiter =
+    Domain.spawn (fun () ->
+        Par_obs.attach o ~dom:1;
+        ST.acquire_blocking st ~policy:ST.Block (req 2 (res_i 0) Compat.write))
+  in
+  let rec wait_parked n =
+    if n = 0 then Alcotest.fail "waiter never parked";
+    if ST.waiting_txns st = [] then begin
+      Unix.sleepf 0.001;
+      wait_parked (n - 1)
+    end
+  in
+  wait_parked 5000;
+  ignore (ST.release_all st 1);
+  Domain.join waiter;
+  ignore (ST.release_all st 2);
+  ignore (Par_obs.drain o);
+  Alcotest.(check int) "nothing dropped" 0 (Par_obs.dropped o);
+  let evs = Par_obs.events o in
+  Alcotest.(check int) "drained stream matches the push ledger"
+    (Par_obs.pushed o) (List.length evs);
+  let block =
+    List.find_map
+      (function
+        | { Par_obs.ev_kind = Par_obs.E_block { txn; wait_id; queue_depth; _ }; ev_dom; _ }
+          ->
+            Some (txn, wait_id, queue_depth, ev_dom)
+        | _ -> None)
+      evs
+  in
+  let block_txn, block_wid, block_depth, block_dom =
+    match block with Some x -> x | None -> Alcotest.fail "no block event"
+  in
+  Alcotest.(check int) "block on the waiter's track" 1 block_dom;
+  Alcotest.(check int) "blocked txn" 2 block_txn;
+  (* The depth counts the queue as the request parks, itself included. *)
+  Alcotest.(check int) "queue depth at block time" 1 block_depth;
+  let grant =
+    List.find_map
+      (function
+        | { Par_obs.ev_kind = Par_obs.E_grant { wait_id; _ }; ev_dom; _ } ->
+            Some (wait_id, ev_dom)
+        | _ -> None)
+      evs
+  in
+  (match grant with
+  | Some (wid, dom) ->
+      Alcotest.(check int) "grant pairs by wait id" block_wid wid;
+      Alcotest.(check int) "grant fired on the releasing domain" 0 dom
+  | None -> Alcotest.fail "no grant event");
+  (match
+     List.find_map
+       (function
+         | { Par_obs.ev_kind = Par_obs.E_resume { wait_id; _ }; _ } -> Some wait_id
+         | _ -> None)
+       evs
+   with
+  | Some wid -> Alcotest.(check int) "resume closes the same wait" block_wid wid
+  | None -> Alcotest.fail "no resume event");
+  (* The profiler was fed the same hand-off. *)
+  let c = Par_obs.contention o in
+  Alcotest.(check int) "one block profiled" 1 (Contention.blocks c);
+  (match Contention.top c with
+  | [ e ] ->
+      Alcotest.(check string) "profiled under the resource key"
+        (Par_obs.res_key (res_i 0))
+        (Par_obs.res_key e.Contention.e_res);
+      Alcotest.(check int) "one completed wait" 1 e.Contention.e_waits;
+      Alcotest.(check bool) "wait time attributed" true (e.Contention.e_wait_us >= 0)
+  | l -> Alcotest.failf "expected one hot resource, got %d" (List.length l));
+  (* The trace: a wait span on track 1, a flow arrow landing on track 0. *)
+  let tr = Par_obs.to_trace o in
+  let count ph = List.length (List.filter (fun e -> e.Trace.ph = ph) tr) in
+  Alcotest.(check int) "wait spans balance" (count Trace.Begin) (count Trace.End);
+  Alcotest.(check bool) "at least one wait span" true (count Trace.Begin >= 1);
+  Alcotest.(check int) "track labels for workers and detector" 3 (count Trace.Meta);
+  let fs = List.filter (fun e -> e.Trace.ph = Trace.Flow_start) tr in
+  let fe = List.filter (fun e -> e.Trace.ph = Trace.Flow_end) tr in
+  match (fs, fe) with
+  | [ s ], [ f ] ->
+      Alcotest.(check int) "flow pairs by id" s.Trace.id f.Trace.id;
+      Alcotest.(check string) "flow pairs by cat" s.Trace.cat f.Trace.cat;
+      Alcotest.(check string) "flow pairs by name" s.Trace.name f.Trace.name;
+      Alcotest.(check int) "arrow starts on the waiter's track" 1 s.Trace.tid;
+      Alcotest.(check int) "arrow lands on the granting track" 0 f.Trace.tid;
+      Alcotest.(check bool) "arrow points forward in time" true
+        (s.Trace.ts <= f.Trace.ts)
+  | _ -> Alcotest.failf "expected one flow pair, got %d/%d" (List.length fs) (List.length fe)
+
+(* --- structured stall reports --- *)
+
+let test_stall_report_json () =
+  let st = ST.create ~shards:2 ~conflict:rw_conflict () in
+  ST.register st ~id:1 ~birth:1;
+  ST.register st ~id:2 ~birth:2;
+  ST.acquire_blocking st ~policy:ST.Block (req 1 (res_i 3) Compat.write);
+  let waiter =
+    Domain.spawn (fun () ->
+        ST.acquire_blocking st ~policy:ST.Block (req 2 (res_i 3) Compat.write))
+  in
+  let rec wait_parked n =
+    if n = 0 then Alcotest.fail "waiter never parked";
+    if ST.waiting_txns st = [] then begin
+      Unix.sleepf 0.001;
+      wait_parked (n - 1)
+    end
+  in
+  wait_parked 5000;
+  let rep = ST.stall_report ~elapsed_s:1.5 st in
+  Alcotest.(check (float 0.001)) "elapsed propagated" 1.5 rep.ST.sr_elapsed_s;
+  Alcotest.(check bool) "waits-for edge captured" true
+    (List.mem (2, 1) rep.ST.sr_edges_rebuilt);
+  let t2 =
+    match List.find_opt (fun t -> t.ST.st_txn = 2) rep.ST.sr_txns with
+    | Some t -> t
+    | None -> Alcotest.fail "waiter missing from the report"
+  in
+  Alcotest.(check bool) "waiter is parked" true (t2.ST.st_parked_s >= 0.);
+  (match t2.ST.st_waiting_for with
+  | Some r -> Alcotest.(check bool) "waiting on the contended resource" true
+      (Resource.equal r.LT.r_res (res_i 3))
+  | None -> Alcotest.fail "waiter has no waiting_for");
+  Alcotest.(check int) "holder visible" 1
+    (match t2.ST.st_holders with [ h ] -> h.LT.r_txn | _ -> -1);
+  let j = ST.stall_report_to_json rep in
+  (* Parseability, not structural equality: the parked-seconds floats
+     need not survive printing bit-for-bit. *)
+  (match Json.of_string (Json.to_string j) with
+  | Error e -> Alcotest.failf "stall json unparseable: %s" e
+  | Ok _ -> ());
+  let s = Json.to_string j in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (Printf.sprintf "json mentions %S" frag) true
+        (contains s frag))
+    [ "elapsed_s"; "txns"; "edges"; "waiting_for" ];
+  (* The pretty form still renders (the watchdog's stderr path). *)
+  Alcotest.(check bool) "pp renders" true
+    (String.length (Format.asprintf "%a" ST.pp_stall_report rep) > 0);
+  ignore (ST.release_all st 1);
+  Domain.join waiter;
+  ignore (ST.release_all st 2)
+
+(* --- the parallel engine end-to-end --- *)
+
+let test_par_engine_with_obs () =
+  let txns = 40 and domains = 2 in
+  let schema = Workload.slice_schema ~methods:8 ~work:4 () in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  Workload.populate store ~per_class:2;
+  let jobs =
+    Workload.slice_jobs (Rng.create 7) store ~txns ~actions_per_txn:3 ~hot_instances:2
+  in
+  let o = Par_obs.create ~domains () in
+  let m = Metrics.create () in
+  let config =
+    { Par_engine.default_config with domains; shards = 4; obs = Some o; metrics = Some m }
+  in
+  let r = Par_engine.run ~config ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store ~jobs () in
+  Alcotest.(check int) "all committed" txns r.Par_engine.commits;
+  Alcotest.(check int) "nothing dropped" 0 (Par_obs.dropped o);
+  let evs = Par_obs.events o in
+  Alcotest.(check int) "drained stream matches the push ledger"
+    (Par_obs.pushed o) (List.length evs);
+  let count p = List.length (List.filter p evs) in
+  Alcotest.(check int) "one commit event per commit" r.Par_engine.commits
+    (count (fun e -> match e.Par_obs.ev_kind with Par_obs.E_commit _ -> true | _ -> false));
+  Alcotest.(check int) "one begin per attempt"
+    (r.Par_engine.commits + r.Par_engine.aborts
+    + List.length r.Par_engine.failed)
+    (count (fun e -> match e.Par_obs.ev_kind with Par_obs.E_begin _ -> true | _ -> false));
+  Alcotest.(check int) "abort events match the result" r.Par_engine.aborts
+    (count (fun e -> match e.Par_obs.ev_kind with Par_obs.E_abort _ -> true | _ -> false));
+  let blocks =
+    count (fun e -> match e.Par_obs.ev_kind with Par_obs.E_block _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "profiler saw every block" blocks
+    (Contention.blocks (Par_obs.contention o));
+  (* Timestamps are merged in order and stamped with valid tracks. *)
+  ignore
+    (List.fold_left
+       (fun prev e ->
+         Alcotest.(check bool) "merged stream is time-sorted" true
+           (e.Par_obs.ev_ts >= prev);
+         Alcotest.(check bool) "track in range" true
+           (e.Par_obs.ev_dom >= 0 && e.Par_obs.ev_dom <= domains);
+         e.Par_obs.ev_ts)
+       min_int evs);
+  (* The trace round-trips and labels every domain track. *)
+  let tr = Par_obs.to_trace ~pid:9 o in
+  let json = Trace.to_json tr in
+  (match Json.of_string (Json.to_string json) with
+  | Error e -> Alcotest.failf "trace json unparseable: %s" e
+  | Ok j -> Alcotest.(check bool) "trace json round-trips" true (j = json));
+  let metas = List.filter (fun e -> e.Trace.ph = Trace.Meta) tr in
+  Alcotest.(check int) "a name meta per worker plus the detector"
+    (domains + 1) (List.length metas);
+  List.iter
+    (fun e -> Alcotest.(check int) "pid propagated" 9 e.Trace.pid)
+    metas;
+  let spans = List.filter (fun e -> e.Trace.ph = Trace.Complete) tr in
+  Alcotest.(check int) "a span per attempt"
+    (r.Par_engine.commits + r.Par_engine.aborts) (List.length spans);
+  (* On a single-core host one worker can drain the whole job list, so
+     only require that every span sits on a real worker track; the
+     deterministic two-track property is the hand-off test's job. *)
+  let worker_tracks =
+    List.sort_uniq compare (List.map (fun e -> e.Trace.tid) spans)
+  in
+  Alcotest.(check bool) "spans sit on worker tracks" true
+    (worker_tracks <> []
+    && List.for_all (fun t -> t >= 0 && t < domains) worker_tracks);
+  Alcotest.(check int) "wait spans balance"
+    (List.length (List.filter (fun e -> e.Trace.ph = Trace.Begin) tr))
+    (List.length (List.filter (fun e -> e.Trace.ph = Trace.End) tr));
+  (* Metrics flowed through the same run: per-domain busy counters. *)
+  for d = 0 to domains - 1 do
+    Alcotest.(check bool) (Printf.sprintf "domain %d busy time" d) true
+      (Metrics.value (Metrics.counter m (Printf.sprintf "par.dom%d.busy_us" d)) >= 0)
+  done;
+  Alcotest.(check int) "commits metric" r.Par_engine.commits
+    (Metrics.value (Metrics.counter m "par.commits"))
+
+let test_par_engine_obs_domain_mismatch () =
+  let schema = Workload.slice_schema ~methods:4 ~work:2 () in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  Workload.populate store ~per_class:1;
+  let o = Par_obs.create ~domains:3 () in
+  let config = { Par_engine.default_config with domains = 2; obs = Some o } in
+  check_raises_invalid "obs sized for the wrong pool" (fun () ->
+      Par_engine.run ~config ~scheme:(Tavcc_cc.Tav_modes.scheme an) ~store ~jobs:[] ())
+
+let suite =
+  [
+    case "spsc ring basics" test_ring_basics;
+    case "spsc rings under two producer domains" test_ring_two_domain_hammer;
+    case "histogram quantiles" test_metrics_quantiles;
+    case "prometheus exposition" test_metrics_prometheus;
+    case "contention profiler" test_contention_profiler;
+    case "block/grant hand-off pairs across rings" test_par_obs_handoff;
+    case "structured stall report" test_stall_report_json;
+    case "parallel engine streams a coherent trace" test_par_engine_with_obs;
+    case "obs/domains mismatch is rejected" test_par_engine_obs_domain_mismatch;
+  ]
