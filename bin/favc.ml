@@ -264,6 +264,65 @@ let lint_cmd =
   let doc = "statically analyse a schema for concurrency-control problems (P3/P4)" in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ file $ example $ json $ fail_on $ dot_class)
 
+let verify_cmd =
+  let module Fuzz = Tavcc_sanitize.Fuzz in
+  let module Conform = Tavcc_sanitize.Conform in
+  let module Diag = Tavcc_analyze.Diag in
+  let module Json = Tavcc_obs.Json in
+  let run file json =
+    let source = if file = "-" then In_channel.input_all stdin else read_file file in
+    match Fuzz.run_source source with
+    | Error msg ->
+        Printf.eprintf "favc verify: %s: %s\n" file msg;
+        2
+    | Ok r ->
+        let res = r.Fuzz.run_result in
+        let ok = Conform.ok res && r.Fuzz.run_errors = [] in
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("sound", Json.Bool (Conform.ok res));
+                    ("checks", Json.Int res.Conform.r_checks);
+                    ("dav_sites", Json.Int res.Conform.r_dav_sites);
+                    ("tav_sites", Json.Int res.Conform.r_tav_sites);
+                    ("diags", Json.List (List.map Diag.to_json res.Conform.r_diags));
+                    ( "drive_errors",
+                      Json.List
+                        (List.map
+                           (fun (entry, msg) ->
+                             Json.Obj
+                               [
+                                 ("entry", Json.String entry);
+                                 ("error", Json.String msg);
+                               ])
+                           r.Fuzz.run_errors) );
+                  ]))
+        else begin
+          Printf.printf
+            "%s: drove every entry over the argument sweep — %d inclusion checks over %d \
+             dav + %d tav sites\n"
+            file res.Conform.r_checks res.Conform.r_dav_sites res.Conform.r_tav_sites;
+          List.iter
+            (fun (entry, msg) -> Printf.printf "  %s: did not finish: %s\n" entry msg)
+            r.Fuzz.run_errors;
+          if Conform.ok res then
+            Printf.printf "%s: observed access vectors within the static ones\n" file
+          else
+            List.iter (fun d -> Format.printf "%a@." Diag.pp d) res.Conform.r_diags
+        end;
+        if ok then 0 else 1
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdict as JSON instead of text.")
+  in
+  let doc =
+    "execute every method under the dynamic access-vector recorder and verify the \
+     observed accesses stay within the compiled DAVs and TAVs (soundness)"
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ file_arg $ json)
+
 let example_cmd =
   let run () =
     print_string "-- Figure 1 --\n";
@@ -285,7 +344,7 @@ let main =
     (Cmd.info "favc" ~version:"1.0.0" ~doc)
     [
       compile_cmd; davs_cmd; tavs_cmd; commute_cmd; dot_cmd; depgraph_cmd; check_cmd;
-      lint_cmd; example_cmd;
+      lint_cmd; verify_cmd; example_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -21,6 +21,11 @@ module Metrics = Tavcc_obs.Metrics
 module Sink = Tavcc_obs.Sink
 module Json = Tavcc_obs.Json
 module Trace = Tavcc_obs.Trace
+module Recorder = Tavcc_sanitize.Recorder
+module Monitor = Tavcc_sanitize.Monitor
+module Conform = Tavcc_sanitize.Conform
+module Fuzz = Tavcc_sanitize.Fuzz
+module Diag = Tavcc_analyze.Diag
 
 let schemes =
   [
@@ -99,6 +104,32 @@ let write_file file contents =
   output_string oc contents;
   output_char oc '\n';
   close_out oc
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Fan one access out to two passive observers (recorder + lock monitor). *)
+let both_probes a b =
+  {
+    Exec.p_top_send = (fun o c m -> a.Exec.p_top_send o c m; b.Exec.p_top_send o c m);
+    p_self_send = (fun o c m -> a.Exec.p_self_send o c m; b.Exec.p_self_send o c m);
+    p_enter =
+      (fun o c ~resolve_at ~defining m ->
+        a.Exec.p_enter o c ~resolve_at ~defining m;
+        b.Exec.p_enter o c ~resolve_at ~defining m);
+    p_exit = (fun o c m -> a.Exec.p_exit o c m; b.Exec.p_exit o c m);
+    p_read =
+      (fun o c f ~versioned ->
+        a.Exec.p_read o c f ~versioned;
+        b.Exec.p_read o c f ~versioned);
+    p_write =
+      (fun o c f ~versioned ->
+        a.Exec.p_write o c f ~versioned;
+        b.Exec.p_write o c f ~versioned);
+  }
 
 let result_to_json name policy (r : Engine.result) =
   Json.Obj
@@ -264,7 +295,7 @@ let prom_prefix name =
 
 let par_cmd =
   let run scheme_names domains shards seed txns actions methods work instances hot read_frac
-      policy check metrics_fmt trace_out profile top_k prom_out =
+      policy check sanitize metrics_fmt trace_out profile top_k prom_out =
     let json_mode = metrics_fmt = Some `Json in
     let readers = if read_frac > 0. then methods else 0 in
     let schema = Workload.slice_schema ~readers ~methods ~work () in
@@ -272,10 +303,11 @@ let par_cmd =
     if not json_mode then
       Printf.printf
         "par: %d domains, %d shards, %d txns x %d actions, %d slices x %d writes, %d grid \
-         instances (hot %d), read-frac %.2f, policy %s, seed %d%s\n\n"
+         instances (hot %d), read-frac %.2f, policy %s, seed %d%s%s\n\n"
         domains shards txns actions methods work instances hot read_frac
         (Engine.policy_name policy) seed
-        (if check then ", serializability check on" else "");
+        (if check then ", serializability check on" else "")
+        (if sanitize then ", sanitizer on" else "");
     let names = if scheme_names = [] then [ "rw-msg"; "tav" ] else scheme_names in
     let runs =
       List.map
@@ -302,6 +334,28 @@ let par_cmd =
               Some (Par_obs.create ~keep_events:(trace_out <> None) ~domains ())
             else None
           in
+          (* One recorder and one monitor per worker domain: the probes run
+             on the workers' hot path and must not share mutable state. *)
+          let san_state =
+            if sanitize then
+              let recorders = Array.init domains (fun _ -> Recorder.create ()) in
+              let mons =
+                if Monitor.supported name then
+                  Some (Array.init domains (fun _ -> Monitor.create ~scheme:name an))
+                else None
+              in
+              Some (recorders, mons)
+            else None
+          in
+          let probe =
+            Option.map
+              (fun (recorders, mons) ~dom ~txn ~holds ->
+                let rp = Recorder.probe recorders.(dom) ~txn in
+                match mons with
+                | None -> rp
+                | Some ms -> both_probes rp (Monitor.probe ms.(dom) ~txn ~holds))
+              san_state
+          in
           let config =
             {
               Par_engine.default_config with
@@ -311,9 +365,31 @@ let par_cmd =
               record_history = check;
               metrics;
               obs;
+              probe;
             }
           in
           let r = Par_engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+          let san =
+            Option.map
+              (fun (recorders, mons) ->
+                let merged = Recorder.create () in
+                Array.iter (fun rc -> Recorder.merge_into ~dst:merged rc) recorders;
+                let conform = Conform.check ~an merged in
+                let checked, viols, vdiags =
+                  match mons with
+                  | None -> (0, 0, [])
+                  | Some ms ->
+                      Array.fold_left
+                        (fun (c, v, ds) m ->
+                          let ds' =
+                            List.map (Monitor.to_diag m) (Monitor.drain m)
+                          in
+                          (c + Monitor.checked m, v + Monitor.violations m, ds @ ds'))
+                        (0, 0, []) ms
+                in
+                (checked, viols, List.sort Diag.render_compare vdiags, conform))
+              san_state
+          in
           if not json_mode then begin
             Format.printf "%-12s %a%s@." name Par_engine.pp_result r
               (if check then
@@ -322,6 +398,21 @@ let par_cmd =
             List.iter
               (fun (id, msg) -> Printf.printf "  txn %d FAILED: %s\n" id msg)
               r.Par_engine.failed;
+            (match san with
+            | None -> ()
+            | Some (checked, viols, vdiags, conform) ->
+                Printf.printf
+                  "  sanitize: lock-checked=%d violations=%d; conformance: %d checks over \
+                   %d dav + %d tav sites, %d diags\n"
+                  checked viols conform.Conform.r_checks conform.Conform.r_dav_sites
+                  conform.Conform.r_tav_sites
+                  (List.length conform.Conform.r_diags);
+                List.iteri
+                  (fun i d -> if i < 10 then Format.printf "    %a@." Diag.pp d)
+                  vdiags;
+                List.iter
+                  (fun d -> Format.printf "    %a@." Diag.pp d)
+                  conform.Conform.r_diags);
             (match metrics with
             | Some m when metrics_fmt <> None -> Format.printf "%a@." Metrics.pp m
             | _ -> ());
@@ -332,7 +423,7 @@ let par_cmd =
                   (Par_obs.contention o)
             | _ -> ()
           end;
-          (name, r, metrics, obs))
+          (name, r, metrics, obs, san))
         names
     in
     (match trace_out with
@@ -341,7 +432,7 @@ let par_cmd =
         let events =
           List.concat
             (List.mapi
-               (fun pid (name, _, _, obs) ->
+               (fun pid (name, _, _, obs, _) ->
                  match obs with
                  | None -> []
                  | Some o -> Trace.process_name ~pid name :: Par_obs.to_trace ~pid o)
@@ -350,7 +441,7 @@ let par_cmd =
         write_file file (Trace.to_string events);
         let dropped =
           List.fold_left
-            (fun acc (_, _, _, obs) ->
+            (fun acc (_, _, _, obs, _) ->
               acc + match obs with Some o -> Par_obs.dropped o | None -> 0)
             0 runs
         in
@@ -363,7 +454,7 @@ let par_cmd =
         let text =
           String.concat ""
             (List.filter_map
-               (fun (name, _, metrics, _) ->
+               (fun (name, _, metrics, _, _) ->
                  Option.map (Metrics.to_prometheus ~prefix:(prom_prefix name)) metrics)
                runs)
         in
@@ -391,7 +482,7 @@ let par_cmd =
             ( "runs",
               Json.List
                 (List.map
-                   (fun (name, (r : Par_engine.result), metrics, obs) ->
+                   (fun (name, (r : Par_engine.result), metrics, obs, san) ->
                      Json.Obj
                        ([
                           ("scheme", Json.String name);
@@ -425,6 +516,27 @@ let par_cmd =
                        @ (match metrics with
                          | Some m -> [ ("metrics", Metrics.to_json m) ]
                          | None -> [])
+                       @ (match san with
+                         | None -> []
+                         | Some (checked, viols, vdiags, conform) ->
+                             [
+                               ( "sanitize",
+                                 Json.Obj
+                                   [
+                                     ("lock_checked", Json.Int checked);
+                                     ("lock_violations", Json.Int viols);
+                                     ( "lock_diags",
+                                       Json.List (List.map Diag.to_json vdiags) );
+                                     ( "conformance_checks",
+                                       Json.Int conform.Conform.r_checks );
+                                     ("dav_sites", Json.Int conform.Conform.r_dav_sites);
+                                     ("tav_sites", Json.Int conform.Conform.r_tav_sites);
+                                     ( "conformance_diags",
+                                       Json.List
+                                         (List.map Diag.to_json
+                                            conform.Conform.r_diags) );
+                                   ] );
+                             ])
                        @
                        match obs with
                        | Some o when profile ->
@@ -439,7 +551,17 @@ let par_cmd =
       in
       print_endline (Json.to_string doc)
     end;
-    if List.exists (fun (_, r, _, _) -> r.Par_engine.failed <> []) runs then 1 else 0
+    let san_bad =
+      List.exists
+        (fun (_, _, _, _, san) ->
+          match san with
+          | Some (_, viols, _, conform) ->
+              viols > 0 || conform.Conform.r_diags <> []
+          | None -> false)
+        runs
+    in
+    if List.exists (fun (_, r, _, _, _) -> r.Par_engine.failed <> []) runs || san_bad then 1
+    else 0
   in
   let scheme_arg =
     Arg.(value & opt_all scheme_conv []
@@ -483,6 +605,15 @@ let par_cmd =
          ~doc:"Record the field-access history (serialises the hot path) and report the \
                  conflict-serializability verdict.")
   in
+  let sanitize =
+    Arg.(value & flag & info [ "sanitize" ]
+         ~doc:"Attach the soundness sanitizer: one access-vector recorder and one \
+               lock-coverage monitor per worker domain, merged and checked after the run \
+               (observed-vs-static conformance plus lock domination under the scheme's \
+               vocabulary).  Any violation makes the exit status nonzero.  Synthesized \
+               workload schemas carry no source positions, so diagnostics name sites \
+               without line:col.")
+  in
   let par_trace_out =
     Arg.(value & opt (some string) None
          & info [ "trace-out" ] ~docv:"FILE"
@@ -513,8 +644,8 @@ let par_cmd =
   Cmd.v (Cmd.info "par" ~doc)
     Term.(
       const run $ scheme_arg $ domains $ shards $ seed $ txns $ actions $ methods $ work
-      $ instances $ hot $ read_frac $ policy_arg $ check $ metrics_arg $ par_trace_out
-      $ profile $ top_k $ prom_out)
+      $ instances $ hot $ read_frac $ policy_arg $ check $ sanitize $ metrics_arg
+      $ par_trace_out $ profile $ top_k $ prom_out)
 
 (* --- top: live introspection of a running multicore workload --- *)
 
@@ -989,6 +1120,207 @@ let chaos_cmd =
     Term.(const run $ workload_arg $ scheme_arg $ seed $ runs $ budget_ms $ systematic
           $ preemptions $ policy_arg $ replay $ json $ out)
 
+(* --- sanitize: schema-fuzzing differential oracle for the analyzer --- *)
+
+let sanitize_cmd =
+  let run schemas seed budget_ms mutate trials min_detection replay json out =
+    match replay with
+    | Some file -> (
+        (* Replay mode: re-check one (possibly minimized) schema. *)
+        let src = read_file file in
+        match Fuzz.check_source src with
+        | Fuzz.Sound ->
+            if json then
+              print_endline
+                (Json.to_string
+                   (Json.Obj [ ("sound", Json.Bool true); ("diags", Json.List []) ]))
+            else Printf.printf "%s: sound (observed within static vectors)\n" file;
+            0
+        | Fuzz.Unsound diags ->
+            if json then
+              print_endline
+                (Json.to_string
+                   (Json.Obj
+                      [
+                        ("sound", Json.Bool false);
+                        ("diags", Json.List (List.map Diag.to_json diags));
+                      ]))
+            else begin
+              Printf.printf "%s: UNSOUND — observed access vectors exceed the static ones\n"
+                file;
+              List.iter (fun d -> Format.printf "%a@." Diag.pp d) diags
+            end;
+            1
+        | Fuzz.Broken msg ->
+            Printf.eprintf "oosim sanitize: %s: %s\n" file msg;
+            2)
+    | None ->
+        (* Campaign mode: fresh random schemas until the count or the
+           budget is exhausted, stopping at the first soundness
+           counterexample (minimized and written to [out]). *)
+        let deadline = Unix.gettimeofday () +. (float_of_int budget_ms /. 1000.) in
+        let within_budget () = budget_ms <= 0 || Unix.gettimeofday () < deadline in
+        let driven = ref 0
+        and checks = ref 0
+        and dav_sites = ref 0
+        and tav_sites = ref 0 in
+        let broken = ref [] in
+        let counterexample = ref None in
+        let attempted = ref 0
+        and detected = ref 0 in
+        let missed = ref [] in
+        let i = ref 0 in
+        while !i < schemas && within_budget () && !counterexample = None do
+          let schema_seed = seed + !i in
+          let rng = Rng.create schema_seed in
+          let src = Fuzz.source (Fuzz.gen_decls rng) in
+          (match Fuzz.run_source src with
+          | Error msg -> broken := (schema_seed, msg) :: !broken
+          | Ok r -> (
+              match Fuzz.verdict_of r with
+              | Fuzz.Broken msg -> broken := (schema_seed, msg) :: !broken
+              | Fuzz.Unsound diags ->
+                  write_file out (Fuzz.minimize src);
+                  counterexample := Some (schema_seed, diags)
+              | Fuzz.Sound ->
+                  incr driven;
+                  checks := !checks + r.Fuzz.run_result.Conform.r_checks;
+                  dav_sites := !dav_sites + r.Fuzz.run_result.Conform.r_dav_sites;
+                  tav_sites := !tav_sites + r.Fuzz.run_result.Conform.r_tav_sites;
+                  if mutate then
+                    for _t = 1 to trials do
+                      match Fuzz.gen_mutation rng r with
+                      | None -> ()
+                      | Some mu ->
+                          incr attempted;
+                          if Fuzz.mutation_detected r mu then incr detected
+                          else
+                            missed :=
+                              (schema_seed, Format.asprintf "%a" Fuzz.pp_mutation mu)
+                              :: !missed
+                    done));
+          incr i
+        done;
+        let rate =
+          if !attempted = 0 then 1.0 else float_of_int !detected /. float_of_int !attempted
+        in
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("schemas", Json.Int !i);
+                    ("driven", Json.Int !driven);
+                    ("broken", Json.Int (List.length !broken));
+                    ("checks", Json.Int !checks);
+                    ("dav_sites", Json.Int !dav_sites);
+                    ("tav_sites", Json.Int !tav_sites);
+                    ("sound", Json.Bool (!counterexample = None));
+                    ( "counterexample",
+                      match !counterexample with
+                      | None -> Json.Null
+                      | Some (s, diags) ->
+                          Json.Obj
+                            [
+                              ("seed", Json.Int s);
+                              ("file", Json.String out);
+                              ("diags", Json.List (List.map Diag.to_json diags));
+                            ] );
+                    ( "mutations",
+                      Json.Obj
+                        [
+                          ("attempted", Json.Int !attempted);
+                          ("detected", Json.Int !detected);
+                          ("rate", Json.Float rate);
+                          ( "missed",
+                            Json.List
+                              (List.rev_map
+                                 (fun (s, m) ->
+                                   Json.Obj
+                                     [
+                                       ("seed", Json.Int s);
+                                       ("mutation", Json.String m);
+                                     ])
+                                 !missed) );
+                        ] );
+                  ]))
+        else begin
+          Printf.printf
+            "sanitize: %d schemas driven (%d broken), %d inclusion checks over %d dav + %d \
+             tav sites\n"
+            !driven (List.length !broken) !checks !dav_sites !tav_sites;
+          List.iter
+            (fun (s, msg) -> Printf.printf "  seed %d BROKEN: %s\n" s msg)
+            (List.rev !broken);
+          (match !counterexample with
+          | None -> Printf.printf "sanitize: no soundness counterexample found\n"
+          | Some (s, diags) ->
+              Printf.printf
+                "sanitize: SOUNDNESS COUNTEREXAMPLE at seed %d (minimized schema written \
+                 to %s)\n\
+                \  replay: oosim sanitize --replay %s\n"
+                s out out;
+              List.iter (fun d -> Format.printf "  %a@." Diag.pp d) diags);
+          if mutate then begin
+            Printf.printf "mutations: %d injected, %d detected (%.1f%%)\n" !attempted
+              !detected (100. *. rate);
+            List.iter
+              (fun (s, m) -> Printf.printf "  seed %d MISSED: %s\n" s m)
+              (List.rev !missed)
+          end
+        end;
+        if !counterexample <> None then 1
+        else if mutate && rate < min_detection then 1
+        else 0
+  in
+  let schemas =
+    Arg.(value & opt int 100
+         & info [ "schemas" ] ~docv:"N" ~doc:"Random schemas to generate and drive.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.") in
+  let budget_ms =
+    Arg.(value & opt int 0
+         & info [ "budget-ms" ] ~docv:"MS"
+             ~doc:"Stop starting new schemas after this many milliseconds (0 = no limit).")
+  in
+  let mutate =
+    Arg.(value & flag
+         & info [ "mutate" ]
+             ~doc:"Also measure the checker's false-negative rate: per sound schema, \
+                   deliberately weaken static access-vector entries at exercised sites and \
+                   count how many weakenings the conformance check reports.")
+  in
+  let trials =
+    Arg.(value & opt int 4
+         & info [ "trials" ] ~docv:"N" ~doc:"Mutations injected per schema with $(b,--mutate).")
+  in
+  let min_detection =
+    Arg.(value & opt float 0.
+         & info [ "min-detection" ] ~docv:"F"
+             ~doc:"Exit nonzero when the mutation detection rate falls below $(docv) \
+                   (0..1; only meaningful with $(b,--mutate)).")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Re-check one ODML schema file (e.g. a written counterexample) instead \
+                   of fuzzing.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON summary on stdout.") in
+  let out =
+    Arg.(value & opt string "sanitize_counterexample.odml"
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Where to write a minimized soundness counterexample.")
+  in
+  let doc =
+    "fuzz random schemas through the dynamic access-vector recorder and assert the \
+     analyzer's soundness (observed within static, definitions 6 and 10)"
+  in
+  Cmd.v (Cmd.info "sanitize" ~doc)
+    Term.(
+      const run $ schemas $ seed $ budget_ms $ mutate $ trials $ min_detection $ replay
+      $ json $ out)
+
 (* --- crosscheck: static ESC001 predictions vs the engine --- *)
 
 let crosscheck_cmd =
@@ -1015,6 +1347,9 @@ let main =
   let doc = "object-oriented concurrency-control simulator (Malta & Martinez, ICDE'93)" in
   Cmd.group
     (Cmd.info "oosim" ~version:"1.0.0" ~doc)
-    [ run_cmd; par_cmd; top_cmd; scenario_cmd; escalation_cmd; chaos_cmd; crosscheck_cmd ]
+    [
+      run_cmd; par_cmd; top_cmd; scenario_cmd; escalation_cmd; chaos_cmd; sanitize_cmd;
+      crosscheck_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -20,7 +20,7 @@ let severity_of_string = function
 
 let pp_severity ppf s = Format.pp_print_string ppf (severity_to_string s)
 
-type code = Esc001 | Pcf001 | Prl001 | Prl002 | Dyn001 | Pre001
+type code = Esc001 | Pcf001 | Prl001 | Prl002 | Dyn001 | Pre001 | Adt001 | San001 | San002 | San003
 
 let code_to_string = function
   | Esc001 -> "ESC001"
@@ -29,11 +29,15 @@ let code_to_string = function
   | Prl002 -> "PRL002"
   | Dyn001 -> "DYN001"
   | Pre001 -> "PRE001"
+  | Adt001 -> "ADT001"
+  | San001 -> "SAN001"
+  | San002 -> "SAN002"
+  | San003 -> "SAN003"
 
 let severity_of_code = function
   | Esc001 | Pcf001 | Dyn001 -> Warning
-  | Prl001 | Prl002 -> Info
-  | Pre001 -> Error
+  | Prl001 | Prl002 | Adt001 -> Info
+  | Pre001 | San001 | San002 | San003 -> Error
 
 type note = { n_msg : string; n_pos : Token.pos option }
 
@@ -74,6 +78,19 @@ let compare d d' =
     else
       let c = Stdlib.compare d.d_code d'.d_code in
       if c <> 0 then c else compare_pos d.d_pos d'.d_pos
+
+let render_compare d d' =
+  let c = compare_pos d.d_pos d'.d_pos in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare d.d_code d'.d_code in
+    if c <> 0 then c
+    else
+      let c = Site.compare d.d_site d'.d_site in
+      if c <> 0 then c
+      else
+        let c = Int.compare (severity_rank d'.d_severity) (severity_rank d.d_severity) in
+        if c <> 0 then c else String.compare d.d_msg d'.d_msg
 
 let pp_pos_opt ppf = function
   | Some p -> Format.fprintf ppf " %d:%d" p.Token.line p.Token.col

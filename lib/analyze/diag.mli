@@ -26,6 +26,10 @@ type code =
   | Prl002  (** precision loss: branch-forced widening at a join — info *)
   | Dyn001  (** dynamic send: receiver class statically unknown — warning *)
   | Pre001  (** preclaim lock-order cycle in the dependency graph — error *)
+  | Adt001  (** every write to the field is a self-increment: ADT (escrow) candidate — info *)
+  | San001  (** sanitizer: observed direct accesses exceed the static DAV — error *)
+  | San002  (** sanitizer: accesses observed under an arrival exceed the TAV — error *)
+  | San003  (** sanitizer: field access without a dominating lock under the scheme — error *)
 
 val code_to_string : code -> string
 val severity_of_code : code -> severity
@@ -46,7 +50,13 @@ val make : ?pos:Token.pos -> ?notes:note list -> code -> Site.t -> string -> t
 
 val compare : t -> t -> int
 (** Most severe first, then by class, method, code and position — the
-    order reports are presented in. *)
+    severity-major order gating logic works with. *)
+
+val render_compare : t -> t -> int
+(** Rendering order: position first (diagnostics without a position sort
+    before positioned ones), then code, site, severity and message — a
+    total order independent of pass evaluation order, so text and JSON
+    reports are byte-stable across runs. *)
 
 val pp : Format.formatter -> t -> unit
 (** One [severity CODE class.method line:col: message] line, notes

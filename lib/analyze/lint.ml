@@ -1,5 +1,6 @@
 open Tavcc_model
 open Tavcc_core
+open Tavcc_lang
 module Json = Tavcc_obs.Json
 module CN = Name.Class
 module MN = Name.Method
@@ -385,6 +386,98 @@ let pre_diags an =
       Diag.make ?pos ~notes Diag.Pre001 (List.hd scc) msg)
     cross_classes
 
+(* --- ADT001: counter/escrow ADT candidates --- *)
+
+let rec mentions x = function
+  | Ast.Ident y -> String.equal x y
+  | Ast.Lit _ | Ast.Self | Ast.New _ -> false
+  | Ast.Unop (_, e) -> mentions x e
+  | Ast.Binop (_, a, b) -> mentions x a || mentions x b
+  | Ast.Send m -> (
+      List.exists (mentions x) m.Ast.msg_args
+      ||
+      match m.Ast.msg_recv with Ast.Rexpr e -> mentions x e | Ast.Rself -> false)
+
+(* [x := x + e], [x := x - e] or [x := e + x] with [e] independent of
+   [x] — the delta-application shape escrow locking commutes. *)
+let is_bump x = function
+  | Ast.Binop ((Ast.Add | Ast.Sub), Ast.Ident y, e) when String.equal x y -> not (mentions x e)
+  | Ast.Binop (Ast.Add, e, Ast.Ident y) when String.equal x y -> not (mentions x e)
+  | _ -> false
+
+let rec body_locals acc = function
+  | Ast.Var (x, _) -> x :: acc
+  | Ast.At (_, s) -> body_locals acc s
+  | Ast.If (_, t, e) -> List.fold_left body_locals (List.fold_left body_locals acc t) e
+  | Ast.While (_, b) -> List.fold_left body_locals acc b
+  | Ast.Assign _ | Ast.Send_stmt _ | Ast.Return _ -> acc
+
+type bump_stats = {
+  mutable b_bumps : (Site.t * Token.pos option) list;  (** reverse source order *)
+  mutable b_other : bool;  (** some write is not a bump *)
+}
+
+let adt_diags an =
+  let schema = Analysis.schema an in
+  let stats : (CN.t * FN.t, bump_stats) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let stat key =
+    match Hashtbl.find_opt stats key with
+    | Some s -> s
+    | None ->
+        let s = { b_bumps = []; b_other = false } in
+        Hashtbl.add stats key s;
+        order := key :: !order;
+        s
+  in
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun (md : _ Schema.method_def) ->
+          let shadowed = List.fold_left body_locals md.Schema.m_params md.Schema.m_body in
+          let rec walk pos s =
+            match s with
+            | Ast.At (p, s) -> walk (Some p) s
+            | Ast.If (_, t, e) ->
+                List.iter (walk pos) t;
+                List.iter (walk pos) e
+            | Ast.While (_, b) -> List.iter (walk pos) b
+            | Ast.Assign (x, e) when not (List.mem x shadowed) -> (
+                match Schema.field_def schema cls (FN.of_string x) with
+                | Some fd when fd.Schema.f_ty = Value.Tint ->
+                    let s = stat (fd.Schema.f_owner, fd.Schema.f_name) in
+                    if is_bump x e then
+                      s.b_bumps <- ((cls, md.Schema.m_name), pos) :: s.b_bumps
+                    else s.b_other <- true
+                | Some _ | None -> ())
+            | Ast.Assign _ | Ast.Var _ | Ast.Send_stmt _ | Ast.Return _ -> ()
+          in
+          List.iter (walk None) md.Schema.m_body)
+        (Schema.own_methods schema cls))
+    (Schema.classes schema);
+  List.filter_map
+    (fun ((owner, f) as key) ->
+      let s = Hashtbl.find stats key in
+      match List.rev s.b_bumps with
+      | [] -> None
+      | _ when s.b_other -> None
+      | ((site, pos) :: _ as bumps) ->
+          let fstr = FN.to_string f in
+          let msg =
+            "every write to " ^ fstr ^ " (declared by " ^ CN.to_string owner
+            ^ ") is a self-increment/decrement; promoting it to a counter ADT with an \
+               ad hoc escrow commutativity declaration would let these writes commute \
+               instead of conflicting in Write mode (sec. 3)"
+          in
+          let notes =
+            List.map
+              (fun ((c, m), p) ->
+                { Diag.n_msg = fstr ^ " is bumped in " ^ site_str owner (c, m); n_pos = p })
+              bumps
+          in
+          Some (Diag.make ?pos ~notes Diag.Adt001 site msg))
+    (List.rev !order)
+
 (* --- the report --- *)
 
 let analyze an =
@@ -406,7 +499,7 @@ let analyze an =
   let diags =
     escalation_diags an chains_of
     @ pcf_diags an @ prl001_diags an chains_of @ prl002_diags an @ dyn_diags an
-    @ pre_diags an
+    @ pre_diags an @ adt_diags an
   in
   let blamed =
     let seen = Hashtbl.create 64 in
@@ -430,7 +523,10 @@ let analyze an =
           acc cs)
       chains CN.Map.empty
   in
-  { r_diags = List.sort Diag.compare diags; r_blamed = blamed }
+  (* Position-major rendering order: reruns and [--json] diff byte-stable
+     regardless of which pass produced a diagnostic first.  Severity
+     gating ([max_severity], [count]) is order-independent. *)
+  { r_diags = List.sort Diag.render_compare diags; r_blamed = blamed }
 
 let count r sev =
   List.length (List.filter (fun d -> d.Diag.d_severity = sev) r.r_diags)

@@ -1,8 +1,7 @@
 (** The compile-time conflict analyzer behind [favc lint].
 
-    [analyze] runs five passes over a compiled schema and returns
-    severity-ranked {!Diag.t} diagnostics with statement-level
-    provenance:
+    [analyze] runs seven passes over a compiled schema and returns
+    {!Diag.t} diagnostics with statement-level provenance:
 
     - {b ESC001} (warning): escalation-deadlock sites (problem P3) — a
       method whose DAV writes nothing takes a Read instance lock under
@@ -23,6 +22,11 @@
       (whole-schema preclaiming in {!Tavcc_cc.Tav_preclaim}).
     - {b PRE001} (error): cycles of the method dependency graph spanning
       several classes — mutually recursive preclaiming sets (sec. 4.3).
+    - {b ADT001} (info): integer fields whose every write is a
+      self-increment/decrement ([f := f + e] / [f := f - e] with [e]
+      independent of [f]) — candidates for promotion to a counter ADT
+      with an ad hoc escrow commutativity declaration ({!Adhoc},
+      sec. 3).
 
     The full catalogue, each code with a minimal ODML example, is in
     [docs/ANALYZER.md]. *)
@@ -31,7 +35,9 @@ open Tavcc_model
 open Tavcc_core
 
 type report = {
-  r_diags : Diag.t list;  (** sorted by {!Diag.compare}: most severe first *)
+  r_diags : Diag.t list;
+      (** sorted by {!Diag.render_compare}: position-major, so text and
+          JSON output are byte-stable across runs *)
   r_blamed : (Site.t * Site.t) list Name.Class.Map.t;
       (** per class, the LBR edges blamed by some chain — the overlay
           {!dot_overlay} highlights *)

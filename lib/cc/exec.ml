@@ -23,7 +23,29 @@ let pp_action = Action.pp
 let begin_txn ~scheme ~store ~ctx actions =
   scheme.Scheme.on_begin ctx ~class_of:(Store.class_of store) actions
 
-let perform ~scheme ~store ~ctx ?mv ?(on_read = fun _ _ -> ()) ?(on_write = fun _ _ -> ())
+type probe = {
+  p_top_send : Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+  p_self_send : Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+  p_enter :
+    Oid.t -> Name.Class.t -> resolve_at:Name.Class.t -> defining:Name.Class.t ->
+    Name.Method.t -> unit;
+  p_exit : Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+  p_read : Oid.t -> Name.Class.t -> Name.Field.t -> versioned:bool -> unit;
+  p_write : Oid.t -> Name.Class.t -> Name.Field.t -> versioned:bool -> unit;
+}
+
+let null_probe =
+  {
+    p_top_send = (fun _ _ _ -> ());
+    p_self_send = (fun _ _ _ -> ());
+    p_enter = (fun _ _ ~resolve_at:_ ~defining:_ _ -> ());
+    p_exit = (fun _ _ _ -> ());
+    p_read = (fun _ _ _ ~versioned:_ -> ());
+    p_write = (fun _ _ _ ~versioned:_ -> ());
+  }
+
+let perform ~scheme ~store ~ctx ?mv ?(probe = null_probe) ?(on_read = fun _ _ -> ())
+    ?(on_write = fun _ _ -> ())
     ?(on_update = fun _ _ ~before:_ ~after:_ -> ()) ?(yield = fun () -> ()) ?max_steps action =
   (* When set, the next top send to this oid is the root of an extent call
      covered by a hierarchical class lock: skip its instance locking. *)
@@ -40,22 +62,31 @@ let perform ~scheme ~store ~ctx ?mv ?(on_read = fun _ _ -> ()) ?(on_write = fun 
     {
       Interp.h_top_send =
         (fun oid cls m ->
-          match !skip_root with
+          (match !skip_root with
           | Some o when Oid.equal o oid -> skip_root := None
           | _ -> scheme.Scheme.on_top_send ctx oid cls m);
-      h_self_send = (fun oid cls m -> scheme.Scheme.on_self_send ctx oid cls m);
+          (* probes run with the scheme's locks already held *)
+          probe.p_top_send oid cls m);
+      h_self_send =
+        (fun oid cls m ->
+          scheme.Scheme.on_self_send ctx oid cls m;
+          probe.p_self_send oid cls m);
       h_read =
         (fun oid cls f ->
           scheme.Scheme.on_read ctx oid cls f;
+          probe.p_read oid cls f ~versioned:(versioned <> None);
           on_read oid f;
           yield ());
       h_write =
         (fun oid cls f ~old v ->
           scheme.Scheme.on_write ctx oid cls f;
+          probe.p_write oid cls f ~versioned:(versioned <> None);
           Tavcc_txn.Txn.log_write ctx.Scheme.txn oid f ~before:old;
           on_write oid f;
           on_update oid f ~before:old ~after:v;
           yield ());
+      h_enter = probe.p_enter;
+      h_exit = probe.p_exit;
       h_new =
         (fun _ cls ->
           (* Versioned (snapshot / optimistic) sessions are classified as

@@ -39,6 +39,30 @@ type action = Action.t =
 
 val pp_action : Format.formatter -> action -> unit
 
+(** Passive observation points for sanitizers: every send, every method
+    frame (enter/exit, with the class resolution started from and the
+    defining site), and every field access.  Probes fire {e after} the
+    scheme's own hook at the same point, so whatever locks the scheme
+    takes there are already held when the probe runs — which is what lets
+    a lock monitor ask "does some held lock dominate this access?".
+    The [versioned] flag on [p_read]/[p_write] is true when the access
+    runs under a non-pessimistic multi-version session (snapshot or
+    optimistic): such reads are lock-free by design and such writes defer
+    their locks to precommit, so a lock monitor must exempt both.
+    Probes must not raise and must not call back into the executor. *)
+type probe = {
+  p_top_send : Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+  p_self_send : Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+  p_enter :
+    Oid.t -> Name.Class.t -> resolve_at:Name.Class.t -> defining:Name.Class.t ->
+    Name.Method.t -> unit;
+  p_exit : Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+  p_read : Oid.t -> Name.Class.t -> Name.Field.t -> versioned:bool -> unit;
+  p_write : Oid.t -> Name.Class.t -> Name.Field.t -> versioned:bool -> unit;
+}
+
+val null_probe : probe
+
 val begin_txn : scheme:Scheme.t -> store:Ast.body Store.t -> ctx:Scheme.ctx -> action list -> unit
 (** Invokes the scheme's begin hook with the transaction's whole action
     list — preclaiming schemes acquire everything here, in canonical
@@ -49,6 +73,7 @@ val perform :
   store:Ast.body Store.t ->
   ctx:Scheme.ctx ->
   ?mv:Scheme.mvcc_session ->
+  ?probe:probe ->
   ?on_read:(Oid.t -> Name.Field.t -> unit) ->
   ?on_write:(Oid.t -> Name.Field.t -> unit) ->
   ?on_update:(Oid.t -> Name.Field.t -> before:Value.t -> after:Value.t -> unit) ->

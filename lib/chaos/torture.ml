@@ -420,7 +420,7 @@ let run ?(policy = Engine.Detect) ?(yield_on_access = true) ?(crash_matrix = tru
             Buffer.add_string hb (Printf.sprintf "A%d;" t);
             bridge "mirror abort" (fun () -> Manager.abort mgr t))
   in
-  let hooks = { Engine.hk_pick; hk_forced_abort; hk_on_grant; hk_observe } in
+  let hooks = { Engine.hk_pick; hk_forced_abort; hk_on_grant; hk_observe; hk_probe = None } in
   let config =
     { Engine.default_config with seed; yield_on_access; policy; hooks; metrics }
   in

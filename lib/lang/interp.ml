@@ -9,6 +9,8 @@ type hooks = {
   h_read : Oid.t -> CN.t -> FN.t -> unit;
   h_write : Oid.t -> CN.t -> FN.t -> old:Value.t -> Value.t -> unit;
   h_new : Oid.t -> CN.t -> unit;
+  h_enter : Oid.t -> CN.t -> resolve_at:CN.t -> defining:CN.t -> MN.t -> unit;
+  h_exit : Oid.t -> CN.t -> MN.t -> unit;
   h_read_value : (Oid.t -> CN.t -> FN.t -> Value.t) option;
   h_write_value : (Oid.t -> CN.t -> FN.t -> old:Value.t -> Value.t -> bool) option;
 }
@@ -20,6 +22,8 @@ let no_hooks =
     h_read = (fun _ _ _ -> ());
     h_write = (fun _ _ _ ~old:_ _ -> ());
     h_new = (fun _ _ -> ());
+    h_enter = (fun _ _ ~resolve_at:_ ~defining:_ _ -> ());
+    h_exit = (fun _ _ _ -> ());
     h_read_value = None;
     h_write_value = None;
   }
@@ -160,13 +164,19 @@ and run_method env self cls ~resolve_at name args =
   let schema = Store.schema env.store in
   match Schema.resolve_from schema resolve_at name with
   | None -> error "class %a does not understand message %a" CN.pp resolve_at MN.pp name
-  | Some (_, md) ->
+  | Some (defining, md) ->
       let expected = List.length md.Schema.m_params in
       if expected <> List.length args then
         error "message %a expects %d argument(s) but received %d" MN.pp name expected
           (List.length args);
       let frame = { self; cls; params = List.combine md.Schema.m_params args; locals = [] } in
-      exec_body env frame md.Schema.m_body
+      env.hooks.h_enter self cls ~resolve_at ~defining name;
+      (* [h_exit] must also fire when the body raises (a runtime error, or
+         an abort injected through a blocking lock hook), so recorder
+         call-stacks unwind in step with the interpreter's. *)
+      Fun.protect
+        ~finally:(fun () -> env.hooks.h_exit self cls name)
+        (fun () -> exec_body env frame md.Schema.m_body)
 
 and exec_body env frame body =
   try

@@ -19,6 +19,18 @@ type hooks = {
   h_read : Oid.t -> Name.Class.t -> Name.Field.t -> unit;
   h_write : Oid.t -> Name.Class.t -> Name.Field.t -> old:Value.t -> Value.t -> unit;
   h_new : Oid.t -> Name.Class.t -> unit;
+  h_enter :
+    Oid.t -> Name.Class.t -> resolve_at:Name.Class.t -> defining:Name.Class.t ->
+    Name.Method.t -> unit;
+      (** a method body is about to execute: the receiver, its proper
+          class, the class resolution started from ([resolve_at] — the
+          proper class, or the named ancestor of a prefixed self-send),
+          the defining site's class, and the method.  Fires after the
+          corresponding send hook, before the first statement. *)
+  h_exit : Oid.t -> Name.Class.t -> Name.Method.t -> unit;
+      (** the frame opened by the matching {!h_enter} is gone — fires on
+          normal return {e and} when the body unwinds on an exception, so
+          observers can mirror the call stack exactly. *)
   h_read_value : (Oid.t -> Name.Class.t -> Name.Field.t -> Value.t) option;
       (** when set, replaces {!Store.read} as the source of field values —
           both for [Ident] reads and for the old-image of an assignment.

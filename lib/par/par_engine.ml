@@ -20,6 +20,12 @@ type config = {
   metrics : Metrics.t option;
   obs : Par_obs.t option;
   stall_sink : Shard_table.stall_report Tavcc_obs.Sink.t;
+  probe :
+    (dom:int ->
+    txn:int ->
+    holds:(Tavcc_lock.Resource.t -> (int * bool) list) ->
+    Exec.probe)
+    option;
 }
 
 let default_config =
@@ -36,6 +42,7 @@ let default_config =
     metrics = None;
     obs = None;
     stall_sink = Tavcc_obs.Sink.null;
+    probe = None;
   }
 
 type result = {
@@ -241,7 +248,12 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
       Unix.sleepf (float_of_int us /. 1e6)
     end
   in
-  let run_job (id, actions) =
+  let run_job ~dom (id, actions) =
+    let probe =
+      Option.map
+        (fun mk -> mk ~dom ~txn:id ~holds:(Shard_table.holds locks id))
+        config.probe
+    in
     let rec attempt n txn =
       Shard_table.register locks ~id ~birth:id;
       oemit (Par_obs.E_begin { txn = id; attempt = n });
@@ -301,7 +313,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
         Exec.begin_txn ~scheme ~store ~ctx actions;
         List.iter
           (fun a ->
-            Exec.perform ~scheme ~store ~ctx ?mv ~on_read ~on_write
+            Exec.perform ~scheme ~store ~ctx ?mv ~on_read ~on_write ?probe
               ~max_steps:config.max_steps a)
           actions;
         match mv with
@@ -404,7 +416,7 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
       let i = Atomic.fetch_and_add cursor 1 in
       if i < Array.length jobs_arr then begin
         let j0 = Unix.gettimeofday () in
-        run_job jobs_arr.(i);
+        run_job ~dom jobs_arr.(i);
         Option.iter
           (fun c -> Metrics.add c (int_of_float ((Unix.gettimeofday () -. j0) *. 1e6)))
           busy;

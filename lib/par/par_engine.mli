@@ -77,12 +77,25 @@ type config = {
           receives the structured {!Shard_table.stall_report} instead
           (render with [Shard_table.stall_report_to_json]).  The env var
           still arms the watchdog either way. *)
+  probe :
+    (dom:int ->
+    txn:int ->
+    holds:(Tavcc_lock.Resource.t -> (int * bool) list) ->
+    Exec.probe)
+    option;
+      (** builds a per-transaction {!Exec.probe} when the worker domain
+          [dom] picks the job up; [holds] queries the shard table for the
+          (mode, hier) pairs the transaction holds on a resource.  The
+          probe runs on the worker domain with the scheme's locks already
+          granted — feed observations through domain-local structures
+          (one {!Tavcc_sanitize.Recorder}/{!Tavcc_sanitize.Monitor} per
+          domain) to keep the hot path mutex-free. *)
 }
 
 val default_config : config
 (** 4 domains, 8 shards, [Detect], 1000 restarts, 500 us detector
     period, 50 us backoff base capped at 5 ms, no history, no
-    metrics, no event streams, stderr stall dumps. *)
+    metrics, no event streams, stderr stall dumps, no probe. *)
 
 type result = {
   commits : int;

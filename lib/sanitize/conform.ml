@@ -1,0 +1,137 @@
+open Tavcc_model
+open Tavcc_core
+module CN = Name.Class
+module FN = Name.Field
+module MN = Name.Method
+module Diag = Tavcc_analyze.Diag
+
+type lookup = {
+  lk_dav : Site.t -> Access_vector.t option;
+  lk_tav : Site.t -> Access_vector.t option;
+}
+
+let of_analysis an =
+  let guarded f (c, m) = match f an c m with av -> Some av | exception Invalid_argument _ -> None in
+  { lk_dav = guarded Analysis.dav; lk_tav = guarded Analysis.tav }
+
+type result = {
+  r_diags : Diag.t list;
+  r_dav_sites : int;
+  r_tav_sites : int;
+  r_checks : int;
+}
+
+let mode_name m = String.lowercase_ascii (Mode.to_string m)
+
+(* The statement that performed the access: the first access of the field
+   at the observed mode in the defining site's body.  For a TAV
+   exceedance the access may live in any body the arrival reaches, so
+   scan the observed DAVs for a defining site that saw the field at that
+   mode — that is the provenance chain's last link. *)
+let dav_pos ex (c, m) f mode =
+  match Extraction.first_field_pos ex c m f mode with
+  | p -> p
+  | exception Invalid_argument _ -> None
+
+let witness_note rec_kind recorder site f =
+  let w =
+    match rec_kind with
+    | `Dav -> Recorder.dav_witness recorder site f
+    | `Tav -> Recorder.tav_witness recorder site f
+  in
+  match w with
+  | None -> []
+  | Some w ->
+      [
+        {
+          Diag.n_msg =
+            Format.asprintf "witnessed by transaction %d on oid %a at mode %s" w.Recorder.w_txn
+              Oid.pp w.Recorder.w_oid (mode_name w.Recorder.w_mode);
+          n_pos = None;
+        };
+      ]
+
+let check ~an ?lookup recorder =
+  let lookup = match lookup with Some l -> l | None -> of_analysis an in
+  let ex = Analysis.extraction an in
+  let diags = ref [] in
+  let checks = ref 0 in
+  let obs_dav = Recorder.observed_dav recorder in
+  let obs_tav = Recorder.observed_tav recorder in
+  (* SAN001: direct accesses against the defining site's DAV. *)
+  List.iter
+    (fun (site, av) ->
+      let stat = lookup.lk_dav site in
+      List.iter
+        (fun (f, om) ->
+          incr checks;
+          let sm = match stat with Some v -> Access_vector.get v f | None -> Mode.Null in
+          if not (Mode.leq om sm) then begin
+            let c, m = site in
+            let msg =
+              Format.asprintf "observed %s of %a in %a.%a, but its DAV declares %s" (mode_name om)
+                FN.pp f CN.pp c MN.pp m (mode_name sm)
+            in
+            let notes = witness_note `Dav recorder site f in
+            let notes =
+              if stat = None then
+                { Diag.n_msg = "site missing from the analysis entirely"; n_pos = None } :: notes
+              else notes
+            in
+            diags := Diag.make ?pos:(dav_pos ex site f om) ~notes Diag.San001 site msg :: !diags
+          end)
+        (Access_vector.to_list av))
+    obs_dav;
+  (* SAN002: arrival-scoped accesses against the entry's TAV. *)
+  List.iter
+    (fun (site, av) ->
+      let stat = lookup.lk_tav site in
+      List.iter
+        (fun (f, om) ->
+          incr checks;
+          let sm = match stat with Some v -> Access_vector.get v f | None -> Mode.Null in
+          if not (Mode.leq om sm) then begin
+            let c, m = site in
+            let msg =
+              Format.asprintf
+                "accesses arriving at %a.%a observed %s of %a, but its TAV declares %s" CN.pp c
+                MN.pp m (mode_name om) FN.pp f (mode_name sm)
+            in
+            (* chain: arrival entry -> the defining site whose body did it *)
+            let culprit =
+              List.find_opt
+                (fun (_, dav) -> Mode.leq om (Access_vector.get dav f))
+                (Recorder.observed_dav recorder)
+            in
+            let chain =
+              match culprit with
+              | None -> []
+              | Some (((dc, dm) as dsite), _) ->
+                  [
+                    {
+                      Diag.n_msg =
+                        Format.asprintf "the %s is performed by %a.%a" (mode_name om) CN.pp dc
+                          MN.pp dm;
+                      n_pos = dav_pos ex dsite f om;
+                    };
+                  ]
+            in
+            let notes = chain @ witness_note `Tav recorder site f in
+            let notes =
+              if stat = None then
+                { Diag.n_msg = "site missing from the analysis entirely"; n_pos = None } :: notes
+              else notes
+            in
+            let pos = match culprit with Some (d, _) -> dav_pos ex d f om | None -> None in
+            diags := Diag.make ?pos ~notes Diag.San002 site msg :: !diags
+          end)
+        (Access_vector.to_list av))
+    obs_tav;
+  {
+    r_diags = List.sort Diag.render_compare !diags;
+    r_dav_sites = List.length obs_dav;
+    r_tav_sites = List.length obs_tav;
+    r_checks = !checks;
+  }
+
+let ok r = r.r_diags = []

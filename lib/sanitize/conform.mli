@@ -1,0 +1,42 @@
+(** Observed-versus-static access conformance.
+
+    The analyzer is sound when everything the runtime actually does is
+    within what the compiler declared: every defining site's observed
+    direct accesses within its DAV (definition 6), and every arrival's
+    observed accesses within the entry's TAV (definition 10).  [check]
+    asserts both inclusions field by field and reports each failure as a
+    severity-ranked {!Tavcc_analyze.Diag} with provenance: the witnessing
+    transaction and instance, the declared versus observed modes, and the
+    position of the offending statement recovered from the extraction's
+    access tree.
+
+    The static vectors are consulted through a {!lookup} so the mutation
+    harness can deliberately weaken one entry and assert the checker
+    notices; {!of_analysis} is the honest lookup. *)
+
+open Tavcc_core
+
+type lookup = {
+  lk_dav : Site.t -> Access_vector.t option;
+  lk_tav : Site.t -> Access_vector.t option;
+}
+
+val of_analysis : Analysis.t -> lookup
+(** [None] for sites the analysis does not know — itself reported as a
+    violation when observed. *)
+
+type result = {
+  r_diags : Tavcc_analyze.Diag.t list;  (** sorted in rendering order *)
+  r_dav_sites : int;  (** defining sites with observations *)
+  r_tav_sites : int;  (** arrival sites with observations *)
+  r_checks : int;  (** field inclusions tested *)
+}
+
+val check : an:Analysis.t -> ?lookup:lookup -> Recorder.t -> result
+(** [an] supplies source positions and field provenance; [lookup]
+    (default [of_analysis an]) supplies the vectors being verified.
+    SAN001 = observed DAV exceedance, SAN002 = observed TAV
+    exceedance. *)
+
+val ok : result -> bool
+(** No diagnostics. *)

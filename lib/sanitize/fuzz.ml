@@ -1,0 +1,433 @@
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lang
+module CN = Name.Class
+module FN = Name.Field
+module MN = Name.Method
+module Rng = Tavcc_sim.Rng
+
+type cfg = { max_classes : int; max_fields : int; max_methods : int; max_stmts : int }
+
+let default_cfg = { max_classes = 4; max_fields = 3; max_methods = 5; max_stmts = 4 }
+
+(* {1 Generation} *)
+
+(* Structural skeleton decided in a first pass, so bodies (second pass)
+   can send to methods of any class, including later ones. *)
+type skel = {
+  sk_name : CN.t;
+  sk_parent : int option;  (* index into the skeleton array *)
+  sk_own_fields : FN.t list;
+  sk_fields : FN.t list;  (* inherited @ own *)
+  sk_defined : bool array;  (* method j defined here *)
+  sk_avail : bool array;  (* method j understood (own or inherited) *)
+}
+
+let lit n = Ast.Lit (Value.Vint n)
+let ident x = Ast.Ident x
+let param = "p1"
+
+let send ?prefix ?(args = [ ident param ]) name recv =
+  Ast.Send_stmt
+    { Ast.msg_prefix = prefix; msg_name = name; msg_args = args; msg_recv = recv; msg_pos = None }
+
+let gen_skeletons rng cfg =
+  let n_cls = 1 + Rng.int rng cfg.max_classes in
+  let n_meths = 2 + Rng.int rng (max 1 (cfg.max_methods - 1)) in
+  let skels = Array.make n_cls None in
+  for i = 0 to n_cls - 1 do
+    let parent = if i > 0 && Rng.chance rng 0.5 then Some (Rng.int rng i) else None in
+    let parent_sk = Option.map (fun p -> Option.get skels.(p)) parent in
+    let own_fields =
+      List.init
+        (1 + Rng.int rng cfg.max_fields)
+        (fun j -> FN.of_string (Printf.sprintf "f%d_%d" i j))
+    in
+    let inherited = match parent_sk with Some p -> p.sk_fields | None -> [] in
+    let defined = Array.make n_meths false in
+    let avail = Array.make n_meths false in
+    for j = 0 to n_meths - 1 do
+      let inherited_avail =
+        match parent_sk with Some p -> p.sk_avail.(j) | None -> false
+      in
+      (* root classes always define m0, so every class understands it *)
+      let def = (j = 0 && parent = None) || Rng.chance rng 0.6 in
+      defined.(j) <- def;
+      avail.(j) <- def || inherited_avail
+    done;
+    skels.(i) <-
+      Some
+        {
+          sk_name = CN.of_string (Printf.sprintf "k%d" i);
+          sk_parent = parent;
+          sk_own_fields = own_fields;
+          sk_fields = inherited @ own_fields;
+          sk_defined = defined;
+          sk_avail = avail;
+        }
+  done;
+  (Array.map Option.get skels, n_meths)
+
+(* Strict ancestors of class [i], nearest first. *)
+let ancestors skels i =
+  let rec up acc = function
+    | None -> List.rev acc
+    | Some p -> up (p :: acc) skels.(p).sk_parent
+  in
+  up [] skels.(i).sk_parent
+
+(* The driver calls every entry with each argument in [sweep_lo, sweep_hi].
+   Bodies are generated so that the sweep provably executes every
+   statement: branch constants split the interval of parameter values
+   that can reach the branch, and self-sends only appear where the full
+   interval still flows (a self-send under a narrowed branch would run
+   the callee on a slice of the sweep only, leaving the caller's
+   observed TAV short of the static one). *)
+let sweep_lo = -2
+let sweep_hi = 3
+
+let gen_body rng cfg skels i j =
+  let sk = skels.(i) in
+  let fresh =
+    let ctr = ref 0 in
+    fun prefix ->
+      incr ctr;
+      Printf.sprintf "%s%d" prefix !ctr
+  in
+  let pick_field () = FN.to_string (Rng.pick rng sk.sk_fields) in
+  (* methods of strictly smaller index available on class [ci] *)
+  let smaller_avail ci =
+    List.filter (fun k -> skels.(ci).sk_avail.(k)) (List.init j (fun k -> k))
+  in
+  let meth k = MN.of_string (Printf.sprintf "m%d" k) in
+  (* [lo, hi] = inclusive interval of parameter values reaching this
+     generation point; starts as the full sweep. *)
+  let rec gen_stmts ~depth ~lo ~hi n =
+    if n <= 0 then []
+    else
+      let rest ?(used = 1) () = gen_stmts ~depth ~lo ~hi (n - used) in
+      match Rng.int rng 10 with
+      | 0 | 1 ->
+          (* self-increment write — the escrow-candidate shape *)
+          let f = pick_field () in
+          let delta = if Rng.bool rng then ident param else lit 1 in
+          let op = if Rng.chance rng 0.8 then Ast.Add else Ast.Sub in
+          Ast.Assign (f, Ast.Binop (op, ident f, delta)) :: rest ()
+      | 2 ->
+          let f = pick_field () in
+          Ast.Assign (f, Ast.Binop (Ast.Mul, ident param, lit 2)) :: rest ()
+      | 3 | 4 ->
+          let f = pick_field () in
+          Ast.Var (fresh "v", Ast.Binop (Ast.Add, ident f, ident param)) :: rest ()
+      | 5 when depth > 0 && lo < hi ->
+          (* split the feasible interval so both branches are reachable
+             under the sweep — nested conditions on the same invariant
+             parameter would otherwise produce dead branches *)
+          let c = lo + Rng.int rng (hi - lo) in
+          let t = gen_stmts ~depth:(depth - 1) ~lo:(c + 1) ~hi (1 + Rng.int rng 2) in
+          let e = gen_stmts ~depth:(depth - 1) ~lo ~hi:c (1 + Rng.int rng 2) in
+          Ast.If (Ast.Binop (Ast.Gt, ident param, lit c), t, e) :: rest ()
+      | 6 when depth > 0 ->
+          let w = fresh "w" in
+          let body = gen_stmts ~depth:(depth - 1) ~lo ~hi (1 + Rng.int rng 2) in
+          Ast.Var (w, lit (1 + Rng.int rng 2))
+          :: Ast.While
+               ( Ast.Binop (Ast.Gt, ident w, lit 0),
+                 body @ [ Ast.Assign (w, Ast.Binop (Ast.Sub, ident w, lit 1)) ] )
+          :: rest ()
+      | 7 when lo = sweep_lo && hi = sweep_hi -> (
+          (* self-send: plain, or prefixed through an ancestor.  Full
+             interval only: the callee's accesses count toward this
+             entry's TAV, and saturating them needs the whole sweep. *)
+          let prefixed =
+            List.concat_map
+              (fun a ->
+                List.filter_map
+                  (fun k -> if skels.(a).sk_avail.(k) then Some (Some a, k) else None)
+                  (List.init j (fun k -> k)))
+              (ancestors skels i)
+          in
+          let plain = List.map (fun k -> (None, k)) (smaller_avail i) in
+          match plain @ prefixed with
+          | [] -> rest ~used:0 ()
+          | choices ->
+              let anc, k = Rng.pick rng choices in
+              let prefix = Option.map (fun a -> skels.(a).sk_name) anc in
+              send ?prefix (meth k) Ast.Rself :: rest ())
+      | 8 -> (
+          (* cross-class send to a fresh instance: statically known class *)
+          let choices =
+            List.concat_map
+              (fun ci -> List.map (fun k -> (ci, k)) (smaller_avail ci))
+              (List.init (Array.length skels) (fun ci -> ci))
+          in
+          match choices with
+          | [] -> rest ~used:0 ()
+          | _ ->
+              let ci, k = Rng.pick rng choices in
+              send (meth k) (Ast.Rexpr (Ast.New skels.(ci).sk_name)) :: rest ())
+      | _ -> (
+          (* dynamic send: the receiver class is only known at run time *)
+          let choices =
+            List.concat_map
+              (fun ci -> List.map (fun k -> (ci, k)) (smaller_avail ci))
+              (List.init (Array.length skels) (fun ci -> ci))
+          in
+          match choices with
+          | [] -> rest ~used:0 ()
+          | _ ->
+              let ci, k = Rng.pick rng choices in
+              let r = fresh "r" in
+              Ast.Var (r, Ast.New skels.(ci).sk_name)
+              :: send (meth k) (Ast.Rexpr (ident r))
+              :: rest ())
+  in
+  let body = gen_stmts ~depth:2 ~lo:sweep_lo ~hi:sweep_hi (1 + Rng.int rng cfg.max_stmts) in
+  (* A [return] anywhere else would make trailing statements dead code:
+     statically counted, never executed — defeating the saturation the
+     mutation harness relies on.  Last position only. *)
+  if Rng.chance rng 0.15 then body @ [ Ast.Return (ident (pick_field ())) ] else body
+
+let gen_decls ?(cfg = default_cfg) rng =
+  let skels, n_meths = gen_skeletons rng cfg in
+  Array.to_list
+    (Array.mapi
+       (fun i sk ->
+         let methods =
+           List.filter_map
+             (fun j ->
+               if sk.sk_defined.(j) then
+                 Some
+                   {
+                     Schema.m_name = MN.of_string (Printf.sprintf "m%d" j);
+                     m_params = [ param ];
+                     m_body = gen_body rng cfg skels i j;
+                   }
+               else None)
+             (List.init n_meths (fun j -> j))
+         in
+         {
+           Schema.c_name = sk.sk_name;
+           c_parents =
+             (match sk.sk_parent with Some p -> [ skels.(p).sk_name ] | None -> []);
+           c_fields = List.map (fun f -> (f, Value.Tint)) sk.sk_own_fields;
+           c_methods = methods;
+         })
+       skels)
+
+let source = Pretty.decls_to_string
+
+(* {1 Driving and checking} *)
+
+type run = {
+  run_src : string;
+  run_an : Analysis.t;
+  run_recorder : Recorder.t;
+  run_result : Conform.result;
+  run_errors : (string * string) list;
+}
+
+type verdict = Sound | Unsound of Tavcc_analyze.Diag.t list | Broken of string
+
+let sweep = List.init (sweep_hi - sweep_lo + 1) (fun k -> sweep_lo + k)
+
+let drive an recorder =
+  let schema = Analysis.schema an in
+  let store = Store.create schema in
+  let txn = ref 0 in
+  let errors = ref [] in
+  List.iter
+    (fun c ->
+      let o = Store.new_instance store c in
+      List.iter
+        (fun m ->
+          let arity =
+            match Schema.resolve schema c m with
+            | Some (_, md) -> List.length md.Schema.m_params
+            | None -> 0
+          in
+          List.iter
+            (fun v ->
+              incr txn;
+              let hooks = Recorder.hooks recorder ~txn:!txn in
+              let args = List.init arity (fun _ -> Value.Vint v) in
+              match Interp.call ~hooks ~max_steps:500_000 store o m args with
+              | _ -> ()
+              | exception Interp.Runtime_error msg ->
+                  errors :=
+                    (Format.asprintf "%a.%a(%d)" CN.pp c MN.pp m v, msg) :: !errors)
+            sweep)
+        (Schema.methods schema c))
+    (Schema.classes schema);
+  List.rev !errors
+
+let run_source src =
+  match
+    let decls = Parser.parse_decls src in
+    match Schema.build decls with
+    | Error e -> Error (Format.asprintf "%a" Schema.pp_error e)
+    | Ok schema -> Ok (Analysis.compile schema)
+  with
+  | exception e -> Error (Printexc.to_string e)
+  | Error e -> Error e
+  | Ok an ->
+      let recorder = Recorder.create () in
+      let errors = drive an recorder in
+      let result = Conform.check ~an recorder in
+      Ok { run_src = src; run_an = an; run_recorder = recorder; run_result = result; run_errors = errors }
+
+let verdict_of run =
+  match run.run_result.Conform.r_diags with
+  | _ :: _ as diags -> Unsound diags
+  | [] -> (
+      match run.run_errors with
+      | (entry, msg) :: _ -> Broken (Printf.sprintf "%s: %s" entry msg)
+      | [] -> Sound)
+
+let check_source src =
+  match run_source src with Error e -> Broken e | Ok run -> verdict_of run
+
+let check_decls decls = check_source (source decls)
+
+(* {1 Shrinking} *)
+
+let rec strip = function Ast.At (_, s) -> strip s | s -> s
+
+let splice body i sub = List.concat (List.mapi (fun k s -> if k = i then sub else [ s ]) body)
+
+let body_variants body =
+  let drops = List.mapi (fun i _ -> List.filteri (fun k _ -> k <> i) body) body in
+  let inlines =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match strip s with
+           | Ast.If (_, t, e) -> [ splice body i t; splice body i e ]
+           | Ast.While (_, b) -> [ splice body i b ]
+           | _ -> [])
+         body)
+  in
+  drops @ inlines
+
+let decl_variants decls =
+  let replace i x = List.mapi (fun k d -> if k = i then x else d) decls in
+  let drop_class = List.mapi (fun i _ -> List.filteri (fun k _ -> k <> i) decls) decls in
+  let per_class f = List.concat (List.mapi f decls) in
+  let drop_method =
+    per_class (fun i d ->
+        List.mapi
+          (fun k _ ->
+            replace i { d with Schema.c_methods = List.filteri (fun k' _ -> k' <> k) d.Schema.c_methods })
+          d.Schema.c_methods)
+  in
+  let drop_field =
+    per_class (fun i d ->
+        List.mapi
+          (fun k _ ->
+            replace i { d with Schema.c_fields = List.filteri (fun k' _ -> k' <> k) d.Schema.c_fields })
+          d.Schema.c_fields)
+  in
+  let shrink_body =
+    per_class (fun i d ->
+        List.concat
+          (List.mapi
+             (fun k m ->
+               List.map
+                 (fun b ->
+                   replace i
+                     {
+                       d with
+                       Schema.c_methods =
+                         List.mapi
+                           (fun k' m' -> if k' = k then { m' with Schema.m_body = b } else m')
+                           d.Schema.c_methods;
+                     })
+                 (body_variants m.Schema.m_body))
+             d.Schema.c_methods))
+  in
+  drop_class @ drop_method @ drop_field @ shrink_body
+
+let same_kind reference v =
+  match (reference, v) with
+  | Unsound _, Unsound _ -> true
+  | Broken _, Broken _ -> true
+  | Sound, Sound -> true
+  | _ -> false
+
+let minimize ?(max_steps = 400) src =
+  let reference = check_source src in
+  match reference with
+  | Sound -> src
+  | _ ->
+      let budget = ref max_steps in
+      let fails decls =
+        if !budget <= 0 then false
+        else begin
+          decr budget;
+          same_kind reference (check_decls decls)
+        end
+      in
+      let rec go decls =
+        match List.find_opt fails (decl_variants decls) with
+        | Some smaller when !budget > 0 -> go smaller
+        | _ -> decls
+      in
+      let decls = Parser.parse_decls src in
+      source (go decls)
+
+(* {1 Seeded mutations} *)
+
+type mutation = {
+  mu_kind : [ `Dav | `Tav ];
+  mu_site : Site.t;
+  mu_field : FN.t;
+  mu_from : Mode.t;
+  mu_to : Mode.t;
+}
+
+let pp_mutation ppf mu =
+  let kind = match mu.mu_kind with `Dav -> "DAV" | `Tav -> "TAV" in
+  Format.fprintf ppf "%s %a: %a %s -> %s" kind Site.pp mu.mu_site FN.pp mu.mu_field
+    (Mode.to_string mu.mu_from) (Mode.to_string mu.mu_to)
+
+let gen_mutation rng run =
+  let lookup = Conform.of_analysis run.run_an in
+  let pool kind lk sites =
+    List.concat_map
+      (fun (site, _) ->
+        match lk site with
+        | None -> []
+        | Some av -> List.map (fun (f, m) -> (kind, site, f, m)) (Access_vector.to_list av))
+      sites
+  in
+  let entries =
+    pool `Dav lookup.Conform.lk_dav (Recorder.observed_dav run.run_recorder)
+    @ pool `Tav lookup.Conform.lk_tav (Recorder.observed_tav run.run_recorder)
+  in
+  match entries with
+  | [] -> None
+  | _ ->
+      let kind, site, f, m = Rng.pick rng entries in
+      let to_ =
+        match m with
+        | Mode.Write -> if Rng.bool rng then Mode.Read else Mode.Null
+        | Mode.Read | Mode.Null -> Mode.Null
+      in
+      Some { mu_kind = kind; mu_site = site; mu_field = f; mu_from = m; mu_to = to_ }
+
+let mutated_lookup an mu =
+  let base = Conform.of_analysis an in
+  let tweak lk site =
+    match lk site with
+    | Some av when Site.equal site mu.mu_site ->
+        Some (Access_vector.set av mu.mu_field mu.mu_to)
+    | r -> r
+  in
+  match mu.mu_kind with
+  | `Dav -> { base with Conform.lk_dav = tweak base.Conform.lk_dav }
+  | `Tav -> { base with Conform.lk_tav = tweak base.Conform.lk_tav }
+
+let mutation_detected run mu =
+  let lookup = mutated_lookup run.run_an mu in
+  let res = Conform.check ~an:run.run_an ~lookup run.run_recorder in
+  res.Conform.r_diags <> []

@@ -1,0 +1,95 @@
+(** Schema/workload fuzzing: a differential oracle for the analyzer.
+
+    The fuzzer generates random ODML schemas — inheritance chains,
+    overrides, plain and prefixed self-sends, statically-typed and
+    dynamic cross-class sends, branches and loops — drives {e every}
+    (class, method) entry over an argument sweep under the
+    {!Recorder}, and asserts {!Conform}ance of the observed access
+    vectors against the analyzer's.  Any SAN001/SAN002 finding on an
+    unmodified analyzer is an analyzer soundness bug; the failing schema
+    is {!minimize}d to a minimal reproducer printable as replayable
+    ODML source.
+
+    Generated programs terminate by construction: every send (self,
+    prefixed, cross or dynamic) targets a method of strictly smaller
+    index in the method-name pool, and loops count down a constant local
+    counter.  Branch conditions compare the parameter against constants
+    that split the interval of values able to reach the branch (so no
+    branch is dead under the driver's argument sweep), and self-sends
+    only appear where the full interval still flows — together these
+    make the observed vectors saturate the static ones, which is what
+    makes the seeded {!mutation} harness's detection rate a meaningful
+    measure of the checker's false negatives.
+
+    Everything is deterministic from the {!Tavcc_sim.Rng} seed. *)
+
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lang
+
+type cfg = {
+  max_classes : int;
+  max_fields : int;  (** own fields per class *)
+  max_methods : int;  (** size of the shared method-name pool *)
+  max_stmts : int;  (** statements per method body *)
+}
+
+val default_cfg : cfg
+
+val gen_decls : ?cfg:cfg -> Tavcc_sim.Rng.t -> Ast.body Schema.class_decl list
+val source : Ast.body Schema.class_decl list -> string
+
+(** A driven run of one schema under the recorder. *)
+type run = {
+  run_src : string;
+  run_an : Analysis.t;
+  run_recorder : Recorder.t;
+  run_result : Conform.result;
+  run_errors : (string * string) list;  (** (entry, message) runtime errors while driving *)
+}
+
+type verdict =
+  | Sound
+  | Unsound of Tavcc_analyze.Diag.t list  (** observed ⊑ static violated *)
+  | Broken of string  (** schema did not parse/build/compile, or driving crashed *)
+
+val run_source : string -> (run, string) result
+(** Parses, compiles, drives every (class, method) over the argument
+    sweep, checks conformance.  [Error] is a parse/build/compile
+    failure. *)
+
+val verdict_of : run -> verdict
+val check_source : string -> verdict
+val check_decls : Ast.body Schema.class_decl list -> verdict
+(** [check_decls] round-trips through the pretty-printer and parser
+    first, so positions (and the replay path) match the printed
+    source. *)
+
+val minimize : ?max_steps:int -> string -> string
+(** Greedily shrinks a failing schema — dropping classes, methods,
+    fields and statements, inlining branches and loop bodies — while the
+    verdict kind is preserved; returns the minimal source.  [max_steps]
+    (default 400) bounds candidate evaluations. *)
+
+(** {1 Seeded-mutation harness} *)
+
+type mutation = {
+  mu_kind : [ `Dav | `Tav ];
+  mu_site : Site.t;
+  mu_field : Name.Field.t;
+  mu_from : Mode.t;
+  mu_to : Mode.t;  (** strictly below [mu_from] *)
+}
+
+val pp_mutation : Format.formatter -> mutation -> unit
+
+val gen_mutation : Tavcc_sim.Rng.t -> run -> mutation option
+(** Weakens one static entry among the sites the run exercised ([None]
+    when nothing was observed).  Restricting the pool to exercised sites
+    makes the detection rate measure the {e checker}, not the driver's
+    coverage. *)
+
+val mutated_lookup : Analysis.t -> mutation -> Conform.lookup
+val mutation_detected : run -> mutation -> bool
+(** Re-checks the run's observations against the weakened vectors; a
+    sound sanitizer must report at least one diagnostic. *)

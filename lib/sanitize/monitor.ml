@@ -1,0 +1,172 @@
+open Tavcc_model
+open Tavcc_core
+open Tavcc_lock
+module CN = Name.Class
+module FN = Name.Field
+module MN = Name.Method
+
+type violation = {
+  v_txn : int;
+  v_oid : Oid.t;
+  v_cls : CN.t;
+  v_field : FN.t;
+  v_mode : Mode.t;
+  v_site : Site.t;
+  v_scheme : string;
+}
+
+let pp_violation ppf v =
+  let c, m = v.v_site in
+  Format.fprintf ppf "txn %d: %s of %a.%a on oid %a (class %a) in %a.%a held no dominating lock"
+    v.v_txn
+    (String.lowercase_ascii (Mode.to_string v.v_mode))
+    CN.pp v.v_cls FN.pp v.v_field Oid.pp v.v_oid CN.pp v.v_cls CN.pp c MN.pp m
+
+(* The lock vocabularies the compared schemes draw their modes from. *)
+type vocab =
+  | V_tav  (* per-class access modes; TAVs decide what a mode grants *)
+  | V_rw  (* read/write instance locks + Gray hierarchical class locks *)
+  | V_field  (* per-field read/write locks *)
+  | V_relational  (* per-fragment read/write + Gray locks on relations *)
+
+let vocab_of = function
+  | "tav" | "tav-pre" | "mvcc-tav" -> Some V_tav
+  | "rw-msg" | "rw-top" | "rw-impl" -> Some V_rw
+  | "field-rt" -> Some V_field
+  | "relational" -> Some V_relational
+  | _ -> None
+
+let supported s = vocab_of s <> None
+
+type t = {
+  mt_scheme : string;
+  mt_vocab : vocab;
+  mt_an : Analysis.t;
+  mt_gm : Tavcc_cc.Global_modes.t option;  (* [Some] for [V_tav] *)
+  mt_ring : violation Tavcc_obs.Ring.t;
+  mt_sites : (int, Site.t list ref) Hashtbl.t;  (* per-txn frame sites *)
+  mutable mt_checked : int;
+}
+
+let create ?(capacity = 1024) ~scheme an =
+  match vocab_of scheme with
+  | None -> invalid_arg (Printf.sprintf "Monitor.create: unsupported scheme %S" scheme)
+  | Some v ->
+      {
+        mt_scheme = scheme;
+        mt_vocab = v;
+        mt_an = an;
+        mt_gm = (if v = V_tav then Some (Tavcc_cc.Global_modes.build an) else None);
+        mt_ring = Tavcc_obs.Ring.create capacity;
+        mt_sites = Hashtbl.create 16;
+        mt_checked = 0;
+      }
+
+let scheme t = t.mt_scheme
+
+(* A TAV mode [g] grants field [f] at mode [m] when the transitive vector
+   of the (class, method) it encodes dominates the access. *)
+let tav_grants t g f m =
+  let gm = Option.get t.mt_gm in
+  let c = Tavcc_cc.Global_modes.class_of gm g in
+  let mth = Tavcc_cc.Global_modes.method_of gm g in
+  match Analysis.tav t.mt_an c mth with
+  | tav -> Mode.leq m (Access_vector.get tav f)
+  | exception Invalid_argument _ -> false
+
+let rw_grants ~write g = g = Compat.write || ((not write) && g = Compat.read)
+let gray_grants ~write g = g = Compat.x || ((not write) && (g = Compat.s || g = Compat.six))
+
+let covers t ~holds oid cls f m =
+  let schema = Analysis.schema t.mt_an in
+  let write = Mode.equal m Mode.Write in
+  match t.mt_vocab with
+  | V_tav ->
+      List.exists (fun (g, _) -> tav_grants t g f m) (holds (Resource.Instance oid))
+      || List.exists
+           (fun c -> List.exists (fun (g, h) -> h && tav_grants t g f m) (holds (Resource.Class c)))
+           (Schema.linearization schema cls)
+  | V_rw ->
+      List.exists (fun (g, _) -> rw_grants ~write g) (holds (Resource.Instance oid))
+      || List.exists
+           (fun c -> List.exists (fun (g, h) -> h && gray_grants ~write g) (holds (Resource.Class c)))
+           (Schema.linearization schema cls)
+  | V_field -> List.exists (fun (g, _) -> rw_grants ~write g) (holds (Resource.Field (oid, f)))
+  | V_relational ->
+      let owner =
+        match Schema.field_def schema cls f with Some fd -> fd.Schema.f_owner | None -> cls
+      in
+      List.exists (fun (g, _) -> rw_grants ~write g) (holds (Resource.Fragment (oid, owner)))
+      || List.exists (fun (g, h) -> h && gray_grants ~write g) (holds (Resource.Relation owner))
+
+let sites_of t txn =
+  match Hashtbl.find_opt t.mt_sites txn with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.mt_sites txn r;
+      r
+
+let check t ~txn ~holds oid cls f m ~versioned =
+  if not versioned then begin
+    t.mt_checked <- t.mt_checked + 1;
+    if not (covers t ~holds oid cls f m) then begin
+      let site =
+        match !(sites_of t txn) with s :: _ -> s | [] -> (cls, MN.of_string "?")
+      in
+      ignore
+        (Tavcc_obs.Ring.push t.mt_ring
+           {
+             v_txn = txn;
+             v_oid = oid;
+             v_cls = cls;
+             v_field = f;
+             v_mode = m;
+             v_site = site;
+             v_scheme = t.mt_scheme;
+           })
+    end
+  end
+
+let probe t ~txn ~holds =
+  let sites = sites_of t txn in
+  {
+    Tavcc_cc.Exec.null_probe with
+    Tavcc_cc.Exec.p_enter =
+      (fun _self _cls ~resolve_at:_ ~defining m -> sites := (defining, m) :: !sites);
+    p_exit = (fun _ _ _ -> match !sites with [] -> () | _ :: rest -> sites := rest);
+    p_read = (fun oid cls f ~versioned -> check t ~txn ~holds oid cls f Mode.Read ~versioned);
+    p_write = (fun oid cls f ~versioned -> check t ~txn ~holds oid cls f Mode.Write ~versioned);
+  }
+
+let checked t = t.mt_checked
+let violations t = Tavcc_obs.Ring.pushed t.mt_ring + Tavcc_obs.Ring.dropped t.mt_ring
+
+let drain t =
+  let acc = ref [] in
+  ignore (Tavcc_obs.Ring.drain t.mt_ring (fun v -> acc := v :: !acc));
+  List.rev !acc
+
+let to_diag t v =
+  let ex = Analysis.extraction t.mt_an in
+  let dc, dm = v.v_site in
+  let pos =
+    match Extraction.first_field_pos ex dc dm v.v_field v.v_mode with
+    | p -> p
+    | exception Invalid_argument _ -> None
+  in
+  let msg =
+    Format.asprintf "%s of %a.%a uncovered by any %s lock"
+      (String.lowercase_ascii (Mode.to_string v.v_mode))
+      CN.pp v.v_cls FN.pp v.v_field v.v_scheme
+  in
+  let notes =
+    [
+      {
+        Tavcc_analyze.Diag.n_msg =
+          Format.asprintf "witnessed on oid %a by transaction %d" Oid.pp v.v_oid v.v_txn;
+        n_pos = None;
+      };
+    ]
+  in
+  Tavcc_analyze.Diag.make ?pos ~notes Tavcc_analyze.Diag.San003 v.v_site msg

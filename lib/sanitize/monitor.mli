@@ -1,0 +1,74 @@
+(** Runtime lock-coverage monitoring.
+
+    A monitor probe checks, at every field access, that the transaction
+    holds a lock {e dominating} the access under the active scheme's
+    vocabulary — the dynamic counterpart of the paper's claim that the
+    compiled modes make every access safe:
+
+    - [tav], [tav-pre], [mvcc-tav]: some access-mode lock on the instance
+      (or a hierarchical class lock along the proper class's
+      linearisation) whose {e TAV} grants the field at the access's mode;
+    - [rw-msg], [rw-top], [rw-impl]: a read/write instance lock
+      ([write] covers [read]), or a hierarchical Gray lock ([s]/[six]
+      cover reads, [x] covers writes) on an ancestor class;
+    - [field-rt]: a read/write lock on the field itself;
+    - [relational]: a read/write lock on the instance's fragment for the
+      field's owner class, or a hierarchical Gray lock on that owner's
+      relation.
+
+    Accesses with the [versioned] flag (snapshot/optimistic MVCC) are
+    exempt: their reads are lock-free by design and their writes acquire
+    locks at precommit.
+
+    Violations are pushed into a per-monitor {!Tavcc_obs.Ring}, so with
+    one monitor per worker domain the hot path takes no mutex beyond
+    whatever the [holds] closure itself takes.  A full ring drops (and
+    counts) further violations rather than blocking. *)
+
+open Tavcc_model
+open Tavcc_core
+
+type violation = {
+  v_txn : int;
+  v_oid : Oid.t;
+  v_cls : Name.Class.t;  (** proper class of the accessed instance *)
+  v_field : Name.Field.t;
+  v_mode : Mode.t;  (** [Read] or [Write] *)
+  v_site : Site.t;  (** defining site of the method performing the access *)
+  v_scheme : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val supported : string -> bool
+(** Whether the scheme's lock vocabulary is known to the monitor. *)
+
+val create : ?capacity:int -> scheme:string -> Analysis.t -> t
+(** [capacity] (default 1024) sizes the violation ring.
+    @raise Invalid_argument when [supported scheme] is false. *)
+
+val scheme : t -> string
+
+val probe :
+  t -> txn:int -> holds:(Tavcc_lock.Resource.t -> (int * bool) list) -> Tavcc_cc.Exec.probe
+(** [holds] answers "which (mode, hier) pairs does [txn] hold on this
+    resource right now" — [Lock_table.holds] or [Shard_table.holds]
+    partially applied.  Probes fire with the scheme's locks already held
+    (see {!Tavcc_cc.Exec.probe}), so a clean run reports nothing. *)
+
+val checked : t -> int
+(** Field accesses checked so far (exempted versioned accesses are not
+    counted). *)
+
+val violations : t -> int
+(** Violations detected so far, including any dropped on ring overflow. *)
+
+val drain : t -> violation list
+(** Drains the ring (consumer side), oldest first. *)
+
+val to_diag : t -> violation -> Tavcc_analyze.Diag.t
+(** A positioned SAN003 diagnostic: the position is the offending
+    statement in the defining site's body, recovered from the
+    extraction's provenance tree. *)

@@ -1,0 +1,230 @@
+open Tavcc_model
+open Tavcc_core
+module MN = Name.Method
+
+type witness = { w_txn : int; w_oid : Oid.t; w_mode : Mode.t }
+
+type ent = { e_f : Name.Field.t; mutable e_w : bool (* covers Write *) }
+
+(* One aggregated vector (DAV or TAV) plus, per field, the access that
+   first attained the field's current mode.  [a_ents] mirrors the
+   non-[Null] entries of [a_av]: a method touches a handful of fields,
+   so the hot path is a short scan — pointer equality first (field
+   names come off AST nodes, so re-executions of a statement present
+   the same string), then [String.equal] on a short name.  Both are
+   cheaper than hashing, and neither allocates. *)
+type acc = {
+  mutable a_av : Access_vector.t;
+  a_wit : (Name.Field.t, witness) Hashtbl.t;
+  mutable a_ents : ent list;
+}
+
+(* A method frame records into its defining site's DAV accumulator; an
+   arrival records into its (proper class, method) TAV accumulator.  Both
+   accumulators are resolved once, when the frame is pushed — the
+   per-access path never touches the site tables. *)
+type frame = { fr_acc : acc; fr_opened : bool (* this frame opened an arrival *) }
+
+type txn_state = {
+  mutable ts_frames : frame list;  (* innermost first *)
+  mutable ts_arrivals : acc list;  (* innermost first *)
+  (* Set by [p_top_send], consumed by the next [p_enter]: the handshake
+     that tells an arrival's entry apart from a self-send's. *)
+  mutable ts_pending : (Oid.t * MN.t) option;
+  (* One-entry saturation cache: the last field both current
+     accumulators (frame head and arrival head) cover at [Write] —
+     which also covers reads.  Method bodies hammer the same few
+     fields, so this turns the steady state into one string compare.
+     Cleared whenever a frame is pushed or popped, so the heads cannot
+     change while an entry is live. *)
+  mutable ts_last : Name.Field.t;
+}
+
+let no_field = Name.Field.of_string ""
+
+module Site_tbl = Hashtbl.Make (struct
+  type t = Site.t
+
+  let equal = Site.equal
+  let hash s = Hashtbl.hash s
+end)
+
+type t = {
+  davs : acc Site_tbl.t;
+  tavs : acc Site_tbl.t;
+  txns : (int, txn_state) Hashtbl.t;
+  mutable frames : int;
+  mutable arrivals : int;
+}
+
+let create () =
+  { davs = Site_tbl.create 64; tavs = Site_tbl.create 64; txns = Hashtbl.create 16; frames = 0; arrivals = 0 }
+
+let state t txn =
+  match Hashtbl.find_opt t.txns txn with
+  | Some ts -> ts
+  | None ->
+      let ts =
+        { ts_frames = []; ts_arrivals = []; ts_pending = None; ts_last = no_field }
+      in
+      Hashtbl.add t.txns txn ts;
+      ts
+
+let acc_of tbl site =
+  match Site_tbl.find_opt tbl site with
+  | Some a -> a
+  | None ->
+      let a =
+        { a_av = Access_vector.empty; a_wit = Hashtbl.create 4; a_ents = [] }
+      in
+      Site_tbl.add tbl site a;
+      a
+
+(* A present entry covers reads by construction ([a_ents]'s domain is
+   exactly the non-[Null] entries of [a_av]); [e_w] says whether [Write]
+   is covered too.  The miss paths keep [a_av], the witness and the
+   entry list in step. *)
+let read_miss a ~txn ~oid f =
+  a.a_av <- Access_vector.add a.a_av f Mode.Read;
+  Hashtbl.replace a.a_wit f { w_txn = txn; w_oid = oid; w_mode = Mode.Read };
+  a.a_ents <- { e_f = f; e_w = false } :: a.a_ents
+
+let widen a ~txn ~oid f e =
+  a.a_av <- Access_vector.add a.a_av f Mode.Write;
+  Hashtbl.replace a.a_wit f { w_txn = txn; w_oid = oid; w_mode = Mode.Write };
+  e.e_w <- true
+
+let write_miss a ~txn ~oid f =
+  a.a_av <- Access_vector.add a.a_av f Mode.Write;
+  Hashtbl.replace a.a_wit f { w_txn = txn; w_oid = oid; w_mode = Mode.Write };
+  a.a_ents <- { e_f = f; e_w = true } :: a.a_ents
+
+let rec mem_ent f = function
+  | [] -> false
+  | e :: tl -> e.e_f == f || Name.Field.equal e.e_f f || mem_ent f tl
+
+let rec ent_of f = function
+  | [] -> raise_notrace Not_found
+  | e :: tl -> if e.e_f == f || Name.Field.equal e.e_f f then e else ent_of f tl
+
+let read_acc a ~txn ~oid f =
+  if not (mem_ent f a.a_ents) then read_miss a ~txn ~oid f
+
+let write_acc a ~txn ~oid f =
+  match ent_of f a.a_ents with
+  | e -> if not e.e_w then widen a ~txn ~oid f e
+  | exception Not_found -> write_miss a ~txn ~oid f
+
+let record tbl site ~txn ~oid f m =
+  let a = acc_of tbl site in
+  match m with
+  | Mode.Null -> ()
+  | Mode.Read -> read_acc a ~txn ~oid f
+  | Mode.Write -> write_acc a ~txn ~oid f
+
+let probe t ~txn =
+  let ts = state t txn in
+  let read oid f =
+    if not (ts.ts_last == f || Name.Field.equal ts.ts_last f) then begin
+      (match ts.ts_frames with
+      | fr :: _ -> read_acc fr.fr_acc ~txn ~oid f
+      | [] -> ());
+      match ts.ts_arrivals with
+      | a :: _ -> read_acc a ~txn ~oid f
+      | [] -> ()
+    end
+  in
+  let write oid f =
+    if not (ts.ts_last == f || Name.Field.equal ts.ts_last f) then begin
+      (match ts.ts_frames with
+      | fr :: _ -> write_acc fr.fr_acc ~txn ~oid f
+      | [] -> ());
+      (match ts.ts_arrivals with
+      | a :: _ -> write_acc a ~txn ~oid f
+      | [] -> ());
+      (* both live accumulators now cover [f] at [Write] *)
+      ts.ts_last <- f
+    end
+  in
+  let p_top_send oid _cls m = ts.ts_pending <- Some (oid, m) in
+  let p_self_send _oid _cls _m = ts.ts_pending <- None in
+  let p_enter self cls ~resolve_at:_ ~defining m =
+    let opened =
+      match ts.ts_pending with
+      | Some (o, m') when Oid.equal o self && MN.equal m' m ->
+          ts.ts_arrivals <- acc_of t.tavs (cls, m) :: ts.ts_arrivals;
+          true
+      | _ -> false
+    in
+    ts.ts_pending <- None;
+    ts.ts_last <- no_field;
+    ts.ts_frames <- { fr_acc = acc_of t.davs (defining, m); fr_opened = opened } :: ts.ts_frames
+  in
+  let p_exit _self _cls _m =
+    match ts.ts_frames with
+    | [] -> ()
+    | fr :: rest ->
+        ts.ts_last <- no_field;
+        ts.ts_frames <- rest;
+        t.frames <- t.frames + 1;
+        if fr.fr_opened then begin
+          t.arrivals <- t.arrivals + 1;
+          match ts.ts_arrivals with [] -> () | _ :: ars -> ts.ts_arrivals <- ars
+        end
+  in
+  {
+    Tavcc_cc.Exec.p_top_send;
+    p_self_send;
+    p_enter;
+    p_exit;
+    p_read = (fun oid _cls f ~versioned:_ -> read oid f);
+    p_write = (fun oid _cls f ~versioned:_ -> write oid f);
+  }
+
+let hooks t ~txn =
+  let p = probe t ~txn in
+  {
+    Tavcc_lang.Interp.no_hooks with
+    Tavcc_lang.Interp.h_top_send = p.Tavcc_cc.Exec.p_top_send;
+    h_self_send = p.Tavcc_cc.Exec.p_self_send;
+    h_enter = p.Tavcc_cc.Exec.p_enter;
+    h_exit = p.Tavcc_cc.Exec.p_exit;
+    h_read = (fun oid cls f -> p.Tavcc_cc.Exec.p_read oid cls f ~versioned:false);
+    h_write = (fun oid cls f ~old:_ _ -> p.Tavcc_cc.Exec.p_write oid cls f ~versioned:false);
+  }
+
+let sorted tbl =
+  Site_tbl.fold (fun site a l -> (site, a.a_av) :: l) tbl []
+  |> List.sort (fun (s, _) (s', _) -> Site.compare s s')
+
+let observed_dav t = sorted t.davs
+let observed_tav t = sorted t.tavs
+
+let witness tbl site f =
+  match Site_tbl.find_opt tbl site with
+  | None -> None
+  | Some a -> Hashtbl.find_opt a.a_wit f
+
+let dav_witness t = witness t.davs
+let tav_witness t = witness t.tavs
+let frames t = t.frames
+let arrivals t = t.arrivals
+
+let merge_into ~dst src =
+  let merge_tbl dst_tbl src_tbl =
+    Site_tbl.iter
+      (fun site a ->
+        List.iter
+          (fun (f, m) ->
+            (* every non-[Null] entry was set through [record], so a
+               witness always exists *)
+            match Hashtbl.find_opt a.a_wit f with
+            | Some w -> record dst_tbl site ~txn:w.w_txn ~oid:w.w_oid f m
+            | None -> ())
+          (Access_vector.to_list a.a_av))
+      src_tbl
+  in
+  merge_tbl dst.davs src.davs;
+  merge_tbl dst.tavs src.tavs;
+  dst.frames <- dst.frames + src.frames;
+  dst.arrivals <- dst.arrivals + src.arrivals

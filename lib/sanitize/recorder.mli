@@ -1,0 +1,73 @@
+(** Dynamic access-vector recording.
+
+    The recorder hangs off {!Tavcc_cc.Exec.probe} (or plain
+    {!Tavcc_lang.Interp.hooks} when no scheme is involved) and
+    accumulates, while transactions execute, the runtime counterparts of
+    the analyzer's two vectors:
+
+    - the {b observed DAV}: per {e defining site}, the join of the modes
+      of the field accesses performed directly by that body — nested
+      sends excluded, exactly as definition 6 counts them;
+    - the {b observed TAV}: per {e arrival} — a message reaching an
+      instance from outside it — the join of every access to that
+      instance within the arrival's dynamic extent, keyed by the
+      instance's proper class and the arriving method, exactly the scope
+      definition 10's transitive vector must cover.
+
+    A later self-send does not open a new arrival; a cross-object send
+    does (at the other object), and so does a message that leaves the
+    object and comes back ([A → B → A] re-enters [A] as a fresh
+    arrival).  Accesses performed by aborted attempts are kept: a real
+    execution reached them, so they are valid witnesses against the
+    static vectors.
+
+    One recorder per domain — it is not thread-safe.  In the multicore
+    engine give each worker its own recorder and {!merge_into} a fresh
+    one afterwards.  Within a domain, any number of cooperatively
+    interleaved transactions may share it: state is tracked per [txn]. *)
+
+open Tavcc_model
+open Tavcc_core
+
+type witness = {
+  w_txn : int;
+  w_oid : Oid.t;
+  w_mode : Mode.t;  (** the widest mode this witness observed on the field *)
+}
+
+type t
+
+val create : unit -> t
+
+val probe : t -> txn:int -> Tavcc_cc.Exec.probe
+(** The probe recording transaction [txn]'s accesses.  Versioned (MVCC)
+    accesses are recorded like any other — access conformance is
+    independent of how the access was synchronised. *)
+
+val hooks : t -> txn:int -> Tavcc_lang.Interp.hooks
+(** {!probe} repackaged as bare interpreter hooks, for driving method
+    code under the recorder without any concurrency-control scheme (the
+    fuzzer's differential oracle does this). *)
+
+val observed_dav : t -> (Site.t * Access_vector.t) list
+(** Per defining site, sorted. *)
+
+val observed_tav : t -> (Site.t * Access_vector.t) list
+(** Per arrival site [(proper class, method)], sorted. *)
+
+val dav_witness : t -> Site.t -> Name.Field.t -> witness option
+val tav_witness : t -> Site.t -> Name.Field.t -> witness option
+(** The access that established the field's recorded mode (the first one
+    to attain it). *)
+
+val frames : t -> int
+(** Method frames closed so far. *)
+
+val arrivals : t -> int
+(** Arrivals closed so far. *)
+
+val merge_into : dst:t -> t -> unit
+(** Joins the source's aggregated vectors (and counters) into [dst];
+    witnesses of newly attained modes are carried over.  The source's
+    in-flight per-transaction state is ignored — merge quiescent
+    recorders only. *)

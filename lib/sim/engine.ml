@@ -61,10 +61,13 @@ type hooks = {
   hk_forced_abort : (step:int -> eligible:int list -> int list) option;
   hk_on_grant : (Lock_table.req -> unit) option;
   hk_observe : (access -> unit) option;
+  hk_probe :
+    (txn:int -> holds:(Tavcc_lock.Resource.t -> (int * bool) list) -> Exec.probe) option;
 }
 
 let no_hooks =
-  { hk_pick = None; hk_forced_abort = None; hk_on_grant = None; hk_observe = None }
+  { hk_pick = None; hk_forced_abort = None; hk_on_grant = None; hk_observe = None;
+    hk_probe = None }
 
 type config = {
   seed : int;
@@ -340,11 +343,16 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
       let yield =
         if config.yield_on_access then fun () -> Effect.perform Yield else fun () -> ()
       in
+      let probe =
+        Option.map
+          (fun mk -> mk ~txn:t.id ~holds:(Lock_table.holds locks t.id))
+          config.hooks.hk_probe
+      in
       Exec.begin_txn ~scheme ~store ~ctx t.actions;
       List.iter
         (fun a ->
-          Exec.perform ~scheme ~store ~ctx ?mv ~on_read ~on_write ?on_update ~yield
-            ~max_steps:config.max_steps a)
+          Exec.perform ~scheme ~store ~ctx ?mv ~on_read ~on_write ?on_update ?probe
+            ~yield ~max_steps:config.max_steps a)
         t.actions;
       match mv with
       | None -> ()

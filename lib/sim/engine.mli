@@ -97,10 +97,18 @@ type hooks = {
       (** forwarded to {!Tavcc_lock.Lock_table.create}'s [on_grant] *)
   hk_observe : (access -> unit) option;
       (** streams every begin/read/write/commit/abort, with write images *)
+  hk_probe :
+    (txn:int -> holds:(Tavcc_lock.Resource.t -> (int * bool) list) -> Exec.probe) option;
+      (** builds a per-transaction {!Tavcc_cc.Exec.probe} at its first
+          attempt; [holds] queries the engine's lock table for the
+          (mode, hier) pairs the transaction holds on a resource at the
+          instant of the probed access.  This is how the sanitizer's
+          {!Tavcc_sanitize.Recorder} and {!Tavcc_sanitize.Monitor}
+          observe an engine run. *)
 }
 
 val no_hooks : hooks
-(** All four absent: the engine behaves exactly as without chaos. *)
+(** All five absent: the engine behaves exactly as without chaos. *)
 
 type config = {
   seed : int;

@@ -232,6 +232,106 @@ let test_figure1_no_errors () =
   Alcotest.(check int) "no error-severity diagnostics" 0 (Lint.count r Diag.Error);
   Alcotest.(check bool) "but warnings exist" true (Lint.count r Diag.Warning > 0)
 
+(* --- ADT001: counter/escrow ADT candidates --- *)
+
+let stats_src =
+  "class stats is\n\
+  \  fields\n\
+  \    hits : integer;\n\
+  \    misses : integer;\n\
+  \  method hit(p1) is\n\
+  \    hits := hits + p1;\n\
+  \  end\n\
+  \  method miss is\n\
+  \    misses := misses + 1;\n\
+  \  end\n\
+  \  method correct(p1) is\n\
+  \    hits := hits - p1;\n\
+  \    misses := misses + p1;\n\
+  \  end\n\
+  \  method ratio is\n\
+  \    return hits - misses;\n\
+  \  end\n\
+   end\n"
+
+let test_adt001_positive () =
+  let r = Lint.analyze (Analysis.compile (schema_of_source stats_src)) in
+  let adts = List.filter (fun d -> d.Diag.d_code = Diag.Adt001) r.Lint.r_diags in
+  Alcotest.(check int) "both counters flagged" 2 (List.length adts);
+  let d = List.find (fun d -> contains d.Diag.d_msg "write to hits") adts in
+  Alcotest.check pos_opt "anchored at the first bump" (Some (pos 6 5)) d.Diag.d_pos;
+  Alcotest.(check int) "one note per bump" 2 (List.length d.Diag.d_notes);
+  Alcotest.(check bool) "ADT001 is informational" true (d.Diag.d_severity = Diag.Info)
+
+let test_adt001_negative () =
+  let r =
+    Lint.analyze
+      (Analysis.compile
+         (schema_of_source
+            "class stats is\n\
+            \  fields\n\
+            \    hits : integer;\n\
+            \  method hit(p1) is\n\
+            \    hits := hits + p1;\n\
+            \  end\n\
+            \  method reset is\n\
+            \    hits := 0;\n\
+            \  end\n\
+             end\n"))
+  in
+  Alcotest.(check int) "a plain overwrite disqualifies the field" 0
+    (List.length (List.filter (fun d -> d.Diag.d_code = Diag.Adt001) r.Lint.r_diags))
+
+let test_adt001_shadowing () =
+  (* the only bump targets a local shadowing the field *)
+  let r =
+    Lint.analyze
+      (Analysis.compile
+         (schema_of_source
+            "class a is\n\
+            \  fields\n\
+            \    n : integer;\n\
+            \  method m(p1) is\n\
+            \    var n := p1;\n\
+            \    n := n + 1;\n\
+            \  end\n\
+             end\n"))
+  in
+  Alcotest.(check int) "shadowed writes are not field writes" 0
+    (List.length (List.filter (fun d -> d.Diag.d_code = Diag.Adt001) r.Lint.r_diags))
+
+let test_adt001_inherited () =
+  let r =
+    Lint.analyze
+      (Analysis.compile
+         (schema_of_source
+            "class base is\n\
+            \  fields\n\
+            \    n : integer;\n\
+             end\n\
+             class derived extends base is\n\
+            \  method bump(p1) is\n\
+            \    n := n + p1;\n\
+            \  end\n\
+             end\n"))
+  in
+  match List.filter (fun d -> d.Diag.d_code = Diag.Adt001) r.Lint.r_diags with
+  | [ d ] ->
+      Alcotest.(check bool) "attributed to the declaring class" true
+        (contains d.Diag.d_msg "declared by base");
+      Alcotest.check site "sited at the bumping method" (cn "derived", mn "bump")
+        d.Diag.d_site
+  | ds -> Alcotest.failf "expected one ADT001, got %d" (List.length ds)
+
+(* --- deterministic rendering order --- *)
+
+let test_report_order_deterministic () =
+  let r = Lint.analyze (Paper_example.analysis ()) in
+  Alcotest.(check bool) "several diagnostics (not vacuous)" true
+    (List.length r.Lint.r_diags > 3);
+  Alcotest.(check bool) "report sorted by position-major render order" true
+    (List.sort Diag.render_compare r.Lint.r_diags = r.Lint.r_diags)
+
 (* --- the simulator cross-check --- *)
 
 let test_crosscheck_e4 () =
@@ -289,6 +389,11 @@ let suite =
     case "DYN001 on an untyped receiver" test_dyn001;
     case "PRE001 on a composition cycle" test_pre001;
     case "figure 1 lints clean of errors" test_figure1_no_errors;
+    case "ADT001 on a pure counter" test_adt001_positive;
+    case "ADT001 silent on a mixed writer" test_adt001_negative;
+    case "ADT001 ignores shadowed locals" test_adt001_shadowing;
+    case "ADT001 attributes inherited fields" test_adt001_inherited;
+    case "report order is position-major" test_report_order_deterministic;
     case "cross-check: E4 deadlocks predicted" test_crosscheck_e4;
     QCheck_alcotest.to_alcotest prop_chain_no_false_negatives;
     QCheck_alcotest.to_alcotest prop_random_no_false_negatives;

@@ -161,6 +161,92 @@ let test_unknown_method_raises () =
   let ex = ex () in
   check_raises_invalid "dav of unknown" (fun () -> Extraction.dav ex P.c1 P.m4)
 
+(* --- update_classes vs a from-scratch build, on random edit sequences --- *)
+
+let extraction_agrees schema exa exb =
+  List.for_all
+    (fun c ->
+      List.for_all
+        (fun m ->
+          Access_vector.equal (Extraction.dav exa c m) (Extraction.dav exb c m)
+          && Name.Method.Set.equal (Extraction.dsc exa c m) (Extraction.dsc exb c m)
+          && Site.Set.equal (Extraction.psc exa c m) (Extraction.psc exb c m)
+          && Site.equal (Extraction.defining_site exa c m) (Extraction.defining_site exb c m)
+          && Extraction.has_dynamic_sends exa c m = Extraction.has_dynamic_sends exb c m)
+        (Schema.methods schema c))
+    (Schema.classes schema)
+
+(* A method-level edit with a body built from the class's own vocabulary:
+   a field bump, a field read, a self-send, or an empty body. *)
+let gen_edit rng schema =
+  let module Rng = Tavcc_sim.Rng in
+  let classes = Schema.classes schema in
+  let cls = List.nth classes (Rng.int rng (List.length classes)) in
+  let gen_body () =
+    let fields = Schema.fields schema cls in
+    let meths = Schema.methods schema cls in
+    match Rng.int rng 4 with
+    | 0 when fields <> [] ->
+        let f = Name.Field.to_string (List.nth fields (Rng.int rng (List.length fields))).Schema.f_name in
+        [ Tavcc_lang.Ast.Assign (f, Tavcc_lang.Ast.Binop (Tavcc_lang.Ast.Add, Tavcc_lang.Ast.Ident f, Tavcc_lang.Ast.Lit (Value.Vint 1))) ]
+    | 1 when fields <> [] ->
+        let f = Name.Field.to_string (List.nth fields (Rng.int rng (List.length fields))).Schema.f_name in
+        [ Tavcc_lang.Ast.Return (Tavcc_lang.Ast.Ident f) ]
+    | 2 when meths <> [] ->
+        let m = List.nth meths (Rng.int rng (List.length meths)) in
+        [ Tavcc_lang.Ast.Send_stmt
+            { Tavcc_lang.Ast.msg_prefix = None; msg_name = m; msg_args = [];
+              msg_recv = Tavcc_lang.Ast.Rself; msg_pos = None } ]
+    | _ -> []
+  in
+  let own = Schema.own_methods schema cls in
+  match Rng.int rng 3 with
+  | 0 ->
+      let name = Name.Method.of_string (Printf.sprintf "zz%d" (Rng.int rng 3)) in
+      Tavcc_core.Incremental.Add_method
+        (cls, { Schema.m_name = name; m_params = []; m_body = gen_body () })
+  | 1 when own <> [] ->
+      let md = List.nth own (Rng.int rng (List.length own)) in
+      Tavcc_core.Incremental.Update_method
+        (cls, { md with Schema.m_body = gen_body () })
+  | _ when own <> [] ->
+      let md = List.nth own (Rng.int rng (List.length own)) in
+      Tavcc_core.Incremental.Remove_method (cls, md.Schema.m_name)
+  | _ ->
+      let name = Name.Method.of_string (Printf.sprintf "zz%d" (Rng.int rng 3)) in
+      Tavcc_core.Incremental.Add_method
+        (cls, { Schema.m_name = name; m_params = []; m_body = gen_body () })
+
+let prop_update_classes_differential =
+  QCheck.Test.make ~count:50 ~name:"update_classes = from-scratch build over random edits"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000))
+    (fun seed ->
+      let module Rng = Tavcc_sim.Rng in
+      let rng = Rng.create seed in
+      let schema =
+        Tavcc_sim.Workload.make_schema rng
+          { Tavcc_sim.Workload.default_params with sp_depth = 2; sp_fanout = 2 }
+      in
+      let rec go schema ex n =
+        if n = 0 then true
+        else
+          let edit = gen_edit rng schema in
+          match Tavcc_core.Incremental.apply_edit schema edit with
+          | Error _ -> go schema ex n (* rejected edit: try another *)
+          | Ok schema' ->
+              let touched =
+                Tavcc_core.Incremental.affected_classes schema'
+                  (Tavcc_core.Incremental.edited_class edit)
+              in
+              let ex' = Extraction.update_classes ex schema' touched in
+              let fresh = Extraction.build schema' in
+              if not (extraction_agrees schema' ex' fresh) then
+                QCheck.Test.fail_reportf
+                  "incremental extraction diverged at edit %d (seed %d)" n seed
+              else go schema' ex' (n - 1)
+      in
+      go schema (Extraction.build schema) 5)
+
 let suite =
   [
     case "paper DAVs exactly" test_paper_davs;
@@ -174,4 +260,5 @@ let suite =
     case "params shadow fields" test_params_shadow_fields;
     case "(self) receiver is a self-call" test_self_expr_receiver_is_self_call;
     case "unknown method raises" test_unknown_method_raises;
+    QCheck_alcotest.to_alcotest prop_update_classes_differential;
   ]

@@ -203,13 +203,12 @@ let test_hooks_order () =
   let push e = events := e :: !events in
   let hooks =
     {
+      Interp.no_hooks with
       Interp.h_top_send = (fun _ _ m -> push (Printf.sprintf "top:%s" (Name.Method.to_string m)));
       h_self_send = (fun _ _ m -> push (Printf.sprintf "self:%s" (Name.Method.to_string m)));
       h_read = (fun _ _ f -> push (Printf.sprintf "r:%s" (Name.Field.to_string f)));
       h_write = (fun _ _ f ~old:_ _ -> push (Printf.sprintf "w:%s" (Name.Field.to_string f)));
       h_new = (fun _ c -> push (Printf.sprintf "new:%s" (Name.Class.to_string c)));
-      h_read_value = None;
-      h_write_value = None;
     }
   in
   let _ = run_method calc_src ~hooks ~args:[ Value.Vint 4 ] "calc" "chain" in
