@@ -21,6 +21,9 @@ module Metrics = Tavcc_obs.Metrics
 module Sink = Tavcc_obs.Sink
 module Json = Tavcc_obs.Json
 module Trace = Tavcc_obs.Trace
+module Wire = Tavcc_net.Wire
+module Server = Tavcc_net.Server
+module Blast = Tavcc_net.Blast
 module Recorder = Tavcc_sanitize.Recorder
 module Monitor = Tavcc_sanitize.Monitor
 module Conform = Tavcc_sanitize.Conform
@@ -293,9 +296,18 @@ let prom_prefix name =
         match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
       name
 
+(* A flag the user typed but the command would silently ignore is a
+   usage error, not a no-op — refuse with exit 2 like cmdliner does. *)
+let usage_error cmd msg =
+  Printf.eprintf "oosim %s: %s\n" cmd msg;
+  exit 2
+
 let par_cmd =
   let run scheme_names domains shards seed txns actions methods work instances hot read_frac
       policy check sanitize metrics_fmt trace_out profile top_k prom_out =
+    if top_k <> None && not profile then
+      usage_error "par" "--top is only meaningful with --profile";
+    let top_k = Option.value ~default:10 top_k in
     let json_mode = metrics_fmt = Some `Json in
     let readers = if read_frac > 0. then methods else 0 in
     let schema = Workload.slice_schema ~readers ~methods ~work () in
@@ -631,8 +643,9 @@ let par_cmd =
                    $(b,contention) object per run).")
   in
   let top_k =
-    Arg.(value & opt int 10
-         & info [ "top" ] ~docv:"K" ~doc:"Resources to list with $(b,--profile).")
+    Arg.(value & opt (some int) None
+         & info [ "top" ] ~docv:"K"
+             ~doc:"Resources to list with $(b,--profile) (default 10); an error without it.")
   in
   let prom_out =
     Arg.(value & opt (some string) None
@@ -879,6 +892,22 @@ let escalation_cmd =
 let chaos_cmd =
   let run workload_names scheme_names seed runs budget_ms systematic preemptions
       policy replay json out =
+    (match replay with
+    | Some _ ->
+        (* Replay is one deterministic run: exploration knobs don't apply. *)
+        if runs <> None then usage_error "chaos" "--runs is ignored by --replay";
+        if budget_ms <> None then usage_error "chaos" "--budget-ms is ignored by --replay";
+        if systematic then usage_error "chaos" "--systematic is ignored by --replay";
+        if preemptions <> None then
+          usage_error "chaos" "--preemptions is ignored by --replay";
+        if out <> None then usage_error "chaos" "--out is ignored by --replay"
+    | None ->
+        if preemptions <> None && not systematic then
+          usage_error "chaos" "--preemptions is only meaningful with --systematic");
+    let runs = Option.value ~default:20 runs in
+    let budget_ms = Option.value ~default:0 budget_ms in
+    let preemptions = Option.value ~default:2 preemptions in
+    let out = Option.value ~default:"chaos_counterexample.txt" out in
     let select names all kind =
       List.map
         (fun n ->
@@ -1084,14 +1113,15 @@ let chaos_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.") in
   let runs =
-    Arg.(value & opt int 20
+    Arg.(value & opt (some int) None
          & info [ "runs" ] ~docv:"N"
-             ~doc:"Random cases per (workload, scheme) combination.")
+             ~doc:"Random cases per (workload, scheme) combination (default 20).")
   in
   let budget_ms =
-    Arg.(value & opt int 0
+    Arg.(value & opt (some int) None
          & info [ "budget-ms" ] ~docv:"MS"
-             ~doc:"Stop launching new cases after this many milliseconds (0 = no limit).")
+             ~doc:"Stop launching new cases after this many milliseconds (default 0 = no \
+                   limit).")
   in
   let systematic =
     Arg.(value & flag
@@ -1100,20 +1130,22 @@ let chaos_cmd =
                    schedule.")
   in
   let preemptions =
-    Arg.(value & opt int 2
+    Arg.(value & opt (some int) None
          & info [ "preemptions" ] ~docv:"N"
-             ~doc:"Preemption bound for $(b,--systematic).")
+             ~doc:"Preemption bound for $(b,--systematic) (default 2); an error without it.")
   in
   let replay =
     Arg.(value & opt (some string) None
          & info [ "replay" ] ~docv:"PLAN"
              ~doc:"Replay one fault plan (the string printed for a counterexample) \
-                   instead of exploring.")
+                   instead of exploring; the exploration flags are errors here.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON summary on stdout.") in
   let out =
-    Arg.(value & opt string "chaos_counterexample.txt"
-         & info [ "out" ] ~docv:"FILE" ~doc:"Where to write a shrunk counterexample.")
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Where to write a shrunk counterexample (default \
+                   chaos_counterexample.txt).")
   in
   let doc = "fault-injection and schedule-exploration torture (crash matrix + oracles)" in
   Cmd.v (Cmd.info "chaos" ~doc)
@@ -1124,6 +1156,27 @@ let chaos_cmd =
 
 let sanitize_cmd =
   let run schemas seed budget_ms mutate trials min_detection replay json out =
+    (match replay with
+    | Some _ ->
+        (* Replay re-checks one schema file: campaign knobs don't apply. *)
+        if schemas <> None then usage_error "sanitize" "--schemas is ignored by --replay";
+        if budget_ms <> None then
+          usage_error "sanitize" "--budget-ms is ignored by --replay";
+        if mutate then usage_error "sanitize" "--mutate is ignored by --replay";
+        if trials <> None then usage_error "sanitize" "--trials is ignored by --replay";
+        if min_detection <> None then
+          usage_error "sanitize" "--min-detection is ignored by --replay";
+        if out <> None then usage_error "sanitize" "--out is ignored by --replay"
+    | None ->
+        if trials <> None && not mutate then
+          usage_error "sanitize" "--trials is only meaningful with --mutate";
+        if min_detection <> None && not mutate then
+          usage_error "sanitize" "--min-detection is only meaningful with --mutate");
+    let schemas = Option.value ~default:100 schemas in
+    let budget_ms = Option.value ~default:0 budget_ms in
+    let trials = Option.value ~default:4 trials in
+    let min_detection = Option.value ~default:0. min_detection in
+    let out = Option.value ~default:"sanitize_counterexample.odml" out in
     match replay with
     | Some file -> (
         (* Replay mode: re-check one (possibly minimized) schema. *)
@@ -1274,14 +1327,16 @@ let sanitize_cmd =
         else 0
   in
   let schemas =
-    Arg.(value & opt int 100
-         & info [ "schemas" ] ~docv:"N" ~doc:"Random schemas to generate and drive.")
+    Arg.(value & opt (some int) None
+         & info [ "schemas" ] ~docv:"N"
+             ~doc:"Random schemas to generate and drive (default 100).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.") in
   let budget_ms =
-    Arg.(value & opt int 0
+    Arg.(value & opt (some int) None
          & info [ "budget-ms" ] ~docv:"MS"
-             ~doc:"Stop starting new schemas after this many milliseconds (0 = no limit).")
+             ~doc:"Stop starting new schemas after this many milliseconds (default 0 = no \
+                   limit).")
   in
   let mutate =
     Arg.(value & flag
@@ -1291,26 +1346,29 @@ let sanitize_cmd =
                    count how many weakenings the conformance check reports.")
   in
   let trials =
-    Arg.(value & opt int 4
-         & info [ "trials" ] ~docv:"N" ~doc:"Mutations injected per schema with $(b,--mutate).")
+    Arg.(value & opt (some int) None
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"Mutations injected per schema with $(b,--mutate) (default 4); an error \
+                   without it.")
   in
   let min_detection =
-    Arg.(value & opt float 0.
+    Arg.(value & opt (some float) None
          & info [ "min-detection" ] ~docv:"F"
              ~doc:"Exit nonzero when the mutation detection rate falls below $(docv) \
-                   (0..1; only meaningful with $(b,--mutate)).")
+                   (0..1); an error without $(b,--mutate).")
   in
   let replay =
     Arg.(value & opt (some string) None
          & info [ "replay" ] ~docv:"FILE"
              ~doc:"Re-check one ODML schema file (e.g. a written counterexample) instead \
-                   of fuzzing.")
+                   of fuzzing; the campaign flags are errors here.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON summary on stdout.") in
   let out =
-    Arg.(value & opt string "sanitize_counterexample.odml"
+    Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE"
-             ~doc:"Where to write a minimized soundness counterexample.")
+             ~doc:"Where to write a minimized soundness counterexample (default \
+                   sanitize_counterexample.odml).")
   in
   let doc =
     "fuzz random schemas through the dynamic access-vector recorder and assert the \
@@ -1320,6 +1378,266 @@ let sanitize_cmd =
     Term.(
       const run $ schemas $ seed $ budget_ms $ mutate $ trials $ min_detection $ replay
       $ json $ out)
+
+(* --- serve / blast: the network front-end --- *)
+
+let addr_conv =
+  let parse s =
+    match Wire.addr_of_string s with Ok a -> Ok a | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Wire.addr_to_string a))
+
+(* serve and blast must agree on the workload store byte for byte:
+   [Workload.populate] is deterministic, so pinning (slices, work,
+   readers, instances) — the digest — guarantees client-generated oids
+   resolve on the server. *)
+let serve_workload ~slices ~work ~read_frac ~instances =
+  let readers = if read_frac > 0. then slices else 0 in
+  let schema = Workload.slice_schema ~readers ~methods:slices ~work () in
+  let an = Tavcc_core.Analysis.compile schema in
+  let store = Store.create schema in
+  Workload.populate store ~per_class:instances;
+  let digest = Wire.workload_digest ~slices ~work ~readers ~instances in
+  (an, store, digest)
+
+let serve_cmd =
+  let run scheme_name addr domains shards policy queue_cap max_sessions drain_grace
+      slices work instances read_frac metrics_fmt prom_out profile top_k =
+    if top_k <> None && not profile then
+      usage_error "serve" "--top is only meaningful with --profile";
+    let top_k = Option.value ~default:10 top_k in
+    let an, store, digest = serve_workload ~slices ~work ~read_frac ~instances in
+    let scheme = (List.assoc scheme_name schemes) an in
+    let metrics =
+      if metrics_fmt <> None || prom_out <> None then Some (Metrics.create ()) else None
+    in
+    let obs = if profile then Some (Par_obs.create ~domains ()) else None in
+    let engine = { Par_engine.default_config with domains; shards; policy; metrics; obs } in
+    let cfg =
+      {
+        (Server.default_config ~addr ~scheme ~store) with
+        Server.digest;
+        engine;
+        queue_capacity = queue_cap;
+        max_sessions;
+        drain_grace_s = drain_grace;
+      }
+    in
+    let srv = Server.start cfg in
+    let stopped = Atomic.make false in
+    let stop _ =
+      Atomic.set stopped true;
+      Server.request_stop srv
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    (* the readiness line CI polls for — flush it *)
+    Printf.printf "oosim serve: listening on %s (scheme %s, %d domains, policy %s)\n%!"
+      (Wire.addr_to_string (Server.bound_addr srv))
+      scheme_name domains
+      (Engine.policy_name policy);
+    (* Signal handlers only run on the main thread at safepoints, and a
+       main thread parked in Thread.join never reaches one.  Park in a
+       sleep poll instead; only enter the join-heavy [Server.wait] once
+       the handler has tripped the flag. *)
+    while not (Atomic.get stopped) do
+      Unix.sleepf 0.1
+    done;
+    let r = Server.wait srv in
+    let json_mode = metrics_fmt = Some `Json in
+    if json_mode then begin
+      let doc =
+        Json.Obj
+          ([
+             ("scheme", Json.String scheme_name);
+             ("domains", Json.Int domains);
+             ("commits", Json.Int r.Par_engine.commits);
+             ("aborts", Json.Int r.Par_engine.aborts);
+             ("deadlocks", Json.Int r.Par_engine.deadlocks);
+             ("restarts", Json.Int r.Par_engine.restarts);
+             ("wall_seconds", Json.Float r.Par_engine.wall_seconds);
+           ]
+          @ match metrics with Some m -> [ ("metrics", Metrics.to_json m) ] | None -> [])
+      in
+      print_endline (Json.to_string doc)
+    end
+    else begin
+      Format.printf "oosim serve: drained; %a@." Par_engine.pp_result r;
+      match metrics with
+      | Some m when metrics_fmt <> None -> Format.printf "%a@." Metrics.pp m
+      | _ -> ()
+    end;
+    (match prom_out with
+    | None -> ()
+    | Some file ->
+        Option.iter
+          (fun m -> write_file file (Metrics.to_prometheus ~prefix:(prom_prefix scheme_name) m))
+          metrics;
+        if not json_mode then Printf.printf "wrote %s\n" file);
+    (match obs with
+    | Some o when profile ->
+        Format.printf "contention:@.%a@."
+          (Tavcc_obs.Contention.pp ~key:Par_obs.res_key ~k:top_k)
+          (Par_obs.contention o)
+    | _ -> ());
+    0
+  in
+  let scheme_arg =
+    Arg.(value & opt scheme_conv "tav"
+         & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc:"Concurrency-control scheme to serve.")
+  in
+  let addr =
+    Arg.(value & opt addr_conv (Wire.Unix_sock "/tmp/oosim.sock")
+         & info [ "addr" ] ~docv:"ADDR"
+             ~doc:"Listen address: $(b,unix:PATH) or $(b,tcp:HOST:PORT) (port 0 picks a \
+                   free one; the listening line prints the resolved address).")
+  in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let shards =
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc:"Lock-manager shards.")
+  in
+  let queue_cap =
+    Arg.(value & opt int 256
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Submission-queue bound; a Run arriving on a full queue is answered \
+                   $(b,rejected) (admission control).")
+  in
+  let max_sessions =
+    Arg.(value & opt int 64
+         & info [ "max-sessions" ] ~docv:"N" ~doc:"Concurrent client sessions.")
+  in
+  let drain_grace =
+    Arg.(value & opt float 5.0
+         & info [ "drain-grace" ] ~docv:"SECONDS"
+             ~doc:"Per-session wait for in-flight replies during drain.")
+  in
+  let slices =
+    Arg.(value & opt int 16 & info [ "slices" ] ~docv:"N"
+         ~doc:"Disjoint field slices (methods) of the served grid class.")
+  in
+  let work =
+    Arg.(value & opt int 8 & info [ "work" ] ~docv:"N"
+         ~doc:"Read-modify-writes per method call.")
+  in
+  let instances =
+    Arg.(value & opt int 4 & info [ "instances" ] ~docv:"N" ~doc:"Grid instances.")
+  in
+  let read_frac =
+    Arg.(value & opt float 0. & info [ "read-frac" ] ~docv:"F"
+         ~doc:"Adds reader methods to the served schema when positive (must match the \
+                 clients' --read-frac for the digest to agree).")
+  in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Print the hottest contended resources after the drain.")
+  in
+  let top_k =
+    Arg.(value & opt (some int) None
+         & info [ "top" ] ~docv:"K"
+             ~doc:"Resources to list with $(b,--profile) (default 10); an error without it.")
+  in
+  let prom_out =
+    Arg.(value & opt (some string) None
+         & info [ "prom-out" ] ~docv:"FILE"
+             ~doc:"Write the final metrics registry (engine + net.* counters and the \
+                   per-request latency histogram) as Prometheus text exposition; implies \
+                   metrics collection.")
+  in
+  let doc = "serve a workload store over a socket, multiplexing sessions onto domains" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ scheme_arg $ addr $ domains $ shards $ policy_arg $ queue_cap
+      $ max_sessions $ drain_grace $ slices $ work $ instances $ read_frac $ metrics_arg
+      $ prom_out $ profile $ top_k)
+
+let blast_cmd =
+  let run addr clients requests pipeline seed slices work instances hot actions read_frac =
+    let readers = if read_frac > 0. then slices else 0 in
+    let digest = Wire.workload_digest ~slices ~work ~readers ~instances in
+    (* Each client regenerates the server's deterministic store locally,
+       then derives its own job stream from a per-client seed. *)
+    let jobs i =
+      let schema = Workload.slice_schema ~readers ~methods:slices ~work () in
+      let store = Store.create schema in
+      Workload.populate store ~per_class:instances;
+      let rng = Rng.create (seed + (1_000 * i) + 1) in
+      let js =
+        if read_frac > 0. then
+          Workload.mixed_slice_jobs rng store ~txns:requests ~actions_per_txn:actions
+            ~hot_instances:hot ~read_frac
+        else
+          Workload.slice_jobs rng store ~txns:requests ~actions_per_txn:actions
+            ~hot_instances:hot
+      in
+      Array.of_list (List.map snd js)
+    in
+    let report =
+      Blast.run
+        {
+          Blast.addr;
+          clients;
+          requests;
+          pipeline;
+          digest;
+          client_name = "blast";
+          jobs;
+        }
+    in
+    print_endline (Json.to_string (Blast.report_to_json report));
+    Format.eprintf "oosim blast: %a@." Blast.pp_report report;
+    if report.Blast.protocol_errors > 0 || report.Blast.requests = 0 then 1 else 0
+  in
+  let addr =
+    Arg.(required & opt (some addr_conv) None
+         & info [ "addr" ] ~docv:"ADDR"
+             ~doc:"Server address: $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "c"; "clients" ] ~docv:"N" ~doc:"Concurrent clients.")
+  in
+  let requests =
+    Arg.(value & opt int 250
+         & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let pipeline =
+    Arg.(value & opt int 4
+         & info [ "pipeline" ] ~docv:"N" ~doc:"Max in-flight requests per connection.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let slices =
+    Arg.(value & opt int 16 & info [ "slices" ] ~docv:"N"
+         ~doc:"Must match the server's --slices (digest handshake).")
+  in
+  let work =
+    Arg.(value & opt int 8 & info [ "work" ] ~docv:"N"
+         ~doc:"Must match the server's --work (digest handshake).")
+  in
+  let instances =
+    Arg.(value & opt int 4 & info [ "instances" ] ~docv:"N"
+         ~doc:"Must match the server's --instances (digest handshake).")
+  in
+  let hot =
+    Arg.(value & opt int 2 & info [ "hot" ] ~docv:"N" ~doc:"Hot-set size (contention knob).")
+  in
+  let actions =
+    Arg.(value & opt int 4
+         & info [ "a"; "actions" ] ~docv:"N" ~doc:"Actions per transaction.")
+  in
+  let read_frac =
+    Arg.(value & opt float 0. & info [ "read-frac" ] ~docv:"F"
+         ~doc:"Fraction of read-only transactions; must match the server's --read-frac.")
+  in
+  let doc =
+    "closed-loop load generator: blast Run transactions at a server, report exact \
+     latency percentiles as JSON"
+  in
+  Cmd.v (Cmd.info "blast" ~doc)
+    Term.(
+      const run $ addr $ clients $ requests $ pipeline $ seed $ slices $ work $ instances
+      $ hot $ actions $ read_frac)
 
 (* --- crosscheck: static ESC001 predictions vs the engine --- *)
 
@@ -1349,7 +1667,7 @@ let main =
     (Cmd.info "oosim" ~version:"1.0.0" ~doc)
     [
       run_cmd; par_cmd; top_cmd; scenario_cmd; escalation_cmd; chaos_cmd; sanitize_cmd;
-      crosscheck_cmd;
+      serve_cmd; blast_cmd; crosscheck_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,195 @@
+open Tavcc_cc
+module Json = Tavcc_obs.Json
+
+type config = {
+  addr : Wire.addr;
+  clients : int;
+  requests : int;
+  pipeline : int;
+  digest : string;
+  client_name : string;
+  jobs : int -> Exec.action list array;
+}
+
+type report = {
+  clients : int;
+  requests : int;
+  committed : int;
+  restarts : int;
+  aborted : int;
+  rejected : int;
+  failed : int;
+  protocol_errors : int;
+  wall_s : float;
+  throughput : float;
+  lat_min_us : int;
+  lat_mean_us : float;
+  lat_p50_us : int;
+  lat_p90_us : int;
+  lat_p95_us : int;
+  lat_p99_us : int;
+  lat_max_us : int;
+}
+
+(* One client's closed loop.  [lats.(rq)] is filled when [rq]'s reply
+   lands — replies may arrive out of order, the echoed rq is the match. *)
+type client_result = {
+  cr_sent : int;
+  cr_committed : int;
+  cr_restarts : int;
+  cr_aborted : int;
+  cr_rejected : int;
+  cr_failed : int;
+  cr_protocol_errors : int;
+  cr_lats : int array;  (** latencies of replied requests, in reply order *)
+}
+
+let client_loop (cfg : config) i =
+  let bodies = cfg.jobs i in
+  let total = min cfg.requests (Array.length bodies) in
+  let name = Printf.sprintf "%s-%d" cfg.client_name i in
+  match Client.connect ~digest:cfg.digest ~client:name ~addr:cfg.addr () with
+  | Error _ ->
+      {
+        cr_sent = 0;
+        cr_committed = 0;
+        cr_restarts = 0;
+        cr_aborted = 0;
+        cr_rejected = 0;
+        cr_failed = 0;
+        cr_protocol_errors = 1;
+        cr_lats = [||];
+      }
+  | Ok (c, _) ->
+      let send_ts = Array.make total 0.0 in
+      let lats = Array.make total 0 in
+      let n_lat = ref 0 in
+      let sent = ref 0 and recvd = ref 0 in
+      let committed = ref 0
+      and restarts = ref 0
+      and aborted = ref 0
+      and rejected = ref 0
+      and failed = ref 0
+      and proto = ref 0 in
+      let give_up = ref false in
+      while !recvd < total && not !give_up do
+        (* top up the pipeline *)
+        while !sent < total && !sent - !recvd < cfg.pipeline && not !give_up do
+          send_ts.(!sent) <- Unix.gettimeofday ();
+          (match Client.run c ~rq:!sent bodies.(!sent) with
+          | Ok () -> incr sent
+          | Error _ ->
+              incr proto;
+              give_up := true);
+          ()
+        done;
+        if not !give_up then
+          match Client.recv c with
+          | Ok (Wire.Reply { rq; status; _ }) when rq >= 0 && rq < total ->
+              let lat_us =
+                int_of_float ((Unix.gettimeofday () -. send_ts.(rq)) *. 1e6)
+              in
+              lats.(!n_lat) <- lat_us;
+              incr n_lat;
+              incr recvd;
+              (match status with
+              | Wire.Committed { restarts = r } ->
+                  incr committed;
+                  restarts := !restarts + r
+              | Wire.Aborted _ -> incr aborted
+              | Wire.Rejected -> incr rejected
+              | Wire.Failed _ -> incr failed
+              | Wire.Done -> incr failed)
+          | Ok (Wire.Pong _) -> ()
+          | Ok _ | Error _ ->
+              incr proto;
+              give_up := true
+      done;
+      Client.quit c;
+      {
+        cr_sent = !sent;
+        cr_committed = !committed;
+        cr_restarts = !restarts;
+        cr_aborted = !aborted;
+        cr_rejected = !rejected;
+        cr_failed = !failed;
+        cr_protocol_errors = !proto;
+        cr_lats = Array.sub lats 0 !n_lat;
+      }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (Float.of_int (n - 1) *. q +. 0.5) in
+    sorted.(max 0 (min (n - 1) rank))
+
+let run (cfg : config) =
+  if cfg.clients <= 0 || cfg.requests <= 0 || cfg.pipeline <= 0 then
+    invalid_arg "Blast.run: clients, requests and pipeline must be positive";
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    List.init cfg.clients (fun i -> Domain.spawn (fun () -> client_loop cfg i))
+  in
+  let results = List.map Domain.join workers in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+  let lats = Array.concat (List.map (fun r -> r.cr_lats) results) in
+  Array.sort compare lats;
+  let n = Array.length lats in
+  let committed = sum (fun r -> r.cr_committed) in
+  {
+    clients = cfg.clients;
+    requests = sum (fun r -> r.cr_sent);
+    committed;
+    restarts = sum (fun r -> r.cr_restarts);
+    aborted = sum (fun r -> r.cr_aborted);
+    rejected = sum (fun r -> r.cr_rejected);
+    failed = sum (fun r -> r.cr_failed);
+    protocol_errors = sum (fun r -> r.cr_protocol_errors);
+    wall_s;
+    throughput = (if wall_s > 0. then float_of_int committed /. wall_s else 0.);
+    lat_min_us = (if n = 0 then 0 else lats.(0));
+    lat_mean_us =
+      (if n = 0 then 0.
+       else float_of_int (Array.fold_left ( + ) 0 lats) /. float_of_int n);
+    lat_p50_us = percentile lats 0.50;
+    lat_p90_us = percentile lats 0.90;
+    lat_p95_us = percentile lats 0.95;
+    lat_p99_us = percentile lats 0.99;
+    lat_max_us = (if n = 0 then 0 else lats.(n - 1));
+  }
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("clients", Json.Int r.clients);
+      ("requests", Json.Int r.requests);
+      ("committed", Json.Int r.committed);
+      ("restarts", Json.Int r.restarts);
+      ("aborted", Json.Int r.aborted);
+      ("rejected", Json.Int r.rejected);
+      ("failed", Json.Int r.failed);
+      ("protocol_errors", Json.Int r.protocol_errors);
+      ("wall_s", Json.Float r.wall_s);
+      ("throughput_rps", Json.Float r.throughput);
+      ( "latency_us",
+        Json.Obj
+          [
+            ("min", Json.Int r.lat_min_us);
+            ("mean", Json.Float r.lat_mean_us);
+            ("p50", Json.Int r.lat_p50_us);
+            ("p90", Json.Int r.lat_p90_us);
+            ("p95", Json.Int r.lat_p95_us);
+            ("p99", Json.Int r.lat_p99_us);
+            ("max", Json.Int r.lat_max_us);
+          ] );
+    ]
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "clients=%d requests=%d committed=%d restarts=%d aborted=%d rejected=%d failed=%d \
+     proto_errs=%d wall=%.2fs %.0f req/s p50=%dus p95=%dus p99=%dus"
+    r.clients r.requests r.committed r.restarts r.aborted r.rejected r.failed
+    r.protocol_errors
+    r.wall_s r.throughput r.lat_p50_us r.lat_p95_us r.lat_p99_us

@@ -1,0 +1,46 @@
+(** Closed-loop load generator for the oosim server.
+
+    Each of [clients] OCaml domains dials its own connection and keeps at
+    most [pipeline] [Run] requests in flight, matching replies by [rq],
+    until it has pushed [requests] of them through.  Per-request latency
+    is recorded exactly (send-to-reply on the client's clock), so the
+    percentiles in the report are exact order statistics over every
+    request, not bucket interpolations. *)
+
+open Tavcc_cc
+
+type config = {
+  addr : Wire.addr;
+  clients : int;
+  requests : int;  (** per client *)
+  pipeline : int;  (** max in-flight requests per connection *)
+  digest : string;
+  client_name : string;  (** label prefix; client [i] presents "<name>-<i>" *)
+  jobs : int -> Exec.action list array;
+      (** [jobs i] is client [i]'s request bodies, [requests] of them *)
+}
+
+type report = {
+  clients : int;
+  requests : int;  (** total sent across clients *)
+  committed : int;
+  restarts : int;  (** automatic engine-side retries behind the commits *)
+  aborted : int;
+  rejected : int;
+  failed : int;
+  protocol_errors : int;
+      (** corrupt frames, unexpected responses, refused handshakes *)
+  wall_s : float;
+  throughput : float;  (** committed requests per second *)
+  lat_min_us : int;
+  lat_mean_us : float;
+  lat_p50_us : int;
+  lat_p90_us : int;
+  lat_p95_us : int;
+  lat_p99_us : int;
+  lat_max_us : int;
+}
+
+val run : config -> report
+val report_to_json : report -> Tavcc_obs.Json.t
+val pp_report : Format.formatter -> report -> unit

@@ -28,6 +28,26 @@ type t = {
 
 let create () = { mu = Mutex.create (); tbl = Hashtbl.create 32; order = [] }
 
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let labelled name kvs =
+  match kvs with
+  | [] -> name
+  | _ ->
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) kvs))
+
 let register t name mk unpack kind =
   Mutex.lock t.mu;
   let x =
@@ -221,47 +241,68 @@ let to_json t =
   Json.Obj (List.map (fun name -> (name, metric_to_json (find t name))) (names t))
 
 (* Prometheus text exposition (version 0.0.4).  Metric names keep only
-   [a-zA-Z0-9_:]; the registry's dots become underscores.  Histograms
-   render as the classical cumulative [le] series plus p50/p95/p99
-   gauges (Prometheus histograms carry no native quantiles; summaries
-   cannot share a histogram's name). *)
+   [a-zA-Z0-9_:]; the registry's dots become underscores.  A name built
+   with {!labelled} splits at its '{': the base is sanitised, the label
+   part renders natively (suffixes like [_bucket] attach to the base, and
+   [le] merges into an existing label set).  Histograms render as the
+   classical cumulative [le] series plus p50/p95/p99 gauges (Prometheus
+   histograms carry no native quantiles; summaries cannot share a
+   histogram's name). *)
 let prom_name name =
   String.map
     (fun c ->
       match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
     name
 
+let prom_parts name =
+  match String.index_opt name '{' with
+  | None -> (prom_name name, None)
+  | Some i ->
+      let inner = String.sub name (i + 1) (String.length name - i - 2) in
+      (prom_name (String.sub name 0 i), if inner = "" then None else Some inner)
+
 let to_prometheus ?(prefix = "tavcc") t =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
-  let full name = if prefix = "" then prom_name name else prefix ^ "_" ^ prom_name name in
   List.iter
     (fun name ->
-      let n = full name in
+      let base, labels = prom_parts name in
+      let base = if prefix = "" then base else prefix ^ "_" ^ base in
+      (* [series ~suffix ~extra] is "<base><suffix>{labels,extra}". *)
+      let series ?(suffix = "") ?extra () =
+        let lbls =
+          match (labels, extra) with
+          | None, None -> ""
+          | Some l, None -> "{" ^ l ^ "}"
+          | None, Some e -> "{" ^ e ^ "}"
+          | Some l, Some e -> "{" ^ l ^ "," ^ e ^ "}"
+        in
+        base ^ suffix ^ lbls
+      in
       match find t name with
       | C c ->
-          line "# TYPE %s counter" n;
-          line "%s %d" n (value c)
+          line "# TYPE %s counter" base;
+          line "%s %d" (series ()) (value c)
       | G g ->
-          line "# TYPE %s gauge" n;
-          line "%s %d" n (gauge_value g);
-          line "# TYPE %s_max gauge" n;
-          line "%s_max %d" n (gauge_max g)
+          line "# TYPE %s gauge" base;
+          line "%s %d" (series ()) (gauge_value g);
+          line "# TYPE %s_max gauge" base;
+          line "%s %d" (series ~suffix:"_max" ()) (gauge_max g)
       | H h ->
-          line "# TYPE %s histogram" n;
+          line "# TYPE %s histogram" base;
           let cum = ref 0 in
           List.iter
             (fun (_, hi, cnt) ->
               cum := !cum + cnt;
-              line "%s_bucket{le=\"%d\"} %d" n (max hi 0) !cum)
+              line "%s %d" (series ~suffix:"_bucket" ~extra:(Printf.sprintf "le=\"%d\"" (max hi 0)) ()) !cum)
             (nonempty_buckets h);
-          line "%s_bucket{le=\"+Inf\"} %d" n (count h);
-          line "%s_sum %d" n (sum h);
-          line "%s_count %d" n (count h);
+          line "%s %d" (series ~suffix:"_bucket" ~extra:"le=\"+Inf\"" ()) (count h);
+          line "%s %d" (series ~suffix:"_sum" ()) (sum h);
+          line "%s %d" (series ~suffix:"_count" ()) (count h);
           List.iter
             (fun (q, label) ->
-              line "# TYPE %s_%s gauge" n label;
-              line "%s_%s %g" n label (quantile h q))
+              line "# TYPE %s_%s gauge" base label;
+              line "%s %g" (series ~suffix:("_" ^ label) ()) (quantile h q))
             [ (0.50, "p50"); (0.95, "p95"); (0.99, "p99") ])
     (names t);
   Buffer.contents b

@@ -27,6 +27,15 @@ type histogram
 
 val create : unit -> t
 
+val labelled : string -> (string * string) list -> string
+(** [labelled "net.requests" ["client", "blast-3"]] is
+    ["net.requests{client=\"blast-3\"}"] — a registry name carrying a
+    Prometheus label set.  Such names are ordinary registry keys (each
+    label combination is its own metric cell); {!to_prometheus} renders
+    the label part natively instead of sanitising it away, so per-session
+    or per-scheme series group under one metric family.  Label values
+    have ['"'], ['\\'] and newlines escaped. *)
+
 val counter : t -> string -> counter
 (** Registers (or retrieves) the counter [name].
     @raise Invalid_argument if [name] is registered with another type. *)

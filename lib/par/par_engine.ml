@@ -87,24 +87,152 @@ type pmetrics = {
   pm_backoff_us : Metrics.histogram;
 }
 
-let run ?(config = default_config) ~scheme ~store ~jobs () =
-  if config.domains <= 0 then invalid_arg "Par_engine.run: domains must be positive";
-  List.iter
-    (fun (id, _) ->
-      if id <= 0 then invalid_arg "Par_engine.run: transaction ids must be positive")
-    jobs;
+type job_status = Job_committed of { restarts : int } | Job_failed of string
+
+(* --- the engine core -------------------------------------------------
+
+   Everything [run] used to build inline — the sharded lock table, the
+   shared counters, the detector domain, the per-job strict-2PL restart
+   loop — lives in a [core] now, so the batch driver ([run]) and the
+   long-lived submission service ([service_start]/[submit]) execute jobs
+   through literally the same code path. *)
+
+type counters = {
+  n_commits : int Atomic.t;
+  n_aborts : int Atomic.t;
+  n_deadlocks : int Atomic.t;
+  n_wounds : int Atomic.t;
+  n_died : int Atomic.t;
+  n_timeouts : int Atomic.t;
+  n_restarts : int Atomic.t;
+  n_snapshot_commits : int Atomic.t;
+  n_snapshot_aborts : int Atomic.t;
+  n_occ_commits : int Atomic.t;
+  n_occ_vfails : int Atomic.t;
+}
+
+type core = {
+  k_config : config;
+  k_scheme : Scheme.t;
+  k_store : Tavcc_lang.Ast.body Store.t;
+  k_locks : Shard_table.t;
+  k_pm : pmetrics option;
+  k_n : counters;
+  k_wait_policy : Shard_table.wait_policy;
+  k_failed_mu : Mutex.t;
+  mutable k_failed : (int * string) list;
+  k_history : History.t option;
+  k_hist_mu : Mutex.t;
+  k_stop : bool Atomic.t;
+  k_t0 : float;
+  mutable k_detector : unit Domain.t option;
+}
+
+let tick c f = match c.k_pm with None -> () | Some p -> f p
+let oemit c k = Option.iter (fun o -> Par_obs.emit o k) c.k_config.obs
+
+let record c op =
+  match c.k_history with
+  | None -> ()
+  | Some h ->
+      Mutex.lock c.k_hist_mu;
+      History.record h op;
+      Mutex.unlock c.k_hist_mu
+
+let add_failed c id msg =
+  Mutex.lock c.k_failed_mu;
+  c.k_failed <- (id, msg) :: c.k_failed;
+  Mutex.unlock c.k_failed_mu
+
+(* --- detector domain: cycles always, timeouts when asked --- *)
+
+let detector c () =
+  let config = c.k_config in
+  Option.iter (fun o -> Par_obs.attach o ~dom:(Par_obs.detector_dom o)) config.obs;
+  let period = float_of_int (max 50 config.detector_period_us) /. 1e6 in
+  let timeout_s =
+    match config.policy with Engine.Timeout n -> Some (float_of_int n /. 1000.) | _ -> None
+  in
+  let watchdog_s =
+    match Sys.getenv_opt "TAVCC_PAR_WATCHDOG" with
+    | Some v -> ( try float_of_string v with _ -> 3.)
+    | None -> 0.
+  in
+  let last_progress = ref (0, Unix.gettimeofday ()) in
+  while not (Atomic.get c.k_stop) do
+    Unix.sleepf period;
+    (* The detector doubles as the ring coordinator: it is the single
+       consumer of the per-domain event rings while the run is live. *)
+    Option.iter (fun o -> ignore (Par_obs.drain o)) config.obs;
+    if watchdog_s > 0. then begin
+      let p =
+        Atomic.get c.k_n.n_commits + Atomic.get c.k_n.n_aborts
+        + Atomic.get c.k_n.n_restarts
+      in
+      let lp, lt = !last_progress in
+      if p <> lp then last_progress := (p, Unix.gettimeofday ())
+      else if Unix.gettimeofday () -. lt > watchdog_s then begin
+        let report =
+          Shard_table.stall_report ~elapsed_s:(Unix.gettimeofday () -. lt) c.k_locks
+        in
+        (* Structured consumers take the report itself; without a sink
+           the pretty-printed dump goes to stderr as before. *)
+        if Tavcc_obs.Sink.is_null config.stall_sink then
+          Format.eprintf "@[<v>=== par watchdog: no progress for %.1fs ===@,%a=== end ===@]@."
+            report.Shard_table.sr_elapsed_s Shard_table.pp_stall_report report
+        else Tavcc_obs.Sink.push config.stall_sink report;
+        last_progress := (p, Unix.gettimeofday ())
+      end
+    end;
+    (match timeout_s with
+    | None -> ()
+    | Some limit ->
+        List.iter
+          (fun (id, waited) ->
+            if waited > limit && Shard_table.kill c.k_locks ~victim:id Shard_table.Timed_out
+            then begin
+              Atomic.incr c.k_n.n_timeouts;
+              tick c (fun p -> Metrics.incr p.pm_timeouts)
+            end)
+          (Shard_table.waiting_txns c.k_locks));
+    (* Resolve every cycle visible in this sweep.  The victim is the
+       youngest member (max birth, ties to max id), killed only if the
+       kill actually lands — a member may have finished since the
+       snapshot (phantom cycle), in which case the next sweep retries. *)
+    let rec resolve edges =
+      match Shard_table.find_cycle_edges edges with
+      | None -> ()
+      | Some cycle ->
+          let victim =
+            List.fold_left
+              (fun best id ->
+                let b v = Option.value ~default:v (Shard_table.birth_of c.k_locks v) in
+                if b id > b best || (b id = b best && id > best) then id else best)
+              (List.hd cycle) cycle
+          in
+          if Shard_table.kill c.k_locks ~victim Shard_table.Deadlock_victim then begin
+            Atomic.incr c.k_n.n_deadlocks;
+            tick c (fun p -> Metrics.incr p.pm_deadlocks)
+          end;
+          (* Drop the victim's edges and look for further cycles. *)
+          resolve (List.filter (fun (a, b) -> a <> victim && b <> victim) edges)
+    in
+    resolve (Shard_table.waits_for_edges c.k_locks)
+  done
+
+let make_core ~config ~scheme ~store () =
+  if config.domains <= 0 then invalid_arg "Par_engine: domains must be positive";
+  if Option.fold ~none:false ~some:(fun o -> Par_obs.domain_count o <> config.domains)
+       config.obs
+  then invalid_arg "Par_engine: obs was created for a different domain count";
   (* Touch every extent ref before spawning: [Store.extent] lazily
      creates the per-class ref cell, and that Hashtbl write must not race
      with concurrent extent scans. *)
   List.iter
-    (fun c -> ignore (Store.extent store c))
+    (fun cl -> ignore (Store.extent store cl))
     (Schema.classes (Store.schema store));
   let t0 = Unix.gettimeofday () in
   let clock () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
-  if Option.fold ~none:false ~some:(fun o -> Par_obs.domain_count o <> config.domains)
-       config.obs
-  then invalid_arg "Par_engine.run: obs was created for a different domain count";
-  let oemit k = Option.iter (fun o -> Par_obs.emit o k) config.obs in
   let locks =
     Shard_table.create ~shards:config.shards ?metrics:config.metrics ~clock
       ?tracer:(Option.map Par_obs.tracer config.obs)
@@ -126,29 +254,20 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
         })
       config.metrics
   in
-  let tick f = match pm with None -> () | Some p -> f p in
-  let commits = Atomic.make 0
-  and aborts = Atomic.make 0
-  and deadlocks = Atomic.make 0
-  and wounds = Atomic.make 0
-  and died = Atomic.make 0
-  and timeouts = Atomic.make 0
-  and restarts = Atomic.make 0
-  and snapshot_commits = Atomic.make 0
-  and snapshot_aborts = Atomic.make 0
-  and occ_commits = Atomic.make 0
-  and occ_vfails = Atomic.make 0 in
-  let failed_mu = Mutex.create () in
-  let failed = ref [] in
-  let history = if config.record_history then Some (History.create ()) else None in
-  let hist_mu = Mutex.create () in
-  let record op =
-    match history with
-    | None -> ()
-    | Some h ->
-        Mutex.lock hist_mu;
-        History.record h op;
-        Mutex.unlock hist_mu
+  let counters =
+    {
+      n_commits = Atomic.make 0;
+      n_aborts = Atomic.make 0;
+      n_deadlocks = Atomic.make 0;
+      n_wounds = Atomic.make 0;
+      n_died = Atomic.make 0;
+      n_timeouts = Atomic.make 0;
+      n_restarts = Atomic.make 0;
+      n_snapshot_commits = Atomic.make 0;
+      n_snapshot_aborts = Atomic.make 0;
+      n_occ_commits = Atomic.make 0;
+      n_occ_vfails = Atomic.make 0;
+    }
   in
   let wait_policy =
     match config.policy with
@@ -157,301 +276,514 @@ let run ?(config = default_config) ~scheme ~store ~jobs () =
     | Engine.Wait_die -> Shard_table.Die_if_older
     | Engine.No_wait -> Shard_table.Never_wait
   in
-  (* --- detector domain: cycles always, timeouts when asked --- *)
-  let stop = Atomic.make false in
-  let timeout_s =
-    match config.policy with Engine.Timeout n -> Some (float_of_int n /. 1000.) | _ -> None
+  let c =
+    {
+      k_config = config;
+      k_scheme = scheme;
+      k_store = store;
+      k_locks = locks;
+      k_pm = pm;
+      k_n = counters;
+      k_wait_policy = wait_policy;
+      k_failed_mu = Mutex.create ();
+      k_failed = [];
+      k_history = (if config.record_history then Some (History.create ()) else None);
+      k_hist_mu = Mutex.create ();
+      k_stop = Atomic.make false;
+      k_t0 = t0;
+      k_detector = None;
+    }
   in
-  let watchdog_s =
-    match Sys.getenv_opt "TAVCC_PAR_WATCHDOG" with
-    | Some v -> ( try float_of_string v with _ -> 3.)
-    | None -> 0.
+  Option.iter (fun m -> m.Scheme.mv_run_begin ()) scheme.Scheme.mvcc;
+  c.k_detector <- Some (Domain.spawn (detector c));
+  c
+
+(* Capped exponential backoff with deterministic jitter.  The old
+   linear [attempt * base] kept every loser of a conflict on the same
+   short cadence, so they re-collided and sustained the restart storm;
+   doubling with a per-(txn, attempt) jitter spreads them out. *)
+let backoff c ~id attempt =
+  let config = c.k_config in
+  if config.restart_backoff_us > 0 && attempt > 0 then begin
+    let base = config.restart_backoff_us in
+    let cap = max base config.backoff_cap_us in
+    let bounded = min cap (base * (1 lsl min 20 (attempt - 1))) in
+    let rng = Tavcc_sim.Rng.create ((id * 1_000_003) + attempt) in
+    let jitter = if bounded >= 2 then Tavcc_sim.Rng.int rng (bounded / 2) else 0 in
+    let us = (bounded / 2) + jitter in
+    tick c (fun p -> Metrics.observe p.pm_backoff_us us);
+    Unix.sleepf (float_of_int us /. 1e6)
+  end
+
+let run_job c ~dom (id, actions) =
+  let config = c.k_config in
+  let scheme = c.k_scheme in
+  let store = c.k_store in
+  let locks = c.k_locks in
+  let probe =
+    Option.map
+      (fun mk -> mk ~dom ~txn:id ~holds:(Shard_table.holds locks id))
+      config.probe
   in
-  let detector () =
-    Option.iter (fun o -> Par_obs.attach o ~dom:(Par_obs.detector_dom o)) config.obs;
-    let period = float_of_int (max 50 config.detector_period_us) /. 1e6 in
-    let last_progress = ref (0, Unix.gettimeofday ()) in
-    while not (Atomic.get stop) do
-      Unix.sleepf period;
-      (* The detector doubles as the ring coordinator: it is the single
-         consumer of the per-domain event rings while the run is live. *)
-      Option.iter (fun o -> ignore (Par_obs.drain o)) config.obs;
-      if watchdog_s > 0. then begin
-        let p = Atomic.get commits + Atomic.get aborts + Atomic.get restarts in
-        let lp, lt = !last_progress in
-        if p <> lp then last_progress := (p, Unix.gettimeofday ())
-        else if Unix.gettimeofday () -. lt > watchdog_s then begin
-          let report =
-            Shard_table.stall_report ~elapsed_s:(Unix.gettimeofday () -. lt) locks
-          in
-          (* Structured consumers take the report itself; without a sink
-             the pretty-printed dump goes to stderr as before. *)
-          if Tavcc_obs.Sink.is_null config.stall_sink then
-            Format.eprintf "@[<v>=== par watchdog: no progress for %.1fs ===@,%a=== end ===@]@."
-              report.Shard_table.sr_elapsed_s Shard_table.pp_stall_report report
-          else Tavcc_obs.Sink.push config.stall_sink report;
-          last_progress := (p, Unix.gettimeofday ())
-        end
-      end;
-      (match timeout_s with
-      | None -> ()
-      | Some limit ->
-          List.iter
-            (fun (id, waited) ->
-              if waited > limit && Shard_table.kill locks ~victim:id Shard_table.Timed_out
-              then begin
-                Atomic.incr timeouts;
-                tick (fun p -> Metrics.incr p.pm_timeouts)
-              end)
-            (Shard_table.waiting_txns locks));
-      (* Resolve every cycle visible in this sweep.  The victim is the
-         youngest member (max birth, ties to max id), killed only if the
-         kill actually lands — a member may have finished since the
-         snapshot (phantom cycle), in which case the next sweep retries. *)
-      let rec resolve edges =
-        match Shard_table.find_cycle_edges edges with
-        | None -> ()
-        | Some cycle ->
-            let victim =
-              List.fold_left
-                (fun best id ->
-                  let b v = Option.value ~default:v (Shard_table.birth_of locks v) in
-                  if b id > b best || (b id = b best && id > best) then id else best)
-                (List.hd cycle) cycle
-            in
-            if Shard_table.kill locks ~victim Shard_table.Deadlock_victim then begin
-              Atomic.incr deadlocks;
-              tick (fun p -> Metrics.incr p.pm_deadlocks)
-            end;
-            (* Drop the victim's edges and look for further cycles. *)
-            resolve (List.filter (fun (a, b) -> a <> victim && b <> victim) edges)
+  let rec attempt n txn : job_status =
+    Shard_table.register locks ~id ~birth:id;
+    oemit c (Par_obs.E_begin { txn = id; attempt = n });
+    let began = Unix.gettimeofday () in
+    let finish_and_release () =
+      Shard_table.finish locks id;
+      ignore (Shard_table.release_all locks id)
+    in
+    let session = ref None in
+    let close_session_abort () =
+      (match !session with
+      | Some s ->
+          if s.Scheme.ms_mode = Scheme.Mv_snapshot then Atomic.incr c.k_n.n_snapshot_aborts;
+          s.Scheme.ms_abort ()
+      | None -> ());
+      session := None
+    in
+    let retry_or_fail () : job_status =
+      if n >= config.max_restarts then begin
+        add_failed c id "exceeded max restarts";
+        Job_failed "exceeded max restarts"
+      end
+      else begin
+        Atomic.incr c.k_n.n_restarts;
+        tick c (fun p -> Metrics.incr p.pm_restarts);
+        backoff c ~id (n + 1);
+        attempt (n + 1) (Txn.reset_for_restart txn)
+      end
+    in
+    match
+      record c (History.Begin id);
+      let ctx =
+        {
+          Scheme.txn;
+          acquire = (fun r -> Shard_table.acquire_blocking locks ~policy:c.k_wait_policy r);
+        }
       in
-      resolve (Shard_table.waits_for_edges locks)
-    done
+      let mv =
+        Option.map
+          (fun m ->
+            m.Scheme.mv_begin ctx ~read:(Store.read store) ~class_of:(Store.class_of store)
+              actions)
+          scheme.Scheme.mvcc
+      in
+      session := mv;
+      let versioned =
+        match mv with
+        | Some s -> s.Scheme.ms_mode <> Scheme.Mv_pessimistic
+        | None -> false
+      in
+      let on_read oid f =
+        (* versioned reads enter the history as [Snapshot_read]s below *)
+        if not versioned then record c (History.Read (id, oid, f))
+      in
+      let on_write oid f = record c (History.Write (id, oid, f)) in
+      Exec.begin_txn ~scheme ~store ~ctx actions;
+      List.iter
+        (fun a ->
+          Exec.perform ~scheme ~store ~ctx ?mv ~on_read ~on_write ?probe
+            ~max_steps:config.max_steps a)
+        actions;
+      match mv with
+      | None -> ()
+      | Some s ->
+          (* A deadlock victim that got this far is allowed to commit
+             (it releases its locks either way — see the mli); precommit
+             may still abort on its own terms (deferred lock
+             acquisition checks the kill flag, validation may fail);
+             publish is the point of no return. *)
+          let write oid f v =
+            let before = Store.read store oid f in
+            Txn.log_write txn oid f ~before;
+            record c (History.Write (id, oid, f));
+            Store.write store oid f v
+          in
+          s.Scheme.ms_precommit ctx ~write;
+          if versioned then begin
+            record c (History.Snapshot (id, s.Scheme.ms_snapshot));
+            List.iter
+              (fun (oid, f, vts) -> record c (History.Snapshot_read (id, oid, f, vts)))
+              (s.Scheme.ms_reads ())
+          end;
+          (match s.Scheme.ms_publish () with
+          | Some ts -> record c (History.Publish (id, ts))
+          | None -> ())
+    with
+    | () ->
+        (match !session with
+        | Some s -> (
+            match s.Scheme.ms_mode with
+            | Scheme.Mv_snapshot -> Atomic.incr c.k_n.n_snapshot_commits
+            | Scheme.Mv_optimistic -> Atomic.incr c.k_n.n_occ_commits
+            | Scheme.Mv_pessimistic -> ())
+        | None -> ());
+        session := None;
+        Txn.commit txn;
+        record c (History.Commit id);
+        oemit c (Par_obs.E_commit { txn = id; attempt = n });
+        Atomic.incr c.k_n.n_commits;
+        tick c (fun p ->
+            Metrics.incr p.pm_commits;
+            Metrics.observe p.pm_txn_us
+              (int_of_float ((Unix.gettimeofday () -. began) *. 1e6)));
+        finish_and_release ();
+        Job_committed { restarts = n }
+    | exception Shard_table.Aborted reason ->
+        close_session_abort ();
+        oemit c
+          (Par_obs.E_abort
+             { txn = id; attempt = n; reason = Shard_table.reason_name reason });
+        (match reason with
+        | Shard_table.Wounded _ ->
+            Atomic.incr c.k_n.n_wounds;
+            tick c (fun p -> Metrics.incr p.pm_wounds)
+        | Shard_table.Died ->
+            Atomic.incr c.k_n.n_died;
+            tick c (fun p -> Metrics.incr p.pm_died)
+        | Shard_table.Deadlock_victim | Shard_table.Timed_out -> ());
+        Atomic.incr c.k_n.n_aborts;
+        tick c (fun p -> Metrics.incr p.pm_aborts);
+        record c (History.Abort id);
+        (* Undo while the locks are still held (strict 2PL), then
+           release and wake whoever was queued behind us. *)
+        Txn.abort store txn;
+        finish_and_release ();
+        retry_or_fail ()
+    | exception Scheme.Validation_failed ->
+        (* optimistic commit lost its validation race: same shape as a
+           deadlock abort — undo, release, restart with backoff *)
+        close_session_abort ();
+        oemit c (Par_obs.E_abort { txn = id; attempt = n; reason = "validation" });
+        Atomic.incr c.k_n.n_occ_vfails;
+        Atomic.incr c.k_n.n_aborts;
+        tick c (fun p -> Metrics.incr p.pm_aborts);
+        record c (History.Abort id);
+        Txn.abort store txn;
+        finish_and_release ();
+        retry_or_fail ()
+    | exception e ->
+        close_session_abort ();
+        oemit c (Par_obs.E_abort { txn = id; attempt = n; reason = "failed" });
+        record c (History.Abort id);
+        Txn.abort store txn;
+        finish_and_release ();
+        let msg = Printexc.to_string e in
+        add_failed c id msg;
+        Job_failed msg
   in
-  (* --- workers --- *)
+  attempt 0 (Txn.make ~id ~birth:id)
+
+(* Per-domain busy time: what [oosim top] turns into utilisation. *)
+let busy_counter c dom =
+  Option.map
+    (fun m -> Metrics.counter m (Printf.sprintf "par.dom%d.busy_us" dom))
+    c.k_config.metrics
+
+let core_finish c =
+  Atomic.set c.k_stop true;
+  Option.iter Domain.join c.k_detector;
+  c.k_detector <- None;
+  (* The joins make every ring quiescent and published; the final drain
+     (consumer role handed from the detector to this domain) picks up
+     whatever the last sweep missed. *)
+  Option.iter (fun o -> ignore (Par_obs.drain o)) c.k_config.obs;
+  let wall = Unix.gettimeofday () -. c.k_t0 in
+  let commits = Atomic.get c.k_n.n_commits in
+  {
+    commits;
+    aborts = Atomic.get c.k_n.n_aborts;
+    deadlocks = Atomic.get c.k_n.n_deadlocks;
+    wounds = Atomic.get c.k_n.n_wounds;
+    died = Atomic.get c.k_n.n_died;
+    timeouts = Atomic.get c.k_n.n_timeouts;
+    restarts = Atomic.get c.k_n.n_restarts;
+    snapshot_commits = Atomic.get c.k_n.n_snapshot_commits;
+    snapshot_aborts = Atomic.get c.k_n.n_snapshot_aborts;
+    occ_commits = Atomic.get c.k_n.n_occ_commits;
+    occ_validation_failures = Atomic.get c.k_n.n_occ_vfails;
+    failed = c.k_failed;
+    wall_seconds = wall;
+    throughput = (if wall > 0. then float_of_int commits /. wall else 0.);
+    lock_stats = Shard_table.stats c.k_locks;
+    history = c.k_history;
+  }
+
+(* --- batch driver ----------------------------------------------------- *)
+
+let run ?(config = default_config) ~scheme ~store ~jobs () =
+  List.iter
+    (fun (id, _) ->
+      if id <= 0 then invalid_arg "Par_engine.run: transaction ids must be positive")
+    jobs;
+  let c = make_core ~config ~scheme ~store () in
   let jobs_arr = Array.of_list jobs in
   let cursor = Atomic.make 0 in
-  (* Capped exponential backoff with deterministic jitter.  The old
-     linear [attempt * base] kept every loser of a conflict on the same
-     short cadence, so they re-collided and sustained the restart storm;
-     doubling with a per-(txn, attempt) jitter spreads them out. *)
-  let backoff ~id attempt =
-    if config.restart_backoff_us > 0 && attempt > 0 then begin
-      let base = config.restart_backoff_us in
-      let cap = max base config.backoff_cap_us in
-      let bounded = min cap (base * (1 lsl min 20 (attempt - 1))) in
-      let rng = Tavcc_sim.Rng.create ((id * 1_000_003) + attempt) in
-      let jitter = if bounded >= 2 then Tavcc_sim.Rng.int rng (bounded / 2) else 0 in
-      let us = (bounded / 2) + jitter in
-      tick (fun p -> Metrics.observe p.pm_backoff_us us);
-      Unix.sleepf (float_of_int us /. 1e6)
-    end
-  in
-  let run_job ~dom (id, actions) =
-    let probe =
-      Option.map
-        (fun mk -> mk ~dom ~txn:id ~holds:(Shard_table.holds locks id))
-        config.probe
-    in
-    let rec attempt n txn =
-      Shard_table.register locks ~id ~birth:id;
-      oemit (Par_obs.E_begin { txn = id; attempt = n });
-      let began = Unix.gettimeofday () in
-      let finish_and_release () =
-        Shard_table.finish locks id;
-        ignore (Shard_table.release_all locks id)
-      in
-      let session = ref None in
-      let close_session_abort () =
-        (match !session with
-        | Some s ->
-            if s.Scheme.ms_mode = Scheme.Mv_snapshot then Atomic.incr snapshot_aborts;
-            s.Scheme.ms_abort ()
-        | None -> ());
-        session := None
-      in
-      let retry_or_fail () =
-        if n >= config.max_restarts then begin
-          Mutex.lock failed_mu;
-          failed := (id, "exceeded max restarts") :: !failed;
-          Mutex.unlock failed_mu
-        end
-        else begin
-          Atomic.incr restarts;
-          tick (fun p -> Metrics.incr p.pm_restarts);
-          backoff ~id (n + 1);
-          attempt (n + 1) (Txn.reset_for_restart txn)
-        end
-      in
-      match
-        record (History.Begin id);
-        let ctx =
-          {
-            Scheme.txn;
-            acquire = (fun r -> Shard_table.acquire_blocking locks ~policy:wait_policy r);
-          }
-        in
-        let mv =
-          Option.map
-            (fun m ->
-              m.Scheme.mv_begin ctx ~read:(Store.read store) ~class_of:(Store.class_of store)
-                actions)
-            scheme.Scheme.mvcc
-        in
-        session := mv;
-        let versioned =
-          match mv with
-          | Some s -> s.Scheme.ms_mode <> Scheme.Mv_pessimistic
-          | None -> false
-        in
-        let on_read oid f =
-          (* versioned reads enter the history as [Snapshot_read]s below *)
-          if not versioned then record (History.Read (id, oid, f))
-        in
-        let on_write oid f = record (History.Write (id, oid, f)) in
-        Exec.begin_txn ~scheme ~store ~ctx actions;
-        List.iter
-          (fun a ->
-            Exec.perform ~scheme ~store ~ctx ?mv ~on_read ~on_write ?probe
-              ~max_steps:config.max_steps a)
-          actions;
-        match mv with
-        | None -> ()
-        | Some s ->
-            (* A deadlock victim that got this far is allowed to commit
-               (it releases its locks either way — see the mli); precommit
-               may still abort on its own terms (deferred lock
-               acquisition checks the kill flag, validation may fail);
-               publish is the point of no return. *)
-            let write oid f v =
-              let before = Store.read store oid f in
-              Txn.log_write txn oid f ~before;
-              record (History.Write (id, oid, f));
-              Store.write store oid f v
-            in
-            s.Scheme.ms_precommit ctx ~write;
-            if versioned then begin
-              record (History.Snapshot (id, s.Scheme.ms_snapshot));
-              List.iter
-                (fun (oid, f, vts) -> record (History.Snapshot_read (id, oid, f, vts)))
-                (s.Scheme.ms_reads ())
-            end;
-            (match s.Scheme.ms_publish () with
-            | Some ts -> record (History.Publish (id, ts))
-            | None -> ())
-      with
-      | () ->
-          (match !session with
-          | Some s -> (
-              match s.Scheme.ms_mode with
-              | Scheme.Mv_snapshot -> Atomic.incr snapshot_commits
-              | Scheme.Mv_optimistic -> Atomic.incr occ_commits
-              | Scheme.Mv_pessimistic -> ())
-          | None -> ());
-          session := None;
-          Txn.commit txn;
-          record (History.Commit id);
-          oemit (Par_obs.E_commit { txn = id; attempt = n });
-          Atomic.incr commits;
-          tick (fun p ->
-              Metrics.incr p.pm_commits;
-              Metrics.observe p.pm_txn_us
-                (int_of_float ((Unix.gettimeofday () -. began) *. 1e6)));
-          finish_and_release ()
-      | exception Shard_table.Aborted reason ->
-          close_session_abort ();
-          oemit
-            (Par_obs.E_abort
-               { txn = id; attempt = n; reason = Shard_table.reason_name reason });
-          (match reason with
-          | Shard_table.Wounded _ ->
-              Atomic.incr wounds;
-              tick (fun p -> Metrics.incr p.pm_wounds)
-          | Shard_table.Died ->
-              Atomic.incr died;
-              tick (fun p -> Metrics.incr p.pm_died)
-          | Shard_table.Deadlock_victim | Shard_table.Timed_out -> ());
-          Atomic.incr aborts;
-          tick (fun p -> Metrics.incr p.pm_aborts);
-          record (History.Abort id);
-          (* Undo while the locks are still held (strict 2PL), then
-             release and wake whoever was queued behind us. *)
-          Txn.abort store txn;
-          finish_and_release ();
-          retry_or_fail ()
-      | exception Scheme.Validation_failed ->
-          (* optimistic commit lost its validation race: same shape as a
-             deadlock abort — undo, release, restart with backoff *)
-          close_session_abort ();
-          oemit (Par_obs.E_abort { txn = id; attempt = n; reason = "validation" });
-          Atomic.incr occ_vfails;
-          Atomic.incr aborts;
-          tick (fun p -> Metrics.incr p.pm_aborts);
-          record (History.Abort id);
-          Txn.abort store txn;
-          finish_and_release ();
-          retry_or_fail ()
-      | exception e ->
-          close_session_abort ();
-          oemit (Par_obs.E_abort { txn = id; attempt = n; reason = "failed" });
-          record (History.Abort id);
-          Txn.abort store txn;
-          finish_and_release ();
-          Mutex.lock failed_mu;
-          failed := (id, Printexc.to_string e) :: !failed;
-          Mutex.unlock failed_mu
-    in
-    attempt 0 (Txn.make ~id ~birth:id)
-  in
   let worker dom () =
     Option.iter (fun o -> Par_obs.attach o ~dom) config.obs;
-    (* Per-domain busy time: what [oosim top] turns into utilisation. *)
-    let busy =
-      Option.map
-        (fun m -> Metrics.counter m (Printf.sprintf "par.dom%d.busy_us" dom))
-        config.metrics
-    in
+    let busy = busy_counter c dom in
     let rec pull () =
       let i = Atomic.fetch_and_add cursor 1 in
       if i < Array.length jobs_arr then begin
         let j0 = Unix.gettimeofday () in
-        run_job ~dom jobs_arr.(i);
+        ignore (run_job c ~dom jobs_arr.(i));
         Option.iter
-          (fun c -> Metrics.add c (int_of_float ((Unix.gettimeofday () -. j0) *. 1e6)))
+          (fun cnt -> Metrics.add cnt (int_of_float ((Unix.gettimeofday () -. j0) *. 1e6)))
           busy;
         pull ()
       end
     in
     pull ()
   in
-  Option.iter (fun m -> m.Scheme.mv_run_begin ()) scheme.Scheme.mvcc;
-  let det = Domain.spawn detector in
   let workers = List.init config.domains (fun dom -> Domain.spawn (worker dom)) in
   List.iter Domain.join workers;
-  Atomic.set stop true;
-  Domain.join det;
-  (* The joins make every ring quiescent and published; the final drain
-     (consumer role handed from the detector to this domain) picks up
-     whatever the last sweep missed. *)
-  Option.iter (fun o -> ignore (Par_obs.drain o)) config.obs;
-  let wall = Unix.gettimeofday () -. t0 in
-  let c = Atomic.get commits in
-  {
-    commits = c;
-    aborts = Atomic.get aborts;
-    deadlocks = Atomic.get deadlocks;
-    wounds = Atomic.get wounds;
-    died = Atomic.get died;
-    timeouts = Atomic.get timeouts;
-    restarts = Atomic.get restarts;
-    snapshot_commits = Atomic.get snapshot_commits;
-    snapshot_aborts = Atomic.get snapshot_aborts;
-    occ_commits = Atomic.get occ_commits;
-    occ_validation_failures = Atomic.get occ_vfails;
-    failed = !failed;
-    wall_seconds = wall;
-    throughput = (if wall > 0. then float_of_int c /. wall else 0.);
-    lock_stats = Shard_table.stats locks;
-    history;
-  }
+  core_finish c
+
+(* --- submission service ----------------------------------------------
+
+   The same core behind a bounded job queue: an external driver (the
+   network server front-end) feeds transactions in as they arrive and the
+   worker domains drain them.  The queue bound is the admission-control
+   point — a full queue rejects instead of buffering without limit. *)
+
+type submit_outcome = Accepted | Saturated | Closed
+
+type service = {
+  s_core : core;
+  s_mu : Mutex.t;
+  s_nonempty : Condition.t;
+  s_idle : Condition.t;
+  s_q : (int * Exec.action list * (job_status -> unit)) Queue.t;
+  s_cap : int;
+  mutable s_closed : bool;
+  mutable s_in_flight : int;  (** queued + running jobs + open interactive txns *)
+  s_next_id : int Atomic.t;
+  mutable s_workers : unit Domain.t list;
+}
+
+let service_worker s dom () =
+  let c = s.s_core in
+  Option.iter (fun o -> Par_obs.attach o ~dom) c.k_config.obs;
+  let busy = busy_counter c dom in
+  let rec loop () =
+    Mutex.lock s.s_mu;
+    while Queue.is_empty s.s_q && not s.s_closed do
+      Condition.wait s.s_nonempty s.s_mu
+    done;
+    if Queue.is_empty s.s_q then Mutex.unlock s.s_mu (* closed and drained *)
+    else begin
+      let id, actions, k = Queue.pop s.s_q in
+      Mutex.unlock s.s_mu;
+      let j0 = Unix.gettimeofday () in
+      let st = run_job c ~dom (id, actions) in
+      Option.iter
+        (fun cnt -> Metrics.add cnt (int_of_float ((Unix.gettimeofday () -. j0) *. 1e6)))
+        busy;
+      (* A throwing completion callback must not take the worker down. *)
+      (try k st with _ -> ());
+      Mutex.lock s.s_mu;
+      s.s_in_flight <- s.s_in_flight - 1;
+      if s.s_in_flight = 0 then Condition.broadcast s.s_idle;
+      Mutex.unlock s.s_mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let service_start ?(config = default_config) ?(queue_capacity = 256) ~scheme ~store () =
+  if queue_capacity <= 0 then
+    invalid_arg "Par_engine.service_start: queue_capacity must be positive";
+  let c = make_core ~config ~scheme ~store () in
+  let s =
+    {
+      s_core = c;
+      s_mu = Mutex.create ();
+      s_nonempty = Condition.create ();
+      s_idle = Condition.create ();
+      s_q = Queue.create ();
+      s_cap = queue_capacity;
+      s_closed = false;
+      s_in_flight = 0;
+      s_next_id = Atomic.make 1;
+      s_workers = [];
+    }
+  in
+  (* assign in place: a [{ s with ... }] copy here would leave the workers
+     holding a different record, splitting the mutable close/in-flight state *)
+  s.s_workers <- List.init config.domains (fun d -> Domain.spawn (service_worker s d));
+  s
+
+let submit s ~actions ~k =
+  Mutex.lock s.s_mu;
+  if s.s_closed then begin
+    Mutex.unlock s.s_mu;
+    Closed
+  end
+  else if Queue.length s.s_q >= s.s_cap then begin
+    Mutex.unlock s.s_mu;
+    Saturated
+  end
+  else begin
+    let id = Atomic.fetch_and_add s.s_next_id 1 in
+    Queue.push (id, actions, k) s.s_q;
+    s.s_in_flight <- s.s_in_flight + 1;
+    Condition.signal s.s_nonempty;
+    Mutex.unlock s.s_mu;
+    Accepted
+  end
+
+let service_backlog s =
+  Mutex.lock s.s_mu;
+  let n = Queue.length s.s_q in
+  Mutex.unlock s.s_mu;
+  n
+
+let service_in_flight s =
+  Mutex.lock s.s_mu;
+  let n = s.s_in_flight in
+  Mutex.unlock s.s_mu;
+  n
+
+let service_drain s =
+  Mutex.lock s.s_mu;
+  while s.s_in_flight > 0 do
+    Condition.wait s.s_idle s.s_mu
+  done;
+  Mutex.unlock s.s_mu
+
+let service_waiting s = Shard_table.waiting_txns s.s_core.k_locks
+
+let service_stop s =
+  Mutex.lock s.s_mu;
+  s.s_closed <- true;
+  Condition.broadcast s.s_nonempty;
+  Mutex.unlock s.s_mu;
+  List.iter Domain.join s.s_workers;
+  core_finish s.s_core
+
+(* --- interactive transactions ----------------------------------------
+
+   A session-owned transaction driven one statement at a time on the
+   caller's own thread, against the same shard table the worker domains
+   use.  Only schemes whose per-access hooks actually lock can run
+   interactively: a preclaiming scheme sees no action list up front and
+   would execute unlocked, and a multi-version scheme needs the whole
+   list to classify the transaction. *)
+
+let interactive_supported (scheme : Scheme.t) =
+  Option.is_none scheme.Scheme.mvcc && scheme.Scheme.name <> "tav-pre"
+
+type itxn = {
+  it_service : service;
+  it_id : int;
+  it_txn : Txn.t;
+  it_ctx : Scheme.ctx;
+  mutable it_open : bool;
+}
+
+let itxn_id it = it.it_id
+
+let itxn_close it =
+  it.it_open <- false;
+  let s = it.it_service in
+  Mutex.lock s.s_mu;
+  s.s_in_flight <- s.s_in_flight - 1;
+  if s.s_in_flight = 0 then Condition.broadcast s.s_idle;
+  Mutex.unlock s.s_mu
+
+(* Abort path shared by kill/runtime-error/rollback: undo under the held
+   locks, then release and wake the queue — exactly [run_job]'s order. *)
+let itxn_abort_internal it reason_metrics =
+  let c = it.it_service.s_core in
+  (match reason_metrics with
+  | Some (Shard_table.Wounded _) ->
+      Atomic.incr c.k_n.n_wounds;
+      tick c (fun p -> Metrics.incr p.pm_wounds)
+  | Some Shard_table.Died ->
+      Atomic.incr c.k_n.n_died;
+      tick c (fun p -> Metrics.incr p.pm_died)
+  | Some (Shard_table.Deadlock_victim | Shard_table.Timed_out) | None -> ());
+  Atomic.incr c.k_n.n_aborts;
+  tick c (fun p -> Metrics.incr p.pm_aborts);
+  record c (History.Abort it.it_id);
+  oemit c (Par_obs.E_abort { txn = it.it_id; attempt = 0; reason = "interactive" });
+  Txn.abort c.k_store it.it_txn;
+  Shard_table.finish c.k_locks it.it_id;
+  ignore (Shard_table.release_all c.k_locks it.it_id);
+  itxn_close it
+
+let itxn_begin s =
+  let c = s.s_core in
+  if not (interactive_supported c.k_scheme) then
+    Error
+      (Printf.sprintf "scheme %s does not support interactive transactions"
+         c.k_scheme.Scheme.name)
+  else begin
+    Mutex.lock s.s_mu;
+    if s.s_closed then begin
+      Mutex.unlock s.s_mu;
+      Error "service is shutting down"
+    end
+    else begin
+      let id = Atomic.fetch_and_add s.s_next_id 1 in
+      s.s_in_flight <- s.s_in_flight + 1;
+      Mutex.unlock s.s_mu;
+      Shard_table.register c.k_locks ~id ~birth:id;
+      let txn = Txn.make ~id ~birth:id in
+      let ctx =
+        {
+          Scheme.txn;
+          acquire =
+            (fun r -> Shard_table.acquire_blocking c.k_locks ~policy:c.k_wait_policy r);
+        }
+      in
+      record c (History.Begin id);
+      oemit c (Par_obs.E_begin { txn = id; attempt = 0 });
+      let it = { it_service = s; it_id = id; it_txn = txn; it_ctx = ctx; it_open = true } in
+      match Exec.begin_txn ~scheme:c.k_scheme ~store:c.k_store ~ctx [] with
+      | () -> Ok it
+      | exception e ->
+          itxn_abort_internal it None;
+          Error (Printexc.to_string e)
+    end
+  end
+
+let itxn_perform it action =
+  let c = it.it_service.s_core in
+  if not it.it_open then Error "transaction is closed"
+  else
+    let on_read oid f = record c (History.Read (it.it_id, oid, f)) in
+    let on_write oid f = record c (History.Write (it.it_id, oid, f)) in
+    match
+      Exec.perform ~scheme:c.k_scheme ~store:c.k_store ~ctx:it.it_ctx ~on_read ~on_write
+        ~max_steps:c.k_config.max_steps action
+    with
+    | () -> Ok ()
+    | exception Shard_table.Aborted reason ->
+        itxn_abort_internal it (Some reason);
+        Error (Printf.sprintf "aborted: %s" (Shard_table.reason_name reason))
+    | exception e ->
+        itxn_abort_internal it None;
+        Error (Printexc.to_string e)
+
+let itxn_commit it =
+  let c = it.it_service.s_core in
+  if not it.it_open then Error "transaction is closed"
+  else
+    match Shard_table.check_killed c.k_locks it.it_id with
+    | () ->
+        Txn.commit it.it_txn;
+        record c (History.Commit it.it_id);
+        oemit c (Par_obs.E_commit { txn = it.it_id; attempt = 0 });
+        Atomic.incr c.k_n.n_commits;
+        tick c (fun p -> Metrics.incr p.pm_commits);
+        Shard_table.finish c.k_locks it.it_id;
+        ignore (Shard_table.release_all c.k_locks it.it_id);
+        itxn_close it;
+        Ok ()
+    | exception Shard_table.Aborted reason ->
+        itxn_abort_internal it (Some reason);
+        Error (Printf.sprintf "aborted: %s" (Shard_table.reason_name reason))
+
+let itxn_rollback it = if it.it_open then itxn_abort_internal it None

@@ -134,3 +134,109 @@ val run :
     older, as in the step engine).  Jobs are dispensed to workers from an
     atomic cursor in list order; every job runs to commit or to
     [max_restarts]. *)
+
+(** {1 Submission service}
+
+    The same engine behind a bounded job queue, for external drivers
+    (the network server front-end) that produce transactions over time
+    instead of as one batch.  [service_start] spawns the worker domains
+    and the detector immediately; they idle on a condition variable
+    until jobs arrive.  The queue bound is the admission-control point:
+    a [submit] against a full queue returns {!Saturated} instead of
+    buffering without limit, and the caller decides whether to shed or
+    retry.  Transaction ids are assigned internally (monotonically from
+    1, so birth = id keeps the age order of the batch driver). *)
+
+type service
+
+type job_status =
+  | Job_committed of { restarts : int }
+  | Job_failed of string
+      (** exceeded [max_restarts], or the interpreter raised *)
+
+type submit_outcome =
+  | Accepted
+  | Saturated  (** queue at capacity — shed or retry later *)
+  | Closed  (** [service_stop] has begun *)
+
+val service_start :
+  ?config:config ->
+  ?queue_capacity:int ->
+  scheme:Scheme.t ->
+  store:Ast.body Tavcc_model.Store.t ->
+  unit ->
+  service
+(** Default [queue_capacity] is 256 queued (not yet running) jobs.
+    @raise Invalid_argument if it is not positive. *)
+
+val submit :
+  service -> actions:Exec.action list -> k:(job_status -> unit) -> submit_outcome
+(** On [Accepted], [k] runs exactly once, on the worker domain that
+    executed the job, after its locks are released.  [k] must not block
+    for long (it occupies a worker) and exceptions it raises are
+    swallowed.  On [Saturated]/[Closed] the job was not enqueued and [k]
+    will never run. *)
+
+val service_backlog : service -> int
+(** Jobs queued and not yet picked up by a worker. *)
+
+val service_in_flight : service -> int
+(** Queued jobs + running jobs + open interactive transactions. *)
+
+val service_drain : service -> unit
+(** Block until [service_in_flight] is 0.  Callers must stop submitting
+    first (or the wait may never end); typically: stop accepting,
+    [service_drain], [service_stop]. *)
+
+val service_waiting : service -> (int * float) list
+(** [Shard_table.waiting_txns] of the underlying lock manager:
+    transactions currently parked, with seconds waited. *)
+
+val service_stop : service -> result
+(** Close the queue (subsequent [submit]s return [Closed]), let the
+    workers drain what is already queued, join them and the detector,
+    and return the aggregate result.  Open interactive transactions are
+    the caller's to resolve {e before} calling this — their locks are
+    not force-released. *)
+
+(** {1 Interactive transactions}
+
+    A session-owned transaction driven one statement at a time on the
+    caller's own thread, against the same shard table the worker domains
+    use — this is what gives a network session Begin/Stmt/Commit
+    pipelining.  Unlike batch jobs there is no automatic restart: any
+    abort (deadlock victim, wound, runtime error) closes the transaction
+    and surfaces as [Error]; the client decides whether to retry.
+
+    Only schemes whose per-access hooks actually acquire locks can run
+    interactively: a preclaiming scheme ([tav-pre]) sees no action list
+    up front and would execute unlocked, and a multi-version scheme
+    needs the whole action list to classify the transaction.  Check
+    {!interactive_supported} first; [itxn_begin] refuses otherwise. *)
+
+type itxn
+
+val interactive_supported : Scheme.t -> bool
+
+val itxn_begin : service -> (itxn, string) Stdlib.result
+(** Registers with the lock manager and counts toward
+    [service_in_flight] until commit or rollback. *)
+
+val itxn_id : itxn -> int
+
+val itxn_perform : itxn -> Exec.action -> (unit, string) Stdlib.result
+(** Runs one action under the scheme's per-access locking.  On [Error]
+    the transaction has been aborted: its writes undone, its locks
+    released, any waiters woken — it is closed and must not be used
+    again.  Must be called from the session's own thread, never a worker
+    domain. *)
+
+val itxn_commit : itxn -> (unit, string) Stdlib.result
+(** Checks the kill flag one last time (the deadlock detector may have
+    chosen this transaction while it was idle between statements); on
+    [Error] the transaction was aborted and released as in
+    {!itxn_perform}. *)
+
+val itxn_rollback : itxn -> unit
+(** Abort and release; counted in [result.aborts].  Idempotent — safe on
+    an already-closed transaction (e.g. teardown after an abort). *)

@@ -189,6 +189,35 @@ let test_metrics_prometheus () =
   Alcotest.(check bool) "no prefix" true
     (contains (Metrics.to_prometheus ~prefix:"" m) "par_commits 5")
 
+let test_metrics_labelled () =
+  (* Labelled series: the base name is sanitised, the label block renders
+     natively, histogram suffixes attach to the base (not after the
+     braces), and [le] merges into an existing label set. *)
+  Alcotest.(check string) "labelled name"
+    "net.session.requests{client=\"blast-0\"}"
+    (Metrics.labelled "net.session.requests" [ ("client", "blast-0") ]);
+  let m = Metrics.create () in
+  Metrics.add
+    (Metrics.counter m (Metrics.labelled "net.session.requests" [ ("client", "blast-0") ]))
+    50;
+  Metrics.observe
+    (Metrics.histogram m (Metrics.labelled "net.req_us" [ ("client", "a\"b\nc\\d") ]))
+    12;
+  let s = Metrics.to_prometheus m in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (Printf.sprintf "exposition contains %S" frag) true
+        (contains s frag))
+    [
+      "tavcc_net_session_requests{client=\"blast-0\"} 50";
+      (* label values escape per the text format; the base still gets
+         sanitised even with labels attached *)
+      "tavcc_net_req_us_count{client=\"a\\\"b\\nc\\\\d\"} 1";
+      "tavcc_net_req_us_bucket{client=\"a\\\"b\\nc\\\\d\",le=\"+Inf\"} 1";
+    ];
+  Alcotest.(check bool) "no suffix after the label block" false
+    (contains s "}_bucket")
+
 (* --- contention profiler --- *)
 
 let test_contention_profiler () =
@@ -483,6 +512,7 @@ let suite =
     case "spsc rings under two producer domains" test_ring_two_domain_hammer;
     case "histogram quantiles" test_metrics_quantiles;
     case "prometheus exposition" test_metrics_prometheus;
+    case "prometheus labelled series" test_metrics_labelled;
     case "contention profiler" test_contention_profiler;
     case "block/grant hand-off pairs across rings" test_par_obs_handoff;
     case "structured stall report" test_stall_report_json;
