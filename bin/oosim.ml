@@ -24,6 +24,8 @@ module Trace = Tavcc_obs.Trace
 module Wire = Tavcc_net.Wire
 module Server = Tavcc_net.Server
 module Blast = Tavcc_net.Blast
+module Storage = Tavcc_storage.Engine
+module Crash_matrix = Tavcc_storage.Crash_matrix
 module Recorder = Tavcc_sanitize.Recorder
 module Monitor = Tavcc_sanitize.Monitor
 module Conform = Tavcc_sanitize.Conform
@@ -114,6 +116,61 @@ let read_file file =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* A flag the user typed but the command would silently ignore is a
+   usage error, not a no-op — refuse with exit 2 like cmdliner does. *)
+let usage_error cmd msg =
+  Printf.eprintf "oosim %s: %s\n" cmd msg;
+  exit 2
+
+(* --- on-disk storage flags (run / serve) --- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let data_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Back the store with the on-disk slotted-page engine (WAL, double-write \
+                 buffer and data file under DIR) instead of the in-memory store.")
+
+let pool_pages_arg =
+  Arg.(value & opt (some int) None
+       & info [ "pool-pages" ] ~docv:"N"
+           ~doc:"Buffer-pool frames for $(b,--data-dir) (default 64); size it below the \
+                 working set to exercise eviction and write-back.")
+
+let storage_config ~dir ~pool_pages =
+  let cfg = Storage.default_config ~dir in
+  match pool_pages with None -> cfg | Some n -> { cfg with Storage.pool_pages = n }
+
+let print_storage_stats st =
+  let p = st.Storage.s_pool in
+  Printf.printf
+    "  storage: %d instances on %d pages; pool %d frames, %d hits / %d misses / %d \
+     evictions; wal %d records (%d bytes)\n"
+    st.Storage.s_instances st.Storage.s_data_pages st.Storage.s_pool_pages
+    p.Tavcc_storage.Buffer_pool.hits p.Tavcc_storage.Buffer_pool.misses
+    p.Tavcc_storage.Buffer_pool.evictions st.Storage.s_wal_records st.Storage.s_wal_bytes
+
+let storage_stats_json st =
+  let p = st.Storage.s_pool in
+  Json.Obj
+    [
+      ("instances", Json.Int st.Storage.s_instances);
+      ("data_pages", Json.Int st.Storage.s_data_pages);
+      ("pool_pages", Json.Int st.Storage.s_pool_pages);
+      ("pool_hits", Json.Int p.Tavcc_storage.Buffer_pool.hits);
+      ("pool_misses", Json.Int p.Tavcc_storage.Buffer_pool.misses);
+      ("evictions", Json.Int p.Tavcc_storage.Buffer_pool.evictions);
+      ("wal_records", Json.Int st.Storage.s_wal_records);
+      ("wal_bytes", Json.Int st.Storage.s_wal_bytes);
+    ]
+
 (* Fan one access out to two passive observers (recorder + lock monitor). *)
 let both_probes a b =
   {
@@ -166,7 +223,9 @@ let print_result name (r : Engine.result) =
 
 let run_cmd =
   let run scheme_names seed txns actions depth fanout per_class extent_prob hot yield policy
-      metrics_fmt trace_out =
+      metrics_fmt trace_out data_dir pool_pages =
+    if pool_pages <> None && data_dir = None then
+      usage_error "run" "--pool-pages is only meaningful with --data-dir";
     let json_mode = metrics_fmt = Some `Json in
     let rng = Rng.create seed in
     let schema =
@@ -187,7 +246,22 @@ let run_cmd =
       List.map
         (fun name ->
           let mk = List.assoc name schemes in
-          let store = Store.create schema in
+          let eng =
+            match data_dir with
+            | None -> None
+            | Some dir ->
+                (* One sub-store per scheme, wiped fresh: the seeded
+                   workload must replay against identical oids. *)
+                let sub = Filename.concat dir name in
+                rm_rf sub;
+                Some
+                  (Storage.create
+                     { (storage_config ~dir:sub ~pool_pages) with
+                       Storage.self_journal = false })
+          in
+          let store =
+            match eng with None -> Store.create schema | Some e -> Storage.store e schema
+          in
           Workload.populate store ~per_class;
           let jobs =
             Workload.random_jobs (Rng.create (seed + 1)) store ~txns ~actions_per_txn:actions
@@ -197,18 +271,33 @@ let run_cmd =
           let sink =
             if trace_out <> None then Sink.ring 1_000_000 else Sink.null
           in
+          let hooks =
+            match eng with
+            | None -> Engine.no_hooks
+            | Some e ->
+                { Engine.no_hooks with Engine.hk_observe = Some (Storage.observe e) }
+          in
           let config =
             { Engine.default_config with seed; yield_on_access = yield; policy; sink;
-              metrics }
+              metrics; hooks }
           in
           let r = Engine.run ~config ~scheme:(mk an) ~store ~jobs () in
+          let st =
+            Option.map
+              (fun e ->
+                let st = Storage.stats e in
+                Storage.close e;
+                st)
+              eng
+          in
           if not json_mode then begin
             print_result name r;
+            Option.iter print_storage_stats st;
             match metrics with
             | Some m -> Format.printf "%a@." Metrics.pp m
             | None -> ()
           end;
-          (name, r, metrics))
+          (name, r, metrics, st))
         names
     in
     (match trace_out with
@@ -218,7 +307,7 @@ let run_cmd =
         let events =
           List.concat
             (List.mapi
-               (fun pid (name, r, _) ->
+               (fun pid (name, r, _, _) ->
                  Trace.process_name ~pid name :: Engine_trace.to_trace ~pid r.Engine.events)
                runs)
         in
@@ -244,12 +333,19 @@ let run_cmd =
             ( "runs",
               Json.List
                 (List.map
-                   (fun (name, r, metrics) ->
-                     let base = result_to_json name policy r in
-                     match (base, metrics) with
-                     | Json.Obj kvs, Some m ->
-                         Json.Obj (kvs @ [ ("metrics", Metrics.to_json m) ])
-                     | _ -> base)
+                   (fun (name, r, metrics, st) ->
+                     let extra =
+                       (match metrics with
+                       | Some m -> [ ("metrics", Metrics.to_json m) ]
+                       | None -> [])
+                       @
+                       match st with
+                       | Some st -> [ ("storage", storage_stats_json st) ]
+                       | None -> []
+                     in
+                     match result_to_json name policy r with
+                     | Json.Obj kvs -> Json.Obj (kvs @ extra)
+                     | j -> j)
                    runs) );
           ]
       in
@@ -284,7 +380,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ scheme_arg $ seed $ txns $ actions $ depth $ fanout $ per_class $ extent_prob
-      $ hot $ yield $ policy_arg $ metrics_arg $ trace_out_arg)
+      $ hot $ yield $ policy_arg $ metrics_arg $ trace_out_arg $ data_dir_arg
+      $ pool_pages_arg)
 
 (* --- par: the multicore driver on the contended slice workload --- *)
 
@@ -295,12 +392,6 @@ let prom_prefix name =
       (fun c ->
         match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
       name
-
-(* A flag the user typed but the command would silently ignore is a
-   usage error, not a no-op — refuse with exit 2 like cmdliner does. *)
-let usage_error cmd msg =
-  Printf.eprintf "oosim %s: %s\n" cmd msg;
-  exit 2
 
 let par_cmd =
   let run scheme_names domains shards seed txns actions methods work instances hot read_frac
@@ -1402,17 +1493,45 @@ let serve_workload ~slices ~work ~read_frac ~instances =
 
 let serve_cmd =
   let run scheme_name addr domains shards policy queue_cap max_sessions drain_grace
-      slices work instances read_frac metrics_fmt prom_out profile top_k =
+      slices work instances read_frac metrics_fmt prom_out profile top_k data_dir
+      pool_pages =
     if top_k <> None && not profile then
       usage_error "serve" "--top is only meaningful with --profile";
+    if pool_pages <> None && data_dir = None then
+      usage_error "serve" "--pool-pages is only meaningful with --data-dir";
     let top_k = Option.value ~default:10 top_k in
-    let an, store, digest = serve_workload ~slices ~work ~read_frac ~instances in
+    let an, store, digest, eng =
+      match data_dir with
+      | None ->
+          let an, store, digest = serve_workload ~slices ~work ~read_frac ~instances in
+          (an, store, digest, None)
+      | Some dir ->
+          (* Durable serve: the directory is reused across restarts —
+             recovery replays the WAL on open, and the deterministic
+             populate only runs the first time, so client-generated oids
+             keep resolving after a crash. *)
+          let readers = if read_frac > 0. then slices else 0 in
+          let schema = Workload.slice_schema ~readers ~methods:slices ~work () in
+          let an = Tavcc_core.Analysis.compile schema in
+          let e = Storage.create (storage_config ~dir ~pool_pages) in
+          let store = Storage.store e schema in
+          if (Storage.stats e).Storage.s_instances = 0 then
+            Workload.populate store ~per_class:instances
+          else
+            Printf.printf "oosim serve: recovered %d instances from %s\n%!"
+              (Storage.stats e).Storage.s_instances dir;
+          let digest = Wire.workload_digest ~slices ~work ~readers ~instances in
+          (an, store, digest, Some e)
+    in
     let scheme = (List.assoc scheme_name schemes) an in
     let metrics =
       if metrics_fmt <> None || prom_out <> None then Some (Metrics.create ()) else None
     in
     let obs = if profile then Some (Par_obs.create ~domains ()) else None in
-    let engine = { Par_engine.default_config with domains; shards; policy; metrics; obs } in
+    let engine =
+      { Par_engine.default_config with domains; shards; policy; metrics; obs;
+        journal = Option.map Storage.journal eng }
+    in
     let cfg =
       {
         (Server.default_config ~addr ~scheme ~store) with
@@ -1444,6 +1563,14 @@ let serve_cmd =
       Unix.sleepf 0.1
     done;
     let r = Server.wait srv in
+    let st =
+      Option.map
+        (fun e ->
+          let st = Storage.stats e in
+          Storage.close e;
+          st)
+        eng
+    in
     let json_mode = metrics_fmt = Some `Json in
     if json_mode then begin
       let doc =
@@ -1457,12 +1584,16 @@ let serve_cmd =
              ("restarts", Json.Int r.Par_engine.restarts);
              ("wall_seconds", Json.Float r.Par_engine.wall_seconds);
            ]
-          @ match metrics with Some m -> [ ("metrics", Metrics.to_json m) ] | None -> [])
+          @ (match metrics with
+            | Some m -> [ ("metrics", Metrics.to_json m) ]
+            | None -> [])
+          @ match st with Some st -> [ ("storage", storage_stats_json st) ] | None -> [])
       in
       print_endline (Json.to_string doc)
     end
     else begin
       Format.printf "oosim serve: drained; %a@." Par_engine.pp_result r;
+      Option.iter print_storage_stats st;
       match metrics with
       | Some m when metrics_fmt <> None -> Format.printf "%a@." Metrics.pp m
       | _ -> ()
@@ -1551,7 +1682,7 @@ let serve_cmd =
     Term.(
       const run $ scheme_arg $ addr $ domains $ shards $ policy_arg $ queue_cap
       $ max_sessions $ drain_grace $ slices $ work $ instances $ read_frac $ metrics_arg
-      $ prom_out $ profile $ top_k)
+      $ prom_out $ profile $ top_k $ data_dir_arg $ pool_pages_arg)
 
 let blast_cmd =
   let run addr clients requests pipeline seed slices work instances hot actions read_frac =
@@ -1641,6 +1772,91 @@ let blast_cmd =
 
 (* --- crosscheck: static ESC001 predictions vs the engine --- *)
 
+(* --- storage: the page-level crash matrix as a CLI gate --- *)
+
+let storage_cmd =
+  let run seed sweep txns objs dir max_states max_plans replay =
+    let cfg =
+      let c = Crash_matrix.default ~dir ~seed () in
+      let c = match txns with Some n -> { c with Crash_matrix.txns = n } | None -> c in
+      let c = match objs with Some n -> { c with Crash_matrix.objs = n } | None -> c in
+      let c =
+        match max_states with Some n -> { c with Crash_matrix.max_states = n } | None -> c
+      in
+      match max_plans with Some n -> { c with Crash_matrix.max_plans = n } | None -> c
+    in
+    match replay with
+    | Some plan_str ->
+        if sweep <> 1 then usage_error "storage" "--sweep is ignored by --replay";
+        let plan =
+          try Fault.of_string plan_str
+          with Invalid_argument msg ->
+            Printf.eprintf "oosim storage: %s\n" msg;
+            exit 2
+        in
+        let violations, digest, fired = Crash_matrix.run_plan cfg plan in
+        Printf.printf "seed %d, plan %s: injection %s, replay digest %s\n" cfg.Crash_matrix.seed
+          plan_str
+          (if fired then "fired" else "did not fire")
+          digest;
+        List.iter (fun v -> Printf.printf "  VIOLATION: %s\n" v) violations;
+        if violations = [] then begin
+          print_endline "recovery consistent with the committed-prefix oracle";
+          0
+        end
+        else 1
+    | None ->
+        let all_ok = ref true in
+        for s = seed to seed + sweep - 1 do
+          let r = Crash_matrix.run { cfg with Crash_matrix.seed = s } in
+          Format.printf "%a@." Crash_matrix.pp_report r;
+          if not (Crash_matrix.ok r) then all_ok := false
+        done;
+        if !all_ok then 0 else 1
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"First matrix seed.") in
+  let sweep =
+    Arg.(value & opt int 1
+         & info [ "sweep" ] ~docv:"K"
+             ~doc:"Run the full matrix for K consecutive seeds starting at $(b,--seed).")
+  in
+  let txns =
+    Arg.(value & opt (some int) None
+         & info [ "t"; "txns" ] ~docv:"N" ~doc:"Driver transactions per run (default 24).")
+  in
+  let objs =
+    Arg.(value & opt (some int) None
+         & info [ "objs" ] ~docv:"N"
+             ~doc:"Instances populated before the first checkpoint (default 96).")
+  in
+  let dir =
+    Arg.(value & opt string "_crash_matrix"
+         & info [ "dir" ] ~docv:"DIR" ~doc:"Scratch directory for the matrix stores.")
+  in
+  let max_states =
+    Arg.(value & opt (some int) None
+         & info [ "max-states" ] ~docv:"N"
+             ~doc:"Cap on state-sweep snapshots recovered per run (default 120).")
+  in
+  let max_plans =
+    Arg.(value & opt (some int) None
+         & info [ "max-plans" ] ~docv:"N"
+             ~doc:"Cap on injected crash plans per run (default 48).")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"PLAN"
+             ~doc:"Replay one fault plan (the $(b,plan) string a failing report prints) \
+                   instead of sweeping the matrix; deterministic bit-for-bit.")
+  in
+  let doc =
+    "torture the on-disk engine: crash at every WAL and page-write boundary, recover, \
+     compare against the committed-prefix oracle"
+  in
+  Cmd.v (Cmd.info "storage" ~doc)
+    Term.(
+      const run $ seed $ sweep $ txns $ objs $ dir $ max_states $ max_plans $ replay)
+
 let crosscheck_cmd =
   let run seed txns levels =
     let o = Crosscheck.run_e4 ~seed ~txns ~levels () in
@@ -1667,7 +1883,7 @@ let main =
     (Cmd.info "oosim" ~version:"1.0.0" ~doc)
     [
       run_cmd; par_cmd; top_cmd; scenario_cmd; escalation_cmd; chaos_cmd; sanitize_cmd;
-      serve_cmd; blast_cmd; crosscheck_cmd;
+      serve_cmd; blast_cmd; storage_cmd; crosscheck_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -6,8 +6,8 @@ open Tavcc_recovery
    Tokens are concatenated with no separators beyond their own
    terminators: ints are decimal with a trailing ',', strings are
    length-prefixed, floats are the fixed 16 hex digits of their IEEE
-   bits.  Record tags: B(egin) U(pdate) C(lr) T(commit) A(bort)
-   K(checkpoint). *)
+   bits.  Record tags: B(egin) U(pdate) C(lr) I(nsert) D(elete)
+   T(commit) A(bort) K(checkpoint). *)
 
 let enc_int b n =
   Buffer.add_string b (string_of_int n);
@@ -52,6 +52,28 @@ let payload (r : Wal.record) =
       enc_int b (Oid.to_int oid);
       enc_str b (Name.Field.to_string field);
       enc_value b after
+  | Wal.Insert { txn; oid; cls; slots } ->
+      Buffer.add_char b 'I';
+      enc_int b txn;
+      enc_int b (Oid.to_int oid);
+      enc_str b (Name.Class.to_string cls);
+      enc_int b (List.length slots);
+      List.iter
+        (fun (f, v) ->
+          enc_str b (Name.Field.to_string f);
+          enc_value b v)
+        slots
+  | Wal.Delete { txn; oid; cls; slots } ->
+      Buffer.add_char b 'D';
+      enc_int b txn;
+      enc_int b (Oid.to_int oid);
+      enc_str b (Name.Class.to_string cls);
+      enc_int b (List.length slots);
+      List.iter
+        (fun (f, v) ->
+          enc_str b (Name.Field.to_string f);
+          enc_value b v)
+        slots
   | Wal.Commit txn ->
       Buffer.add_char b 'T';
       enc_int b txn
@@ -64,11 +86,30 @@ let payload (r : Wal.record) =
       List.iter (enc_int b) active);
   Buffer.contents b
 
-let checksum payload = String.sub (Digest.to_hex (Digest.string payload)) 0 8
+let hex_digits = "0123456789abcdef"
+
+let to_hex8 v =
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.unsafe_set b i hex_digits.[(v lsr ((7 - i) * 4)) land 15]
+  done;
+  Bytes.unsafe_to_string b
+
+(* FNV-1a folded to 32 bits: torn/flipped-frame detection, not crypto —
+   and an order of magnitude cheaper than a digest on the per-record
+   logging path. *)
+let checksum payload =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun ch -> h := (!h lxor Char.code ch) * 0x01000193 land 0xffffffff) payload;
+  to_hex8 !h
 
 let encode_record r =
   let p = payload r in
-  Printf.sprintf "%08x%s%s" (String.length p) (checksum p) p
+  let b = Buffer.create (String.length p + 16) in
+  Buffer.add_string b (to_hex8 (String.length p));
+  Buffer.add_string b (checksum p);
+  Buffer.add_string b p;
+  Buffer.contents b
 
 let encode rs = String.concat "" (List.map encode_record rs)
 
@@ -140,6 +181,22 @@ let dec_record p : Wal.record =
         let field = Name.Field.of_string (dec_str c) in
         let after = dec_value c in
         Wal.Clr { txn; oid; field; after }
+    | 'I' | 'D' as tag ->
+        let txn = dec_int c in
+        let oid = Oid.of_int (dec_int c) in
+        let cls = Name.Class.of_string (dec_str c) in
+        let n = dec_int c in
+        if n < 0 then raise Torn;
+        let rec slots_of i acc =
+          if i = n then List.rev acc
+          else
+            let f = Name.Field.of_string (dec_str c) in
+            let v = dec_value c in
+            slots_of (i + 1) ((f, v) :: acc)
+        in
+        let slots = slots_of 0 [] in
+        if tag = 'I' then Wal.Insert { txn; oid; cls; slots }
+        else Wal.Delete { txn; oid; cls; slots }
     | 'T' -> Wal.Commit (dec_int c)
     | 'A' -> Wal.Abort (dec_int c)
     | 'K' ->

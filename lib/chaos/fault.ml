@@ -4,6 +4,9 @@ type injection =
   | Torn_flush of { nth : int; keep : int }
   | Delay of { step : int; txn : int; ticks : int }
   | Forced_abort of { step : int; txn : int }
+  | Crash_at_page_write of int
+  | Torn_page of { nth : int; keep : int }
+  | Crash_in_checkpoint of int
 
 type schedule = Random_sched of int | Fixed of int list
 
@@ -17,6 +20,9 @@ let injection_to_string = function
   | Torn_flush { nth; keep } -> Printf.sprintf "torn:%d:%d" nth keep
   | Delay { step; txn; ticks } -> Printf.sprintf "delay:%d:%d:%d" step txn ticks
   | Forced_abort { step; txn } -> Printf.sprintf "abort:%d:%d" step txn
+  | Crash_at_page_write n -> Printf.sprintf "cpw:%d" n
+  | Torn_page { nth; keep } -> Printf.sprintf "tpg:%d:%d" nth keep
+  | Crash_in_checkpoint n -> Printf.sprintf "cck:%d" n
 
 let schedule_to_string = function
   | Random_sched seed -> Printf.sprintf "r:%d" seed
@@ -37,6 +43,9 @@ let injection_of_string part =
   | [ "delay"; step; txn; ticks ] ->
       Delay { step = int_of part step; txn = int_of part txn; ticks = int_of part ticks }
   | [ "abort"; step; txn ] -> Forced_abort { step = int_of part step; txn = int_of part txn }
+  | [ "cpw"; n ] -> Crash_at_page_write (int_of part n)
+  | [ "tpg"; nth; keep ] -> Torn_page { nth = int_of part nth; keep = int_of part keep }
+  | [ "cck"; n ] -> Crash_in_checkpoint (int_of part n)
   | _ -> bad part
 
 let schedule_of_string part =

@@ -21,6 +21,20 @@ type injection =
   | Forced_abort of { step : int; txn : int }
       (** abort [txn] externally at the first step [>= step] where it is
           parked or yielded, as a deadlock victim would be *)
+  | Crash_at_page_write of int
+      (** disk layer ({!Tavcc_storage}): crash immediately {e before} the
+          [n]-th data-page write-back (1-based) — the WAL was already
+          forced up to the page's LSN, the page image is the old one *)
+  | Torn_page of { nth : int; keep : int }
+      (** disk layer: the [nth] page write-back writes only [keep] bytes
+          of the page image and then the process dies — a torn page the
+          checksummed header must catch and the double-write buffer must
+          repair *)
+  | Crash_in_checkpoint of int
+      (** disk layer: crash at the [n]-th IO event (1-based, counting
+          WAL/page/dblwr/meta writes) {e inside} the next fuzzy
+          checkpoint — if the checkpoint performs fewer IOs the crash
+          fires at its end *)
 
 (** How the pluggable scheduler picks among ready transactions. *)
 type schedule =
@@ -40,7 +54,8 @@ val to_string : plan -> string
 (** E.g. ["r:42;ca:17;torn:3:9;delay:5:2:10;abort:9:3"] — the schedule
     first ([r:<seed>] or [f:<i>.<i>...]), then each injection:
     [ca:<n>] / [cf:<n>] for crashes, [torn:<nth>:<keep>],
-    [delay:<step>:<txn>:<ticks>], [abort:<step>:<txn>]. *)
+    [delay:<step>:<txn>:<ticks>], [abort:<step>:<txn>], and the
+    disk-layer points [cpw:<n>], [tpg:<nth>:<keep>], [cck:<n>]. *)
 
 val of_string : string -> plan
 (** Inverse of {!to_string}.  @raise Invalid_argument on a malformed

@@ -149,7 +149,9 @@ let committed_replay store log =
           match Hashtbl.find_opt pending txn with
           | Some l -> Hashtbl.replace pending txn ((oid, field, after) :: l)
           | None -> ())
-      | Wal.Clr _ -> ()
+      (* Insert/Delete never occur in mirror logs (the in-memory Manager
+         logs field updates only). *)
+      | Wal.Clr _ | Wal.Insert _ | Wal.Delete _ -> ()
       | Wal.Commit t -> (
           match Hashtbl.find_opt pending t with
           | Some l ->

@@ -3,11 +3,34 @@ module FN = Name.Field
 
 type instance = { cls : CN.t; slots : Value.t array }
 
-type 'b t = {
-  schema : 'b Schema.t;
+(* The volatile backend: everything lives in hashtables. *)
+type mem = {
   gen : Oid.Gen.t;
   objects : (int, instance) Hashtbl.t;
   extents : (string, Oid.t list ref) Hashtbl.t;  (* keyed by class name, newest first *)
+}
+
+(* An external (disk-resident) backend supplies slot-level primitives;
+   the store keeps schema validation and name resolution on top, so
+   Exec / Par_engine / net see the exact same API either way. *)
+type ext = {
+  x_insert : CN.t -> (FN.t * Value.t) array -> Oid.t;
+  x_delete : Oid.t -> unit;
+  x_exists : Oid.t -> bool;
+  x_class_of : Oid.t -> CN.t option;
+  x_read : Oid.t -> int -> Value.t;
+  x_write : Oid.t -> int -> FN.t -> Value.t -> unit;
+  x_field_count : Oid.t -> int;
+  x_extent : CN.t -> Oid.t list;
+  x_count : unit -> int;
+}
+
+type impl = Mem of mem | Ext of ext
+
+type 'b t = {
+  schema : 'b Schema.t;
+  impl : impl;
+  layouts : (string, FN.t array) Hashtbl.t;  (* class -> field names in slot order *)
 }
 
 exception Unknown_oid of Oid.t
@@ -15,20 +38,35 @@ exception Unknown_field of CN.t * FN.t
 exception Type_mismatch of CN.t * FN.t * Value.t
 
 let create schema =
-  { schema; gen = Oid.Gen.create (); objects = Hashtbl.create 256; extents = Hashtbl.create 16 }
+  {
+    schema;
+    impl =
+      Mem { gen = Oid.Gen.create (); objects = Hashtbl.create 256; extents = Hashtbl.create 16 };
+    layouts = Hashtbl.create 16;
+  }
 
+let create_ext schema ext = { schema; impl = Ext ext; layouts = Hashtbl.create 16 }
 let schema s = s.schema
 
-let extent_ref s c =
+let layout s c =
   let k = CN.to_string c in
-  match Hashtbl.find_opt s.extents k with
+  match Hashtbl.find_opt s.layouts k with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list (List.map (fun fd -> fd.Schema.f_name) (Schema.fields s.schema c)) in
+      Hashtbl.replace s.layouts k a;
+      a
+
+let extent_ref m c =
+  let k = CN.to_string c in
+  match Hashtbl.find_opt m.extents k with
   | Some r -> r
   | None ->
       let r = ref [] in
-      Hashtbl.replace s.extents k r;
+      Hashtbl.replace m.extents k r;
       r
 
-let new_instance ?(init = []) s c =
+let initial_slots s c init =
   let fields = Schema.fields s.schema c in
   let slots = Array.of_list (List.map (fun fd -> Value.default fd.Schema.f_ty) fields) in
   List.iter
@@ -40,51 +78,96 @@ let new_instance ?(init = []) s c =
           if not (Value.matches fd.Schema.f_ty v) then raise (Type_mismatch (c, f, v));
           slots.(i) <- v)
     init;
-  let oid = Oid.Gen.fresh s.gen in
-  Hashtbl.replace s.objects (Oid.to_int oid) { cls = c; slots };
-  let r = extent_ref s c in
-  r := oid :: !r;
-  oid
+  slots
 
-let find s oid =
-  match Hashtbl.find_opt s.objects (Oid.to_int oid) with
+let new_instance ?(init = []) s c =
+  let slots = initial_slots s c init in
+  match s.impl with
+  | Mem m ->
+      let oid = Oid.Gen.fresh m.gen in
+      Hashtbl.replace m.objects (Oid.to_int oid) { cls = c; slots };
+      let r = extent_ref m c in
+      r := oid :: !r;
+      oid
+  | Ext x ->
+      let names = layout s c in
+      x.x_insert c (Array.mapi (fun i v -> (names.(i), v)) slots)
+
+let find m oid =
+  match Hashtbl.find_opt m.objects (Oid.to_int oid) with
   | Some i -> i
   | None -> raise (Unknown_oid oid)
 
+let exists s oid =
+  match s.impl with Mem m -> Hashtbl.mem m.objects (Oid.to_int oid) | Ext x -> x.x_exists oid
+
+let class_of s oid =
+  match s.impl with
+  | Mem m -> (find m oid).cls
+  | Ext x -> ( match x.x_class_of oid with Some c -> c | None -> raise (Unknown_oid oid))
+
 let delete_instance s oid =
-  let i = find s oid in
-  Hashtbl.remove s.objects (Oid.to_int oid);
-  let r = extent_ref s i.cls in
-  r := List.filter (fun o -> not (Oid.equal o oid)) !r
+  match s.impl with
+  | Mem m ->
+      let i = find m oid in
+      Hashtbl.remove m.objects (Oid.to_int oid);
+      let r = extent_ref m i.cls in
+      r := List.filter (fun o -> not (Oid.equal o oid)) !r
+  | Ext x ->
+      if not (x.x_exists oid) then raise (Unknown_oid oid);
+      x.x_delete oid
 
-let exists s oid = Hashtbl.mem s.objects (Oid.to_int oid)
-let class_of s oid = (find s oid).cls
-
-let index_of s inst f =
-  match Schema.field_index s.schema inst.cls f with
+let index_of s cls f =
+  match Schema.field_index s.schema cls f with
   | Some i -> i
-  | None -> raise (Unknown_field (inst.cls, f))
+  | None -> raise (Unknown_field (cls, f))
 
 let read s oid f =
-  let inst = find s oid in
-  inst.slots.(index_of s inst f)
+  match s.impl with
+  | Mem m ->
+      let inst = find m oid in
+      inst.slots.(index_of s inst.cls f)
+  | Ext x -> x.x_read oid (index_of s (class_of s oid) f)
+
+let check_ty s cls f v =
+  let fd =
+    match Schema.field_def s.schema cls f with
+    | Some fd -> fd
+    | None -> raise (Unknown_field (cls, f))
+  in
+  if not (Value.matches fd.Schema.f_ty v) then raise (Type_mismatch (cls, f, v))
 
 let write s oid f v =
-  let inst = find s oid in
-  let fd =
-    match Schema.field_def s.schema inst.cls f with
-    | Some fd -> fd
-    | None -> raise (Unknown_field (inst.cls, f))
-  in
-  if not (Value.matches fd.Schema.f_ty v) then raise (Type_mismatch (inst.cls, f, v));
-  inst.slots.(index_of s inst f) <- v
+  match s.impl with
+  | Mem m ->
+      let inst = find m oid in
+      check_ty s inst.cls f v;
+      inst.slots.(index_of s inst.cls f) <- v
+  | Ext x ->
+      let cls = class_of s oid in
+      check_ty s cls f v;
+      x.x_write oid (index_of s cls f) f v
 
-let read_idx s oid i = (find s oid).slots.(i)
-let write_idx s oid i v = (find s oid).slots.(i) <- v
-let field_count s oid = Array.length (find s oid).slots
-let extent s c = List.rev !(extent_ref s c)
+let read_idx s oid i =
+  match s.impl with Mem m -> (find m oid).slots.(i) | Ext x -> x.x_read oid i
+
+let write_idx s oid i v =
+  match s.impl with
+  | Mem m -> (find m oid).slots.(i) <- v
+  | Ext x ->
+      let names = layout s (class_of s oid) in
+      x.x_write oid i names.(i) v
+
+let field_count s oid =
+  match s.impl with
+  | Mem m -> Array.length (find m oid).slots
+  | Ext x -> x.x_field_count oid
+
+let extent s c =
+  match s.impl with Mem m -> List.rev !(extent_ref m c) | Ext x -> x.x_extent c
 
 let deep_extent s c =
   List.concat_map (fun c' -> extent s c') (Schema.domain s.schema c)
 
-let instance_count s = Hashtbl.length s.objects
+let instance_count s =
+  match s.impl with Mem m -> Hashtbl.length m.objects | Ext x -> x.x_count ()

@@ -1,10 +1,15 @@
-(** In-memory object store.
+(** Object store: schema-validated instances behind a pluggable backend.
 
     Instances pertain to exactly one class (sec. 2.1 of the paper).  Field
     slots are laid out according to {!Schema.fields} order; reads and writes
     go either by name or by precomputed index.  The store also maintains
     class extents (the proper instances of a class) and deep extents
-    (instances of a whole domain). *)
+    (instances of a whole domain).
+
+    {!create} gives the volatile in-memory backend; {!create_ext} mounts an
+    external slot-level backend (the disk-resident page store of
+    [Tavcc_storage]) behind the exact same API, so every execution engine
+    runs unmodified over either. *)
 
 type 'b t
 
@@ -13,6 +18,28 @@ exception Unknown_field of Name.Class.t * Name.Field.t
 exception Type_mismatch of Name.Class.t * Name.Field.t * Value.t
 
 val create : 'b Schema.t -> 'b t
+
+(** Slot-level primitives an external backend must provide.  The store
+    wrapper performs schema validation and name→index resolution before
+    calling them, and never caches their answers: [x_extent] / [x_exists]
+    are re-consulted on every call so a recovering backend stays
+    authoritative.  [x_insert] receives the initial slots in
+    {!Schema.fields} order, each paired with its field name (backends
+    persist names so their logs replay without a schema); [x_write]
+    receives both the slot index and the field name. *)
+type ext = {
+  x_insert : Name.Class.t -> (Name.Field.t * Value.t) array -> Oid.t;
+  x_delete : Oid.t -> unit;
+  x_exists : Oid.t -> bool;
+  x_class_of : Oid.t -> Name.Class.t option;
+  x_read : Oid.t -> int -> Value.t;
+  x_write : Oid.t -> int -> Name.Field.t -> Value.t -> unit;
+  x_field_count : Oid.t -> int;
+  x_extent : Name.Class.t -> Oid.t list;
+  x_count : unit -> int;
+}
+
+val create_ext : 'b Schema.t -> ext -> 'b t
 val schema : 'b t -> 'b Schema.t
 
 val new_instance : ?init:(Name.Field.t * Value.t) list -> 'b t -> Name.Class.t -> Oid.t

@@ -26,6 +26,13 @@ type config = {
     holds:(Tavcc_lock.Resource.t -> (int * bool) list) ->
     Exec.probe)
     option;
+  journal : journal option;
+}
+
+and journal = {
+  j_begin : int -> unit;
+  j_commit : int -> unit;
+  j_abort : int -> unit;
 }
 
 let default_config =
@@ -43,6 +50,7 @@ let default_config =
     obs = None;
     stall_sink = Tavcc_obs.Sink.null;
     probe = None;
+    journal = None;
   }
 
 type result = {
@@ -325,9 +333,11 @@ let run_job c ~dom (id, actions) =
       (fun mk -> mk ~dom ~txn:id ~holds:(Shard_table.holds locks id))
       config.probe
   in
+  let jn f = match config.journal with Some j -> f j | None -> () in
   let rec attempt n txn : job_status =
     Shard_table.register locks ~id ~birth:id;
     oemit c (Par_obs.E_begin { txn = id; attempt = n });
+    jn (fun j -> j.j_begin id);
     let began = Unix.gettimeofday () in
     let finish_and_release () =
       Shard_table.finish locks id;
@@ -421,6 +431,9 @@ let run_job c ~dom (id, actions) =
         | None -> ());
         session := None;
         Txn.commit txn;
+        (* Force the WAL while the locks are still held: a journalled
+           commit is durable before anyone can read its effects. *)
+        jn (fun j -> j.j_commit id);
         record c (History.Commit id);
         oemit c (Par_obs.E_commit { txn = id; attempt = n });
         Atomic.incr c.k_n.n_commits;
@@ -449,6 +462,7 @@ let run_job c ~dom (id, actions) =
         (* Undo while the locks are still held (strict 2PL), then
            release and wake whoever was queued behind us. *)
         Txn.abort store txn;
+        jn (fun j -> j.j_abort id);
         finish_and_release ();
         retry_or_fail ()
     | exception Scheme.Validation_failed ->
@@ -461,6 +475,7 @@ let run_job c ~dom (id, actions) =
         tick c (fun p -> Metrics.incr p.pm_aborts);
         record c (History.Abort id);
         Txn.abort store txn;
+        jn (fun j -> j.j_abort id);
         finish_and_release ();
         retry_or_fail ()
     | exception e ->
@@ -468,6 +483,7 @@ let run_job c ~dom (id, actions) =
         oemit c (Par_obs.E_abort { txn = id; attempt = n; reason = "failed" });
         record c (History.Abort id);
         Txn.abort store txn;
+        jn (fun j -> j.j_abort id);
         finish_and_release ();
         let msg = Printexc.to_string e in
         add_failed c id msg;
@@ -709,6 +725,7 @@ let itxn_abort_internal it reason_metrics =
   record c (History.Abort it.it_id);
   oemit c (Par_obs.E_abort { txn = it.it_id; attempt = 0; reason = "interactive" });
   Txn.abort c.k_store it.it_txn;
+  (match c.k_config.journal with Some j -> j.j_abort it.it_id | None -> ());
   Shard_table.finish c.k_locks it.it_id;
   ignore (Shard_table.release_all c.k_locks it.it_id);
   itxn_close it
@@ -730,6 +747,7 @@ let itxn_begin s =
       s.s_in_flight <- s.s_in_flight + 1;
       Mutex.unlock s.s_mu;
       Shard_table.register c.k_locks ~id ~birth:id;
+      (match c.k_config.journal with Some j -> j.j_begin id | None -> ());
       let txn = Txn.make ~id ~birth:id in
       let ctx =
         {
@@ -774,6 +792,7 @@ let itxn_commit it =
     match Shard_table.check_killed c.k_locks it.it_id with
     | () ->
         Txn.commit it.it_txn;
+        (match c.k_config.journal with Some j -> j.j_commit it.it_id | None -> ());
         record c (History.Commit it.it_id);
         oemit c (Par_obs.E_commit { txn = it.it_id; attempt = 0 });
         Atomic.incr c.k_n.n_commits;

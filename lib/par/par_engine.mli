@@ -90,6 +90,23 @@ type config = {
           granted — feed observations through domain-local structures
           (one {!Tavcc_sanitize.Recorder}/{!Tavcc_sanitize.Monitor} per
           domain) to keep the hot path mutex-free. *)
+  journal : journal option;
+      (** durability hooks, called on the thread that runs the
+          transaction (writes between them run on the same thread, so a
+          thread-keyed ambient transaction works): [j_begin] right after
+          the transaction registers with the lock manager, [j_commit]
+          after a successful commit {e while the locks are still held}
+          (a journalled commit must be durable before its effects are
+          readable), and [j_abort] after [Txn.abort] rolled the store
+          back, also under the locks.  [Tavcc_storage.Engine.journal]
+          builds the record for the disk-resident store. *)
+}
+
+(** See {!config.journal}. *)
+and journal = {
+  j_begin : int -> unit;
+  j_commit : int -> unit;
+  j_abort : int -> unit;
 }
 
 val default_config : config

@@ -123,7 +123,9 @@ module Restart = struct
       (function
         | Wal.Begin t -> Hashtbl.replace state t `Active
         | Wal.Commit t | Wal.Abort t -> Hashtbl.replace state t `Ended
-        | Wal.Update _ | Wal.Clr _ | Wal.Checkpoint _ -> ())
+        (* Insert/Delete only appear in disk-layer logs (lib/storage);
+           they carry no begin/end information. *)
+        | Wal.Update _ | Wal.Clr _ | Wal.Insert _ | Wal.Delete _ | Wal.Checkpoint _ -> ())
       log;
     Hashtbl.fold (fun t s acc -> if s = `Active then t :: acc else acc) state []
     |> List.sort Int.compare

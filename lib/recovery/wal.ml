@@ -12,9 +12,27 @@ type record =
       after : Value.t;
     }
   | Clr of { txn : int; oid : Oid.t; field : Name.Field.t; after : Value.t }
+  | Insert of {
+      txn : int;
+      oid : Oid.t;
+      cls : Name.Class.t;
+      slots : (Name.Field.t * Value.t) list;
+    }
+  | Delete of {
+      txn : int;
+      oid : Oid.t;
+      cls : Name.Class.t;
+      slots : (Name.Field.t * Value.t) list;
+    }
   | Commit of int
   | Abort of int
   | Checkpoint of int list
+
+let pp_slots ppf slots =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+    (fun ppf (f, v) -> Format.fprintf ppf "%a=%a" Name.Field.pp f Value.pp v)
+    ppf slots
 
 let pp_record ppf = function
   | Begin t -> Format.fprintf ppf "begin(%d)" t
@@ -23,6 +41,10 @@ let pp_record ppf = function
         before Value.pp after
   | Clr { txn; oid; field; after } ->
       Format.fprintf ppf "clr(%d,%a.%a:=%a)" txn Oid.pp oid Name.Field.pp field Value.pp after
+  | Insert { txn; oid; cls; slots } ->
+      Format.fprintf ppf "ins(%d,%a:%a{%a})" txn Oid.pp oid Name.Class.pp cls pp_slots slots
+  | Delete { txn; oid; cls; slots } ->
+      Format.fprintf ppf "del(%d,%a:%a{%a})" txn Oid.pp oid Name.Class.pp cls pp_slots slots
   | Commit t -> Format.fprintf ppf "commit(%d)" t
   | Abort t -> Format.fprintf ppf "abort(%d)" t
   | Checkpoint ts ->

@@ -29,6 +29,24 @@ type record =
   | Clr of { txn : int; oid : Oid.t; field : Name.Field.t; after : Value.t }
       (** compensation record written while rolling an update back;
           redo-only — restart never undoes a CLR *)
+  | Insert of {
+      txn : int;
+      oid : Oid.t;
+      cls : Name.Class.t;
+      slots : (Name.Field.t * Value.t) list;
+    }
+      (** instance creation, with its initial projection (the disk layer
+          redoes it at the same oid; undo deletes the instance).  The
+          in-memory {!Restart} ignores it — a volatile store cannot
+          re-create at a fixed oid and never logs one. *)
+  | Delete of {
+      txn : int;
+      oid : Oid.t;
+      cls : Name.Class.t;
+      slots : (Name.Field.t * Value.t) list;
+    }
+      (** instance removal carrying the full before-image so a loser's
+          delete can be compensated by re-insertion *)
   | Commit of int
   | Abort of int
   | Checkpoint of int list  (** transaction ids active at the checkpoint *)

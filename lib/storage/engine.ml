@@ -1,0 +1,892 @@
+open Tavcc_model
+open Tavcc_recovery
+module Codec = Tavcc_chaos.Codec
+module CN = Name.Class
+module FN = Name.Field
+
+exception Crashed of string
+
+type io_point =
+  | Wal_write of int
+  | Page_write of int
+  | Dblwr_write of int
+  | Meta_write
+  | Ckpt_begin
+  | Ckpt_end
+
+type io_action = Proceed | Torn of int
+
+type sync = Buffered | Fsync
+
+type config = {
+  dir : string;
+  page_size : int;
+  pool_pages : int;
+  self_journal : bool;
+  sync : sync;
+  cache_entries : int;
+  metrics : Tavcc_obs.Metrics.t option;
+  io_hook : (io_point -> io_action) option;
+}
+
+let default_config ~dir =
+  {
+    dir;
+    page_size = 4096;
+    pool_pages = 64;
+    self_journal = true;
+    sync = Buffered;
+    cache_entries = 0;
+    metrics = None;
+    io_hook = None;
+  }
+
+type rid = { mutable r_pid : int; mutable r_slot : int; r_cls : string }
+
+type obs = {
+  c_page_reads : Tavcc_obs.Metrics.counter;
+  c_page_writes : Tavcc_obs.Metrics.counter;
+  c_wal_bytes : Tavcc_obs.Metrics.counter;
+  c_ckpts : Tavcc_obs.Metrics.counter;
+  c_cache_hits : Tavcc_obs.Metrics.counter;
+  c_cache_misses : Tavcc_obs.Metrics.counter;
+}
+
+type t = {
+  cfg : config;
+  mu : Mutex.t;
+  data_fd : Unix.file_descr;
+  wal_fd : Unix.file_descr;
+  dblwr_fd : Unix.file_descr;
+  wal : Wal.t;
+  mutable pending : string list; (* encoded, newest first, not yet on disk *)
+  mutable wal_bytes : int;
+  mutable dblwr_bytes : int;
+  mutable pool : Buffer_pool.t; (* knot-tied after create *)
+  dir_tbl : (int, rid) Hashtbl.t;
+  extents : (string, int list ref) Hashtbl.t; (* highest oid first *)
+  free : (int, int) Hashtbl.t; (* pid -> insert-capacity hint *)
+  mutable next_oid : int;
+  mutable next_pid : int; (* page 0 is the meta page *)
+  mutable ckpt_lsn : int;
+  cache : (int, Value.t array) Hashtbl.t;
+  cache_ring : int array; (* eviction ring over cached oids; -1 = free *)
+  mutable cache_cur : int;
+  active : (int, unit) Hashtbl.t;
+  ambient : (int * int, int) Hashtbl.t;
+  obs : obs option;
+  mutable hooks_on : bool;
+  mutable in_recovery : bool;
+}
+
+let bump t f = match t.obs with None -> () | Some o -> Tavcc_obs.Metrics.incr (f o)
+let bumpn t f n = match t.obs with None -> () | Some o -> Tavcc_obs.Metrics.add (f o) n
+
+(* --- low-level file IO --- *)
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n = Unix.write fd b pos len in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let pwrite_at fd off b =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  write_all fd b 0 (Bytes.length b)
+
+let pread_at fd off len =
+  let b = Bytes.make len '\000' in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let rec go pos =
+    if pos < len then
+      let n = Unix.read fd b pos (len - pos) in
+      if n > 0 then go (pos + n)
+  in
+  go 0;
+  b
+
+let read_whole fd =
+  let len = (Unix.fstat fd).Unix.st_size in
+  Bytes.to_string (pread_at fd 0 len)
+
+let maybe_fsync t fd = if t.cfg.sync = Fsync then Unix.fsync fd
+
+let hook t pt =
+  if t.hooks_on && not t.in_recovery then
+    match t.cfg.io_hook with None -> Proceed | Some h -> h pt
+  else Proceed
+
+let hooked_write t pt fd off b =
+  match hook t pt with
+  | Proceed -> pwrite_at fd off b
+  | Torn k ->
+      pwrite_at fd off (Bytes.sub b 0 (max 0 (min k (Bytes.length b))));
+      raise (Crashed "torn write")
+
+(* --- WAL --- *)
+
+let log t r =
+  let lsn = Wal.append t.wal r in
+  t.pending <- Codec.encode_record r :: t.pending;
+  lsn
+
+let wal_flush t =
+  if t.pending <> [] then begin
+    let payload = String.concat "" (List.rev t.pending) in
+    hooked_write t (Wal_write (String.length payload)) t.wal_fd t.wal_bytes
+      (Bytes.of_string payload);
+    t.wal_bytes <- t.wal_bytes + String.length payload;
+    t.pending <- [];
+    maybe_fsync t t.wal_fd;
+    bumpn t (fun o -> o.c_wal_bytes) (String.length payload);
+    Wal.flush t.wal
+  end
+
+(* --- double-write buffer --- *)
+
+let dblwr_entry pid img =
+  let plen = 8 + Bytes.length img in
+  let b = Bytes.create (16 + plen) in
+  Bytes.blit_string (Page.to_hex8 plen) 0 b 0 8;
+  Bytes.blit_string (Page.to_hex8 pid) 0 b 16 8;
+  Bytes.blit img 0 b 24 (Bytes.length img);
+  Bytes.blit_string (Page.sum8_sub b 16 plen) 0 b 8 8;
+  b
+
+let dblwr_decode s =
+  (* longest valid prefix of (pid, page image) entries; later entries for
+     the same pid win *)
+  let entries = Hashtbl.create 8 in
+  let pos = ref 0 in
+  let n = String.length s in
+  (try
+     while !pos + 16 <= n do
+       let len =
+         match int_of_string_opt ("0x" ^ String.sub s !pos 8) with
+         | Some l when l >= 8 && !pos + 16 + l <= n -> l
+         | _ -> raise Exit
+       in
+       let sum = String.sub s (!pos + 8) 8 in
+       let payload = String.sub s (!pos + 16) len in
+       if Page.sum8 payload <> sum then raise Exit;
+       (match int_of_string_opt ("0x" ^ String.sub payload 0 8) with
+       | Some pid ->
+           Hashtbl.replace entries pid (Bytes.of_string (String.sub payload 8 (len - 8)))
+       | None -> raise Exit);
+       pos := !pos + 16 + len
+     done
+   with Exit -> ());
+  entries
+
+(* --- pages through the pool --- *)
+
+let page_off t pid = pid * t.cfg.page_size
+
+let load_page t pid =
+  bump t (fun o -> o.c_page_reads);
+  let b = pread_at t.data_fd (page_off t pid) t.cfg.page_size in
+  if Page.is_zero b then Page.create t.cfg.page_size
+  else
+    match Page.of_bytes b with
+    | Ok p -> p
+    | Error e -> failwith (Printf.sprintf "Storage: corrupt page %d (%s)" pid e)
+
+let write_back t pid page =
+  (* WAL-before-data: the log must be stable past the page's LSN before
+     the page image may replace the one on disk. *)
+  wal_flush t;
+  let img = Page.to_bytes page in
+  let entry = dblwr_entry pid img in
+  hooked_write t (Dblwr_write pid) t.dblwr_fd t.dblwr_bytes entry;
+  t.dblwr_bytes <- t.dblwr_bytes + Bytes.length entry;
+  maybe_fsync t t.dblwr_fd;
+  hooked_write t (Page_write pid) t.data_fd (page_off t pid) img;
+  maybe_fsync t t.data_fd;
+  bump t (fun o -> o.c_page_writes)
+
+(* --- in-memory maps --- *)
+
+let extent_ref t cls =
+  match Hashtbl.find_opt t.extents cls with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.extents cls r;
+      r
+
+let extent_add t cls oid =
+  let r = extent_ref t cls in
+  (* keep descending oid order (creation order reversed) even when an
+     aborted delete re-inserts an old oid *)
+  let rec ins = function
+    | x :: tl when x > oid -> x :: ins tl
+    | l -> oid :: l
+  in
+  r := ins !r
+
+let extent_remove t cls oid =
+  let r = extent_ref t cls in
+  r := List.filter (fun o -> o <> oid) !r
+
+let cache_put t oid values =
+  (* ring eviction: at capacity, drop the entry the cursor points at
+     instead of resetting the whole cache (which thrashes as soon as
+     the working set exceeds it) *)
+  if not (Hashtbl.mem t.cache oid) then begin
+    let old = t.cache_ring.(t.cache_cur) in
+    if old >= 0 then Hashtbl.remove t.cache old;
+    t.cache_ring.(t.cache_cur) <- oid;
+    t.cache_cur <- (t.cache_cur + 1) mod Array.length t.cache_ring
+  end;
+  Hashtbl.replace t.cache oid values
+
+let stamp t page = Page.set_lsn page (Wal.length t.wal)
+
+let free_update t pid page = Hashtbl.replace t.free pid (Page.insert_capacity page)
+
+let max_payload t = t.cfg.page_size - Page.header_size - Page.slot_entry
+
+(* --- record operations (physical, no logging) --- *)
+
+let choose_pid t len =
+  let best =
+    Hashtbl.fold
+      (fun pid cap best ->
+        if cap >= len then match best with Some b when b < pid -> Some b | _ -> Some pid
+        else best)
+      t.free None
+  in
+  match best with
+  | Some pid -> pid
+  | None ->
+      let pid = t.next_pid in
+      t.next_pid <- pid + 1;
+      pid
+
+let rec place t payload =
+  let len = String.length payload in
+  let pid = choose_pid t len in
+  let page = Buffer_pool.get t.pool pid in
+  match Page.insert page payload with
+  | Some slot ->
+      stamp t page;
+      free_update t pid page;
+      Buffer_pool.unpin t.pool pid ~dirty:true;
+      (pid, slot)
+  | None ->
+      (* stale free hint; correct it and retry elsewhere *)
+      free_update t pid page;
+      Buffer_pool.unpin t.pool pid ~dirty:false;
+      place t payload
+
+let apply_insert t ~oid ~cls ~slots =
+  let payload = Page.Rec.encode { Page.Rec.r_oid = oid; r_cls = cls; r_slots = slots } in
+  if String.length payload > max_payload t then
+    failwith "Storage: record larger than a page";
+  let pid, slot = place t payload in
+  Hashtbl.replace t.dir_tbl oid { r_pid = pid; r_slot = slot; r_cls = cls };
+  extent_add t cls oid;
+  cache_put t oid (Array.map snd slots)
+
+let find_rid t oid =
+  match Hashtbl.find_opt t.dir_tbl oid with
+  | Some r -> r
+  | None -> raise (Store.Unknown_oid (Oid.of_int oid))
+
+let read_rec t oid =
+  let rid = find_rid t oid in
+  let page = Buffer_pool.get t.pool rid.r_pid in
+  let payload =
+    match Page.read_slot page rid.r_slot with
+    | Some s -> s
+    | None -> failwith "Storage: directory points at a dead slot"
+  in
+  Buffer_pool.unpin t.pool rid.r_pid ~dirty:false;
+  match Page.Rec.decode payload with
+  | Some r -> r
+  | None -> failwith "Storage: undecodable record payload"
+
+let read_values t oid =
+  match Hashtbl.find_opt t.cache oid with
+  | Some vs ->
+      if not (Hashtbl.mem t.dir_tbl oid) then raise (Store.Unknown_oid (Oid.of_int oid));
+      bump t (fun o -> o.c_cache_hits);
+      vs
+  | None ->
+      bump t (fun o -> o.c_cache_misses);
+      let r = read_rec t oid in
+      let vs = Array.map snd r.Page.Rec.r_slots in
+      cache_put t oid vs;
+      vs
+
+let apply_delete t oid =
+  let rid = find_rid t oid in
+  let page = Buffer_pool.get t.pool rid.r_pid in
+  Page.delete page rid.r_slot;
+  stamp t page;
+  free_update t rid.r_pid page;
+  Buffer_pool.unpin t.pool rid.r_pid ~dirty:true;
+  Hashtbl.remove t.dir_tbl oid;
+  extent_remove t rid.r_cls oid;
+  Hashtbl.remove t.cache oid
+
+let apply_update t oid idx v =
+  let rid = find_rid t oid in
+  let page = Buffer_pool.get t.pool rid.r_pid in
+  let payload =
+    match Page.read_slot page rid.r_slot with
+    | Some s -> s
+    | None -> failwith "Storage: directory points at a dead slot"
+  in
+  let payload' =
+    match Page.Rec.splice payload idx v with
+    | Some p -> p
+    | None -> (
+        (* slow path only to produce the precise error *)
+        match Page.Rec.decode payload with
+        | None -> failwith "Storage: undecodable record payload"
+        | Some r ->
+            if idx < 0 || idx >= Array.length r.Page.Rec.r_slots then
+              invalid_arg "Storage: field index out of range"
+            else failwith "Storage: undecodable record payload")
+  in
+  if Page.replace page rid.r_slot payload' then begin
+    stamp t page;
+    (* an in-place overwrite (length <= old) leaves the free hint valid *)
+    if String.length payload' > String.length payload then free_update t rid.r_pid page;
+    Buffer_pool.unpin t.pool rid.r_pid ~dirty:true
+  end
+  else begin
+    (* the grown record no longer fits: migrate it to another page *)
+    Page.delete page rid.r_slot;
+    stamp t page;
+    free_update t rid.r_pid page;
+    Buffer_pool.unpin t.pool rid.r_pid ~dirty:true;
+    let pid', slot' = place t payload' in
+    rid.r_pid <- pid';
+    rid.r_slot <- slot'
+  end;
+  (match Hashtbl.find_opt t.cache oid with
+  | Some vs -> vs.(idx) <- v
+  | None -> ());
+  ()
+
+let apply_update_by_name t oid field v =
+  let r = read_rec t oid in
+  let idx = ref (-1) in
+  Array.iteri (fun i (f, _) -> if f = field && !idx < 0 then idx := i) r.Page.Rec.r_slots;
+  if !idx >= 0 then apply_update t oid !idx v
+
+(* --- ambient transaction (per domain x thread) --- *)
+
+let ambient_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let ambient t = match Hashtbl.find_opt t.ambient (ambient_key ()) with Some x -> x | None -> 0
+
+(* --- meta page --- *)
+
+let meta_magic = "TVMT"
+
+let meta_write t =
+  let b = Bytes.make t.cfg.page_size '\000' in
+  let payload =
+    Printf.sprintf "%s%08x%016x%016x%016x" meta_magic t.cfg.page_size t.ckpt_lsn t.next_oid
+      t.next_pid
+  in
+  Bytes.blit_string payload 0 b 8 (String.length payload);
+  let sum = Page.sum8_sub b 8 (t.cfg.page_size - 8) in
+  Bytes.blit_string sum 0 b 0 8;
+  hooked_write t Meta_write t.data_fd 0 b;
+  maybe_fsync t t.data_fd
+
+let meta_read ~page_size fd =
+  let b = pread_at fd 0 page_size in
+  if Page.is_zero b then None
+  else
+    let sum = Bytes.sub_string b 0 8 in
+    if Page.sum8_sub b 8 (page_size - 8) <> sum then None
+    else if Bytes.sub_string b 8 4 <> meta_magic then None
+    else
+      let hex pos width = int_of_string_opt ("0x" ^ Bytes.sub_string b pos width) in
+      match (hex 12 8, hex 20 16, hex 36 16, hex 52 16) with
+      | Some ps, Some ckpt, Some noid, Some npid when ps = page_size ->
+          Some (ckpt, noid, npid)
+      | _ -> None
+
+(* --- transactions --- *)
+
+let rollback_locked t txn =
+  (* Manager-style: walk this transaction's live incarnation backwards,
+     compensating each logged change.  Updates get CLRs; an insert is
+     compensated by a logged Delete, a delete by a logged Insert — both
+     replay correctly on the redo pass and are discarded with the
+     transaction by the committed-prefix oracle. *)
+  let rec roll = function
+    | [] -> ()
+    | r :: tl -> (
+        match r with
+        | Wal.Begin x when x = txn -> ()
+        | Wal.Update { txn = x; oid; field; before; _ } when x = txn ->
+            ignore (log t (Wal.Clr { txn; oid; field; after = before }));
+            let o = Oid.to_int oid in
+            if Hashtbl.mem t.dir_tbl o then
+              apply_update_by_name t o (FN.to_string field) before;
+            roll tl
+        | Wal.Insert { txn = x; oid; cls; slots } when x = txn ->
+            ignore (log t (Wal.Delete { txn; oid; cls; slots }));
+            let o = Oid.to_int oid in
+            if Hashtbl.mem t.dir_tbl o then apply_delete t o;
+            roll tl
+        | Wal.Delete { txn = x; oid; cls; slots } when x = txn ->
+            ignore (log t (Wal.Insert { txn; oid; cls; slots }));
+            let o = Oid.to_int oid in
+            if not (Hashtbl.mem t.dir_tbl o) then
+              apply_insert t ~oid:o ~cls:(CN.to_string cls)
+                ~slots:
+                  (Array.of_list
+                     (List.map (fun (f, v) -> (FN.to_string f, v)) slots));
+            roll tl
+        | _ -> roll tl)
+  in
+  roll (List.rev (Wal.all t.wal))
+
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+      Mutex.unlock t.mu;
+      v
+  | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+
+let begin_txn t txn =
+  locked t (fun () ->
+      ignore (log t (Wal.Begin txn));
+      Hashtbl.replace t.active txn ();
+      Hashtbl.replace t.ambient (ambient_key ()) txn)
+
+let commit t txn =
+  locked t (fun () ->
+      ignore (log t (Wal.Commit txn));
+      wal_flush t;
+      Hashtbl.remove t.active txn;
+      Hashtbl.remove t.ambient (ambient_key ()))
+
+let abort t txn =
+  locked t (fun () ->
+      rollback_locked t txn;
+      ignore (log t (Wal.Abort txn));
+      Hashtbl.remove t.active txn;
+      Hashtbl.remove t.ambient (ambient_key ()))
+
+let checkpoint t =
+  locked t (fun () ->
+      ignore (hook t Ckpt_begin);
+      Buffer_pool.flush_all t.pool;
+      wal_flush t;
+      let activ = List.sort Int.compare (Hashtbl.fold (fun k () l -> k :: l) t.active []) in
+      let lsn = log t (Wal.Checkpoint activ) in
+      wal_flush t;
+      t.ckpt_lsn <- lsn;
+      (* every page the log up to here touches is clean on disk: the
+         double-write entries are dead weight now *)
+      Unix.ftruncate t.dblwr_fd 0;
+      t.dblwr_bytes <- 0;
+      meta_write t;
+      bump t (fun o -> o.c_ckpts);
+      ignore (hook t Ckpt_end))
+
+let flush t = locked t (fun () -> wal_flush t)
+
+(* --- the Store-facing surface --- *)
+
+let ext t =
+  {
+    Store.x_insert =
+      (fun cls slots ->
+        locked t (fun () ->
+            let oid = t.next_oid in
+            t.next_oid <- oid + 1;
+            let slots_l = Array.to_list slots in
+            ignore (log t (Wal.Insert { txn = ambient t; oid = Oid.of_int oid; cls; slots = slots_l }));
+            apply_insert t ~oid ~cls:(CN.to_string cls)
+              ~slots:(Array.map (fun (f, v) -> (FN.to_string f, v)) slots);
+            Oid.of_int oid));
+    x_delete =
+      (fun oid ->
+        locked t (fun () ->
+            let o = Oid.to_int oid in
+            let r = read_rec t o in
+            let cls = CN.of_string r.Page.Rec.r_cls in
+            let slots =
+              Array.to_list
+                (Array.map (fun (f, v) -> (FN.of_string f, v)) r.Page.Rec.r_slots)
+            in
+            ignore (log t (Wal.Delete { txn = ambient t; oid; cls; slots }));
+            apply_delete t o));
+    x_exists = (fun oid -> locked t (fun () -> Hashtbl.mem t.dir_tbl (Oid.to_int oid)));
+    x_class_of =
+      (fun oid ->
+        locked t (fun () ->
+            Option.map
+              (fun r -> CN.of_string r.r_cls)
+              (Hashtbl.find_opt t.dir_tbl (Oid.to_int oid))));
+    x_read = (fun oid i -> locked t (fun () -> (read_values t (Oid.to_int oid)).(i)));
+    x_write =
+      (fun oid i field v ->
+        locked t (fun () ->
+            let o = Oid.to_int oid in
+            if t.cfg.self_journal then begin
+              let before = (read_values t o).(i) in
+              ignore (log t (Wal.Update { txn = ambient t; oid; field; before; after = v }))
+            end
+            else ignore (find_rid t o);
+            apply_update t o i v));
+    x_field_count =
+      (fun oid -> locked t (fun () -> Array.length (read_values t (Oid.to_int oid))));
+    x_extent =
+      (fun cls ->
+        locked t (fun () ->
+            match Hashtbl.find_opt t.extents (CN.to_string cls) with
+            | Some r -> List.rev_map Oid.of_int !r
+            | None -> []));
+    x_count = (fun () -> locked t (fun () -> Hashtbl.length t.dir_tbl));
+  }
+
+let store t schema = Store.create_ext schema (ext t)
+
+(* --- journalling observer for the cooperative sim engine --- *)
+
+let observe t (a : Tavcc_sim.Engine.access) =
+  match a with
+  | Tavcc_sim.Engine.Ob_begin txn ->
+      locked t (fun () ->
+          ignore (log t (Wal.Begin txn));
+          Hashtbl.replace t.active txn ())
+  | Tavcc_sim.Engine.Ob_read _ -> ()
+  | Tavcc_sim.Engine.Ob_write { txn; oid; field; before; after } ->
+      locked t (fun () -> ignore (log t (Wal.Update { txn; oid; field; before; after })))
+  | Tavcc_sim.Engine.Ob_commit txn ->
+      locked t (fun () ->
+          ignore (log t (Wal.Commit txn));
+          wal_flush t;
+          Hashtbl.remove t.active txn)
+  | Tavcc_sim.Engine.Ob_abort txn ->
+      locked t (fun () ->
+          rollback_locked t txn;
+          ignore (log t (Wal.Abort txn));
+          Hashtbl.remove t.active txn)
+
+(* --- durability hooks for the parallel engine --- *)
+
+let journal t =
+  {
+    Tavcc_par.Par_engine.j_begin = begin_txn t;
+    j_commit = commit t;
+    j_abort = abort t;
+  }
+
+(* --- open / recovery --- *)
+
+let losers = Recovery.Restart.losers
+
+(* Rebuild an oid's full image from the log's complete history (the WAL
+   file is never truncated, so position 0 is the store's birth).  Every
+   physical store change is logged — forward updates, CLR compensations,
+   inserts, compensating inserts/deletes — so folding records[0, upto)
+   yields exactly the object's state at log position [upto].  Redo needs
+   this when a record migrated between pages and only the source page's
+   post-delete image reached disk: the object is then on no page at all,
+   and its Update record must act as a re-insert. *)
+let reconstruct records upto oid =
+  let img = ref None in
+  List.iteri
+    (fun i r ->
+      if i < upto then
+        match r with
+        | Wal.Insert { oid = o; cls; slots; _ } when Oid.to_int o = oid ->
+            img :=
+              Some
+                ( CN.to_string cls,
+                  Array.of_list (List.map (fun (f, v) -> (FN.to_string f, v)) slots) )
+        | Wal.Delete { oid = o; _ } when Oid.to_int o = oid -> img := None
+        | (Wal.Update { oid = o; field; after; _ } | Wal.Clr { oid = o; field; after; _ })
+          when Oid.to_int o = oid -> (
+            match !img with
+            | None -> ()
+            | Some (cls, slots) ->
+                let f = FN.to_string field in
+                img :=
+                  Some
+                    (cls, Array.map (fun (g, v) -> if g = f then (g, after) else (g, v)) slots))
+        | _ -> ())
+    records;
+  !img
+
+let recover_locked t =
+  t.in_recovery <- true;
+  let ps = t.cfg.page_size in
+  (* 1. the stable log: longest valid prefix; drop any torn tail *)
+  let raw = read_whole t.wal_fd in
+  let records = Codec.decode raw in
+  (* encoding is canonical, so re-encoding measures exactly the bytes the
+     valid prefix occupies; anything past it is a torn tail to drop *)
+  let consumed = String.length (Codec.encode records) in
+  Unix.ftruncate t.wal_fd consumed;
+  t.wal_bytes <- consumed;
+  List.iter (fun r -> ignore (Wal.append t.wal r)) records;
+  Wal.flush t.wal;
+  (* 2. meta (torn-tolerant: fall back to full-log redo) *)
+  let ckpt0, noid0, npid0 =
+    match meta_read ~page_size:ps t.data_fd with Some m -> m | None -> (0, 0, 1)
+  in
+  t.ckpt_lsn <- min ckpt0 (List.length records);
+  t.next_oid <- noid0;
+  (* 3. double-write repairs for torn pages *)
+  let repairs = dblwr_decode (read_whole t.dblwr_fd) in
+  let file_pages =
+    ((Unix.fstat t.data_fd).Unix.st_size + ps - 1) / ps
+  in
+  t.next_pid <- max 1 (max npid0 file_pages);
+  let page_lsns = Hashtbl.create 64 in
+  let stale = ref [] in
+  for pid = 1 to t.next_pid - 1 do
+    let b = pread_at t.data_fd (page_off t pid) ps in
+    let page =
+      if Page.is_zero b then None
+      else
+        match Page.of_bytes b with
+        | Ok p -> Some p
+        | Error _ -> (
+            match Hashtbl.find_opt repairs pid with
+            | Some img when Bytes.length img = ps -> (
+                match Page.of_bytes img with
+                | Ok p ->
+                    pwrite_at t.data_fd (page_off t pid) img;
+                    Some p
+                | Error e ->
+                    failwith
+                      (Printf.sprintf "Storage: page %d torn and dblwr copy bad (%s)" pid e))
+            | _ -> failwith (Printf.sprintf "Storage: page %d corrupt with no dblwr copy" pid))
+    in
+    match page with
+    | None -> ()
+    | Some p ->
+        Hashtbl.replace page_lsns pid (Page.lsn p);
+        Page.iter p (fun slot payload ->
+            match Page.Rec.decode payload with
+            | Some r ->
+                let oid = r.Page.Rec.r_oid in
+                (match Hashtbl.find_opt t.dir_tbl oid with
+                | Some prev ->
+                    (* two on-disk copies: a record migrated between
+                       pages and the crash caught only the destination's
+                       write-back.  The copy on the higher-LSN page is
+                       the live one; the other slot is garbage. *)
+                    let prev_lsn =
+                      match Hashtbl.find_opt page_lsns prev.r_pid with Some l -> l | None -> 0
+                    in
+                    if Page.lsn p > prev_lsn then begin
+                      stale := (prev.r_pid, prev.r_slot) :: !stale;
+                      Hashtbl.replace t.dir_tbl oid
+                        { r_pid = pid; r_slot = slot; r_cls = r.Page.Rec.r_cls }
+                    end
+                    else stale := (pid, slot) :: !stale
+                | None ->
+                    Hashtbl.replace t.dir_tbl oid
+                      { r_pid = pid; r_slot = slot; r_cls = r.Page.Rec.r_cls });
+                if oid >= t.next_oid then t.next_oid <- oid + 1
+            | None -> failwith (Printf.sprintf "Storage: page %d slot %d undecodable" pid slot));
+        Hashtbl.replace t.free pid (Page.insert_capacity p)
+  done;
+  (* physically drop the stale copies before anything goes through the
+     pool, then refresh the free hints of the touched pages *)
+  List.iter
+    (fun (pid, slot) ->
+      let b = pread_at t.data_fd (page_off t pid) ps in
+      match Page.of_bytes b with
+      | Ok p ->
+          Page.delete p slot;
+          pwrite_at t.data_fd (page_off t pid) (Page.to_bytes p);
+          Hashtbl.replace t.free pid (Page.insert_capacity p)
+      | Error _ -> assert false (* just validated above *))
+    !stale;
+  (* extents in creation (= oid) order, newest first *)
+  Hashtbl.iter
+    (fun oid rid -> extent_add t rid.r_cls oid)
+    (Hashtbl.copy t.dir_tbl);
+  (* 4. redo from the checkpoint: repeating history, logically by oid *)
+  List.iteri
+    (fun i r ->
+      if i >= t.ckpt_lsn then
+        match r with
+        | Wal.Insert { oid; cls; slots; _ } ->
+            let o = Oid.to_int oid in
+            if o >= t.next_oid then t.next_oid <- o + 1;
+            if Hashtbl.mem t.dir_tbl o then apply_delete t o;
+            apply_insert t ~oid:o ~cls:(CN.to_string cls)
+              ~slots:
+                (Array.of_list (List.map (fun (f, v) -> (FN.to_string f, v)) slots))
+        | Wal.Delete { oid; _ } ->
+            let o = Oid.to_int oid in
+            if Hashtbl.mem t.dir_tbl o then apply_delete t o
+        | Wal.Update { oid; field; after; _ } | Wal.Clr { oid; field; after; _ } -> (
+            let o = Oid.to_int oid in
+            if Hashtbl.mem t.dir_tbl o then
+              apply_update_by_name t o (FN.to_string field) after
+            else
+              (* on no page at all (lost in a half-durable migration):
+                 rebuild its image as of this record from the full log *)
+              match reconstruct records (i + 1) o with
+              | Some (cls, slots) -> apply_insert t ~oid:o ~cls ~slots
+              | None -> ())
+        | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ())
+    records;
+  (* 5. undo the losers, newest first, stopping at each Begin *)
+  let open_ = Hashtbl.create 8 in
+  List.iter (fun x -> Hashtbl.replace open_ x ()) (losers records);
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Begin x when Hashtbl.mem open_ x -> Hashtbl.remove open_ x
+      | Wal.Update { txn; oid; field; before; _ } when Hashtbl.mem open_ txn ->
+          let o = Oid.to_int oid in
+          if Hashtbl.mem t.dir_tbl o then
+            apply_update_by_name t o (FN.to_string field) before
+      | Wal.Insert { txn; oid; _ } when Hashtbl.mem open_ txn ->
+          let o = Oid.to_int oid in
+          if Hashtbl.mem t.dir_tbl o then apply_delete t o
+      | Wal.Delete { txn; oid; cls; slots } when Hashtbl.mem open_ txn ->
+          let o = Oid.to_int oid in
+          if not (Hashtbl.mem t.dir_tbl o) then
+            apply_insert t ~oid:o ~cls:(CN.to_string cls)
+              ~slots:
+                (Array.of_list (List.map (fun (f, v) -> (FN.to_string f, v)) slots))
+      | _ -> ())
+    (List.rev records);
+  List.iter (fun x -> ignore (log t (Wal.Abort x))) (losers records);
+  t.in_recovery <- false
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let create cfg =
+  if cfg.page_size < Page.min_size then invalid_arg "Storage: page_size too small";
+  if cfg.pool_pages < 2 then invalid_arg "Storage: pool_pages must be >= 2";
+  mkdir_p cfg.dir;
+  let openf name =
+    Unix.openfile (Filename.concat cfg.dir name) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
+  let obs =
+    Option.map
+      (fun m ->
+        let c = Tavcc_obs.Metrics.counter m in
+        {
+          c_page_reads = c "storage.page_reads";
+          c_page_writes = c "storage.page_writes";
+          c_wal_bytes = c "storage.wal_bytes";
+          c_ckpts = c "storage.checkpoints";
+          c_cache_hits = c "storage.cache_hits";
+          c_cache_misses = c "storage.cache_misses";
+        })
+      cfg.metrics
+  in
+  let t =
+    {
+      cfg;
+      mu = Mutex.create ();
+      data_fd = openf "data.pages";
+      wal_fd = openf "wal.log";
+      dblwr_fd = openf "dblwr.log";
+      wal = Wal.create ?metrics:cfg.metrics ();
+      pending = [];
+      wal_bytes = 0;
+      dblwr_bytes = 0;
+      (* placeholder; the real pool (whose callbacks close over [t]) is
+         knot-tied just below, before any page is touched *)
+      pool =
+        Buffer_pool.create ~pages:2
+          ~load:(fun _ -> Page.create Page.min_size)
+          ~write_back:(fun _ _ -> ());
+      dir_tbl = Hashtbl.create 1024;
+      extents = Hashtbl.create 16;
+      free = Hashtbl.create 64;
+      (* oids start at 0, matching [Oid.Gen] — a client that regenerates
+         the deterministic workload store in memory (oosim blast) must
+         produce the same oids this store allocated *)
+      next_oid = 0;
+      next_pid = 1;
+      ckpt_lsn = 0;
+      cache = Hashtbl.create 1024;
+      cache_ring =
+        Array.make
+          (if cfg.cache_entries > 0 then cfg.cache_entries else cfg.pool_pages * 32)
+          (-1);
+      cache_cur = 0;
+      active = Hashtbl.create 8;
+      ambient = Hashtbl.create 8;
+      obs;
+      hooks_on = false;
+      in_recovery = false;
+    }
+  in
+  t.pool <-
+    Buffer_pool.create ~pages:cfg.pool_pages ~load:(load_page t) ~write_back:(write_back t);
+  Mutex.lock t.mu;
+  recover_locked t;
+  (* recovery ends with a checkpoint so the next crash replays little *)
+  Mutex.unlock t.mu;
+  checkpoint t;
+  t.hooks_on <- true;
+  t
+
+let close ?(flush = true) t =
+  if flush then checkpoint t;
+  Unix.close t.data_fd;
+  Unix.close t.wal_fd;
+  Unix.close t.dblwr_fd
+
+let abandon t =
+  (* post-crash: release the fds without writing a byte *)
+  (try Unix.close t.data_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.wal_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.dblwr_fd with Unix.Unix_error _ -> ())
+
+let wal t = t.wal
+
+let dump t =
+  locked t (fun () ->
+      Hashtbl.fold (fun oid _ l -> oid :: l) t.dir_tbl []
+      |> List.sort Int.compare
+      |> List.map (fun oid ->
+             let r = read_rec t oid in
+             (oid, r.Page.Rec.r_cls, Array.to_list r.Page.Rec.r_slots)))
+
+type stats = {
+  s_instances : int;
+  s_data_pages : int;
+  s_pool_pages : int;
+  s_pool : Buffer_pool.stats;
+  s_wal_records : int;
+  s_wal_bytes : int;
+  s_cache_entries : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        s_instances = Hashtbl.length t.dir_tbl;
+        s_data_pages = t.next_pid - 1;
+        s_pool_pages = Buffer_pool.capacity t.pool;
+        s_pool = Buffer_pool.stats t.pool;
+        s_wal_records = Wal.length t.wal;
+        s_wal_bytes = t.wal_bytes;
+        s_cache_entries = Hashtbl.length t.cache;
+      })

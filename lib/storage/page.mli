@@ -1,0 +1,88 @@
+(** Slotted pages with checksummed printable-hex headers.
+
+    A page is [size] bytes: a 44-byte header (checksum of everything
+    past it, magic, page LSN, slot count, heap pointer), a slot
+    directory growing down the front, and a record heap growing up from
+    the back.  Slot indices are {e stable} — compaction moves record
+    bytes but never renumbers slots, so an (oid → page, slot) directory
+    entry stays valid for the record's lifetime on the page.
+
+    The header reuses the chaos {!Tavcc_chaos.Codec} discipline: every
+    integer is fixed-width hex, the checksum is the 8-hex
+    FNV-1a/32 of bytes [8, size), so a torn page write is detected at
+    {!of_bytes} and repaired from the double-write buffer at recovery. *)
+
+open Tavcc_model
+
+type t
+
+val to_hex8 : int -> string
+(** Fixed-width lowercase hex of the low 32 bits — the framing integer
+    discipline shared with the chaos codec. *)
+
+val sum8 : string -> string
+(** 8-hex FNV-1a/32 checksum — the frame/page corruption detector shared
+    by the engine's double-write buffer and meta page. *)
+
+val sum8_sub : bytes -> int -> int -> string
+(** [sum8_sub b pos len]: {!sum8} over a byte range, no copy. *)
+
+val min_size : int
+val header_size : int
+val slot_entry : int
+
+val create : int -> t
+(** An empty page. @raise Invalid_argument below {!min_size}. *)
+
+val size : t -> int
+
+val lsn : t -> int
+(** The page LSN: the WAL position the page's latest change is covered
+    by.  The buffer pool refuses to write a page back before the WAL is
+    stable past it (WAL-before-data). *)
+
+val set_lsn : t -> int -> unit
+val nslots : t -> int
+
+val insert : t -> string -> int option
+(** Places a record payload, compacting if fragmented; [None] when the
+    page cannot hold it even compacted.  Returns the (stable) slot. *)
+
+val read_slot : t -> int -> string option
+val delete : t -> int -> unit
+
+val replace : t -> int -> string -> bool
+(** In-place update of a live slot, relocating within the page as
+    needed; [false] when the new payload cannot fit (the caller must
+    migrate the record to another page) — the slot is untouched then. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+val insert_capacity : t -> int
+(** Largest payload {!insert} would accept right now. *)
+
+val compact : t -> unit
+
+val to_bytes : t -> bytes
+(** The durable image, checksum freshly stamped. *)
+
+val of_bytes : bytes -> (t, string) result
+(** Verifies length, magic, checksum and header sanity. *)
+
+val is_zero : bytes -> bool
+(** A never-written (sparse-hole) page image. *)
+
+(** Instance record payloads: oid, class and named field values, in the
+    store's slot order.  Self-describing — a page or a WAL record
+    replays without the schema. *)
+module Rec : sig
+  type t = { r_oid : int; r_cls : string; r_slots : (string * Value.t) array }
+
+  val encode : t -> string
+  val decode : string -> t option
+
+  val splice : string -> int -> Value.t -> string option
+  (** [splice payload idx v] re-encodes [payload] with slot [idx]'s
+      value replaced by [v], walking (not decoding) the prefix — the
+      field-write fast path.  [None] when [idx] is out of range or the
+      payload does not parse. *)
+end

@@ -106,6 +106,14 @@ def metrics_for(doc):
         return ["scheme", "domains"], [
             ("wall_ms/req", lambda r, d: r["wall_ms"] / r["requests"], 0.10),
         ]
+    if bench == "storage/throughput":
+        # Per-txn wall time for each backend; the mem row doubles as the
+        # sim-engine sanity baseline.  Floors are wide: the disk row's
+        # budget includes buffered IO whose latency swings on shared
+        # runners.
+        return ["backend"], [
+            ("wall_ms/txn", lambda r, d: r["wall_ms"] / d["txns"], 0.02),
+        ]
     if bench == "sanitize/overhead":
         # Per-txn wall time is useless here: quick mode amortises the
         # fixed store setup over far fewer txns.  The probed/base ratio is
@@ -179,6 +187,24 @@ def compare(path, current, baseline, threshold):
     # rw-msg outright — on a starved runner the domain-parallel gap
     # narrows to scheduling noise; the full >= threshold_x claim is
     # enforced against full-mode runs (the committed baseline is one).
+    # The storage headline is machine-independent: the disk engine must
+    # stay within the committed slowdown factor of the in-memory store,
+    # and the run must genuinely exceed the pool (the bench itself also
+    # enforces both at generation time).
+    if current.get("bench") == "storage/throughput":
+        gate = baseline.get("threshold_x", 5.0)
+        head = current["headline"]
+        ratio = head["slowdown_x"]
+        ok = ratio <= gate
+        print(f"  {'OK' if ok else 'FAIL':4} headline slowdown_x: {ratio:.2f} (gate <= {gate})")
+        if not ok:
+            failures.append((path.name, ("headline",), "slowdown_x", gate, ratio, 0.0))
+        larger = head["data_pages"] > head["pool_pages"] and head["evictions"] > 0
+        print(f"  {'OK' if larger else 'FAIL':4} headline larger-than-pool: "
+              f"{head['data_pages']} pages vs {head['pool_pages']} frames, "
+              f"{head['evictions']} evictions")
+        if not larger:
+            failures.append((path.name, ("headline",), "larger_than_pool", 1, 0, 0.0))
     if current.get("bench") == "net/throughput":
         gate = 1.0 if current.get("quick") else baseline.get("threshold_x", 1.5)
         ratio = current["headline"]["tav_x_rw"]
